@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Reproduces the Section 6.1 ablation: "We eliminated over twenty
+ * useless annotations by adding twelve lines to the SM to make it
+ * sensitive to the value of four routines that, when called, returned a
+ * 0 or 1 depending on whether or not they freed a buffer. Without this
+ * addition, the more naive extension marked the buffer as freed (or not
+ * freed) on both paths, giving a small cascade of errors."
+ */
+#include "bench/bench_util.h"
+
+#include <iostream>
+
+int
+main()
+{
+    using namespace mc;
+    bench::banner("Ablation: value-sensitive frees (Section 6.1)",
+                  "Section 6.1");
+
+    std::vector<std::vector<std::string>> rows;
+    int total_extra = 0;
+    int total_sites = 0;
+    for (const corpus::ProtocolProfile& profile : corpus::paperProfiles()) {
+        bench::CheckedProtocol smart(profile);
+        checkers::CheckerSetOptions naive_options;
+        naive_options.value_sensitive_frees = false;
+        bench::CheckedProtocol naive(profile, naive_options);
+
+        int smart_errors = smart.sink.countForChecker(
+            "buffer_mgmt", support::Severity::Error);
+        int naive_errors = naive.sink.countForChecker(
+            "buffer_mgmt", support::Severity::Error);
+        int extra = naive_errors - smart_errors;
+        total_extra += extra;
+        total_sites += profile.maybe_free_sites;
+        rows.push_back({profile.name,
+                        std::to_string(profile.maybe_free_sites),
+                        std::to_string(smart_errors),
+                        std::to_string(naive_errors),
+                        std::to_string(extra)});
+    }
+    rows.push_back({"total", std::to_string(total_sites), "", "",
+                    std::to_string(total_extra)});
+    bench::printTable({"Protocol", "MAYBE_FREE sites", "refined reports",
+                       "naive reports", "cascade removed"},
+                      rows);
+
+    std::cout << "the refinement removes " << total_extra
+              << " spurious reports (paper: 'over twenty useless "
+                 "annotations' avoided by a twelve-line SM addition).\n";
+    return 0;
+}

@@ -1,0 +1,92 @@
+#ifndef MCHECK_BENCH_BENCH_UTIL_H
+#define MCHECK_BENCH_BENCH_UTIL_H
+
+#include "checkers/registry.h"
+#include "corpus/generator.h"
+#include "support/text.h"
+
+#include <chrono>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mc::bench {
+
+/** One protocol, generated, parsed, checked, and reconciled. */
+struct CheckedProtocol
+{
+    corpus::LoadedProtocol loaded;
+    checkers::CheckerSet set;
+    support::DiagnosticSink sink;
+    std::vector<checkers::CheckerRunStats> stats;
+    double check_millis = 0.0;
+
+    explicit CheckedProtocol(const corpus::ProtocolProfile& profile,
+                             checkers::CheckerSetOptions options =
+                                 checkers::CheckerSetOptions())
+        : loaded(corpus::loadProtocol(profile)),
+          set(checkers::makeAllCheckers(options))
+    {
+        auto begin = std::chrono::steady_clock::now();
+        stats = checkers::runCheckers(*loaded.program, loaded.gen.spec,
+                                      set.pointers(), sink);
+        auto end = std::chrono::steady_clock::now();
+        check_millis =
+            std::chrono::duration<double, std::milli>(end - begin).count();
+    }
+
+    corpus::Reconciliation
+    reconcile(const std::string& checker) const
+    {
+        return corpus::reconcile(loaded.gen.ledger, sink.diagnostics(),
+                                 loaded.file_function, checker);
+    }
+
+    int
+    applied(const std::string& checker) const
+    {
+        for (const auto& s : stats)
+            if (s.checker == checker)
+                return s.applied;
+        return 0;
+    }
+
+    const std::string& name() const { return loaded.gen.name; }
+};
+
+/** All six paper protocols, checked once and cached for the process. */
+inline const std::vector<std::unique_ptr<CheckedProtocol>>&
+allCheckedProtocols()
+{
+    static std::vector<std::unique_ptr<CheckedProtocol>> cache = [] {
+        std::vector<std::unique_ptr<CheckedProtocol>> out;
+        for (const corpus::ProtocolProfile& profile :
+             corpus::paperProfiles())
+            out.push_back(std::make_unique<CheckedProtocol>(profile));
+        return out;
+    }();
+    return cache;
+}
+
+/** Print a bench header naming the reproduced table. */
+inline void
+banner(const std::string& title, const std::string& paper_ref)
+{
+    std::cout << "=== " << title << " ===\n"
+              << "(reproduces " << paper_ref
+              << " of 'Using Meta-level Compilation to Check FLASH "
+                 "Protocol Code', ASPLOS 2000)\n\n";
+}
+
+inline void
+printTable(const std::vector<std::string>& header,
+           const std::vector<std::vector<std::string>>& rows)
+{
+    std::cout << support::formatTable(header, rows) << '\n';
+}
+
+} // namespace mc::bench
+
+#endif // MCHECK_BENCH_BENCH_UTIL_H

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the framework itself: frontend
+ * parse speed, CFG construction, pattern matching, the path-sensitive SM
+ * engine (showing the (block, state) cache keeps exponential-path
+ * functions linear-time), and whole-protocol checking throughput.
+ */
+#include "checkers/registry.h"
+#include "corpus/generator.h"
+#include "metal/engine.h"
+#include "metal/metal_parser.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <memory>
+
+namespace {
+
+using namespace mc;
+
+const corpus::LoadedProtocol&
+bitvector()
+{
+    static corpus::LoadedProtocol loaded =
+        corpus::loadProtocol(corpus::profileByName("bitvector"));
+    return loaded;
+}
+
+void
+BM_ParseProtocol(benchmark::State& state)
+{
+    const corpus::GeneratedProtocol& gen = bitvector().gen;
+    std::int64_t bytes = 0;
+    for (auto _ : state) {
+        lang::Program program;
+        for (const corpus::GeneratedFile& file : gen.files)
+            program.addSource(file.name, file.source);
+        benchmark::DoNotOptimize(program.functions().size());
+    }
+    for (const corpus::GeneratedFile& file : gen.files)
+        bytes += static_cast<std::int64_t>(file.source.size());
+    state.SetBytesProcessed(state.iterations() * bytes);
+}
+BENCHMARK(BM_ParseProtocol)->Unit(benchmark::kMillisecond);
+
+void
+BM_BuildAllCfgs(benchmark::State& state)
+{
+    const corpus::LoadedProtocol& loaded = bitvector();
+    for (auto _ : state) {
+        int blocks = 0;
+        for (const lang::FunctionDecl* fn : loaded.program->functions()) {
+            cfg::Cfg cfg = cfg::CfgBuilder::build(*fn);
+            blocks += cfg.blockCount();
+        }
+        benchmark::DoNotOptimize(blocks);
+    }
+}
+BENCHMARK(BM_BuildAllCfgs)->Unit(benchmark::kMillisecond);
+
+void
+BM_RunAllCheckers(benchmark::State& state)
+{
+    const corpus::LoadedProtocol& loaded = bitvector();
+    for (auto _ : state) {
+        auto set = checkers::makeAllCheckers();
+        support::DiagnosticSink sink;
+        auto stats = checkers::runCheckers(*loaded.program,
+                                           loaded.gen.spec,
+                                           set.pointers(), sink);
+        benchmark::DoNotOptimize(stats.size());
+    }
+    state.counters["loc"] =
+        static_cast<double>(bitvector().gen.totalLoc());
+}
+BENCHMARK(BM_RunAllCheckers)->Unit(benchmark::kMillisecond);
+
+/**
+ * Path-cache scaling: a function with N sequential if/else blocks has
+ * 2^N paths, but the engine's (block, state) cache visits each block a
+ * bounded number of times. Time must grow linearly in N, not in 2^N.
+ */
+void
+BM_EngineExponentialPaths(benchmark::State& state)
+{
+    int n = static_cast<int>(state.range(0));
+    std::string body;
+    for (int i = 0; i < n; ++i)
+        body += "if (c" + std::to_string(i) + ") { x = 1; } else "
+                "{ x = 2; }\n";
+    body += "MISCBUS_READ_DB(a, b);";
+
+    lang::Program program;
+    program.addSource("t.c", "void f(void) {" + body + "}");
+    cfg::Cfg cfg = cfg::CfgBuilder::build(*program.findFunction("f"));
+    metal::MetalProgram checker = metal::parseMetal(
+        "sm wait_for_db {\n"
+        "  decl { scalar } addr, buf;\n"
+        "  start:\n"
+        "    { WAIT_FOR_DB_FULL(addr); } ==> stop\n"
+        "  | { MISCBUS_READ_DB(addr, buf); } ==> { err(\"race\"); }\n"
+        "  ;\n"
+        "}\n");
+
+    for (auto _ : state) {
+        support::DiagnosticSink sink;
+        auto result = metal::runStateMachine(*checker.sm, cfg, sink);
+        benchmark::DoNotOptimize(result.visits);
+    }
+    state.counters["paths"] = std::pow(2.0, n);
+}
+BENCHMARK(BM_EngineExponentialPaths)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void
+BM_PatternMatch(benchmark::State& state)
+{
+    match::PatternContext pc;
+    match::Pattern pattern = match::Pattern::compile(
+        pc, "{ NI_SEND(type, F_DATA, keep, wait, dec, null) }",
+        {{"type", match::WildcardKind::Scalar},
+         {"keep", match::WildcardKind::Scalar},
+         {"wait", match::WildcardKind::Scalar},
+         {"dec", match::WildcardKind::Scalar},
+         {"null", match::WildcardKind::Scalar}});
+
+    lang::Program program;
+    program.addSource(
+        "t.c", "void f(void) { NI_SEND(MSG_PUT, F_DATA, a, b, c, d); }");
+    const lang::Stmt* hit = program.findFunction("f")->body->stmts[0];
+    program.addSource("u.c",
+                      "void g(void) { OTHER(MSG_PUT, F_DATA, a, b, c); }");
+    const lang::Stmt* miss = program.findFunction("g")->body->stmts[0];
+
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pattern.matchInStmt(*hit).has_value());
+        benchmark::DoNotOptimize(pattern.matchInStmt(*miss).has_value());
+    }
+}
+BENCHMARK(BM_PatternMatch);
+
+void
+BM_GenerateProtocol(benchmark::State& state)
+{
+    const corpus::ProtocolProfile& profile =
+        corpus::profileByName("bitvector");
+    for (auto _ : state) {
+        corpus::GeneratedProtocol gen = corpus::generateProtocol(profile);
+        benchmark::DoNotOptimize(gen.totalLoc());
+    }
+}
+BENCHMARK(BM_GenerateProtocol)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

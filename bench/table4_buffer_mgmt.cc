@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Reproduces Table 4: the buffer management checker — errors, minor
+ * violations, and the annotation economics (useful vs useless
+ * annotations, roughly one per thousand lines of source).
+ */
+#include "bench/bench_util.h"
+
+#include <iostream>
+
+namespace {
+
+struct PaperRow
+{
+    const char* protocol;
+    int errors;
+    int minor;
+    int useful;
+    int useless;
+};
+
+const PaperRow kPaper[] = {
+    {"dyn_ptr", 2, 2, 3, 3}, {"bitvector", 2, 1, 0, 1},
+    {"sci", 3, 2, 10, 10},   {"coma", 0, 0, 0, 0},
+    {"rac", 2, 0, 2, 4},     {"common", 0, 1, 3, 7},
+};
+
+const PaperRow*
+paperRow(const std::string& name)
+{
+    for (const PaperRow& row : kPaper)
+        if (name == row.protocol)
+            return &row;
+    return nullptr;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace mc;
+    bench::banner("Table 4: buffer management checker", "Table 4");
+
+    std::vector<std::vector<std::string>> rows;
+    int errors = 0;
+    int minor = 0;
+    int useful = 0;
+    int useless = 0;
+    long long loc = 0;
+    for (const auto& cp : bench::allCheckedProtocols()) {
+        auto rec = cp->reconcile("buffer_mgmt");
+        int e = rec.foundWithClass(corpus::SeedClass::Error);
+        int m = rec.foundWithClass(corpus::SeedClass::Minor);
+        const corpus::Ledger& ledger = cp->loaded.gen.ledger;
+        int u = ledger.count("buffer_mgmt",
+                             corpus::SeedClass::UsefulAnnotation);
+        int x = ledger.count("buffer_mgmt",
+                             corpus::SeedClass::UselessAnnotation);
+        errors += e;
+        minor += m;
+        useful += u;
+        useless += x;
+        loc += cp->loaded.gen.totalLoc();
+        const PaperRow* paper = paperRow(cp->name());
+        auto pstr = [&](int ours, int theirs) {
+            return std::to_string(ours) + " (" +
+                   (paper ? std::to_string(theirs) : "-") + ")";
+        };
+        rows.push_back({cp->name(), pstr(e, paper ? paper->errors : 0),
+                        pstr(m, paper ? paper->minor : 0),
+                        pstr(u, paper ? paper->useful : 0),
+                        pstr(x, paper ? paper->useless : 0)});
+    }
+    rows.push_back({"total", std::to_string(errors) + " (9)",
+                    std::to_string(minor) + " (6)",
+                    std::to_string(useful) + " (18)",
+                    std::to_string(useless) + " (25)"});
+    bench::printTable({"Protocol", "Errors (paper)", "Minor (paper)",
+                       "Useful (paper)", "Useless (paper)"},
+                      rows);
+
+    double per_kloc =
+        1000.0 * static_cast<double>(useful + useless) /
+        static_cast<double>(loc);
+    std::cout << "annotations per KLOC: " << per_kloc
+              << " (paper: 'roughly one per thousand lines of source')\n";
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Reproduces Table 5: the handler execution-restriction checker — the
+ * only violations found in the paper were omitted simulation hooks.
+ */
+#include "bench/bench_util.h"
+
+#include "checkers/exec_restrict.h"
+
+#include <iostream>
+
+namespace {
+
+struct PaperRow
+{
+    const char* protocol;
+    int violations;
+    int handlers;
+    int vars;
+};
+
+const PaperRow kPaper[] = {
+    {"dyn_ptr", 4, 227, 768}, {"bitvector", 2, 168, 489},
+    {"sci", 0, 214, 794},     {"coma", 3, 193, 648},
+    {"rac", 2, 200, 668},     {"common", 0, 62, 398},
+};
+
+const PaperRow*
+paperRow(const std::string& name)
+{
+    for (const PaperRow& row : kPaper)
+        if (name == row.protocol)
+            return &row;
+    return nullptr;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace mc;
+    bench::banner("Table 5: execution restriction checker", "Table 5");
+
+    std::vector<std::vector<std::string>> rows;
+    int violations = 0;
+    for (const auto& cp : bench::allCheckedProtocols()) {
+        auto rec = cp->reconcile("exec_restrict");
+        int v = rec.foundWithClass(corpus::SeedClass::Violation);
+        violations += v;
+        auto* checker = dynamic_cast<checkers::ExecRestrictChecker*>(
+            cp->set.byName("exec_restrict"));
+        int handlers = checker ? checker->handlersChecked() : 0;
+        int vars = checker ? checker->varsChecked() : 0;
+        const PaperRow* paper = paperRow(cp->name());
+        rows.push_back({cp->name(), std::to_string(v),
+                        paper ? std::to_string(paper->violations) : "-",
+                        std::to_string(handlers),
+                        paper ? std::to_string(paper->handlers) : "-",
+                        std::to_string(vars),
+                        paper ? std::to_string(paper->vars) : "-"});
+    }
+    rows.push_back({"total", std::to_string(violations), "11", "", "1064",
+                    "", "3765"});
+    bench::printTable({"Protocol", "Violations", "(paper)", "Handlers",
+                       "(paper)", "Vars", "(paper)"},
+                      rows);
+    std::cout << "as in the paper, every counted violation is an omitted "
+                 "simulator hook; sci's three extra omissions sit in "
+                 "unimplemented fatal-error stubs and are not counted.\n";
+    return 0;
+}

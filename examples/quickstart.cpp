@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Quickstart: parse a FLASH-style handler, write a metal checker in ten
+ * lines, and run it down every path.
+ *
+ * Build & run:
+ *     cmake -B build -G Ninja && cmake --build build
+ *     ./build/examples/quickstart
+ */
+#include "cfg/cfg.h"
+#include "lang/program.h"
+#include "metal/engine.h"
+#include "metal/metal_parser.h"
+
+#include <iostream>
+
+int
+main()
+{
+    using namespace mc;
+
+    // 1. A protocol handler with a buffer race on one path: the
+    //    `cached` branch reads the data buffer without waiting for the
+    //    hardware to finish filling it.
+    lang::Program program;
+    program.addSource("handler.c", R"(
+void NILocalGet(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int addr = MSG_WORD0();
+    int word0 = 0;
+    if (cached) {
+        WAIT_FOR_DB_FULL(addr);
+    }
+    word0 = MISCBUS_READ_DB(addr, word0);
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_PUT, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    FREE_DB();
+}
+)");
+
+    // 2. The paper's Figure 2 checker, verbatim metal.
+    metal::MetalProgram checker = metal::parseMetal(R"(
+sm wait_for_db {
+    decl { scalar } addr, buf;
+    start:
+        { WAIT_FOR_DB_FULL(addr); } ==> stop
+      | { MISCBUS_READ_DB(addr, buf); } ==>
+            { err("Buffer not synchronized"); }
+      ;
+}
+)");
+
+    // 3. Apply it down every path of every function.
+    support::DiagnosticSink sink;
+    for (const lang::FunctionDecl* fn : program.functions()) {
+        cfg::Cfg cfg = cfg::CfgBuilder::build(*fn);
+        metal::runStateMachine(*checker.sm, cfg, sink);
+    }
+
+    // 4. Report. The race is found even though one path synchronizes
+    //    correctly — the error is reachable via the other.
+    sink.print(std::cout, &program.sourceManager());
+    std::cout << "\n" << sink.count(support::Severity::Error)
+              << " error(s) found by a "
+              << metal::metalSourceLines(
+                     "sm wait_for_db {\n  decl { scalar } addr, buf;\n"
+                     "  start:\n    { WAIT_FOR_DB_FULL(addr); } ==> stop\n"
+                     "  | { MISCBUS_READ_DB(addr, buf); } ==>\n"
+                     "      { err(\"Buffer not synchronized\"); }\n  ;\n}")
+              << "-line checker.\n";
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Why static checking: the same buggy handler under the FlashLite-style
+ * simulator and under the metal checkers.
+ *
+ * The handler leaks its data buffer on one rare path. The simulator
+ * needs thousands of messages before the node deadlocks — and then all
+ * you know is "the machine hung". The checker names the line
+ * immediately.
+ */
+#include "checkers/registry.h"
+#include "sim/workload.h"
+
+#include <chrono>
+#include <iostream>
+
+int
+main()
+{
+    using namespace mc;
+
+    lang::Program program;
+    flash::ProtocolSpec spec;
+    flash::HandlerSpec hs;
+    hs.name = "NIRemoteReplace";
+    hs.kind = flash::HandlerKind::Hardware;
+    spec.addHandler(hs);
+    program.addSource("NIRemoteReplace.c", R"(
+void NIRemoteReplace(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    DIR_LOAD();
+    if (DIR_READ(state) == DIRTY) {
+        DIR_WRITE(state, CLEAN);
+        DIR_WRITEBACK();
+    }
+    if ((t0 & 15) != 7) {
+        HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;
+        NI_SEND(MSG_ACK, F_NODATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+        FREE_DB();
+        return;
+    }
+    /* rare replacement-race path: forgets to free the buffer */
+    HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;
+    NI_SEND(MSG_NAK, F_NODATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+}
+)");
+    spec.setLane("MSG_ACK", 2);
+    spec.setLane("MSG_NAK", 2);
+
+    // --- static: the buffer management checker -------------------------
+    auto set = checkers::makeAllCheckers();
+    support::DiagnosticSink sink;
+    auto t0 = std::chrono::steady_clock::now();
+    checkers::runCheckers(program, spec, set.pointers(), sink);
+    auto t1 = std::chrono::steady_clock::now();
+    std::cout << "--- static checking ("
+              << std::chrono::duration<double, std::milli>(t1 - t0).count()
+              << " ms) ---\n";
+    sink.print(std::cout, &program.sourceManager());
+
+    // --- dynamic: simulate until the machine dies -----------------------
+    std::cout << "\n--- simulation ---\n";
+    sim::WorkloadDriver driver(program, spec);
+    auto t2 = std::chrono::steady_clock::now();
+    sim::WorkloadResult result = driver.run(1u << 20);
+    auto t3 = std::chrono::steady_clock::now();
+    std::cout << "handled " << result.messages_handled << " messages in "
+              << std::chrono::duration<double, std::milli>(t3 - t2).count()
+              << " ms; "
+              << (result.deadlocked
+                      ? "then the node DEADLOCKED (buffer pool empty)."
+                      : "no failure observed.")
+              << '\n';
+    std::cout << "leaked buffers by handler (what an implementor would "
+                 "have to reconstruct by hand):\n";
+    for (const auto& [handler, leaks] : result.leaks_by_handler)
+        std::cout << "  " << handler << ": " << leaks << '\n';
+
+    std::cout << "\nthe checker pinpointed the leaking path at its source "
+                 "line before the protocol ever ran; the simulator "
+                 "reported a hung machine after "
+              << result.messages_handled << " messages.\n";
+    return 0;
+}

@@ -1,0 +1,92 @@
+#ifndef MCHECK_CFG_CFG_H
+#define MCHECK_CFG_CFG_H
+
+#include "lang/ast.h"
+
+#include <string>
+#include <vector>
+
+namespace mc::cfg {
+
+/**
+ * A basic block: a straight-line run of statements with branching only at
+ * the end.
+ *
+ * `stmts` holds the simple statements executed in order (expression
+ * statements, declarations, returns, case markers...). If the block ends
+ * in a conditional branch, `branch_cond` is the controlling expression and
+ * the first successor is the true edge, the second the false edge. Switch
+ * heads have one successor per case (plus default/join last).
+ */
+struct BasicBlock
+{
+    int id = -1;
+    std::vector<const lang::Stmt*> stmts;
+    const lang::Expr* branch_cond = nullptr;
+    std::vector<int> succs;
+    std::vector<int> preds;
+
+    bool isBranch() const { return branch_cond != nullptr; }
+};
+
+/**
+ * Control-flow graph of one function.
+ *
+ * There is exactly one entry block and one synthetic exit block; every
+ * return statement's block has an edge to the exit block. Blocks are
+ * indexed densely by id.
+ */
+class Cfg
+{
+  public:
+    const lang::FunctionDecl* function = nullptr;
+
+    int entryId() const { return entry_; }
+    int exitId() const { return exit_; }
+
+    int blockCount() const { return static_cast<int>(blocks_.size()); }
+
+    const BasicBlock& block(int id) const
+    {
+        return blocks_[static_cast<std::size_t>(id)];
+    }
+
+    const std::vector<BasicBlock>& blocks() const { return blocks_; }
+
+    /**
+     * Edges (from, to) that close a cycle in a depth-first traversal from
+     * the entry block. Computed lazily and cached.
+     */
+    const std::vector<std::pair<int, int>>& backEdges() const;
+
+    /** Render as text for tests: one line per block with successors. */
+    std::string dump() const;
+
+  private:
+    friend class CfgBuilder;
+    friend class BuilderImpl;
+
+    int entry_ = 0;
+    int exit_ = 0;
+    std::vector<BasicBlock> blocks_;
+    mutable bool back_edges_computed_ = false;
+    mutable std::vector<std::pair<int, int>> back_edges_;
+};
+
+/**
+ * Builds a Cfg from a function definition.
+ *
+ * Supports the full dialect statement set. `goto` targets may appear
+ * before or after the jump. Case/Default markers split blocks inside the
+ * lexically-immediate compound body of a switch.
+ */
+class CfgBuilder
+{
+  public:
+    /** Build the CFG for `fn` (which must be a definition). */
+    static Cfg build(const lang::FunctionDecl& fn);
+};
+
+} // namespace mc::cfg
+
+#endif // MCHECK_CFG_CFG_H

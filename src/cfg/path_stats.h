@@ -1,0 +1,65 @@
+#ifndef MCHECK_CFG_PATH_STATS_H
+#define MCHECK_CFG_PATH_STATS_H
+
+#include "cfg/cfg.h"
+#include "support/source_manager.h"
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace mc::cfg {
+
+/**
+ * Path statistics for one function, in the units of the paper's Table 1:
+ * the number of unique exit paths from the beginning of the function to
+ * all returns, and path lengths measured as lines of code.
+ */
+struct PathStats
+{
+    /** Unique entry-to-exit paths (back edges excluded, like the paper's
+     *  acyclic path counts; saturates at kMaxPaths). */
+    std::uint64_t path_count = 0;
+    /** Average path length in source lines. */
+    double avg_length_lines = 0.0;
+    /** Longest path length in source lines. */
+    std::uint64_t max_length_lines = 0;
+
+    static constexpr std::uint64_t kMaxPaths = 1ull << 62;
+};
+
+/**
+ * Compute PathStats with dynamic programming over the acyclic condensation
+ * (back edges removed), so exponential path counts never require
+ * exponential time. Block length is the number of distinct source lines
+ * its statements span.
+ */
+PathStats computePathStats(const Cfg& cfg);
+
+/** Aggregate of per-function stats for a whole protocol (Table 1 row). */
+struct ProtocolPathStats
+{
+    std::uint64_t total_paths = 0;
+    double avg_length_lines = 0.0;
+    std::uint64_t max_length_lines = 0;
+
+    /** Fold one function's stats into the aggregate. */
+    void add(const PathStats& fn_stats);
+
+  private:
+    double weighted_length_sum_ = 0.0;
+};
+
+/**
+ * Enumerate acyclic entry-to-exit paths by DFS, invoking `fn` with the
+ * block-id sequence of each. Stops after `limit` paths (returns false if
+ * truncated). Intended for tests and small functions; the checking engine
+ * itself uses (block, state) caching instead of explicit enumeration.
+ */
+bool enumeratePaths(const Cfg& cfg,
+                    const std::function<void(const std::vector<int>&)>& fn,
+                    std::uint64_t limit = 1ull << 20);
+
+} // namespace mc::cfg
+
+#endif // MCHECK_CFG_PATH_STATS_H

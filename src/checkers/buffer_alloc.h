@@ -1,0 +1,31 @@
+#ifndef MCHECK_CHECKERS_BUFFER_ALLOC_H
+#define MCHECK_CHECKERS_BUFFER_ALLOC_H
+
+#include "checkers/checker.h"
+
+namespace mc::checkers {
+
+/**
+ * Allocation-failure checker (paper Section 9, "Data buffer allocation").
+ *
+ * ALLOCATE_DB() yields 0 when no buffer is available, so every allocation
+ * must be checked before the buffer is used: `buf = ALLOCATE_DB();` must
+ * be followed on every path by a branch on `buf` before any use of `buf`,
+ * any write into the buffer, or any send.
+ *
+ * The paper reports 2 false positives from debugging code that printed
+ * the buffer value before checking it — passing the unchecked variable to
+ * any routine counts as a use here too, reproducing that behavior.
+ */
+class BufferAllocChecker : public Checker
+{
+  public:
+    std::string name() const override { return "alloc_check"; }
+
+    void checkFunction(const lang::FunctionDecl& fn, const cfg::Cfg& cfg,
+                       CheckContext& ctx) override;
+};
+
+} // namespace mc::checkers
+
+#endif // MCHECK_CHECKERS_BUFFER_ALLOC_H

@@ -1,0 +1,41 @@
+#include "checkers/buffer_race.h"
+
+#include "checkers/metal_sources.h"
+#include "flash/macros.h"
+#include "metal/engine.h"
+
+namespace mc::checkers {
+
+BufferRaceChecker::BufferRaceChecker()
+    : program_(mc::metal::parseMetal(kWaitForDbMetal, "wait_for_db.metal"))
+{}
+
+const char*
+BufferRaceChecker::metalSource()
+{
+    return kWaitForDbMetal;
+}
+
+void
+BufferRaceChecker::checkFunction(const lang::FunctionDecl& fn,
+                                 const cfg::Cfg& cfg, CheckContext& ctx)
+{
+    (void)fn;
+    mc::metal::runStateMachine(*program_.sm, cfg, ctx.sink);
+
+    // "Applied" = data-buffer reads encountered (Table 2).
+    for (const cfg::BasicBlock& bb : cfg.blocks()) {
+        for (const lang::Stmt* stmt : bb.stmts) {
+            lang::forEachTopLevelExpr(*stmt, [&](const lang::Expr& top) {
+                lang::forEachSubExpr(top, [&](const lang::Expr& e) {
+                    flash::MacroKind kind = flash::classifyCall(e);
+                    if (kind == flash::MacroKind::ReadDb ||
+                        kind == flash::MacroKind::ReadDbDeprecated)
+                        ++applied_;
+                });
+            });
+        }
+    }
+}
+
+} // namespace mc::checkers

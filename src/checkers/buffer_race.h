@@ -1,0 +1,38 @@
+#ifndef MCHECK_CHECKERS_BUFFER_RACE_H
+#define MCHECK_CHECKERS_BUFFER_RACE_H
+
+#include "checkers/checker.h"
+#include "metal/metal_parser.h"
+
+namespace mc::checkers {
+
+/**
+ * Buffer fill race-condition checker (paper Section 4, Figure 2).
+ *
+ * Runs the shipped `wait_for_db` metal state machine down every path of
+ * every function: a MISCBUS_READ_DB (or the deprecated old-style read)
+ * that is not preceded by WAIT_FOR_DB_FULL on some path is an error.
+ *
+ * `applied()` counts data-buffer read sites, matching Table 2's "Applied"
+ * column ("the number of reads performed").
+ */
+class BufferRaceChecker : public Checker
+{
+  public:
+    BufferRaceChecker();
+
+    std::string name() const override { return "wait_for_db"; }
+
+    void checkFunction(const lang::FunctionDecl& fn, const cfg::Cfg& cfg,
+                       CheckContext& ctx) override;
+
+    /** The metal source this checker executes. */
+    static const char* metalSource();
+
+  private:
+    mc::metal::MetalProgram program_;
+};
+
+} // namespace mc::checkers
+
+#endif // MCHECK_CHECKERS_BUFFER_RACE_H

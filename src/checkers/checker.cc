@@ -1,0 +1,48 @@
+#include "checkers/checker.h"
+
+namespace mc::checkers {
+
+std::vector<CheckerRunStats>
+runCheckers(const lang::Program& program, const flash::ProtocolSpec& spec,
+            const std::vector<Checker*>& checkers,
+            support::DiagnosticSink& sink)
+{
+    CheckContext ctx{program, spec, sink};
+
+    // Baseline per-checker counts, so stats reflect only this run even if
+    // the sink already held diagnostics.
+    std::vector<int> base_errors;
+    std::vector<int> base_warnings;
+    for (Checker* checker : checkers) {
+        checker->reset();
+        base_errors.push_back(sink.countForChecker(
+            checker->name(), support::Severity::Error));
+        base_warnings.push_back(sink.countForChecker(
+            checker->name(), support::Severity::Warning));
+    }
+
+    for (const lang::FunctionDecl* fn : program.functions()) {
+        cfg::Cfg cfg = cfg::CfgBuilder::build(*fn);
+        for (Checker* checker : checkers)
+            checker->checkFunction(*fn, cfg, ctx);
+    }
+    for (Checker* checker : checkers)
+        checker->checkProgram(ctx);
+
+    std::vector<CheckerRunStats> stats;
+    for (std::size_t i = 0; i < checkers.size(); ++i) {
+        CheckerRunStats s;
+        s.checker = checkers[i]->name();
+        s.errors = sink.countForChecker(s.checker,
+                                        support::Severity::Error) -
+                   base_errors[i];
+        s.warnings = sink.countForChecker(s.checker,
+                                          support::Severity::Warning) -
+                     base_warnings[i];
+        s.applied = checkers[i]->applied();
+        stats.push_back(std::move(s));
+    }
+    return stats;
+}
+
+} // namespace mc::checkers

@@ -1,0 +1,87 @@
+#ifndef MCHECK_CHECKERS_CHECKER_H
+#define MCHECK_CHECKERS_CHECKER_H
+
+#include "cfg/cfg.h"
+#include "flash/protocol_spec.h"
+#include "lang/program.h"
+#include "support/diagnostics.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mc::checkers {
+
+/** Everything a checker may consult during a run. */
+struct CheckContext
+{
+    const lang::Program& program;
+    const flash::ProtocolSpec& spec;
+    support::DiagnosticSink& sink;
+};
+
+/**
+ * Base class for the paper's checkers.
+ *
+ * The runner calls checkFunction once per function definition (with the
+ * CFG prebuilt and shared between checkers) and checkProgram once at the
+ * end — the inter-procedural checkers do their global pass there.
+ *
+ * `applied()` is the checker's own count of how many times its core check
+ * fired (the "Applied" columns of Tables 2, 3, and 6).
+ */
+class Checker
+{
+  public:
+    virtual ~Checker() = default;
+
+    /** Stable name; matches the Table 7 row. */
+    virtual std::string name() const = 0;
+
+    virtual void
+    checkFunction(const lang::FunctionDecl& fn, const cfg::Cfg& cfg,
+                  CheckContext& ctx)
+    {
+        (void)fn;
+        (void)cfg;
+        (void)ctx;
+    }
+
+    virtual void
+    checkProgram(CheckContext& ctx)
+    {
+        (void)ctx;
+    }
+
+    /** Times the core check was applied (site count, not per path). */
+    int applied() const { return applied_; }
+
+    /** Reset per-run statistics (the runner calls this before a run). */
+    virtual void reset() { applied_ = 0; }
+
+  protected:
+    int applied_ = 0;
+};
+
+/** Per-checker summary of one run. */
+struct CheckerRunStats
+{
+    std::string checker;
+    int errors = 0;
+    int warnings = 0;
+    int applied = 0;
+};
+
+/**
+ * Run `checkers` over every function of `program`: build each function's
+ * CFG once, invoke every checker on it, then run the program-level passes.
+ * Returns per-checker statistics; diagnostics accumulate in `sink`.
+ */
+std::vector<CheckerRunStats>
+runCheckers(const lang::Program& program, const flash::ProtocolSpec& spec,
+            const std::vector<Checker*>& checkers,
+            support::DiagnosticSink& sink);
+
+} // namespace mc::checkers
+
+#endif // MCHECK_CHECKERS_CHECKER_H

@@ -1,0 +1,134 @@
+#include "checkers/directory.h"
+
+#include "flash/macros.h"
+#include "metal/path_walker.h"
+#include "support/text.h"
+
+namespace mc::checkers {
+
+using namespace mc::lang;
+using flash::MacroKind;
+
+namespace {
+
+enum class DirState : std::uint8_t { NotLoaded, Loaded, Modified };
+
+struct DirWalkState
+{
+    DirState dir = DirState::NotLoaded;
+    bool nak_sent = false;
+    support::SourceLoc last_modify;
+
+    std::string
+    key() const
+    {
+        char buf[3] = {static_cast<char>('0' + static_cast<int>(dir)),
+                       nak_sent ? '1' : '0', 0};
+        return buf;
+    }
+
+    bool dead() const { return false; }
+};
+
+} // namespace
+
+void
+DirectoryChecker::checkFunction(const FunctionDecl& fn, const cfg::Cfg& cfg,
+                                CheckContext& ctx)
+{
+    // A function containing the expects_dir_writeback() annotation
+    // intentionally leaves the modified entry to its caller.
+    bool exempt = false;
+    forEachStmt(*fn.body, [&](const Stmt& stmt) {
+        forEachTopLevelExpr(stmt, [&](const Expr& top) {
+            forEachSubExpr(top, [&](const Expr& e) {
+                if (flash::classifyCall(e) ==
+                    MacroKind::AnnotExpectsDirWriteback)
+                    exempt = true;
+            });
+        });
+    });
+
+    mc::metal::PathWalker<DirWalkState>::Hooks hooks;
+    hooks.on_stmt = [&](DirWalkState& st, const Stmt& stmt) {
+        forEachTopLevelExpr(stmt, [&](const Expr& top) {
+            forEachSubExpr(top, [&](const Expr& e) {
+                const CallExpr* call = asCall(e);
+                if (!call)
+                    return;
+                std::string callee(call->calleeName());
+                MacroKind kind = flash::classifyMacro(callee);
+                switch (kind) {
+                  case MacroKind::DirLoad:
+                    ++applied_;
+                    st.dir = DirState::Loaded;
+                    return;
+                  case MacroKind::DirRead:
+                    ++applied_;
+                    if (st.dir == DirState::NotLoaded)
+                        ctx.sink.error(e.loc, name(), "use-before-load",
+                                       "directory entry read before "
+                                       "DIR_LOAD()");
+                    return;
+                  case MacroKind::DirWrite:
+                    ++applied_;
+                    if (st.dir == DirState::NotLoaded) {
+                        ctx.sink.error(e.loc, name(), "use-before-load",
+                                       "directory entry modified before "
+                                       "DIR_LOAD()");
+                        return;
+                    }
+                    st.dir = DirState::Modified;
+                    st.last_modify = e.loc;
+                    return;
+                  case MacroKind::DirWriteback:
+                    ++applied_;
+                    if (st.dir == DirState::NotLoaded) {
+                        ctx.sink.warning(e.loc, name(),
+                                         "writeback-without-load",
+                                         "DIR_WRITEBACK() with no loaded "
+                                         "entry");
+                        return;
+                    }
+                    st.dir = DirState::Loaded;
+                    return;
+                  case MacroKind::SendNi: {
+                    auto opcode = flash::niSendOpcode(*call);
+                    if (opcode &&
+                        support::startsWith(*opcode, flash::kNakPrefix))
+                        st.nak_sent = true;
+                    return;
+                  }
+                  default:
+                    break;
+                }
+                // Calls into subroutines that modify the entry on the
+                // caller's behalf.
+                if (ctx.spec.dir_deferred_routines.count(callee)) {
+                    if (st.dir == DirState::NotLoaded) {
+                        ctx.sink.error(e.loc, name(), "use-before-load",
+                                       "subroutine modifies directory "
+                                       "entry before DIR_LOAD()");
+                        return;
+                    }
+                    st.dir = DirState::Modified;
+                    st.last_modify = e.loc;
+                }
+            });
+        });
+    };
+    hooks.on_exit = [&](DirWalkState& st) {
+        if (exempt)
+            return;
+        if (st.dir == DirState::Modified && !st.nak_sent) {
+            ctx.sink.error(st.last_modify, name(), "missing-writeback",
+                           "modified directory entry is not written back "
+                           "on some path");
+        }
+    };
+
+    mc::metal::PathWalker<DirWalkState> walker(std::move(hooks));
+    walker.walk(cfg, DirWalkState{});
+}
+
+} // namespace mc::checkers

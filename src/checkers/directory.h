@@ -1,0 +1,37 @@
+#ifndef MCHECK_CHECKERS_DIRECTORY_H
+#define MCHECK_CHECKERS_DIRECTORY_H
+
+#include "checkers/checker.h"
+
+namespace mc::checkers {
+
+/**
+ * Directory-entry management checker (paper Section 9, "Manual directory
+ * entry updates").
+ *
+ * Directory state must be explicitly loaded (DIR_LOAD), modified in
+ * memory (DIR_WRITE), and explicitly written back (DIR_WRITEBACK); the
+ * compiler does none of this transparently. The checker enforces:
+ *  (1) an entry is loaded before it is read or written;
+ *  (2) a modified entry is written back before the handler exits.
+ *
+ * Rule (2) is suppressed on paths that send a NAK reply (speculative
+ * handlers intentionally drop their modifications when they bail out,
+ * signalled by a MSG_NAK* send — the paper's main false-positive
+ * eliminator for this check). Subroutines listed in the protocol spec's
+ * dir_deferred_routines table mark the entry modified in their callers;
+ * a subroutine containing the expects_dir_writeback() annotation is
+ * itself exempt from rule (2).
+ */
+class DirectoryChecker : public Checker
+{
+  public:
+    std::string name() const override { return "dir_check"; }
+
+    void checkFunction(const lang::FunctionDecl& fn, const cfg::Cfg& cfg,
+                       CheckContext& ctx) override;
+};
+
+} // namespace mc::checkers
+
+#endif // MCHECK_CHECKERS_DIRECTORY_H

@@ -1,0 +1,70 @@
+#ifndef MCHECK_CHECKERS_LANES_H
+#define MCHECK_CHECKERS_LANES_H
+
+#include "checkers/checker.h"
+#include "global/flowgraph.h"
+
+namespace mc::checkers {
+
+/**
+ * Network-lane deadlock-avoidance checker (paper Section 7) — the
+ * inter-procedural one.
+ *
+ * FLASH only runs a handler when its statically-declared per-lane send
+ * allowance is available; sending beyond the allowance without an
+ * explicit WAIT_FOR_SPACE() can deadlock the machine.
+ *
+ * Two passes, exactly as in the paper: the local pass (checkFunction)
+ * walks each function and emits a flow-graph summary annotating every
+ * NI_SEND with its lane (from the protocol spec's opcode table) and every
+ * WAIT_FOR_SPACE with the lane it drains; the global pass (checkProgram)
+ * links the summaries into a call graph and, for every handler, computes
+ * the maximum sends per lane any inter-procedural path can perform,
+ * using the fixed-point rule for cycles. Sends exceeding the allowance
+ * are reported with a full inter-procedural back-trace.
+ */
+class LanesChecker : public Checker
+{
+  public:
+    struct Options
+    {
+        /**
+         * Serialize every local-pass summary to the textual flow-graph
+         * format and parse it back before the global pass — exactly the
+         * paper's emit-to-file / read-back pipeline. Off by default
+         * (results are identical; tests assert it).
+         */
+        bool roundtrip_through_text = false;
+    };
+
+    LanesChecker() = default;
+    explicit LanesChecker(Options options) : options_(options) {}
+
+    std::string name() const override { return "lanes"; }
+
+    void checkFunction(const lang::FunctionDecl& fn, const cfg::Cfg& cfg,
+                       CheckContext& ctx) override;
+
+    void checkProgram(CheckContext& ctx) override;
+
+    void
+    reset() override
+    {
+        Checker::reset();
+        summaries_.clear();
+    }
+
+    /** The local pass's emitted summaries (exposed for tests/benches). */
+    const std::vector<global::FunctionSummary>& summaries() const
+    {
+        return summaries_;
+    }
+
+  private:
+    Options options_;
+    std::vector<global::FunctionSummary> summaries_;
+};
+
+} // namespace mc::checkers
+
+#endif // MCHECK_CHECKERS_LANES_H

@@ -1,0 +1,34 @@
+/* Buffer fill race-condition checker (the paper's Figure 2).
+ *
+ * "WAIT_FOR_DB_FULL must come before MISCBUS_READ_DB": a handler that
+ * reads its data buffer without first synchronizing with the hardware
+ * races the interface that is still filling the buffer.
+ *
+ * As in the paper, the production version differs from the figure only
+ * in also recognizing the older-style read macro.
+ */
+{ #include "flash-includes.h" }
+sm wait_for_db {
+    /* Declare two variables 'addr' and 'buf' that can
+     * match any integer expression. */
+    decl { scalar } addr, buf;
+
+    /* Checker begins in the first state (here 'start'). */
+    start:
+        /* The handler is allowed to read the data buffer after calling
+         * 'WAIT_FOR_DB_FULL' --- once the pattern below matches, we
+         * transition to the 'stop' state, which stops checking on this
+         * path. */
+        { WAIT_FOR_DB_FULL(addr); } ==> stop
+
+        /* If we hit a read of the data buffer in this state, the handler
+         * did not do a WAIT_FOR_DB_FULL first, so emit an error and
+         * continue checking. */
+      | { MISCBUS_READ_DB(addr, buf); } ==>
+            { err("Buffer not synchronized"); }
+
+        /* Older-style read macro, same rule. */
+      | { MISCBUS_READ_DB_OLD(addr); } ==>
+            { err("Buffer not synchronized"); }
+      ;
+}

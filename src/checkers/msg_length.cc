@@ -1,0 +1,55 @@
+#include "checkers/msg_length.h"
+
+#include "checkers/metal_sources.h"
+#include "flash/macros.h"
+#include "metal/engine.h"
+
+namespace mc::checkers {
+
+MsgLengthChecker::MsgLengthChecker(bool prune_impossible_paths)
+    : program_(
+          mc::metal::parseMetal(kMsgLenCheckMetal, "msglen_check.metal")),
+      prune_impossible_paths_(prune_impossible_paths)
+{}
+
+const char*
+MsgLengthChecker::metalSource()
+{
+    return kMsgLenCheckMetal;
+}
+
+void
+MsgLengthChecker::checkFunction(const lang::FunctionDecl& fn,
+                                const cfg::Cfg& cfg, CheckContext& ctx)
+{
+    (void)fn;
+    mc::metal::SmRunOptions options;
+    options.prune_correlated_branches = prune_impossible_paths_;
+    mc::metal::runStateMachine(*program_.sm, cfg, ctx.sink, options);
+
+    // "Applied" = sends plus length assignments the checker examined.
+    for (const cfg::BasicBlock& bb : cfg.blocks()) {
+        for (const lang::Stmt* stmt : bb.stmts) {
+            lang::forEachTopLevelExpr(*stmt, [&](const lang::Expr& top) {
+                lang::forEachSubExpr(top, [&](const lang::Expr& e) {
+                    if (flash::isSend(flash::classifyCall(e))) {
+                        ++applied_;
+                        return;
+                    }
+                    // Length assignments: HANDLER_GLOBALS(...) = LEN_*.
+                    if (e.ekind != lang::ExprKind::Binary)
+                        return;
+                    const auto& bin =
+                        static_cast<const lang::BinaryExpr&>(e);
+                    if (bin.op != lang::BinaryOp::Assign)
+                        return;
+                    if (flash::classifyCall(*bin.lhs) ==
+                        flash::MacroKind::HandlerGlobals)
+                        ++applied_;
+                });
+            });
+        }
+    }
+}
+
+} // namespace mc::checkers

@@ -1,0 +1,30 @@
+#ifndef MCHECK_CHECKERS_NO_FLOAT_H
+#define MCHECK_CHECKERS_NO_FLOAT_H
+
+#include "checkers/checker.h"
+
+namespace mc::checkers {
+
+/**
+ * No-floating-point checker (paper Section 8).
+ *
+ * FLASH protocol code runs on MAGIC's embedded protocol processor, which
+ * has no floating point unit: the checker "registers a function invoked on
+ * every tree node and checks that no tree node has a floating point type".
+ * We flag floating literals, floating-typed declarations, and expressions
+ * Sema typed as floating.
+ *
+ * `applied()` counts expression nodes examined.
+ */
+class NoFloatChecker : public Checker
+{
+  public:
+    std::string name() const override { return "no_float"; }
+
+    void checkFunction(const lang::FunctionDecl& fn, const cfg::Cfg& cfg,
+                       CheckContext& ctx) override;
+};
+
+} // namespace mc::checkers
+
+#endif // MCHECK_CHECKERS_NO_FLOAT_H

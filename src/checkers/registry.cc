@@ -1,0 +1,60 @@
+#include "checkers/registry.h"
+
+#include "checkers/buffer_alloc.h"
+#include "checkers/buffer_mgmt.h"
+#include "checkers/buffer_race.h"
+#include "checkers/directory.h"
+#include "checkers/exec_restrict.h"
+#include "checkers/lanes.h"
+#include "checkers/msg_length.h"
+#include "checkers/no_float.h"
+#include "checkers/send_wait.h"
+
+namespace mc::checkers {
+
+Checker*
+CheckerSet::byName(const std::string& name) const
+{
+    for (const auto& c : owned)
+        if (c->name() == name)
+            return c.get();
+    return nullptr;
+}
+
+CheckerSet
+makeAllCheckers(const CheckerSetOptions& options)
+{
+    CheckerSet set;
+    BufferMgmtChecker::Options bm;
+    bm.value_sensitive_frees = options.value_sensitive_frees;
+    set.owned.push_back(std::make_unique<BufferMgmtChecker>(bm));
+    set.owned.push_back(
+        std::make_unique<MsgLengthChecker>(options.prune_impossible_paths));
+    set.owned.push_back(std::make_unique<LanesChecker>());
+    set.owned.push_back(std::make_unique<BufferRaceChecker>());
+    set.owned.push_back(std::make_unique<BufferAllocChecker>());
+    set.owned.push_back(std::make_unique<DirectoryChecker>());
+    set.owned.push_back(std::make_unique<SendWaitChecker>());
+    set.owned.push_back(std::make_unique<ExecRestrictChecker>());
+    set.owned.push_back(std::make_unique<NoFloatChecker>());
+    return set;
+}
+
+const std::vector<CheckerMeta>&
+table7Meta()
+{
+    static const std::vector<CheckerMeta> meta = {
+        {"buffer_mgmt", "Buffer management", 94, 9, 25},
+        {"msglen_check", "Message length", 29, 18, 2},
+        {"lanes", "Lanes", 220, 2, 0},
+        {"wait_for_db", "Buffer race", 12, 4, 1},
+        {"alloc_check", "Buffer allocation", 16, 0, 2},
+        {"dir_check", "Directory management", 51, 1, 31},
+        {"send_wait", "Send-wait", 40, 0, 8},
+        {"exec_restrict", "Execution-restriction", 84, 0, 0},
+        {"no_float", "No-float", 7, 0, 0},
+    };
+    return meta;
+}
+
+} // namespace mc::checkers

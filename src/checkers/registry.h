@@ -1,0 +1,70 @@
+#ifndef MCHECK_CHECKERS_REGISTRY_H
+#define MCHECK_CHECKERS_REGISTRY_H
+
+#include "checkers/checker.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mc::checkers {
+
+/** An owned set of checkers plus the raw-pointer view runCheckers takes. */
+struct CheckerSet
+{
+    std::vector<std::unique_ptr<Checker>> owned;
+
+    std::vector<Checker*>
+    pointers() const
+    {
+        std::vector<Checker*> out;
+        for (const auto& c : owned)
+            out.push_back(c.get());
+        return out;
+    }
+
+    Checker* byName(const std::string& name) const;
+};
+
+/** Options applied when building the full checker set. */
+struct CheckerSetOptions
+{
+    /** Section 6.1 value-sensitive frees refinement (ablation toggle). */
+    bool value_sensitive_frees = true;
+    /**
+     * Correlated-branch path pruning for the message-length checker —
+     * the extension the paper declined to build (ablation toggle; off
+     * matches the paper).
+     */
+    bool prune_impossible_paths = false;
+};
+
+/**
+ * Instantiate all nine checkers of the paper's Table 7:
+ * buffer_mgmt, msglen_check, lanes, wait_for_db, alloc_check,
+ * dir_check, send_wait, exec_restrict, no_float.
+ */
+CheckerSet makeAllCheckers(
+    const CheckerSetOptions& options = CheckerSetOptions());
+
+/** Static per-checker metadata for the Table 7 reproduction. */
+struct CheckerMeta
+{
+    /** Our checker name (Checker::name()). */
+    std::string name;
+    /** Row label used in the paper's Table 7. */
+    std::string paper_label;
+    /** Checker size reported in Table 7 (lines of metal). */
+    int paper_loc;
+    /** Errors reported in Table 7. */
+    int paper_errors;
+    /** False positives reported in Table 7. */
+    int paper_false_pos;
+};
+
+/** Table 7 rows, in the paper's order. */
+const std::vector<CheckerMeta>& table7Meta();
+
+} // namespace mc::checkers
+
+#endif // MCHECK_CHECKERS_REGISTRY_H

@@ -1,0 +1,112 @@
+#include "checkers/send_wait.h"
+
+#include "flash/macros.h"
+#include "metal/path_walker.h"
+
+namespace mc::checkers {
+
+using namespace mc::lang;
+using flash::Interface;
+using flash::MacroKind;
+
+namespace {
+
+struct WaitState
+{
+    Interface awaiting = Interface::None;
+    support::SourceLoc pending_send;
+
+    std::string
+    key() const
+    {
+        return std::string(1, static_cast<char>('0' +
+                                                static_cast<int>(awaiting)));
+    }
+
+    bool dead() const { return false; }
+};
+
+const char*
+interfaceName(Interface iface)
+{
+    switch (iface) {
+      case Interface::Pi: return "PI";
+      case Interface::Io: return "IO";
+      case Interface::Ni: return "NI";
+      default: return "?";
+    }
+}
+
+} // namespace
+
+void
+SendWaitChecker::checkFunction(const FunctionDecl& fn, const cfg::Cfg& cfg,
+                               CheckContext& ctx)
+{
+    (void)fn;
+
+    mc::metal::PathWalker<WaitState>::Hooks hooks;
+    hooks.on_stmt = [&](WaitState& st, const Stmt& stmt) {
+        forEachTopLevelExpr(stmt, [&](const Expr& top) {
+            forEachSubExpr(top, [&](const Expr& e) {
+                const CallExpr* call = asCall(e);
+                if (!call)
+                    return;
+                MacroKind kind =
+                    flash::classifyMacro(call->calleeName());
+
+                if (flash::isSend(kind)) {
+                    if (st.awaiting != Interface::None) {
+                        ctx.sink.error(
+                            e.loc, name(), "send-while-waiting",
+                            std::string("send issued while a wait on the ") +
+                                interfaceName(st.awaiting) +
+                                " interface is pending");
+                        st.awaiting = Interface::None; // stop the cascade
+                    }
+                    auto wait_flag = flash::sendWaitArg(*call);
+                    if (wait_flag && *wait_flag == flash::kFWait) {
+                        st.awaiting = flash::interfaceOf(kind);
+                        st.pending_send = e.loc;
+                        ++applied_;
+                    }
+                    return;
+                }
+
+                if (kind == MacroKind::WaitPiReply ||
+                    kind == MacroKind::WaitIoReply) {
+                    ++applied_;
+                    Interface wait_iface = flash::interfaceOf(kind);
+                    if (st.awaiting == Interface::None) {
+                        ctx.sink.warning(e.loc, name(), "wait-without-send",
+                                         "wait with no pending synchronous "
+                                         "send");
+                        return;
+                    }
+                    if (st.awaiting != wait_iface) {
+                        ctx.sink.error(
+                            e.loc, name(), "wait-wrong-interface",
+                            std::string("wait on the ") +
+                                interfaceName(wait_iface) +
+                                " interface but the pending send targeted " +
+                                interfaceName(st.awaiting));
+                    }
+                    st.awaiting = Interface::None;
+                }
+            });
+        });
+    };
+    hooks.on_exit = [&](WaitState& st) {
+        if (st.awaiting != Interface::None) {
+            ctx.sink.error(st.pending_send, name(), "missing-wait",
+                           std::string("send with F_WAIT on the ") +
+                               interfaceName(st.awaiting) +
+                               " interface is never waited for");
+        }
+    };
+
+    mc::metal::PathWalker<WaitState> walker(std::move(hooks));
+    walker.walk(cfg, WaitState{});
+}
+
+} // namespace mc::checkers

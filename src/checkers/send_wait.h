@@ -1,0 +1,32 @@
+#ifndef MCHECK_CHECKERS_SEND_WAIT_H
+#define MCHECK_CHECKERS_SEND_WAIT_H
+
+#include "checkers/checker.h"
+
+namespace mc::checkers {
+
+/**
+ * Send-wait pairing checker (paper Section 9, "Send-wait errors").
+ *
+ * A send issued with the F_WAIT flag announces that the handler will wait
+ * for the interface's reply. The checker enforces, on every path:
+ *  (1) the matching WAIT_FOR_{PI,IO}_REPLY() eventually executes;
+ *  (2) the wait targets the interface that was sent to;
+ *  (3) no other send is issued while a wait is pending.
+ *
+ * Violations deadlock the machine. The paper found 8 places where code
+ * broke the abstraction barrier and waited without the interface macros —
+ * those show up here as missing-wait reports (false positives).
+ */
+class SendWaitChecker : public Checker
+{
+  public:
+    std::string name() const override { return "send_wait"; }
+
+    void checkFunction(const lang::FunctionDecl& fn, const cfg::Cfg& cfg,
+                       CheckContext& ctx) override;
+};
+
+} // namespace mc::checkers
+
+#endif // MCHECK_CHECKERS_SEND_WAIT_H

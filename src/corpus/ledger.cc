@@ -1,0 +1,105 @@
+#include "corpus/ledger.h"
+
+#include <algorithm>
+
+namespace mc::corpus {
+
+const char*
+seedClassName(SeedClass cls)
+{
+    switch (cls) {
+      case SeedClass::Error: return "error";
+      case SeedClass::Violation: return "violation";
+      case SeedClass::FalsePositive: return "false-positive";
+      case SeedClass::Minor: return "minor";
+      case SeedClass::UsefulAnnotation: return "useful-annotation";
+      case SeedClass::UselessAnnotation: return "useless-annotation";
+    }
+    return "?";
+}
+
+int
+Ledger::count(const std::string& checker, SeedClass cls) const
+{
+    int n = 0;
+    for (const SeededItem& item : items_)
+        if (item.checker == checker && item.cls == cls)
+            ++n;
+    return n;
+}
+
+int
+Ledger::countReports(const std::string& checker) const
+{
+    int n = 0;
+    for (const SeededItem& item : items_) {
+        if (item.checker != checker)
+            continue;
+        if (item.cls == SeedClass::Error ||
+            item.cls == SeedClass::Violation ||
+            item.cls == SeedClass::FalsePositive ||
+            item.cls == SeedClass::Minor)
+            ++n;
+    }
+    return n;
+}
+
+void
+Ledger::merge(const Ledger& other)
+{
+    items_.insert(items_.end(), other.items_.begin(), other.items_.end());
+}
+
+int
+Reconciliation::foundWithClass(SeedClass cls) const
+{
+    int n = 0;
+    for (const SeededItem* item : found)
+        if (item->cls == cls)
+            ++n;
+    return n;
+}
+
+Reconciliation
+reconcile(const Ledger& ledger,
+          const std::vector<support::Diagnostic>& diags,
+          const std::map<std::int32_t, std::string>& file_handler,
+          const std::string& checker)
+{
+    Reconciliation rec;
+
+    // Expected diagnostics per (handler, rule) key.
+    std::map<std::pair<std::string, std::string>,
+             std::vector<const SeededItem*>>
+        expected;
+    for (const SeededItem& item : ledger.items()) {
+        if (item.checker != checker)
+            continue;
+        if (item.cls == SeedClass::UsefulAnnotation ||
+            item.cls == SeedClass::UselessAnnotation)
+            continue; // annotations are silent by design
+        expected[{item.handler, item.rule}].push_back(&item);
+    }
+
+    for (const support::Diagnostic& d : diags) {
+        if (d.checker != checker)
+            continue;
+        std::string handler;
+        auto hit = file_handler.find(d.loc.file_id);
+        if (hit != file_handler.end())
+            handler = hit->second;
+        auto it = expected.find({handler, d.rule});
+        if (it != expected.end() && !it->second.empty()) {
+            rec.found.push_back(it->second.back());
+            it->second.pop_back();
+        } else {
+            rec.unexpected.push_back(&d);
+        }
+    }
+    for (auto& [key, remaining] : expected)
+        for (const SeededItem* item : remaining)
+            rec.missed.push_back(item);
+    return rec;
+}
+
+} // namespace mc::corpus

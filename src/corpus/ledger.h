@@ -1,0 +1,101 @@
+#ifndef MCHECK_CORPUS_LEDGER_H
+#define MCHECK_CORPUS_LEDGER_H
+
+#include "support/diagnostics.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mc::corpus {
+
+/** Triage classification of a seeded checker-visible site. */
+enum class SeedClass : std::uint8_t
+{
+    /** A real bug the checker should report (counted in Table 7's 34). */
+    Error,
+    /**
+     * A reported restriction violation that is not counted as a bug —
+     * Table 5's hook omissions appear here (Table 7 lists the
+     * execution-restriction checker with zero errors).
+     */
+    Violation,
+    /** A report triage would dismiss (the paper's "false positives"). */
+    FalsePositive,
+    /** Technically a violation, but minor / unreachable (Table 4/5). */
+    Minor,
+    /** A suppressing annotation that documents a real invariant. */
+    UsefulAnnotation,
+    /** An annotation needed only because the analysis is imprecise. */
+    UselessAnnotation,
+};
+
+const char* seedClassName(SeedClass cls);
+
+/** One seeded site the corpus generator planted. */
+struct SeededItem
+{
+    std::string protocol;
+    /** Handler (= file basename) the site lives in. */
+    std::string handler;
+    /** Checker expected to see it (Checker::name()). */
+    std::string checker;
+    /** Diagnostic rule id expected (empty for annotations). */
+    std::string rule;
+    SeedClass cls = SeedClass::Error;
+    std::string description;
+};
+
+/** All sites seeded into one generated protocol. */
+class Ledger
+{
+  public:
+    void add(SeededItem item) { items_.push_back(std::move(item)); }
+
+    const std::vector<SeededItem>& items() const { return items_; }
+
+    /** Items for `checker` with class `cls`. */
+    int count(const std::string& checker, SeedClass cls) const;
+
+    /** All diagnostic-producing items for `checker` (Error+FP+Minor). */
+    int countReports(const std::string& checker) const;
+
+    /** Append another ledger's items (used when linking common code). */
+    void merge(const Ledger& other);
+
+  private:
+    std::vector<SeededItem> items_;
+};
+
+/**
+ * Outcome of reconciling a checker run against the ledger: which seeded
+ * sites were found, which were missed, and which diagnostics were
+ * unexpected (not traceable to any seeded site).
+ */
+struct Reconciliation
+{
+    std::vector<const SeededItem*> found;
+    std::vector<const SeededItem*> missed;
+    std::vector<const support::Diagnostic*> unexpected;
+
+    int foundWithClass(SeedClass cls) const;
+};
+
+/**
+ * Match diagnostics against the ledger.
+ *
+ * A diagnostic matches a seeded item when checker, rule, and handler
+ * agree; the handler of a diagnostic is derived from its file name via
+ * `file_handler` (the generator emits one file per handler). Matching is
+ * multiset-aware: two seeded double frees in one handler need two
+ * diagnostics.
+ */
+Reconciliation
+reconcile(const Ledger& ledger,
+          const std::vector<support::Diagnostic>& diags,
+          const std::map<std::int32_t, std::string>& file_handler,
+          const std::string& checker);
+
+} // namespace mc::corpus
+
+#endif // MCHECK_CORPUS_LEDGER_H

@@ -1,0 +1,212 @@
+#include "corpus/profile.h"
+
+#include <stdexcept>
+
+namespace mc::corpus {
+
+namespace {
+
+std::vector<ProtocolProfile>
+buildProfiles()
+{
+    std::vector<ProtocolProfile> out;
+
+    {
+        // Table 1 row: 10386 LOC, 486 paths, 87/563 path length.
+        ProtocolProfile p;
+        p.name = "bitvector";
+        p.seed = 0xb17b17ull << 16 | 0x0001;
+        p.target_loc = 10386;
+        p.hw_handlers = 100;
+        p.sw_handlers = 8;
+        p.normal_routines = 60;
+        p.giant_handlers = 2;
+        p.giant_loc = 550;
+        p.passthru_percent = 30;
+        p.branches_per_handler = 1;
+        p.vars_per_function = 3;
+        p.db_reads = 14;
+        p.send_segments = 86;
+        p.alloc_sites = 17;
+        p.dir_segments = 53;
+        p.sendwait_pairs = 16;
+        p.race_errors = 4;
+        p.msglen_errors = 3;
+        p.bm_double_free = 2;
+        p.bm_minor = 1;
+        p.bm_useless_annotations = 1;
+        p.lanes_errors = 1;
+        p.hooks_missing = 2;
+        p.dir_errors = 1;
+        p.dir_fp_subroutine = 1;
+        p.dir_fp_abstraction = 2;
+        p.sendwait_fps = 2;
+        out.push_back(p);
+    }
+    {
+        // 18438 LOC, 2322 paths, 135/399.
+        ProtocolProfile p;
+        p.name = "dyn_ptr";
+        p.seed = 0xd12ull << 16 | 0x0002;
+        p.target_loc = 18438;
+        p.hw_handlers = 140;
+        p.sw_handlers = 12;
+        p.normal_routines = 75;
+        p.giant_handlers = 2;
+        p.giant_loc = 390;
+        p.passthru_percent = 25;
+        p.branches_per_handler = 3;
+        p.vars_per_function = 3;
+        p.db_reads = 16;
+        p.send_segments = 139;
+        p.alloc_sites = 19;
+        p.dir_segments = 95;
+        p.sendwait_pairs = 19;
+        p.msglen_errors = 7;
+        p.bm_double_free = 2;
+        p.bm_minor = 2;
+        p.bm_useful_annotations = 3;
+        p.bm_useless_annotations = 3;
+        p.maybe_free_sites = 4;
+        p.lanes_errors = 1;
+        p.hooks_missing = 4;
+        p.alloc_fps = 2;
+        p.dir_fp_subroutine = 4;
+        p.dir_fp_speculative = 1;
+        p.dir_fp_abstraction = 8;
+        p.sendwait_fps = 2;
+        out.push_back(p);
+    }
+    {
+        // 11473 LOC, 1051 paths, 73/330.
+        ProtocolProfile p;
+        p.name = "sci";
+        p.seed = 0x5c1ull << 20 | 0x0003;
+        p.target_loc = 11473;
+        p.hw_handlers = 130;
+        p.sw_handlers = 10;
+        p.normal_routines = 74;
+        p.giant_handlers = 2;
+        p.giant_loc = 320;
+        p.passthru_percent = 35;
+        p.branches_per_handler = 2;
+        p.vars_per_function = 4;
+        p.db_reads = 2;
+        p.send_segments = 148;
+        p.alloc_sites = 5;
+        p.dir_segments = 22;
+        p.sendwait_pairs = 5;
+        p.bm_double_free = 2;
+        p.bm_leak = 1;
+        p.bm_minor = 2;
+        p.bm_useful_annotations = 10;
+        p.bm_useless_annotations = 10;
+        p.maybe_free_sites = 3;
+        p.hooks_minor = 3;
+        p.dir_fp_abstraction = 1;
+        out.push_back(p);
+    }
+    {
+        // 17031 LOC, 1131 paths, 135/244.
+        ProtocolProfile p;
+        p.name = "coma";
+        p.seed = 0xc0aull << 24 | 0x0004;
+        p.target_loc = 17031;
+        p.hw_handlers = 115;
+        p.sw_handlers = 10;
+        p.normal_routines = 68;
+        p.giant_handlers = 2;
+        p.giant_loc = 240;
+        p.passthru_percent = 20;
+        p.branches_per_handler = 1;
+        p.vars_per_function = 3;
+        p.db_reads = 0;
+        p.send_segments = 147;
+        p.alloc_sites = 32;
+        p.dir_segments = 165;
+        p.sendwait_pairs = 3;
+        p.msglen_fp_pairs = 1;
+        p.hooks_missing = 3;
+        p.dir_fp_subroutine = 5;
+        out.push_back(p);
+    }
+    {
+        // 14396 LOC, 1364 paths, 133/516.
+        ProtocolProfile p;
+        p.name = "rac";
+        p.seed = 0x12acull << 20 | 0x0005;
+        p.target_loc = 14396;
+        p.hw_handlers = 125;
+        p.sw_handlers = 10;
+        p.normal_routines = 65;
+        p.giant_handlers = 2;
+        p.giant_loc = 500;
+        p.passthru_percent = 25;
+        p.branches_per_handler = 2;
+        p.vars_per_function = 3;
+        p.db_reads = 10;
+        p.send_segments = 155;
+        p.alloc_sites = 20;
+        p.dir_segments = 106;
+        p.sendwait_pairs = 17;
+        p.msglen_errors = 8;
+        p.bm_double_free = 2;
+        p.bm_useful_annotations = 2;
+        p.bm_useless_annotations = 4;
+        p.maybe_free_sites = 3;
+        p.hooks_missing = 2;
+        p.dir_fp_subroutine = 4;
+        p.dir_fp_speculative = 2;
+        p.dir_fp_abstraction = 3;
+        p.sendwait_fps = 2;
+        out.push_back(p);
+    }
+    {
+        // common code: 8783 LOC, 1165 paths, 183/461; 62 routines.
+        ProtocolProfile p;
+        p.name = "common";
+        p.seed = 0xc03ull << 28 | 0x0006;
+        p.target_loc = 8783;
+        p.hw_handlers = 0;
+        p.sw_handlers = 0;
+        p.normal_routines = 62;
+        p.giant_handlers = 2;
+        p.giant_loc = 450;
+        p.passthru_percent = 0;
+        p.branches_per_handler = 4;
+        p.vars_per_function = 6;
+        p.db_reads = 17;
+        p.send_segments = 35;
+        p.alloc_sites = 4;
+        p.dir_segments = 0;
+        p.sendwait_pairs = 1;
+        p.race_fps = 1;
+        p.bm_minor = 1;
+        p.bm_useful_annotations = 3;
+        p.bm_useless_annotations = 7;
+        p.maybe_free_sites = 1;
+        p.sendwait_fps = 2;
+        out.push_back(p);
+    }
+    return out;
+}
+
+} // namespace
+
+const std::vector<ProtocolProfile>&
+paperProfiles()
+{
+    static const std::vector<ProtocolProfile> profiles = buildProfiles();
+    return profiles;
+}
+
+const ProtocolProfile&
+profileByName(const std::string& name)
+{
+    for (const ProtocolProfile& p : paperProfiles())
+        if (p.name == name)
+            return p;
+    throw std::out_of_range("unknown protocol profile: " + name);
+}
+
+} // namespace mc::corpus

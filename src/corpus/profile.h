@@ -1,0 +1,83 @@
+#ifndef MCHECK_CORPUS_PROFILE_H
+#define MCHECK_CORPUS_PROFILE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mc::corpus {
+
+/**
+ * Generation profile for one protocol: the structural targets of Table 1
+ * plus the per-checker seeding plan of Tables 2-6.
+ *
+ * The FLASH protocol sources are proprietary; the corpus generator
+ * synthesizes protocols with the same structural statistics and exactly
+ * the bug/false-positive populations the paper reports, so the benches
+ * reproduce the tables mechanically while exercising the real checker
+ * code paths (see DESIGN.md, "Substrates").
+ */
+struct ProtocolProfile
+{
+    std::string name;
+    std::uint64_t seed = 1;
+
+    // ---- Table 1 structural targets -----------------------------------
+    int target_loc = 10000;
+    int hw_handlers = 80;
+    int sw_handlers = 10;
+    int normal_routines = 60;
+    /** Giant handlers sized near the protocol's max path length. */
+    int giant_handlers = 2;
+    int giant_loc = 400;
+    /** Fraction (percent) of hardware handlers that are tiny pass-thru. */
+    int passthru_percent = 30;
+    /** Average binary branches per regular handler (drives path counts). */
+    int branches_per_handler = 2;
+    /** Locals declared per function (drives Table 5's Vars column). */
+    int vars_per_function = 3;
+
+    // ---- "Applied" resource quotas ------------------------------------
+    int db_reads = 0;       // Table 2
+    int send_segments = 0;  // each = len assignment + send (Table 3)
+    int alloc_sites = 0;    // Table 6, buffer allocation
+    int dir_segments = 0;   // each = LOAD+READ+WRITE+WRITEBACK (Table 6)
+    int sendwait_pairs = 0; // each = F_WAIT send + matching wait (Table 6)
+
+    // ---- Seeded bug / FP plan -----------------------------------------
+    int race_errors = 0;
+    int race_fps = 0;
+    int msglen_errors = 0;
+    /** Each pair = the coma same-condition shape = 2 false positives. */
+    int msglen_fp_pairs = 0;
+    int bm_double_free = 0;
+    int bm_leak = 0;
+    int bm_minor = 0;
+    int bm_useful_annotations = 0;
+    int bm_useless_annotations = 0;
+    /** MAYBE_FREE sites for the Section 6.1 ablation (silent when the
+     *  value-sensitivity refinement is on). */
+    int maybe_free_sites = 0;
+    int lanes_errors = 0;
+    int hooks_missing = 0; // Table 5 violations
+    int hooks_minor = 0;   // sci's uncounted unimplemented routines
+    int alloc_fps = 0;
+    int dir_errors = 0;
+    int dir_fp_subroutine = 0;
+    int dir_fp_speculative = 0;
+    int dir_fp_abstraction = 0;
+    int sendwait_fps = 0;
+};
+
+/**
+ * The six profiles of the paper's evaluation: bitvector, dyn_ptr, sci,
+ * coma, rac, and the shared common code, with Tables 1-6 encoded.
+ */
+const std::vector<ProtocolProfile>& paperProfiles();
+
+/** Profile by name; throws std::out_of_range if unknown. */
+const ProtocolProfile& profileByName(const std::string& name);
+
+} // namespace mc::corpus
+
+#endif // MCHECK_CORPUS_PROFILE_H

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * mccheck — the command-line front end.
+ *
+ * Usage:
+ *     mccheck --protocol <name>          check a generated paper protocol
+ *     mccheck --emit-corpus <name> <dir> write its sources to disk
+ *     mccheck --list                     list known protocols
+ *     mccheck --metal <c.metal> <f.c>... run a user-written metal checker
+ *     mccheck <file.c>...                check FLASH-dialect sources
+ *
+ * When checking loose files, every CamelCase function is treated as a
+ * hardware handler unless its name starts with "Sw" (software handler);
+ * lowercase-named functions are plain routines — the FLASH naming
+ * conventions the corpus also uses.
+ */
+#include "cfg/cfg.h"
+#include "checkers/registry.h"
+#include "corpus/generator.h"
+#include "metal/engine.h"
+#include "metal/metal_parser.h"
+#include "support/text.h"
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+namespace {
+
+using namespace mc;
+
+int
+listProtocols()
+{
+    for (const corpus::ProtocolProfile& profile : corpus::paperProfiles())
+        std::cout << profile.name << '\n';
+    return 0;
+}
+
+int
+checkProtocol(const std::string& name)
+{
+    corpus::LoadedProtocol loaded =
+        corpus::loadProtocol(corpus::profileByName(name));
+    auto set = checkers::makeAllCheckers();
+    support::DiagnosticSink sink;
+    auto stats = checkers::runCheckers(*loaded.program, loaded.gen.spec,
+                                       set.pointers(), sink);
+    sink.print(std::cout, &loaded.program->sourceManager());
+    std::cout << '\n';
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& s : stats)
+        rows.push_back({s.checker, std::to_string(s.errors),
+                        std::to_string(s.warnings),
+                        std::to_string(s.applied)});
+    std::cout << support::formatTable(
+        {"checker", "errors", "warnings", "applied"}, rows);
+    return sink.count(support::Severity::Error) > 0 ? 2 : 0;
+}
+
+int
+emitCorpus(const std::string& name, const std::string& dir)
+{
+    corpus::GeneratedProtocol gen =
+        corpus::generateProtocol(corpus::profileByName(name));
+    for (const corpus::GeneratedFile& file : gen.files) {
+        std::filesystem::path path =
+            std::filesystem::path(dir) / file.name;
+        std::filesystem::create_directories(path.parent_path());
+        std::ofstream out(path);
+        out << file.source;
+    }
+    std::cout << "wrote " << gen.files.size() << " files ("
+              << gen.totalLoc() << " LOC) under " << dir << '\n';
+    return 0;
+}
+
+/** Load dialect sources into `program`; returns false on error. */
+bool
+loadSources(lang::Program& program, const std::vector<std::string>& paths)
+{
+    for (const std::string& path : paths) {
+        std::ifstream in(path);
+        if (!in) {
+            std::cerr << "mccheck: cannot open " << path << '\n';
+            return false;
+        }
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        try {
+            program.addSource(path, buffer.str());
+        } catch (const lang::ParseError& e) {
+            std::cerr << path << ':' << e.loc().line << ':'
+                      << e.loc().column << ": parse error: " << e.what()
+                      << '\n';
+            return false;
+        } catch (const lang::LexError& e) {
+            std::cerr << path << ':' << e.loc().line << ": lex error: "
+                      << e.what() << '\n';
+            return false;
+        }
+    }
+    return true;
+}
+
+/** Run one user-written metal checker over dialect sources. */
+int
+runMetalChecker(const std::string& metal_path,
+                const std::vector<std::string>& sources)
+{
+    metal::MetalProgram checker;
+    try {
+        checker = metal::loadMetalFile(metal_path);
+    } catch (const metal::MetalParseError& e) {
+        std::cerr << "mccheck: " << e.what() << '\n';
+        return 1;
+    }
+    lang::Program program;
+    if (!loadSources(program, sources))
+        return 1;
+
+    support::DiagnosticSink sink;
+    for (const lang::FunctionDecl* fn : program.functions()) {
+        cfg::Cfg cfg = cfg::CfgBuilder::build(*fn);
+        metal::runStateMachine(*checker.sm, cfg, sink);
+    }
+    sink.print(std::cout, &program.sourceManager());
+    std::cout << "sm '" << checker.name << "': "
+              << sink.count(support::Severity::Error) << " error(s), "
+              << sink.count(support::Severity::Warning)
+              << " warning(s)\n";
+    return sink.count(support::Severity::Error) > 0 ? 2 : 0;
+}
+
+int
+checkFiles(const std::vector<std::string>& paths)
+{
+    lang::Program program;
+    if (!loadSources(program, paths))
+        return 1;
+
+    flash::ProtocolSpec spec;
+    spec.name = "<cli>";
+    for (const lang::FunctionDecl* fn : program.functions()) {
+        flash::HandlerSpec hs;
+        hs.name = fn->name;
+        bool camel_case =
+            !fn->name.empty() &&
+            std::isupper(static_cast<unsigned char>(fn->name[0]));
+        if (!camel_case)
+            hs.kind = flash::HandlerKind::Normal;
+        else if (support::startsWith(fn->name, "Sw"))
+            hs.kind = flash::HandlerKind::Software;
+        else
+            hs.kind = flash::HandlerKind::Hardware;
+        spec.addHandler(hs);
+    }
+
+    auto set = checkers::makeAllCheckers();
+    support::DiagnosticSink sink;
+    checkers::runCheckers(program, spec, set.pointers(), sink);
+    sink.print(std::cout, &program.sourceManager());
+    std::cout << sink.count(support::Severity::Error) << " error(s), "
+              << sink.count(support::Severity::Warning)
+              << " warning(s)\n";
+    return sink.count(support::Severity::Error) > 0 ? 2 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    try {
+        if (args.empty() || args[0] == "--help") {
+            std::cout << "usage: mccheck --protocol <name> | --list |\n"
+                         "       mccheck --emit-corpus <name> <dir> |\n"
+                         "       mccheck --metal <c.metal> <file.c>... |\n"
+                         "       mccheck <file.c>...\n";
+            return args.empty() ? 1 : 0;
+        }
+        if (args[0] == "--list")
+            return listProtocols();
+        if (args[0] == "--protocol" && args.size() == 2)
+            return checkProtocol(args[1]);
+        if (args[0] == "--emit-corpus" && args.size() == 3)
+            return emitCorpus(args[1], args[2]);
+        if (args[0] == "--metal" && args.size() >= 3)
+            return runMetalChecker(
+                args[1],
+                std::vector<std::string>(args.begin() + 2, args.end()));
+        return checkFiles(args);
+    } catch (const std::exception& e) {
+        std::cerr << "mccheck: " << e.what() << '\n';
+        return 1;
+    }
+}

@@ -1,0 +1,42 @@
+#include "flash/protocol_spec.h"
+
+namespace mc::flash {
+
+const char*
+handlerKindName(HandlerKind kind)
+{
+    switch (kind) {
+      case HandlerKind::Hardware: return "hardware";
+      case HandlerKind::Software: return "software";
+      case HandlerKind::Normal: return "normal";
+    }
+    return "?";
+}
+
+void
+ProtocolSpec::addHandler(HandlerSpec spec)
+{
+    handlers_[spec.name] = std::move(spec);
+}
+
+const HandlerSpec*
+ProtocolSpec::handler(const std::string& fn_name) const
+{
+    auto it = handlers_.find(fn_name);
+    return it == handlers_.end() ? nullptr : &it->second;
+}
+
+int
+ProtocolSpec::laneOf(const std::string& opcode) const
+{
+    auto it = opcode_lanes_.find(opcode);
+    return it == opcode_lanes_.end() ? -1 : it->second;
+}
+
+void
+ProtocolSpec::setLane(const std::string& opcode, int lane)
+{
+    opcode_lanes_[opcode] = lane;
+}
+
+} // namespace mc::flash

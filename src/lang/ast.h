@@ -1,0 +1,485 @@
+#ifndef MCHECK_LANG_AST_H
+#define MCHECK_LANG_AST_H
+
+#include "lang/type.h"
+#include "support/source_location.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mc::lang {
+
+class AstContext;
+
+/** Root of the AST node hierarchy. Nodes are owned by an AstContext. */
+struct Node
+{
+    support::SourceLoc loc;
+
+    virtual ~Node() = default;
+};
+
+// --------------------------------------------------------------------------
+// Expressions
+// --------------------------------------------------------------------------
+
+enum class ExprKind : std::uint8_t
+{
+    IntLit, FloatLit, CharLit, StringLit, Ident,
+    Unary, Binary, Ternary, Call, Member, Index, Cast, Sizeof,
+};
+
+enum class UnaryOp : std::uint8_t
+{
+    Plus, Neg, Not, BitNot, Deref, AddrOf, PreInc, PreDec, PostInc, PostDec,
+};
+
+enum class BinaryOp : std::uint8_t
+{
+    Add, Sub, Mul, Div, Rem, Shl, Shr,
+    Lt, Gt, Le, Ge, Eq, Ne,
+    BitAnd, BitOr, BitXor, LogAnd, LogOr, Comma,
+    Assign, AddAssign, SubAssign, MulAssign, DivAssign, RemAssign,
+    AndAssign, OrAssign, XorAssign, ShlAssign, ShrAssign,
+};
+
+/** True for `=` and compound assignments. */
+bool isAssignment(BinaryOp op);
+
+/** C spelling of the operator ("+", "<<=", ...). */
+const char* unaryOpSpelling(UnaryOp op);
+const char* binaryOpSpelling(BinaryOp op);
+
+struct Decl;
+
+struct Expr : Node
+{
+    ExprKind ekind;
+    /** Filled in by Sema where derivable; kInvalidType otherwise. */
+    TypeId type = kInvalidType;
+
+    explicit Expr(ExprKind k) : ekind(k) {}
+};
+
+struct IntLitExpr : Expr
+{
+    std::int64_t value = 0;
+    /** Original spelling, so 0x10 and 16 stay distinguishable. */
+    std::string spelling;
+
+    IntLitExpr() : Expr(ExprKind::IntLit) {}
+};
+
+struct FloatLitExpr : Expr
+{
+    double value = 0.0;
+
+    FloatLitExpr() : Expr(ExprKind::FloatLit) {}
+};
+
+struct CharLitExpr : Expr
+{
+    std::int64_t value = 0;
+
+    CharLitExpr() : Expr(ExprKind::CharLit) {}
+};
+
+struct StringLitExpr : Expr
+{
+    /** Spelling including quotes. */
+    std::string value;
+
+    StringLitExpr() : Expr(ExprKind::StringLit) {}
+};
+
+struct IdentExpr : Expr
+{
+    std::string name;
+    /** Resolved by Sema when the name has a visible declaration. */
+    const Decl* decl = nullptr;
+
+    IdentExpr() : Expr(ExprKind::Ident) {}
+};
+
+struct UnaryExpr : Expr
+{
+    UnaryOp op = UnaryOp::Plus;
+    Expr* operand = nullptr;
+
+    UnaryExpr() : Expr(ExprKind::Unary) {}
+};
+
+struct BinaryExpr : Expr
+{
+    BinaryOp op = BinaryOp::Add;
+    Expr* lhs = nullptr;
+    Expr* rhs = nullptr;
+
+    BinaryExpr() : Expr(ExprKind::Binary) {}
+};
+
+struct TernaryExpr : Expr
+{
+    Expr* cond = nullptr;
+    Expr* then_expr = nullptr;
+    Expr* else_expr = nullptr;
+
+    TernaryExpr() : Expr(ExprKind::Ternary) {}
+};
+
+struct CallExpr : Expr
+{
+    Expr* callee = nullptr;
+    std::vector<Expr*> args;
+
+    CallExpr() : Expr(ExprKind::Call) {}
+
+    /**
+     * Name of the called function/macro if the callee is a plain
+     * identifier, else "".
+     */
+    std::string_view calleeName() const;
+};
+
+struct MemberExpr : Expr
+{
+    Expr* base = nullptr;
+    std::string member;
+    bool is_arrow = false;
+
+    MemberExpr() : Expr(ExprKind::Member) {}
+};
+
+struct IndexExpr : Expr
+{
+    Expr* base = nullptr;
+    Expr* index = nullptr;
+
+    IndexExpr() : Expr(ExprKind::Index) {}
+};
+
+struct CastExpr : Expr
+{
+    TypeId target = kInvalidType;
+    Expr* operand = nullptr;
+
+    CastExpr() : Expr(ExprKind::Cast) {}
+};
+
+struct SizeofExpr : Expr
+{
+    /** Exactly one of these is set. */
+    Expr* operand = nullptr;
+    TypeId type_operand = kInvalidType;
+
+    SizeofExpr() : Expr(ExprKind::Sizeof) {}
+};
+
+// --------------------------------------------------------------------------
+// Statements
+// --------------------------------------------------------------------------
+
+enum class StmtKind : std::uint8_t
+{
+    Expr, Decl, Compound, If, While, DoWhile, For, Switch,
+    Case, Default, Break, Continue, Return, Goto, Label, Empty,
+};
+
+struct Stmt : Node
+{
+    StmtKind skind;
+
+    explicit Stmt(StmtKind k) : skind(k) {}
+};
+
+struct VarDecl;
+
+struct ExprStmt : Stmt
+{
+    Expr* expr = nullptr;
+
+    ExprStmt() : Stmt(StmtKind::Expr) {}
+};
+
+struct DeclStmt : Stmt
+{
+    std::vector<VarDecl*> decls;
+
+    DeclStmt() : Stmt(StmtKind::Decl) {}
+};
+
+struct CompoundStmt : Stmt
+{
+    std::vector<Stmt*> stmts;
+
+    CompoundStmt() : Stmt(StmtKind::Compound) {}
+};
+
+struct IfStmt : Stmt
+{
+    Expr* cond = nullptr;
+    Stmt* then_branch = nullptr;
+    Stmt* else_branch = nullptr; // may be null
+
+    IfStmt() : Stmt(StmtKind::If) {}
+};
+
+struct WhileStmt : Stmt
+{
+    Expr* cond = nullptr;
+    Stmt* body = nullptr;
+
+    WhileStmt() : Stmt(StmtKind::While) {}
+};
+
+struct DoWhileStmt : Stmt
+{
+    Stmt* body = nullptr;
+    Expr* cond = nullptr;
+
+    DoWhileStmt() : Stmt(StmtKind::DoWhile) {}
+};
+
+struct ForStmt : Stmt
+{
+    Stmt* init = nullptr;  // ExprStmt, DeclStmt, or null
+    Expr* cond = nullptr;  // may be null
+    Expr* step = nullptr;  // may be null
+    Stmt* body = nullptr;
+
+    ForStmt() : Stmt(StmtKind::For) {}
+};
+
+struct SwitchStmt : Stmt
+{
+    Expr* cond = nullptr;
+    /** Usually a CompoundStmt containing Case/Default markers. */
+    Stmt* body = nullptr;
+
+    SwitchStmt() : Stmt(StmtKind::Switch) {}
+};
+
+/** `case V:` marker inside a switch body (labels the next statement). */
+struct CaseStmt : Stmt
+{
+    Expr* value = nullptr;
+
+    CaseStmt() : Stmt(StmtKind::Case) {}
+};
+
+struct DefaultStmt : Stmt
+{
+    DefaultStmt() : Stmt(StmtKind::Default) {}
+};
+
+struct BreakStmt : Stmt
+{
+    BreakStmt() : Stmt(StmtKind::Break) {}
+};
+
+struct ContinueStmt : Stmt
+{
+    ContinueStmt() : Stmt(StmtKind::Continue) {}
+};
+
+struct ReturnStmt : Stmt
+{
+    Expr* value = nullptr; // may be null
+
+    ReturnStmt() : Stmt(StmtKind::Return) {}
+};
+
+struct GotoStmt : Stmt
+{
+    std::string label;
+
+    GotoStmt() : Stmt(StmtKind::Goto) {}
+};
+
+/** `name:` marker preceding the next statement in a compound. */
+struct LabelStmt : Stmt
+{
+    std::string name;
+
+    LabelStmt() : Stmt(StmtKind::Label) {}
+};
+
+struct EmptyStmt : Stmt
+{
+    EmptyStmt() : Stmt(StmtKind::Empty) {}
+};
+
+// --------------------------------------------------------------------------
+// Declarations
+// --------------------------------------------------------------------------
+
+enum class DeclKind : std::uint8_t
+{
+    Var, Param, Function, Record, Typedef, Enum, EnumConst,
+};
+
+struct Decl : Node
+{
+    DeclKind dkind;
+    std::string name;
+
+    explicit Decl(DeclKind k) : dkind(k) {}
+};
+
+struct VarDecl : Decl
+{
+    TypeId type = kInvalidType;
+    Expr* init = nullptr; // may be null
+    bool is_static = false;
+    bool is_extern = false;
+
+    VarDecl() : Decl(DeclKind::Var) {}
+};
+
+struct ParamDecl : Decl
+{
+    TypeId type = kInvalidType;
+
+    ParamDecl() : Decl(DeclKind::Param) {}
+};
+
+struct FunctionDecl : Decl
+{
+    TypeId return_type = kInvalidType;
+    std::vector<ParamDecl*> params;
+    CompoundStmt* body = nullptr; // null for prototypes
+    bool is_static = false;
+    bool is_inline = false;
+
+    FunctionDecl() : Decl(DeclKind::Function) {}
+
+    bool isDefinition() const { return body != nullptr; }
+};
+
+struct RecordDecl : Decl
+{
+    bool is_union = false;
+    std::vector<VarDecl*> fields;
+    TypeId type = kInvalidType;
+
+    RecordDecl() : Decl(DeclKind::Record) {}
+};
+
+struct TypedefDecl : Decl
+{
+    TypeId type = kInvalidType;
+
+    TypedefDecl() : Decl(DeclKind::Typedef) {}
+};
+
+struct EnumConstDecl : Decl
+{
+    std::int64_t value = 0;
+
+    EnumConstDecl() : Decl(DeclKind::EnumConst) {}
+};
+
+struct EnumDecl : Decl
+{
+    std::vector<EnumConstDecl*> constants;
+    TypeId type = kInvalidType;
+
+    EnumDecl() : Decl(DeclKind::Enum) {}
+};
+
+// --------------------------------------------------------------------------
+// Containers
+// --------------------------------------------------------------------------
+
+/** All top-level declarations parsed from one source file. */
+struct TranslationUnit
+{
+    std::int32_t file_id = 0;
+    std::vector<Decl*> decls;
+    std::vector<std::string> directives;
+
+    /** Function definitions in declaration order. */
+    std::vector<const FunctionDecl*> functionDefinitions() const;
+};
+
+/**
+ * Arena that owns every AST node and the type table for one program.
+ *
+ * Raw Node pointers elsewhere in the system are non-owning borrows whose
+ * lifetime is that of the context.
+ */
+class AstContext
+{
+  public:
+    AstContext() = default;
+
+    AstContext(const AstContext&) = delete;
+    AstContext& operator=(const AstContext&) = delete;
+
+    /** Allocate a node of type T constructed from `args`. */
+    template <typename T, typename... Args>
+    T*
+    make(Args&&... args)
+    {
+        auto node = std::make_unique<T>(std::forward<Args>(args)...);
+        T* raw = node.get();
+        nodes_.push_back(std::move(node));
+        return raw;
+    }
+
+    TypeTable& types() { return types_; }
+    const TypeTable& types() const { return types_; }
+
+    std::size_t nodeCount() const { return nodes_.size(); }
+
+  private:
+    std::vector<std::unique_ptr<Node>> nodes_;
+    TypeTable types_;
+};
+
+// --------------------------------------------------------------------------
+// Traversal and utility functions
+// --------------------------------------------------------------------------
+
+/** Invoke `fn` on each direct child expression of `expr`. */
+void forEachChildExpr(const Expr& expr,
+                      const std::function<void(const Expr&)>& fn);
+
+/** Invoke `fn` on `expr` and all subexpressions, pre-order. */
+void forEachSubExpr(const Expr& expr,
+                    const std::function<void(const Expr&)>& fn);
+
+/**
+ * Invoke `fn` on the expressions directly owned by `stmt` (condition of an
+ * if, value of a return, ...), without descending into sub-statements.
+ */
+void forEachTopLevelExpr(const Stmt& stmt,
+                         const std::function<void(const Expr&)>& fn);
+
+/** Invoke `fn` on `stmt` and all nested statements, pre-order. */
+void forEachStmt(const Stmt& stmt, const std::function<void(const Stmt&)>& fn);
+
+/** Structural equality of expressions (ignores locations and types). */
+bool exprEquals(const Expr& a, const Expr& b);
+
+/** Render an expression as C source (for diagnostics and tests). */
+std::string exprToString(const Expr& expr);
+
+/** Render a statement as a single line of C-ish source. */
+std::string stmtToString(const Stmt& stmt);
+
+/** `expr` as a CallExpr if it is one (directly), else nullptr. */
+const CallExpr* asCall(const Expr& expr);
+
+/**
+ * If `stmt` is an expression statement whose expression is a call (or an
+ * assignment whose RHS is a call), return that call.
+ */
+const CallExpr* stmtAsCall(const Stmt& stmt);
+
+} // namespace mc::lang
+
+#endif // MCHECK_LANG_AST_H

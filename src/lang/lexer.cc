@@ -1,0 +1,325 @@
+#include "lang/lexer.h"
+
+#include "support/text.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace mc::lang {
+
+Lexer::Lexer(const support::SourceManager& sm, std::int32_t file_id)
+    : text_(sm.fileContents(file_id)), file_id_(file_id)
+{}
+
+std::vector<Token>
+Lexer::lexAll()
+{
+    std::vector<Token> out;
+    while (true) {
+        Token tok = next();
+        out.push_back(tok);
+        if (tok.kind == TokKind::End)
+            return out;
+    }
+}
+
+char
+Lexer::peek(int ahead) const
+{
+    std::size_t p = pos_ + static_cast<std::size_t>(ahead);
+    return p < text_.size() ? text_[p] : '\0';
+}
+
+char
+Lexer::advance()
+{
+    char c = text_[pos_++];
+    if (c == '\n') {
+        ++line_;
+        col_ = 1;
+    } else {
+        ++col_;
+    }
+    return c;
+}
+
+bool
+Lexer::match(char c)
+{
+    if (atEnd() || text_[pos_] != c)
+        return false;
+    advance();
+    return true;
+}
+
+support::SourceLoc
+Lexer::here() const
+{
+    return support::SourceLoc{file_id_, line_, col_};
+}
+
+void
+Lexer::skipTrivia()
+{
+    while (!atEnd()) {
+        char c = peek();
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            advance();
+        } else if (c == '/' && peek(1) == '/') {
+            while (!atEnd() && peek() != '\n')
+                advance();
+        } else if (c == '/' && peek(1) == '*') {
+            support::SourceLoc start = here();
+            advance();
+            advance();
+            while (!(peek() == '*' && peek(1) == '/')) {
+                if (atEnd())
+                    throw LexError(start, "unterminated block comment");
+                advance();
+            }
+            advance();
+            advance();
+        } else if (c == '#' && col_ == 1) {
+            // Preprocessor directive: record and skip to end of line,
+            // honoring backslash continuations.
+            std::string directive;
+            advance();
+            while (!atEnd() && peek() != '\n') {
+                if (peek() == '\\' && peek(1) == '\n') {
+                    advance();
+                    advance();
+                    directive += ' ';
+                    continue;
+                }
+                directive += advance();
+            }
+            directives_.push_back(std::string(support::trim(directive)));
+        } else {
+            return;
+        }
+    }
+}
+
+Token
+Lexer::makeToken(TokKind kind, std::size_t begin,
+                 const support::SourceLoc& loc) const
+{
+    Token tok;
+    tok.kind = kind;
+    tok.text = text_.substr(begin, pos_ - begin);
+    tok.loc = loc;
+    return tok;
+}
+
+Token
+Lexer::lexNumber(const support::SourceLoc& loc)
+{
+    std::size_t begin = pos_;
+    bool is_float = false;
+    bool is_hex = false;
+    if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+        is_hex = true;
+        advance();
+        advance();
+        while (std::isxdigit(static_cast<unsigned char>(peek())))
+            advance();
+    } else {
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+            advance();
+        if (peek() == '.' &&
+            std::isdigit(static_cast<unsigned char>(peek(1)))) {
+            is_float = true;
+            advance();
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                advance();
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            char sign = peek(1);
+            char digit = (sign == '+' || sign == '-') ? peek(2) : sign;
+            if (std::isdigit(static_cast<unsigned char>(digit))) {
+                is_float = true;
+                advance();
+                if (peek() == '+' || peek() == '-')
+                    advance();
+                while (std::isdigit(static_cast<unsigned char>(peek())))
+                    advance();
+            }
+        }
+    }
+    std::size_t value_end = pos_;
+    if (is_float) {
+        if (peek() == 'f' || peek() == 'F' || peek() == 'l' || peek() == 'L')
+            advance();
+    } else {
+        while (peek() == 'u' || peek() == 'U' || peek() == 'l' ||
+               peek() == 'L')
+            advance();
+    }
+    Token tok = makeToken(is_float ? TokKind::FloatLiteral
+                                   : TokKind::IntLiteral,
+                          begin, loc);
+    std::string value(text_.substr(begin, value_end - begin));
+    if (is_float)
+        tok.float_value = std::strtod(value.c_str(), nullptr);
+    else
+        tok.int_value = static_cast<std::int64_t>(
+            std::strtoull(value.c_str(), nullptr, is_hex ? 16 : 10));
+    return tok;
+}
+
+Token
+Lexer::lexIdentifier(const support::SourceLoc& loc)
+{
+    std::size_t begin = pos_;
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+        advance();
+    Token tok = makeToken(TokKind::Identifier, begin, loc);
+    tok.kind = keywordKind(tok.text);
+    return tok;
+}
+
+Token
+Lexer::lexString(const support::SourceLoc& loc)
+{
+    std::size_t begin = pos_;
+    advance(); // opening quote
+    while (peek() != '"') {
+        if (atEnd() || peek() == '\n')
+            throw LexError(loc, "unterminated string literal");
+        if (peek() == '\\')
+            advance();
+        advance();
+    }
+    advance(); // closing quote
+    return makeToken(TokKind::StringLiteral, begin, loc);
+}
+
+Token
+Lexer::lexChar(const support::SourceLoc& loc)
+{
+    std::size_t begin = pos_;
+    advance(); // opening quote
+    std::int64_t value = 0;
+    if (peek() == '\\') {
+        advance();
+        char esc = advance();
+        switch (esc) {
+          case 'n': value = '\n'; break;
+          case 't': value = '\t'; break;
+          case 'r': value = '\r'; break;
+          case '0': value = '\0'; break;
+          case '\\': value = '\\'; break;
+          case '\'': value = '\''; break;
+          default: value = esc; break;
+        }
+    } else {
+        if (atEnd() || peek() == '\n')
+            throw LexError(loc, "unterminated char literal");
+        value = advance();
+    }
+    if (!match('\''))
+        throw LexError(loc, "unterminated char literal");
+    Token tok = makeToken(TokKind::CharLiteral, begin, loc);
+    tok.int_value = value;
+    return tok;
+}
+
+Token
+Lexer::next()
+{
+    skipTrivia();
+    support::SourceLoc loc = here();
+    if (atEnd())
+        return Token{TokKind::End, "", loc, 0, 0.0};
+
+    char c = peek();
+    if (std::isdigit(static_cast<unsigned char>(c)))
+        return lexNumber(loc);
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_')
+        return lexIdentifier(loc);
+    if (c == '"')
+        return lexString(loc);
+    if (c == '\'')
+        return lexChar(loc);
+
+    std::size_t begin = pos_;
+    advance();
+    auto tok = [&](TokKind kind) { return makeToken(kind, begin, loc); };
+    switch (c) {
+      case '(': return tok(TokKind::LParen);
+      case ')': return tok(TokKind::RParen);
+      case '{': return tok(TokKind::LBrace);
+      case '}': return tok(TokKind::RBrace);
+      case '[': return tok(TokKind::LBracket);
+      case ']': return tok(TokKind::RBracket);
+      case ';': return tok(TokKind::Semicolon);
+      case ',': return tok(TokKind::Comma);
+      case '?': return tok(TokKind::Question);
+      case '~': return tok(TokKind::Tilde);
+      case ':': return tok(TokKind::Colon);
+      case '.':
+        if (peek() == '.' && peek(1) == '.') {
+            advance();
+            advance();
+            return tok(TokKind::Ellipsis);
+        }
+        return tok(TokKind::Dot);
+      case '+':
+        if (match('+')) return tok(TokKind::PlusPlus);
+        if (match('=')) return tok(TokKind::PlusAssign);
+        return tok(TokKind::Plus);
+      case '-':
+        if (match('-')) return tok(TokKind::MinusMinus);
+        if (match('=')) return tok(TokKind::MinusAssign);
+        if (match('>')) return tok(TokKind::Arrow);
+        return tok(TokKind::Minus);
+      case '*':
+        if (match('=')) return tok(TokKind::StarAssign);
+        return tok(TokKind::Star);
+      case '/':
+        if (match('=')) return tok(TokKind::SlashAssign);
+        return tok(TokKind::Slash);
+      case '%':
+        if (match('=')) return tok(TokKind::PercentAssign);
+        return tok(TokKind::Percent);
+      case '&':
+        if (match('&')) return tok(TokKind::AmpAmp);
+        if (match('=')) return tok(TokKind::AmpAssign);
+        return tok(TokKind::Amp);
+      case '|':
+        if (match('|')) return tok(TokKind::PipePipe);
+        if (match('=')) return tok(TokKind::PipeAssign);
+        return tok(TokKind::Pipe);
+      case '^':
+        if (match('=')) return tok(TokKind::CaretAssign);
+        return tok(TokKind::Caret);
+      case '!':
+        if (match('=')) return tok(TokKind::NotEq);
+        return tok(TokKind::Bang);
+      case '<':
+        if (match('<'))
+            return match('=') ? tok(TokKind::ShlAssign) : tok(TokKind::Shl);
+        if (match('=')) return tok(TokKind::Le);
+        return tok(TokKind::Lt);
+      case '>':
+        if (match('>'))
+            return match('=') ? tok(TokKind::ShrAssign) : tok(TokKind::Shr);
+        if (match('=')) return tok(TokKind::Ge);
+        return tok(TokKind::Gt);
+      case '=':
+        if (match('=')) return tok(TokKind::EqEq);
+        return tok(TokKind::Assign);
+      default:
+        throw LexError(loc, std::string("unexpected character '") + c + "'");
+    }
+}
+
+std::vector<Token>
+lexString(support::SourceManager& sm, std::string name, std::string source)
+{
+    std::int32_t id = sm.addFile(std::move(name), std::move(source));
+    Lexer lexer(sm, id);
+    return lexer.lexAll();
+}
+
+} // namespace mc::lang

@@ -1,0 +1,83 @@
+#ifndef MCHECK_LANG_LEXER_H
+#define MCHECK_LANG_LEXER_H
+
+#include "lang/token.h"
+#include "support/source_manager.h"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mc::lang {
+
+/** Thrown on malformed input (unterminated literal, stray byte, ...). */
+class LexError : public std::runtime_error
+{
+  public:
+    LexError(support::SourceLoc loc, const std::string& message)
+        : std::runtime_error(message), loc_(loc)
+    {}
+
+    const support::SourceLoc& loc() const { return loc_; }
+
+  private:
+    support::SourceLoc loc_;
+};
+
+/**
+ * Lexer for the FLASH protocol C dialect.
+ *
+ * Comments (// and block) are skipped. Preprocessor directives (#include,
+ * #define, ...) are skipped to end-of-line and recorded so callers can see
+ * which headers a translation unit pulls in; line continuations inside
+ * directives are honored. Token text views into the buffer owned by the
+ * SourceManager, which must outlive the tokens.
+ */
+class Lexer
+{
+  public:
+    /**
+     * Lex the file registered as `file_id` with `sm`.
+     * @param sm Source manager that owns the file contents.
+     * @param file_id Id returned by SourceManager::addFile.
+     */
+    Lexer(const support::SourceManager& sm, std::int32_t file_id);
+
+    /** Lex the entire file into a token vector ending with an End token. */
+    std::vector<Token> lexAll();
+
+    /** Directive lines seen so far (e.g. "include \"flash.h\""). */
+    const std::vector<std::string>& directives() const { return directives_; }
+
+  private:
+    Token next();
+    char peek(int ahead = 0) const;
+    char advance();
+    bool match(char c);
+    bool atEnd() const { return pos_ >= text_.size(); }
+    support::SourceLoc here() const;
+    void skipTrivia();
+    Token makeToken(TokKind kind, std::size_t begin,
+                    const support::SourceLoc& loc) const;
+    Token lexNumber(const support::SourceLoc& loc);
+    Token lexIdentifier(const support::SourceLoc& loc);
+    Token lexString(const support::SourceLoc& loc);
+    Token lexChar(const support::SourceLoc& loc);
+
+    std::string_view text_;
+    std::int32_t file_id_;
+    std::size_t pos_ = 0;
+    std::int32_t line_ = 1;
+    std::int32_t col_ = 1;
+    std::vector<std::string> directives_;
+};
+
+/**
+ * Convenience: register `source` with `sm` under `name` and lex it fully.
+ */
+std::vector<Token> lexString(support::SourceManager& sm, std::string name,
+                             std::string source);
+
+} // namespace mc::lang
+
+#endif // MCHECK_LANG_LEXER_H

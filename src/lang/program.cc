@@ -1,0 +1,31 @@
+#include "lang/program.h"
+
+namespace mc::lang {
+
+TranslationUnit&
+Program::addSource(std::string name, std::string source)
+{
+    std::int32_t id = sm_.addFile(std::move(name), std::move(source));
+    Lexer lexer(sm_, id);
+    std::vector<Token> tokens = lexer.lexAll();
+    Parser parser(ctx_, std::move(tokens), &symbols_);
+    TranslationUnit tu = parser.parseTranslationUnit(id);
+    tu.directives = lexer.directives();
+    units_.push_back(std::move(tu));
+    TranslationUnit& stored = units_.back();
+    sema_.run(stored);
+    for (const FunctionDecl* fn : stored.functionDefinitions()) {
+        functions_.push_back(fn);
+        by_name_[fn->name] = fn;
+    }
+    return stored;
+}
+
+const FunctionDecl*
+Program::findFunction(const std::string& name) const
+{
+    auto it = by_name_.find(name);
+    return it == by_name_.end() ? nullptr : it->second;
+}
+
+} // namespace mc::lang

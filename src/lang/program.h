@@ -1,0 +1,67 @@
+#ifndef MCHECK_LANG_PROGRAM_H
+#define MCHECK_LANG_PROGRAM_H
+
+#include "lang/ast.h"
+#include "lang/parser.h"
+#include "lang/sema.h"
+#include "support/source_manager.h"
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mc::lang {
+
+/**
+ * A whole program under analysis: one AST arena, one source manager, and
+ * every translation unit of (for example) one FLASH protocol.
+ *
+ * This is the unit the checkers run over: a protocol is a Program built
+ * from its handler source files plus the protocol's common code.
+ */
+class Program
+{
+  public:
+    Program() : sema_(ctx_) {}
+
+    Program(const Program&) = delete;
+    Program& operator=(const Program&) = delete;
+
+    /**
+     * Parse `source` as a new translation unit named `name`, run Sema
+     * over it, and index its function definitions.
+     * Throws LexError / ParseError on malformed input.
+     */
+    TranslationUnit& addSource(std::string name, std::string source);
+
+    AstContext& ctx() { return ctx_; }
+    const AstContext& ctx() const { return ctx_; }
+
+    support::SourceManager& sourceManager() { return sm_; }
+    const support::SourceManager& sourceManager() const { return sm_; }
+
+    const std::deque<TranslationUnit>& units() const { return units_; }
+
+    /** Function definitions across all units, in addition order. */
+    const std::vector<const FunctionDecl*>& functions() const
+    {
+        return functions_;
+    }
+
+    /** Definition of `name`, or nullptr. */
+    const FunctionDecl* findFunction(const std::string& name) const;
+
+  private:
+    AstContext ctx_;
+    support::SourceManager sm_;
+    ParserSymbols symbols_;
+    Sema sema_;
+    std::deque<TranslationUnit> units_;
+    std::vector<const FunctionDecl*> functions_;
+    std::map<std::string, const FunctionDecl*> by_name_;
+};
+
+} // namespace mc::lang
+
+#endif // MCHECK_LANG_PROGRAM_H

@@ -1,0 +1,167 @@
+#include "lang/token.h"
+
+#include <unordered_map>
+
+namespace mc::lang {
+
+const char*
+tokKindName(TokKind kind)
+{
+    switch (kind) {
+      case TokKind::End: return "<eof>";
+      case TokKind::Identifier: return "identifier";
+      case TokKind::IntLiteral: return "integer literal";
+      case TokKind::FloatLiteral: return "float literal";
+      case TokKind::CharLiteral: return "char literal";
+      case TokKind::StringLiteral: return "string literal";
+      case TokKind::KwVoid: return "void";
+      case TokKind::KwChar: return "char";
+      case TokKind::KwShort: return "short";
+      case TokKind::KwInt: return "int";
+      case TokKind::KwLong: return "long";
+      case TokKind::KwUnsigned: return "unsigned";
+      case TokKind::KwSigned: return "signed";
+      case TokKind::KwFloat: return "float";
+      case TokKind::KwDouble: return "double";
+      case TokKind::KwStruct: return "struct";
+      case TokKind::KwUnion: return "union";
+      case TokKind::KwEnum: return "enum";
+      case TokKind::KwTypedef: return "typedef";
+      case TokKind::KwStatic: return "static";
+      case TokKind::KwExtern: return "extern";
+      case TokKind::KwConst: return "const";
+      case TokKind::KwVolatile: return "volatile";
+      case TokKind::KwInline: return "inline";
+      case TokKind::KwRegister: return "register";
+      case TokKind::KwIf: return "if";
+      case TokKind::KwElse: return "else";
+      case TokKind::KwWhile: return "while";
+      case TokKind::KwFor: return "for";
+      case TokKind::KwDo: return "do";
+      case TokKind::KwSwitch: return "switch";
+      case TokKind::KwCase: return "case";
+      case TokKind::KwDefault: return "default";
+      case TokKind::KwBreak: return "break";
+      case TokKind::KwContinue: return "continue";
+      case TokKind::KwReturn: return "return";
+      case TokKind::KwGoto: return "goto";
+      case TokKind::KwSizeof: return "sizeof";
+      case TokKind::LParen: return "(";
+      case TokKind::RParen: return ")";
+      case TokKind::LBrace: return "{";
+      case TokKind::RBrace: return "}";
+      case TokKind::LBracket: return "[";
+      case TokKind::RBracket: return "]";
+      case TokKind::Semicolon: return ";";
+      case TokKind::Comma: return ",";
+      case TokKind::Colon: return ":";
+      case TokKind::Question: return "?";
+      case TokKind::Ellipsis: return "...";
+      case TokKind::Dot: return ".";
+      case TokKind::Arrow: return "->";
+      case TokKind::Plus: return "+";
+      case TokKind::Minus: return "-";
+      case TokKind::Star: return "*";
+      case TokKind::Slash: return "/";
+      case TokKind::Percent: return "%";
+      case TokKind::Amp: return "&";
+      case TokKind::Pipe: return "|";
+      case TokKind::Caret: return "^";
+      case TokKind::Tilde: return "~";
+      case TokKind::Bang: return "!";
+      case TokKind::Shl: return "<<";
+      case TokKind::Shr: return ">>";
+      case TokKind::Lt: return "<";
+      case TokKind::Gt: return ">";
+      case TokKind::Le: return "<=";
+      case TokKind::Ge: return ">=";
+      case TokKind::EqEq: return "==";
+      case TokKind::NotEq: return "!=";
+      case TokKind::AmpAmp: return "&&";
+      case TokKind::PipePipe: return "||";
+      case TokKind::PlusPlus: return "++";
+      case TokKind::MinusMinus: return "--";
+      case TokKind::Assign: return "=";
+      case TokKind::PlusAssign: return "+=";
+      case TokKind::MinusAssign: return "-=";
+      case TokKind::StarAssign: return "*=";
+      case TokKind::SlashAssign: return "/=";
+      case TokKind::PercentAssign: return "%=";
+      case TokKind::AmpAssign: return "&=";
+      case TokKind::PipeAssign: return "|=";
+      case TokKind::CaretAssign: return "^=";
+      case TokKind::ShlAssign: return "<<=";
+      case TokKind::ShrAssign: return ">>=";
+    }
+    return "<bad token>";
+}
+
+TokKind
+keywordKind(std::string_view text)
+{
+    static const std::unordered_map<std::string_view, TokKind> table = {
+        {"void", TokKind::KwVoid},         {"char", TokKind::KwChar},
+        {"short", TokKind::KwShort},       {"int", TokKind::KwInt},
+        {"long", TokKind::KwLong},         {"unsigned", TokKind::KwUnsigned},
+        {"signed", TokKind::KwSigned},     {"float", TokKind::KwFloat},
+        {"double", TokKind::KwDouble},     {"struct", TokKind::KwStruct},
+        {"union", TokKind::KwUnion},       {"enum", TokKind::KwEnum},
+        {"typedef", TokKind::KwTypedef},   {"static", TokKind::KwStatic},
+        {"extern", TokKind::KwExtern},     {"const", TokKind::KwConst},
+        {"volatile", TokKind::KwVolatile}, {"inline", TokKind::KwInline},
+        {"register", TokKind::KwRegister}, {"if", TokKind::KwIf},
+        {"else", TokKind::KwElse},         {"while", TokKind::KwWhile},
+        {"for", TokKind::KwFor},           {"do", TokKind::KwDo},
+        {"switch", TokKind::KwSwitch},     {"case", TokKind::KwCase},
+        {"default", TokKind::KwDefault},   {"break", TokKind::KwBreak},
+        {"continue", TokKind::KwContinue}, {"return", TokKind::KwReturn},
+        {"goto", TokKind::KwGoto},         {"sizeof", TokKind::KwSizeof},
+    };
+    auto it = table.find(text);
+    return it == table.end() ? TokKind::Identifier : it->second;
+}
+
+bool
+isTypeKeyword(TokKind kind)
+{
+    switch (kind) {
+      case TokKind::KwVoid:
+      case TokKind::KwChar:
+      case TokKind::KwShort:
+      case TokKind::KwInt:
+      case TokKind::KwLong:
+      case TokKind::KwUnsigned:
+      case TokKind::KwSigned:
+      case TokKind::KwFloat:
+      case TokKind::KwDouble:
+      case TokKind::KwStruct:
+      case TokKind::KwUnion:
+      case TokKind::KwEnum:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isAssignOp(TokKind kind)
+{
+    switch (kind) {
+      case TokKind::Assign:
+      case TokKind::PlusAssign:
+      case TokKind::MinusAssign:
+      case TokKind::StarAssign:
+      case TokKind::SlashAssign:
+      case TokKind::PercentAssign:
+      case TokKind::AmpAssign:
+      case TokKind::PipeAssign:
+      case TokKind::CaretAssign:
+      case TokKind::ShlAssign:
+      case TokKind::ShrAssign:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace mc::lang

@@ -1,0 +1,80 @@
+#ifndef MCHECK_LANG_TOKEN_H
+#define MCHECK_LANG_TOKEN_H
+
+#include "support/source_location.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mc::lang {
+
+/**
+ * Token kinds for the FLASH protocol C dialect.
+ *
+ * The dialect is the subset of C that FLASH protocol handlers are written
+ * in, with preprocessor macros appearing as ordinary identifiers / call
+ * expressions (the paper notes their adaptation work was confined to macro
+ * headers; we adopt the post-expansion surface syntax directly).
+ */
+enum class TokKind : std::uint8_t
+{
+    End,
+    Identifier,
+    IntLiteral,
+    FloatLiteral,
+    CharLiteral,
+    StringLiteral,
+
+    // Keywords.
+    KwVoid, KwChar, KwShort, KwInt, KwLong, KwUnsigned, KwSigned,
+    KwFloat, KwDouble, KwStruct, KwUnion, KwEnum, KwTypedef,
+    KwStatic, KwExtern, KwConst, KwVolatile, KwInline, KwRegister,
+    KwIf, KwElse, KwWhile, KwFor, KwDo, KwSwitch, KwCase, KwDefault,
+    KwBreak, KwContinue, KwReturn, KwGoto, KwSizeof,
+
+    // Punctuation and operators.
+    LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+    Semicolon, Comma, Colon, Question, Ellipsis,
+    Dot, Arrow,
+    Plus, Minus, Star, Slash, Percent,
+    Amp, Pipe, Caret, Tilde, Bang,
+    Shl, Shr,
+    Lt, Gt, Le, Ge, EqEq, NotEq,
+    AmpAmp, PipePipe,
+    PlusPlus, MinusMinus,
+    Assign, PlusAssign, MinusAssign, StarAssign, SlashAssign,
+    PercentAssign, AmpAssign, PipeAssign, CaretAssign, ShlAssign,
+    ShrAssign,
+};
+
+/** Human-readable spelling of a token kind (for diagnostics). */
+const char* tokKindName(TokKind kind);
+
+/** One lexed token. `text` views into the SourceManager-owned buffer. */
+struct Token
+{
+    TokKind kind = TokKind::End;
+    std::string_view text;
+    support::SourceLoc loc;
+
+    /** Integer value for IntLiteral / CharLiteral tokens. */
+    std::int64_t int_value = 0;
+    /** Value for FloatLiteral tokens. */
+    double float_value = 0.0;
+
+    bool is(TokKind k) const { return kind == k; }
+};
+
+/** Maps an identifier spelling to a keyword kind, or Identifier if none. */
+TokKind keywordKind(std::string_view text);
+
+/** True for type-introducing keywords (void, int, struct, ...). */
+bool isTypeKeyword(TokKind kind);
+
+/** True for assignment operators (=, +=, ...). */
+bool isAssignOp(TokKind kind);
+
+} // namespace mc::lang
+
+#endif // MCHECK_LANG_TOKEN_H

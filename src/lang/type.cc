@@ -1,0 +1,193 @@
+#include "lang/type.h"
+
+#include <sstream>
+
+namespace mc::lang {
+
+namespace {
+
+const char*
+builtinName(TypeKind kind)
+{
+    switch (kind) {
+      case TypeKind::Void: return "void";
+      case TypeKind::Char: return "char";
+      case TypeKind::Short: return "short";
+      case TypeKind::Int: return "int";
+      case TypeKind::Long: return "long";
+      case TypeKind::UChar: return "unsigned char";
+      case TypeKind::UShort: return "unsigned short";
+      case TypeKind::UInt: return "unsigned int";
+      case TypeKind::ULong: return "unsigned long";
+      case TypeKind::Float: return "float";
+      case TypeKind::Double: return "double";
+      default: return "?";
+    }
+}
+
+} // namespace
+
+TypeTable::TypeTable() = default;
+
+TypeId
+TypeTable::intern(const std::string& key, Type t)
+{
+    auto it = by_key_.find(key);
+    if (it != by_key_.end())
+        return it->second;
+    TypeId id = static_cast<TypeId>(types_.size());
+    types_.push_back(std::move(t));
+    by_key_.emplace(key, id);
+    return id;
+}
+
+TypeId
+TypeTable::builtin(TypeKind kind)
+{
+    Type t;
+    t.kind = kind;
+    return intern(std::string("b:") + builtinName(kind), t);
+}
+
+TypeId
+TypeTable::pointerTo(TypeId pointee)
+{
+    std::ostringstream key;
+    key << "p:" << pointee;
+    Type t;
+    t.kind = TypeKind::Pointer;
+    t.base = pointee;
+    return intern(key.str(), t);
+}
+
+TypeId
+TypeTable::arrayOf(TypeId element, std::int64_t count)
+{
+    std::ostringstream key;
+    key << "a:" << element << ':' << count;
+    Type t;
+    t.kind = TypeKind::Array;
+    t.base = element;
+    t.array_size = count;
+    return intern(key.str(), t);
+}
+
+TypeId
+TypeTable::named(TypeKind kind, const std::string& name)
+{
+    std::ostringstream key;
+    key << "n:" << static_cast<int>(kind) << ':' << name;
+    Type t;
+    t.kind = kind;
+    t.name = name;
+    return intern(key.str(), t);
+}
+
+void
+TypeTable::defineRecord(TypeId record, std::vector<TypeId> field_types)
+{
+    record_fields_[record] = std::move(field_types);
+}
+
+const Type&
+TypeTable::type(TypeId id) const
+{
+    static const Type unknown{TypeKind::Named, kInvalidType, 0, "<unknown>"};
+    if (id < 0 || id >= static_cast<TypeId>(types_.size()))
+        return unknown;
+    return types_[static_cast<std::size_t>(id)];
+}
+
+bool
+TypeTable::isFloating(TypeId id) const
+{
+    TypeKind k = type(id).kind;
+    return k == TypeKind::Float || k == TypeKind::Double;
+}
+
+bool
+TypeTable::isInteger(TypeId id) const
+{
+    switch (type(id).kind) {
+      case TypeKind::Char:
+      case TypeKind::Short:
+      case TypeKind::Int:
+      case TypeKind::Long:
+      case TypeKind::UChar:
+      case TypeKind::UShort:
+      case TypeKind::UInt:
+      case TypeKind::ULong:
+      case TypeKind::Enum:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::int64_t
+TypeTable::sizeInBits(TypeId id) const
+{
+    const Type& t = type(id);
+    switch (t.kind) {
+      case TypeKind::Void: return 0;
+      case TypeKind::Char:
+      case TypeKind::UChar: return 8;
+      case TypeKind::Short:
+      case TypeKind::UShort: return 16;
+      case TypeKind::Int:
+      case TypeKind::UInt:
+      case TypeKind::Enum:
+      case TypeKind::Float: return 32;
+      case TypeKind::Long:
+      case TypeKind::ULong:
+      case TypeKind::Double:
+      case TypeKind::Pointer: return 64;
+      case TypeKind::Array: {
+        if (t.array_size <= 0)
+            return 1 << 20; // unsized arrays always trip the 64-bit rule
+        return t.array_size * sizeInBits(t.base);
+      }
+      case TypeKind::Struct:
+      case TypeKind::Union: {
+        auto it = record_fields_.find(id);
+        if (it == record_fields_.end())
+            return 1 << 20; // opaque records are never register-safe
+        std::int64_t bits = 0;
+        for (TypeId f : it->second) {
+            std::int64_t fb = sizeInBits(f);
+            if (t.kind == TypeKind::Union)
+                bits = fb > bits ? fb : bits;
+            else
+                bits += fb;
+        }
+        return bits;
+      }
+      case TypeKind::Named:
+        return 64; // unknown typedefs are assumed register-sized
+    }
+    return 64;
+}
+
+std::string
+TypeTable::describe(TypeId id) const
+{
+    if (id == kInvalidType)
+        return "<unknown>";
+    const Type& t = type(id);
+    switch (t.kind) {
+      case TypeKind::Pointer:
+        return describe(t.base) + " *";
+      case TypeKind::Array: {
+        std::ostringstream os;
+        os << describe(t.base) << '[' << t.array_size << ']';
+        return os.str();
+      }
+      case TypeKind::Struct: return "struct " + t.name;
+      case TypeKind::Union: return "union " + t.name;
+      case TypeKind::Enum: return "enum " + t.name;
+      case TypeKind::Named: return t.name;
+      default: return builtinName(t.kind);
+    }
+}
+
+} // namespace mc::lang

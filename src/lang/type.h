@@ -1,0 +1,109 @@
+#ifndef MCHECK_LANG_TYPE_H
+#define MCHECK_LANG_TYPE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mc::lang {
+
+/** Index of a type in a TypeTable. kInvalidType means "unknown". */
+using TypeId = std::int32_t;
+inline constexpr TypeId kInvalidType = -1;
+
+/** Kind of a type in the FLASH dialect's small type system. */
+enum class TypeKind : std::uint8_t
+{
+    Void,
+    Char,
+    Short,
+    Int,
+    Long,
+    UChar,
+    UShort,
+    UInt,
+    ULong,
+    Float,
+    Double,
+    Pointer,
+    Array,
+    Struct,
+    Union,
+    Enum,
+    /** A typedef name whose definition was not seen. */
+    Named,
+};
+
+/** One interned type. Aggregate types reference others by TypeId. */
+struct Type
+{
+    TypeKind kind = TypeKind::Int;
+    /** Pointee for Pointer, element for Array. */
+    TypeId base = kInvalidType;
+    /** Element count for Array (0 if unsized). */
+    std::int64_t array_size = 0;
+    /** Tag or typedef name for Struct/Union/Enum/Named. */
+    std::string name;
+};
+
+/**
+ * Interns types so a TypeId comparison is a type-identity comparison.
+ *
+ * The table also records struct/union layouts (field types in order) so
+ * the execution-restriction checker can evaluate the paper's rule that
+ * no-stack handlers "do not declare arrays or structures larger than 64
+ * bits".
+ */
+class TypeTable
+{
+  public:
+    TypeTable();
+
+    TypeTable(const TypeTable&) = delete;
+    TypeTable& operator=(const TypeTable&) = delete;
+
+    /** Builtin (non-aggregate, non-derived) type of the given kind. */
+    TypeId builtin(TypeKind kind);
+
+    /** Pointer to `pointee`. */
+    TypeId pointerTo(TypeId pointee);
+
+    /** Array of `count` elements of `element`. */
+    TypeId arrayOf(TypeId element, std::int64_t count);
+
+    /** Struct/union/enum/typedef-name type with tag `name`. */
+    TypeId named(TypeKind kind, const std::string& name);
+
+    /** Record the field types of a struct/union definition. */
+    void defineRecord(TypeId record, std::vector<TypeId> field_types);
+
+    const Type& type(TypeId id) const;
+
+    /** True for Float / Double (the no-float checker's predicate). */
+    bool isFloating(TypeId id) const;
+
+    /** True for integral builtins and enums. */
+    bool isInteger(TypeId id) const;
+
+    /**
+     * Size in bits, for the 64-bit stack-residency rule. Unknown types
+     * conservatively report 64 bits (register-safe); unsized arrays
+     * report a large value so they always trip the rule.
+     */
+    std::int64_t sizeInBits(TypeId id) const;
+
+    /** "unsigned int", "struct Foo *", ... for diagnostics. */
+    std::string describe(TypeId id) const;
+
+  private:
+    std::vector<Type> types_;
+    std::map<std::string, TypeId> by_key_;
+    std::map<TypeId, std::vector<TypeId>> record_fields_;
+
+    TypeId intern(const std::string& key, Type t);
+};
+
+} // namespace mc::lang
+
+#endif // MCHECK_LANG_TYPE_H

@@ -1,0 +1,171 @@
+#ifndef MCHECK_MATCH_PATTERN_H
+#define MCHECK_MATCH_PATTERN_H
+
+#include "lang/ast.h"
+#include "lang/parser.h"
+#include "support/source_manager.h"
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace mc::match {
+
+/**
+ * Kinds of metal wildcard ("decl") variables.
+ *
+ * In metal, `decl { scalar } addr, buf;` declares wildcards that match any
+ * C integer expression. We support the kinds the paper's checkers use plus
+ * two natural extensions (Ident, Constant) used by the embedded checkers.
+ */
+enum class WildcardKind : std::uint8_t
+{
+    /** Any non-floating expression ("any C integer expression"). */
+    Scalar,
+    /** Alias of Scalar, spelled `unsigned` in Figure 3. */
+    Unsigned,
+    /** Any expression at all. */
+    AnyExpr,
+    /** A bare identifier only. */
+    Ident,
+    /** An integer/char literal or bare identifier naming a constant. */
+    Constant,
+};
+
+/** Parse "scalar" / "unsigned" / "expr" / "ident" / "constant". */
+std::optional<WildcardKind> wildcardKindFromName(std::string_view name);
+
+/** One declared wildcard variable. */
+struct WildcardDecl
+{
+    std::string name;
+    WildcardKind kind = WildcardKind::Scalar;
+};
+
+/** Wildcard-variable bindings accumulated during one successful match. */
+struct Bindings
+{
+    std::map<std::string, const lang::Expr*> map;
+
+    const lang::Expr*
+    lookup(const std::string& name) const
+    {
+        auto it = map.find(name);
+        return it == map.end() ? nullptr : it->second;
+    }
+};
+
+/**
+ * Owns the ASTs of compiled patterns.
+ *
+ * Pattern templates are parsed with the same dialect parser as protocol
+ * code and live in their own arena; the arena must outlive every Pattern
+ * compiled against it.
+ */
+class PatternContext
+{
+  public:
+    lang::AstContext& ctx() { return ctx_; }
+    support::SourceManager& sourceManager() { return sm_; }
+    lang::ParserSymbols& symbols() { return symbols_; }
+
+  private:
+    lang::AstContext ctx_;
+    support::SourceManager sm_;
+    lang::ParserSymbols symbols_;
+};
+
+/**
+ * A compiled metal pattern: one or more source-template alternatives
+ * (joined with `|` in metal) plus the wildcard table they refer to.
+ *
+ * A pattern whose template is a lone expression can match both a whole
+ * expression statement and any subexpression of a larger statement; a
+ * statement template (e.g. a return) matches statements only.
+ */
+class Pattern
+{
+  public:
+    Pattern() = default;
+
+    /**
+     * Compile a pattern from metal surface syntax: "{ ... }" with an
+     * optional trailing semicolon inside the braces.
+     *
+     * @param pc Arena the template AST is allocated in.
+     * @param text The braced template, e.g. "{ WAIT_FOR_DB_FULL(addr); }".
+     * @param wildcards Wildcards visible to this pattern.
+     * Throws lang::ParseError on malformed templates.
+     */
+    static Pattern compile(PatternContext& pc, const std::string& text,
+                           std::vector<WildcardDecl> wildcards);
+
+    /** Merge `other`'s alternatives into this pattern (the `|` operator).
+     *  Wildcard tables must agree on shared names. */
+    void addAlternatives(const Pattern& other);
+
+    /** Match against a whole statement. */
+    std::optional<Bindings> matchStmt(const lang::Stmt& stmt) const;
+
+    /** Match against one expression node (no descent). */
+    std::optional<Bindings> matchExpr(const lang::Expr& expr) const;
+
+    /**
+     * Match anywhere inside a statement: first the statement itself, then
+     * every subexpression of its top-level expressions. This is how the
+     * engine applies patterns "down every path" — a send buried in a
+     * condition still triggers.
+     */
+    std::optional<Bindings> matchInStmt(const lang::Stmt& stmt) const;
+
+    bool empty() const { return alternatives_.empty(); }
+    std::size_t alternativeCount() const { return alternatives_.size(); }
+
+    const std::vector<WildcardDecl>& wildcards() const { return wildcards_; }
+
+    /**
+     * Fast rejection prefilter. Each alternative has a *required
+     * identifier*: the first non-wildcard identifier in its template
+     * (usually the macro name), which any matching statement must
+     * contain verbatim. Returns true if some alternative's required
+     * identifier is in `idents` (or it has none). Never rejects a
+     * statement that would match — the engine uses this to skip full
+     * unification on the vast majority of statements.
+     */
+    bool couldMatch(const std::set<std::string>& idents) const;
+
+    /** Collect every identifier occurring in `stmt` into `out`. */
+    static void collectIdents(const lang::Stmt& stmt,
+                              std::set<std::string>& out);
+
+  private:
+    struct Alternative
+    {
+        /** Set when the template is a statement (return, if, ...). */
+        const lang::Stmt* stmt = nullptr;
+        /** Set when the template is a lone expression. */
+        const lang::Expr* expr = nullptr;
+        /** First non-wildcard identifier in the template ("" if none). */
+        std::string required_ident;
+    };
+
+    void computeRequiredIdent(Alternative& alt) const;
+
+    bool isWildcard(const std::string& name, WildcardKind* kind) const;
+    bool unifyExpr(const lang::Expr& pat, const lang::Expr& cand,
+                   Bindings& bindings) const;
+    bool unifyStmt(const lang::Stmt& pat, const lang::Stmt& cand,
+                   Bindings& bindings) const;
+    bool bindWildcard(const std::string& name, WildcardKind kind,
+                      const lang::Expr& cand, Bindings& bindings) const;
+
+    std::vector<Alternative> alternatives_;
+    std::vector<WildcardDecl> wildcards_;
+};
+
+} // namespace mc::match
+
+#endif // MCHECK_MATCH_PATTERN_H

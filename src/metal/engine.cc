@@ -1,0 +1,80 @@
+#include "metal/engine.h"
+
+#include "metal/path_walker.h"
+
+#include <set>
+
+namespace mc::metal {
+
+namespace {
+
+/** Walker state: just the SM state name. */
+struct SmState
+{
+    std::string state;
+
+    std::string key() const { return state; }
+    bool dead() const { return state == StateMachine::kStop; }
+};
+
+} // namespace
+
+SmRunResult
+runStateMachine(const StateMachine& sm, const cfg::Cfg& cfg,
+                support::DiagnosticSink& sink, const SmRunOptions& options)
+{
+    SmRunResult result;
+    // Dedup firings: one (rule, statement) pair fires the action and is
+    // counted once, no matter how many paths cross it in the same state.
+    std::set<std::pair<std::string, support::SourceLoc>> fired;
+
+    auto try_rules = [&](SmState& st, const lang::Stmt& stmt,
+                         const std::set<std::string>& stmt_idents,
+                         const std::vector<StateMachine::Rule>& rules)
+        -> bool {
+        for (const StateMachine::Rule& rule : rules) {
+            // Required-identifier prefilter: skip full unification when
+            // the statement cannot possibly contain the pattern.
+            if (!rule.pattern.couldMatch(stmt_idents))
+                continue;
+            auto bindings = rule.pattern.matchInStmt(stmt);
+            if (!bindings)
+                continue;
+            if (fired.emplace(rule.id, stmt.loc).second) {
+                ++result.firings[rule.id];
+                if (rule.action) {
+                    ActionContext action_ctx(stmt, *bindings, sink,
+                                             sm.name(), rule.id);
+                    rule.action(action_ctx);
+                }
+            }
+            if (!rule.next_state.empty())
+                st.state = rule.next_state;
+            return true;
+        }
+        return false;
+    };
+
+    PathWalker<SmState>::Hooks hooks;
+    hooks.on_stmt = [&](SmState& st, const lang::Stmt& stmt) {
+        std::set<std::string> idents;
+        match::Pattern::collectIdents(stmt, idents);
+        if (try_rules(st, stmt, idents, sm.rulesFor(st.state)))
+            return;
+        try_rules(st, stmt, idents, sm.allRules());
+    };
+
+    PathWalker<SmState>::WalkOptions walk_options;
+    walk_options.max_visits = options.max_visits;
+    walk_options.prune_correlated_branches =
+        options.prune_correlated_branches;
+    PathWalker<SmState> walker(std::move(hooks), walk_options);
+    SmState initial;
+    initial.state = sm.startState();
+    auto walk = walker.walk(cfg, initial);
+    result.visits = walk.visits;
+    result.truncated = walk.truncated;
+    return result;
+}
+
+} // namespace mc::metal

@@ -1,0 +1,51 @@
+#ifndef MCHECK_METAL_ENGINE_H
+#define MCHECK_METAL_ENGINE_H
+
+#include "cfg/cfg.h"
+#include "metal/state_machine.h"
+#include "support/diagnostics.h"
+
+#include <cstdint>
+#include <map>
+
+namespace mc::metal {
+
+/** Outcome of running one state machine over one function. */
+struct SmRunResult
+{
+    /** Rule firings, keyed by rule id, deduplicated per statement. */
+    std::map<std::string, int> firings;
+    /** (block, state) visits performed. */
+    std::uint64_t visits = 0;
+    /** True if the visit cap stopped exploration early. */
+    bool truncated = false;
+};
+
+/** Options controlling one engine run. */
+struct SmRunOptions
+{
+    /** Cap on (block, state) visits. */
+    std::uint64_t max_visits = 1u << 22;
+    /**
+     * Prune statically impossible paths through correlated branches
+     * (see PathWalker::WalkOptions). The paper declines to build this
+     * ("the effort seemed unjustified"); the path-pruning ablation
+     * measures what it would have bought.
+     */
+    bool prune_correlated_branches = false;
+};
+
+/**
+ * Apply `sm` down every path of `cfg`, reporting err() actions to `sink`.
+ *
+ * This is the intra-procedural half of xg++: rules fire on the first
+ * matching pattern (current state's rules first, then `all` rules);
+ * transitions update the path's state; reaching `stop` abandons the path.
+ */
+SmRunResult runStateMachine(const StateMachine& sm, const cfg::Cfg& cfg,
+                            support::DiagnosticSink& sink,
+                            const SmRunOptions& options = SmRunOptions());
+
+} // namespace mc::metal
+
+#endif // MCHECK_METAL_ENGINE_H

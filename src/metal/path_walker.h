@@ -1,0 +1,271 @@
+#ifndef MCHECK_METAL_PATH_WALKER_H
+#define MCHECK_METAL_PATH_WALKER_H
+
+#include "cfg/cfg.h"
+
+#include <cctype>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mc::metal {
+
+/**
+ * Generic path-sensitive traversal with client-defined state.
+ *
+ * This is xg++'s "apply the extension down every path" core. The walker
+ * visits CFG blocks depth-first from the entry, threading a client state
+ * value through each path. Exponential blowup is avoided the way xg++
+ * avoids it: a (block, state) pair is visited at most once, which is
+ * exact for checkers whose behavior depends only on the current state and
+ * statement (all of ours).
+ *
+ * The client state type must provide:
+ *   - copy construction (paths fork at branches);
+ *   - `std::string key() const` — a stable encoding used for the
+ *     (block, state) visited set;
+ *   - `bool dead() const` — true when this path needs no further
+ *     exploration (the metal `stop` state).
+ */
+template <typename State>
+class PathWalker
+{
+  public:
+    struct Hooks
+    {
+        /** Called for each statement of each visited block, in order. */
+        std::function<void(State&, const lang::Stmt&)> on_stmt;
+        /**
+         * Called when leaving a branch block, once per out-edge, with
+         * the branch condition and the index of the taken edge (0 = the
+         * true edge for if/while). Lets clients be value-sensitive the
+         * way Section 6.1's twelve-line refinement is.
+         */
+        std::function<void(State&, const lang::Expr&, std::size_t)>
+            on_branch;
+        /** Called when a path reaches the function's exit block. */
+        std::function<void(State&)> on_exit;
+    };
+
+    struct Result
+    {
+        /** Number of (block, state) visits performed. */
+        std::uint64_t visits = 0;
+        /** True if the visit cap stopped exploration early. */
+        bool truncated = false;
+        /** Branch edges pruned as contradictory (pruning mode only). */
+        std::uint64_t pruned_edges = 0;
+    };
+
+    struct WalkOptions
+    {
+        std::uint64_t max_visits = 1u << 22;
+        /**
+         * Prune statically impossible paths through *correlated
+         * branches*: when two two-way branches test the syntactically
+         * identical (side-effect-free) condition along one path, the
+         * second must take the same edge as the first. This is the
+         * "more elaborate analysis" the paper's Section 5 describes and
+         * declines to build; the path-pruning ablation measures what it
+         * buys. Negated conditions (`!c` vs `c`) correlate too.
+         */
+        bool prune_correlated_branches = false;
+    };
+
+    explicit PathWalker(Hooks hooks, std::uint64_t max_visits = 1u << 22)
+        : hooks_(std::move(hooks))
+    {
+        options_.max_visits = max_visits;
+    }
+
+    PathWalker(Hooks hooks, const WalkOptions& options)
+        : hooks_(std::move(hooks)), options_(options)
+    {}
+
+    /** Walk `cfg` starting from `initial` state at the entry block. */
+    Result
+    walk(const cfg::Cfg& cfg, const State& initial)
+    {
+        /** Client state plus the path's recorded branch outcomes. */
+        struct Entry
+        {
+            int block;
+            State state;
+            std::map<std::string, bool> outcomes;
+        };
+
+        Result result;
+        std::set<std::pair<int, std::string>> visited;
+        std::vector<Entry> stack;
+        stack.push_back(Entry{cfg.entryId(), initial, {}});
+
+        while (!stack.empty()) {
+            Entry entry = std::move(stack.back());
+            stack.pop_back();
+
+            std::string key = entry.state.key();
+            if (options_.prune_correlated_branches)
+                for (const auto& [cond, value] : entry.outcomes)
+                    key += (value ? "|+" : "|-") + cond;
+            if (!visited.emplace(entry.block, std::move(key)).second)
+                continue;
+            if (++result.visits > options_.max_visits) {
+                result.truncated = true;
+                return result;
+            }
+
+            const cfg::BasicBlock& bb = cfg.block(entry.block);
+            for (const lang::Stmt* stmt : bb.stmts) {
+                if (hooks_.on_stmt)
+                    hooks_.on_stmt(entry.state, *stmt);
+                if (options_.prune_correlated_branches &&
+                    !entry.outcomes.empty())
+                    invalidateOutcomes(*stmt, entry.outcomes);
+                if (entry.state.dead())
+                    break;
+            }
+            if (entry.state.dead())
+                continue;
+
+            if (entry.block == cfg.exitId()) {
+                if (hooks_.on_exit)
+                    hooks_.on_exit(entry.state);
+                continue;
+            }
+
+            for (std::size_t i = 0; i < bb.succs.size(); ++i) {
+                Entry next{bb.succs[i], entry.state, entry.outcomes};
+                if (bb.isBranch() && hooks_.on_branch)
+                    hooks_.on_branch(next.state, *bb.branch_cond, i);
+                if (next.state.dead())
+                    continue;
+                if (options_.prune_correlated_branches && bb.isBranch() &&
+                    bb.succs.size() == 2 &&
+                    !recordOutcome(*bb.branch_cond, i == 0,
+                                   next.outcomes)) {
+                    ++result.pruned_edges;
+                    continue; // contradicts an earlier outcome
+                }
+                stack.push_back(std::move(next));
+            }
+        }
+        return result;
+    }
+
+  private:
+    /**
+     * Record "cond evaluated to `value`" in `outcomes`. Returns false if
+     * that contradicts a previously recorded outcome on this path.
+     * Conditions with calls or assignments are not correlated (their
+     * value can change between tests).
+     */
+    static bool
+    recordOutcome(const lang::Expr& cond, bool value,
+                  std::map<std::string, bool>& outcomes)
+    {
+        const lang::Expr* base = &cond;
+        while (base->ekind == lang::ExprKind::Unary &&
+               static_cast<const lang::UnaryExpr*>(base)->op ==
+                   lang::UnaryOp::Not) {
+            base = static_cast<const lang::UnaryExpr*>(base)->operand;
+            value = !value;
+        }
+        bool impure = false;
+        lang::forEachSubExpr(*base, [&](const lang::Expr& e) {
+            if (e.ekind == lang::ExprKind::Call)
+                impure = true;
+            if (e.ekind == lang::ExprKind::Binary &&
+                lang::isAssignment(
+                    static_cast<const lang::BinaryExpr&>(e).op))
+                impure = true;
+            if (e.ekind == lang::ExprKind::Unary) {
+                auto op = static_cast<const lang::UnaryExpr&>(e).op;
+                if (op == lang::UnaryOp::PreInc ||
+                    op == lang::UnaryOp::PreDec ||
+                    op == lang::UnaryOp::PostInc ||
+                    op == lang::UnaryOp::PostDec)
+                    impure = true;
+            }
+        });
+        if (impure)
+            return true;
+        std::string text = lang::exprToString(*base);
+        auto [it, inserted] = outcomes.emplace(std::move(text), value);
+        return inserted || it->second == value;
+    }
+
+    /** True if `name` occurs as a whole identifier inside `text`. */
+    static bool
+    mentionsIdent(const std::string& text, const std::string& name)
+    {
+        std::size_t pos = 0;
+        auto is_word = [](char c) {
+            return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+        };
+        while ((pos = text.find(name, pos)) != std::string::npos) {
+            bool left_ok = pos == 0 || !is_word(text[pos - 1]);
+            std::size_t end = pos + name.size();
+            bool right_ok = end >= text.size() || !is_word(text[end]);
+            if (left_ok && right_ok)
+                return true;
+            pos = end;
+        }
+        return false;
+    }
+
+    /**
+     * Drop recorded outcomes whose condition mentions a variable this
+     * statement assigns — the re-test of the condition is no longer
+     * correlated with the first.
+     */
+    static void
+    invalidateOutcomes(const lang::Stmt& stmt,
+                       std::map<std::string, bool>& outcomes)
+    {
+        std::vector<std::string> assigned;
+        if (stmt.skind == lang::StmtKind::Decl)
+            for (const lang::VarDecl* v :
+                 static_cast<const lang::DeclStmt&>(stmt).decls)
+                assigned.push_back(v->name);
+        lang::forEachTopLevelExpr(stmt, [&](const lang::Expr& top) {
+            lang::forEachSubExpr(top, [&](const lang::Expr& e) {
+                const lang::Expr* target = nullptr;
+                if (e.ekind == lang::ExprKind::Binary &&
+                    lang::isAssignment(
+                        static_cast<const lang::BinaryExpr&>(e).op))
+                    target = static_cast<const lang::BinaryExpr&>(e).lhs;
+                if (e.ekind == lang::ExprKind::Unary) {
+                    auto op = static_cast<const lang::UnaryExpr&>(e).op;
+                    if (op == lang::UnaryOp::PreInc ||
+                        op == lang::UnaryOp::PreDec ||
+                        op == lang::UnaryOp::PostInc ||
+                        op == lang::UnaryOp::PostDec)
+                        target =
+                            static_cast<const lang::UnaryExpr&>(e).operand;
+                }
+                if (target && target->ekind == lang::ExprKind::Ident)
+                    assigned.push_back(
+                        static_cast<const lang::IdentExpr*>(target)->name);
+            });
+        });
+        if (assigned.empty())
+            return;
+        for (auto it = outcomes.begin(); it != outcomes.end();) {
+            bool hit = false;
+            for (const std::string& name : assigned)
+                hit |= mentionsIdent(it->first, name);
+            it = hit ? outcomes.erase(it) : ++it;
+        }
+    }
+
+    Hooks hooks_;
+    WalkOptions options_;
+};
+
+} // namespace mc::metal
+
+#endif // MCHECK_METAL_PATH_WALKER_H

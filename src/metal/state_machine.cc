@@ -1,0 +1,46 @@
+#include "metal/state_machine.h"
+
+namespace mc::metal {
+
+void
+StateMachine::addRule(const std::string& state, Rule rule)
+{
+    // The start state is the first state defined — including `all`:
+    // Figure 3 of the paper deliberately starts in `all` so that sends
+    // seen before any length assignment are ignored.
+    if (start_.empty() && state != kStop)
+        start_ = state;
+    if (rule.id.empty()) {
+        rule.id = state + "#" +
+                  std::to_string(rules_[state].size());
+    }
+    rules_[state].push_back(std::move(rule));
+}
+
+const std::vector<StateMachine::Rule>&
+StateMachine::rulesFor(const std::string& state) const
+{
+    static const std::vector<Rule> empty;
+    auto it = rules_.find(state);
+    return it == rules_.end() ? empty : it->second;
+}
+
+std::vector<std::string>
+StateMachine::states() const
+{
+    std::vector<std::string> out;
+    for (const auto& [state, rules] : rules_)
+        out.push_back(state);
+    return out;
+}
+
+int
+StateMachine::ruleCount() const
+{
+    int n = 0;
+    for (const auto& [state, rules] : rules_)
+        n += static_cast<int>(rules.size());
+    return n;
+}
+
+} // namespace mc::metal

@@ -1,0 +1,120 @@
+#ifndef MCHECK_METAL_STATE_MACHINE_H
+#define MCHECK_METAL_STATE_MACHINE_H
+
+#include "match/pattern.h"
+#include "support/diagnostics.h"
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mc::metal {
+
+/**
+ * Context handed to a rule action when its pattern matches.
+ *
+ * Mirrors metal's action escapes: the statement that triggered the match,
+ * the wildcard bindings, and an `err()` facility that reports through the
+ * run's DiagnosticSink.
+ */
+class ActionContext
+{
+  public:
+    ActionContext(const lang::Stmt& stmt, const match::Bindings& bindings,
+                  support::DiagnosticSink& sink, std::string checker,
+                  std::string rule_id)
+        : stmt_(stmt), bindings_(bindings), sink_(sink),
+          checker_(std::move(checker)), rule_id_(std::move(rule_id))
+    {}
+
+    const lang::Stmt& stmt() const { return stmt_; }
+    const match::Bindings& bindings() const { return bindings_; }
+
+    /** metal's err(): report an error at the matched statement. */
+    void
+    err(const std::string& message) const
+    {
+        sink_.error(stmt_.loc, checker_, rule_id_, message);
+    }
+
+    /** Report a warning instead of an error. */
+    void
+    warn(const std::string& message) const
+    {
+        sink_.warning(stmt_.loc, checker_, rule_id_, message);
+    }
+
+  private:
+    const lang::Stmt& stmt_;
+    const match::Bindings& bindings_;
+    support::DiagnosticSink& sink_;
+    std::string checker_;
+    std::string rule_id_;
+};
+
+/**
+ * A metal state machine: named states, each with an ordered rule list.
+ *
+ * Semantics follow the paper:
+ *  - execution starts in the first state defined;
+ *  - on each statement, the current state's rules are tried in order and
+ *    the first whose pattern matches fires (transition + action);
+ *  - rules of the special `all` state are "implicitly applied to other
+ *    states" — they are tried after the current state's own rules;
+ *  - transitioning to the reserved `stop` state ends checking of the
+ *    current path.
+ */
+class StateMachine
+{
+  public:
+    /** Reserved state names. */
+    static constexpr const char* kStop = "stop";
+    static constexpr const char* kAll = "all";
+
+    struct Rule
+    {
+        match::Pattern pattern;
+        /** Target state; empty string = stay in the current state. */
+        std::string next_state;
+        /** Optional action run on match. */
+        std::function<void(const ActionContext&)> action;
+        /** Stable id for deduplication and tests. */
+        std::string id;
+    };
+
+    explicit StateMachine(std::string name) : name_(std::move(name)) {}
+
+    const std::string& name() const { return name_; }
+
+    /**
+     * Add a rule under `state`. The first non-`all` state mentioned
+     * becomes the start state.
+     */
+    void addRule(const std::string& state, Rule rule);
+
+    /** Explicitly set the start state (otherwise first defined). */
+    void setStartState(const std::string& state) { start_ = state; }
+
+    const std::string& startState() const { return start_; }
+
+    /** Rules for `state` (not including `all` rules). */
+    const std::vector<Rule>& rulesFor(const std::string& state) const;
+
+    /** Rules of the `all` state. */
+    const std::vector<Rule>& allRules() const { return rulesFor(kAll); }
+
+    /** All states that have rules (including `all` if used). */
+    std::vector<std::string> states() const;
+
+    int ruleCount() const;
+
+  private:
+    std::string name_;
+    std::string start_;
+    std::map<std::string, std::vector<Rule>> rules_;
+};
+
+} // namespace mc::metal
+
+#endif // MCHECK_METAL_STATE_MACHINE_H

@@ -1,0 +1,332 @@
+#include "sim/machine.h"
+
+#include <algorithm>
+
+namespace mc::sim {
+
+const char*
+failureKindName(FailureKind kind)
+{
+    switch (kind) {
+      case FailureKind::RaceCorruption: return "race-corruption";
+      case FailureKind::DoubleFree: return "double-free";
+      case FailureKind::UseAfterFree: return "use-after-free";
+      case FailureKind::BufferExhaustion: return "buffer-exhaustion";
+      case FailureKind::LengthMismatch: return "length-mismatch";
+      case FailureKind::LaneOverflow: return "lane-overflow";
+      case FailureKind::MissedWait: return "missed-wait";
+      case FailureKind::StaleDirectory: return "stale-directory";
+      case FailureKind::FatalStop: return "fatal-stop";
+    }
+    return "?";
+}
+
+MagicNode::MagicNode(const Config& config, std::uint64_t seed)
+    : config_(config), rng_(seed),
+      buffer_refcount_(static_cast<std::size_t>(config.buffer_count), 0)
+{}
+
+void
+MagicNode::fail(FailureKind kind)
+{
+    Failure failure;
+    failure.kind = kind;
+    failure.cycle = cycle_;
+    failure.message_index = message_index_;
+    failure.handler = current_handler_;
+    failures_.push_back(std::move(failure));
+}
+
+void
+MagicNode::drainLanes()
+{
+    // The network drains one message per lane per handler slot.
+    for (int& depth : lane_queue_)
+        depth = std::max(0, depth - 1);
+}
+
+bool
+MagicNode::deliverMessage(std::int64_t payload, const std::string& handler)
+{
+    ++message_index_;
+    current_handler_ = handler;
+    payload_ = payload;
+    header_len_ = kLenNoData;
+    pending_wait_ = 0;
+    retry_budget_ = 2;
+    drainLanes();
+
+    current_buffer_ = -1;
+    for (std::size_t i = 0; i < buffer_refcount_.size(); ++i) {
+        if (buffer_refcount_[i] == 0) {
+            current_buffer_ = static_cast<int>(i);
+            break;
+        }
+    }
+    if (current_buffer_ < 0) {
+        fail(FailureKind::BufferExhaustion);
+        return false;
+    }
+    buffer_refcount_[static_cast<std::size_t>(current_buffer_)] = 1;
+    current_buffer_valid_ = true;
+
+    // The interface fills the buffer body while the handler starts.
+    std::uint64_t delay = 0;
+    if (rng_.chance(static_cast<std::uint64_t>(config_.slow_fill_percent),
+                    100))
+        delay = static_cast<std::uint64_t>(config_.slow_fill_delay);
+    fill_ready_cycle_ = cycle_ + delay;
+    return true;
+}
+
+bool
+MagicNode::finishHandler()
+{
+    if (pending_wait_ != 0) {
+        fail(FailureKind::MissedWait);
+        pending_wait_ = 0;
+    }
+    // A buffer still referenced when the handler ends is lost: the slot
+    // stays allocated forever (the paper's low-grade leak). Nothing to
+    // record immediately — exhaustion surfaces later.
+    bool leaked =
+        current_buffer_ >= 0 && current_buffer_valid_ &&
+        buffer_refcount_[static_cast<std::size_t>(current_buffer_)] > 0;
+    current_buffer_ = -1;
+    current_buffer_valid_ = false;
+    if (dir_dirty_entry_) {
+        // Modified entry dropped without writeback: memory goes stale.
+        dir_stale_ = true;
+        dir_have_entry_ = false;
+        dir_dirty_entry_ = false;
+    }
+    return leaked;
+}
+
+std::int64_t
+MagicNode::allocateBuffer()
+{
+    // Allocating while holding simply overwrites the current pointer;
+    // the old buffer's reference is lost (leaked slot).
+    for (std::size_t i = 0; i < buffer_refcount_.size(); ++i) {
+        if (buffer_refcount_[i] == 0) {
+            buffer_refcount_[i] = 1;
+            current_buffer_ = static_cast<int>(i);
+            current_buffer_valid_ = true;
+            fill_ready_cycle_ = cycle_;
+            return static_cast<std::int64_t>(i) + 1;
+        }
+    }
+    fail(FailureKind::BufferExhaustion);
+    return 0;
+}
+
+void
+MagicNode::freeCurrentBuffer()
+{
+    if (current_buffer_ < 0 || !current_buffer_valid_ ||
+        buffer_refcount_[static_cast<std::size_t>(current_buffer_)] <= 0) {
+        fail(FailureKind::DoubleFree);
+        return;
+    }
+    --buffer_refcount_[static_cast<std::size_t>(current_buffer_)];
+    current_buffer_valid_ = false;
+}
+
+std::int64_t
+MagicNode::maybeFreeBuffer(int which)
+{
+    bool do_free = ((payload_ >> which) & 1) != 0;
+    if (do_free) {
+        freeCurrentBuffer();
+        return 1;
+    }
+    return 0;
+}
+
+void
+MagicNode::waitForFill()
+{
+    cycle_ = std::max(cycle_, fill_ready_cycle_);
+}
+
+std::int64_t
+MagicNode::readBuffer()
+{
+    if (current_buffer_ >= 0 && !current_buffer_valid_) {
+        fail(FailureKind::UseAfterFree);
+        return 0;
+    }
+    if (cycle_ < fill_ready_cycle_) {
+        // The hardware has not finished filling: the read returns
+        // garbage — silent data corruption.
+        fail(FailureKind::RaceCorruption);
+        return static_cast<std::int64_t>(rng_.next() & 0xffff);
+    }
+    return payload_;
+}
+
+void
+MagicNode::writeBuffer(std::int64_t value)
+{
+    (void)value;
+    if (current_buffer_ >= 0 && !current_buffer_valid_)
+        fail(FailureKind::UseAfterFree);
+}
+
+void
+MagicNode::markHandoff()
+{
+    // A later handler owns the buffer now; model its eventual free.
+    if (current_buffer_ >= 0 && current_buffer_valid_) {
+        --buffer_refcount_[static_cast<std::size_t>(current_buffer_)];
+        current_buffer_valid_ = false;
+    }
+}
+
+int
+MagicNode::freeBufferCount() const
+{
+    int n = 0;
+    for (int refcount : buffer_refcount_)
+        if (refcount == 0)
+            ++n;
+    return n;
+}
+
+void
+MagicNode::setHeaderLength(std::int64_t len)
+{
+    header_len_ = len;
+}
+
+void
+MagicNode::send(char iface, bool has_data, bool wait, int lane)
+{
+    if (current_buffer_ >= 0 && !current_buffer_valid_)
+        fail(FailureKind::UseAfterFree);
+    if (has_data && header_len_ == kLenNoData)
+        fail(FailureKind::LengthMismatch);
+    if (!has_data && header_len_ != kLenNoData)
+        fail(FailureKind::LengthMismatch);
+    if (lane >= 0 && lane < flash::kLaneCount) {
+        int& depth = lane_queue_[static_cast<std::size_t>(lane)];
+        if (++depth > config_.lane_queue_capacity) {
+            fail(FailureKind::LaneOverflow);
+            depth = config_.lane_queue_capacity;
+        }
+    }
+    if (wait) {
+        if (pending_wait_ != 0)
+            fail(FailureKind::MissedWait);
+        pending_wait_ = iface;
+    }
+    tick();
+}
+
+void
+MagicNode::waitForReply(char iface)
+{
+    if (pending_wait_ == iface) {
+        pending_wait_ = 0;
+        tick(3);
+        return;
+    }
+    // Waiting on the wrong (or no) interface: the machine would hang;
+    // record and recover so the run can continue.
+    fail(FailureKind::MissedWait);
+    pending_wait_ = 0;
+}
+
+std::int64_t
+MagicNode::pollStatus(char iface)
+{
+    // The raw-poll idiom: works on hardware, invisible to the checker.
+    if (pending_wait_ == iface)
+        pending_wait_ = 0;
+    tick();
+    return 1;
+}
+
+void
+MagicNode::waitForSpace(int lane)
+{
+    if (lane >= 0 && lane < flash::kLaneCount)
+        lane_queue_[static_cast<std::size_t>(lane)] = 0;
+    tick(2);
+}
+
+void
+MagicNode::dirLoad()
+{
+    if (dir_stale_) {
+        fail(FailureKind::StaleDirectory);
+        dir_stale_ = false; // observed once
+    }
+    dir_loaded_ = dir_memory_;
+    dir_have_entry_ = true;
+    dir_dirty_entry_ = false;
+    tick();
+}
+
+std::int64_t
+MagicNode::dirRead()
+{
+    tick();
+    return dir_have_entry_ ? dir_loaded_ : 0;
+}
+
+void
+MagicNode::dirWrite(std::int64_t value)
+{
+    dir_loaded_ = value;
+    dir_dirty_entry_ = true;
+    tick();
+}
+
+void
+MagicNode::dirWriteback()
+{
+    dir_memory_ = dir_loaded_;
+    dir_dirty_entry_ = false;
+    tick();
+}
+
+std::int64_t
+MagicNode::urgencyLevel()
+{
+    return payload_ & 7;
+}
+
+std::int64_t
+MagicNode::retryNeeded()
+{
+    return retry_budget_-- > 0 ? 1 : 0;
+}
+
+void
+MagicNode::fatalError()
+{
+    fail(FailureKind::FatalStop);
+}
+
+std::uint64_t
+MagicNode::firstFailureMessage(FailureKind kind) const
+{
+    for (const Failure& failure : failures_)
+        if (failure.kind == kind)
+            return failure.message_index;
+    return 0;
+}
+
+int
+MagicNode::failureCount(FailureKind kind) const
+{
+    int n = 0;
+    for (const Failure& failure : failures_)
+        if (failure.kind == kind)
+            ++n;
+    return n;
+}
+
+} // namespace mc::sim

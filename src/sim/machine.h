@@ -1,0 +1,188 @@
+#ifndef MCHECK_SIM_MACHINE_H
+#define MCHECK_SIM_MACHINE_H
+
+#include "flash/protocol_spec.h"
+#include "support/rng.h"
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mc::sim {
+
+/**
+ * Dynamic failure categories the simulated MAGIC node can observe.
+ *
+ * These are the run-time manifestations of the bug classes the static
+ * checkers find at compile time; the dynamic-vs-static bench compares the
+ * two detection routes.
+ */
+enum class FailureKind : std::uint8_t
+{
+    /** Data read from a buffer the interface was still filling. */
+    RaceCorruption,
+    /** A buffer's reference count went negative. */
+    DoubleFree,
+    /** A freed buffer's contents were used. */
+    UseAfterFree,
+    /** The buffer pool drained to empty (system deadlock). */
+    BufferExhaustion,
+    /** A send's length field disagreed with its has-data flag. */
+    LengthMismatch,
+    /** A lane's output queue overflowed (deadlock risk). */
+    LaneOverflow,
+    /** A synchronous send's reply was never waited for. */
+    MissedWait,
+    /** A directory entry was read while a stale copy was unwritten. */
+    StaleDirectory,
+    /** FATAL_ERROR() executed. */
+    FatalStop,
+};
+
+const char* failureKindName(FailureKind kind);
+inline constexpr int kFailureKindCount = 9;
+
+/** One observed dynamic failure. */
+struct Failure
+{
+    FailureKind kind;
+    std::uint64_t cycle = 0;
+    std::uint64_t message_index = 0;
+    std::string handler;
+};
+
+/** Message-length constants as hardware sees them. */
+enum : std::int64_t
+{
+    kLenNoData = 0,
+    kLenWord = 8,
+    kLenCacheline = 128,
+};
+
+/**
+ * The simulated MAGIC node: data-buffer pool with manual reference
+ * counts, four outbound network lanes with finite queues, a directory,
+ * and the PI/IO interfaces. The interpreter calls into this for every
+ * FLASH macro; failures are recorded rather than aborting, so long runs
+ * can count manifestation frequencies.
+ */
+class MagicNode
+{
+  public:
+    struct Config
+    {
+        int buffer_count = 64;
+        int lane_queue_capacity = 4;
+        /** Percent of messages whose buffer fill is slow. */
+        int slow_fill_percent = 2;
+        /** Fill delay (cycles) when slow. */
+        int slow_fill_delay = 40;
+    };
+
+    explicit MagicNode(const Config& config, std::uint64_t seed);
+
+    // ---- time ----------------------------------------------------------
+    std::uint64_t cycle() const { return cycle_; }
+    void tick(std::uint64_t n = 1) { cycle_ += n; }
+
+    // ---- message lifecycle ----------------------------------------------
+    /**
+     * Hardware delivers a message: allocates a buffer for it (recording
+     * BufferExhaustion and returning false if none), sets the fill time,
+     * and stores the payload. Call before running the handler.
+     */
+    bool deliverMessage(std::int64_t payload, const std::string& handler);
+
+    /**
+     * Ends the current handler invocation; settles leak/wait checks.
+     * Returns true if the handler leaked its buffer (exited while still
+     * holding the reference).
+     */
+    bool finishHandler();
+
+    std::int64_t payload() const { return payload_; }
+
+    // ---- data buffers ----------------------------------------------------
+    std::int64_t allocateBuffer();
+    void freeCurrentBuffer();
+    /** MAYBE_FREE helpers: frees based on a payload bit; returns 0/1. */
+    std::int64_t maybeFreeBuffer(int which);
+    void waitForFill();
+    std::int64_t readBuffer();
+    void writeBuffer(std::int64_t value);
+    /** no_free_needed(): the buffer is handed to a later handler. */
+    void markHandoff();
+    int freeBufferCount() const;
+
+    // ---- sends and waits ---------------------------------------------------
+    void setHeaderLength(std::int64_t len);
+    /**
+     * A send on `iface` ('P','I','N'), has_data flag, wait flag, and for
+     * NI sends the opcode's lane (-1 otherwise).
+     */
+    void send(char iface, bool has_data, bool wait, int lane);
+    void waitForReply(char iface);
+    /** Raw status-register poll: satisfies a pending wait invisibly. */
+    std::int64_t pollStatus(char iface);
+    void waitForSpace(int lane);
+
+    // ---- directory -----------------------------------------------------------
+    void dirLoad();
+    std::int64_t dirRead();
+    void dirWrite(std::int64_t value);
+    void dirWriteback();
+
+    // ---- misc intrinsics -------------------------------------------------------
+    std::int64_t urgencyLevel();
+    std::int64_t retryNeeded();
+    void fatalError();
+
+    // ---- results ---------------------------------------------------------------
+    const std::vector<Failure>& failures() const { return failures_; }
+
+    /** First manifestation of `kind`, or 0 if never observed. */
+    std::uint64_t firstFailureMessage(FailureKind kind) const;
+
+    int failureCount(FailureKind kind) const;
+
+    std::uint64_t messagesHandled() const { return message_index_; }
+
+  private:
+    void fail(FailureKind kind);
+    void drainLanes();
+
+    Config config_;
+    support::Rng rng_;
+    std::uint64_t cycle_ = 0;
+    std::uint64_t message_index_ = 0;
+    std::string current_handler_;
+
+    // Buffer pool: refcount per slot (0 = free).
+    std::vector<int> buffer_refcount_;
+    int current_buffer_ = -1;
+    bool current_buffer_valid_ = false;
+    std::uint64_t fill_ready_cycle_ = 0;
+    std::int64_t payload_ = 0;
+
+    std::int64_t header_len_ = kLenNoData;
+    std::array<int, flash::kLaneCount> lane_queue_{0, 0, 0, 0};
+    char pending_wait_ = 0; // 0 none, else 'P'/'I'
+
+    // One-line directory model: the line every handler touches, plus a
+    // staleness flag set when modifications are dropped.
+    std::int64_t dir_memory_ = 1;
+    std::int64_t dir_loaded_ = 0;
+    bool dir_have_entry_ = false;
+    bool dir_dirty_entry_ = false;
+    bool dir_stale_ = false;
+
+    int retry_budget_ = 0;
+
+    std::vector<Failure> failures_;
+};
+
+} // namespace mc::sim
+
+#endif // MCHECK_SIM_MACHINE_H

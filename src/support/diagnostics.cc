@@ -1,0 +1,98 @@
+#include "support/diagnostics.h"
+
+#include "support/source_manager.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace mc::support {
+
+const char*
+severityName(Severity sev)
+{
+    switch (sev) {
+      case Severity::Error: return "error";
+      case Severity::Warning: return "warning";
+      case Severity::Note: return "note";
+    }
+    return "unknown";
+}
+
+bool
+DiagnosticSink::report(Diagnostic diag)
+{
+    std::ostringstream key;
+    key << diag.checker << '\x1f' << diag.rule << '\x1f' << diag.loc.file_id
+        << ':' << diag.loc.line << ':' << diag.loc.column;
+    if (diag.severity != Severity::Note) {
+        auto [it, inserted] = seen_.emplace(key.str(), 1);
+        if (!inserted) {
+            ++it->second;
+            return false;
+        }
+    }
+    diags_.push_back(std::move(diag));
+    return true;
+}
+
+int
+DiagnosticSink::count(Severity sev) const
+{
+    int n = 0;
+    for (const auto& d : diags_)
+        if (d.severity == sev)
+            ++n;
+    return n;
+}
+
+int
+DiagnosticSink::countForChecker(const std::string& checker) const
+{
+    int n = 0;
+    for (const auto& d : diags_)
+        if (d.checker == checker)
+            ++n;
+    return n;
+}
+
+int
+DiagnosticSink::countForChecker(const std::string& checker,
+                                Severity sev) const
+{
+    int n = 0;
+    for (const auto& d : diags_)
+        if (d.checker == checker && d.severity == sev)
+            ++n;
+    return n;
+}
+
+void
+DiagnosticSink::clear()
+{
+    diags_.clear();
+    seen_.clear();
+}
+
+void
+DiagnosticSink::print(std::ostream& os, const SourceManager* sm) const
+{
+    for (const auto& d : diags_) {
+        if (sm) {
+            os << sm->describe(d.loc);
+        } else {
+            os << "file" << d.loc.file_id << ':' << d.loc.line << ':'
+               << d.loc.column;
+        }
+        os << ": " << severityName(d.severity) << ": [" << d.checker << '.'
+           << d.rule << "] " << d.message << '\n';
+        if (sm && d.loc.isValid()) {
+            auto text = sm->lineText(d.loc.file_id, d.loc.line);
+            if (!text.empty())
+                os << "    " << text << '\n';
+        }
+        for (const auto& frame : d.trace)
+            os << "    at " << frame << '\n';
+    }
+}
+
+} // namespace mc::support

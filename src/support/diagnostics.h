@@ -1,0 +1,105 @@
+#ifndef MCHECK_SUPPORT_DIAGNOSTICS_H
+#define MCHECK_SUPPORT_DIAGNOSTICS_H
+
+#include "support/source_location.h"
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mc::support {
+
+class SourceManager;
+
+/** How serious a reported finding is. */
+enum class Severity
+{
+    /** A rule violation the checker believes is a real bug. */
+    Error,
+    /** A suspicious construct that may be benign. */
+    Warning,
+    /** Supplementary information attached to a prior finding. */
+    Note,
+};
+
+/** Returns a short lowercase name ("error", "warning", "note"). */
+const char* severityName(Severity sev);
+
+/**
+ * One finding emitted by a checker.
+ *
+ * `checker` is the checker's stable name (Table 7 row), `rule` a short
+ * machine-readable id for the specific violated rule, and `message` the
+ * human-readable text. `trace` optionally carries an inter-procedural
+ * back-trace (the lanes checker populates it, mirroring the paper's
+ * "precise textual back traces").
+ */
+struct Diagnostic
+{
+    Severity severity = Severity::Error;
+    SourceLoc loc;
+    std::string checker;
+    std::string rule;
+    std::string message;
+    std::vector<std::string> trace;
+};
+
+/**
+ * Collects diagnostics from all checkers in one run.
+ *
+ * The sink deduplicates findings by (checker, rule, location): a
+ * path-sensitive engine can reach the same bad statement along many paths,
+ * but the paper's tables count distinct source-level errors.
+ */
+class DiagnosticSink
+{
+  public:
+    /** Report a finding. Returns true if it was new (not a duplicate). */
+    bool report(Diagnostic diag);
+
+    /** Convenience for the common case. */
+    bool
+    error(const SourceLoc& loc, std::string checker, std::string rule,
+          std::string message)
+    {
+        return report(Diagnostic{Severity::Error, loc, std::move(checker),
+                                 std::move(rule), std::move(message), {}});
+    }
+
+    bool
+    warning(const SourceLoc& loc, std::string checker, std::string rule,
+            std::string message)
+    {
+        return report(Diagnostic{Severity::Warning, loc, std::move(checker),
+                                 std::move(rule), std::move(message), {}});
+    }
+
+    const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+
+    /** Total findings with the given severity. */
+    int count(Severity sev) const;
+
+    /** Findings attributed to one checker (all severities). */
+    int countForChecker(const std::string& checker) const;
+
+    /** Findings for one (checker, severity) pair. */
+    int countForChecker(const std::string& checker, Severity sev) const;
+
+    /** Drop all collected diagnostics and duplicate-tracking state. */
+    void clear();
+
+    /**
+     * Print all findings (with source line excerpts when a SourceManager
+     * is supplied) in "file:line:col: severity: [checker] message" form.
+     */
+    void print(std::ostream& os, const SourceManager* sm = nullptr) const;
+
+  private:
+    std::vector<Diagnostic> diags_;
+    std::map<std::string, int> seen_;
+};
+
+} // namespace mc::support
+
+#endif // MCHECK_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,74 @@
+#ifndef MCHECK_SUPPORT_RNG_H
+#define MCHECK_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace mc::support {
+
+/**
+ * Deterministic 64-bit PRNG (SplitMix64).
+ *
+ * The corpus generator and the FLASH simulator must be reproducible across
+ * platforms and standard-library versions, so we avoid <random> engines and
+ * distributions and use this fixed algorithm everywhere randomness is
+ * needed.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Modulo bias is irrelevant for corpus generation purposes.
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+                        below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** True with probability num/den. */
+    bool
+    chance(std::uint64_t num, std::uint64_t den)
+    {
+        return below(den) < num;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Fork an independent stream (e.g., one per generated handler). */
+    Rng
+    fork()
+    {
+        return Rng(next() ^ 0xd1b54a32d192ed03ull);
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace mc::support
+
+#endif // MCHECK_SUPPORT_RNG_H

@@ -1,0 +1,51 @@
+#ifndef MCHECK_SUPPORT_SOURCE_LOCATION_H
+#define MCHECK_SUPPORT_SOURCE_LOCATION_H
+
+#include <cstdint>
+#include <functional>
+
+namespace mc::support {
+
+/**
+ * A position in a source file registered with a SourceManager.
+ *
+ * Locations are value types: a (file id, line, column) triple. Line and
+ * column are 1-based; file id 0 is reserved for "unknown / synthesized".
+ */
+struct SourceLoc
+{
+    std::int32_t file_id = 0;
+    std::int32_t line = 0;
+    std::int32_t column = 0;
+
+    /** True if this location refers to a real registered file. */
+    bool isValid() const { return file_id > 0 && line > 0; }
+
+    friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+
+    /** Orders locations within a file by (line, column). */
+    friend bool
+    operator<(const SourceLoc& a, const SourceLoc& b)
+    {
+        if (a.file_id != b.file_id) return a.file_id < b.file_id;
+        if (a.line != b.line) return a.line < b.line;
+        return a.column < b.column;
+    }
+};
+
+} // namespace mc::support
+
+template <>
+struct std::hash<mc::support::SourceLoc>
+{
+    std::size_t
+    operator()(const mc::support::SourceLoc& loc) const noexcept
+    {
+        std::size_t h = static_cast<std::size_t>(loc.file_id);
+        h = h * 1000003u + static_cast<std::size_t>(loc.line);
+        h = h * 1000003u + static_cast<std::size_t>(loc.column);
+        return h;
+    }
+};
+
+#endif // MCHECK_SUPPORT_SOURCE_LOCATION_H

@@ -1,0 +1,88 @@
+#include "support/text.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mc::support {
+
+std::vector<std::string>
+split(std::string_view s, char sep)
+{
+    std::vector<std::string> out;
+    std::size_t begin = 0;
+    while (true) {
+        std::size_t pos = s.find(sep, begin);
+        if (pos == std::string_view::npos) {
+            out.emplace_back(s.substr(begin));
+            return out;
+        }
+        out.emplace_back(s.substr(begin, pos - begin));
+        begin = pos + 1;
+    }
+}
+
+std::string_view
+trim(std::string_view s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+bool
+startsWith(std::string_view s, std::string_view prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string
+join(const std::vector<std::string>& parts, std::string_view sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string
+formatTable(const std::vector<std::string>& header,
+            const std::vector<std::vector<std::string>>& rows)
+{
+    std::vector<std::size_t> widths(header.size());
+    for (std::size_t c = 0; c < header.size(); ++c)
+        widths[c] = header[c].size();
+    for (const auto& row : rows)
+        for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](std::ostringstream& os,
+                        const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            std::string cell = c < row.size() ? row[c] : "";
+            os << cell << std::string(widths[c] - cell.size(), ' ');
+            if (c + 1 < widths.size())
+                os << "  ";
+        }
+        os << '\n';
+    };
+
+    std::ostringstream os;
+    emit_row(os, header);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+    for (const auto& row : rows)
+        emit_row(os, row);
+    return os.str();
+}
+
+} // namespace mc::support

@@ -1,0 +1,33 @@
+#ifndef MCHECK_SUPPORT_TEXT_H
+#define MCHECK_SUPPORT_TEXT_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mc::support {
+
+/** Split `s` on `sep`, keeping empty fields. */
+std::vector<std::string> split(std::string_view s, char sep);
+
+/** Strip ASCII whitespace from both ends. */
+std::string_view trim(std::string_view s);
+
+/** True if `s` starts with `prefix`. */
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/** Join `parts` with `sep`. */
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/**
+ * Render a fixed-width table: `header` then `rows`, columns padded to the
+ * widest cell, separated by two spaces, with a rule under the header.
+ * All benches use this so the reproduced paper tables share a format.
+ */
+std::string formatTable(const std::vector<std::string>& header,
+                        const std::vector<std::vector<std::string>>& rows);
+
+} // namespace mc::support
+
+#endif // MCHECK_SUPPORT_TEXT_H

@@ -1,0 +1,288 @@
+#include "checkers/buffer_mgmt.h"
+#include "tests/checkers/harness.h"
+
+#include <gtest/gtest.h>
+
+namespace mc::checkers {
+namespace {
+
+using flash::HandlerKind;
+using testing::Harness;
+
+TEST(BufferMgmt, HardwareHandlerMustFree)
+{
+    Harness h;
+    h.addHandler("H", HandlerKind::Hardware, "work();");
+    BufferMgmtChecker checker;
+    h.run(checker);
+    EXPECT_TRUE(h.hasErrorRule("leak"));
+}
+
+TEST(BufferMgmt, HardwareHandlerFreeingIsClean)
+{
+    Harness h;
+    h.addHandler("H", HandlerKind::Hardware,
+                 "NI_SEND(MSG_ACK, F_NODATA, keep, wait, dec, null);"
+                 "FREE_DB();");
+    BufferMgmtChecker checker;
+    h.run(checker);
+    EXPECT_EQ(h.errors(), 0);
+}
+
+TEST(BufferMgmt, DoubleFreeFlagged)
+{
+    Harness h;
+    h.addHandler("H", HandlerKind::Hardware, "FREE_DB(); FREE_DB();");
+    BufferMgmtChecker checker;
+    h.run(checker);
+    EXPECT_TRUE(h.hasErrorRule("double-free"));
+}
+
+TEST(BufferMgmt, DoubleFreeOnOnePathOnly)
+{
+    // The shared-heritage bug shape: a free inside a branch followed by
+    // an unconditional free.
+    Harness h;
+    h.addHandler("H", HandlerKind::Hardware,
+                 "if (fast_path) { FREE_DB(); }"
+                 "FREE_DB();");
+    BufferMgmtChecker checker;
+    h.run(checker);
+    EXPECT_TRUE(h.hasErrorRule("double-free"));
+}
+
+TEST(BufferMgmt, SendAfterFreeFlagged)
+{
+    Harness h;
+    h.addHandler("H", HandlerKind::Hardware,
+                 "FREE_DB();"
+                 "NI_SEND(MSG_ACK, F_NODATA, keep, wait, dec, null);");
+    BufferMgmtChecker checker;
+    h.run(checker);
+    EXPECT_TRUE(h.hasErrorRule("send-without-buffer"));
+}
+
+TEST(BufferMgmt, SoftwareHandlerMustAllocateBeforeSending)
+{
+    Harness h;
+    h.addHandler("SwH", HandlerKind::Software,
+                 "NI_SEND(MSG_PUT, F_DATA, keep, wait, dec, null);"
+                 "FREE_DB();");
+    BufferMgmtChecker checker;
+    h.run(checker);
+    EXPECT_TRUE(h.hasErrorRule("send-without-buffer"));
+}
+
+TEST(BufferMgmt, SoftwareHandlerAllocSendFreeClean)
+{
+    Harness h;
+    h.addHandler("SwH", HandlerKind::Software,
+                 "buf = ALLOCATE_DB();"
+                 "NI_SEND(MSG_PUT, F_DATA, keep, wait, dec, null);"
+                 "FREE_DB();");
+    BufferMgmtChecker checker;
+    h.run(checker);
+    EXPECT_EQ(h.errors(), 0);
+}
+
+TEST(BufferMgmt, AllocWhileHoldingLeaksCurrent)
+{
+    // "overwrites the current buffer pointer with a newly allocated
+    // buffer before freeing the first".
+    Harness h;
+    h.addHandler("H", HandlerKind::Hardware,
+                 "buf = ALLOCATE_DB(); FREE_DB();");
+    BufferMgmtChecker checker;
+    h.run(checker);
+    EXPECT_TRUE(h.hasErrorRule("alloc-overwrites"));
+}
+
+TEST(BufferMgmt, UseAfterFreeFlagged)
+{
+    Harness h;
+    h.addHandler("H", HandlerKind::Hardware,
+                 "FREE_DB(); MISCBUS_READ_DB(a, b);");
+    BufferMgmtChecker checker;
+    h.run(checker);
+    EXPECT_TRUE(h.hasErrorRule("use-after-free"));
+}
+
+TEST(BufferMgmt, FreeingRoutineTableConsulted)
+{
+    Harness h;
+    h.spec.freeing_routines.insert("send_reply_and_free");
+    h.addHandler("H", HandlerKind::Hardware,
+                 "send_reply_and_free();"
+                 "FREE_DB();"); // second free: double free
+    BufferMgmtChecker checker;
+    h.run(checker);
+    EXPECT_TRUE(h.hasErrorRule("double-free"));
+}
+
+TEST(BufferMgmt, FreeingRoutineCheckedForConsistency)
+{
+    // A routine in the freeing table that doesn't free is itself flagged.
+    Harness h;
+    h.spec.freeing_routines.insert("send_reply_and_free");
+    h.addSource("helper.c", "void send_reply_and_free(void) { work(); }");
+    BufferMgmtChecker checker;
+    h.run(checker);
+    EXPECT_TRUE(h.hasErrorRule("leak"));
+}
+
+TEST(BufferMgmt, BufferUsingRoutineMustNotFree)
+{
+    Harness h;
+    h.spec.buffer_using_routines.insert("peek_buffer");
+    h.addSource("helper.c", "void peek_buffer(void) { FREE_DB(); }");
+    BufferMgmtChecker checker;
+    h.run(checker);
+    EXPECT_TRUE(h.hasErrorRule("helper-freed"));
+}
+
+TEST(BufferMgmt, HasBufferAnnotationSuppresses)
+{
+    Harness h;
+    h.addHandler("H", HandlerKind::Software,
+                 "has_buffer();"
+                 "NI_SEND(MSG_PUT, F_DATA, keep, wait, dec, null);"
+                 "FREE_DB();");
+    BufferMgmtChecker checker;
+    h.run(checker);
+    EXPECT_EQ(h.errors(), 0);
+    EXPECT_EQ(checker.annotationsSeen(), 1);
+    EXPECT_EQ(checker.annotationsUnneeded(), 0);
+}
+
+TEST(BufferMgmt, NoFreeNeededAnnotationSuppressesLeak)
+{
+    // "special purpose paths in handlers that explicitly did not
+    // deallocate buffers so that a subsequent handler could use it".
+    Harness h;
+    h.addHandler("H", HandlerKind::Hardware,
+                 "if (handoff) { no_free_needed(); return; }"
+                 "FREE_DB();");
+    BufferMgmtChecker checker;
+    h.run(checker);
+    EXPECT_EQ(h.errors(), 0);
+}
+
+TEST(BufferMgmt, UnneededAnnotationReported)
+{
+    // has_buffer() where every path already holds one: checkable comment
+    // gone stale.
+    Harness h;
+    h.addHandler("H", HandlerKind::Hardware, "has_buffer(); FREE_DB();");
+    BufferMgmtChecker checker;
+    h.run(checker);
+    EXPECT_TRUE(h.hasWarningRule("annotation-unneeded"));
+    EXPECT_EQ(checker.annotationsUnneeded(), 1);
+}
+
+TEST(BufferMgmt, ValueSensitiveFreeBranch)
+{
+    // Section 6.1: `if (MAYBE_FREE_DB_A())` frees only on the true edge.
+    Harness h;
+    h.addHandler("H", HandlerKind::Hardware,
+                 "if (MAYBE_FREE_DB_A()) { return; }"
+                 "FREE_DB();");
+    BufferMgmtChecker checker; // value-sensitive by default
+    h.run(checker);
+    EXPECT_EQ(h.errors(), 0);
+}
+
+TEST(BufferMgmt, NaiveModeCascadesOnMaybeFree)
+{
+    // With the refinement off, MAYBE_FREE frees on both edges and the
+    // legitimate FREE_DB afterwards becomes a (false) double free.
+    Harness h;
+    BufferMgmtChecker::Options options;
+    options.value_sensitive_frees = false;
+    h.addHandler("H", HandlerKind::Hardware,
+                 "if (MAYBE_FREE_DB_A()) { return; }"
+                 "FREE_DB();");
+    BufferMgmtChecker checker(options);
+    h.run(checker);
+    EXPECT_TRUE(h.hasErrorRule("double-free"));
+}
+
+TEST(BufferMgmt, ManualRefcountAggressivelyFlagged)
+{
+    Harness h;
+    h.addHandler("H", HandlerKind::Hardware,
+                 "DB_REFCNT_INCR();"
+                 "FREE_DB(); FREE_DB();");
+    BufferMgmtChecker checker;
+    h.run(checker);
+    EXPECT_TRUE(h.hasErrorRule("manual-refcount"));
+}
+
+TEST(BufferMgmt, AllocFailureBranchRetractsBuffer)
+{
+    // `if (buf == 0) return;` — the failing edge never had a buffer, so
+    // returning without a free is NOT a leak.
+    Harness h;
+    h.addHandler("SwH", HandlerKind::Software,
+                 "buf = ALLOCATE_DB();"
+                 "if (buf == 0) { return; }"
+                 "NI_SEND(MSG_PUT, F_DATA, k, w, d, n);"
+                 "FREE_DB();");
+    BufferMgmtChecker checker;
+    h.run(checker);
+    EXPECT_EQ(h.errors(), 0);
+}
+
+TEST(BufferMgmt, AllocFailurePolarityVariants)
+{
+    // All four spellings of the failure test must be understood.
+    const char* bodies[] = {
+        "buf = ALLOCATE_DB(); if (buf == 0) { return; } FREE_DB();",
+        "buf = ALLOCATE_DB(); if (!buf) { return; } FREE_DB();",
+        "buf = ALLOCATE_DB(); if (buf != 0) { FREE_DB(); } ",
+        "buf = ALLOCATE_DB(); if (buf) { FREE_DB(); } ",
+    };
+    for (const char* body : bodies) {
+        Harness h;
+        h.addHandler("SwH", HandlerKind::Software, body);
+        BufferMgmtChecker checker;
+        h.run(checker);
+        EXPECT_EQ(h.errors(), 0) << body;
+    }
+}
+
+TEST(BufferMgmt, DeclFormAllocTracked)
+{
+    Harness h;
+    h.addHandler("SwH", HandlerKind::Software,
+                 "int buf = ALLOCATE_DB();"
+                 "if (buf == 0) { return; }"
+                 "FREE_DB();");
+    BufferMgmtChecker checker;
+    h.run(checker);
+    EXPECT_EQ(h.errors(), 0);
+}
+
+TEST(BufferMgmt, NormalRoutinesSkipped)
+{
+    Harness h;
+    h.addSource("util.c", "void helper(void) { FREE_DB(); }");
+    BufferMgmtChecker checker;
+    h.run(checker);
+    EXPECT_EQ(h.errors(), 0);
+}
+
+TEST(BufferMgmt, LeakOnObscurePathOnly)
+{
+    // "low-grade buffer leak that only deadlocks the system after several
+    // days": the leak is on the rarely-executed else path.
+    Harness h;
+    h.addHandler("H", HandlerKind::Hardware,
+                 "if (common_case) { FREE_DB(); return; }"
+                 "rare_path_work();");
+    BufferMgmtChecker checker;
+    h.run(checker);
+    EXPECT_TRUE(h.hasErrorRule("leak"));
+}
+
+} // namespace
+} // namespace mc::checkers

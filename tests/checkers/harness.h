@@ -1,0 +1,84 @@
+#ifndef MCHECK_TESTS_CHECKERS_HARNESS_H
+#define MCHECK_TESTS_CHECKERS_HARNESS_H
+
+#include "checkers/checker.h"
+
+#include <string>
+#include <vector>
+
+namespace mc::checkers::testing {
+
+/**
+ * Shared fixture for checker tests: a program, a protocol spec, and a
+ * sink, with helpers to add handler bodies and run one checker.
+ */
+struct Harness
+{
+    lang::Program program;
+    flash::ProtocolSpec spec;
+    support::DiagnosticSink sink;
+
+    /** Add a function `name` with `body`, registered as `kind`. */
+    void
+    addHandler(const std::string& name, flash::HandlerKind kind,
+               const std::string& body, bool no_stack = false)
+    {
+        flash::HandlerSpec hs;
+        hs.name = name;
+        hs.kind = kind;
+        hs.no_stack = no_stack;
+        spec.addHandler(hs);
+        static int file_counter = 0;
+        program.addSource(name + std::to_string(++file_counter) + ".c",
+                          "void " + name + "(void) {" + body + "}");
+    }
+
+    /** Add an unregistered (Normal) routine with raw source. */
+    void
+    addSource(const std::string& name, const std::string& source)
+    {
+        program.addSource(name, source);
+    }
+
+    std::vector<CheckerRunStats>
+    run(Checker& checker)
+    {
+        return runCheckers(program, spec, {&checker}, sink);
+    }
+
+    int errors() const { return sink.count(support::Severity::Error); }
+    int warnings() const { return sink.count(support::Severity::Warning); }
+
+    /** Messages of all error diagnostics, for content assertions. */
+    std::vector<std::string>
+    errorRules() const
+    {
+        std::vector<std::string> out;
+        for (const auto& d : sink.diagnostics())
+            if (d.severity == support::Severity::Error)
+                out.push_back(d.rule);
+        return out;
+    }
+
+    bool
+    hasErrorRule(const std::string& rule) const
+    {
+        for (const auto& d : sink.diagnostics())
+            if (d.severity == support::Severity::Error && d.rule == rule)
+                return true;
+        return false;
+    }
+
+    bool
+    hasWarningRule(const std::string& rule) const
+    {
+        for (const auto& d : sink.diagnostics())
+            if (d.severity == support::Severity::Warning && d.rule == rule)
+                return true;
+        return false;
+    }
+};
+
+} // namespace mc::checkers::testing
+
+#endif // MCHECK_TESTS_CHECKERS_HARNESS_H

@@ -1,0 +1,299 @@
+#include "checkers/lanes.h"
+#include "tests/checkers/harness.h"
+
+#include <gtest/gtest.h>
+
+namespace mc::checkers {
+namespace {
+
+using flash::HandlerKind;
+using testing::Harness;
+
+/** Register opcodes on lanes 0..3. */
+void
+setupLanes(Harness& h)
+{
+    h.spec.setLane("MSG_GET", 0);
+    h.spec.setLane("MSG_PUT", 1);
+    h.spec.setLane("MSG_ACK", 2);
+    h.spec.setLane("MSG_INVAL", 3);
+}
+
+void
+addLaneHandler(Harness& h, const std::string& name,
+               const std::string& body, std::array<int, 4> allowance)
+{
+    flash::HandlerSpec hs;
+    hs.name = name;
+    hs.kind = HandlerKind::Hardware;
+    hs.lane_allowance = allowance;
+    h.spec.addHandler(hs);
+    h.addSource(name + ".c", "void " + name + "(void) {" + body + "}");
+}
+
+TEST(Lanes, WithinAllowanceClean)
+{
+    Harness h;
+    setupLanes(h);
+    addLaneHandler(h, "H",
+                   "NI_SEND(MSG_GET, F_NODATA, k, w, d, n);"
+                   "NI_SEND(MSG_PUT, F_DATA, k, w, d, n);",
+                   {1, 1, 1, 1});
+    LanesChecker checker;
+    h.run(checker);
+    EXPECT_EQ(h.errors(), 0);
+}
+
+TEST(Lanes, ExceedingAllowanceFlagged)
+{
+    Harness h;
+    setupLanes(h);
+    addLaneHandler(h, "H",
+                   "NI_SEND(MSG_GET, F_NODATA, k, w, d, n);"
+                   "NI_SEND(MSG_GET, F_NODATA, k, w, d, n);",
+                   {1, 1, 1, 1});
+    LanesChecker checker;
+    h.run(checker);
+    EXPECT_EQ(h.errors(), 1);
+    EXPECT_TRUE(h.hasErrorRule("quota-exceeded"));
+}
+
+TEST(Lanes, WaitForSpaceResetsBudget)
+{
+    Harness h;
+    setupLanes(h);
+    addLaneHandler(h, "H",
+                   "NI_SEND(MSG_GET, F_NODATA, k, w, d, n);"
+                   "WAIT_FOR_SPACE(MSG_GET);"
+                   "NI_SEND(MSG_GET, F_NODATA, k, w, d, n);",
+                   {1, 1, 1, 1});
+    LanesChecker checker;
+    h.run(checker);
+    EXPECT_EQ(h.errors(), 0);
+}
+
+TEST(Lanes, InterproceduralSendCounted)
+{
+    // The paper's first lanes bug: a workaround inserted by a
+    // non-author added a send inside a helper, blowing the quota.
+    Harness h;
+    setupLanes(h);
+    h.addSource("helper.c",
+                "void hw_workaround(void) {"
+                "  NI_SEND(MSG_GET, F_NODATA, k, w, d, n);"
+                "}");
+    addLaneHandler(h, "H",
+                   "NI_SEND(MSG_GET, F_NODATA, k, w, d, n);"
+                   "hw_workaround();",
+                   {1, 1, 1, 1});
+    LanesChecker checker;
+    h.run(checker);
+    ASSERT_EQ(h.errors(), 1);
+    // The back-trace names the call chain.
+    const auto& diag = h.sink.diagnostics()[0];
+    ASSERT_GE(diag.trace.size(), 2u);
+    EXPECT_NE(diag.trace[0].find("handler H"), std::string::npos);
+    bool mentions_helper = false;
+    for (const auto& frame : diag.trace)
+        mentions_helper |= frame.find("hw_workaround") != std::string::npos;
+    EXPECT_TRUE(mentions_helper);
+}
+
+TEST(Lanes, BranchesTakeMaximum)
+{
+    // Max over paths matters: one branch is fine, the other overflows.
+    Harness h;
+    setupLanes(h);
+    addLaneHandler(h, "H",
+                   "if (c) {"
+                   "  NI_SEND(MSG_ACK, F_NODATA, k, w, d, n);"
+                   "} else {"
+                   "  NI_SEND(MSG_GET, F_NODATA, k, w, d, n);"
+                   "  NI_SEND(MSG_GET, F_NODATA, k, w, d, n);"
+                   "}",
+                   {1, 1, 1, 1});
+    LanesChecker checker;
+    h.run(checker);
+    EXPECT_EQ(h.errors(), 1);
+}
+
+TEST(Lanes, NonSendingCycleIsFixedPoint)
+{
+    // "cycles that do not send ... the extension can safely ignore them."
+    Harness h;
+    setupLanes(h);
+    h.addSource("helper.c",
+                "void spin(void) { if (busy) { spin(); } }");
+    addLaneHandler(h, "H",
+                   "spin();"
+                   "NI_SEND(MSG_GET, F_NODATA, k, w, d, n);",
+                   {1, 1, 1, 1});
+    LanesChecker checker;
+    h.run(checker);
+    EXPECT_EQ(h.errors(), 0);
+    EXPECT_EQ(h.warnings(), 0);
+}
+
+TEST(Lanes, SendingCycleWarned)
+{
+    Harness h;
+    setupLanes(h);
+    h.addSource("helper.c",
+                "void pump(void) {"
+                "  NI_SEND(MSG_PUT, F_DATA, k, w, d, n);"
+                "  if (more) { pump(); }"
+                "}");
+    addLaneHandler(h, "H", "pump();", {4, 4, 4, 4});
+    LanesChecker checker;
+    h.run(checker);
+    EXPECT_GE(h.warnings(), 1);
+    bool has_cycle_warning = false;
+    for (const auto& d : h.sink.diagnostics())
+        has_cycle_warning |= d.rule == "sending-cycle";
+    EXPECT_TRUE(has_cycle_warning);
+}
+
+TEST(Lanes, LoopWithoutSendsInsideHandlerIgnored)
+{
+    Harness h;
+    setupLanes(h);
+    addLaneHandler(h, "H",
+                   "while (pending) { step(); }"
+                   "NI_SEND(MSG_INVAL, F_NODATA, k, w, d, n);",
+                   {1, 1, 1, 1});
+    LanesChecker checker;
+    h.run(checker);
+    EXPECT_EQ(h.errors(), 0);
+}
+
+TEST(Lanes, PerLaneBudgetsIndependent)
+{
+    Harness h;
+    setupLanes(h);
+    addLaneHandler(h, "H",
+                   "NI_SEND(MSG_GET, F_NODATA, k, w, d, n);"
+                   "NI_SEND(MSG_PUT, F_DATA, k, w, d, n);"
+                   "NI_SEND(MSG_ACK, F_NODATA, k, w, d, n);"
+                   "NI_SEND(MSG_INVAL, F_NODATA, k, w, d, n);",
+                   {1, 1, 1, 1});
+    LanesChecker checker;
+    h.run(checker);
+    EXPECT_EQ(h.errors(), 0);
+}
+
+TEST(Lanes, AllowanceOfTwoPermitsTwoSends)
+{
+    Harness h;
+    setupLanes(h);
+    addLaneHandler(h, "H",
+                   "NI_SEND(MSG_GET, F_NODATA, k, w, d, n);"
+                   "NI_SEND(MSG_GET, F_NODATA, k, w, d, n);",
+                   {2, 1, 1, 1});
+    LanesChecker checker;
+    h.run(checker);
+    EXPECT_EQ(h.errors(), 0);
+}
+
+TEST(Lanes, WaitForSpaceInsideCalleeResetsCallerBudget)
+{
+    // The space check may live in a helper; the traversal must apply it
+    // to the inter-procedural path.
+    Harness h;
+    setupLanes(h);
+    h.addSource("helper.c", "void drain_get_lane(void) {"
+                            "  WAIT_FOR_SPACE(MSG_GET);"
+                            "}");
+    addLaneHandler(h, "H",
+                   "NI_SEND(MSG_GET, F_NODATA, k, w, d, n);"
+                   "drain_get_lane();"
+                   "NI_SEND(MSG_GET, F_NODATA, k, w, d, n);",
+                   {1, 1, 1, 1});
+    LanesChecker checker;
+    h.run(checker);
+    EXPECT_EQ(h.errors(), 0);
+}
+
+TEST(Lanes, DeepCallChainTraversed)
+{
+    Harness h;
+    setupLanes(h);
+    h.addSource("c1.c", "void level1(void) { level2(); }");
+    h.addSource("c2.c", "void level2(void) { level3(); }");
+    h.addSource("c3.c", "void level3(void) {"
+                        "  NI_SEND(MSG_PUT, F_DATA, k, w, d, n);"
+                        "}");
+    addLaneHandler(h, "H",
+                   "NI_SEND(MSG_PUT, F_DATA, k, w, d, n);"
+                   "level1();",
+                   {1, 1, 1, 1});
+    LanesChecker checker;
+    h.run(checker);
+    ASSERT_EQ(h.errors(), 1);
+    // The back-trace walks all three frames.
+    const auto& trace = h.sink.diagnostics()[0].trace;
+    EXPECT_GE(trace.size(), 4u);
+}
+
+TEST(Lanes, UnknownOpcodeSendIgnored)
+{
+    Harness h;
+    setupLanes(h);
+    addLaneHandler(h, "H",
+                   "NI_SEND(MSG_UNMAPPED, F_NODATA, k, w, d, n);"
+                   "NI_SEND(MSG_UNMAPPED, F_NODATA, k, w, d, n);",
+                   {1, 1, 1, 1});
+    LanesChecker checker;
+    h.run(checker);
+    EXPECT_EQ(h.errors(), 0); // no lane assignment -> not counted
+}
+
+TEST(Lanes, TextRoundtripGivesIdenticalResults)
+{
+    // The paper's pipeline writes flow graphs to files and reads them
+    // back; the checker's roundtrip mode must change nothing.
+    auto run = [](bool roundtrip) {
+        Harness h;
+        setupLanes(h);
+        h.addSource("helper.c",
+                    "void send_one(void) {"
+                    "  NI_SEND(MSG_GET, F_NODATA, k, w, d, n);"
+                    "}");
+        addLaneHandler(h, "B",
+                       "NI_SEND(MSG_GET, F_NODATA, k, w, d, n);"
+                       "send_one();",
+                       {1, 1, 1, 1});
+        LanesChecker::Options options;
+        options.roundtrip_through_text = roundtrip;
+        LanesChecker checker(options);
+        h.run(checker);
+        std::vector<std::string> out;
+        for (const auto& d : h.sink.diagnostics())
+            out.push_back(d.rule + "@" + std::to_string(d.loc.line));
+        return out;
+    };
+    EXPECT_EQ(run(false), run(true));
+    EXPECT_FALSE(run(true).empty());
+}
+
+TEST(Lanes, SharedHelperAnalyzedPerCallingContext)
+{
+    // The helper is fine from A (fresh budget) but overflows from B
+    // (budget already spent).
+    Harness h;
+    setupLanes(h);
+    h.addSource("helper.c",
+                "void send_one(void) {"
+                "  NI_SEND(MSG_GET, F_NODATA, k, w, d, n);"
+                "}");
+    addLaneHandler(h, "A", "send_one();", {1, 1, 1, 1});
+    addLaneHandler(h, "B",
+                   "NI_SEND(MSG_GET, F_NODATA, k, w, d, n);"
+                   "send_one();",
+                   {1, 1, 1, 1});
+    LanesChecker checker;
+    h.run(checker);
+    EXPECT_EQ(h.errors(), 1);
+}
+
+} // namespace
+} // namespace mc::checkers

@@ -1,0 +1,165 @@
+#include "corpus/ledger.h"
+
+#include <gtest/gtest.h>
+
+namespace mc::corpus {
+namespace {
+
+SeededItem
+item(const std::string& handler, const std::string& checker,
+     const std::string& rule, SeedClass cls)
+{
+    SeededItem it;
+    it.protocol = "p";
+    it.handler = handler;
+    it.checker = checker;
+    it.rule = rule;
+    it.cls = cls;
+    return it;
+}
+
+support::Diagnostic
+diag(std::int32_t file, const std::string& checker,
+     const std::string& rule)
+{
+    support::Diagnostic d;
+    d.severity = support::Severity::Error;
+    d.loc = {file, 1, 1};
+    d.checker = checker;
+    d.rule = rule;
+    return d;
+}
+
+TEST(Ledger, CountsByClassAndChecker)
+{
+    Ledger ledger;
+    ledger.add(item("A", "c1", "r", SeedClass::Error));
+    ledger.add(item("B", "c1", "r", SeedClass::FalsePositive));
+    ledger.add(item("C", "c2", "r", SeedClass::Error));
+    ledger.add(item("D", "c1", "", SeedClass::UsefulAnnotation));
+    EXPECT_EQ(ledger.count("c1", SeedClass::Error), 1);
+    EXPECT_EQ(ledger.count("c1", SeedClass::FalsePositive), 1);
+    EXPECT_EQ(ledger.count("c2", SeedClass::Error), 1);
+    EXPECT_EQ(ledger.countReports("c1"), 2); // annotations are silent
+}
+
+TEST(Ledger, MergeAppends)
+{
+    Ledger a;
+    a.add(item("A", "c", "r", SeedClass::Error));
+    Ledger b;
+    b.add(item("B", "c", "r", SeedClass::Error));
+    a.merge(b);
+    EXPECT_EQ(a.count("c", SeedClass::Error), 2);
+}
+
+TEST(Reconcile, ExactMatch)
+{
+    Ledger ledger;
+    ledger.add(item("H", "c", "leak", SeedClass::Error));
+    std::map<std::int32_t, std::string> files{{1, "H"}};
+    std::vector<support::Diagnostic> diags{diag(1, "c", "leak")};
+    Reconciliation rec = reconcile(ledger, diags, files, "c");
+    EXPECT_EQ(rec.found.size(), 1u);
+    EXPECT_TRUE(rec.missed.empty());
+    EXPECT_TRUE(rec.unexpected.empty());
+}
+
+TEST(Reconcile, MissedWhenNoDiagnostic)
+{
+    Ledger ledger;
+    ledger.add(item("H", "c", "leak", SeedClass::Error));
+    Reconciliation rec = reconcile(ledger, {}, {{1, "H"}}, "c");
+    EXPECT_TRUE(rec.found.empty());
+    ASSERT_EQ(rec.missed.size(), 1u);
+    EXPECT_EQ(rec.missed[0]->handler, "H");
+}
+
+TEST(Reconcile, UnexpectedWhenNoSeed)
+{
+    Ledger ledger;
+    std::vector<support::Diagnostic> diags{diag(1, "c", "leak")};
+    Reconciliation rec = reconcile(ledger, diags, {{1, "H"}}, "c");
+    ASSERT_EQ(rec.unexpected.size(), 1u);
+    EXPECT_EQ(rec.unexpected[0]->rule, "leak");
+}
+
+TEST(Reconcile, WrongHandlerIsUnexpectedAndMissed)
+{
+    Ledger ledger;
+    ledger.add(item("H", "c", "leak", SeedClass::Error));
+    std::vector<support::Diagnostic> diags{diag(2, "c", "leak")};
+    Reconciliation rec =
+        reconcile(ledger, diags, {{1, "H"}, {2, "Other"}}, "c");
+    EXPECT_EQ(rec.unexpected.size(), 1u);
+    EXPECT_EQ(rec.missed.size(), 1u);
+}
+
+TEST(Reconcile, MultisetMatching)
+{
+    // Two seeded double frees in one handler need two diagnostics.
+    Ledger ledger;
+    ledger.add(item("H", "c", "double-free", SeedClass::Error));
+    ledger.add(item("H", "c", "double-free", SeedClass::FalsePositive));
+    std::map<std::int32_t, std::string> files{{1, "H"}};
+
+    std::vector<support::Diagnostic> one{diag(1, "c", "double-free")};
+    Reconciliation partial = reconcile(ledger, one, files, "c");
+    EXPECT_EQ(partial.found.size(), 1u);
+    EXPECT_EQ(partial.missed.size(), 1u);
+
+    std::vector<support::Diagnostic> two{diag(1, "c", "double-free"),
+                                         diag(1, "c", "double-free")};
+    Reconciliation full = reconcile(ledger, two, files, "c");
+    EXPECT_EQ(full.found.size(), 2u);
+    EXPECT_TRUE(full.missed.empty());
+}
+
+TEST(Reconcile, OtherCheckersDiagnosticsIgnored)
+{
+    Ledger ledger;
+    ledger.add(item("H", "c", "leak", SeedClass::Error));
+    std::vector<support::Diagnostic> diags{diag(1, "other", "leak"),
+                                           diag(1, "c", "leak")};
+    Reconciliation rec = reconcile(ledger, diags, {{1, "H"}}, "c");
+    EXPECT_EQ(rec.found.size(), 1u);
+    EXPECT_TRUE(rec.unexpected.empty());
+}
+
+TEST(Reconcile, AnnotationsAreNeverExpectedAsDiagnostics)
+{
+    Ledger ledger;
+    ledger.add(item("H", "c", "", SeedClass::UsefulAnnotation));
+    ledger.add(item("H", "c", "", SeedClass::UselessAnnotation));
+    Reconciliation rec = reconcile(ledger, {}, {{1, "H"}}, "c");
+    EXPECT_TRUE(rec.missed.empty());
+}
+
+TEST(Reconcile, FoundWithClassFilters)
+{
+    Ledger ledger;
+    ledger.add(item("H", "c", "r", SeedClass::Error));
+    ledger.add(item("H", "c", "r", SeedClass::Minor));
+    std::vector<support::Diagnostic> diags{diag(1, "c", "r"),
+                                           diag(1, "c", "r")};
+    Reconciliation rec = reconcile(ledger, diags, {{1, "H"}}, "c");
+    EXPECT_EQ(rec.foundWithClass(SeedClass::Error), 1);
+    EXPECT_EQ(rec.foundWithClass(SeedClass::Minor), 1);
+    EXPECT_EQ(rec.foundWithClass(SeedClass::FalsePositive), 0);
+}
+
+TEST(Ledger, SeedClassNames)
+{
+    EXPECT_STREQ(seedClassName(SeedClass::Error), "error");
+    EXPECT_STREQ(seedClassName(SeedClass::Violation), "violation");
+    EXPECT_STREQ(seedClassName(SeedClass::FalsePositive),
+                 "false-positive");
+    EXPECT_STREQ(seedClassName(SeedClass::Minor), "minor");
+    EXPECT_STREQ(seedClassName(SeedClass::UsefulAnnotation),
+                 "useful-annotation");
+    EXPECT_STREQ(seedClassName(SeedClass::UselessAnnotation),
+                 "useless-annotation");
+}
+
+} // namespace
+} // namespace mc::corpus

@@ -1,0 +1,167 @@
+#include "lang/lexer.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace mc::lang {
+namespace {
+
+/**
+ * Token text views into the SourceManager's buffer, so the manager must
+ * outlive the tokens: keep one per test via a static-free fixture object.
+ */
+struct LexResult
+{
+    std::unique_ptr<support::SourceManager> sm =
+        std::make_unique<support::SourceManager>();
+    std::vector<Token> tokens;
+
+    const Token& operator[](std::size_t i) const { return tokens[i]; }
+    std::size_t size() const { return tokens.size(); }
+};
+
+LexResult
+lex(const std::string& source)
+{
+    LexResult result;
+    result.tokens = lexString(*result.sm, "test.c", source);
+    return result;
+}
+
+TEST(Lexer, EmptyInputYieldsEnd)
+{
+    auto toks = lex("");
+    ASSERT_EQ(toks.size(), 1u);
+    EXPECT_EQ(toks[0].kind, TokKind::End);
+}
+
+TEST(Lexer, IdentifiersAndKeywords)
+{
+    auto toks = lex("int foo while PI_SEND _x");
+    ASSERT_EQ(toks.size(), 6u);
+    EXPECT_EQ(toks[0].kind, TokKind::KwInt);
+    EXPECT_EQ(toks[1].kind, TokKind::Identifier);
+    EXPECT_EQ(toks[1].text, "foo");
+    EXPECT_EQ(toks[2].kind, TokKind::KwWhile);
+    EXPECT_EQ(toks[3].kind, TokKind::Identifier);
+    EXPECT_EQ(toks[3].text, "PI_SEND");
+    EXPECT_EQ(toks[4].kind, TokKind::Identifier);
+    EXPECT_EQ(toks[4].text, "_x");
+}
+
+TEST(Lexer, IntegerLiterals)
+{
+    auto toks = lex("0 42 0x1F 10UL 7u");
+    EXPECT_EQ(toks[0].int_value, 0);
+    EXPECT_EQ(toks[1].int_value, 42);
+    EXPECT_EQ(toks[2].int_value, 31);
+    EXPECT_EQ(toks[3].int_value, 10);
+    EXPECT_EQ(toks[4].int_value, 7);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(toks[static_cast<std::size_t>(i)].kind,
+                  TokKind::IntLiteral);
+}
+
+TEST(Lexer, FloatLiterals)
+{
+    auto toks = lex("1.5 2.0f 3e2 1.25e-1");
+    ASSERT_GE(toks.size(), 4u);
+    EXPECT_EQ(toks[0].kind, TokKind::FloatLiteral);
+    EXPECT_DOUBLE_EQ(toks[0].float_value, 1.5);
+    EXPECT_EQ(toks[1].kind, TokKind::FloatLiteral);
+    EXPECT_DOUBLE_EQ(toks[1].float_value, 2.0);
+    EXPECT_EQ(toks[2].kind, TokKind::FloatLiteral);
+    EXPECT_DOUBLE_EQ(toks[2].float_value, 300.0);
+    EXPECT_EQ(toks[3].kind, TokKind::FloatLiteral);
+    EXPECT_DOUBLE_EQ(toks[3].float_value, 0.125);
+}
+
+TEST(Lexer, IntegerThenMemberIsNotFloat)
+{
+    // `x.y` after a digit boundary: `5 .x` should not merge.
+    auto toks = lex("a.b");
+    ASSERT_EQ(toks.size(), 4u);
+    EXPECT_EQ(toks[0].kind, TokKind::Identifier);
+    EXPECT_EQ(toks[1].kind, TokKind::Dot);
+    EXPECT_EQ(toks[2].kind, TokKind::Identifier);
+}
+
+TEST(Lexer, CharAndStringLiterals)
+{
+    auto toks = lex("'a' '\\n' \"hi there\"");
+    EXPECT_EQ(toks[0].kind, TokKind::CharLiteral);
+    EXPECT_EQ(toks[0].int_value, 'a');
+    EXPECT_EQ(toks[1].kind, TokKind::CharLiteral);
+    EXPECT_EQ(toks[1].int_value, '\n');
+    EXPECT_EQ(toks[2].kind, TokKind::StringLiteral);
+    EXPECT_EQ(toks[2].text, "\"hi there\"");
+}
+
+TEST(Lexer, OperatorsGreedy)
+{
+    auto toks = lex("<<= >>= == != <= >= && || ++ -- -> ... << >>");
+    std::vector<TokKind> expect = {
+        TokKind::ShlAssign, TokKind::ShrAssign, TokKind::EqEq,
+        TokKind::NotEq,     TokKind::Le,        TokKind::Ge,
+        TokKind::AmpAmp,    TokKind::PipePipe,  TokKind::PlusPlus,
+        TokKind::MinusMinus, TokKind::Arrow,    TokKind::Ellipsis,
+        TokKind::Shl,       TokKind::Shr,       TokKind::End,
+    };
+    ASSERT_EQ(toks.size(), expect.size());
+    for (std::size_t i = 0; i < expect.size(); ++i)
+        EXPECT_EQ(toks[i].kind, expect[i]) << "token " << i;
+}
+
+TEST(Lexer, CommentsSkipped)
+{
+    auto toks = lex("a // line comment\n/* block\ncomment */ b");
+    ASSERT_EQ(toks.size(), 3u);
+    EXPECT_EQ(toks[0].text, "a");
+    EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(Lexer, LocationsTracked)
+{
+    auto toks = lex("a\n  b");
+    EXPECT_EQ(toks[0].loc.line, 1);
+    EXPECT_EQ(toks[0].loc.column, 1);
+    EXPECT_EQ(toks[1].loc.line, 2);
+    EXPECT_EQ(toks[1].loc.column, 3);
+}
+
+TEST(Lexer, DirectivesRecordedAndSkipped)
+{
+    support::SourceManager sm;
+    std::int32_t id = sm.addFile(
+        "t.c", "#include \"flash.h\"\n#define X \\\n  5\nint a;\n");
+    Lexer lexer(sm, id);
+    auto toks = lexer.lexAll();
+    ASSERT_EQ(lexer.directives().size(), 2u);
+    EXPECT_EQ(lexer.directives()[0], "include \"flash.h\"");
+    EXPECT_EQ(toks[0].kind, TokKind::KwInt);
+}
+
+TEST(Lexer, HashNotAtLineStartIsError)
+{
+    EXPECT_THROW(lex("int a; # oops"), LexError);
+}
+
+TEST(Lexer, UnterminatedStringThrows)
+{
+    EXPECT_THROW(lex("\"unterminated"), LexError);
+    EXPECT_THROW(lex("\"across\nlines\""), LexError);
+}
+
+TEST(Lexer, UnterminatedCommentThrows)
+{
+    EXPECT_THROW(lex("/* never closed"), LexError);
+}
+
+TEST(Lexer, UnexpectedCharacterThrows)
+{
+    EXPECT_THROW(lex("int a = @;"), LexError);
+}
+
+} // namespace
+} // namespace mc::lang

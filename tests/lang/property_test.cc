@@ -1,0 +1,283 @@
+#include "cfg/path_stats.h"
+#include "lang/program.h"
+#include "support/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace mc::lang {
+namespace {
+
+using support::Rng;
+
+/**
+ * Random expression generator for round-trip properties. Produces
+ * expressions from the dialect's full grammar, depth-bounded.
+ */
+class ExprGen
+{
+  public:
+    explicit ExprGen(Rng& rng) : rng_(rng) {}
+
+    std::string
+    gen(int depth)
+    {
+        if (depth <= 0)
+            return atom();
+        switch (rng_.below(8)) {
+          case 0:
+            return atom();
+          case 1:
+            return "(" + gen(depth - 1) + " " + binop() + " " +
+                   gen(depth - 1) + ")";
+          case 2:
+            return unop() + "(" + gen(depth - 1) + ")";
+          case 3: {
+            std::string args;
+            int n = static_cast<int>(rng_.below(4));
+            for (int i = 0; i < n; ++i)
+                args += (i ? ", " : "") + gen(depth - 1);
+            return name() + "(" + args + ")";
+          }
+          case 4:
+            return "(" + gen(depth - 1) + " ? " + gen(depth - 1) + " : " +
+                   gen(depth - 1) + ")";
+          case 5:
+            return name() + "[" + gen(depth - 1) + "]";
+          case 6:
+            return name() + "." + name();
+          default:
+            return name() + "->" + name();
+        }
+    }
+
+  private:
+    std::string
+    atom()
+    {
+        switch (rng_.below(3)) {
+          case 0: return std::to_string(rng_.below(1000));
+          case 1: return name();
+          default: return "'x'";
+        }
+    }
+
+    std::string
+    name()
+    {
+        static const char* names[] = {"a",  "bb", "c3",   "addr",
+                                      "len", "t0", "state", "_p"};
+        return names[rng_.below(8)];
+    }
+
+    std::string
+    binop()
+    {
+        static const char* ops[] = {"+",  "-",  "*",  "/",  "%",  "<<",
+                                    ">>", "<",  ">",  "<=", ">=", "==",
+                                    "!=", "&",  "|",  "^",  "&&", "||"};
+        return ops[rng_.below(18)];
+    }
+
+    std::string
+    unop()
+    {
+        static const char* ops[] = {"-", "!", "~", "*", "&"};
+        return ops[rng_.below(5)];
+    }
+
+    Rng& rng_;
+};
+
+/** Random statement/body generator for CFG invariants. */
+class BodyGen
+{
+  public:
+    explicit BodyGen(Rng& rng) : rng_(rng), exprs_(rng) {}
+
+    std::string
+    gen(int depth, int stmts)
+    {
+        std::string out;
+        for (int i = 0; i < stmts; ++i)
+            out += stmt(depth) + "\n";
+        return out;
+    }
+
+  private:
+    std::string
+    stmt(int depth)
+    {
+        if (depth <= 0)
+            return simple();
+        switch (rng_.below(10)) {
+          case 0:
+            return "if (" + exprs_.gen(1) + ") {\n" + gen(depth - 1, 2) +
+                   "}";
+          case 1:
+            return "if (" + exprs_.gen(1) + ") {\n" + gen(depth - 1, 2) +
+                   "} else {\n" + gen(depth - 1, 2) + "}";
+          case 2:
+            return "while (" + exprs_.gen(1) + ") {\n" +
+                   gen(depth - 1, 2) + "}";
+          case 3:
+            return "for (i = 0; i < " +
+                   std::to_string(rng_.below(10)) + "; i++) {\n" +
+                   gen(depth - 1, 1) + "}";
+          case 4:
+            return "do {\n" + gen(depth - 1, 1) + "} while (" +
+                   exprs_.gen(1) + ");";
+          case 5:
+            return "switch (" + exprs_.gen(1) + ") {\ncase 1:\n" +
+                   gen(depth - 1, 1) + "break;\ncase 2:\n" +
+                   gen(depth - 1, 1) + "default:\n" + gen(depth - 1, 1) +
+                   "}";
+          case 6:
+            return rng_.chance(1, 2) ? "return;" : simple();
+          default:
+            return simple();
+        }
+    }
+
+    std::string
+    simple()
+    {
+        switch (rng_.below(3)) {
+          case 0: return "x = " + exprs_.gen(2) + ";";
+          case 1: return "f(" + exprs_.gen(1) + ");";
+          default: return "int v" + std::to_string(++vars_) + " = " +
+                          exprs_.gen(1) + ";";
+        }
+    }
+
+    Rng& rng_;
+    ExprGen exprs_;
+    int vars_ = 0;
+};
+
+class ExprRoundtrip : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ExprRoundtrip, PrintParsePrintIsStable)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 3);
+    ExprGen gen(rng);
+    for (int i = 0; i < 50; ++i) {
+        std::string text = gen.gen(4);
+
+        AstContext ctx1;
+        support::SourceManager sm1;
+        TranslationUnit tu1 = parseSource(
+            ctx1, sm1, "a.c", "void f(void) { x = " + text + "; }");
+        const auto* stmt1 = static_cast<const ExprStmt*>(
+            tu1.functionDefinitions()[0]->body->stmts[0]);
+        std::string printed = exprToString(*stmt1->expr);
+
+        // Re-parse the printed form: must be structurally identical.
+        AstContext ctx2;
+        support::SourceManager sm2;
+        TranslationUnit tu2 = parseSource(
+            ctx2, sm2, "b.c", "void f(void) { " + printed + "; }");
+        const auto* stmt2 = static_cast<const ExprStmt*>(
+            tu2.functionDefinitions()[0]->body->stmts[0]);
+        EXPECT_TRUE(exprEquals(*stmt1->expr, *stmt2->expr))
+            << "original: " << text << "\nprinted:  " << printed;
+        EXPECT_EQ(printed, exprToString(*stmt2->expr));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExprRoundtrip, ::testing::Range(0, 8));
+
+class CfgInvariants : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CfgInvariants, RandomBodiesSatisfyStructuralInvariants)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 17);
+    BodyGen gen(rng);
+    for (int i = 0; i < 20; ++i) {
+        std::string body = gen.gen(3, 4);
+        Program program;
+        program.addSource("t" + std::to_string(i) + ".c",
+                          "void f(void) {\n" + body + "}");
+        const FunctionDecl* fn = program.functions().back();
+        cfg::Cfg cfg = cfg::CfgBuilder::build(*fn);
+
+        // Invariant: edges are symmetric (succ lists match pred lists).
+        for (const cfg::BasicBlock& bb : cfg.blocks()) {
+            for (int s : bb.succs) {
+                const auto& preds = cfg.block(s).preds;
+                EXPECT_NE(std::count(preds.begin(), preds.end(), bb.id),
+                          0)
+                    << "missing pred edge in body:\n"
+                    << body;
+            }
+            for (int p : bb.preds) {
+                const auto& succs = cfg.block(p).succs;
+                EXPECT_NE(std::count(succs.begin(), succs.end(), bb.id),
+                          0);
+            }
+        }
+
+        // Invariant: the exit block has no successors.
+        EXPECT_TRUE(cfg.block(cfg.exitId()).succs.empty());
+
+        // Invariant: every statement of the body appears in exactly one
+        // block.
+        std::map<const Stmt*, int> owner_count;
+        for (const cfg::BasicBlock& bb : cfg.blocks())
+            for (const Stmt* stmt : bb.stmts)
+                ++owner_count[stmt];
+        for (const auto& [stmt, count] : owner_count)
+            EXPECT_EQ(count, 1);
+
+        // Invariant: DP path count equals explicit enumeration when the
+        // count is small enough to enumerate.
+        cfg::PathStats stats = cfg::computePathStats(cfg);
+        if (stats.path_count <= 4096) {
+            std::uint64_t enumerated = 0;
+            cfg::enumeratePaths(cfg, [&](const std::vector<int>&) {
+                ++enumerated;
+            });
+            EXPECT_EQ(stats.path_count, enumerated) << body;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CfgInvariants, ::testing::Range(0, 8));
+
+class LexerRobustness : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(LexerRobustness, MutatedSourceNeverCrashes)
+{
+    // Take a valid handler, splice random bytes in, and require the
+    // frontend to either parse or throw — never crash or hang.
+    const std::string base =
+        "void H(void) { if (a > 2) { FREE_DB(); } x = y + 1; }";
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 31337 + 5);
+    const std::string charset = "(){};=+-*/<>&|!~^%#\"'abc012 \t\n";
+    for (int i = 0; i < 200; ++i) {
+        std::string mutated = base;
+        int edits = static_cast<int>(rng.below(4)) + 1;
+        for (int e = 0; e < edits; ++e) {
+            std::size_t pos = rng.below(mutated.size());
+            mutated[pos] = charset[rng.below(charset.size())];
+        }
+        AstContext ctx;
+        support::SourceManager sm;
+        try {
+            parseSource(ctx, sm, "fuzz.c", mutated);
+        } catch (const LexError&) {
+        } catch (const ParseError&) {
+        }
+    }
+    SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LexerRobustness, ::testing::Range(0, 4));
+
+} // namespace
+} // namespace mc::lang

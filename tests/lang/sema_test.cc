@@ -1,0 +1,136 @@
+#include "lang/program.h"
+
+#include <gtest/gtest.h>
+
+namespace mc::lang {
+namespace {
+
+/** Find the first expression statement's expression in `fn`. */
+const Expr*
+firstExpr(const FunctionDecl& fn)
+{
+    for (const Stmt* stmt : fn.body->stmts)
+        if (stmt->skind == StmtKind::Expr)
+            return static_cast<const ExprStmt*>(stmt)->expr;
+    return nullptr;
+}
+
+TEST(Sema, ResolvesLocalsAndParams)
+{
+    Program p;
+    p.addSource("t.c", "void f(int a) { int b = 2; a = b; }");
+    const FunctionDecl* fn = p.findFunction("f");
+    const auto* assign = static_cast<const BinaryExpr*>(firstExpr(*fn));
+    const auto* lhs = static_cast<const IdentExpr*>(assign->lhs);
+    const auto* rhs = static_cast<const IdentExpr*>(assign->rhs);
+    ASSERT_NE(lhs->decl, nullptr);
+    EXPECT_EQ(lhs->decl->dkind, DeclKind::Param);
+    ASSERT_NE(rhs->decl, nullptr);
+    EXPECT_EQ(rhs->decl->dkind, DeclKind::Var);
+}
+
+TEST(Sema, InnerScopeShadowsOuter)
+{
+    Program p;
+    p.addSource("t.c", "void f(void) { int x = 1; { float x = 2.0; "
+                       "y = x; } }");
+    const FunctionDecl* fn = p.findFunction("f");
+    // Find the inner assignment y = x.
+    const Expr* found = nullptr;
+    forEachStmt(*fn->body, [&](const Stmt& stmt) {
+        if (stmt.skind == StmtKind::Expr) {
+            const auto* e = static_cast<const ExprStmt&>(stmt).expr;
+            if (e->ekind == ExprKind::Binary)
+                found = static_cast<const BinaryExpr*>(e)->rhs;
+        }
+    });
+    ASSERT_NE(found, nullptr);
+    EXPECT_TRUE(p.ctx().types().isFloating(found->type));
+}
+
+TEST(Sema, FloatPropagatesThroughArithmetic)
+{
+    Program p;
+    p.addSource("t.c", "void f(void) { float r; int i; x = r + i; }");
+    const FunctionDecl* fn = p.findFunction("f");
+    const Expr* found = nullptr;
+    forEachStmt(*fn->body, [&](const Stmt& stmt) {
+        if (stmt.skind == StmtKind::Expr)
+            found = static_cast<const ExprStmt&>(stmt).expr;
+    });
+    const auto* assign = static_cast<const BinaryExpr*>(found);
+    EXPECT_TRUE(p.ctx().types().isFloating(assign->rhs->type));
+}
+
+TEST(Sema, ComparisonIsInt)
+{
+    Program p;
+    p.addSource("t.c", "void f(void) { float a; x = a < 1.0; }");
+    const FunctionDecl* fn = p.findFunction("f");
+    const Expr* found = nullptr;
+    forEachStmt(*fn->body, [&](const Stmt& stmt) {
+        if (stmt.skind == StmtKind::Expr)
+            found = static_cast<const ExprStmt&>(stmt).expr;
+    });
+    const auto* assign = static_cast<const BinaryExpr*>(found);
+    EXPECT_FALSE(p.ctx().types().isFloating(assign->rhs->type));
+}
+
+TEST(Sema, CallResolvesToFunctionReturnType)
+{
+    Program p;
+    p.addSource("t.c", "float half(int x) { return 0.5; }\n"
+                       "void g(void) { y = half(3); }");
+    const FunctionDecl* fn = p.findFunction("g");
+    const auto* assign = static_cast<const BinaryExpr*>(firstExpr(*fn));
+    EXPECT_TRUE(p.ctx().types().isFloating(assign->rhs->type));
+}
+
+TEST(Sema, CrossUnitFunctionResolution)
+{
+    Program p;
+    p.addSource("a.c", "int helper(void) { return 1; }");
+    p.addSource("b.c", "void g(void) { x = helper(); }");
+    const FunctionDecl* fn = p.findFunction("g");
+    const auto* assign = static_cast<const BinaryExpr*>(firstExpr(*fn));
+    const auto* call = static_cast<const CallExpr*>(assign->rhs);
+    const auto* callee = static_cast<const IdentExpr*>(call->callee);
+    ASSERT_NE(callee->decl, nullptr);
+    EXPECT_EQ(callee->decl->dkind, DeclKind::Function);
+}
+
+TEST(Sema, EnumConstantsResolve)
+{
+    Program p;
+    p.addSource("t.c", "enum Len { LEN_NODATA, LEN_WORD };\n"
+                       "void f(void) { x = LEN_WORD; }");
+    const FunctionDecl* fn = p.findFunction("f");
+    const auto* assign = static_cast<const BinaryExpr*>(firstExpr(*fn));
+    const auto* rhs = static_cast<const IdentExpr*>(assign->rhs);
+    ASSERT_NE(rhs->decl, nullptr);
+    EXPECT_EQ(rhs->decl->dkind, DeclKind::EnumConst);
+    EXPECT_EQ(static_cast<const EnumConstDecl*>(rhs->decl)->value, 1);
+}
+
+TEST(Sema, UnknownNamesAreNullNotError)
+{
+    Program p;
+    // FLASH macros look like undeclared calls; Sema must tolerate them.
+    p.addSource("t.c", "void f(void) { PI_SEND(F_DATA, a, b); }");
+    const FunctionDecl* fn = p.findFunction("f");
+    const auto* call = static_cast<const CallExpr*>(firstExpr(*fn));
+    const auto* callee = static_cast<const IdentExpr*>(call->callee);
+    EXPECT_EQ(callee->decl, nullptr);
+}
+
+TEST(Sema, DerefAndAddressTypes)
+{
+    Program p;
+    p.addSource("t.c", "void f(int *p) { x = *p; y = &x2; }");
+    const FunctionDecl* fn = p.findFunction("f");
+    const auto* assign = static_cast<const BinaryExpr*>(firstExpr(*fn));
+    EXPECT_EQ(p.ctx().types().type(assign->rhs->type).kind, TypeKind::Int);
+}
+
+} // namespace
+} // namespace mc::lang

@@ -1,0 +1,254 @@
+#include "metal/engine.h"
+#include "metal/metal_parser.h"
+
+#include "cfg/cfg.h"
+#include "lang/program.h"
+
+#include <gtest/gtest.h>
+
+namespace mc::metal {
+namespace {
+
+const char* kWaitForDb = R"metal(
+sm wait_for_db {
+    decl { scalar } addr, buf;
+    start:
+        { WAIT_FOR_DB_FULL(addr); } ==> stop
+      | { MISCBUS_READ_DB(addr, buf); } ==>
+            { err("Buffer not synchronized"); }
+      ;
+}
+)metal";
+
+const char* kMsgLen = R"metal(
+sm msglen_check {
+    pat zero_assign = { len = LEN_NODATA } ;
+    pat nonzero_assign = { len = LEN_WORD } | { len = LEN_CACHELINE } ;
+    decl { unsigned } keep;
+    pat send_data = { PI_SEND(F_DATA, keep) } ;
+    pat send_nodata = { PI_SEND(F_NODATA, keep) } ;
+    all:
+        zero_assign ==> zero_len
+      | nonzero_assign ==> nonzero_len
+      ;
+    zero_len:
+        send_data ==> { err("data send, zero len"); } ;
+    nonzero_len:
+        send_nodata ==> { err("nodata send, nonzero len"); } ;
+}
+)metal";
+
+struct Run
+{
+    lang::Program program;
+    support::DiagnosticSink sink;
+    SmRunResult result;
+};
+
+std::unique_ptr<Run>
+run(const char* metal_src, const std::string& body)
+{
+    auto r = std::make_unique<Run>();
+    MetalProgram mp = parseMetal(metal_src);
+    r->program.addSource("t.c", "void f(void) {" + body + "}");
+    cfg::Cfg cfg = cfg::CfgBuilder::build(*r->program.findFunction("f"));
+    r->result = runStateMachine(*mp.sm, cfg, r->sink);
+    return r;
+}
+
+TEST(Engine, ReadAfterWaitIsClean)
+{
+    auto r = run(kWaitForDb,
+                 "WAIT_FOR_DB_FULL(a); MISCBUS_READ_DB(a, b);");
+    EXPECT_EQ(r->sink.count(support::Severity::Error), 0);
+}
+
+TEST(Engine, ReadWithoutWaitIsError)
+{
+    auto r = run(kWaitForDb, "MISCBUS_READ_DB(a, b);");
+    EXPECT_EQ(r->sink.count(support::Severity::Error), 1);
+    EXPECT_EQ(r->sink.diagnostics()[0].message, "Buffer not synchronized");
+}
+
+TEST(Engine, ErrorOnlyOnUnsynchronizedPath)
+{
+    // One path waits, the other does not: the read is an error because
+    // SOME path reaches it without the wait.
+    auto r = run(kWaitForDb,
+                 "if (c) { WAIT_FOR_DB_FULL(a); } MISCBUS_READ_DB(a, b);");
+    EXPECT_EQ(r->sink.count(support::Severity::Error), 1);
+}
+
+TEST(Engine, StopStateEndsPathChecking)
+{
+    // After the wait, later reads are fine even when followed by more
+    // reads on the same path.
+    auto r = run(kWaitForDb,
+                 "WAIT_FOR_DB_FULL(a);"
+                 "MISCBUS_READ_DB(a, b); MISCBUS_READ_DB(a, c);");
+    EXPECT_EQ(r->sink.count(support::Severity::Error), 0);
+}
+
+TEST(Engine, ContinuesInStateAfterError)
+{
+    // Figure 2: the error rule has no transition, so it keeps checking
+    // and flags further reads on the same path.
+    auto r = run(kWaitForDb,
+                 "MISCBUS_READ_DB(a, b); MISCBUS_READ_DB(a2, b2);");
+    EXPECT_EQ(r->sink.count(support::Severity::Error), 2);
+}
+
+TEST(Engine, ReadInsideLoopChecked)
+{
+    auto r = run(kWaitForDb, "while (c) { MISCBUS_READ_DB(a, b); }");
+    EXPECT_EQ(r->sink.count(support::Severity::Error), 1);
+}
+
+TEST(Engine, ReadBuriedInConditionChecked)
+{
+    auto r = run(kWaitForDb, "if (MISCBUS_READ_DB(a, b)) { x = 1; }");
+    EXPECT_EQ(r->sink.count(support::Severity::Error), 1);
+}
+
+TEST(Engine, MsgLenZeroThenDataSendIsError)
+{
+    auto r = run(kMsgLen, "len = LEN_NODATA; PI_SEND(F_DATA, k);");
+    ASSERT_EQ(r->sink.count(support::Severity::Error), 1);
+    EXPECT_EQ(r->sink.diagnostics()[0].message, "data send, zero len");
+}
+
+TEST(Engine, MsgLenNonzeroThenNodataSendIsError)
+{
+    auto r = run(kMsgLen, "len = LEN_CACHELINE; PI_SEND(F_NODATA, k);");
+    ASSERT_EQ(r->sink.count(support::Severity::Error), 1);
+    EXPECT_EQ(r->sink.diagnostics()[0].message, "nodata send, nonzero len");
+}
+
+TEST(Engine, MsgLenConsistentPairsAreClean)
+{
+    auto r = run(kMsgLen,
+                 "len = LEN_WORD; PI_SEND(F_DATA, k);"
+                 "len = LEN_NODATA; PI_SEND(F_NODATA, k);");
+    EXPECT_EQ(r->sink.count(support::Severity::Error), 0);
+}
+
+TEST(Engine, MsgLenSendsBeforeAnyAssignIgnored)
+{
+    // The SM starts in `all`: sends with unknown initial length are
+    // deliberately not flagged (the checker "does not warn about any
+    // message sends" in its start state).
+    auto r = run(kMsgLen, "PI_SEND(F_DATA, k); PI_SEND(F_NODATA, k);");
+    EXPECT_EQ(r->sink.count(support::Severity::Error), 0);
+}
+
+TEST(Engine, MsgLenAllRulesApplyInEveryState)
+{
+    // zero -> send ok -> reassign nonzero -> bad nodata send.
+    auto r = run(kMsgLen,
+                 "len = LEN_NODATA; PI_SEND(F_NODATA, k);"
+                 "len = LEN_WORD; PI_SEND(F_NODATA, k);");
+    EXPECT_EQ(r->sink.count(support::Severity::Error), 1);
+}
+
+TEST(Engine, MsgLenErrorOnlyOnBadPath)
+{
+    // Error reachable only along the else path.
+    auto r = run(kMsgLen,
+                 "if (c) { len = LEN_WORD; } else { len = LEN_NODATA; }"
+                 "PI_SEND(F_DATA, k);");
+    EXPECT_EQ(r->sink.count(support::Severity::Error), 1);
+}
+
+TEST(Engine, FiringsCountedPerRule)
+{
+    auto r = run(kWaitForDb,
+                 "MISCBUS_READ_DB(a, b); MISCBUS_READ_DB(c, d);");
+    int total = 0;
+    for (const auto& [rule, n] : r->result.firings)
+        total += n;
+    EXPECT_EQ(total, 2);
+}
+
+TEST(Engine, BlockStateCachingTerminatesOnBigFunctions)
+{
+    // 2^30 paths; the (block, state) cache must keep this linear.
+    std::string body;
+    for (int i = 0; i < 30; ++i)
+        body += "if (c" + std::to_string(i) + ") { x = 1; } else "
+                "{ x = 2; }\n";
+    body += "MISCBUS_READ_DB(a, b);";
+    auto r = run(kWaitForDb, body);
+    EXPECT_EQ(r->sink.count(support::Severity::Error), 1);
+    EXPECT_FALSE(r->result.truncated);
+    EXPECT_LT(r->result.visits, 1000u);
+}
+
+TEST(Engine, WarnActionReportsWarningSeverity)
+{
+    auto r = run("sm t { s: { RISKY(); } ==> { warn(\"sketchy\"); } ; }",
+                 "RISKY();");
+    EXPECT_EQ(r->sink.count(support::Severity::Error), 0);
+    EXPECT_EQ(r->sink.count(support::Severity::Warning), 1);
+}
+
+TEST(Engine, PruningRemovesCorrelatedBranchFalsePositive)
+{
+    // The coma shape: length and flag chosen by the same condition.
+    const std::string body =
+        "if (use_data == 1) { len = LEN_WORD; }"
+        "else { len = LEN_NODATA; }"
+        "if (use_data == 1) { PI_SEND(F_DATA, k); }"
+        "else { PI_SEND(F_NODATA, k); }";
+
+    // Without pruning: two impossible-path reports.
+    auto base = run(kMsgLen, body);
+    EXPECT_EQ(base->sink.count(support::Severity::Error), 2);
+
+    // With pruning: silent.
+    lang::Program program;
+    support::DiagnosticSink sink;
+    MetalProgram mp = parseMetal(kMsgLen);
+    program.addSource("t.c", "void f(void) {" + body + "}");
+    cfg::Cfg cfg = cfg::CfgBuilder::build(*program.findFunction("f"));
+    SmRunOptions options;
+    options.prune_correlated_branches = true;
+    auto result = runStateMachine(*mp.sm, cfg, sink, options);
+    EXPECT_EQ(sink.count(support::Severity::Error), 0);
+    EXPECT_GE(result.visits, 1u);
+}
+
+TEST(Engine, PruningKeepsRealErrors)
+{
+    lang::Program program;
+    support::DiagnosticSink sink;
+    MetalProgram mp = parseMetal(kMsgLen);
+    program.addSource("t.c",
+                      "void f(void) {"
+                      "  len = LEN_NODATA;"
+                      "  if (q) { PI_SEND(F_DATA, k); }"
+                      "}");
+    cfg::Cfg cfg = cfg::CfgBuilder::build(*program.findFunction("f"));
+    SmRunOptions options;
+    options.prune_correlated_branches = true;
+    runStateMachine(*mp.sm, cfg, sink, options);
+    EXPECT_EQ(sink.count(support::Severity::Error), 1);
+}
+
+TEST(Engine, DiagnosticLocationPointsAtOffendingRead)
+{
+    lang::Program program;
+    support::DiagnosticSink sink;
+    MetalProgram mp = parseMetal(kWaitForDb);
+    program.addSource("proto.c",
+                      "void f(void) {\n"
+                      "  x = 1;\n"
+                      "  MISCBUS_READ_DB(a, b);\n"
+                      "}\n");
+    cfg::Cfg cfg = cfg::CfgBuilder::build(*program.findFunction("f"));
+    runStateMachine(*mp.sm, cfg, sink);
+    ASSERT_EQ(sink.count(support::Severity::Error), 1);
+    EXPECT_EQ(sink.diagnostics()[0].loc.line, 3);
+}
+
+} // namespace
+} // namespace mc::metal

@@ -1,0 +1,222 @@
+#include "sim/interp.h"
+
+#include "lang/program.h"
+
+#include <gtest/gtest.h>
+
+namespace mc::sim {
+namespace {
+
+/**
+ * Harness: run a handler whose last act is MISCBUS_WRITE_DB(0, <expr>);
+ * the machine write path is stubbed, so instead we expose results via
+ * the header-length register, which tests can read back... Simpler: the
+ * interpreter exposes no raw memory, so tests observe behavior through
+ * MagicNode effects (header length, sends, buffer ops) and failure
+ * records.
+ */
+struct SimRun
+{
+    lang::Program program;
+    flash::ProtocolSpec spec;
+    MagicNode node{MagicNode::Config(), 42};
+
+    explicit SimRun(const std::string& body, std::int64_t payload = 7)
+    {
+        spec.setLane("MSG_PUT", 1);
+        program.addSource("t.c", "void H(void) {" + body + "}");
+        node.deliverMessage(payload, "H");
+    }
+
+    void
+    go()
+    {
+        Interpreter interp(program, spec, node);
+        interp.runFunction(*program.findFunction("H"));
+        node.finishHandler();
+    }
+};
+
+/** Evaluate `expr` by storing it into the header length register. */
+std::int64_t
+evalViaHeader(const std::string& expr, std::int64_t payload = 7)
+{
+    SimRun run("HANDLER_GLOBALS(header.nh.len) = " + expr + "; FREE_DB();",
+            payload);
+    run.go();
+    // A mismatching send would be needed to observe the value... use the
+    // length-mismatch failure as the probe: send F_DATA; if expr == 0 we
+    // get a mismatch.
+    return run.node.failureCount(FailureKind::LengthMismatch);
+}
+
+TEST(Interpreter, ArithmeticAndPrecedence)
+{
+    // (2 + 3 * 4) == 14 -> nonzero header -> F_NODATA send mismatches.
+    SimRun run("HANDLER_GLOBALS(header.nh.len) = 2 + 3 * 4;"
+            "NI_SEND(MSG_PUT, F_NODATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);"
+            "FREE_DB();");
+    run.go();
+    EXPECT_EQ(run.node.failureCount(FailureKind::LengthMismatch), 1);
+}
+
+TEST(Interpreter, ZeroExpressionIsZero)
+{
+    SimRun run("HANDLER_GLOBALS(header.nh.len) = 5 - 5;"
+            "NI_SEND(MSG_PUT, F_NODATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);"
+            "FREE_DB();");
+    run.go();
+    EXPECT_EQ(run.node.failureCount(FailureKind::LengthMismatch), 0);
+}
+
+TEST(Interpreter, PayloadFlowsThroughLocals)
+{
+    // payload 7: (t0 & 4) != 0 -> takes the branch -> double free.
+    SimRun run("int t0 = MSG_WORD0();"
+            "if (t0 & 4) { FREE_DB(); }"
+            "FREE_DB();",
+            /*payload=*/7);
+    run.go();
+    EXPECT_EQ(run.node.failureCount(FailureKind::DoubleFree), 1);
+}
+
+TEST(Interpreter, PayloadBranchNotTaken)
+{
+    SimRun run("int t0 = MSG_WORD0();"
+            "if (t0 & 4) { FREE_DB(); }"
+            "FREE_DB();",
+            /*payload=*/3);
+    run.go();
+    EXPECT_EQ(run.node.failureCount(FailureKind::DoubleFree), 0);
+}
+
+TEST(Interpreter, WhileLoopAndCompoundAssign)
+{
+    // Loop 5 times accumulating; end value 0+1+2+3+4 = 10 != 0.
+    SimRun run("int i = 0; int acc = 0;"
+            "while (i < 5) { acc += i; i++; }"
+            "HANDLER_GLOBALS(header.nh.len) = acc;"
+            "NI_SEND(MSG_PUT, F_NODATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);"
+            "FREE_DB();");
+    run.go();
+    EXPECT_EQ(run.node.failureCount(FailureKind::LengthMismatch), 1);
+}
+
+TEST(Interpreter, ForLoopWithBreakContinue)
+{
+    // Sum even numbers below 10 but break at 6: 0+2+4 = 6.
+    SimRun run("int acc = 0;"
+            "for (int i = 0; i < 10; i++) {"
+            "  if (i == 6) { break; }"
+            "  if (i % 2) { continue; }"
+            "  acc += i;"
+            "}"
+            "HANDLER_GLOBALS(header.nh.len) = acc - 6;"
+            "NI_SEND(MSG_PUT, F_NODATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);"
+            "FREE_DB();");
+    run.go();
+    // acc - 6 == 0 -> no mismatch for F_NODATA.
+    EXPECT_EQ(run.node.failureCount(FailureKind::LengthMismatch), 0);
+}
+
+TEST(Interpreter, DoWhileRunsBodyFirst)
+{
+    SimRun run("int n = 0;"
+            "do { n++; } while (n < 0);"
+            "HANDLER_GLOBALS(header.nh.len) = n;"
+            "NI_SEND(MSG_PUT, F_NODATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);"
+            "FREE_DB();");
+    run.go();
+    EXPECT_EQ(run.node.failureCount(FailureKind::LengthMismatch), 1);
+}
+
+TEST(Interpreter, SwitchSelectsCaseAndFallsThrough)
+{
+    // case 2 falls into case 3; acc = 20 + 30 = 50.
+    SimRun run("int acc = 0;"
+            "switch (2) {"
+            "  case 1: acc = 10; break;"
+            "  case 2: acc += 20;"
+            "  case 3: acc += 30; break;"
+            "  default: acc = 99;"
+            "}"
+            "HANDLER_GLOBALS(header.nh.len) = acc - 50;"
+            "NI_SEND(MSG_PUT, F_NODATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);"
+            "FREE_DB();");
+    run.go();
+    EXPECT_EQ(run.node.failureCount(FailureKind::LengthMismatch), 0);
+}
+
+TEST(Interpreter, SwitchDefaultTaken)
+{
+    SimRun run("int acc = 0;"
+            "switch (9) { case 1: acc = 1; break; default: acc = 7; }"
+            "HANDLER_GLOBALS(header.nh.len) = acc - 7;"
+            "NI_SEND(MSG_PUT, F_NODATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);"
+            "FREE_DB();");
+    run.go();
+    EXPECT_EQ(run.node.failureCount(FailureKind::LengthMismatch), 0);
+}
+
+TEST(Interpreter, TernaryAndLogicalShortCircuit)
+{
+    // CRASH() is unknown (returns 0); short-circuit avoids even that.
+    SimRun run("int v = 1 ? 4 : CRASH();"
+            "int w = 0 && CRASH();"
+            "HANDLER_GLOBALS(header.nh.len) = v - 4 + w;"
+            "NI_SEND(MSG_PUT, F_NODATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);"
+            "FREE_DB();");
+    run.go();
+    EXPECT_EQ(run.node.failureCount(FailureKind::LengthMismatch), 0);
+}
+
+TEST(Interpreter, EarlyReturnSkipsRest)
+{
+    SimRun run("FREE_DB(); return; FREE_DB();");
+    run.go();
+    EXPECT_EQ(run.node.failureCount(FailureKind::DoubleFree), 0);
+}
+
+TEST(Interpreter, UserFunctionCalls)
+{
+    SimRun run("helper();");
+    run.program.addSource("h.c", "void helper(void) { FREE_DB(); }");
+    run.go();
+    // helper freed the buffer: the handler does not leak.
+    EXPECT_EQ(run.node.freeBufferCount(),
+              MagicNode::Config().buffer_count);
+}
+
+TEST(Interpreter, RecursionGuardTerminates)
+{
+    SimRun run("spin();");
+    run.program.addSource("s.c", "void spin(void) { spin(); }");
+    run.go(); // must not crash or hang
+    SUCCEED();
+}
+
+TEST(Interpreter, InfiniteLoopBudgetTerminates)
+{
+    SimRun run("while (1) { x = x + 1; } FREE_DB();");
+    run.go(); // the step budget cuts it off
+    SUCCEED();
+}
+
+TEST(Interpreter, ConstantsHaveHardwareValues)
+{
+    // LEN_NODATA == 0: assigning it then sending F_NODATA is consistent.
+    SimRun run("HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;"
+            "NI_SEND(MSG_PUT, F_NODATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);"
+            "FREE_DB();");
+    run.go();
+    EXPECT_EQ(run.node.failureCount(FailureKind::LengthMismatch), 0);
+}
+
+TEST(Interpreter, EvalViaHeaderProbeSanity)
+{
+    (void)evalViaHeader; // probe helper kept for further tests
+    SUCCEED();
+}
+
+} // namespace
+} // namespace mc::sim

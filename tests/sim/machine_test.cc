@@ -1,0 +1,256 @@
+#include "sim/machine.h"
+
+#include <gtest/gtest.h>
+
+namespace mc::sim {
+namespace {
+
+MagicNode::Config
+smallConfig()
+{
+    MagicNode::Config config;
+    config.buffer_count = 4;
+    config.lane_queue_capacity = 2;
+    config.slow_fill_percent = 0;
+    return config;
+}
+
+TEST(MagicNode, DeliverAllocatesOneBuffer)
+{
+    MagicNode node(smallConfig(), 1);
+    EXPECT_TRUE(node.deliverMessage(5, "H"));
+    EXPECT_EQ(node.freeBufferCount(), 3);
+    EXPECT_EQ(node.payload(), 5);
+    node.freeCurrentBuffer();
+    node.finishHandler();
+    EXPECT_EQ(node.freeBufferCount(), 4);
+}
+
+TEST(MagicNode, LeakReportedAndSlotLost)
+{
+    MagicNode node(smallConfig(), 1);
+    node.deliverMessage(1, "H");
+    EXPECT_TRUE(node.finishHandler()); // never freed
+    EXPECT_EQ(node.freeBufferCount(), 3);
+}
+
+TEST(MagicNode, PoolExhaustionAfterLeaks)
+{
+    MagicNode node(smallConfig(), 1);
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_TRUE(node.deliverMessage(i, "H"));
+        node.finishHandler(); // leak each time
+    }
+    EXPECT_FALSE(node.deliverMessage(9, "H"));
+    EXPECT_EQ(node.failureCount(FailureKind::BufferExhaustion), 1);
+}
+
+TEST(MagicNode, DoubleFreeDetected)
+{
+    MagicNode node(smallConfig(), 1);
+    node.deliverMessage(1, "H");
+    node.freeCurrentBuffer();
+    node.freeCurrentBuffer();
+    EXPECT_EQ(node.failureCount(FailureKind::DoubleFree), 1);
+}
+
+TEST(MagicNode, UseAfterFreeOnRead)
+{
+    MagicNode node(smallConfig(), 1);
+    node.deliverMessage(1, "H");
+    node.freeCurrentBuffer();
+    node.readBuffer();
+    EXPECT_EQ(node.failureCount(FailureKind::UseAfterFree), 1);
+}
+
+TEST(MagicNode, SlowFillRaceWindow)
+{
+    MagicNode::Config config = smallConfig();
+    config.slow_fill_percent = 100;
+    config.slow_fill_delay = 50;
+    MagicNode node(config, 1);
+    node.deliverMessage(1, "H");
+    // Immediate read: inside the fill window.
+    node.readBuffer();
+    EXPECT_EQ(node.failureCount(FailureKind::RaceCorruption), 1);
+    // After waiting, reads are clean and return the payload.
+    node.waitForFill();
+    EXPECT_EQ(node.readBuffer(), 1);
+    EXPECT_EQ(node.failureCount(FailureKind::RaceCorruption), 1);
+}
+
+TEST(MagicNode, LengthMismatchBothDirections)
+{
+    MagicNode node(smallConfig(), 1);
+    node.deliverMessage(1, "H");
+    node.setHeaderLength(kLenNoData);
+    node.send('N', /*has_data=*/true, false, 0);
+    node.setHeaderLength(kLenCacheline);
+    node.send('N', /*has_data=*/false, false, 0);
+    node.setHeaderLength(kLenCacheline);
+    node.send('N', /*has_data=*/true, false, 0); // consistent
+    EXPECT_EQ(node.failureCount(FailureKind::LengthMismatch), 2);
+}
+
+TEST(MagicNode, LaneQueueOverflow)
+{
+    MagicNode node(smallConfig(), 1); // capacity 2
+    node.deliverMessage(1, "H");
+    node.setHeaderLength(kLenNoData);
+    node.send('N', false, false, 0);
+    node.send('N', false, false, 0);
+    EXPECT_EQ(node.failureCount(FailureKind::LaneOverflow), 0);
+    node.send('N', false, false, 0);
+    EXPECT_EQ(node.failureCount(FailureKind::LaneOverflow), 1);
+}
+
+TEST(MagicNode, WaitForSpaceDrainsLane)
+{
+    MagicNode node(smallConfig(), 1);
+    node.deliverMessage(1, "H");
+    node.setHeaderLength(kLenNoData);
+    node.send('N', false, false, 0);
+    node.send('N', false, false, 0);
+    node.waitForSpace(0);
+    node.send('N', false, false, 0);
+    node.send('N', false, false, 0);
+    EXPECT_EQ(node.failureCount(FailureKind::LaneOverflow), 0);
+}
+
+TEST(MagicNode, LanesDrainBetweenMessages)
+{
+    MagicNode node(smallConfig(), 1);
+    node.deliverMessage(1, "H");
+    node.setHeaderLength(kLenNoData);
+    node.send('N', false, false, 0);
+    node.send('N', false, false, 0);
+    node.freeCurrentBuffer();
+    node.finishHandler();
+    node.deliverMessage(2, "H"); // drains one slot per lane
+    node.send('N', false, false, 0);
+    EXPECT_EQ(node.failureCount(FailureKind::LaneOverflow), 0);
+}
+
+TEST(MagicNode, MissedWaitAtHandlerEnd)
+{
+    MagicNode node(smallConfig(), 1);
+    node.deliverMessage(1, "H");
+    node.setHeaderLength(kLenNoData);
+    node.send('P', false, /*wait=*/true, -1);
+    node.freeCurrentBuffer();
+    node.finishHandler();
+    EXPECT_EQ(node.failureCount(FailureKind::MissedWait), 1);
+}
+
+TEST(MagicNode, WaitClearsPending)
+{
+    MagicNode node(smallConfig(), 1);
+    node.deliverMessage(1, "H");
+    node.setHeaderLength(kLenNoData);
+    node.send('P', false, true, -1);
+    node.waitForReply('P');
+    node.freeCurrentBuffer();
+    node.finishHandler();
+    EXPECT_EQ(node.failureCount(FailureKind::MissedWait), 0);
+}
+
+TEST(MagicNode, WrongInterfaceWaitFlagged)
+{
+    MagicNode node(smallConfig(), 1);
+    node.deliverMessage(1, "H");
+    node.send('P', false, true, -1);
+    node.waitForReply('I');
+    EXPECT_EQ(node.failureCount(FailureKind::MissedWait), 1);
+}
+
+TEST(MagicNode, PollSatisfiesWaitInvisibly)
+{
+    MagicNode node(smallConfig(), 1);
+    node.deliverMessage(1, "H");
+    node.send('P', false, true, -1);
+    EXPECT_EQ(node.pollStatus('P'), 1);
+    node.freeCurrentBuffer();
+    node.finishHandler();
+    EXPECT_EQ(node.failureCount(FailureKind::MissedWait), 0);
+}
+
+TEST(MagicNode, DirectoryStaleAfterDroppedModification)
+{
+    MagicNode node(smallConfig(), 1);
+    node.deliverMessage(1, "H");
+    node.dirLoad();
+    node.dirWrite(42);
+    node.freeCurrentBuffer();
+    node.finishHandler(); // modification dropped -> stale
+    node.deliverMessage(2, "H");
+    node.dirLoad();
+    EXPECT_EQ(node.failureCount(FailureKind::StaleDirectory), 1);
+}
+
+TEST(MagicNode, WritebackKeepsDirectoryFresh)
+{
+    MagicNode node(smallConfig(), 1);
+    node.deliverMessage(1, "H");
+    node.dirLoad();
+    node.dirWrite(42);
+    node.dirWriteback();
+    node.freeCurrentBuffer();
+    node.finishHandler();
+    node.deliverMessage(2, "H");
+    node.dirLoad();
+    EXPECT_EQ(node.failureCount(FailureKind::StaleDirectory), 0);
+    EXPECT_EQ(node.dirRead(), 42);
+}
+
+TEST(MagicNode, HandoffReturnsBufferWithoutLeak)
+{
+    MagicNode node(smallConfig(), 1);
+    node.deliverMessage(1, "H");
+    node.markHandoff();
+    EXPECT_FALSE(node.finishHandler());
+    EXPECT_EQ(node.freeBufferCount(), 4);
+}
+
+TEST(MagicNode, MaybeFreeFollowsPayloadBit)
+{
+    MagicNode node(smallConfig(), 1);
+    node.deliverMessage(0b0010, "H");
+    EXPECT_EQ(node.maybeFreeBuffer(1), 1); // bit 1 set: frees
+    EXPECT_FALSE(node.finishHandler());
+
+    node.deliverMessage(0b0000, "H");
+    EXPECT_EQ(node.maybeFreeBuffer(1), 0); // bit clear: keeps
+    node.freeCurrentBuffer();
+    node.finishHandler();
+    EXPECT_EQ(node.failureCount(FailureKind::DoubleFree), 0);
+}
+
+TEST(MagicNode, AllocateWhileHoldingLeaksOldSlot)
+{
+    MagicNode node(smallConfig(), 1);
+    node.deliverMessage(1, "H");
+    EXPECT_EQ(node.freeBufferCount(), 3);
+    node.allocateBuffer(); // overwrites the current pointer
+    EXPECT_EQ(node.freeBufferCount(), 2);
+    node.freeCurrentBuffer();
+    node.finishHandler();
+    // The original message buffer is stranded.
+    EXPECT_EQ(node.freeBufferCount(), 3);
+}
+
+TEST(MagicNode, FirstFailureMessageTracksIndex)
+{
+    MagicNode node(smallConfig(), 1);
+    node.deliverMessage(1, "H");
+    node.freeCurrentBuffer();
+    node.finishHandler();
+    node.deliverMessage(2, "H");
+    node.freeCurrentBuffer();
+    node.freeCurrentBuffer(); // double free on message #2
+    node.finishHandler();
+    EXPECT_EQ(node.firstFailureMessage(FailureKind::DoubleFree), 2u);
+    EXPECT_EQ(node.firstFailureMessage(FailureKind::RaceCorruption), 0u);
+}
+
+} // namespace
+} // namespace mc::sim

@@ -1,0 +1,128 @@
+#include "support/diagnostics.h"
+#include "support/source_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mc::support {
+namespace {
+
+SourceLoc
+loc(int file, int line, int col)
+{
+    return SourceLoc{file, line, col};
+}
+
+TEST(DiagnosticSink, CollectsAndCounts)
+{
+    DiagnosticSink sink;
+    EXPECT_TRUE(sink.error(loc(1, 5, 1), "msg_length", "data-zero-len",
+                           "data send, zero len"));
+    EXPECT_TRUE(sink.warning(loc(1, 9, 1), "msg_length", "suspicious",
+                             "odd length"));
+    EXPECT_EQ(sink.count(Severity::Error), 1);
+    EXPECT_EQ(sink.count(Severity::Warning), 1);
+    EXPECT_EQ(sink.countForChecker("msg_length"), 2);
+    EXPECT_EQ(sink.countForChecker("msg_length", Severity::Error), 1);
+    EXPECT_EQ(sink.countForChecker("other"), 0);
+}
+
+TEST(DiagnosticSink, DeduplicatesSameSite)
+{
+    DiagnosticSink sink;
+    EXPECT_TRUE(sink.error(loc(1, 5, 1), "c", "r", "first"));
+    // Same checker, rule, and location: path-sensitive engines reach the
+    // same statement along many paths but the bug is one bug.
+    EXPECT_FALSE(sink.error(loc(1, 5, 1), "c", "r", "again"));
+    EXPECT_EQ(sink.count(Severity::Error), 1);
+}
+
+TEST(DiagnosticSink, DifferentRuleOrLocIsNotDuplicate)
+{
+    DiagnosticSink sink;
+    EXPECT_TRUE(sink.error(loc(1, 5, 1), "c", "r1", "a"));
+    EXPECT_TRUE(sink.error(loc(1, 5, 1), "c", "r2", "b"));
+    EXPECT_TRUE(sink.error(loc(1, 6, 1), "c", "r1", "c"));
+    EXPECT_EQ(sink.count(Severity::Error), 3);
+}
+
+TEST(DiagnosticSink, NotesAreNeverDeduplicated)
+{
+    DiagnosticSink sink;
+    Diagnostic note;
+    note.severity = Severity::Note;
+    note.loc = loc(1, 2, 3);
+    note.checker = "c";
+    note.rule = "r";
+    note.message = "n";
+    EXPECT_TRUE(sink.report(note));
+    EXPECT_TRUE(sink.report(note));
+    EXPECT_EQ(sink.count(Severity::Note), 2);
+}
+
+TEST(DiagnosticSink, PrintIncludesSourceLine)
+{
+    SourceManager sm;
+    std::int32_t id = sm.addFile("proto.c", "int x;\nPI_SEND(a);\n");
+    DiagnosticSink sink;
+    sink.error(loc(id, 2, 1), "lanes", "overflow", "lane quota exceeded");
+
+    std::ostringstream os;
+    sink.print(os, &sm);
+    std::string out = os.str();
+    EXPECT_NE(out.find("proto.c:2:1"), std::string::npos);
+    EXPECT_NE(out.find("[lanes.overflow]"), std::string::npos);
+    EXPECT_NE(out.find("PI_SEND(a);"), std::string::npos);
+}
+
+TEST(DiagnosticSink, TracePrinted)
+{
+    DiagnosticSink sink;
+    Diagnostic d;
+    d.severity = Severity::Error;
+    d.loc = loc(1, 1, 1);
+    d.checker = "lanes";
+    d.rule = "overflow";
+    d.message = "too many sends";
+    d.trace = {"HandlerA (proto.c:10)", "helper_send (proto.c:99)"};
+    sink.report(d);
+
+    std::ostringstream os;
+    sink.print(os, nullptr);
+    EXPECT_NE(os.str().find("at HandlerA (proto.c:10)"), std::string::npos);
+    EXPECT_NE(os.str().find("at helper_send (proto.c:99)"),
+              std::string::npos);
+}
+
+TEST(DiagnosticSink, ClearResetsDedup)
+{
+    DiagnosticSink sink;
+    sink.error(loc(1, 5, 1), "c", "r", "a");
+    sink.clear();
+    EXPECT_EQ(sink.count(Severity::Error), 0);
+    EXPECT_TRUE(sink.error(loc(1, 5, 1), "c", "r", "a"));
+}
+
+TEST(SourceManager, LineTextAndDescribe)
+{
+    SourceManager sm;
+    std::int32_t id = sm.addFile("f.c", "line one\nline two\nline three");
+    EXPECT_EQ(sm.lineText(id, 1), "line one");
+    EXPECT_EQ(sm.lineText(id, 2), "line two");
+    EXPECT_EQ(sm.lineText(id, 3), "line three");
+    EXPECT_EQ(sm.lineText(id, 4), "");
+    EXPECT_EQ(sm.lineCount(id), 3);
+    EXPECT_EQ(sm.describe(SourceLoc{id, 2, 7}), "f.c:2:7");
+}
+
+TEST(SourceManager, UnknownFileIsSafe)
+{
+    SourceManager sm;
+    EXPECT_EQ(sm.fileName(0), "<unknown>");
+    EXPECT_EQ(sm.fileName(99), "<unknown>");
+    EXPECT_EQ(sm.lineText(99, 1), "");
+}
+
+} // namespace
+} // namespace mc::support

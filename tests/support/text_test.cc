@@ -1,0 +1,108 @@
+#include "support/rng.h"
+#include "support/text.h"
+
+#include <gtest/gtest.h>
+
+namespace mc::support {
+namespace {
+
+TEST(Text, SplitKeepsEmptyFields)
+{
+    auto parts = split("a,,b,", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "");
+    EXPECT_EQ(parts[2], "b");
+    EXPECT_EQ(parts[3], "");
+}
+
+TEST(Text, SplitSingleField)
+{
+    auto parts = split("alone", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "alone");
+}
+
+TEST(Text, Trim)
+{
+    EXPECT_EQ(trim("  x y  "), "x y");
+    EXPECT_EQ(trim("\t\n"), "");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("no-ws"), "no-ws");
+}
+
+TEST(Text, StartsWith)
+{
+    EXPECT_TRUE(startsWith("include \"x.h\"", "include"));
+    EXPECT_FALSE(startsWith("inc", "include"));
+}
+
+TEST(Text, Join)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ", "), "");
+    EXPECT_EQ(join({"x"}, ", "), "x");
+}
+
+TEST(Text, FormatTableAligns)
+{
+    std::string table = formatTable({"Protocol", "Errors"},
+                                    {{"bitvector", "4"}, {"sci", "0"}});
+    // Header, rule, two rows.
+    auto lines = split(table, '\n');
+    ASSERT_GE(lines.size(), 4u);
+    EXPECT_NE(lines[0].find("Protocol"), std::string::npos);
+    EXPECT_NE(lines[1].find("---"), std::string::npos);
+    EXPECT_NE(lines[2].find("bitvector"), std::string::npos);
+    // Columns aligned: "Errors" column starts at same offset in all rows.
+    auto pos_header = lines[0].find("Errors");
+    auto pos_row = lines[2].find("4");
+    EXPECT_EQ(pos_header, pos_row);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, RangeIsInclusive)
+{
+    Rng rng(7);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        std::int64_t v = rng.range(2, 4);
+        EXPECT_GE(v, 2);
+        EXPECT_LE(v, 4);
+        saw_lo |= v == 2;
+        saw_hi |= v == 4;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ForkDivergesFromParent)
+{
+    Rng parent(9);
+    Rng child = parent.fork();
+    // Streams should differ in the first few values.
+    bool differs = false;
+    for (int i = 0; i < 4; ++i)
+        differs |= parent.next() != child.next();
+    EXPECT_TRUE(differs);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(11);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_TRUE(rng.chance(1, 1));
+        EXPECT_FALSE(rng.chance(0, 10));
+    }
+}
+
+} // namespace
+} // namespace mc::support
