@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_authoring_styles"
+  "../bench/ablation_authoring_styles.pdb"
+  "CMakeFiles/ablation_authoring_styles.dir/ablation_authoring_styles.cc.o"
+  "CMakeFiles/ablation_authoring_styles.dir/ablation_authoring_styles.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_authoring_styles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_dynamic_vs_static"
+  "../bench/ablation_dynamic_vs_static.pdb"
+  "CMakeFiles/ablation_dynamic_vs_static.dir/ablation_dynamic_vs_static.cc.o"
+  "CMakeFiles/ablation_dynamic_vs_static.dir/ablation_dynamic_vs_static.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dynamic_vs_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

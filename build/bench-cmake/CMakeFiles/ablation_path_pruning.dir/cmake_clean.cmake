@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_path_pruning"
+  "../bench/ablation_path_pruning.pdb"
+  "CMakeFiles/ablation_path_pruning.dir/ablation_path_pruning.cc.o"
+  "CMakeFiles/ablation_path_pruning.dir/ablation_path_pruning.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_path_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_value_sensitivity"
+  "../bench/ablation_value_sensitivity.pdb"
+  "CMakeFiles/ablation_value_sensitivity.dir/ablation_value_sensitivity.cc.o"
+  "CMakeFiles/ablation_value_sensitivity.dir/ablation_value_sensitivity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_value_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/engine_throughput"
+  "../bench/engine_throughput.pdb"
+  "CMakeFiles/engine_throughput.dir/engine_throughput.cc.o"
+  "CMakeFiles/engine_throughput.dir/engine_throughput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_buffer_race"
+  "../bench/table2_buffer_race.pdb"
+  "CMakeFiles/table2_buffer_race.dir/table2_buffer_race.cc.o"
+  "CMakeFiles/table2_buffer_race.dir/table2_buffer_race.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_buffer_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_msg_length"
+  "../bench/table3_msg_length.pdb"
+  "CMakeFiles/table3_msg_length.dir/table3_msg_length.cc.o"
+  "CMakeFiles/table3_msg_length.dir/table3_msg_length.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_msg_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

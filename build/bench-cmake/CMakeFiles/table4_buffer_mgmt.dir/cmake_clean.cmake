@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_buffer_mgmt"
+  "../bench/table4_buffer_mgmt.pdb"
+  "CMakeFiles/table4_buffer_mgmt.dir/table4_buffer_mgmt.cc.o"
+  "CMakeFiles/table4_buffer_mgmt.dir/table4_buffer_mgmt.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_buffer_mgmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4b_lanes"
+  "../bench/table4b_lanes.pdb"
+  "CMakeFiles/table4b_lanes.dir/table4b_lanes.cc.o"
+  "CMakeFiles/table4b_lanes.dir/table4b_lanes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4b_lanes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_exec_restrict"
+  "../bench/table5_exec_restrict.pdb"
+  "CMakeFiles/table5_exec_restrict.dir/table5_exec_restrict.cc.o"
+  "CMakeFiles/table5_exec_restrict.dir/table5_exec_restrict.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_exec_restrict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_other_checks"
+  "../bench/table6_other_checks.pdb"
+  "CMakeFiles/table6_other_checks.dir/table6_other_checks.cc.o"
+  "CMakeFiles/table6_other_checks.dir/table6_other_checks.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_other_checks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

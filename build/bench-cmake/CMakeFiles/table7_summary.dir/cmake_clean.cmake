@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table7_summary"
+  "../bench/table7_summary.pdb"
+  "CMakeFiles/table7_summary.dir/table7_summary.cc.o"
+  "CMakeFiles/table7_summary.dir/table7_summary.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

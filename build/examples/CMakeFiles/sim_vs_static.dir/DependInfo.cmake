@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/sim_vs_static.cpp" "examples/CMakeFiles/sim_vs_static.dir/sim_vs_static.cpp.o" "gcc" "examples/CMakeFiles/sim_vs_static.dir/sim_vs_static.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/mc_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/checkers/CMakeFiles/mc_checkers.dir/DependInfo.cmake"
+  "/root/repo/build/src/global/CMakeFiles/mc_global.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/mc_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/metal/CMakeFiles/mc_metal.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/mc_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/match/CMakeFiles/mc_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/mc_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_vs_static.dir/sim_vs_static.cpp.o"
+  "CMakeFiles/sim_vs_static.dir/sim_vs_static.cpp.o.d"
+  "sim_vs_static"
+  "sim_vs_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_vs_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/write_a_checker.dir/write_a_checker.cpp.o"
+  "CMakeFiles/write_a_checker.dir/write_a_checker.cpp.o.d"
+  "write_a_checker"
+  "write_a_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/write_a_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

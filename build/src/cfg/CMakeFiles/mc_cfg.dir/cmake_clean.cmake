@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_cfg.dir/cfg.cc.o"
+  "CMakeFiles/mc_cfg.dir/cfg.cc.o.d"
+  "CMakeFiles/mc_cfg.dir/path_stats.cc.o"
+  "CMakeFiles/mc_cfg.dir/path_stats.cc.o.d"
+  "libmc_cfg.a"
+  "libmc_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/checkers/buffer_alloc.cc" "src/checkers/CMakeFiles/mc_checkers.dir/buffer_alloc.cc.o" "gcc" "src/checkers/CMakeFiles/mc_checkers.dir/buffer_alloc.cc.o.d"
+  "/root/repo/src/checkers/buffer_mgmt.cc" "src/checkers/CMakeFiles/mc_checkers.dir/buffer_mgmt.cc.o" "gcc" "src/checkers/CMakeFiles/mc_checkers.dir/buffer_mgmt.cc.o.d"
+  "/root/repo/src/checkers/buffer_race.cc" "src/checkers/CMakeFiles/mc_checkers.dir/buffer_race.cc.o" "gcc" "src/checkers/CMakeFiles/mc_checkers.dir/buffer_race.cc.o.d"
+  "/root/repo/src/checkers/buffer_race_magik.cc" "src/checkers/CMakeFiles/mc_checkers.dir/buffer_race_magik.cc.o" "gcc" "src/checkers/CMakeFiles/mc_checkers.dir/buffer_race_magik.cc.o.d"
+  "/root/repo/src/checkers/checker.cc" "src/checkers/CMakeFiles/mc_checkers.dir/checker.cc.o" "gcc" "src/checkers/CMakeFiles/mc_checkers.dir/checker.cc.o.d"
+  "/root/repo/src/checkers/directory.cc" "src/checkers/CMakeFiles/mc_checkers.dir/directory.cc.o" "gcc" "src/checkers/CMakeFiles/mc_checkers.dir/directory.cc.o.d"
+  "/root/repo/src/checkers/exec_restrict.cc" "src/checkers/CMakeFiles/mc_checkers.dir/exec_restrict.cc.o" "gcc" "src/checkers/CMakeFiles/mc_checkers.dir/exec_restrict.cc.o.d"
+  "/root/repo/src/checkers/lanes.cc" "src/checkers/CMakeFiles/mc_checkers.dir/lanes.cc.o" "gcc" "src/checkers/CMakeFiles/mc_checkers.dir/lanes.cc.o.d"
+  "/root/repo/build/src/checkers/metal_sources.cc" "src/checkers/CMakeFiles/mc_checkers.dir/metal_sources.cc.o" "gcc" "src/checkers/CMakeFiles/mc_checkers.dir/metal_sources.cc.o.d"
+  "/root/repo/src/checkers/msg_length.cc" "src/checkers/CMakeFiles/mc_checkers.dir/msg_length.cc.o" "gcc" "src/checkers/CMakeFiles/mc_checkers.dir/msg_length.cc.o.d"
+  "/root/repo/src/checkers/no_float.cc" "src/checkers/CMakeFiles/mc_checkers.dir/no_float.cc.o" "gcc" "src/checkers/CMakeFiles/mc_checkers.dir/no_float.cc.o.d"
+  "/root/repo/src/checkers/registry.cc" "src/checkers/CMakeFiles/mc_checkers.dir/registry.cc.o" "gcc" "src/checkers/CMakeFiles/mc_checkers.dir/registry.cc.o.d"
+  "/root/repo/src/checkers/send_wait.cc" "src/checkers/CMakeFiles/mc_checkers.dir/send_wait.cc.o" "gcc" "src/checkers/CMakeFiles/mc_checkers.dir/send_wait.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metal/CMakeFiles/mc_metal.dir/DependInfo.cmake"
+  "/root/repo/build/src/global/CMakeFiles/mc_global.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/mc_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/match/CMakeFiles/mc_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/mc_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/mc_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

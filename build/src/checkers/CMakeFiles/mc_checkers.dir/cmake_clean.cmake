@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_checkers.dir/buffer_alloc.cc.o"
+  "CMakeFiles/mc_checkers.dir/buffer_alloc.cc.o.d"
+  "CMakeFiles/mc_checkers.dir/buffer_mgmt.cc.o"
+  "CMakeFiles/mc_checkers.dir/buffer_mgmt.cc.o.d"
+  "CMakeFiles/mc_checkers.dir/buffer_race.cc.o"
+  "CMakeFiles/mc_checkers.dir/buffer_race.cc.o.d"
+  "CMakeFiles/mc_checkers.dir/buffer_race_magik.cc.o"
+  "CMakeFiles/mc_checkers.dir/buffer_race_magik.cc.o.d"
+  "CMakeFiles/mc_checkers.dir/checker.cc.o"
+  "CMakeFiles/mc_checkers.dir/checker.cc.o.d"
+  "CMakeFiles/mc_checkers.dir/directory.cc.o"
+  "CMakeFiles/mc_checkers.dir/directory.cc.o.d"
+  "CMakeFiles/mc_checkers.dir/exec_restrict.cc.o"
+  "CMakeFiles/mc_checkers.dir/exec_restrict.cc.o.d"
+  "CMakeFiles/mc_checkers.dir/lanes.cc.o"
+  "CMakeFiles/mc_checkers.dir/lanes.cc.o.d"
+  "CMakeFiles/mc_checkers.dir/metal_sources.cc.o"
+  "CMakeFiles/mc_checkers.dir/metal_sources.cc.o.d"
+  "CMakeFiles/mc_checkers.dir/msg_length.cc.o"
+  "CMakeFiles/mc_checkers.dir/msg_length.cc.o.d"
+  "CMakeFiles/mc_checkers.dir/no_float.cc.o"
+  "CMakeFiles/mc_checkers.dir/no_float.cc.o.d"
+  "CMakeFiles/mc_checkers.dir/registry.cc.o"
+  "CMakeFiles/mc_checkers.dir/registry.cc.o.d"
+  "CMakeFiles/mc_checkers.dir/send_wait.cc.o"
+  "CMakeFiles/mc_checkers.dir/send_wait.cc.o.d"
+  "libmc_checkers.a"
+  "libmc_checkers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_checkers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

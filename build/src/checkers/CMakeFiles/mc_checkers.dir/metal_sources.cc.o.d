@@ -1,0 +1,3 @@
+src/checkers/CMakeFiles/mc_checkers.dir/metal_sources.cc.o: \
+ /root/repo/build/src/checkers/metal_sources.cc \
+ /usr/include/stdc-predef.h /root/repo/src/checkers/metal_sources.h

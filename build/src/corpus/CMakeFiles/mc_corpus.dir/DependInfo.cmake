@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/generator.cc" "src/corpus/CMakeFiles/mc_corpus.dir/generator.cc.o" "gcc" "src/corpus/CMakeFiles/mc_corpus.dir/generator.cc.o.d"
+  "/root/repo/src/corpus/ledger.cc" "src/corpus/CMakeFiles/mc_corpus.dir/ledger.cc.o" "gcc" "src/corpus/CMakeFiles/mc_corpus.dir/ledger.cc.o.d"
+  "/root/repo/src/corpus/profile.cc" "src/corpus/CMakeFiles/mc_corpus.dir/profile.cc.o" "gcc" "src/corpus/CMakeFiles/mc_corpus.dir/profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flash/CMakeFiles/mc_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/mc_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_corpus.dir/generator.cc.o"
+  "CMakeFiles/mc_corpus.dir/generator.cc.o.d"
+  "CMakeFiles/mc_corpus.dir/ledger.cc.o"
+  "CMakeFiles/mc_corpus.dir/ledger.cc.o.d"
+  "CMakeFiles/mc_corpus.dir/profile.cc.o"
+  "CMakeFiles/mc_corpus.dir/profile.cc.o.d"
+  "libmc_corpus.a"
+  "libmc_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

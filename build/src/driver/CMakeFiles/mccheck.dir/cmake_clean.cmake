@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mccheck.dir/mccheck.cc.o"
+  "CMakeFiles/mccheck.dir/mccheck.cc.o.d"
+  "mccheck"
+  "mccheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mccheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

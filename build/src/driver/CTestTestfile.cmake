@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src/driver
+# Build directory: /root/repo/build/src/driver
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(mccheck_list "/root/repo/build/src/driver/mccheck" "--list")
+set_tests_properties(mccheck_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/src/driver/CMakeLists.txt;4;add_test;/root/repo/src/driver/CMakeLists.txt;0;")
+add_test(mccheck_protocol_clean "/root/repo/build/src/driver/mccheck" "--protocol" "coma")
+set_tests_properties(mccheck_protocol_clean PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/src/driver/CMakeLists.txt;5;add_test;/root/repo/src/driver/CMakeLists.txt;0;")
+add_test(mccheck_emit_corpus "/root/repo/build/src/driver/mccheck" "--emit-corpus" "bitvector" "/root/repo/build/src/driver/corpus_out")
+set_tests_properties(mccheck_emit_corpus PROPERTIES  FIXTURES_SETUP "corpus_files" _BACKTRACE_TRIPLES "/root/repo/src/driver/CMakeLists.txt;11;add_test;/root/repo/src/driver/CMakeLists.txt;0;")
+add_test(mccheck_check_emitted_file "/root/repo/build/src/driver/mccheck" "/root/repo/build/src/driver/corpus_out/bitvector/retry_spin_bitvector.c")
+set_tests_properties(mccheck_check_emitted_file PROPERTIES  FIXTURES_REQUIRED "corpus_files" _BACKTRACE_TRIPLES "/root/repo/src/driver/CMakeLists.txt;16;add_test;/root/repo/src/driver/CMakeLists.txt;0;")
+add_test(mccheck_metal_on_emitted_file "/root/repo/build/src/driver/mccheck" "--metal" "/root/repo/src/checkers/metal/msglen_check.metal" "/root/repo/build/src/driver/corpus_out/bitvector/retry_spin_bitvector.c")
+set_tests_properties(mccheck_metal_on_emitted_file PROPERTIES  FIXTURES_REQUIRED "corpus_files" _BACKTRACE_TRIPLES "/root/repo/src/driver/CMakeLists.txt;21;add_test;/root/repo/src/driver/CMakeLists.txt;0;")

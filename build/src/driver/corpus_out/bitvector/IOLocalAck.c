@@ -1,0 +1,69 @@
+/* bitvector protocol: hardware handler */
+void IOLocalAck(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 15;
+    int t2 = 2;
+    t1 = t2 + 8;
+    t2 = t0 + 3;
+    t1 = t1 - t2;
+    t2 = t1 ^ (t0 << 1);
+    if ((t0 & 7) == 5) {
+        MISCBUS_READ_DB(t0, t1);
+    }
+    t1 = t0 + 7;
+    t2 = (t2 >> 1) & 0x157;
+    t2 = (t0 >> 1) & 0x88;
+    t1 = t2 ^ (t0 << 1);
+    t1 = (t0 >> 1) & 0x54;
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_INVAL, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t1 = t2 + 1;
+    t1 = t2 + 6;
+    t2 = (t0 >> 1) & 0x197;
+    t1 = t0 + 9;
+    t1 = t0 + 6;
+    t1 = t0 - t1;
+    t2 = t0 ^ (t2 << 3);
+    DIR_LOAD();
+    t1 = DIR_READ(state);
+    if (t1 == DIRTY) {
+        DIR_WRITE(state, CLEAN);
+        DIR_WRITEBACK();
+    }
+    t1 = t0 - t1;
+    t1 = t0 ^ (t0 << 4);
+    t2 = t0 ^ (t0 << 2);
+    t1 = (t0 >> 1) & 0x157;
+    t2 = t1 + 7;
+    t2 = t0 ^ (t2 << 4);
+    t2 = t1 - t1;
+    t2 = (t2 >> 1) & 0x79;
+    HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;
+    PI_SEND(F_NODATA, F_KEEP, F_SWAP, F_WAIT, F_DEC, F_NULL);
+    WAIT_FOR_PI_REPLY();
+    t1 = (t1 >> 1) & 0x136;
+    t2 = t2 ^ (t1 << 4);
+    t2 = t0 + 1;
+    t2 = t2 - t0;
+    t1 = t2 - t1;
+    t1 = t2 - t2;
+    t2 = (t2 >> 1) & 0x178;
+    t1 = t2 - t1;
+    t2 = (t0 >> 1) & 0x2;
+    t1 = (t0 >> 1) & 0x132;
+    t1 = (t1 >> 1) & 0x176;
+    t2 = t0 - t1;
+    t2 = (t1 >> 1) & 0x103;
+    t1 = t1 ^ (t2 << 2);
+    t2 = t2 + 5;
+    t1 = (t1 >> 1) & 0x112;
+    t1 = t1 ^ (t1 << 4);
+    t1 = t1 + 6;
+    t2 = (t2 >> 1) & 0x182;
+    t1 = (t2 >> 1) & 0x163;
+    t1 = t1 + 2;
+    t2 = t0 - t0;
+    FREE_DB();
+}

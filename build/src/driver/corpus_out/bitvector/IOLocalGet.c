@@ -1,0 +1,10 @@
+/* bitvector protocol: hardware handler */
+void IOLocalGet(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 27;
+    int t2 = 18;
+    PASSTHRU_FORWARD(t0);
+    FREE_DB();
+}

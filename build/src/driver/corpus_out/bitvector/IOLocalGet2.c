@@ -1,0 +1,62 @@
+/* bitvector protocol: hardware handler */
+void IOLocalGet2(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 29;
+    int t2 = 8;
+    t2 = t2 ^ (t0 << 1);
+    t2 = t2 ^ (t0 << 1);
+    t1 = t1 - t2;
+    t1 = t1 - t1;
+    t1 = (t1 >> 1) & 0x96;
+    if (t2 > 7) {
+        t1 = t2 + 2;
+        t2 = t0 - t2;
+        t2 = t0 ^ (t0 << 1);
+    }
+    else {
+        t2 = t0 + 2;
+        t1 = t0 + 7;
+        t2 = (t1 >> 1) & 0x88;
+    }
+    t2 = (t0 >> 1) & 0x234;
+    t2 = t1 + 9;
+    t2 = t0 - t1;
+    t2 = (t2 >> 1) & 0x166;
+    if (t1 > 3) {
+        t2 = (t0 >> 1) & 0x168;
+        t1 = t0 ^ (t1 << 2);
+        t2 = t1 + 2;
+    }
+    else {
+        t1 = t1 ^ (t1 << 4);
+        t1 = t2 - t0;
+        t1 = (t2 >> 1) & 0x154;
+    }
+    t1 = (t0 >> 1) & 0x124;
+    t1 = t0 - t0;
+    t2 = t2 ^ (t0 << 1);
+    t1 = t0 + 8;
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_INVAL, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t2 = t0 - t2;
+    t1 = t0 + 6;
+    t2 = t2 - t1;
+    t1 = t0 ^ (t2 << 1);
+    t1 = t2 ^ (t1 << 2);
+    t1 = t1 + 3;
+    t2 = t1 - t2;
+    t2 = t0 ^ (t1 << 1);
+    t1 = t1 - t1;
+    t1 = t2 + 9;
+    t2 = (t2 >> 1) & 0x243;
+    t1 = t0 + 1;
+    t1 = t1 ^ (t1 << 1);
+    t2 = (t1 >> 1) & 0x85;
+    t2 = t2 ^ (t2 << 4);
+    t2 = t0 ^ (t1 << 1);
+    t1 = t2 + 6;
+    t1 = t0 - t0;
+    FREE_DB();
+}

@@ -1,0 +1,70 @@
+/* bitvector protocol: hardware handler */
+void IOLocalGetX2(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 27;
+    int t2 = 12;
+    t2 = t0 + 4;
+    t2 = (t0 >> 1) & 0x26;
+    t2 = t0 - t2;
+    t1 = t1 ^ (t0 << 2);
+    t1 = (t0 >> 1) & 0x121;
+    t2 = (t2 >> 1) & 0x2;
+    t2 = (t1 >> 1) & 0x40;
+    t2 = t2 - t2;
+    t1 = (t2 >> 1) & 0x209;
+    t2 = t1 - t0;
+    t2 = t2 - t2;
+    t1 = t0 + 8;
+    if (t0 > 7) {
+        t1 = t1 - t0;
+        t1 = (t1 >> 1) & 0x233;
+        t1 = t1 - t1;
+    }
+    else {
+        t1 = t0 - t1;
+        t1 = t2 ^ (t2 << 4);
+        t2 = (t2 >> 1) & 0x230;
+    }
+    t1 = (t1 >> 1) & 0x53;
+    t2 = t0 + 5;
+    t1 = (t1 >> 1) & 0x40;
+    t2 = t2 ^ (t2 << 1);
+    t1 = t2 ^ (t2 << 1);
+    t2 = t0 + 3;
+    t1 = t2 ^ (t0 << 2);
+    t2 = t2 ^ (t1 << 2);
+    t1 = t0 + 4;
+    t1 = (t1 >> 1) & 0x58;
+    t1 = (t0 >> 1) & 0x124;
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_GET, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t1 = t0 ^ (t1 << 3);
+    t1 = (t0 >> 1) & 0x87;
+    t1 = (t2 >> 1) & 0x23;
+    t2 = t0 + 6;
+    t1 = t2 + 4;
+    t2 = t1 ^ (t0 << 4);
+    t2 = t2 - t1;
+    t1 = t1 - t1;
+    t2 = t0 + 1;
+    t2 = t0 + 2;
+    t1 = t0 + 4;
+    t2 = t2 + 1;
+    t2 = t0 - t2;
+    t2 = (t1 >> 1) & 0x72;
+    t1 = t2 ^ (t1 << 3);
+    t2 = t2 - t0;
+    t1 = (t1 >> 1) & 0x101;
+    t1 = t1 - t1;
+    t1 = t2 - t2;
+    t1 = t1 ^ (t0 << 3);
+    t1 = t2 + 4;
+    t2 = t2 + 9;
+    t1 = (t0 >> 1) & 0x54;
+    t2 = t0 - t2;
+    t2 = t0 + 4;
+    t1 = t0 ^ (t1 << 2);
+    FREE_DB();
+}

@@ -1,0 +1,65 @@
+/* bitvector protocol: hardware handler */
+void IOLocalIORead(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 12;
+    int t2 = 29;
+    t1 = (t1 >> 1) & 0x174;
+    t2 = t2 + 2;
+    t1 = (t2 >> 1) & 0x102;
+    t1 = t0 ^ (t2 << 4);
+    t2 = (t0 >> 1) & 0x243;
+    t2 = t2 ^ (t2 << 2);
+    if (t0 > 6) {
+        t2 = t2 - t2;
+        t2 = t1 ^ (t1 << 3);
+        t1 = t1 ^ (t2 << 4);
+    }
+    else {
+        t1 = t2 - t2;
+        t1 = (t1 >> 1) & 0x97;
+        t2 = t1 + 3;
+    }
+    t1 = t0 - t0;
+    t1 = (t1 >> 1) & 0x185;
+    t2 = t2 ^ (t0 << 3);
+    t2 = (t1 >> 1) & 0x239;
+    t1 = t0 ^ (t1 << 3);
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_WB, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t1 = t0 ^ (t0 << 4);
+    t2 = t0 + 4;
+    t2 = t1 - t0;
+    t1 = t0 ^ (t1 << 1);
+    t2 = t1 ^ (t0 << 1);
+    t2 = t0 + 2;
+    t1 = t2 ^ (t2 << 3);
+    t1 = (t0 >> 1) & 0x138;
+    DIR_LOAD();
+    t1 = DIR_READ(state);
+    if (t1 == DIRTY) {
+        DIR_WRITE(state, CLEAN);
+        DIR_WRITEBACK();
+    }
+    t1 = (t1 >> 1) & 0x233;
+    t2 = t2 ^ (t0 << 1);
+    t2 = t0 + 1;
+    t1 = t0 ^ (t1 << 3);
+    t2 = t1 + 5;
+    t2 = t1 + 6;
+    t2 = t1 ^ (t1 << 3);
+    t1 = t0 + 5;
+    t2 = t0 - t1;
+    t1 = t0 ^ (t1 << 4);
+    t1 = t0 ^ (t1 << 3);
+    t2 = t2 + 9;
+    t2 = t1 + 5;
+    t1 = (t0 >> 1) & 0x82;
+    t2 = t1 + 5;
+    t2 = (t2 >> 1) & 0x231;
+    t1 = t0 + 3;
+    t2 = (t1 >> 1) & 0x147;
+    t2 = (t1 >> 1) & 0x61;
+    FREE_DB();
+}

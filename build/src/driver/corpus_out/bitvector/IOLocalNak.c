@@ -1,0 +1,62 @@
+/* bitvector protocol: hardware handler */
+void IOLocalNak(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 8;
+    int t2 = 19;
+    WAIT_FOR_DB_FULL(t0);
+    MISCBUS_READ_DB(t0, t1);
+    t2 = t2 + 3;
+    t2 = t2 - t1;
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_UPGRADE, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t2 = t1 ^ (t1 << 1);
+    t2 = t1 - t1;
+    t2 = t0 + 9;
+    DIR_LOAD();
+    t1 = DIR_READ(state);
+    if (t1 == DIRTY) {
+        DIR_WRITE(state, CLEAN);
+        DIR_WRITEBACK();
+    }
+    t2 = t1 + 6;
+    t2 = t0 - t1;
+    t1 = t2 - t2;
+    t1 = t0 ^ (t1 << 3);
+    HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;
+    PI_SEND(F_NODATA, F_KEEP, F_SWAP, F_WAIT, F_DEC, F_NULL);
+    WAIT_FOR_PI_REPLY();
+    t1 = (t0 >> 1) & 0x56;
+    t2 = (t0 >> 1) & 0x88;
+    t1 = t1 ^ (t2 << 1);
+    t2 = t1 + 2;
+    t2 = (t2 >> 1) & 0x88;
+    t2 = t1 + 5;
+    t1 = t0 ^ (t0 << 4);
+    if ((t0 & 15) == 3) {
+        FREE_DB();
+    }
+    t1 = (t1 >> 1) & 0x50;
+    t2 = t1 - t0;
+    t1 = t2 - t1;
+    t1 = t0 - t1;
+    t1 = t1 ^ (t1 << 2);
+    t2 = t2 ^ (t0 << 2);
+    t2 = t2 - t2;
+    t2 = t1 + 3;
+    t1 = t1 + 1;
+    t2 = (t1 >> 1) & 0x232;
+    t2 = (t2 >> 1) & 0x73;
+    t2 = t0 + 5;
+    t2 = t2 ^ (t1 << 3);
+    t2 = t0 + 1;
+    t1 = t1 + 2;
+    t1 = (t0 >> 1) & 0x49;
+    t2 = (t0 >> 1) & 0x114;
+    t1 = t2 + 5;
+    t1 = t0 ^ (t0 << 4);
+    t1 = t0 - t2;
+    t2 = (t2 >> 1) & 0x213;
+    FREE_DB();
+}

@@ -1,0 +1,60 @@
+/* bitvector protocol: hardware handler */
+void IOLocalReplace(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 14;
+    int t2 = 30;
+    t2 = t1 - t1;
+    t1 = t0 - t1;
+    t1 = t1 - t1;
+    t2 = t1 - t0;
+    if (t1 > 2) {
+        t2 = t2 - t0;
+        t1 = t1 ^ (t0 << 2);
+        t1 = (t0 >> 1) & 0x64;
+    }
+    else {
+        t1 = t1 + 4;
+        t1 = t2 - t0;
+        t1 = t0 + 8;
+    }
+    t1 = t1 + 4;
+    t2 = t2 + 6;
+    t2 = (t0 >> 1) & 0x155;
+    t1 = t0 ^ (t2 << 4);
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_PUT, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t1 = t1 - t0;
+    t1 = (t2 >> 1) & 0x24;
+    t2 = t1 ^ (t1 << 4);
+    t2 = t2 - t1;
+    t2 = (t1 >> 1) & 0x28;
+    t2 = t0 - t1;
+    t1 = t2 - t0;
+    DIR_LOAD();
+    t1 = DIR_READ(state);
+    if (t1 == DIRTY) {
+        DIR_WRITE(state, CLEAN);
+        DIR_WRITEBACK();
+    }
+    t1 = (t1 >> 1) & 0x234;
+    t2 = (t2 >> 1) & 0x103;
+    t2 = t0 + 5;
+    t2 = t0 ^ (t1 << 3);
+    t1 = t1 + 1;
+    t2 = (t0 >> 1) & 0x155;
+    t1 = t0 - t0;
+    t2 = t2 - t2;
+    t1 = t2 - t0;
+    t2 = t2 + 1;
+    t1 = (t2 >> 1) & 0x252;
+    t1 = t2 + 9;
+    t2 = t2 + 9;
+    t2 = t1 ^ (t2 << 2);
+    t1 = t0 - t0;
+    t1 = t2 ^ (t2 << 2);
+    t2 = t2 + 6;
+    t1 = t1 - t0;
+    FREE_DB();
+}

@@ -1,0 +1,61 @@
+/* bitvector protocol: hardware handler */
+void IOLocalSharing(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 6;
+    int t2 = 0;
+    t1 = t2 - t1;
+    t1 = t0 - t2;
+    if (t0 > 3) {
+        t2 = t1 - t2;
+        t2 = t2 - t1;
+        t1 = t2 ^ (t2 << 2);
+    }
+    else {
+        t2 = t0 + 2;
+        t2 = t0 + 4;
+        t2 = t0 - t1;
+    }
+    t2 = t1 + 1;
+    t1 = t0 + 4;
+    if (t1 > 5) {
+        t1 = t0 + 2;
+        t1 = t1 ^ (t0 << 3);
+        t1 = t0 + 1;
+    }
+    else {
+        t2 = (t1 >> 1) & 0x85;
+        t1 = t0 + 7;
+        t1 = (t0 >> 1) & 0x186;
+    }
+    t2 = (t2 >> 1) & 0x22;
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_INVAL, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t1 = t1 + 4;
+    t1 = t2 ^ (t2 << 3);
+    t1 = t2 ^ (t2 << 2);
+    t2 = t2 + 1;
+    DIR_LOAD();
+    t1 = DIR_READ(state);
+    if (t1 == DIRTY) {
+        DIR_WRITE(state, CLEAN);
+        DIR_WRITEBACK();
+    }
+    t2 = (t2 >> 1) & 0x147;
+    t1 = t1 + 5;
+    t2 = (t0 >> 1) & 0x89;
+    t1 = t1 + 1;
+    t2 = (t1 >> 1) & 0x7;
+    t2 = (t1 >> 1) & 0x230;
+    t2 = t2 + 1;
+    t2 = t0 - t0;
+    t1 = t2 + 8;
+    t1 = t0 ^ (t0 << 3);
+    t1 = t1 + 9;
+    t1 = t2 + 4;
+    t2 = t0 - t2;
+    t2 = (t0 >> 1) & 0x78;
+    t2 = t2 ^ (t0 << 4);
+    FREE_DB();
+}

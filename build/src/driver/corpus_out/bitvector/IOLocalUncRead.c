@@ -1,0 +1,68 @@
+/* bitvector protocol: hardware handler */
+void IOLocalUncRead(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 16;
+    int t2 = 1;
+    t1 = t1 ^ (t2 << 3);
+    t2 = (t1 >> 1) & 0x244;
+    t2 = t2 + 5;
+    if (t1 > 6) {
+        t2 = t1 + 7;
+        t2 = t1 - t0;
+        t2 = t2 ^ (t0 << 1);
+    }
+    else {
+        t2 = t2 + 1;
+        t1 = t1 ^ (t2 << 4);
+        t1 = t0 + 4;
+    }
+    t1 = (t1 >> 1) & 0x146;
+    t1 = (t1 >> 1) & 0x241;
+    t1 = t0 + 3;
+    if (t1 > 13) {
+        t1 = t1 + 7;
+        t2 = (t2 >> 1) & 0x69;
+        t2 = (t0 >> 1) & 0x97;
+    }
+    else {
+        t2 = t2 - t1;
+        t2 = (t1 >> 1) & 0x237;
+        t2 = t2 ^ (t0 << 4);
+    }
+    t2 = t1 ^ (t0 << 2);
+    t1 = t0 + 6;
+    t1 = t1 - t0;
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_UPGRADE, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t1 = t0 - t0;
+    t1 = (t1 >> 1) & 0x120;
+    t1 = t0 - t2;
+    t1 = (t0 >> 1) & 0x31;
+    t1 = t1 - t2;
+    t2 = t2 - t0;
+    DIR_LOAD();
+    t1 = DIR_READ(state);
+    if (t1 == DIRTY) {
+        DIR_WRITE(state, CLEAN);
+        DIR_WRITEBACK();
+    }
+    t2 = (t2 >> 1) & 0x151;
+    t2 = t0 - t2;
+    t2 = t1 - t2;
+    t2 = (t0 >> 1) & 0x167;
+    t1 = t0 + 4;
+    t1 = (t1 >> 1) & 0x79;
+    t1 = t2 - t2;
+    t2 = (t2 >> 1) & 0x237;
+    t1 = t1 ^ (t0 << 2);
+    t2 = (t2 >> 1) & 0x101;
+    t1 = t2 + 5;
+    t1 = t0 - t2;
+    t2 = (t1 >> 1) & 0x66;
+    t1 = (t0 >> 1) & 0x118;
+    t2 = (t2 >> 1) & 0x164;
+    t2 = t0 + 6;
+    FREE_DB();
+}

@@ -1,0 +1,63 @@
+/* bitvector protocol: hardware handler */
+void IOLocalUncWrite(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 29;
+    int t2 = 6;
+    t2 = t2 - t1;
+    t2 = t0 ^ (t0 << 1);
+    if (t2 > 4) {
+        t1 = t1 - t1;
+        t2 = t0 - t0;
+        t1 = t2 ^ (t1 << 1);
+    }
+    else {
+        t1 = t2 + 8;
+        t2 = (t2 >> 1) & 0x74;
+        t2 = (t2 >> 1) & 0x98;
+    }
+    t1 = t1 + 1;
+    t1 = t2 ^ (t2 << 4);
+    if (t1 > 9) {
+        t1 = t1 - t2;
+        t2 = t0 ^ (t2 << 1);
+        t2 = t1 - t2;
+    }
+    else {
+        t1 = (t2 >> 1) & 0x171;
+        t2 = t1 ^ (t0 << 3);
+        t2 = t1 + 5;
+    }
+    t1 = t0 + 2;
+    t2 = t2 + 1;
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_INVAL, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t2 = t2 ^ (t1 << 1);
+    t2 = t1 + 7;
+    t1 = (t1 >> 1) & 0x8;
+    t1 = t1 ^ (t1 << 4);
+    t1 = t2 + 9;
+    DIR_LOAD();
+    t1 = DIR_READ(state);
+    if (t1 == DIRTY) {
+        DIR_WRITE(state, CLEAN);
+        DIR_WRITEBACK();
+    }
+    t1 = (t2 >> 1) & 0x194;
+    t2 = t0 - t2;
+    t1 = t1 ^ (t1 << 2);
+    t2 = t2 ^ (t0 << 2);
+    t2 = t0 ^ (t1 << 4);
+    t1 = t0 + 5;
+    t1 = t2 + 9;
+    t1 = t0 + 9;
+    t2 = t0 ^ (t1 << 3);
+    t1 = t2 - t1;
+    t2 = t2 + 5;
+    t2 = t2 - t0;
+    t2 = t0 - t2;
+    t1 = t2 ^ (t2 << 4);
+    t2 = t2 - t0;
+    FREE_DB();
+}

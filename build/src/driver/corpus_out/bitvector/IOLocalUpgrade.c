@@ -1,0 +1,60 @@
+/* bitvector protocol: hardware handler */
+void IOLocalUpgrade(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 4;
+    int t2 = 6;
+    t2 = t2 - t2;
+    t2 = t2 ^ (t2 << 3);
+    if (t1 > 2) {
+        t2 = t0 ^ (t0 << 2);
+        t1 = t1 - t2;
+        t1 = (t0 >> 1) & 0x132;
+    }
+    else {
+        t2 = (t1 >> 1) & 0x161;
+        t1 = (t1 >> 1) & 0x159;
+        t1 = (t1 >> 1) & 0x114;
+    }
+    t1 = t2 ^ (t0 << 3);
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_ACK, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t2 = t1 + 7;
+    t2 = t1 - t2;
+    t2 = t2 + 9;
+    t1 = t0 ^ (t2 << 2);
+    t2 = DIR_BASE + (t0 << 3);
+    t1 = DIR_READ(state);
+    DIR_WRITEBACK();
+    t2 = t2 + 1;
+    t1 = t2 - t2;
+    t1 = t0 - t2;
+    t1 = (t0 >> 1) & 0x148;
+    t1 = t1 + 1;
+    t2 = (t2 >> 1) & 0x133;
+    HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;
+    PI_SEND(F_NODATA, F_KEEP, F_SWAP, F_WAIT, F_DEC, F_NULL);
+    WAIT_FOR_PI_REPLY();
+    t2 = (t0 >> 1) & 0x13;
+    t2 = t2 ^ (t2 << 2);
+    t1 = (t2 >> 1) & 0x56;
+    t2 = t0 + 1;
+    t1 = (t2 >> 1) & 0x95;
+    t1 = t2 ^ (t1 << 1);
+    t1 = t1 + 1;
+    t2 = t0 ^ (t1 << 1);
+    t1 = t0 + 9;
+    t2 = t2 - t0;
+    t1 = t1 - t2;
+    t1 = (t0 >> 1) & 0x78;
+    t2 = t1 + 4;
+    t1 = t1 - t2;
+    t2 = (t0 >> 1) & 0x248;
+    t1 = t2 - t1;
+    t1 = t0 + 9;
+    t1 = (t2 >> 1) & 0x62;
+    t2 = t2 - t0;
+    t2 = t2 + 4;
+    FREE_DB();
+}

@@ -1,0 +1,69 @@
+/* bitvector protocol: hardware handler */
+void IOLocalWB(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 16;
+    int t2 = 12;
+    t1 = t0 - t0;
+    t1 = t2 - t2;
+    t2 = t0 ^ (t1 << 1);
+    t1 = t0 ^ (t2 << 4);
+    if (t0 > 13) {
+        t1 = t2 ^ (t0 << 1);
+        t1 = t0 - t0;
+        t2 = t0 - t2;
+    }
+    else {
+        t2 = t1 + 5;
+        t1 = t1 + 9;
+        t2 = t1 ^ (t1 << 2);
+    }
+    t1 = t2 + 4;
+    t2 = t2 ^ (t1 << 4);
+    t1 = t0 - t0;
+    if (t0 > 9) {
+        t2 = t0 - t2;
+        t1 = t0 + 9;
+        t1 = t0 + 4;
+    }
+    else {
+        t1 = t1 - t0;
+        t2 = t0 + 9;
+        t1 = t2 + 3;
+    }
+    t1 = t2 + 6;
+    t1 = t1 ^ (t0 << 1);
+    t2 = t2 + 3;
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_NAK, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t2 = t0 - t2;
+    t1 = (t0 >> 1) & 0x246;
+    t1 = t1 + 3;
+    t2 = t1 ^ (t2 << 2);
+    t1 = t2 ^ (t0 << 2);
+    t1 = t0 ^ (t1 << 1);
+    DIR_LOAD();
+    t1 = DIR_READ(state);
+    if (t1 == DIRTY) {
+        DIR_WRITE(state, CLEAN);
+        DIR_WRITEBACK();
+    }
+    t2 = t1 + 3;
+    t1 = t0 - t1;
+    t2 = t2 + 1;
+    t2 = (t0 >> 1) & 0x168;
+    t2 = t1 - t1;
+    t1 = t0 ^ (t1 << 2);
+    t1 = t1 - t1;
+    t1 = t2 + 9;
+    t1 = t0 ^ (t2 << 4);
+    t2 = (t0 >> 1) & 0x133;
+    t2 = t1 - t1;
+    t2 = t0 ^ (t2 << 1);
+    t1 = t0 - t2;
+    t2 = t2 - t0;
+    t2 = t1 + 6;
+    t1 = t1 - t1;
+    FREE_DB();
+}

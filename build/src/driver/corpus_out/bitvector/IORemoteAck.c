@@ -1,0 +1,66 @@
+/* bitvector protocol: hardware handler */
+void IORemoteAck(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 25;
+    int t2 = 13;
+    if (t1 > 11) {
+        t2 = (t2 >> 1) & 0x122;
+        t1 = (t1 >> 1) & 0x137;
+        t2 = t2 - t0;
+    }
+    else {
+        t1 = t1 - t2;
+        t1 = (t2 >> 1) & 0x4;
+        t1 = t1 + 1;
+    }
+    if (t2 > 9) {
+        t2 = t2 + 6;
+        t1 = (t1 >> 1) & 0x168;
+        t2 = t0 ^ (t2 << 2);
+    }
+    else {
+        t1 = t2 + 7;
+        t1 = t2 - t1;
+        t2 = t1 - t1;
+    }
+    WAIT_FOR_DB_FULL(t0);
+    MISCBUS_READ_DB(t0, t1);
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    if ((t0 & 15) == 9) {
+        PI_SEND(F_NODATA, F_KEEP, F_SWAP, F_NOWAIT, F_DEC, F_NULL);
+    }
+    t1 = t2 - t0;
+    t2 = t1 ^ (t0 << 4);
+    DIR_LOAD();
+    t1 = DIR_READ(state);
+    if (t1 == DIRTY) {
+        DIR_WRITE(state, CLEAN);
+        DIR_WRITEBACK();
+    }
+    t1 = t2 - t2;
+    t1 = t1 - t2;
+    t1 = t2 + 2;
+    HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;
+    IO_SEND(F_NODATA, F_KEEP, F_SWAP, F_WAIT, F_DEC, F_NULL);
+    WAIT_FOR_IO_REPLY();
+    t1 = (t0 >> 1) & 0x99;
+    t1 = t0 ^ (t2 << 4);
+    t2 = t0 + 4;
+    t1 = t0 - t2;
+    t2 = t2 - t2;
+    t1 = (t2 >> 1) & 0x196;
+    t2 = t2 - t0;
+    t2 = t0 ^ (t1 << 3);
+    t1 = t1 - t2;
+    t1 = t2 - t1;
+    t2 = (t1 >> 1) & 0x187;
+    t2 = t1 - t1;
+    t2 = (t0 >> 1) & 0x67;
+    t1 = t2 ^ (t2 << 4);
+    t2 = t2 ^ (t2 << 4);
+    t1 = (t0 >> 1) & 0x220;
+    t2 = t0 - t1;
+    FREE_DB();
+}

@@ -1,0 +1,68 @@
+/* bitvector protocol: hardware handler */
+void IORemoteGet2(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 4;
+    int t2 = 22;
+    t1 = (t2 >> 1) & 0x3;
+    t1 = t1 + 8;
+    t2 = t0 + 4;
+    t2 = (t1 >> 1) & 0x150;
+    t2 = t2 - t0;
+    t1 = t2 + 7;
+    t2 = t2 + 8;
+    t2 = t2 ^ (t2 << 2);
+    t2 = t0 ^ (t1 << 3);
+    t2 = (t2 >> 1) & 0x251;
+    t2 = (t2 >> 1) & 0x138;
+    if (t1 > 5) {
+        t2 = t2 + 6;
+        t2 = t1 + 1;
+        t2 = (t2 >> 1) & 0x2;
+    }
+    else {
+        t1 = (t1 >> 1) & 0x22;
+        t1 = t1 ^ (t1 << 2);
+        t2 = t2 ^ (t1 << 1);
+    }
+    t2 = t2 + 1;
+    t2 = t0 + 3;
+    t1 = t2 ^ (t1 << 1);
+    t1 = t0 - t2;
+    t1 = t1 ^ (t1 << 1);
+    t1 = t0 + 4;
+    t2 = t0 + 2;
+    t2 = t1 - t2;
+    t2 = (t0 >> 1) & 0x123;
+    t2 = t2 + 9;
+    t2 = t1 + 5;
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_WB, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t2 = t2 ^ (t2 << 4);
+    t2 = t0 - t0;
+    t2 = t2 ^ (t0 << 3);
+    t2 = t1 - t2;
+    t2 = t1 - t0;
+    t1 = (t1 >> 1) & 0x226;
+    t2 = t1 + 6;
+    t1 = t1 ^ (t2 << 2);
+    t2 = t2 - t2;
+    t2 = t0 - t0;
+    t2 = t2 - t0;
+    t2 = t1 + 8;
+    t2 = t0 - t0;
+    t2 = (t2 >> 1) & 0x104;
+    t1 = t2 ^ (t1 << 3);
+    t2 = t0 + 7;
+    t2 = (t2 >> 1) & 0x51;
+    t1 = t1 ^ (t0 << 4);
+    t1 = t0 - t1;
+    t1 = t1 + 4;
+    t1 = t2 - t2;
+    t1 = t1 ^ (t0 << 1);
+    t1 = t0 + 7;
+    t1 = t0 - t2;
+    t1 = (t2 >> 1) & 0x204;
+    FREE_DB();
+}

@@ -1,0 +1,71 @@
+/* bitvector protocol: hardware handler */
+void IORemoteGetX2(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 6;
+    int t2 = 8;
+    t2 = (t2 >> 1) & 0x20;
+    t2 = t1 - t2;
+    t2 = t0 - t2;
+    t2 = (t0 >> 1) & 0x185;
+    t1 = t1 ^ (t2 << 3);
+    t2 = t1 + 7;
+    t1 = (t2 >> 1) & 0x85;
+    if (t1 > 5) {
+        t2 = (t1 >> 1) & 0x92;
+        t1 = (t2 >> 1) & 0x40;
+        t1 = t0 - t0;
+    }
+    else {
+        t2 = t1 ^ (t1 << 4);
+        t2 = (t0 >> 1) & 0x104;
+        t1 = t2 ^ (t0 << 2);
+    }
+    t2 = t0 ^ (t0 << 1);
+    t2 = t0 - t0;
+    t1 = (t0 >> 1) & 0x120;
+    t1 = t1 ^ (t1 << 2);
+    t1 = t1 + 7;
+    t1 = t1 ^ (t1 << 1);
+    t2 = t1 + 8;
+    if (t0 > 12) {
+        t1 = t0 - t2;
+        t2 = (t1 >> 1) & 0x42;
+        t2 = t1 - t0;
+    }
+    else {
+        t2 = t2 ^ (t2 << 3);
+        t2 = t1 + 3;
+        t2 = t2 ^ (t0 << 1);
+    }
+    t2 = (t2 >> 1) & 0x177;
+    t2 = t1 ^ (t0 << 3);
+    t1 = (t2 >> 1) & 0x190;
+    t2 = (t2 >> 1) & 0x40;
+    t1 = t0 ^ (t1 << 2);
+    t1 = t0 ^ (t0 << 4);
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_ACK, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t2 = t1 + 9;
+    t1 = t2 - t1;
+    t1 = (t1 >> 1) & 0x23;
+    t2 = t0 + 8;
+    t1 = (t0 >> 1) & 0x131;
+    t1 = t0 ^ (t1 << 2);
+    t2 = (t1 >> 1) & 0x25;
+    t1 = t1 ^ (t0 << 3);
+    t1 = (t1 >> 1) & 0x109;
+    t1 = (t0 >> 1) & 0x189;
+    t2 = t0 - t1;
+    t2 = t0 - t0;
+    t2 = t1 + 1;
+    t1 = t2 + 1;
+    t2 = t2 + 9;
+    t2 = t2 ^ (t1 << 3);
+    t1 = t1 - t1;
+    t1 = t0 + 2;
+    t1 = t0 - t1;
+    t2 = t2 ^ (t0 << 2);
+    FREE_DB();
+}

@@ -1,0 +1,72 @@
+/* bitvector protocol: hardware handler */
+void IORemoteIORead(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 5;
+    int t2 = 21;
+    t1 = (t0 >> 1) & 0x66;
+    t2 = (t1 >> 1) & 0x124;
+    t2 = t1 + 4;
+    t2 = (t1 >> 1) & 0x61;
+    t1 = t1 + 7;
+    t2 = t0 + 9;
+    t1 = t2 + 9;
+    if (t2 > 8) {
+        t1 = (t1 >> 1) & 0x25;
+        t1 = t2 ^ (t2 << 2);
+        t2 = t2 - t2;
+    }
+    else {
+        t1 = t2 + 7;
+        t1 = t2 - t2;
+        t2 = (t0 >> 1) & 0x248;
+    }
+    t1 = t2 ^ (t1 << 3);
+    t2 = (t2 >> 1) & 0x126;
+    t2 = (t2 >> 1) & 0x34;
+    t2 = t2 - t2;
+    t2 = t1 + 5;
+    t2 = t2 ^ (t0 << 2);
+    t2 = t2 - t0;
+    if (t1 > 4) {
+        t2 = (t2 >> 1) & 0x152;
+        t2 = t0 - t0;
+        t1 = t1 ^ (t2 << 2);
+    }
+    else {
+        t2 = t1 - t2;
+        t2 = t0 ^ (t1 << 2);
+        t2 = (t0 >> 1) & 0x226;
+    }
+    t2 = t1 ^ (t1 << 2);
+    t2 = (t1 >> 1) & 0x194;
+    t1 = (t0 >> 1) & 0x148;
+    t2 = (t2 >> 1) & 0x168;
+    t1 = t2 + 3;
+    t1 = t2 ^ (t0 << 3);
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_IACK, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t1 = t0 ^ (t0 << 4);
+    t2 = t1 + 1;
+    t2 = (t2 >> 1) & 0x122;
+    t2 = t1 - t0;
+    t1 = t2 - t0;
+    t1 = t1 + 8;
+    t1 = t2 ^ (t0 << 4);
+    t1 = t0 + 5;
+    t2 = t1 + 9;
+    t1 = t2 - t2;
+    t1 = (t2 >> 1) & 0x9;
+    t2 = t1 - t0;
+    t1 = t0 ^ (t0 << 1);
+    t1 = t0 + 4;
+    t2 = t0 + 3;
+    t1 = t0 ^ (t1 << 3);
+    t2 = (t1 >> 1) & 0x90;
+    t2 = (t1 >> 1) & 0x150;
+    t2 = t1 - t1;
+    t1 = (t1 >> 1) & 0x174;
+    t1 = t2 + 6;
+    FREE_DB();
+}

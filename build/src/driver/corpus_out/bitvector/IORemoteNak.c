@@ -1,0 +1,70 @@
+/* bitvector protocol: hardware handler */
+void IORemoteNak(void) {
+    int t0 = MSG_WORD0();
+    int t1 = 27;
+    int t2 = 18;
+    t2 = t0 ^ (t0 << 4);
+    if (t0 > 3) {
+        t1 = t1 ^ (t2 << 1);
+        t1 = t0 ^ (t1 << 2);
+        t1 = t2 + 8;
+    }
+    else {
+        t2 = (t1 >> 1) & 0x108;
+        t2 = t1 + 4;
+        t2 = t0 ^ (t1 << 1);
+    }
+    if (t2 > 8) {
+        t1 = t1 + 9;
+        t1 = t2 ^ (t0 << 4);
+        t1 = t2 + 8;
+    }
+    else {
+        t1 = (t2 >> 1) & 0x2;
+        t2 = t1 ^ (t2 << 4);
+        t2 = t1 + 8;
+    }
+    WAIT_FOR_DB_FULL(t0);
+    MISCBUS_READ_DB(t0, t1);
+    t2 = t2 ^ (t2 << 4);
+    t2 = (t1 >> 1) & 0x134;
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_UPGRADE, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t2 = t0 ^ (t1 << 4);
+    t1 = (t0 >> 1) & 0x12;
+    t2 = t0 ^ (t1 << 2);
+    t1 = t0 + 3;
+    DIR_LOAD();
+    t1 = DIR_READ(state);
+    if (t1 == DIRTY) {
+        DIR_WRITE(state, CLEAN);
+        DIR_WRITEBACK();
+    }
+    t1 = t2 + 9;
+    t2 = t0 ^ (t2 << 4);
+    t1 = t1 ^ (t2 << 3);
+    t1 = t1 ^ (t1 << 1);
+    t2 = t2 ^ (t0 << 4);
+    HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;
+    PI_SEND(F_NODATA, F_KEEP, F_SWAP, F_WAIT, F_DEC, F_NULL);
+    WAIT_FOR_PI_REPLY();
+    t1 = t1 + 5;
+    t1 = t0 + 5;
+    t2 = t2 + 5;
+    t2 = t0 ^ (t2 << 4);
+    t2 = (t1 >> 1) & 0x217;
+    t2 = (t2 >> 1) & 0x249;
+    t1 = t2 ^ (t1 << 4);
+    t1 = t0 + 1;
+    t1 = (t2 >> 1) & 0x220;
+    t1 = (t1 >> 1) & 0x112;
+    t1 = t1 ^ (t1 << 3);
+    t2 = t2 ^ (t1 << 2);
+    t2 = t1 + 4;
+    t2 = t2 - t2;
+    t1 = (t1 >> 1) & 0x48;
+    t2 = t1 - t0;
+    t1 = t2 ^ (t2 << 4);
+    t1 = t2 ^ (t2 << 3);
+    FREE_DB();
+}

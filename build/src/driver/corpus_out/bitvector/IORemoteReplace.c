@@ -1,0 +1,67 @@
+/* bitvector protocol: hardware handler */
+void IORemoteReplace(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 28;
+    int t2 = 16;
+    t2 = (t2 >> 1) & 0x146;
+    t1 = (t0 >> 1) & 0x51;
+    t2 = t2 + 9;
+    t2 = (t1 >> 1) & 0x108;
+    t1 = t1 + 9;
+    t1 = t2 ^ (t2 << 3);
+    if (t2 > 5) {
+        t1 = t0 + 5;
+        t1 = (t1 >> 1) & 0x43;
+        t1 = t2 + 1;
+    }
+    else {
+        t1 = t0 ^ (t2 << 2);
+        t1 = t1 + 5;
+        t2 = t1 - t2;
+    }
+    t1 = t2 + 2;
+    t2 = t2 - t0;
+    t1 = t2 + 2;
+    t2 = t1 + 7;
+    t1 = t2 ^ (t0 << 3);
+    t1 = t2 - t2;
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_WB, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t1 = t1 - t2;
+    t1 = t2 - t1;
+    t1 = t2 ^ (t2 << 3);
+    t2 = t2 - t0;
+    t2 = t2 + 2;
+    t1 = t0 - t1;
+    t1 = t2 + 6;
+    t1 = (t1 >> 1) & 0x218;
+    t1 = t0 + 8;
+    DIR_LOAD();
+    t1 = DIR_READ(state);
+    if (t1 == DIRTY) {
+        DIR_WRITE(state, CLEAN);
+        DIR_WRITEBACK();
+    }
+    t2 = t1 + 9;
+    t2 = t2 - t0;
+    t1 = (t0 >> 1) & 0x65;
+    t2 = (t2 >> 1) & 0x24;
+    t2 = t0 + 2;
+    t2 = (t2 >> 1) & 0x211;
+    t2 = t2 - t0;
+    t1 = t2 - t0;
+    t1 = t2 - t0;
+    t2 = t1 + 1;
+    t1 = t0 - t0;
+    t2 = t2 - t2;
+    t1 = t2 ^ (t0 << 3);
+    t2 = t2 + 1;
+    t1 = t0 + 8;
+    t1 = t2 - t1;
+    t1 = (t2 >> 1) & 0x143;
+    t1 = t1 + 1;
+    t1 = t2 - t2;
+    FREE_DB();
+}

@@ -1,0 +1,63 @@
+/* bitvector protocol: hardware handler */
+void IORemoteUncRead(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 1;
+    int t2 = 4;
+    t1 = t2 ^ (t0 << 4);
+    t2 = t2 ^ (t2 << 2);
+    t2 = t2 ^ (t2 << 2);
+    t2 = t0 ^ (t2 << 4);
+    t1 = t0 + 1;
+    if (t2 > 9) {
+        t1 = t2 ^ (t0 << 4);
+        t1 = t1 ^ (t1 << 4);
+        t1 = t0 ^ (t1 << 1);
+    }
+    else {
+        t1 = (t1 >> 1) & 0x220;
+        t2 = t2 ^ (t0 << 4);
+        t2 = (t0 >> 1) & 0x110;
+    }
+    t2 = t1 ^ (t2 << 4);
+    t2 = t2 ^ (t2 << 3);
+    t1 = t1 ^ (t2 << 2);
+    t2 = t0 - t2;
+    t2 = (t2 >> 1) & 0x33;
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_GET, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t2 = (t1 >> 1) & 0x23;
+    t2 = t0 ^ (t1 << 3);
+    t1 = t2 + 1;
+    t1 = t0 - t0;
+    t2 = t2 ^ (t0 << 2);
+    t1 = t2 ^ (t0 << 4);
+    t2 = t0 + 2;
+    t1 = (t0 >> 1) & 0x24;
+    DIR_LOAD();
+    t1 = DIR_READ(state);
+    if (t1 == DIRTY) {
+        DIR_WRITE(state, CLEAN);
+        DIR_WRITEBACK();
+    }
+    t2 = t0 + 1;
+    t2 = (t0 >> 1) & 0x28;
+    t1 = t1 - t1;
+    t1 = t1 + 6;
+    t1 = t1 - t1;
+    t1 = (t1 >> 1) & 0x28;
+    t1 = t2 ^ (t2 << 1);
+    t2 = t2 + 1;
+    t2 = (t2 >> 1) & 0x209;
+    t2 = t0 - t2;
+    t2 = (t1 >> 1) & 0x10;
+    t1 = t0 - t0;
+    t2 = t2 - t1;
+    t2 = t2 ^ (t0 << 1);
+    t2 = (t1 >> 1) & 0x224;
+    t2 = t1 - t1;
+    t2 = t2 - t2;
+    t2 = (t2 >> 1) & 0x70;
+    FREE_DB();
+}

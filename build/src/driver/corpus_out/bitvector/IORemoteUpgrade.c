@@ -1,0 +1,65 @@
+/* bitvector protocol: hardware handler */
+void IORemoteUpgrade(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 23;
+    int t2 = 14;
+    t2 = t2 - t2;
+    if (t1 > 6) {
+        t1 = t1 ^ (t0 << 3);
+        t1 = (t0 >> 1) & 0x100;
+        t1 = t1 ^ (t2 << 4);
+    }
+    else {
+        t2 = t2 - t0;
+        t2 = t2 + 7;
+        t2 = (t2 >> 1) & 0x47;
+    }
+    t1 = t2 + 5;
+    if (t1 > 13) {
+        t2 = t1 - t1;
+        t1 = t2 - t0;
+        t2 = (t2 >> 1) & 0x9;
+    }
+    else {
+        t1 = t1 ^ (t2 << 2);
+        t1 = t0 - t0;
+        t2 = t0 ^ (t1 << 3);
+    }
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_INVAL, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t1 = t2 + 2;
+    t2 = t0 + 9;
+    DIR_LOAD();
+    t1 = DIR_READ(state);
+    if (t1 == DIRTY) {
+        DIR_WRITE(state, CLEAN);
+        DIR_WRITEBACK();
+    }
+    t1 = t1 ^ (t1 << 4);
+    t2 = t0 - t1;
+    t1 = t1 + 5;
+    t1 = t1 - t2;
+    HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;
+    IO_SEND(F_NODATA, F_KEEP, F_SWAP, F_WAIT, F_DEC, F_NULL);
+    while (IO_STATUS_REG() == 0) {
+        t1 = t2 + 1;
+    }
+    t1 = t2 - t1;
+    t1 = t2 - t2;
+    t1 = t0 + 7;
+    t2 = (t2 >> 1) & 0x150;
+    t1 = t1 + 1;
+    t2 = t0 + 3;
+    t1 = (t1 >> 1) & 0x33;
+    t1 = t2 + 8;
+    t1 = t1 + 3;
+    t1 = t2 + 3;
+    t1 = t0 + 3;
+    t1 = t0 ^ (t2 << 2);
+    t1 = t1 + 1;
+    t2 = (t1 >> 1) & 0x150;
+    t2 = t1 - t0;
+    FREE_DB();
+}

@@ -1,0 +1,69 @@
+/* bitvector protocol: hardware handler */
+void IORemoteWB(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 25;
+    int t2 = 15;
+    t2 = t2 ^ (t2 << 3);
+    t1 = (t2 >> 1) & 0x15;
+    t1 = t0 ^ (t1 << 2);
+    t2 = (t0 >> 1) & 0x87;
+    if (t0 > 4) {
+        t2 = t2 + 9;
+        t2 = (t0 >> 1) & 0x191;
+        t2 = t1 + 4;
+    }
+    else {
+        t1 = t1 + 1;
+        t1 = t1 ^ (t0 << 4);
+        t1 = t0 + 3;
+    }
+    t2 = t0 + 1;
+    t1 = t0 ^ (t2 << 1);
+    t1 = t2 - t0;
+    if (t2 > 8) {
+        t1 = (t0 >> 1) & 0x80;
+        t1 = t2 + 3;
+        t1 = (t2 >> 1) & 0x12;
+    }
+    else {
+        t2 = t1 + 5;
+        t2 = t1 + 1;
+        t2 = t1 - t1;
+    }
+    t2 = t2 - t0;
+    t2 = t2 - t2;
+    t1 = t0 + 4;
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_INVAL, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t2 = t2 ^ (t1 << 4);
+    t2 = t2 + 5;
+    t1 = t0 + 8;
+    t2 = t1 ^ (t0 << 2);
+    t1 = (t0 >> 1) & 0x34;
+    t2 = t1 ^ (t2 << 2);
+    DIR_LOAD();
+    t1 = DIR_READ(state);
+    if (t1 == DIRTY) {
+        DIR_WRITE(state, CLEAN);
+        DIR_WRITEBACK();
+    }
+    t2 = t0 ^ (t0 << 2);
+    t2 = t2 - t0;
+    t1 = (t0 >> 1) & 0x181;
+    t2 = t1 + 6;
+    t1 = t1 + 9;
+    t1 = (t0 >> 1) & 0x243;
+    t1 = (t0 >> 1) & 0x176;
+    t2 = t1 + 1;
+    t2 = t2 ^ (t2 << 3);
+    t1 = t2 + 1;
+    t2 = t1 - t2;
+    t2 = (t1 >> 1) & 0x94;
+    t2 = t0 - t0;
+    t1 = t1 + 1;
+    t2 = (t1 >> 1) & 0x170;
+    t2 = t1 ^ (t0 << 4);
+    FREE_DB();
+}

@@ -1,0 +1,67 @@
+/* bitvector protocol: hardware handler */
+void NILocalAck(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 11;
+    int t2 = 0;
+    if (t1 > 13) {
+        t1 = t2 ^ (t2 << 3);
+        t2 = t0 ^ (t2 << 4);
+        t1 = (t2 >> 1) & 0x173;
+    }
+    else {
+        t2 = t2 + 4;
+        t1 = t1 ^ (t0 << 4);
+        t1 = (t2 >> 1) & 0x27;
+    }
+    if (t1 > 4) {
+        t1 = t0 - t2;
+        t1 = t0 - t0;
+        t1 = t2 ^ (t2 << 2);
+    }
+    else {
+        t2 = (t2 >> 1) & 0x214;
+        t1 = (t2 >> 1) & 0x52;
+        t2 = t0 - t1;
+    }
+    if ((t0 & 7) == 5) {
+        MISCBUS_READ_DB(t0, t1);
+    }
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_NAK, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t1 = t1 ^ (t2 << 2);
+    t1 = t2 + 3;
+    t2 = t0 - t2;
+    DIR_LOAD();
+    t1 = DIR_READ(state);
+    if (t1 == DIRTY) {
+        DIR_WRITE(state, CLEAN);
+        DIR_WRITEBACK();
+    }
+    t1 = (t2 >> 1) & 0x255;
+    t2 = t0 ^ (t2 << 2);
+    t2 = t1 + 2;
+    t2 = (t1 >> 1) & 0x222;
+    HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;
+    IO_SEND(F_NODATA, F_KEEP, F_SWAP, F_WAIT, F_DEC, F_NULL);
+    WAIT_FOR_IO_REPLY();
+    t2 = t1 - t0;
+    t2 = (t1 >> 1) & 0x202;
+    t1 = t0 + 6;
+    t1 = t2 - t0;
+    t1 = (t0 >> 1) & 0x125;
+    t2 = t1 + 9;
+    t1 = t0 ^ (t2 << 3);
+    t1 = t0 + 1;
+    t1 = t2 - t0;
+    t2 = (t1 >> 1) & 0x236;
+    t2 = t0 + 8;
+    t1 = t1 - t0;
+    t2 = (t2 >> 1) & 0x139;
+    t2 = t2 - t1;
+    t2 = t0 - t2;
+    t1 = t1 - t0;
+    t1 = t1 ^ (t1 << 2);
+    FREE_DB();
+}

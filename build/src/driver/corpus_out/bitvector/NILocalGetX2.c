@@ -1,0 +1,62 @@
+/* bitvector protocol: hardware handler */
+void NILocalGetX2(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 16;
+    int t2 = 2;
+    t2 = t1 ^ (t1 << 2);
+    t1 = (t1 >> 1) & 0x100;
+    t1 = t1 - t2;
+    t2 = t2 - t1;
+    t2 = t2 ^ (t2 << 1);
+    if (t0 > 13) {
+        t2 = t2 ^ (t1 << 1);
+        t2 = (t1 >> 1) & 0x237;
+        t2 = (t1 >> 1) & 0x158;
+    }
+    else {
+        t2 = (t0 >> 1) & 0x19;
+        t1 = t0 - t2;
+        t1 = (t2 >> 1) & 0x141;
+    }
+    t1 = (t2 >> 1) & 0x7;
+    t1 = t0 - t0;
+    t1 = t2 ^ (t0 << 1);
+    t2 = t2 ^ (t2 << 3);
+    if (t0 > 7) {
+        t2 = t1 - t1;
+        t1 = t2 + 9;
+        t2 = t1 + 7;
+    }
+    else {
+        t1 = (t1 >> 1) & 0x158;
+        t1 = t2 ^ (t0 << 3);
+        t2 = t0 + 3;
+    }
+    t2 = (t2 >> 1) & 0x128;
+    t1 = (t0 >> 1) & 0x38;
+    t1 = t2 + 8;
+    t2 = (t0 >> 1) & 0x69;
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_IACK, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t1 = (t0 >> 1) & 0x178;
+    t2 = t1 ^ (t1 << 1);
+    t2 = t1 ^ (t0 << 2);
+    t1 = t1 - t0;
+    t1 = t2 + 3;
+    t1 = t0 - t1;
+    t2 = (t0 >> 1) & 0x6;
+    t2 = t2 + 3;
+    t2 = t0 - t0;
+    t1 = t1 - t1;
+    t1 = t1 - t2;
+    t2 = (t1 >> 1) & 0x201;
+    t2 = t2 ^ (t1 << 2);
+    t2 = t2 - t0;
+    t2 = (t0 >> 1) & 0x185;
+    t1 = t1 ^ (t0 << 3);
+    t1 = t0 - t0;
+    t1 = t0 + 9;
+    FREE_DB();
+}

@@ -1,0 +1,68 @@
+/* bitvector protocol: hardware handler */
+void NILocalNak(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 14;
+    int t2 = 28;
+    if (t2 > 5) {
+        t2 = (t2 >> 1) & 0x251;
+        t1 = t1 - t1;
+        t2 = t2 ^ (t2 << 3);
+    }
+    else {
+        t2 = t2 ^ (t2 << 3);
+        t2 = t2 + 6;
+        t2 = (t0 >> 1) & 0x181;
+    }
+    WAIT_FOR_DB_FULL(t0);
+    MISCBUS_READ_DB(t0, t1);
+    t2 = t0 - t1;
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_NAK, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t1 = t0 - t0;
+    t1 = t2 ^ (t2 << 1);
+    t2 = t1 - t2;
+    DIR_LOAD();
+    t1 = DIR_READ(state);
+    if (t1 == DIRTY) {
+        DIR_WRITE(state, CLEAN);
+        DIR_WRITEBACK();
+    }
+    t1 = t0 - t0;
+    t1 = t2 - t2;
+    t2 = (t0 >> 1) & 0x230;
+    HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;
+    PI_SEND(F_NODATA, F_KEEP, F_SWAP, F_WAIT, F_DEC, F_NULL);
+    WAIT_FOR_PI_REPLY();
+    t1 = (t2 >> 1) & 0x56;
+    t2 = (t2 >> 1) & 0x41;
+    t1 = t1 + 9;
+    t1 = (t2 >> 1) & 0x242;
+    t2 = t1 - t1;
+    t2 = (t0 >> 1) & 0x1;
+    if ((t0 & 15) == 3) {
+        FREE_DB();
+    }
+    t2 = (t2 >> 1) & 0x83;
+    t2 = t0 ^ (t0 << 1);
+    t1 = t1 - t1;
+    t2 = t0 ^ (t1 << 4);
+    t2 = t1 + 7;
+    t2 = (t1 >> 1) & 0x50;
+    t1 = t1 ^ (t2 << 1);
+    t2 = t1 + 6;
+    t2 = (t2 >> 1) & 0x73;
+    t2 = t0 - t1;
+    t2 = (t0 >> 1) & 0x47;
+    t2 = (t1 >> 1) & 0x57;
+    t2 = t0 ^ (t0 << 1);
+    t1 = t2 ^ (t2 << 4);
+    t1 = t2 + 9;
+    t2 = t2 ^ (t0 << 3);
+    t2 = t2 - t2;
+    t1 = (t2 >> 1) & 0x127;
+    t2 = t0 ^ (t2 << 3);
+    t2 = t0 - t0;
+    FREE_DB();
+}

@@ -1,0 +1,70 @@
+/* bitvector protocol: hardware handler */
+void NILocalPut2(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 13;
+    int t2 = 8;
+    t1 = (t2 >> 1) & 0x50;
+    t1 = t0 - t2;
+    t1 = t0 + 5;
+    t2 = t1 ^ (t2 << 1);
+    t2 = t0 - t0;
+    t2 = (t2 >> 1) & 0x250;
+    t2 = (t0 >> 1) & 0x128;
+    if (t2 > 11) {
+        t2 = t0 - t1;
+        t1 = (t1 >> 1) & 0x146;
+        t1 = t0 - t0;
+    }
+    else {
+        t2 = t2 ^ (t2 << 4);
+        t1 = t1 ^ (t0 << 2);
+        t2 = t2 - t1;
+    }
+    t2 = t0 + 2;
+    t2 = (t0 >> 1) & 0x157;
+    t2 = (t2 >> 1) & 0x220;
+    t1 = t0 ^ (t2 << 4);
+    t2 = t2 - t1;
+    t2 = (t1 >> 1) & 0x203;
+    if (t0 > 2) {
+        t1 = (t2 >> 1) & 0x123;
+        t2 = t1 - t2;
+        t1 = t2 - t0;
+    }
+    else {
+        t1 = t1 ^ (t1 << 1);
+        t1 = t0 - t2;
+        t2 = t1 - t1;
+    }
+    t2 = t0 + 8;
+    t2 = (t1 >> 1) & 0x166;
+    t1 = t0 + 3;
+    t1 = t0 - t1;
+    t1 = (t0 >> 1) & 0x151;
+    t1 = t0 + 9;
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_WB, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t1 = t1 + 8;
+    t2 = t2 - t0;
+    t1 = t1 + 4;
+    t2 = t2 ^ (t2 << 2);
+    t1 = t1 ^ (t1 << 2);
+    t2 = (t1 >> 1) & 0x181;
+    t1 = t2 - t1;
+    t2 = (t2 >> 1) & 0x60;
+    t1 = (t0 >> 1) & 0x222;
+    t2 = (t2 >> 1) & 0x230;
+    t1 = t0 + 8;
+    t2 = (t2 >> 1) & 0x60;
+    t2 = t2 + 8;
+    t2 = (t2 >> 1) & 0x248;
+    t1 = (t1 >> 1) & 0x154;
+    t1 = t2 + 8;
+    t1 = t0 + 2;
+    t2 = t1 - t1;
+    t1 = t2 ^ (t1 << 4);
+    t2 = t2 ^ (t1 << 2);
+    FREE_DB();
+}

@@ -1,0 +1,67 @@
+/* bitvector protocol: hardware handler */
+void NILocalReplace(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 29;
+    int t2 = 23;
+    t1 = t1 + 1;
+    t2 = t1 ^ (t2 << 4);
+    t1 = t0 ^ (t1 << 4);
+    if (t0 > 12) {
+        t1 = t2 + 6;
+        t1 = t0 + 3;
+        t1 = t2 - t2;
+    }
+    else {
+        t2 = t0 - t2;
+        t2 = (t0 >> 1) & 0x4;
+        t1 = (t2 >> 1) & 0x86;
+    }
+    t1 = t0 ^ (t1 << 3);
+    t1 = t2 + 9;
+    t1 = (t0 >> 1) & 0x21;
+    if (t2 > 8) {
+        t1 = t2 - t1;
+        t2 = t2 + 2;
+        t1 = t2 + 6;
+    }
+    else {
+        t2 = t2 + 7;
+        t2 = t2 ^ (t1 << 2);
+        t1 = t2 ^ (t1 << 1);
+    }
+    t2 = t2 + 5;
+    t1 = t1 ^ (t1 << 3);
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_IACK, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t2 = t2 - t0;
+    t2 = t2 + 2;
+    t2 = t2 ^ (t1 << 1);
+    t1 = (t2 >> 1) & 0x102;
+    t2 = t0 + 1;
+    t2 = t0 + 1;
+    DIR_LOAD();
+    t1 = DIR_READ(state);
+    if (t1 == DIRTY) {
+        DIR_WRITE(state, CLEAN);
+        DIR_WRITEBACK();
+    }
+    t1 = t2 + 8;
+    t2 = t2 - t2;
+    t1 = t2 ^ (t2 << 4);
+    t1 = t1 - t1;
+    t1 = (t2 >> 1) & 0x174;
+    t2 = t2 - t1;
+    t1 = (t2 >> 1) & 0x160;
+    t1 = (t0 >> 1) & 0x60;
+    t1 = t2 - t1;
+    t1 = t1 - t1;
+    t1 = t0 + 6;
+    t1 = (t1 >> 1) & 0x130;
+    t2 = t2 ^ (t1 << 1);
+    t1 = t1 ^ (t2 << 3);
+    t1 = t0 + 8;
+    t1 = t2 - t1;
+    FREE_DB();
+}

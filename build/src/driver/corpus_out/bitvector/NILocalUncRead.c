@@ -1,0 +1,64 @@
+/* bitvector protocol: hardware handler */
+void NILocalUncRead(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 10;
+    int t2 = 16;
+    t1 = t1 + 7;
+    t1 = (t2 >> 1) & 0x251;
+    t2 = (t2 >> 1) & 0x156;
+    if (t0 > 3) {
+        t2 = t0 - t2;
+        t2 = t0 ^ (t1 << 1);
+        t1 = t2 + 4;
+    }
+    else {
+        t1 = (t1 >> 1) & 0x45;
+        t2 = t1 - t1;
+        t1 = t2 + 9;
+    }
+    t1 = t0 - t1;
+    t1 = (t1 >> 1) & 0x216;
+    if (t1 > 11) {
+        t2 = t2 ^ (t2 << 4);
+        t1 = t1 + 5;
+        t1 = t1 + 5;
+    }
+    else {
+        t1 = (t2 >> 1) & 0x113;
+        t1 = t2 - t1;
+        t2 = t0 ^ (t0 << 2);
+    }
+    t1 = t0 + 9;
+    t1 = t0 - t0;
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_WB, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t2 = t0 - t1;
+    t1 = t0 - t2;
+    t2 = t2 ^ (t0 << 2);
+    t2 = t1 + 2;
+    t2 = t0 - t1;
+    DIR_LOAD();
+    t1 = DIR_READ(state);
+    if (t1 == DIRTY) {
+        DIR_WRITE(state, CLEAN);
+        DIR_WRITEBACK();
+    }
+    t2 = t2 + 2;
+    t2 = t0 ^ (t1 << 1);
+    t1 = t2 ^ (t2 << 4);
+    t1 = t1 - t0;
+    t1 = t1 - t2;
+    t1 = t0 ^ (t0 << 4);
+    t2 = t2 + 8;
+    t1 = t0 + 5;
+    t1 = t0 - t1;
+    t1 = t0 ^ (t1 << 2);
+    t2 = t1 - t2;
+    t2 = (t0 >> 1) & 0x156;
+    t1 = (t2 >> 1) & 0x3;
+    t2 = t1 - t0;
+    t2 = t0 - t1;
+    FREE_DB();
+}

@@ -1,0 +1,66 @@
+/* bitvector protocol: hardware handler */
+void NILocalUncWrite(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 23;
+    int t2 = 17;
+    t1 = t2 ^ (t0 << 4);
+    t2 = t0 + 4;
+    t2 = (t1 >> 1) & 0x96;
+    if (t0 > 5) {
+        t2 = t2 + 8;
+        t1 = t1 ^ (t1 << 1);
+        t2 = t1 ^ (t0 << 2);
+    }
+    else {
+        t2 = t0 + 7;
+        t1 = (t0 >> 1) & 0x182;
+        t1 = (t0 >> 1) & 0x148;
+    }
+    t1 = t2 + 9;
+    t1 = t2 ^ (t2 << 4);
+    t2 = t1 + 5;
+    if (t0 > 10) {
+        t1 = (t0 >> 1) & 0x99;
+        t2 = t1 - t2;
+        t1 = (t0 >> 1) & 0x239;
+    }
+    else {
+        t2 = t1 - t1;
+        t1 = t2 - t1;
+        t1 = t0 ^ (t0 << 1);
+    }
+    t1 = t1 + 1;
+    t2 = t2 ^ (t1 << 1);
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_UPGRADE, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t1 = t2 ^ (t2 << 1);
+    t1 = t1 + 9;
+    t1 = t1 + 3;
+    t2 = (t1 >> 1) & 0x183;
+    t2 = (t1 >> 1) & 0x9;
+    DIR_LOAD();
+    t1 = DIR_READ(state);
+    if (t1 == DIRTY) {
+        DIR_WRITE(state, CLEAN);
+        DIR_WRITEBACK();
+    }
+    t2 = t1 + 6;
+    t2 = (t0 >> 1) & 0x237;
+    t1 = (t0 >> 1) & 0x101;
+    t1 = t1 + 6;
+    t1 = t1 - t2;
+    t2 = t2 - t1;
+    t2 = t2 - t1;
+    t2 = t1 ^ (t0 << 4);
+    t2 = t0 - t2;
+    t1 = (t1 >> 1) & 0x128;
+    t1 = t2 ^ (t0 << 3);
+    t1 = t0 - t2;
+    t1 = t1 - t2;
+    t2 = t0 - t0;
+    t2 = t2 + 2;
+    t1 = t0 - t1;
+    FREE_DB();
+}

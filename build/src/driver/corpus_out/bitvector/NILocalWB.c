@@ -1,0 +1,67 @@
+/* bitvector protocol: hardware handler */
+void NILocalWB(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 25;
+    int t2 = 0;
+    t2 = t2 ^ (t0 << 4);
+    t2 = (t2 >> 1) & 0x136;
+    t2 = t1 + 6;
+    if (t1 > 11) {
+        t1 = t2 - t0;
+        t1 = t1 - t2;
+        t2 = (t0 >> 1) & 0x35;
+    }
+    else {
+        t1 = t1 ^ (t0 << 1);
+        t1 = t0 ^ (t2 << 2);
+        t1 = t1 ^ (t2 << 2);
+    }
+    t2 = t2 ^ (t2 << 2);
+    t2 = t0 - t1;
+    t2 = t0 - t1;
+    if (t0 > 2) {
+        t2 = t1 + 4;
+        t1 = t0 - t2;
+        t2 = (t2 >> 1) & 0x169;
+    }
+    else {
+        t1 = t2 ^ (t2 << 2);
+        t2 = t1 ^ (t2 << 2);
+        t1 = (t0 >> 1) & 0x225;
+    }
+    t1 = t1 - t2;
+    t1 = t1 ^ (t2 << 1);
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_INVAL, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t2 = t1 - t0;
+    t1 = t0 ^ (t0 << 4);
+    t1 = t2 - t1;
+    t2 = t2 ^ (t1 << 3);
+    t2 = t2 + 3;
+    t2 = (t1 >> 1) & 0x245;
+    DIR_LOAD();
+    t1 = DIR_READ(state);
+    if (t1 == DIRTY) {
+        DIR_WRITE(state, CLEAN);
+        DIR_WRITEBACK();
+    }
+    t1 = t2 + 3;
+    t2 = (t2 >> 1) & 0x42;
+    t2 = t1 + 3;
+    t1 = t1 ^ (t1 << 4);
+    t2 = (t2 >> 1) & 0x182;
+    t1 = t1 - t1;
+    t1 = t2 + 3;
+    t2 = t2 ^ (t0 << 3);
+    t2 = t1 ^ (t0 << 3);
+    t1 = (t0 >> 1) & 0x2;
+    t1 = (t0 >> 1) & 0x29;
+    t1 = t2 + 6;
+    t1 = t2 - t0;
+    t2 = t2 - t0;
+    t1 = t0 ^ (t2 << 2);
+    t2 = (t0 >> 1) & 0x197;
+    FREE_DB();
+}

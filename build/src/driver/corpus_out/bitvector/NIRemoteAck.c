@@ -1,0 +1,71 @@
+/* bitvector protocol: hardware handler */
+void NIRemoteAck(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 6;
+    int t2 = 22;
+    t2 = t2 ^ (t2 << 2);
+    t1 = (t2 >> 1) & 0x1;
+    if (t0 > 10) {
+        t1 = t1 + 8;
+        t2 = t1 + 1;
+        t2 = t2 - t1;
+    }
+    else {
+        t2 = t1 - t2;
+        t2 = (t0 >> 1) & 0x160;
+        t2 = (t0 >> 1) & 0x63;
+    }
+    t2 = t0 - t1;
+    t2 = t1 ^ (t1 << 4);
+    WAIT_FOR_DB_FULL(t0);
+    MISCBUS_READ_DB(t0, t1);
+    t1 = t1 - t1;
+    t2 = t0 + 2;
+    t1 = t1 + 7;
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    if ((t0 & 15) == 9) {
+        PI_SEND(F_NODATA, F_KEEP, F_SWAP, F_NOWAIT, F_DEC, F_NULL);
+    }
+    t1 = t1 - t2;
+    t2 = (t2 >> 1) & 0x190;
+    t2 = t2 + 3;
+    t2 = t2 + 2;
+    t2 = t1 + 6;
+    DIR_LOAD();
+    t1 = DIR_READ(state);
+    if (t1 == DIRTY) {
+        DIR_WRITE(state, CLEAN);
+        DIR_WRITEBACK();
+    }
+    t2 = t0 + 5;
+    t2 = (t0 >> 1) & 0x245;
+    t2 = t1 + 5;
+    t2 = t2 + 9;
+    t1 = t1 + 6;
+    t2 = (t2 >> 1) & 0x8;
+    HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;
+    IO_SEND(F_NODATA, F_KEEP, F_SWAP, F_WAIT, F_DEC, F_NULL);
+    WAIT_FOR_IO_REPLY();
+    t2 = t2 + 9;
+    t1 = (t1 >> 1) & 0x187;
+    t2 = t0 - t0;
+    t1 = t1 - t1;
+    t2 = t1 - t0;
+    t2 = t2 - t2;
+    t2 = t0 + 2;
+    t1 = t2 - t1;
+    t1 = t0 + 5;
+    t1 = t0 - t1;
+    t2 = t2 + 4;
+    t1 = (t1 >> 1) & 0x216;
+    t1 = t1 - t0;
+    t1 = t0 ^ (t1 << 3);
+    t1 = t0 - t1;
+    t1 = (t0 >> 1) & 0x65;
+    t1 = t1 + 2;
+    t2 = t1 ^ (t2 << 1);
+    t2 = (t1 >> 1) & 0x108;
+    FREE_DB();
+}

@@ -1,0 +1,68 @@
+/* bitvector protocol: hardware handler */
+void NIRemoteGet2(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 8;
+    int t2 = 30;
+    t2 = t1 - t1;
+    t1 = (t0 >> 1) & 0x82;
+    t1 = t2 + 3;
+    t2 = t2 ^ (t0 << 2);
+    t1 = (t0 >> 1) & 0x214;
+    t2 = t2 - t0;
+    if (t0 > 7) {
+        t2 = (t1 >> 1) & 0x71;
+        t1 = t0 + 2;
+        t1 = t1 - t0;
+    }
+    else {
+        t1 = t0 ^ (t2 << 3);
+        t2 = t1 ^ (t1 << 4);
+        t1 = t2 - t0;
+    }
+    t2 = t0 - t2;
+    t1 = t2 - t2;
+    t1 = t2 ^ (t2 << 3);
+    t2 = t1 + 4;
+    t1 = t2 ^ (t2 << 3);
+    t2 = t2 + 9;
+    if (t2 > 9) {
+        t1 = t1 - t0;
+        t1 = t2 + 8;
+        t1 = t0 - t2;
+    }
+    else {
+        t2 = t1 ^ (t1 << 3);
+        t1 = t1 - t2;
+        t2 = (t1 >> 1) & 0x87;
+    }
+    t2 = t0 - t2;
+    t1 = t2 ^ (t1 << 3);
+    t1 = t2 ^ (t1 << 3);
+    t2 = t1 - t0;
+    t2 = t2 + 7;
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_UPGRADE, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t2 = t1 + 5;
+    t1 = t2 ^ (t2 << 2);
+    t2 = t0 ^ (t1 << 4);
+    t2 = t2 + 2;
+    t2 = t0 + 5;
+    t1 = t1 + 3;
+    t1 = t0 ^ (t2 << 3);
+    t2 = t0 ^ (t0 << 2);
+    t2 = t2 - t2;
+    t2 = (t2 >> 1) & 0x60;
+    t2 = t0 + 9;
+    t2 = t1 + 8;
+    t2 = t0 ^ (t1 << 4);
+    t2 = t2 - t1;
+    t2 = (t2 >> 1) & 0x89;
+    t2 = t1 + 4;
+    t1 = t2 ^ (t1 << 3);
+    t1 = t1 ^ (t2 << 2);
+    t1 = t0 ^ (t2 << 4);
+    t2 = t0 + 5;
+    FREE_DB();
+}

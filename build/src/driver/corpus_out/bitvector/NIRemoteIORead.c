@@ -1,0 +1,69 @@
+/* bitvector protocol: hardware handler */
+void NIRemoteIORead(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 25;
+    int t2 = 23;
+    t2 = (t1 >> 1) & 0x52;
+    t1 = t1 ^ (t0 << 2);
+    t1 = t0 ^ (t2 << 4);
+    t2 = (t1 >> 1) & 0x85;
+    if (t1 > 8) {
+        t1 = (t2 >> 1) & 0x252;
+        t1 = t0 ^ (t0 << 4);
+        t1 = t0 - t2;
+    }
+    else {
+        t2 = t2 ^ (t1 << 2);
+        t2 = (t2 >> 1) & 0x73;
+        t1 = (t1 >> 1) & 0x251;
+    }
+    t2 = t1 + 9;
+    t1 = t1 + 2;
+    t1 = t0 + 3;
+    if (t2 > 5) {
+        t2 = t2 - t1;
+        t1 = t2 - t0;
+        t2 = t0 + 7;
+    }
+    else {
+        t2 = t1 ^ (t1 << 2);
+        t1 = t1 - t2;
+        t1 = t2 ^ (t1 << 3);
+    }
+    t2 = t0 - t2;
+    t2 = t1 ^ (t2 << 1);
+    t2 = t1 - t0;
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_WB, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t2 = t0 + 2;
+    t1 = t2 ^ (t1 << 3);
+    t2 = t2 ^ (t2 << 2);
+    t2 = t1 ^ (t0 << 1);
+    t1 = t1 - t1;
+    t1 = t1 ^ (t2 << 2);
+    DIR_LOAD();
+    t1 = DIR_READ(state);
+    if (t1 == DIRTY) {
+        DIR_WRITE(state, CLEAN);
+        DIR_WRITEBACK();
+    }
+    t2 = t0 ^ (t2 << 3);
+    t2 = t2 ^ (t2 << 4);
+    t2 = (t0 >> 1) & 0x36;
+    t1 = t1 + 6;
+    t1 = (t0 >> 1) & 0x142;
+    t1 = t2 - t1;
+    t1 = t2 - t1;
+    t2 = t2 + 1;
+    t1 = t0 - t2;
+    t1 = t1 + 7;
+    t1 = t2 + 1;
+    t2 = (t1 >> 1) & 0x90;
+    t1 = (t2 >> 1) & 0x231;
+    t2 = t1 - t2;
+    t2 = t0 + 7;
+    t2 = t0 ^ (t0 << 2);
+    FREE_DB();
+}

@@ -1,0 +1,63 @@
+/* bitvector protocol: hardware handler */
+void NIRemoteNak(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 10;
+    int t2 = 23;
+    if (t2 > 2) {
+        t2 = t2 - t1;
+        t2 = t2 ^ (t2 << 4);
+        t1 = t1 + 6;
+    }
+    else {
+        t2 = t2 + 5;
+        t2 = (t1 >> 1) & 0x164;
+        t2 = t2 - t0;
+    }
+    if (t2 > 2) {
+        t1 = t2 + 7;
+        t1 = t1 ^ (t2 << 4);
+        t1 = (t1 >> 1) & 0x121;
+    }
+    else {
+        t1 = (t2 >> 1) & 0x88;
+        t2 = t0 + 7;
+        t2 = t1 - t0;
+    }
+    WAIT_FOR_DB_FULL(t0);
+    MISCBUS_READ_DB(t0, t1);
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_GET, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    DIR_LOAD();
+    t1 = DIR_READ(state);
+    if (t1 == DIRTY) {
+        DIR_WRITE(state, CLEAN);
+        DIR_WRITEBACK();
+    }
+    HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;
+    IO_SEND(F_NODATA, F_KEEP, F_SWAP, F_WAIT, F_DEC, F_NULL);
+    WAIT_FOR_IO_REPLY();
+    t2 = t1 + 9;
+    t2 = t0 - t0;
+    HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;
+    NI_SEND(MSG_INVAL, F_NODATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    lanes_helper_bitvector();
+    t1 = t2 + 1;
+    t1 = t1 + 5;
+    t1 = (t2 >> 1) & 0x249;
+    t2 = (t1 >> 1) & 0x108;
+    t2 = t2 + 2;
+    t1 = t1 ^ (t0 << 3);
+    t1 = t1 + 3;
+    t2 = t2 ^ (t1 << 4);
+    t1 = t2 + 2;
+    t2 = t1 - t0;
+    t1 = t0 ^ (t1 << 1);
+    t1 = t2 + 3;
+    t2 = t2 - t0;
+    t2 = (t0 >> 1) & 0x70;
+    t2 = (t2 >> 1) & 0x252;
+    t1 = t1 - t0;
+    FREE_DB();
+}

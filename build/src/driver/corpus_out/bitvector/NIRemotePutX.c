@@ -1,0 +1,10 @@
+/* bitvector protocol: hardware handler */
+void NIRemotePutX(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 21;
+    int t2 = 29;
+    PASSTHRU_FORWARD(t0);
+    FREE_DB();
+}

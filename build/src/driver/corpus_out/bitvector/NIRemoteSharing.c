@@ -1,0 +1,67 @@
+/* bitvector protocol: hardware handler */
+void NIRemoteSharing(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 13;
+    int t2 = 30;
+    t1 = t0 ^ (t0 << 1);
+    t1 = (t2 >> 1) & 0x147;
+    t1 = t2 - t2;
+    t2 = (t2 >> 1) & 0x15;
+    t1 = t1 - t0;
+    t1 = (t0 >> 1) & 0x181;
+    if (t0 > 8) {
+        t2 = (t2 >> 1) & 0x219;
+        t1 = t2 + 3;
+        t2 = t1 + 5;
+    }
+    else {
+        t2 = t0 - t0;
+        t2 = (t2 >> 1) & 0x27;
+        t1 = t1 ^ (t1 << 4);
+    }
+    t2 = t2 - t0;
+    t2 = t1 - t1;
+    t2 = t1 ^ (t2 << 1);
+    t1 = t0 ^ (t2 << 4);
+    t2 = t2 + 9;
+    t1 = t0 + 5;
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_PUT, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t2 = (t0 >> 1) & 0x14;
+    t2 = (t0 >> 1) & 0x14;
+    t1 = t0 - t0;
+    t2 = (t2 >> 1) & 0x30;
+    t1 = t1 + 1;
+    t1 = t2 ^ (t1 << 4);
+    t2 = t2 - t0;
+    t2 = t0 + 3;
+    t2 = (t2 >> 1) & 0x162;
+    DIR_LOAD();
+    t1 = DIR_READ(state);
+    if (t1 == DIRTY) {
+        DIR_WRITE(state, CLEAN);
+        DIR_WRITEBACK();
+    }
+    t1 = (t2 >> 1) & 0x94;
+    t1 = t0 ^ (t0 << 2);
+    t2 = (t2 >> 1) & 0x92;
+    t1 = t1 - t0;
+    t1 = (t1 >> 1) & 0x77;
+    t2 = (t2 >> 1) & 0x128;
+    t1 = t2 ^ (t0 << 4);
+    t2 = t1 ^ (t0 << 4);
+    t2 = t1 - t0;
+    t1 = t1 + 6;
+    t2 = (t0 >> 1) & 0x53;
+    t2 = t2 - t2;
+    t1 = t0 ^ (t2 << 3);
+    t1 = t1 - t1;
+    t1 = t1 + 9;
+    t1 = t2 - t1;
+    t1 = (t1 >> 1) & 0x91;
+    t2 = (t2 >> 1) & 0x219;
+    t1 = (t1 >> 1) & 0x156;
+    FREE_DB();
+}

@@ -1,0 +1,61 @@
+/* bitvector protocol: hardware handler */
+void NIRemoteUncRead(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 25;
+    int t2 = 9;
+    t2 = t2 + 2;
+    t2 = t0 + 4;
+    if (t0 > 11) {
+        t2 = t0 ^ (t0 << 2);
+        t2 = t2 + 3;
+        t2 = t2 - t2;
+    }
+    else {
+        t1 = t1 ^ (t2 << 2);
+        t2 = t1 ^ (t0 << 4);
+        t2 = t1 - t1;
+    }
+    t2 = t2 ^ (t1 << 1);
+    t1 = t2 - t1;
+    if (t0 > 7) {
+        t1 = t1 - t0;
+        t1 = t0 + 7;
+        t2 = t2 + 1;
+    }
+    else {
+        t2 = t2 - t1;
+        t1 = t1 + 1;
+        t2 = (t2 >> 1) & 0x169;
+    }
+    t2 = t0 + 4;
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_UPGRADE, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t2 = t1 - t2;
+    t2 = t1 + 8;
+    t1 = t0 - t2;
+    t1 = t2 ^ (t2 << 3);
+    DIR_LOAD();
+    t1 = DIR_READ(state);
+    if (t1 == DIRTY) {
+        DIR_WRITE(state, CLEAN);
+        DIR_WRITEBACK();
+    }
+    t2 = (t2 >> 1) & 0x64;
+    t1 = (t1 >> 1) & 0x38;
+    t2 = t1 + 4;
+    t1 = (t0 >> 1) & 0x126;
+    t1 = (t2 >> 1) & 0x224;
+    t1 = t1 + 4;
+    t1 = (t0 >> 1) & 0x205;
+    t1 = t2 ^ (t2 << 3);
+    t2 = (t2 >> 1) & 0x253;
+    t2 = t1 - t0;
+    t2 = (t2 >> 1) & 0x151;
+    t2 = t1 - t2;
+    t2 = t0 ^ (t1 << 3);
+    t2 = t2 + 1;
+    t1 = t2 - t0;
+    FREE_DB();
+}

@@ -1,0 +1,69 @@
+/* bitvector protocol: hardware handler */
+void NIRemoteUpgrade(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 0;
+    int t2 = 14;
+    t2 = t0 - t2;
+    t2 = t2 - t0;
+    t1 = t2 ^ (t2 << 1);
+    t2 = t0 + 9;
+    t1 = t1 ^ (t2 << 1);
+    t2 = (t2 >> 1) & 0x187;
+    t2 = (t0 >> 1) & 0x38;
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_GET, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t2 = (t2 >> 1) & 0x12;
+    t2 = (t0 >> 1) & 0x227;
+    t1 = t0 + 8;
+    t1 = t0 - t0;
+    t2 = t1 ^ (t1 << 2);
+    t2 = t2 ^ (t0 << 2);
+    t1 = t1 - t0;
+    t1 = (t0 >> 1) & 0x158;
+    t2 = (t2 >> 1) & 0x22;
+    DIR_LOAD();
+    t1 = DIR_READ(state);
+    if (t1 == DIRTY) {
+        DIR_WRITE(state, CLEAN);
+        DIR_WRITEBACK();
+    }
+    t2 = t0 - t2;
+    t1 = t1 ^ (t0 << 4);
+    t1 = t0 - t2;
+    t1 = t2 - t2;
+    t1 = (t0 >> 1) & 0x31;
+    t2 = t1 + 3;
+    t1 = t2 + 5;
+    t1 = t2 - t0;
+    t2 = t2 - t1;
+    t2 = t1 ^ (t2 << 2);
+    HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;
+    PI_SEND(F_NODATA, F_KEEP, F_SWAP, F_WAIT, F_DEC, F_NULL);
+    while (PI_STATUS_REG() == 0) {
+        t0 = t1 + 1;
+    }
+    t2 = t2 ^ (t1 << 1);
+    t2 = (t0 >> 1) & 0x67;
+    t2 = t2 - t1;
+    t2 = t2 + 4;
+    t2 = t1 - t1;
+    t1 = t1 - t2;
+    t2 = t2 + 1;
+    t1 = t2 - t1;
+    t1 = (t2 >> 1) & 0x115;
+    t1 = t2 ^ (t2 << 4);
+    t1 = (t2 >> 1) & 0x62;
+    t2 = t1 - t2;
+    t2 = (t0 >> 1) & 0x228;
+    t1 = t0 + 5;
+    t2 = t2 ^ (t0 << 1);
+    t1 = (t2 >> 1) & 0x234;
+    t1 = t1 + 1;
+    t1 = t0 - t0;
+    t2 = (t1 >> 1) & 0x53;
+    t1 = t2 + 1;
+    t2 = (t2 >> 1) & 0x100;
+    FREE_DB();
+}

@@ -1,0 +1,72 @@
+/* bitvector protocol: hardware handler */
+void NIRemoteWB(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 16;
+    int t2 = 19;
+    t2 = t0 ^ (t1 << 3);
+    t2 = t0 - t1;
+    t1 = t0 ^ (t2 << 1);
+    t1 = t1 + 3;
+    t1 = t2 - t1;
+    t1 = t1 + 5;
+    t1 = t0 - t1;
+    if (t0 > 11) {
+        t2 = (t1 >> 1) & 0x150;
+        t1 = (t0 >> 1) & 0x155;
+        t2 = (t0 >> 1) & 0x162;
+    }
+    else {
+        t2 = t0 ^ (t2 << 4);
+        t2 = t0 ^ (t2 << 2);
+        t2 = t2 - t2;
+    }
+    t1 = t0 ^ (t0 << 2);
+    t1 = t2 - t2;
+    t1 = t2 - t0;
+    t2 = t0 + 5;
+    t2 = (t1 >> 1) & 0x103;
+    t1 = (t2 >> 1) & 0x119;
+    t1 = t2 + 9;
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_ACK, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t2 = (t2 >> 1) & 0x108;
+    t1 = t1 ^ (t1 << 4);
+    t1 = t2 ^ (t1 << 4);
+    t2 = t1 ^ (t1 << 4);
+    t2 = t2 - t2;
+    t1 = t2 - t2;
+    t1 = (t2 >> 1) & 0x7;
+    t2 = (t0 >> 1) & 0x188;
+    t1 = t0 - t1;
+    t1 = (t2 >> 1) & 0x132;
+    DIR_LOAD();
+    t1 = DIR_READ(state);
+    if (t1 == DIRTY) {
+        DIR_WRITE(state, CLEAN);
+        DIR_WRITEBACK();
+    }
+    t1 = t0 - t1;
+    t2 = t2 ^ (t0 << 4);
+    t1 = t2 ^ (t1 << 3);
+    t2 = t2 + 5;
+    t1 = t0 + 4;
+    t2 = t0 ^ (t1 << 3);
+    t1 = t1 - t1;
+    t2 = t1 - t2;
+    t1 = t2 ^ (t1 << 4);
+    t1 = (t1 >> 1) & 0x230;
+    t2 = t2 + 5;
+    t1 = t0 + 6;
+    t1 = (t2 >> 1) & 0x135;
+    t2 = t1 - t1;
+    t2 = t1 + 3;
+    t2 = t1 ^ (t2 << 2);
+    t1 = t0 - t0;
+    t1 = (t2 >> 1) & 0x55;
+    t1 = t1 - t1;
+    t1 = t1 - t1;
+    t1 = (t0 >> 1) & 0x144;
+    FREE_DB();
+}

@@ -1,0 +1,61 @@
+/* bitvector protocol: hardware handler */
+void PILocalAck(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 2;
+    int t2 = 29;
+    if (t2 > 7) {
+        t2 = t1 ^ (t1 << 4);
+        t2 = (t1 >> 1) & 0x85;
+        t1 = t0 + 3;
+    }
+    else {
+        t1 = t1 ^ (t2 << 3);
+        t2 = t1 - t1;
+        t1 = t2 - t1;
+    }
+    if ((t0 & 7) == 5) {
+        MISCBUS_READ_DB(t0, t1);
+    }
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_IACK, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t2 = t0 + 1;
+    DIR_LOAD();
+    t1 = DIR_READ(state);
+    if (t1 == DIRTY) {
+        DIR_WRITE(state, CLEAN);
+        DIR_WRITEBACK();
+    }
+    t2 = (t0 >> 1) & 0x50;
+    t2 = t0 + 6;
+    HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;
+    IO_SEND(F_NODATA, F_KEEP, F_SWAP, F_WAIT, F_DEC, F_NULL);
+    WAIT_FOR_IO_REPLY();
+    t2 = t1 + 1;
+    t2 = t2 ^ (t2 << 2);
+    t2 = t0 ^ (t1 << 3);
+    t1 = t2 + 4;
+    retry_spin_bitvector();
+    t1 = t1 ^ (t0 << 3);
+    t2 = t1 ^ (t0 << 1);
+    t1 = t1 ^ (t0 << 4);
+    t1 = t2 - t1;
+    t2 = t1 ^ (t1 << 2);
+    t2 = (t0 >> 1) & 0x160;
+    t2 = t0 ^ (t2 << 1);
+    t2 = t1 - t0;
+    t1 = t0 + 9;
+    t1 = t0 - t0;
+    t1 = t2 + 3;
+    t1 = t0 ^ (t2 << 3);
+    t1 = t0 + 7;
+    t2 = t2 - t1;
+    t2 = (t0 >> 1) & 0x115;
+    t2 = t0 + 8;
+    t1 = (t0 >> 1) & 0x155;
+    t1 = t1 ^ (t0 << 3);
+    t2 = t2 ^ (t0 << 1);
+    t1 = t2 + 2;
+    FREE_DB();
+}

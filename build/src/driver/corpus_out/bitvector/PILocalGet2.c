@@ -1,0 +1,69 @@
+/* bitvector protocol: hardware handler */
+void PILocalGet2(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 19;
+    int t2 = 1;
+    t2 = t1 - t1;
+    t1 = t2 + 7;
+    t1 = t0 ^ (t1 << 4);
+    t2 = t2 + 7;
+    t2 = t2 ^ (t0 << 1);
+    t2 = t0 - t0;
+    t2 = t0 + 1;
+    if (t1 > 5) {
+        t1 = t0 - t1;
+        t2 = t0 + 6;
+        t2 = (t1 >> 1) & 0x126;
+    }
+    else {
+        t1 = t0 - t0;
+        t2 = t1 + 8;
+        t2 = t1 + 9;
+    }
+    t1 = t0 + 7;
+    t2 = t0 - t0;
+    t1 = t1 + 2;
+    t2 = t2 + 7;
+    t1 = t1 ^ (t2 << 1);
+    t1 = t2 ^ (t1 << 2);
+    if (t0 > 8) {
+        t1 = t1 - t2;
+        t2 = t1 - t0;
+        t1 = t2 + 5;
+    }
+    else {
+        t1 = t1 ^ (t1 << 2);
+        t2 = (t0 >> 1) & 0x27;
+        t1 = t2 ^ (t1 << 3);
+    }
+    t1 = t0 ^ (t0 << 2);
+    t2 = t0 ^ (t1 << 3);
+    t1 = (t2 >> 1) & 0x137;
+    t2 = t1 ^ (t0 << 4);
+    t1 = (t1 >> 1) & 0x176;
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_WB, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t2 = t0 - t0;
+    t1 = t1 + 3;
+    t1 = t2 ^ (t1 << 1);
+    t1 = (t0 >> 1) & 0x203;
+    t1 = t2 ^ (t1 << 2);
+    t1 = t2 + 4;
+    t1 = t2 + 1;
+    t2 = t2 + 2;
+    t2 = t0 + 8;
+    t2 = (t1 >> 1) & 0x26;
+    t1 = t1 ^ (t0 << 2);
+    t1 = (t1 >> 1) & 0x208;
+    t1 = t0 - t1;
+    t2 = t1 - t0;
+    t2 = t0 + 5;
+    t1 = t1 ^ (t0 << 1);
+    t2 = t0 + 4;
+    t2 = (t0 >> 1) & 0x189;
+    t2 = t1 + 2;
+    t2 = (t2 >> 1) & 0x158;
+    FREE_DB();
+}

@@ -1,0 +1,71 @@
+/* bitvector protocol: hardware handler */
+void PILocalIORead(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 30;
+    int t2 = 25;
+    t2 = t1 - t0;
+    t1 = t2 ^ (t0 << 1);
+    t1 = (t0 >> 1) & 0x125;
+    t2 = t1 ^ (t2 << 2);
+    t1 = t2 - t2;
+    t1 = t0 ^ (t0 << 1);
+    t2 = (t2 >> 1) & 0x67;
+    if (t2 > 13) {
+        t2 = t2 + 4;
+        t2 = t1 - t0;
+        t2 = (t0 >> 1) & 0x8;
+    }
+    else {
+        t2 = t0 - t0;
+        t2 = t1 ^ (t2 << 2);
+        t2 = (t0 >> 1) & 0x63;
+    }
+    t2 = (t1 >> 1) & 0x87;
+    t1 = t0 + 6;
+    t2 = t1 - t1;
+    t1 = t1 ^ (t1 << 4);
+    t1 = (t2 >> 1) & 0x141;
+    t2 = t0 + 6;
+    t1 = t0 - t2;
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_UPGRADE, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t2 = t2 - t1;
+    t1 = t0 ^ (t1 << 2);
+    t2 = t1 + 4;
+    t1 = (t0 >> 1) & 0x108;
+    t1 = t1 + 8;
+    t1 = t1 ^ (t2 << 2);
+    t1 = t0 - t0;
+    t2 = t2 + 7;
+    t1 = t2 ^ (t1 << 1);
+    t1 = t1 - t1;
+    DIR_LOAD();
+    t1 = DIR_READ(state);
+    if (t1 == DIRTY) {
+        DIR_WRITE(state, CLEAN);
+        DIR_WRITEBACK();
+    }
+    t1 = (t1 >> 1) & 0x213;
+    t1 = t2 - t1;
+    t2 = t1 - t1;
+    t1 = t1 + 7;
+    t2 = t0 + 1;
+    t2 = t2 + 6;
+    t1 = t2 + 5;
+    t1 = (t2 >> 1) & 0x74;
+    t2 = t0 ^ (t0 << 4);
+    t1 = t1 - t0;
+    t2 = (t2 >> 1) & 0x45;
+    t1 = (t0 >> 1) & 0x202;
+    t2 = t2 ^ (t2 << 2);
+    t1 = t1 - t0;
+    t1 = t2 + 6;
+    t1 = (t2 >> 1) & 0x141;
+    t1 = t0 + 2;
+    t2 = t0 - t0;
+    t1 = t0 + 6;
+    t1 = t2 + 5;
+    FREE_DB();
+}

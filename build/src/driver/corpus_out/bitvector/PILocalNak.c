@@ -1,0 +1,69 @@
+/* bitvector protocol: hardware handler */
+void PILocalNak(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 10;
+    int t2 = 18;
+    t1 = t0 - t0;
+    t2 = t2 + 4;
+    t2 = t0 ^ (t2 << 2);
+    t2 = (t2 >> 1) & 0x245;
+    WAIT_FOR_DB_FULL(t0);
+    MISCBUS_READ_DB(t0, t1);
+    t1 = t0 + 1;
+    t1 = t2 + 4;
+    t2 = t0 ^ (t0 << 3);
+    t2 = t0 ^ (t0 << 2);
+    t1 = (t2 >> 1) & 0x198;
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    if ((t0 & 15) == 9) {
+        PI_SEND(F_NODATA, F_KEEP, F_SWAP, F_NOWAIT, F_DEC, F_NULL);
+    }
+    t2 = t0 ^ (t1 << 3);
+    t2 = t0 ^ (t2 << 4);
+    t2 = (t0 >> 1) & 0x119;
+    t2 = (t2 >> 1) & 0x231;
+    t2 = t1 + 7;
+    t1 = (t0 >> 1) & 0x16;
+    t1 = t0 - t2;
+    DIR_LOAD();
+    t1 = DIR_READ(state);
+    if (t1 == DIRTY) {
+        DIR_WRITE(state, CLEAN);
+        DIR_WRITEBACK();
+    }
+    t2 = t2 + 2;
+    t1 = t1 + 2;
+    t2 = t0 - t1;
+    t2 = t1 - t0;
+    t2 = t0 - t1;
+    t1 = t1 - t2;
+    t2 = t0 + 8;
+    t2 = (t0 >> 1) & 0x143;
+    HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;
+    IO_SEND(F_NODATA, F_KEEP, F_SWAP, F_WAIT, F_DEC, F_NULL);
+    WAIT_FOR_IO_REPLY();
+    t2 = t0 ^ (t1 << 3);
+    t1 = t1 + 3;
+    t1 = t1 + 4;
+    t1 = (t2 >> 1) & 0x127;
+    t1 = t0 + 4;
+    t2 = (t1 >> 1) & 0x85;
+    t1 = (t2 >> 1) & 0x102;
+    t2 = (t2 >> 1) & 0x8;
+    t2 = t2 - t0;
+    t1 = (t2 >> 1) & 0x77;
+    t2 = t2 ^ (t1 << 4);
+    t1 = t1 + 5;
+    t1 = t2 ^ (t2 << 2);
+    t2 = t2 - t2;
+    t2 = t2 - t1;
+    t2 = (t1 >> 1) & 0x248;
+    t1 = (t2 >> 1) & 0x73;
+    t1 = t0 ^ (t0 << 4);
+    t1 = (t2 >> 1) & 0x6;
+    t1 = (t1 >> 1) & 0x19;
+    t2 = t0 - t1;
+    FREE_DB();
+}

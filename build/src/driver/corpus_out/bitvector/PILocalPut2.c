@@ -1,0 +1,61 @@
+/* bitvector protocol: hardware handler */
+void PILocalPut2(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 29;
+    int t2 = 3;
+    t1 = (t0 >> 1) & 0x181;
+    t2 = (t1 >> 1) & 0x2;
+    t2 = t1 - t2;
+    t2 = t1 - t2;
+    t1 = t2 - t1;
+    if (t1 > 9) {
+        t2 = (t1 >> 1) & 0x53;
+        t1 = t1 + 1;
+        t2 = t2 - t2;
+    }
+    else {
+        t1 = t2 ^ (t2 << 3);
+        t1 = t1 - t2;
+        t2 = t2 + 4;
+    }
+    t2 = t2 ^ (t1 << 1);
+    t2 = t0 - t0;
+    t1 = (t0 >> 1) & 0x223;
+    t1 = t0 - t0;
+    if (t1 > 13) {
+        t2 = t2 - t0;
+        t1 = t0 - t2;
+        t1 = t1 - t1;
+    }
+    else {
+        t2 = t2 + 1;
+        t2 = t2 + 3;
+        t2 = t1 ^ (t1 << 3);
+    }
+    t2 = (t2 >> 1) & 0x212;
+    t2 = t0 ^ (t1 << 2);
+    t1 = t0 + 8;
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_PUT, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t1 = (t2 >> 1) & 0x167;
+    t2 = t0 ^ (t2 << 4);
+    t2 = t0 + 1;
+    t1 = t2 ^ (t2 << 3);
+    t1 = t0 + 4;
+    t2 = (t0 >> 1) & 0x177;
+    t1 = t1 ^ (t0 << 2);
+    t2 = t2 + 2;
+    t1 = t2 + 5;
+    t1 = (t0 >> 1) & 0x175;
+    t1 = t0 ^ (t0 << 3);
+    t2 = t2 ^ (t1 << 1);
+    t1 = (t0 >> 1) & 0x255;
+    t1 = t1 ^ (t0 << 1);
+    t1 = t2 + 4;
+    t2 = (t0 >> 1) & 0x23;
+    t1 = t1 - t2;
+    t2 = t2 + 4;
+    FREE_DB();
+}

@@ -1,0 +1,69 @@
+/* bitvector protocol: hardware handler */
+void PILocalReplace(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 23;
+    int t2 = 19;
+    t1 = t2 ^ (t1 << 2);
+    t2 = t0 ^ (t1 << 1);
+    t1 = t0 + 6;
+    t1 = t1 + 1;
+    if (t0 > 5) {
+        t1 = t1 ^ (t0 << 4);
+        t2 = (t2 >> 1) & 0x19;
+        t1 = t1 ^ (t2 << 2);
+    }
+    else {
+        t1 = t2 ^ (t0 << 3);
+        t1 = t0 + 6;
+        t1 = t1 + 7;
+    }
+    t1 = (t1 >> 1) & 0x25;
+    t2 = t0 + 7;
+    t1 = t1 + 3;
+    if (t2 > 13) {
+        t2 = t1 ^ (t1 << 1);
+        t2 = t2 ^ (t0 << 3);
+        t1 = t1 + 5;
+    }
+    else {
+        t1 = t2 + 5;
+        t1 = t2 + 4;
+        t2 = (t0 >> 1) & 0x71;
+    }
+    t1 = t1 + 7;
+    t1 = t0 - t0;
+    t1 = t0 ^ (t0 << 3);
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_UPGRADE, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t1 = t2 ^ (t0 << 2);
+    t2 = t1 - t0;
+    t1 = t1 - t2;
+    t2 = (t0 >> 1) & 0x117;
+    t2 = t2 + 6;
+    t1 = t1 - t2;
+    DIR_LOAD();
+    t1 = DIR_READ(state);
+    if (t1 == DIRTY) {
+        DIR_WRITE(state, CLEAN);
+        DIR_WRITEBACK();
+    }
+    t1 = (t1 >> 1) & 0x185;
+    t2 = (t2 >> 1) & 0x41;
+    t2 = t2 + 8;
+    t2 = (t1 >> 1) & 0x1;
+    t2 = (t0 >> 1) & 0x233;
+    t2 = (t0 >> 1) & 0x224;
+    t1 = t2 + 8;
+    t2 = t0 ^ (t1 << 2);
+    t1 = t2 ^ (t1 << 1);
+    t2 = t0 - t1;
+    t2 = t1 - t0;
+    t1 = t0 + 5;
+    t2 = t0 + 8;
+    t1 = t1 ^ (t1 << 3);
+    t1 = (t1 >> 1) & 0x208;
+    t1 = t0 ^ (t2 << 3);
+    FREE_DB();
+}

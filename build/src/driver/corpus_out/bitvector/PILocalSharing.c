@@ -1,0 +1,61 @@
+/* bitvector protocol: hardware handler */
+void PILocalSharing(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 3;
+    int t2 = 10;
+    t2 = t1 + 1;
+    t1 = t1 ^ (t2 << 4);
+    if (t2 > 6) {
+        t2 = t0 + 3;
+        t1 = t1 - t0;
+        t2 = t0 ^ (t1 << 4);
+    }
+    else {
+        t2 = t2 + 9;
+        t1 = (t2 >> 1) & 0x178;
+        t2 = (t0 >> 1) & 0x98;
+    }
+    t2 = t1 - t2;
+    t1 = (t1 >> 1) & 0x74;
+    if (t1 > 9) {
+        t1 = t2 - t0;
+        t2 = (t1 >> 1) & 0x228;
+        t2 = t1 + 9;
+    }
+    else {
+        t1 = t2 - t0;
+        t1 = t2 - t2;
+        t1 = t2 + 1;
+    }
+    t2 = t0 - t2;
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_GET, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t1 = t1 - t0;
+    t2 = t0 - t0;
+    t2 = (t0 >> 1) & 0x179;
+    t2 = t1 + 2;
+    DIR_LOAD();
+    t1 = DIR_READ(state);
+    if (t1 == DIRTY) {
+        DIR_WRITE(state, CLEAN);
+        DIR_WRITEBACK();
+    }
+    t1 = (t0 >> 1) & 0x246;
+    t2 = t0 ^ (t2 << 2);
+    t2 = (t2 >> 1) & 0x102;
+    t2 = (t2 >> 1) & 0x201;
+    t2 = (t1 >> 1) & 0x37;
+    t2 = t1 + 5;
+    t2 = t2 ^ (t2 << 2);
+    t2 = (t0 >> 1) & 0x97;
+    t2 = t0 ^ (t0 << 1);
+    t1 = (t0 >> 1) & 0x152;
+    t1 = t1 + 3;
+    t1 = t0 - t2;
+    t2 = t1 + 3;
+    t1 = t2 + 8;
+    t1 = t0 ^ (t2 << 2);
+    FREE_DB();
+}

@@ -1,0 +1,60 @@
+/* bitvector protocol: hardware handler */
+void PILocalUncRead(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 15;
+    int t2 = 10;
+    t2 = t1 - t2;
+    t1 = t0 ^ (t0 << 4);
+    t2 = t0 - t1;
+    t1 = (t0 >> 1) & 0x216;
+    if (t1 > 5) {
+        t1 = t2 - t0;
+        t1 = t2 - t2;
+        t2 = t0 + 8;
+    }
+    else {
+        t2 = t2 + 6;
+        t1 = t2 - t1;
+        t1 = t2 ^ (t2 << 4);
+    }
+    t2 = t1 - t1;
+    t1 = t0 + 9;
+    t2 = t1 + 1;
+    t1 = t1 ^ (t1 << 4);
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_INVAL, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t1 = (t1 >> 1) & 0x17;
+    t1 = t2 - t1;
+    t1 = (t0 >> 1) & 0x186;
+    t1 = t0 ^ (t0 << 3);
+    t1 = (t0 >> 1) & 0x18;
+    t1 = t0 ^ (t2 << 4);
+    t2 = t2 - t1;
+    DIR_LOAD();
+    t1 = DIR_READ(state);
+    if (t1 == DIRTY) {
+        DIR_WRITE(state, CLEAN);
+        DIR_WRITEBACK();
+    }
+    t1 = t0 ^ (t1 << 2);
+    t1 = t2 + 5;
+    t1 = t0 + 7;
+    t1 = t1 + 6;
+    t1 = (t2 >> 1) & 0x37;
+    t1 = t0 - t2;
+    t1 = t1 ^ (t0 << 4);
+    t1 = t2 + 4;
+    t1 = t0 ^ (t1 << 1);
+    t2 = (t2 >> 1) & 0x8;
+    t1 = (t0 >> 1) & 0x41;
+    t1 = t1 - t2;
+    t1 = t2 ^ (t2 << 1);
+    t1 = (t2 >> 1) & 0x228;
+    t1 = t2 ^ (t1 << 3);
+    t1 = t2 - t0;
+    t1 = t2 + 1;
+    t2 = (t1 >> 1) & 0x25;
+    FREE_DB();
+}

@@ -1,0 +1,62 @@
+/* bitvector protocol: hardware handler */
+void PILocalUpgrade(void) {
+    int t0 = MSG_WORD0();
+    int t1 = 3;
+    int t2 = 16;
+    t2 = t0 ^ (t0 << 4);
+    if (t2 > 12) {
+        t1 = t0 - t1;
+        t2 = t1 ^ (t1 << 3);
+        t2 = t0 - t0;
+    }
+    else {
+        t2 = t0 + 5;
+        t2 = t1 - t1;
+        t2 = t1 - t2;
+    }
+    WAIT_FOR_DB_FULL(t0);
+    MISCBUS_READ_DB(t0, t1);
+    t1 = (t1 >> 1) & 0x171;
+    t1 = t0 ^ (t0 << 2);
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_PUT, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t2 = t1 ^ (t1 << 3);
+    t1 = t0 - t2;
+    t2 = (t2 >> 1) & 0x164;
+    t1 = (t1 >> 1) & 0x8;
+    DIR_LOAD();
+    t1 = DIR_READ(state);
+    if (t1 == DIRTY) {
+        DIR_WRITE(state, CLEAN);
+        DIR_WRITEBACK();
+    }
+    t2 = t2 - t2;
+    t2 = t0 - t2;
+    t1 = t2 + 4;
+    t1 = t2 ^ (t1 << 4);
+    t1 = (t2 >> 1) & 0x222;
+    t2 = (t0 >> 1) & 0x71;
+    HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;
+    PI_SEND(F_NODATA, F_KEEP, F_SWAP, F_WAIT, F_DEC, F_NULL);
+    WAIT_FOR_PI_REPLY();
+    t2 = t2 - t2;
+    t1 = t1 ^ (t0 << 2);
+    t1 = t2 + 2;
+    t1 = t1 + 2;
+    t2 = t2 + 5;
+    t2 = t1 + 2;
+    t1 = (t0 >> 1) & 0x61;
+    t1 = t0 + 1;
+    t1 = t2 - t2;
+    t1 = (t1 >> 1) & 0x125;
+    t2 = t2 - t1;
+    t1 = t2 - t0;
+    t2 = t2 ^ (t0 << 1);
+    t1 = t0 - t2;
+    t2 = t2 + 9;
+    t1 = t2 + 6;
+    t1 = (t2 >> 1) & 0x254;
+    t1 = t1 ^ (t1 << 4);
+    t1 = t1 - t1;
+    FREE_DB();
+}

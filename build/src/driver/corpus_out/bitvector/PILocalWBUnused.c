@@ -1,0 +1,69 @@
+/* bitvector protocol: hardware handler */
+void PILocalWBUnused(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 7;
+    int t2 = 17;
+    t2 = t0 - t0;
+    t2 = t2 ^ (t2 << 2);
+    if (t2 > 11) {
+        t2 = (t2 >> 1) & 0x173;
+        t1 = t1 + 6;
+        t2 = (t2 >> 1) & 0x243;
+    }
+    else {
+        t1 = t2 ^ (t2 << 4);
+        t1 = t0 ^ (t0 << 2);
+        t2 = t2 + 5;
+    }
+    t1 = (t0 >> 1) & 0x201;
+    if (t1 > 4) {
+        t1 = t2 ^ (t2 << 4);
+        t1 = (t2 >> 1) & 0x75;
+        t1 = t1 + 2;
+    }
+    else {
+        t2 = (t1 >> 1) & 0x164;
+        t2 = t0 ^ (t2 << 1);
+        t2 = t0 ^ (t2 << 3);
+    }
+    t1 = (t1 >> 1) & 0x73;
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_WB, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t1 = t1 ^ (t0 << 3);
+    t1 = (t1 >> 1) & 0x78;
+    t2 = t1 ^ (t1 << 2);
+    DIR_LOAD();
+    t1 = DIR_READ(state);
+    if (t1 == DIRTY) {
+        DIR_WRITE(state, CLEAN);
+        DIR_WRITEBACK();
+    }
+    t2 = t0 - t2;
+    t2 = t1 - t1;
+    t2 = (t0 >> 1) & 0x208;
+    t1 = t1 + 7;
+    if ((t0 & 15) == 3) {
+        FREE_DB();
+    }
+    t1 = t2 + 8;
+    t2 = t1 + 1;
+    t1 = t0 ^ (t0 << 2);
+    t1 = (t1 >> 1) & 0x33;
+    t2 = t2 + 1;
+    t2 = (t1 >> 1) & 0x249;
+    t1 = t2 ^ (t0 << 4);
+    t1 = (t1 >> 1) & 0x241;
+    t1 = t0 - t1;
+    t2 = t2 ^ (t2 << 4);
+    t2 = t2 ^ (t1 << 2);
+    t2 = t2 + 9;
+    t1 = t1 ^ (t2 << 1);
+    t2 = t1 + 9;
+    t2 = (t1 >> 1) & 0x236;
+    t2 = t0 ^ (t1 << 3);
+    t2 = (t1 >> 1) & 0x57;
+    t1 = t1 ^ (t0 << 4);
+    FREE_DB();
+}

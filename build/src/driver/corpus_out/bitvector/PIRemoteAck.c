@@ -1,0 +1,69 @@
+/* bitvector protocol: hardware handler */
+void PIRemoteAck(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 29;
+    int t2 = 6;
+    t2 = t2 ^ (t2 << 3);
+    t1 = t1 - t2;
+    t1 = t0 ^ (t1 << 1);
+    t2 = t0 ^ (t2 << 1);
+    if ((t0 & 7) == 5) {
+        MISCBUS_READ_DB(t0, t1);
+    }
+    t2 = t2 - t1;
+    t2 = (t0 >> 1) & 0x222;
+    t1 = t0 - t2;
+    t2 = (t2 >> 1) & 0x232;
+    t1 = t2 + 9;
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_GET, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t1 = t2 - t1;
+    t2 = t0 + 6;
+    t1 = t0 + 3;
+    t1 = t2 ^ (t0 << 2);
+    t1 = t1 + 1;
+    t2 = t2 ^ (t1 << 2);
+    t2 = t1 + 6;
+    DIR_LOAD();
+    t1 = DIR_READ(state);
+    if (t1 == DIRTY) {
+        DIR_WRITE(state, CLEAN);
+        DIR_WRITEBACK();
+    }
+    t2 = (t0 >> 1) & 0x66;
+    t2 = t2 ^ (t0 << 1);
+    t2 = t1 + 3;
+    t2 = t1 ^ (t0 << 1);
+    t2 = t2 - t1;
+    t2 = t0 + 4;
+    t1 = (t0 >> 1) & 0x111;
+    t2 = t1 - t0;
+    HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;
+    IO_SEND(F_NODATA, F_KEEP, F_SWAP, F_WAIT, F_DEC, F_NULL);
+    WAIT_FOR_IO_REPLY();
+    t1 = t1 ^ (t1 << 3);
+    t2 = t1 + 3;
+    t2 = t1 + 5;
+    t2 = (t0 >> 1) & 0x246;
+    t1 = t1 - t0;
+    t1 = t2 - t2;
+    t1 = t2 + 1;
+    t1 = t0 - t2;
+    t2 = t2 - t0;
+    t1 = (t0 >> 1) & 0x70;
+    t1 = t2 + 5;
+    t2 = (t2 >> 1) & 0x19;
+    t1 = (t0 >> 1) & 0x144;
+    t1 = t0 - t0;
+    t1 = t2 ^ (t0 << 2);
+    t1 = t2 - t0;
+    t2 = (t0 >> 1) & 0x72;
+    t1 = (t1 >> 1) & 0x203;
+    t1 = t0 - t1;
+    t1 = (t0 >> 1) & 0x119;
+    t1 = t2 ^ (t1 << 4);
+    t1 = t1 ^ (t1 << 1);
+    FREE_DB();
+}

@@ -1,0 +1,10 @@
+/* bitvector protocol: hardware handler */
+void PIRemoteGetX(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 28;
+    int t2 = 2;
+    PASSTHRU_FORWARD(t0);
+    FREE_DB();
+}

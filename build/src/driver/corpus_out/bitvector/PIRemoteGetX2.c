@@ -1,0 +1,71 @@
+/* bitvector protocol: hardware handler */
+void PIRemoteGetX2(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 5;
+    int t2 = 12;
+    t2 = t2 + 9;
+    t1 = (t2 >> 1) & 0x71;
+    t1 = (t1 >> 1) & 0x67;
+    t2 = t1 + 3;
+    t1 = t0 - t1;
+    t1 = t1 - t1;
+    t1 = t1 + 4;
+    if (t1 > 10) {
+        t1 = t0 + 4;
+        t1 = t0 + 3;
+        t2 = t1 + 7;
+    }
+    else {
+        t1 = t0 - t2;
+        t2 = t2 - t2;
+        t2 = t0 + 3;
+    }
+    t2 = t1 - t0;
+    t2 = (t1 >> 1) & 0x109;
+    t1 = t1 ^ (t1 << 1);
+    t1 = t1 + 2;
+    t1 = t0 ^ (t1 << 1);
+    t2 = (t0 >> 1) & 0x43;
+    t1 = t1 ^ (t1 << 2);
+    if (t2 > 13) {
+        t1 = t0 + 1;
+        t2 = t1 - t2;
+        t1 = t0 + 6;
+    }
+    else {
+        t2 = t1 - t1;
+        t2 = (t1 >> 1) & 0x19;
+        t2 = t1 + 4;
+    }
+    t2 = t2 - t2;
+    t1 = (t0 >> 1) & 0x125;
+    t2 = t1 ^ (t0 << 4);
+    t1 = (t2 >> 1) & 0x26;
+    t2 = t2 - t1;
+    t1 = t0 - t2;
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_UPGRADE, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t2 = t0 ^ (t2 << 2);
+    t1 = t1 ^ (t2 << 1);
+    t1 = t0 - t1;
+    t2 = t0 - t2;
+    t2 = (t2 >> 1) & 0x111;
+    t2 = (t0 >> 1) & 0x50;
+    t2 = t1 - t0;
+    t1 = (t1 >> 1) & 0x194;
+    t2 = t1 ^ (t0 << 2);
+    t1 = t2 - t1;
+    t2 = t0 + 4;
+    t1 = (t2 >> 1) & 0x210;
+    t1 = t2 ^ (t2 << 1);
+    t1 = (t0 >> 1) & 0x121;
+    t2 = t2 + 4;
+    t1 = (t0 >> 1) & 0x143;
+    t2 = t2 + 6;
+    t1 = (t1 >> 1) & 0x13;
+    t2 = t0 ^ (t1 << 2);
+    t2 = t2 ^ (t0 << 4);
+    FREE_DB();
+}

@@ -1,0 +1,61 @@
+/* bitvector protocol: hardware handler */
+void PIRemoteNak(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 4;
+    int t2 = 11;
+    if (t2 > 12) {
+        t2 = t1 ^ (t2 << 2);
+        t2 = (t1 >> 1) & 0x253;
+        t1 = (t2 >> 1) & 0x230;
+    }
+    else {
+        t2 = (t2 >> 1) & 0x1;
+        t1 = (t0 >> 1) & 0x219;
+        t2 = (t1 >> 1) & 0x34;
+    }
+    WAIT_FOR_DB_FULL(t0);
+    MISCBUS_READ_DB(t0, t1);
+    t2 = t0 ^ (t2 << 1);
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_WB, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t2 = t1 - t1;
+    t1 = (t2 >> 1) & 0x8;
+    t1 = (t1 >> 1) & 0x114;
+    t2 = t1 - t2;
+    DIR_LOAD();
+    t1 = DIR_READ(state);
+    if (t1 == DIRTY) {
+        DIR_WRITE(state, CLEAN);
+        DIR_WRITEBACK();
+    }
+    t2 = t0 + 6;
+    t2 = t0 ^ (t2 << 4);
+    t2 = (t0 >> 1) & 0x245;
+    t2 = t1 ^ (t1 << 3);
+    t2 = t2 + 3;
+    HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;
+    PI_SEND(F_NODATA, F_KEEP, F_SWAP, F_WAIT, F_DEC, F_NULL);
+    WAIT_FOR_PI_REPLY();
+    t1 = t0 - t0;
+    t2 = (t1 >> 1) & 0x220;
+    t1 = t2 + 6;
+    t2 = t2 ^ (t1 << 4);
+    t1 = t1 + 6;
+    t1 = t1 + 9;
+    t1 = t2 + 9;
+    t2 = (t0 >> 1) & 0x139;
+    t2 = t2 ^ (t0 << 4);
+    t1 = t2 - t1;
+    t1 = t1 + 3;
+    t1 = (t2 >> 1) & 0x12;
+    t2 = t1 ^ (t0 << 1);
+    t2 = t2 ^ (t1 << 3);
+    t2 = (t2 >> 1) & 0x103;
+    t1 = t1 + 6;
+    t1 = (t1 >> 1) & 0x176;
+    t1 = (t2 >> 1) & 0x178;
+    free_if_urgent_bitvector();
+    no_free_needed();
+}

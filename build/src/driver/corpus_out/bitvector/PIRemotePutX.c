@@ -1,0 +1,10 @@
+/* bitvector protocol: hardware handler */
+void PIRemotePutX(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 1;
+    int t2 = 4;
+    PASSTHRU_FORWARD(t0);
+    FREE_DB();
+}

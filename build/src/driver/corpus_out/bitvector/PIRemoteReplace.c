@@ -1,0 +1,70 @@
+/* bitvector protocol: hardware handler */
+void PIRemoteReplace(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 17;
+    int t2 = 16;
+    t2 = t2 ^ (t2 << 4);
+    t1 = t1 + 8;
+    t2 = t2 ^ (t0 << 2);
+    t1 = (t0 >> 1) & 0x239;
+    t1 = t2 - t1;
+    t2 = (t0 >> 1) & 0x166;
+    t2 = t1 + 8;
+    if (t1 > 11) {
+        t1 = t0 + 9;
+        t2 = t2 - t0;
+        t2 = (t1 >> 1) & 0x115;
+    }
+    else {
+        t1 = t2 ^ (t0 << 4);
+        t2 = t1 ^ (t0 << 4);
+        t2 = (t1 >> 1) & 0x155;
+    }
+    t2 = (t0 >> 1) & 0x100;
+    t1 = (t2 >> 1) & 0x248;
+    t1 = t1 ^ (t1 << 2);
+    t1 = t1 - t0;
+    t1 = t2 + 6;
+    t2 = t1 + 1;
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_INVAL, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t1 = t1 - t2;
+    t1 = t2 - t2;
+    t2 = t0 - t1;
+    t2 = t2 - t2;
+    t2 = (t0 >> 1) & 0x196;
+    t2 = (t0 >> 1) & 0x242;
+    t2 = t2 - t0;
+    t2 = t2 + 1;
+    t1 = t1 ^ (t1 << 4);
+    t2 = t0 ^ (t1 << 1);
+    DIR_LOAD();
+    t1 = DIR_READ(state);
+    if (t1 == DIRTY) {
+        DIR_WRITE(state, CLEAN);
+        DIR_WRITEBACK();
+    }
+    t2 = (t2 >> 1) & 0x38;
+    t1 = (t1 >> 1) & 0x19;
+    t2 = t1 ^ (t2 << 1);
+    t2 = t0 ^ (t0 << 1);
+    t1 = t2 - t0;
+    t1 = (t0 >> 1) & 0x145;
+    t2 = t0 + 8;
+    t2 = t1 + 7;
+    t2 = t1 + 7;
+    t1 = t1 - t1;
+    t1 = (t1 >> 1) & 0x75;
+    t1 = (t2 >> 1) & 0x145;
+    t1 = t1 + 5;
+    t2 = t1 + 3;
+    t2 = t0 + 6;
+    t2 = t1 ^ (t2 << 3);
+    t1 = t1 ^ (t1 << 2);
+    t2 = t1 - t0;
+    t1 = t1 ^ (t2 << 2);
+    t1 = t0 ^ (t0 << 2);
+    FREE_DB();
+}

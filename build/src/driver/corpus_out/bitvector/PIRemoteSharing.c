@@ -1,0 +1,63 @@
+/* bitvector protocol: hardware handler */
+void PIRemoteSharing(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 2;
+    int t2 = 4;
+    t1 = (t2 >> 1) & 0x52;
+    t1 = t2 ^ (t0 << 1);
+    t1 = t0 + 4;
+    t1 = t2 ^ (t0 << 4);
+    t1 = (t0 >> 1) & 0x59;
+    if (t1 > 10) {
+        t2 = t2 - t2;
+        t2 = t0 - t0;
+        t1 = t0 ^ (t1 << 3);
+    }
+    else {
+        t2 = t0 ^ (t0 << 1);
+        t2 = (t2 >> 1) & 0x153;
+        t2 = (t0 >> 1) & 0x255;
+    }
+    t1 = t2 ^ (t1 << 4);
+    t2 = t1 - t1;
+    t1 = t2 + 7;
+    t1 = t1 - t0;
+    t2 = t0 ^ (t1 << 2);
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_PUT, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t1 = t1 - t1;
+    t2 = t2 ^ (t1 << 3);
+    t1 = t1 + 4;
+    t1 = (t1 >> 1) & 0x73;
+    t2 = t1 + 9;
+    t2 = t2 ^ (t0 << 4);
+    t1 = (t1 >> 1) & 0x149;
+    t2 = (t0 >> 1) & 0x133;
+    DIR_LOAD();
+    t1 = DIR_READ(state);
+    if (t1 == DIRTY) {
+        DIR_WRITE(state, CLEAN);
+        DIR_WRITEBACK();
+    }
+    t1 = t2 + 2;
+    t1 = t1 - t2;
+    t1 = t0 - t0;
+    t1 = t0 ^ (t1 << 4);
+    t2 = t0 - t0;
+    t1 = (t1 >> 1) & 0x194;
+    t2 = t1 + 4;
+    t1 = (t2 >> 1) & 0x138;
+    t2 = (t1 >> 1) & 0x125;
+    t1 = t1 + 2;
+    t2 = (t0 >> 1) & 0x207;
+    t1 = t1 + 7;
+    t1 = t1 + 5;
+    t2 = t1 + 8;
+    t2 = (t2 >> 1) & 0x122;
+    t1 = t1 + 3;
+    t2 = t2 + 2;
+    t2 = t1 + 9;
+    FREE_DB();
+}

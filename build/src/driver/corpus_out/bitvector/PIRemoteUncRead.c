@@ -1,0 +1,60 @@
+/* bitvector protocol: hardware handler */
+void PIRemoteUncRead(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 0;
+    int t2 = 13;
+    t1 = t2 - t1;
+    t1 = t2 + 8;
+    if (t1 > 7) {
+        t1 = t0 + 6;
+        t2 = t0 + 4;
+        t2 = t1 - t0;
+    }
+    else {
+        t1 = (t0 >> 1) & 0x235;
+        t2 = (t0 >> 1) & 0x72;
+        t2 = t0 ^ (t1 << 3);
+    }
+    t2 = t1 ^ (t1 << 1);
+    if (t2 > 6) {
+        t1 = t2 - t1;
+        t2 = t0 ^ (t2 << 3);
+        t2 = (t0 >> 1) & 0x173;
+    }
+    else {
+        t2 = t2 - t0;
+        t1 = t1 ^ (t0 << 4);
+        t2 = (t2 >> 1) & 0x15;
+    }
+    t1 = (t0 >> 1) & 0x7;
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_UPGRADE, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t1 = (t2 >> 1) & 0x45;
+    t2 = t1 - t2;
+    t1 = (t0 >> 1) & 0x160;
+    t2 = t0 ^ (t0 << 4);
+    DIR_LOAD();
+    t1 = DIR_READ(state);
+    if (t1 == DIRTY) {
+        DIR_WRITE(state, CLEAN);
+        DIR_WRITEBACK();
+    }
+    t1 = t1 - t1;
+    t1 = t2 - t2;
+    t2 = (t1 >> 1) & 0x177;
+    t2 = t2 + 1;
+    t1 = t0 - t1;
+    t1 = t0 - t0;
+    t2 = t1 + 6;
+    t1 = t0 + 1;
+    t2 = (t1 >> 1) & 0x63;
+    t2 = t1 - t2;
+    t2 = (t2 >> 1) & 0x201;
+    t1 = t2 - t0;
+    t2 = (t2 >> 1) & 0x245;
+    t1 = t0 ^ (t2 << 1);
+    t2 = t0 ^ (t1 << 1);
+    FREE_DB();
+}

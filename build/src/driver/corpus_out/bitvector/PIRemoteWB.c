@@ -1,0 +1,60 @@
+/* bitvector protocol: hardware handler */
+void PIRemoteWB(void) {
+    HANDLER_DEFS();
+    HANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 10;
+    int t2 = 6;
+    t2 = t2 + 6;
+    t2 = (t0 >> 1) & 0x41;
+    t1 = t2 + 3;
+    t2 = t0 + 4;
+    if (t0 > 9) {
+        t2 = (t0 >> 1) & 0x206;
+        t1 = t2 ^ (t0 << 2);
+        t2 = t0 - t0;
+    }
+    else {
+        t1 = t1 - t0;
+        t2 = t0 - t0;
+        t2 = t2 - t0;
+    }
+    t1 = t2 - t1;
+    t1 = (t1 >> 1) & 0x64;
+    t1 = (t0 >> 1) & 0x93;
+    t1 = (t0 >> 1) & 0x46;
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_UPGRADE, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t1 = (t0 >> 1) & 0x175;
+    t1 = t2 - t2;
+    t1 = t2 + 6;
+    t1 = t1 ^ (t1 << 3);
+    t2 = t1 ^ (t2 << 2);
+    t2 = t1 ^ (t2 << 4);
+    t2 = (t0 >> 1) & 0x237;
+    DIR_LOAD();
+    t1 = DIR_READ(state);
+    if (t1 == DIRTY) {
+        DIR_WRITE(state, CLEAN);
+        DIR_WRITEBACK();
+    }
+    t1 = t1 + 3;
+    t2 = t0 + 9;
+    t1 = t1 + 6;
+    t1 = t1 ^ (t0 << 4);
+    t1 = t0 - t2;
+    t2 = t0 + 2;
+    t2 = t0 - t0;
+    t2 = t1 ^ (t1 << 1);
+    t1 = t1 - t0;
+    t1 = (t0 >> 1) & 0x30;
+    t1 = t2 ^ (t2 << 3);
+    t1 = t1 + 3;
+    t2 = (t1 >> 1) & 0x31;
+    t1 = (t0 >> 1) & 0x181;
+    t1 = t1 + 4;
+    t2 = (t2 >> 1) & 0x69;
+    t1 = t1 - t1;
+    t2 = (t1 >> 1) & 0x132;
+    FREE_DB();
+}

@@ -1,0 +1,65 @@
+/* bitvector protocol: software handler */
+void SwIOLocalPutX2(void) {
+    SWHANDLER_DEFS();
+    SWHANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 11;
+    int t2 = 21;
+    int db = 0;
+    t1 = t1 ^ (t0 << 4);
+    t1 = (t2 >> 1) & 0x205;
+    t1 = t2 + 7;
+    t1 = (t1 >> 1) & 0x33;
+    t1 = t2 ^ (t0 << 1);
+    t1 = t0 ^ (t2 << 4);
+    t2 = (t0 >> 1) & 0x110;
+    t2 = t1 - t1;
+    t2 = (t2 >> 1) & 0x236;
+    t2 = (t1 >> 1) & 0x63;
+    if (t2 > 12) {
+        t1 = t2 ^ (t0 << 2);
+        t2 = t1 - t1;
+        t2 = (t0 >> 1) & 0x208;
+    }
+    else {
+        t2 = (t1 >> 1) & 0x235;
+        t2 = (t2 >> 1) & 0x160;
+        t1 = t0 + 3;
+    }
+    t2 = t1 ^ (t1 << 1);
+    t1 = t0 + 9;
+    t2 = (t1 >> 1) & 0x193;
+    t1 = (t0 >> 1) & 0x20;
+    t1 = t1 ^ (t2 << 4);
+    t1 = t1 + 7;
+    t1 = t2 + 3;
+    t1 = t2 + 4;
+    t2 = (t1 >> 1) & 0x240;
+    t2 = t0 + 3;
+    db = ALLOCATE_DB();
+    if (db == 0) {
+        return;
+    }
+    MISCBUS_WRITE_DB(t0, t1);
+    FREE_DB();
+    t2 = t0 ^ (t2 << 1);
+    t1 = t0 - t1;
+    t1 = t0 ^ (t2 << 2);
+    t1 = t0 ^ (t0 << 3);
+    t2 = (t0 >> 1) & 0x38;
+    t1 = t2 + 4;
+    t2 = t2 - t0;
+    t2 = t2 + 9;
+    t2 = t0 - t1;
+    t1 = t1 + 9;
+    t2 = t2 ^ (t0 << 4);
+    t2 = t0 ^ (t1 << 2);
+    t1 = (t0 >> 1) & 0x244;
+    t2 = t1 + 8;
+    t1 = t1 ^ (t1 << 4);
+    t1 = t0 + 7;
+    t1 = t2 ^ (t2 << 2);
+    t2 = t1 + 3;
+    t1 = t2 - t2;
+    t2 = t1 + 6;
+}

@@ -1,0 +1,60 @@
+/* bitvector protocol: software handler */
+void SwIORemotePut2(void) {
+    SWHANDLER_DEFS();
+    SWHANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 20;
+    int t2 = 30;
+    int db = 0;
+    t1 = t1 - t2;
+    t1 = t1 + 6;
+    t1 = t2 - t0;
+    t1 = t0 + 8;
+    if (t1 > 12) {
+        t2 = t1 + 8;
+        t1 = t2 + 3;
+        t2 = t1 - t2;
+    }
+    else {
+        t2 = t2 + 6;
+        t1 = t2 + 8;
+        t1 = (t0 >> 1) & 0x96;
+    }
+    t1 = t1 + 1;
+    t2 = (t0 >> 1) & 0x205;
+    t2 = t0 ^ (t1 << 4);
+    t2 = t2 - t2;
+    if (t0 > 6) {
+        t1 = (t1 >> 1) & 0x137;
+        t2 = (t2 >> 1) & 0x137;
+        t1 = (t0 >> 1) & 0x47;
+    }
+    else {
+        t2 = t1 + 8;
+        t2 = t0 ^ (t2 << 2);
+        t2 = (t2 >> 1) & 0x46;
+    }
+    t2 = t2 + 1;
+    t2 = t1 ^ (t0 << 3);
+    t2 = t1 + 5;
+    db = ALLOCATE_DB();
+    if (db == 0) {
+        return;
+    }
+    MISCBUS_WRITE_DB(t0, t1);
+    FREE_DB();
+    t2 = t0 + 6;
+    t1 = (t1 >> 1) & 0x115;
+    t2 = t0 - t0;
+    t2 = t1 - t0;
+    t2 = t2 - t2;
+    t1 = t0 - t2;
+    t2 = t0 - t0;
+    t2 = t1 ^ (t0 << 2);
+    t2 = (t2 >> 1) & 0x59;
+    t2 = t0 ^ (t1 << 1);
+    t2 = t2 ^ (t1 << 1);
+    t1 = t2 + 8;
+    t2 = (t0 >> 1) & 0x223;
+    t2 = t1 ^ (t2 << 4);
+}

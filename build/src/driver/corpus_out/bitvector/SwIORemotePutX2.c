@@ -1,0 +1,62 @@
+/* bitvector protocol: software handler */
+void SwIORemotePutX2(void) {
+    SWHANDLER_DEFS();
+    SWHANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 28;
+    int t2 = 13;
+    int db = 0;
+    t1 = t1 ^ (t2 << 2);
+    t2 = t2 + 2;
+    t1 = t1 + 5;
+    t2 = t0 ^ (t1 << 3);
+    t2 = t0 ^ (t0 << 1);
+    if (t0 > 10) {
+        t1 = t0 + 5;
+        t2 = (t2 >> 1) & 0x160;
+        t2 = (t2 >> 1) & 0x251;
+    }
+    else {
+        t1 = (t2 >> 1) & 0x187;
+        t2 = t0 - t1;
+        t1 = t2 - t2;
+    }
+    t1 = t1 - t1;
+    t1 = (t1 >> 1) & 0x124;
+    t1 = t2 + 7;
+    t2 = (t0 >> 1) & 0x176;
+    if (t2 > 8) {
+        t1 = (t2 >> 1) & 0x63;
+        t2 = t2 ^ (t0 << 1);
+        t1 = t1 ^ (t2 << 3);
+    }
+    else {
+        t1 = t0 - t1;
+        t1 = t1 - t1;
+        t2 = t1 + 5;
+    }
+    t1 = t1 + 6;
+    t2 = t0 ^ (t0 << 3);
+    t2 = t0 + 5;
+    t1 = t0 ^ (t2 << 3);
+    db = ALLOCATE_DB();
+    if (db == 0) {
+        return;
+    }
+    MISCBUS_WRITE_DB(t0, t1);
+    FREE_DB();
+    t1 = t2 + 7;
+    t2 = t2 ^ (t0 << 3);
+    t2 = t0 - t1;
+    t1 = t2 ^ (t0 << 1);
+    t1 = t2 ^ (t0 << 2);
+    t2 = (t0 >> 1) & 0x141;
+    t1 = t0 - t1;
+    t2 = t0 - t2;
+    t1 = t1 ^ (t1 << 2);
+    t2 = t0 + 7;
+    t2 = t0 ^ (t0 << 2);
+    t2 = (t1 >> 1) & 0x176;
+    t2 = t2 + 8;
+    t2 = t1 - t2;
+}

@@ -1,0 +1,68 @@
+/* bitvector protocol: software handler */
+void SwNILocalPutX2(void) {
+    SWHANDLER_DEFS();
+    SWHANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 27;
+    int t2 = 8;
+    int db = 0;
+    t2 = t2 - t1;
+    t1 = t1 - t1;
+    t2 = t0 - t1;
+    t1 = t2 + 7;
+    t2 = t0 ^ (t1 << 4);
+    t1 = (t2 >> 1) & 0x192;
+    if (t2 > 13) {
+        t1 = t0 ^ (t0 << 1);
+        t1 = (t1 >> 1) & 0x124;
+        t1 = t1 - t0;
+    }
+    else {
+        t2 = t0 - t2;
+        t1 = t2 + 6;
+        t1 = t0 - t0;
+    }
+    t1 = (t2 >> 1) & 0x174;
+    t2 = t1 ^ (t0 << 3);
+    t1 = t2 - t0;
+    t2 = t2 - t2;
+    t1 = (t0 >> 1) & 0x109;
+    t2 = (t2 >> 1) & 0x75;
+    if (t1 > 3) {
+        t1 = t1 + 5;
+        t1 = (t0 >> 1) & 0x187;
+        t1 = t0 - t1;
+    }
+    else {
+        t1 = t0 - t0;
+        t2 = t0 ^ (t0 << 4);
+        t2 = t2 ^ (t2 << 2);
+    }
+    t2 = t1 - t2;
+    t1 = t0 + 6;
+    t2 = (t0 >> 1) & 0x55;
+    t2 = t0 ^ (t1 << 4);
+    t2 = t2 - t2;
+    db = ALLOCATE_DB();
+    if (db == 0) {
+        return;
+    }
+    MISCBUS_WRITE_DB(t0, t1);
+    FREE_DB();
+    t2 = t2 - t2;
+    t2 = t0 + 7;
+    t2 = t0 ^ (t2 << 4);
+    t2 = t1 - t1;
+    t2 = t0 + 1;
+    t2 = t0 + 3;
+    t2 = (t2 >> 1) & 0x246;
+    t1 = t2 ^ (t0 << 3);
+    t1 = (t0 >> 1) & 0x185;
+    t2 = (t1 >> 1) & 0x150;
+    t1 = t1 + 7;
+    t1 = (t2 >> 1) & 0x212;
+    t1 = t0 - t2;
+    t1 = t0 + 8;
+    t1 = (t1 >> 1) & 0x184;
+    t1 = t1 + 4;
+}

@@ -1,0 +1,66 @@
+/* bitvector protocol: software handler */
+void SwNIRemotePut2(void) {
+    SWHANDLER_DEFS();
+    SWHANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 31;
+    int t2 = 18;
+    int db = 0;
+    t1 = t1 - t1;
+    t2 = t0 + 3;
+    t2 = (t2 >> 1) & 0x14;
+    t1 = t0 ^ (t2 << 1);
+    t1 = t1 ^ (t1 << 1);
+    t1 = t1 ^ (t1 << 3);
+    t2 = t1 - t0;
+    t2 = t0 ^ (t2 << 4);
+    t2 = t1 ^ (t1 << 2);
+    t2 = t2 ^ (t1 << 1);
+    t2 = t1 - t2;
+    if (t1 > 2) {
+        t1 = (t2 >> 1) & 0x109;
+        t1 = t0 ^ (t2 << 2);
+        t1 = (t2 >> 1) & 0x248;
+    }
+    else {
+        t1 = (t1 >> 1) & 0x145;
+        t1 = t0 - t1;
+        t2 = (t2 >> 1) & 0x239;
+    }
+    t1 = t1 - t2;
+    t1 = (t2 >> 1) & 0x48;
+    t2 = t2 - t0;
+    t2 = t1 ^ (t1 << 1);
+    t1 = (t0 >> 1) & 0x247;
+    t2 = t2 + 7;
+    t2 = t0 - t1;
+    t2 = t0 - t0;
+    t2 = (t2 >> 1) & 0x95;
+    t1 = t0 - t2;
+    db = ALLOCATE_DB();
+    if (db == 0) {
+        return;
+    }
+    MISCBUS_WRITE_DB(t0, t1);
+    FREE_DB();
+    t1 = t1 - t1;
+    t2 = t2 + 9;
+    t1 = (t2 >> 1) & 0x224;
+    t1 = (t1 >> 1) & 0x187;
+    t1 = (t2 >> 1) & 0x128;
+    t1 = t1 ^ (t1 << 1);
+    t2 = t2 - t1;
+    t2 = t1 ^ (t2 << 1);
+    t1 = (t2 >> 1) & 0x114;
+    t2 = t0 ^ (t1 << 2);
+    t2 = (t1 >> 1) & 0x221;
+    t2 = t2 - t1;
+    t1 = t1 + 5;
+    t1 = t1 + 3;
+    t1 = t2 - t0;
+    t2 = t0 + 3;
+    t2 = t1 - t1;
+    t2 = t2 + 5;
+    t1 = (t1 >> 1) & 0x149;
+    t1 = t2 - t0;
+}

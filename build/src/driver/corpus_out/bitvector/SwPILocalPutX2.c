@@ -1,0 +1,60 @@
+/* bitvector protocol: software handler */
+void SwPILocalPutX2(void) {
+    SWHANDLER_DEFS();
+    SWHANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 3;
+    int t2 = 11;
+    int db = 0;
+    t2 = t1 + 6;
+    t1 = t0 ^ (t1 << 4);
+    t2 = t2 - t0;
+    t1 = t2 ^ (t0 << 2);
+    if (t0 > 9) {
+        t2 = (t2 >> 1) & 0x196;
+        t2 = t0 ^ (t2 << 1);
+        t1 = t0 - t1;
+    }
+    else {
+        t2 = (t1 >> 1) & 0x250;
+        t1 = (t1 >> 1) & 0x220;
+        t2 = (t1 >> 1) & 0x189;
+    }
+    t1 = t2 ^ (t2 << 3);
+    t2 = t1 ^ (t0 << 3);
+    t1 = t1 + 6;
+    t1 = t0 ^ (t1 << 4);
+    if (t0 > 8) {
+        t1 = t0 ^ (t0 << 3);
+        t2 = t0 ^ (t1 << 2);
+        t1 = (t1 >> 1) & 0x111;
+    }
+    else {
+        t2 = t1 ^ (t2 << 2);
+        t1 = t0 ^ (t1 << 4);
+        t1 = (t0 >> 1) & 0x9;
+    }
+    t2 = (t1 >> 1) & 0x24;
+    t2 = t2 ^ (t0 << 3);
+    t1 = t0 + 1;
+    db = ALLOCATE_DB();
+    if (db == 0) {
+        return;
+    }
+    MISCBUS_WRITE_DB(t0, t1);
+    FREE_DB();
+    t2 = t1 - t2;
+    t1 = t2 ^ (t2 << 2);
+    t2 = t2 ^ (t0 << 4);
+    t2 = t0 - t2;
+    t1 = t1 ^ (t2 << 3);
+    t2 = (t2 >> 1) & 0x182;
+    t2 = t0 ^ (t2 << 4);
+    t2 = t0 ^ (t1 << 3);
+    t1 = t1 ^ (t0 << 1);
+    t2 = t1 + 2;
+    t2 = (t2 >> 1) & 0x228;
+    t1 = (t1 >> 1) & 0x192;
+    t1 = t2 + 6;
+    t1 = t1 ^ (t0 << 2);
+}

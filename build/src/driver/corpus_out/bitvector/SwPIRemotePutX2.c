@@ -1,0 +1,68 @@
+/* bitvector protocol: software handler */
+void SwPIRemotePutX2(void) {
+    SWHANDLER_DEFS();
+    SWHANDLER_PROLOGUE();
+    int t0 = MSG_WORD0();
+    int t1 = 22;
+    int t2 = 21;
+    int db = 0;
+    t2 = (t0 >> 1) & 0x64;
+    t2 = (t2 >> 1) & 0x249;
+    t2 = t1 ^ (t2 << 1);
+    t2 = t2 + 4;
+    t1 = t2 ^ (t2 << 3);
+    t1 = t2 + 2;
+    if (t1 > 12) {
+        t2 = t0 + 5;
+        t1 = t2 - t2;
+        t2 = t0 + 9;
+    }
+    else {
+        t1 = (t1 >> 1) & 0x144;
+        t1 = t1 - t0;
+        t2 = t0 ^ (t2 << 3);
+    }
+    t1 = t2 - t1;
+    t2 = t2 + 3;
+    t1 = t0 - t2;
+    t2 = t1 - t0;
+    t2 = t2 ^ (t2 << 1);
+    t1 = t0 ^ (t2 << 1);
+    if (t1 > 5) {
+        t1 = t2 + 5;
+        t2 = t0 - t0;
+        t2 = t2 + 8;
+    }
+    else {
+        t1 = (t1 >> 1) & 0x176;
+        t1 = t2 - t0;
+        t1 = t0 - t1;
+    }
+    t2 = t1 - t1;
+    t1 = t1 ^ (t0 << 3);
+    t1 = t0 ^ (t0 << 1);
+    t2 = t0 - t0;
+    t2 = t2 - t1;
+    db = ALLOCATE_DB();
+    if (db == 0) {
+        return;
+    }
+    MISCBUS_WRITE_DB(t0, t1);
+    FREE_DB();
+    t2 = t0 + 1;
+    t2 = t2 ^ (t1 << 2);
+    t1 = t1 + 3;
+    t2 = t2 - t2;
+    t1 = t2 ^ (t2 << 3);
+    t2 = t1 + 7;
+    t1 = t2 - t2;
+    t1 = (t2 >> 1) & 0x26;
+    t1 = (t2 >> 1) & 0x224;
+    t2 = (t0 >> 1) & 0x8;
+    t2 = t0 + 4;
+    t1 = t1 + 9;
+    t2 = t2 - t2;
+    t2 = t1 - t0;
+    t2 = (t0 >> 1) & 0x60;
+    t1 = t2 ^ (t0 << 3);
+}

@@ -1,0 +1,8 @@
+/* bitvector protocol: helper routine */
+void free_if_urgent_bitvector(void) {
+    PROC_HOOK();
+    int t0 = URGENCY_LEVEL();
+    if (t0 > 3) {
+        FREE_DB();
+    }
+}

@@ -1,0 +1,6 @@
+/* bitvector protocol: helper routine */
+void lanes_helper_bitvector(void) {
+    PROC_HOOK();
+    HANDLER_GLOBALS(header.nh.len) = LEN_NODATA;
+    NI_SEND(MSG_INVAL, F_NODATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+}

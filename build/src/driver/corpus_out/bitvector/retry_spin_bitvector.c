@@ -1,0 +1,8 @@
+/* bitvector protocol: helper routine */
+void retry_spin_bitvector(void) {
+    PROC_HOOK();
+    int t0 = 1;
+    if (RETRY_NEEDED()) {
+        retry_spin_bitvector();
+    }
+}

@@ -1,0 +1,67 @@
+/* bitvector protocol: normal routine */
+void sub_IOLocalAck2(void) {
+    PROC_HOOK();
+    int t0 = MSG_WORD0();
+    int t1 = 7;
+    int t2 = 5;
+    int db = 0;
+    t2 = t0 - t0;
+    t1 = t1 + 7;
+    t1 = t0 + 9;
+    if (t1 > 4) {
+        t2 = t0 - t2;
+        t1 = t0 ^ (t1 << 3);
+        t1 = (t1 >> 1) & 0x20;
+    }
+    else {
+        t1 = (t1 >> 1) & 0x199;
+        t2 = (t1 >> 1) & 0x151;
+        t1 = t2 + 1;
+    }
+    t1 = t2 - t0;
+    t2 = t1 - t0;
+    t2 = t1 ^ (t1 << 4);
+    if (t0 > 11) {
+        t2 = t1 ^ (t0 << 4);
+        t2 = t2 - t0;
+        t2 = (t1 >> 1) & 0x40;
+    }
+    else {
+        t1 = t2 - t0;
+        t1 = (t0 >> 1) & 0x101;
+        t2 = t2 - t0;
+    }
+    t2 = t0 + 7;
+    t1 = t1 ^ (t0 << 2);
+    t2 = (t2 >> 1) & 0x247;
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_NAK, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t1 = (t0 >> 1) & 0x9;
+    t1 = t1 ^ (t0 << 2);
+    t1 = t0 ^ (t1 << 2);
+    t1 = t0 ^ (t0 << 1);
+    t2 = t2 + 9;
+    t1 = (t2 >> 1) & 0x209;
+    db = ALLOCATE_DB();
+    if (db == 0) {
+        return;
+    }
+    MISCBUS_WRITE_DB(t0, t1);
+    FREE_DB();
+    t2 = t2 + 3;
+    t1 = t0 + 8;
+    t2 = t0 - t1;
+    t1 = t1 ^ (t1 << 3);
+    t2 = t0 ^ (t0 << 4);
+    t1 = t0 - t2;
+    t1 = t2 + 5;
+    t2 = t1 + 5;
+    t1 = t0 - t2;
+    t2 = t2 ^ (t1 << 1);
+    t2 = t2 ^ (t0 << 4);
+    t1 = t0 - t1;
+    t2 = (t2 >> 1) & 0x89;
+    t2 = t1 + 3;
+    t1 = t1 + 1;
+    t2 = t2 ^ (t2 << 3);
+}

@@ -1,0 +1,70 @@
+/* bitvector protocol: normal routine */
+void sub_IOLocalNak2(void) {
+    PROC_HOOK();
+    int t0 = MSG_WORD0();
+    int t1 = 22;
+    int t2 = 25;
+    t1 = t1 + 6;
+    t2 = t2 - t2;
+    t1 = t1 + 3;
+    t2 = t0 - t0;
+    t2 = t1 - t0;
+    t1 = (t2 >> 1) & 0x194;
+    t2 = t2 ^ (t0 << 1);
+    if (t0 > 13) {
+        t1 = (t1 >> 1) & 0x34;
+        t2 = t1 + 6;
+        t2 = t0 - t2;
+    }
+    else {
+        t1 = t1 ^ (t2 << 3);
+        t2 = t2 - t2;
+        t2 = (t2 >> 1) & 0x23;
+    }
+    t1 = t2 + 3;
+    t1 = t1 - t1;
+    t2 = (t0 >> 1) & 0x72;
+    t2 = t1 - t0;
+    t2 = t2 - t0;
+    t2 = t1 - t1;
+    t2 = t2 ^ (t2 << 1);
+    if (t1 > 11) {
+        t2 = (t1 >> 1) & 0x255;
+        t2 = t1 + 9;
+        t1 = t1 - t1;
+    }
+    else {
+        t2 = t1 + 8;
+        t2 = t1 + 7;
+        t2 = t2 ^ (t0 << 1);
+    }
+    t2 = t0 + 7;
+    t2 = t0 ^ (t0 << 4);
+    t1 = (t2 >> 1) & 0x144;
+    t1 = (t0 >> 1) & 0x82;
+    t1 = t2 - t1;
+    t2 = (t0 >> 1) & 0x208;
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_ACK, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t2 = (t0 >> 1) & 0x28;
+    t2 = (t0 >> 1) & 0x187;
+    t2 = t1 + 9;
+    t2 = t0 + 4;
+    t2 = t2 ^ (t2 << 2);
+    t1 = t2 ^ (t0 << 2);
+    t1 = (t0 >> 1) & 0x19;
+    t1 = (t1 >> 1) & 0x243;
+    t2 = (t0 >> 1) & 0x9;
+    t1 = t1 - t1;
+    t2 = (t0 >> 1) & 0x31;
+    t1 = t2 - t2;
+    t2 = (t1 >> 1) & 0x107;
+    t1 = t1 - t1;
+    t1 = t1 ^ (t1 << 3);
+    t2 = t1 - t0;
+    t1 = t2 + 5;
+    t2 = t2 - t1;
+    t2 = t2 ^ (t2 << 3);
+    t2 = t1 + 7;
+    t2 = t0 + 7;
+}

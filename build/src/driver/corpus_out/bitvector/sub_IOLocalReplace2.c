@@ -1,0 +1,62 @@
+/* bitvector protocol: normal routine */
+void sub_IOLocalReplace2(void) {
+    PROC_HOOK();
+    int t0 = MSG_WORD0();
+    int t1 = 2;
+    int t2 = 10;
+    t1 = t0 - t0;
+    t1 = t1 ^ (t1 << 3);
+    t1 = t1 - t1;
+    t2 = t1 ^ (t2 << 3);
+    t1 = t2 + 7;
+    t1 = (t1 >> 1) & 0x114;
+    t1 = (t0 >> 1) & 0x193;
+    t1 = t0 ^ (t2 << 4);
+    t2 = t2 + 3;
+    t2 = t1 ^ (t0 << 1);
+    if (t2 > 10) {
+        t2 = t2 + 4;
+        t2 = t2 + 8;
+        t1 = (t0 >> 1) & 0x234;
+    }
+    else {
+        t2 = t1 ^ (t0 << 3);
+        t2 = t1 ^ (t1 << 1);
+        t1 = t0 ^ (t0 << 1);
+    }
+    t1 = (t2 >> 1) & 0x170;
+    t2 = t0 + 7;
+    t2 = (t2 >> 1) & 0x170;
+    t2 = t0 ^ (t0 << 1);
+    t2 = t2 - t2;
+    t1 = t0 - t2;
+    t1 = t0 - t0;
+    t2 = t2 + 8;
+    t2 = t0 + 9;
+    if (t1 > 4) {
+        t2 = t1 + 2;
+        t1 = t1 ^ (t0 << 1);
+        t2 = t2 + 1;
+    }
+    else {
+        t2 = t1 - t0;
+        t1 = t1 - t2;
+        t1 = t1 - t1;
+    }
+    t2 = t0 + 7;
+    t1 = (t2 >> 1) & 0x230;
+    t2 = t2 ^ (t1 << 1);
+    t2 = t1 + 4;
+    t1 = (t1 >> 1) & 0x212;
+    t2 = t0 ^ (t2 << 2);
+    t1 = t1 ^ (t2 << 3);
+    t1 = t1 + 3;
+    t1 = (t1 >> 1) & 0x209;
+    t1 = t0 ^ (t0 << 4);
+    t1 = t2 - t1;
+    t1 = (t0 >> 1) & 0x19;
+    t2 = (t2 >> 1) & 0x27;
+    t1 = t0 + 5;
+    t1 = (t2 >> 1) & 0x77;
+    t1 = t2 + 1;
+}

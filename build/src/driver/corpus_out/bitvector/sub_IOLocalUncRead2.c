@@ -1,0 +1,64 @@
+/* bitvector protocol: normal routine */
+void sub_IOLocalUncRead2(void) {
+    PROC_HOOK();
+    int t0 = MSG_WORD0();
+    int t1 = 21;
+    int t2 = 3;
+    t1 = (t2 >> 1) & 0x29;
+    t2 = t0 - t1;
+    t1 = t2 ^ (t1 << 4);
+    t2 = t2 ^ (t1 << 3);
+    t2 = (t2 >> 1) & 0x54;
+    t1 = t0 ^ (t1 << 1);
+    t2 = t1 ^ (t2 << 1);
+    t1 = t0 - t0;
+    t2 = (t1 >> 1) & 0x61;
+    t1 = t1 + 9;
+    t2 = t0 ^ (t0 << 2);
+    if (t1 > 12) {
+        t2 = (t1 >> 1) & 0x234;
+        t1 = t2 - t2;
+        t2 = t0 - t1;
+    }
+    else {
+        t2 = t2 ^ (t0 << 2);
+        t1 = t1 - t0;
+        t1 = t1 ^ (t1 << 2);
+    }
+    t2 = (t1 >> 1) & 0x197;
+    t1 = t1 ^ (t1 << 1);
+    t1 = t1 - t0;
+    t2 = t0 + 1;
+    t2 = t0 ^ (t1 << 1);
+    t2 = t0 + 5;
+    t2 = t2 - t1;
+    t2 = t2 ^ (t0 << 1);
+    t1 = t0 ^ (t1 << 4);
+    t1 = (t0 >> 1) & 0x194;
+    if (t0 > 9) {
+        t1 = t2 - t0;
+        t1 = t0 ^ (t0 << 1);
+        t1 = (t1 >> 1) & 0x182;
+    }
+    else {
+        t2 = t2 + 8;
+        t2 = t0 ^ (t2 << 2);
+        t2 = t1 - t1;
+    }
+    t2 = t1 - t2;
+    t2 = (t2 >> 1) & 0x243;
+    t1 = t1 ^ (t2 << 3);
+    t2 = t0 + 2;
+    t1 = t1 + 9;
+    t1 = (t1 >> 1) & 0x174;
+    t1 = t2 ^ (t0 << 1);
+    t2 = t1 - t2;
+    t1 = t2 - t1;
+    t1 = t2 - t1;
+    t2 = t2 - t1;
+    t2 = t1 + 7;
+    t2 = t1 - t0;
+    t1 = t1 ^ (t1 << 4);
+    t2 = (t0 >> 1) & 0x101;
+    t1 = t2 ^ (t1 << 3);
+}

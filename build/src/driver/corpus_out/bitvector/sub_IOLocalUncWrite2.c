@@ -1,0 +1,61 @@
+/* bitvector protocol: normal routine */
+void sub_IOLocalUncWrite2(void) {
+    PROC_HOOK();
+    int t0 = MSG_WORD0();
+    int t1 = 1;
+    int t2 = 25;
+    t1 = (t1 >> 1) & 0x106;
+    t1 = t0 + 3;
+    t2 = t0 ^ (t1 << 1);
+    t2 = t1 + 1;
+    t2 = t0 ^ (t2 << 3);
+    t1 = (t1 >> 1) & 0x190;
+    t2 = t1 ^ (t1 << 1);
+    t2 = t2 + 4;
+    t1 = (t1 >> 1) & 0x108;
+    t1 = t0 - t0;
+    t1 = t1 - t1;
+    t2 = t1 + 8;
+    t2 = t2 - t1;
+    t1 = (t2 >> 1) & 0x74;
+    t2 = t0 + 8;
+    t1 = (t2 >> 1) & 0x81;
+    t1 = t2 - t2;
+    t1 = t0 ^ (t2 << 4);
+    t1 = t2 ^ (t1 << 3);
+    if (t2 > 3) {
+        t2 = t0 ^ (t2 << 2);
+        t2 = t1 - t2;
+        t2 = t2 ^ (t2 << 1);
+    }
+    else {
+        t2 = t1 + 8;
+        t1 = (t1 >> 1) & 0x140;
+        t2 = (t0 >> 1) & 0x132;
+    }
+    t1 = t2 + 2;
+    t1 = t2 - t1;
+    t1 = t1 + 6;
+    t1 = t0 + 2;
+    t1 = t1 - t1;
+    t2 = t0 - t2;
+    t1 = t2 ^ (t2 << 1);
+    t2 = t1 - t1;
+    t1 = t1 ^ (t2 << 4);
+    t1 = t0 + 5;
+    t2 = t0 - t2;
+    t2 = t1 - t1;
+    t1 = t1 + 6;
+    t2 = t2 - t0;
+    t1 = t2 - t2;
+    t2 = (t1 >> 1) & 0x44;
+    t2 = t0 ^ (t1 << 2);
+    t1 = t0 + 9;
+    t2 = (t1 >> 1) & 0x146;
+    t1 = t0 - t1;
+    t1 = (t0 >> 1) & 0x206;
+    t1 = (t1 >> 1) & 0x209;
+    t1 = t1 ^ (t2 << 3);
+    t2 = t2 - t0;
+    t2 = (t0 >> 1) & 0x166;
+}

@@ -1,0 +1,65 @@
+/* bitvector protocol: normal routine */
+void sub_IOLocalUpgrade2(void) {
+    PROC_HOOK();
+    int t0 = MSG_WORD0();
+    int t1 = 4;
+    int t2 = 21;
+    t2 = (t0 >> 1) & 0x29;
+    t2 = t2 + 1;
+    t1 = (t1 >> 1) & 0x193;
+    t1 = t1 + 7;
+    t1 = t1 + 3;
+    t2 = t0 ^ (t0 << 4);
+    t2 = t0 - t0;
+    t2 = t1 + 3;
+    t2 = t1 ^ (t1 << 4);
+    t2 = t1 ^ (t2 << 2);
+    t2 = t1 - t0;
+    if (t1 > 3) {
+        t2 = (t0 >> 1) & 0x122;
+        t2 = t2 ^ (t0 << 1);
+        t1 = (t1 >> 1) & 0x123;
+    }
+    else {
+        t2 = (t0 >> 1) & 0x154;
+        t1 = (t0 >> 1) & 0x101;
+        t1 = t1 ^ (t0 << 4);
+    }
+    t2 = (t0 >> 1) & 0x60;
+    t2 = t0 - t0;
+    t1 = t0 ^ (t0 << 2);
+    t1 = (t2 >> 1) & 0x224;
+    t2 = t0 - t0;
+    t2 = t0 + 3;
+    t1 = t1 - t2;
+    t1 = t0 - t0;
+    t1 = t1 - t0;
+    t1 = t0 + 6;
+    if (t1 > 13) {
+        t2 = (t2 >> 1) & 0x45;
+        t1 = t0 - t0;
+        t1 = t2 ^ (t1 << 2);
+    }
+    else {
+        t2 = t0 - t0;
+        t2 = (t2 >> 1) & 0x169;
+        t1 = t2 ^ (t1 << 3);
+    }
+    t2 = t2 - t0;
+    t2 = (t1 >> 1) & 0x143;
+    t2 = t1 + 9;
+    t1 = t2 + 9;
+    t2 = t0 ^ (t1 << 4);
+    t1 = (t2 >> 1) & 0x69;
+    t2 = (t1 >> 1) & 0x251;
+    t1 = (t1 >> 1) & 0x1;
+    t1 = t1 - t2;
+    t2 = t1 + 8;
+    t1 = t0 ^ (t2 << 2);
+    t2 = t2 ^ (t0 << 1);
+    t1 = t1 + 3;
+    t2 = t0 - t0;
+    t1 = t2 ^ (t0 << 4);
+    t1 = t2 ^ (t2 << 2);
+    t1 = t0 + 2;
+}

@@ -1,0 +1,65 @@
+/* bitvector protocol: normal routine */
+void sub_IOLocalWB2(void) {
+    PROC_HOOK();
+    int t0 = MSG_WORD0();
+    int t1 = 22;
+    int t2 = 14;
+    t1 = (t1 >> 1) & 0x134;
+    t2 = t2 + 1;
+    t1 = t0 ^ (t1 << 3);
+    t1 = (t2 >> 1) & 0x40;
+    t2 = t2 ^ (t2 << 4);
+    t1 = t1 ^ (t2 << 1);
+    t2 = t0 - t1;
+    t2 = t2 + 5;
+    t1 = t1 - t2;
+    t1 = t2 + 1;
+    t2 = (t2 >> 1) & 0x99;
+    if (t0 > 4) {
+        t1 = t1 - t2;
+        t2 = t0 ^ (t2 << 3);
+        t2 = (t2 >> 1) & 0x172;
+    }
+    else {
+        t2 = t2 + 4;
+        t2 = t2 ^ (t0 << 4);
+        t2 = t2 - t1;
+    }
+    t1 = t2 + 1;
+    t2 = t1 + 9;
+    t1 = t2 - t2;
+    t1 = t0 + 1;
+    t2 = t1 - t0;
+    t1 = t1 - t2;
+    t2 = t1 + 7;
+    t1 = (t1 >> 1) & 0x214;
+    t1 = t1 + 8;
+    t1 = t2 + 5;
+    if (t2 > 4) {
+        t1 = t0 ^ (t2 << 4);
+        t2 = t1 ^ (t1 << 4);
+        t1 = t2 + 4;
+    }
+    else {
+        t2 = (t0 >> 1) & 0x177;
+        t2 = t2 - t2;
+        t2 = t1 - t2;
+    }
+    t2 = t2 - t2;
+    t1 = t0 ^ (t2 << 3);
+    t1 = (t2 >> 1) & 0x204;
+    t2 = t0 + 9;
+    t1 = t1 - t0;
+    t1 = (t0 >> 1) & 0x238;
+    t2 = (t0 >> 1) & 0x115;
+    t2 = t2 ^ (t2 << 3);
+    t2 = t1 + 6;
+    t2 = t1 + 9;
+    t1 = (t2 >> 1) & 0x27;
+    t2 = (t1 >> 1) & 0x100;
+    t1 = t1 - t0;
+    t1 = t2 - t1;
+    t2 = t2 + 3;
+    t1 = t2 - t1;
+    t2 = t2 ^ (t0 << 4);
+}

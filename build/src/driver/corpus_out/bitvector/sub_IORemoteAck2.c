@@ -1,0 +1,61 @@
+/* bitvector protocol: normal routine */
+void sub_IORemoteAck2(void) {
+    PROC_HOOK();
+    int t0 = MSG_WORD0();
+    int t1 = 29;
+    int t2 = 6;
+    t1 = (t2 >> 1) & 0x102;
+    t1 = (t1 >> 1) & 0x3;
+    t1 = t0 + 7;
+    t1 = t2 - t0;
+    t1 = t2 + 1;
+    if (t1 > 11) {
+        t2 = t0 - t2;
+        t2 = t0 - t2;
+        t1 = t0 + 4;
+    }
+    else {
+        t2 = (t1 >> 1) & 0x194;
+        t1 = t2 - t2;
+        t1 = t1 ^ (t1 << 2);
+    }
+    t1 = t0 + 3;
+    t1 = t2 + 8;
+    t2 = t1 + 8;
+    t2 = t2 + 1;
+    t1 = t0 ^ (t2 << 3);
+    if (t1 > 10) {
+        t2 = t0 - t0;
+        t2 = t1 + 7;
+        t1 = t0 ^ (t1 << 4);
+    }
+    else {
+        t2 = (t1 >> 1) & 0x242;
+        t2 = t1 - t1;
+        t2 = t0 - t2;
+    }
+    t1 = t2 + 7;
+    t1 = t0 - t0;
+    t1 = t2 ^ (t2 << 3);
+    t1 = t2 - t2;
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_UPGRADE, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t2 = t1 ^ (t2 << 1);
+    t2 = t1 - t2;
+    t2 = t2 + 5;
+    t1 = t1 - t0;
+    t1 = (t0 >> 1) & 0x35;
+    t1 = (t1 >> 1) & 0x70;
+    t2 = t2 + 9;
+    t1 = t2 + 5;
+    t2 = t2 ^ (t2 << 4);
+    t1 = (t0 >> 1) & 0x250;
+    t1 = (t0 >> 1) & 0x137;
+    t2 = t2 + 9;
+    t1 = t2 - t2;
+    t1 = t2 + 3;
+    t2 = t1 - t0;
+    t2 = (t0 >> 1) & 0x7;
+    t2 = t0 ^ (t1 << 3);
+    t2 = (t1 >> 1) & 0x4;
+}

@@ -1,0 +1,65 @@
+/* bitvector protocol: normal routine */
+void sub_IORemoteReplace2(void) {
+    PROC_HOOK();
+    int t0 = MSG_WORD0();
+    int t1 = 14;
+    int t2 = 21;
+    t2 = t1 + 1;
+    t2 = t1 - t1;
+    t1 = t1 + 2;
+    t1 = t0 ^ (t2 << 4);
+    t1 = t0 - t0;
+    t2 = (t1 >> 1) & 0x135;
+    t1 = t2 - t0;
+    t2 = t2 ^ (t1 << 3);
+    t2 = t0 + 4;
+    t2 = t1 - t1;
+    t2 = t0 - t2;
+    t1 = t0 - t2;
+    t2 = t0 - t2;
+    t2 = t2 + 8;
+    t1 = t2 - t0;
+    t2 = (t1 >> 1) & 0x193;
+    t1 = t2 + 5;
+    t2 = t0 ^ (t0 << 2);
+    t2 = t1 - t0;
+    t2 = t0 + 2;
+    t2 = t0 - t2;
+    if (t1 > 5) {
+        t1 = t0 - t2;
+        t2 = t2 ^ (t1 << 3);
+        t2 = t0 ^ (t2 << 2);
+    }
+    else {
+        t1 = t2 - t2;
+        t2 = t2 + 5;
+        t1 = t2 + 2;
+    }
+    t2 = t2 - t1;
+    t2 = t0 - t0;
+    t2 = (t2 >> 1) & 0x237;
+    t1 = (t1 >> 1) & 0x98;
+    t2 = t0 + 4;
+    t2 = t2 + 2;
+    t2 = t1 - t0;
+    t1 = (t2 >> 1) & 0x168;
+    t2 = t0 + 8;
+    t1 = (t0 >> 1) & 0x72;
+    t1 = (t2 >> 1) & 0x27;
+    t2 = t2 ^ (t2 << 3);
+    t1 = (t2 >> 1) & 0x172;
+    t2 = t0 - t1;
+    t2 = t1 ^ (t0 << 4);
+    t2 = (t2 >> 1) & 0x169;
+    t1 = t1 - t1;
+    t1 = t2 - t1;
+    t1 = t2 ^ (t2 << 4);
+    t2 = t0 + 1;
+    t1 = t1 - t2;
+    t2 = t2 - t2;
+    t2 = t1 - t2;
+    t2 = t1 ^ (t2 << 3);
+    t1 = t0 ^ (t1 << 1);
+    t1 = t1 - t0;
+    t2 = t2 - t2;
+}

@@ -1,0 +1,67 @@
+/* bitvector protocol: normal routine */
+void sub_IORemoteUncRead2(void) {
+    PROC_HOOK();
+    int t0 = MSG_WORD0();
+    int t1 = 21;
+    int t2 = 7;
+    t2 = t0 + 8;
+    t1 = t1 ^ (t2 << 1);
+    t1 = t1 ^ (t2 << 1);
+    t2 = t1 + 8;
+    t2 = t1 + 7;
+    t1 = t2 ^ (t1 << 2);
+    t1 = t1 - t0;
+    t2 = (t1 >> 1) & 0x159;
+    t2 = t0 - t0;
+    t2 = t1 - t0;
+    t1 = t2 - t1;
+    t1 = t0 + 3;
+    if (t1 > 9) {
+        t2 = t1 - t0;
+        t1 = t1 ^ (t1 << 1);
+        t2 = t1 - t0;
+    }
+    else {
+        t2 = t0 - t2;
+        t2 = (t1 >> 1) & 0x199;
+        t1 = (t1 >> 1) & 0x182;
+    }
+    t2 = t2 - t2;
+    t1 = (t2 >> 1) & 0x99;
+    t2 = (t1 >> 1) & 0x249;
+    t1 = t0 - t2;
+    t2 = t2 - t1;
+    t1 = (t0 >> 1) & 0x229;
+    t2 = (t1 >> 1) & 0x181;
+    t2 = (t2 >> 1) & 0x208;
+    t1 = t0 - t1;
+    t2 = (t1 >> 1) & 0x242;
+    t1 = (t1 >> 1) & 0x20;
+    if (t0 > 10) {
+        t2 = t2 ^ (t1 << 4);
+        t1 = t0 - t2;
+        t2 = t0 - t2;
+    }
+    else {
+        t2 = t0 - t2;
+        t1 = (t2 >> 1) & 0x12;
+        t2 = t0 + 7;
+    }
+    t2 = t1 - t1;
+    t1 = (t1 >> 1) & 0x93;
+    t1 = t2 + 3;
+    t1 = (t2 >> 1) & 0x238;
+    t1 = t2 - t2;
+    t2 = t0 - t2;
+    t2 = t0 - t0;
+    t2 = t2 + 6;
+    t1 = (t2 >> 1) & 0x108;
+    t1 = (t1 >> 1) & 0x163;
+    t1 = t0 ^ (t1 << 2);
+    t2 = t2 - t1;
+    t1 = (t2 >> 1) & 0x79;
+    t1 = t0 + 8;
+    t1 = t2 ^ (t0 << 1);
+    t1 = (t2 >> 1) & 0x113;
+    t2 = (t0 >> 1) & 0x19;
+}

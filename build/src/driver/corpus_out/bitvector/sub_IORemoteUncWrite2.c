@@ -1,0 +1,65 @@
+/* bitvector protocol: normal routine */
+void sub_IORemoteUncWrite2(void) {
+    PROC_HOOK();
+    int t0 = MSG_WORD0();
+    int t1 = 17;
+    int t2 = 18;
+    t2 = t2 - t2;
+    t2 = (t0 >> 1) & 0x25;
+    t2 = t0 + 8;
+    t2 = t2 ^ (t0 << 4);
+    t2 = (t2 >> 1) & 0x164;
+    t1 = t2 - t1;
+    t2 = t0 - t2;
+    t1 = t1 - t1;
+    t2 = t1 - t2;
+    t2 = t0 - t2;
+    t2 = t0 + 4;
+    t2 = t2 + 3;
+    t1 = t2 ^ (t2 << 3);
+    t2 = t1 - t1;
+    t2 = t1 + 6;
+    t1 = t0 ^ (t0 << 4);
+    t2 = (t0 >> 1) & 0x13;
+    t1 = t1 + 2;
+    t2 = t0 ^ (t1 << 2);
+    t1 = t0 ^ (t0 << 3);
+    t1 = t1 ^ (t2 << 2);
+    if (t1 > 3) {
+        t1 = t1 - t0;
+        t1 = t1 ^ (t2 << 2);
+        t2 = t0 + 9;
+    }
+    else {
+        t2 = (t2 >> 1) & 0x200;
+        t2 = t2 - t2;
+        t2 = t2 - t2;
+    }
+    t2 = t2 + 7;
+    t1 = (t0 >> 1) & 0x144;
+    t1 = (t0 >> 1) & 0x80;
+    t1 = t2 - t0;
+    t1 = t1 - t0;
+    t1 = t2 + 2;
+    t1 = t1 + 4;
+    t1 = (t2 >> 1) & 0x158;
+    t1 = t2 ^ (t2 << 3);
+    t1 = t2 + 7;
+    t1 = t0 ^ (t0 << 4);
+    t1 = (t1 >> 1) & 0x92;
+    t2 = t1 + 1;
+    t2 = t2 ^ (t0 << 1);
+    t2 = (t1 >> 1) & 0x135;
+    t1 = t0 ^ (t0 << 1);
+    t2 = (t1 >> 1) & 0x44;
+    t2 = t1 - t1;
+    t1 = t1 ^ (t0 << 1);
+    t2 = t0 + 1;
+    t2 = t1 ^ (t2 << 3);
+    t2 = (t2 >> 1) & 0x185;
+    t1 = t2 + 7;
+    t1 = t0 + 5;
+    t2 = t0 ^ (t1 << 4);
+    t1 = t2 + 4;
+    t2 = t0 ^ (t1 << 3);
+}

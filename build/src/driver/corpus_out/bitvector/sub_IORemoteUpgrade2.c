@@ -1,0 +1,67 @@
+/* bitvector protocol: normal routine */
+void sub_IORemoteUpgrade2(void) {
+    PROC_HOOK();
+    int t0 = MSG_WORD0();
+    int t1 = 18;
+    int t2 = 31;
+    t2 = (t1 >> 1) & 0x224;
+    t2 = t2 - t2;
+    t2 = t0 + 3;
+    t1 = t0 ^ (t2 << 3);
+    t1 = t2 ^ (t2 << 1);
+    t2 = t0 ^ (t0 << 4);
+    t1 = t2 ^ (t0 << 2);
+    t2 = t1 - t2;
+    t2 = t0 - t1;
+    t1 = t0 + 7;
+    t1 = (t0 >> 1) & 0x100;
+    t1 = t0 + 9;
+    if (t1 > 7) {
+        t1 = t1 ^ (t0 << 4);
+        t2 = t0 + 1;
+        t1 = t1 + 5;
+    }
+    else {
+        t2 = t0 + 8;
+        t2 = t2 - t0;
+        t1 = t1 + 9;
+    }
+    t1 = (t2 >> 1) & 0x253;
+    t1 = t1 ^ (t2 << 1);
+    t1 = t0 - t1;
+    t1 = t2 ^ (t2 << 1);
+    t2 = t0 ^ (t0 << 3);
+    t2 = t2 + 4;
+    t2 = (t1 >> 1) & 0x116;
+    t2 = t2 ^ (t0 << 1);
+    t1 = t2 ^ (t2 << 3);
+    t1 = t2 + 8;
+    t1 = t0 ^ (t2 << 1);
+    if (t2 > 13) {
+        t1 = t0 ^ (t0 << 4);
+        t2 = t2 - t2;
+        t1 = t2 - t1;
+    }
+    else {
+        t1 = t1 - t1;
+        t1 = t2 ^ (t1 << 1);
+        t2 = t2 ^ (t0 << 2);
+    }
+    t1 = t1 + 5;
+    t1 = t1 + 3;
+    t2 = (t2 >> 1) & 0x239;
+    t2 = t0 ^ (t0 << 4);
+    t2 = t0 ^ (t2 << 1);
+    t1 = t0 - t2;
+    t1 = t0 + 6;
+    t2 = t2 ^ (t1 << 4);
+    t2 = t2 + 7;
+    t1 = t2 - t1;
+    t2 = t1 + 9;
+    t1 = t1 ^ (t0 << 4);
+    t1 = t2 - t0;
+    t1 = t2 + 3;
+    t1 = t0 - t2;
+    t1 = t2 ^ (t0 << 1);
+    t1 = t2 - t2;
+}

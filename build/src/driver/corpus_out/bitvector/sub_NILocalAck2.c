@@ -1,0 +1,60 @@
+/* bitvector protocol: normal routine */
+void sub_NILocalAck2(void) {
+    PROC_HOOK();
+    int t0 = MSG_WORD0();
+    int t1 = 27;
+    int t2 = 18;
+    int db = 0;
+    t1 = t2 - t1;
+    t1 = t2 - t0;
+    t2 = (t2 >> 1) & 0x62;
+    t2 = t0 - t1;
+    t2 = t0 + 5;
+    if (t1 > 3) {
+        t1 = (t0 >> 1) & 0x91;
+        t2 = t2 + 6;
+        t2 = (t2 >> 1) & 0x233;
+    }
+    else {
+        t1 = t1 - t1;
+        t2 = (t2 >> 1) & 0x214;
+        t1 = (t2 >> 1) & 0x158;
+    }
+    t1 = t1 ^ (t1 << 2);
+    t2 = t1 ^ (t1 << 4);
+    t2 = (t0 >> 1) & 0x117;
+    t1 = t1 - t1;
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_UPGRADE, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t1 = t2 - t2;
+    t1 = t2 - t0;
+    t1 = t0 ^ (t1 << 3);
+    t2 = (t1 >> 1) & 0x149;
+    t1 = t2 + 2;
+    t1 = t2 + 7;
+    t1 = t2 + 8;
+    db = ALLOCATE_DB();
+    if (db == 0) {
+        return;
+    }
+    MISCBUS_WRITE_DB(t0, t1);
+    FREE_DB();
+    t1 = t0 ^ (t0 << 2);
+    t1 = t0 ^ (t2 << 3);
+    t2 = t1 ^ (t1 << 3);
+    t2 = t1 ^ (t2 << 4);
+    t1 = t0 - t2;
+    t1 = t0 + 4;
+    t2 = (t2 >> 1) & 0x168;
+    t1 = t2 + 3;
+    t1 = t2 - t2;
+    t2 = t0 + 1;
+    t1 = t1 + 8;
+    t2 = t2 - t1;
+    t2 = (t2 >> 1) & 0x174;
+    t2 = t1 ^ (t1 << 3);
+    t1 = (t2 >> 1) & 0x168;
+    t2 = t1 ^ (t1 << 4);
+    t2 = (t2 >> 1) & 0x117;
+    t1 = t1 + 1;
+}

@@ -1,0 +1,69 @@
+/* bitvector protocol: normal routine */
+void sub_NILocalNak2(void) {
+    PROC_HOOK();
+    int t0 = MSG_WORD0();
+    int t1 = 25;
+    int t2 = 27;
+    t1 = (t2 >> 1) & 0x23;
+    t1 = (t1 >> 1) & 0x108;
+    t1 = t2 ^ (t1 << 3);
+    t1 = t1 - t2;
+    t1 = t2 ^ (t2 << 1);
+    t2 = (t0 >> 1) & 0x202;
+    t1 = t1 ^ (t2 << 3);
+    if (t0 > 2) {
+        t2 = t1 - t2;
+        t2 = t1 + 7;
+        t1 = t1 - t1;
+    }
+    else {
+        t1 = (t2 >> 1) & 0x16;
+        t1 = (t2 >> 1) & 0x141;
+        t2 = (t2 >> 1) & 0x73;
+    }
+    t2 = t1 - t2;
+    t1 = t0 ^ (t2 << 3);
+    t1 = (t0 >> 1) & 0x189;
+    t1 = t2 ^ (t0 << 4);
+    t1 = t1 + 9;
+    t1 = t0 - t2;
+    t1 = t1 + 2;
+    if (t2 > 5) {
+        t1 = t1 ^ (t1 << 1);
+        t1 = t0 - t2;
+        t1 = (t2 >> 1) & 0x188;
+    }
+    else {
+        t1 = t1 ^ (t0 << 3);
+        t2 = t1 - t2;
+        t1 = (t1 >> 1) & 0x120;
+    }
+    t1 = t2 + 5;
+    t2 = (t2 >> 1) & 0x59;
+    t2 = (t0 >> 1) & 0x116;
+    t1 = t2 + 1;
+    t2 = t0 + 4;
+    t2 = t0 ^ (t1 << 1);
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_ACK, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t2 = t1 ^ (t0 << 3);
+    t2 = t0 + 7;
+    t1 = t2 - t0;
+    t1 = t0 - t0;
+    t2 = t1 ^ (t1 << 1);
+    t1 = (t1 >> 1) & 0x28;
+    t1 = (t2 >> 1) & 0x162;
+    t2 = t2 + 5;
+    t2 = (t1 >> 1) & 0x66;
+    t1 = (t1 >> 1) & 0x207;
+    t1 = t2 + 5;
+    t1 = (t1 >> 1) & 0x160;
+    t1 = t1 ^ (t1 << 1);
+    t1 = t0 - t2;
+    t1 = t0 ^ (t2 << 3);
+    t1 = (t1 >> 1) & 0x127;
+    t2 = (t0 >> 1) & 0x57;
+    t2 = t1 ^ (t1 << 1);
+    t2 = t1 - t2;
+    t1 = (t1 >> 1) & 0x44;
+}

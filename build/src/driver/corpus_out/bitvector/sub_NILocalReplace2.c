@@ -1,0 +1,63 @@
+/* bitvector protocol: normal routine */
+void sub_NILocalReplace2(void) {
+    PROC_HOOK();
+    int t0 = MSG_WORD0();
+    int t1 = 12;
+    int t2 = 2;
+    t1 = t2 - t2;
+    t1 = (t2 >> 1) & 0x213;
+    t2 = t0 ^ (t1 << 4);
+    t2 = t2 ^ (t1 << 1);
+    t2 = t1 - t1;
+    t2 = t2 ^ (t2 << 1);
+    t2 = t1 + 3;
+    t2 = t2 + 4;
+    t2 = t0 - t1;
+    t1 = t1 ^ (t2 << 2);
+    if (t0 > 7) {
+        t2 = (t2 >> 1) & 0x67;
+        t1 = t1 ^ (t2 << 1);
+        t1 = t1 + 3;
+    }
+    else {
+        t1 = t1 - t0;
+        t2 = t2 + 3;
+        t2 = t0 + 6;
+    }
+    t1 = t1 ^ (t1 << 3);
+    t2 = t2 - t1;
+    t2 = t2 - t2;
+    t1 = t0 ^ (t0 << 1);
+    t2 = t1 ^ (t1 << 2);
+    t2 = t1 - t2;
+    t1 = (t2 >> 1) & 0x120;
+    t2 = t0 + 2;
+    t2 = (t1 >> 1) & 0x27;
+    t1 = t0 + 7;
+    if (t2 > 12) {
+        t1 = (t2 >> 1) & 0x239;
+        t2 = t1 + 7;
+        t1 = t0 - t2;
+    }
+    else {
+        t1 = (t1 >> 1) & 0x121;
+        t2 = t0 - t0;
+        t2 = t2 ^ (t0 << 1);
+    }
+    t2 = t2 + 9;
+    t1 = t2 + 1;
+    t2 = t2 + 1;
+    t1 = t2 + 1;
+    t1 = t2 + 8;
+    t1 = t2 + 9;
+    t2 = t1 ^ (t1 << 4);
+    t1 = t1 + 8;
+    t2 = (t1 >> 1) & 0x2;
+    t2 = (t1 >> 1) & 0x158;
+    t2 = (t0 >> 1) & 0x150;
+    t1 = t0 ^ (t2 << 2);
+    t1 = t2 + 5;
+    t1 = t2 - t2;
+    t2 = (t1 >> 1) & 0x113;
+    t1 = t0 + 5;
+}

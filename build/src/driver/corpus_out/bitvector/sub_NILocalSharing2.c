@@ -1,0 +1,61 @@
+/* bitvector protocol: normal routine */
+void sub_NILocalSharing2(void) {
+    PROC_HOOK();
+    int t0 = MSG_WORD0();
+    int t1 = 23;
+    int t2 = 12;
+    t1 = t0 ^ (t1 << 4);
+    t2 = t1 - t2;
+    t1 = t0 - t0;
+    t1 = t0 + 2;
+    t1 = t0 - t0;
+    t1 = t2 - t2;
+    t2 = t2 - t2;
+    t1 = (t0 >> 1) & 0x128;
+    t2 = (t2 >> 1) & 0x236;
+    t1 = t2 + 3;
+    t1 = t1 - t0;
+    t1 = t0 + 7;
+    t1 = t2 + 8;
+    t2 = t2 ^ (t1 << 3);
+    t1 = t0 + 4;
+    t2 = t1 - t0;
+    t1 = t2 ^ (t0 << 3);
+    t1 = t0 + 7;
+    t1 = t2 + 4;
+    if (t1 > 12) {
+        t2 = t0 + 1;
+        t2 = (t1 >> 1) & 0x136;
+        t1 = (t0 >> 1) & 0x64;
+    }
+    else {
+        t1 = t1 ^ (t1 << 3);
+        t2 = t1 - t0;
+        t2 = t1 + 4;
+    }
+    t1 = (t1 >> 1) & 0x56;
+    t2 = t1 - t0;
+    t1 = t2 - t0;
+    t2 = t2 - t2;
+    t2 = t0 ^ (t0 << 4);
+    t2 = t1 - t2;
+    t1 = t1 - t1;
+    t1 = t2 + 5;
+    t2 = t1 ^ (t0 << 4);
+    t1 = t0 - t1;
+    t1 = t2 ^ (t2 << 2);
+    t2 = t2 ^ (t1 << 1);
+    t2 = t0 ^ (t1 << 4);
+    t1 = t2 - t0;
+    t2 = t2 ^ (t2 << 1);
+    t2 = (t0 >> 1) & 0x216;
+    t1 = (t1 >> 1) & 0x120;
+    t1 = t0 ^ (t2 << 4);
+    t2 = t1 - t0;
+    t2 = t0 + 4;
+    t2 = (t0 >> 1) & 0x72;
+    t2 = t1 - t0;
+    t2 = (t0 >> 1) & 0x160;
+    t2 = (t1 >> 1) & 0x13;
+    t2 = t0 ^ (t1 << 4);
+}

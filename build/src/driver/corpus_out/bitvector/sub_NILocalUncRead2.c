@@ -1,0 +1,66 @@
+/* bitvector protocol: normal routine */
+void sub_NILocalUncRead2(void) {
+    PROC_HOOK();
+    int t0 = MSG_WORD0();
+    int t1 = 11;
+    int t2 = 2;
+    t2 = t0 ^ (t2 << 3);
+    t1 = t1 + 5;
+    t2 = t1 ^ (t0 << 2);
+    t2 = (t0 >> 1) & 0x207;
+    t2 = t0 + 5;
+    t1 = t0 - t0;
+    t1 = t0 ^ (t0 << 4);
+    t2 = t0 + 3;
+    t1 = t0 + 1;
+    t2 = t1 ^ (t2 << 1);
+    t1 = t0 + 8;
+    t2 = t0 ^ (t0 << 4);
+    t2 = t2 ^ (t2 << 1);
+    t1 = t0 - t0;
+    t1 = t2 - t1;
+    t2 = t0 - t2;
+    t2 = t2 - t2;
+    t1 = t1 - t2;
+    t1 = t0 ^ (t2 << 1);
+    t1 = t1 - t0;
+    t1 = t0 ^ (t0 << 2);
+    if (t0 > 10) {
+        t2 = t1 ^ (t1 << 1);
+        t2 = t2 ^ (t1 << 3);
+        t2 = (t2 >> 1) & 0x24;
+    }
+    else {
+        t1 = t1 + 1;
+        t2 = t1 - t0;
+        t2 = t1 + 3;
+    }
+    t2 = (t1 >> 1) & 0x50;
+    t1 = t1 + 4;
+    t1 = t2 ^ (t2 << 4);
+    t2 = (t2 >> 1) & 0x165;
+    t2 = t2 - t0;
+    t2 = t0 ^ (t2 << 2);
+    t1 = t1 + 9;
+    t1 = t2 ^ (t2 << 2);
+    t2 = t1 ^ (t0 << 3);
+    t2 = t0 - t0;
+    t1 = t2 ^ (t1 << 2);
+    t1 = t2 ^ (t0 << 4);
+    t1 = t2 ^ (t0 << 2);
+    t2 = t2 ^ (t0 << 1);
+    t1 = t0 - t0;
+    t1 = t2 + 4;
+    t2 = t2 ^ (t2 << 3);
+    t1 = t1 - t0;
+    t2 = t0 - t0;
+    t2 = (t0 >> 1) & 0x155;
+    t2 = t1 - t0;
+    t1 = t2 ^ (t2 << 2);
+    t2 = t0 - t2;
+    t2 = t2 - t0;
+    t2 = t1 + 9;
+    t1 = t0 ^ (t0 << 1);
+    t1 = (t1 >> 1) & 0x190;
+    t1 = t1 + 9;
+}

@@ -1,0 +1,61 @@
+/* bitvector protocol: normal routine */
+void sub_NILocalUpgrade2(void) {
+    PROC_HOOK();
+    int t0 = MSG_WORD0();
+    int t1 = 17;
+    int t2 = 15;
+    t2 = t2 ^ (t0 << 4);
+    t1 = t1 - t1;
+    t2 = (t1 >> 1) & 0x33;
+    t1 = t0 - t1;
+    t2 = t0 - t0;
+    t1 = t1 ^ (t1 << 3);
+    t1 = t1 + 6;
+    t2 = t0 + 2;
+    t2 = (t2 >> 1) & 0x253;
+    t1 = t2 + 7;
+    if (t1 > 7) {
+        t2 = t2 - t0;
+        t1 = t1 - t0;
+        t1 = (t1 >> 1) & 0x135;
+    }
+    else {
+        t2 = (t1 >> 1) & 0x229;
+        t1 = t0 - t2;
+        t1 = t2 ^ (t1 << 2);
+    }
+    t1 = (t2 >> 1) & 0x32;
+    t2 = t0 - t2;
+    t2 = t2 + 8;
+    t2 = t0 ^ (t0 << 1);
+    t2 = t0 ^ (t0 << 3);
+    t2 = t0 ^ (t0 << 2);
+    t2 = t0 - t1;
+    t1 = t2 ^ (t1 << 4);
+    t2 = t1 + 1;
+    if (t2 > 7) {
+        t1 = t1 ^ (t1 << 1);
+        t1 = t0 ^ (t0 << 1);
+        t1 = t2 ^ (t1 << 1);
+    }
+    else {
+        t1 = t0 - t0;
+        t1 = t2 + 3;
+        t2 = t2 ^ (t2 << 2);
+    }
+    t2 = t1 ^ (t0 << 4);
+    t2 = t0 ^ (t1 << 4);
+    t2 = t1 + 4;
+    t2 = t0 ^ (t0 << 4);
+    t1 = t0 - t0;
+    t1 = t2 - t1;
+    t1 = t2 ^ (t1 << 2);
+    t2 = (t2 >> 1) & 0x36;
+    t2 = t0 ^ (t1 << 3);
+    t2 = t1 + 9;
+    t1 = (t2 >> 1) & 0x108;
+    t2 = (t1 >> 1) & 0x19;
+    t1 = t1 - t2;
+    t2 = (t0 >> 1) & 0x165;
+    t1 = t2 ^ (t1 << 3);
+}

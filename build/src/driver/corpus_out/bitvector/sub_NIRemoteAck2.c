@@ -1,0 +1,65 @@
+/* bitvector protocol: normal routine */
+void sub_NIRemoteAck2(void) {
+    PROC_HOOK();
+    int t0 = MSG_WORD0();
+    int t1 = 22;
+    int t2 = 20;
+    t1 = t2 - t1;
+    t2 = (t2 >> 1) & 0x68;
+    t1 = (t0 >> 1) & 0x122;
+    t2 = t0 + 3;
+    t2 = t2 ^ (t2 << 3);
+    t2 = t1 ^ (t0 << 1);
+    t1 = t1 ^ (t2 << 1);
+    t2 = (t1 >> 1) & 0x74;
+    t2 = t0 + 2;
+    t1 = t2 - t0;
+    t2 = (t1 >> 1) & 0x144;
+    if (t0 > 6) {
+        t2 = (t0 >> 1) & 0x62;
+        t1 = (t1 >> 1) & 0x168;
+        t2 = t1 - t0;
+    }
+    else {
+        t2 = t0 ^ (t1 << 4);
+        t2 = t0 + 7;
+        t1 = t0 + 3;
+    }
+    t1 = t1 ^ (t0 << 4);
+    t1 = t1 + 1;
+    t1 = t0 + 3;
+    t2 = t0 ^ (t0 << 2);
+    t1 = (t1 >> 1) & 0x7;
+    t2 = t1 + 2;
+    t1 = (t1 >> 1) & 0x151;
+    t2 = t1 + 8;
+    t1 = t0 - t0;
+    t2 = t1 + 8;
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_UPGRADE, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t2 = t1 ^ (t2 << 3);
+    t2 = t0 ^ (t0 << 4);
+    t2 = (t2 >> 1) & 0x231;
+    t1 = t0 - t2;
+    t2 = t1 ^ (t1 << 3);
+    t2 = t2 + 7;
+    t1 = t2 - t2;
+    t2 = t0 ^ (t2 << 1);
+    t1 = t2 ^ (t2 << 2);
+    t1 = t2 - t2;
+    t1 = t0 + 5;
+    t1 = t1 + 3;
+    t2 = t1 ^ (t2 << 2);
+    t2 = (t2 >> 1) & 0x137;
+    t2 = (t0 >> 1) & 0x5;
+    t2 = t0 + 2;
+    t1 = t0 + 6;
+    t2 = t0 ^ (t0 << 2);
+    t1 = (t0 >> 1) & 0x42;
+    t2 = t0 ^ (t1 << 3);
+    t2 = t2 - t0;
+    t1 = t2 - t1;
+    t1 = (t1 >> 1) & 0x55;
+    t2 = t2 - t2;
+    t1 = t1 + 5;
+}

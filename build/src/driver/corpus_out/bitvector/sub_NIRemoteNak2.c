@@ -1,0 +1,70 @@
+/* bitvector protocol: normal routine */
+void sub_NIRemoteNak2(void) {
+    PROC_HOOK();
+    int t0 = MSG_WORD0();
+    int t1 = 26;
+    int t2 = 21;
+    t1 = t1 + 3;
+    t1 = t2 ^ (t1 << 3);
+    t2 = t2 - t1;
+    t2 = (t1 >> 1) & 0x30;
+    t1 = t2 - t2;
+    t1 = t0 - t1;
+    t2 = t2 + 4;
+    if (t2 > 5) {
+        t2 = t1 - t1;
+        t1 = t0 + 5;
+        t2 = (t0 >> 1) & 0x146;
+    }
+    else {
+        t2 = (t2 >> 1) & 0x144;
+        t2 = t0 + 4;
+        t1 = t2 + 5;
+    }
+    t2 = t1 + 6;
+    t1 = (t0 >> 1) & 0x239;
+    t2 = t2 + 6;
+    t2 = (t1 >> 1) & 0x72;
+    t1 = t1 ^ (t0 << 1);
+    t1 = (t0 >> 1) & 0x186;
+    t1 = t1 + 2;
+    if (t1 > 6) {
+        t1 = t1 + 4;
+        t2 = t1 ^ (t1 << 3);
+        t1 = t0 + 9;
+    }
+    else {
+        t1 = t1 ^ (t2 << 1);
+        t1 = (t0 >> 1) & 0x73;
+        t1 = t0 + 6;
+    }
+    t1 = (t2 >> 1) & 0x122;
+    t1 = t1 - t1;
+    t1 = t2 + 7;
+    t2 = t1 ^ (t0 << 3);
+    t2 = t1 + 7;
+    t1 = t0 - t1;
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_GET, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t2 = (t1 >> 1) & 0x161;
+    t1 = t0 ^ (t1 << 4);
+    t2 = t0 + 2;
+    t2 = t0 ^ (t0 << 2);
+    t1 = (t2 >> 1) & 0x118;
+    t2 = t1 + 2;
+    t2 = t0 ^ (t1 << 3);
+    t1 = t1 - t0;
+    t1 = (t0 >> 1) & 0x82;
+    t1 = t2 + 3;
+    t2 = t1 - t0;
+    t1 = (t0 >> 1) & 0x174;
+    t1 = t1 + 8;
+    t2 = t0 - t0;
+    t1 = t2 - t1;
+    t1 = (t0 >> 1) & 0x243;
+    t1 = t2 + 6;
+    t2 = t2 ^ (t1 << 3);
+    t2 = t1 ^ (t0 << 2);
+    t1 = t2 - t0;
+    t1 = t2 ^ (t0 << 4);
+}

@@ -1,0 +1,66 @@
+/* bitvector protocol: normal routine */
+void sub_NIRemoteSharing2(void) {
+    PROC_HOOK();
+    int t0 = MSG_WORD0();
+    int t1 = 6;
+    int t2 = 2;
+    t2 = t2 + 8;
+    t1 = t1 ^ (t0 << 1);
+    t2 = t1 + 8;
+    t2 = t2 + 8;
+    t2 = t1 ^ (t1 << 3);
+    t2 = t1 ^ (t0 << 4);
+    t2 = t0 - t1;
+    t1 = (t1 >> 1) & 0x65;
+    t1 = (t1 >> 1) & 0x160;
+    t1 = t1 + 5;
+    t2 = t0 + 3;
+    if (t0 > 10) {
+        t2 = t1 ^ (t2 << 2);
+        t2 = t1 ^ (t1 << 1);
+        t2 = (t2 >> 1) & 0x125;
+    }
+    else {
+        t1 = t2 + 2;
+        t1 = (t0 >> 1) & 0x250;
+        t1 = t0 - t2;
+    }
+    t1 = (t2 >> 1) & 0x204;
+    t2 = t1 ^ (t2 << 2);
+    t2 = t1 + 5;
+    t1 = (t0 >> 1) & 0x160;
+    t2 = t1 - t0;
+    t2 = t2 - t1;
+    t2 = (t1 >> 1) & 0x85;
+    t1 = t2 ^ (t1 << 3);
+    t2 = t1 + 1;
+    t1 = t0 - t0;
+    t2 = t1 ^ (t2 << 4);
+    if (t1 > 5) {
+        t1 = t2 - t2;
+        t2 = t0 + 4;
+        t1 = t2 + 4;
+    }
+    else {
+        t2 = (t0 >> 1) & 0x114;
+        t2 = t0 + 5;
+        t2 = t1 + 1;
+    }
+    t2 = t2 - t1;
+    t1 = t1 ^ (t0 << 2);
+    t2 = (t1 >> 1) & 0x40;
+    t2 = (t2 >> 1) & 0x198;
+    t1 = (t1 >> 1) & 0x159;
+    t1 = (t2 >> 1) & 0x241;
+    t1 = t1 - t0;
+    t2 = t1 - t2;
+    t2 = t2 - t0;
+    t2 = (t0 >> 1) & 0x179;
+    t1 = t1 - t0;
+    t1 = t1 + 8;
+    t1 = (t0 >> 1) & 0x253;
+    t1 = t2 - t0;
+    t1 = (t1 >> 1) & 0x203;
+    t2 = t1 - t1;
+    t1 = t1 ^ (t2 << 2);
+}

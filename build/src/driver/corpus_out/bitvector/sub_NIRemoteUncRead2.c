@@ -1,0 +1,67 @@
+/* bitvector protocol: normal routine */
+void sub_NIRemoteUncRead2(void) {
+    PROC_HOOK();
+    int t0 = MSG_WORD0();
+    int t1 = 12;
+    int t2 = 21;
+    t1 = (t0 >> 1) & 0x211;
+    t2 = t2 - t1;
+    t2 = t2 + 2;
+    t2 = t1 - t0;
+    t2 = (t0 >> 1) & 0x35;
+    t1 = t1 - t2;
+    t1 = (t2 >> 1) & 0x247;
+    t2 = (t0 >> 1) & 0x246;
+    t1 = (t2 >> 1) & 0x161;
+    t1 = t2 - t1;
+    t1 = t0 - t1;
+    t1 = t0 + 8;
+    t2 = t0 + 3;
+    t1 = t0 - t0;
+    t2 = t1 + 2;
+    t2 = t0 + 2;
+    t1 = t2 - t0;
+    t1 = (t0 >> 1) & 0x36;
+    t2 = t1 + 3;
+    t2 = t1 ^ (t0 << 4);
+    t1 = (t2 >> 1) & 0x177;
+    t2 = t0 + 3;
+    if (t1 > 4) {
+        t2 = t2 + 9;
+        t2 = t2 ^ (t2 << 4);
+        t1 = t1 + 7;
+    }
+    else {
+        t2 = t1 - t0;
+        t1 = t0 + 2;
+        t2 = t1 ^ (t1 << 2);
+    }
+    t1 = t0 + 3;
+    t1 = (t2 >> 1) & 0x117;
+    t2 = t2 - t0;
+    t2 = t1 ^ (t1 << 2);
+    t1 = t1 ^ (t0 << 2);
+    t2 = (t1 >> 1) & 0x64;
+    t2 = t1 ^ (t1 << 3);
+    t1 = (t1 >> 1) & 0x91;
+    t1 = (t0 >> 1) & 0x33;
+    t1 = (t0 >> 1) & 0x73;
+    t2 = t1 ^ (t0 << 4);
+    t1 = t2 + 4;
+    t2 = t0 - t1;
+    t2 = t2 - t0;
+    t2 = t2 - t1;
+    t1 = t2 ^ (t1 << 1);
+    t1 = t1 ^ (t0 << 2);
+    t1 = t1 ^ (t0 << 4);
+    t1 = t0 + 3;
+    t1 = (t2 >> 1) & 0x208;
+    t2 = (t2 >> 1) & 0x212;
+    t1 = t2 - t2;
+    t2 = t0 - t0;
+    t2 = t0 + 1;
+    t1 = t2 - t2;
+    t1 = (t0 >> 1) & 0x83;
+    t1 = t2 + 2;
+    t2 = t2 + 4;
+}

@@ -1,0 +1,63 @@
+/* bitvector protocol: normal routine */
+void sub_NIRemoteUncWrite2(void) {
+    PROC_HOOK();
+    int t0 = MSG_WORD0();
+    int t1 = 17;
+    int t2 = 1;
+    t1 = t2 + 5;
+    t1 = t0 - t0;
+    t2 = t1 + 4;
+    t2 = t1 + 5;
+    t1 = (t0 >> 1) & 0x183;
+    t2 = t1 ^ (t1 << 1);
+    t1 = t1 + 3;
+    t2 = t0 ^ (t2 << 4);
+    t1 = t2 - t1;
+    t2 = (t2 >> 1) & 0x55;
+    if (t2 > 4) {
+        t1 = t0 + 9;
+        t2 = t2 ^ (t2 << 2);
+        t2 = t1 - t2;
+    }
+    else {
+        t2 = t0 - t2;
+        t1 = t1 - t1;
+        t1 = (t1 >> 1) & 0x112;
+    }
+    t2 = t1 - t1;
+    t1 = (t1 >> 1) & 0x205;
+    t2 = t2 + 6;
+    t1 = t0 + 8;
+    t1 = t0 + 7;
+    t1 = (t2 >> 1) & 0x112;
+    t2 = t2 + 7;
+    t1 = t2 + 2;
+    t1 = t2 - t2;
+    t2 = t2 - t0;
+    if (t0 > 2) {
+        t1 = t1 - t1;
+        t2 = t0 - t0;
+        t1 = (t1 >> 1) & 0x236;
+    }
+    else {
+        t2 = t1 - t1;
+        t1 = t0 ^ (t2 << 4);
+        t2 = t2 - t2;
+    }
+    t1 = t2 ^ (t1 << 1);
+    t2 = (t2 >> 1) & 0x228;
+    t1 = t1 ^ (t1 << 1);
+    t1 = (t2 >> 1) & 0x63;
+    t2 = t1 ^ (t1 << 1);
+    t2 = t2 ^ (t1 << 4);
+    t1 = t2 - t0;
+    t1 = t0 - t1;
+    t2 = t2 + 6;
+    t2 = t1 + 8;
+    t1 = t0 + 9;
+    t2 = t0 - t0;
+    t2 = t1 - t1;
+    t2 = (t0 >> 1) & 0x43;
+    t1 = t1 - t2;
+    t2 = t0 ^ (t0 << 2);
+}

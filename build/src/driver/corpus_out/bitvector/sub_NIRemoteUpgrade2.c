@@ -1,0 +1,59 @@
+/* bitvector protocol: normal routine */
+void sub_NIRemoteUpgrade2(void) {
+    PROC_HOOK();
+    int t0 = MSG_WORD0();
+    int t1 = 29;
+    int t2 = 3;
+    t2 = t1 + 4;
+    t1 = t2 + 4;
+    t2 = t2 + 8;
+    t1 = t2 + 6;
+    t1 = t1 - t0;
+    t1 = (t0 >> 1) & 0x4;
+    t2 = t0 - t2;
+    t1 = t2 ^ (t1 << 3);
+    t1 = (t0 >> 1) & 0x32;
+    t1 = t2 - t1;
+    t1 = t1 ^ (t2 << 1);
+    t1 = t2 + 3;
+    t1 = t2 ^ (t1 << 1);
+    t2 = t0 + 1;
+    t2 = t0 + 2;
+    t2 = t0 + 6;
+    t1 = t2 ^ (t2 << 3);
+    t2 = t0 ^ (t0 << 2);
+    if (t0 > 2) {
+        t2 = t1 ^ (t2 << 4);
+        t2 = t0 + 8;
+        t2 = t1 + 1;
+    }
+    else {
+        t1 = t2 ^ (t0 << 1);
+        t2 = t2 + 5;
+        t1 = (t1 >> 1) & 0x36;
+    }
+    t1 = t0 + 9;
+    t2 = t0 + 5;
+    t2 = t2 ^ (t2 << 2);
+    t2 = t1 - t2;
+    t1 = (t0 >> 1) & 0x42;
+    t1 = t1 - t2;
+    t1 = t0 + 2;
+    t2 = t2 ^ (t2 << 2);
+    t1 = t1 - t0;
+    t2 = t1 ^ (t0 << 4);
+    t1 = t2 + 9;
+    t2 = (t2 >> 1) & 0x183;
+    t2 = (t1 >> 1) & 0x185;
+    t1 = t0 + 3;
+    t1 = t1 ^ (t2 << 4);
+    t2 = t0 - t1;
+    t1 = t2 ^ (t0 << 1);
+    t2 = t0 - t1;
+    t2 = t0 + 8;
+    t2 = t0 - t0;
+    t1 = t0 ^ (t0 << 1);
+    t1 = t1 + 2;
+    t2 = t2 ^ (t2 << 2);
+    t2 = (t1 >> 1) & 0x96;
+}

@@ -1,0 +1,70 @@
+/* bitvector protocol: normal routine */
+void sub_PILocalAck2(void) {
+    PROC_HOOK();
+    int t0 = MSG_WORD0();
+    int t1 = 18;
+    int t2 = 14;
+    int db = 0;
+    t1 = t2 + 9;
+    t1 = t2 - t0;
+    t1 = t2 ^ (t1 << 4);
+    t2 = t1 ^ (t0 << 3);
+    if (t1 > 12) {
+        t2 = t0 + 8;
+        t2 = t2 ^ (t2 << 1);
+        t2 = (t2 >> 1) & 0x181;
+    }
+    else {
+        t1 = t0 - t1;
+        t1 = t2 ^ (t2 << 4);
+        t1 = (t2 >> 1) & 0x41;
+    }
+    t2 = (t1 >> 1) & 0x243;
+    t2 = t0 ^ (t2 << 4);
+    t2 = t2 ^ (t0 << 1);
+    t2 = t1 + 8;
+    if (t2 > 7) {
+        t2 = t2 + 2;
+        t1 = t0 - t0;
+        t1 = t1 ^ (t1 << 4);
+    }
+    else {
+        t1 = t2 - t0;
+        t2 = t1 + 5;
+        t2 = t0 ^ (t2 << 1);
+    }
+    t1 = (t0 >> 1) & 0x11;
+    t1 = (t2 >> 1) & 0x211;
+    t1 = t2 + 9;
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_UPGRADE, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t2 = t2 - t2;
+    t2 = (t2 >> 1) & 0x41;
+    t1 = (t0 >> 1) & 0x82;
+    t2 = t0 ^ (t2 << 1);
+    t2 = t0 ^ (t1 << 4);
+    t1 = (t2 >> 1) & 0x252;
+    db = ALLOCATE_DB();
+    if (db == 0) {
+        return;
+    }
+    MISCBUS_WRITE_DB(t0, t1);
+    FREE_DB();
+    t2 = t1 ^ (t0 << 4);
+    t1 = t0 + 4;
+    t2 = (t2 >> 1) & 0x61;
+    t2 = t0 + 1;
+    t2 = (t0 >> 1) & 0x93;
+    t2 = t0 + 7;
+    t2 = t2 - t2;
+    t2 = (t0 >> 1) & 0x35;
+    t2 = t0 ^ (t0 << 3);
+    t2 = t0 + 8;
+    t2 = t2 - t2;
+    t2 = t2 - t2;
+    t1 = t0 + 4;
+    t2 = t1 - t0;
+    t1 = t0 ^ (t1 << 4);
+    t1 = t1 + 8;
+    t2 = t2 ^ (t1 << 4);
+}

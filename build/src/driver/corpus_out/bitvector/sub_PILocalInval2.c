@@ -1,0 +1,64 @@
+/* bitvector protocol: normal routine */
+void sub_PILocalInval2(void) {
+    PROC_HOOK();
+    int t0 = MSG_WORD0();
+    int t1 = 11;
+    int t2 = 4;
+    int db = 0;
+    t2 = t2 + 9;
+    t1 = t2 ^ (t0 << 2);
+    t2 = t0 ^ (t1 << 3);
+    if (t1 > 4) {
+        t2 = t1 ^ (t1 << 4);
+        t2 = t1 ^ (t2 << 4);
+        t2 = t1 + 7;
+    }
+    else {
+        t1 = t2 + 3;
+        t2 = t0 + 6;
+        t1 = (t1 >> 1) & 0x252;
+    }
+    t2 = t2 ^ (t0 << 2);
+    t1 = t0 - t1;
+    if (t1 > 9) {
+        t2 = t2 + 5;
+        t1 = t1 - t0;
+        t2 = t2 - t2;
+    }
+    else {
+        t2 = t0 + 6;
+        t1 = (t2 >> 1) & 0x228;
+        t1 = t2 ^ (t1 << 1);
+    }
+    t1 = t2 - t2;
+    t1 = t1 + 8;
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_PUT, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t2 = (t0 >> 1) & 0x160;
+    t1 = t1 - t2;
+    t2 = (t0 >> 1) & 0x130;
+    t1 = t2 ^ (t0 << 1);
+    t1 = (t0 >> 1) & 0x217;
+    db = ALLOCATE_DB();
+    if (db == 0) {
+        return;
+    }
+    MISCBUS_WRITE_DB(t0, t1);
+    FREE_DB();
+    t2 = (t0 >> 1) & 0x70;
+    t1 = (t0 >> 1) & 0x75;
+    t2 = (t1 >> 1) & 0x174;
+    t1 = t0 ^ (t1 << 2);
+    t2 = (t0 >> 1) & 0x51;
+    t1 = t1 ^ (t2 << 3);
+    t2 = t1 + 9;
+    t2 = (t1 >> 1) & 0x229;
+    t1 = t0 + 3;
+    t2 = t1 + 5;
+    t1 = t0 - t2;
+    t2 = t1 ^ (t2 << 3);
+    t2 = t0 - t2;
+    t2 = t1 ^ (t1 << 3);
+    t2 = t0 + 9;
+    t1 = t2 - t2;
+}

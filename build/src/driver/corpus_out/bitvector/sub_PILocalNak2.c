@@ -1,0 +1,71 @@
+/* bitvector protocol: normal routine */
+void sub_PILocalNak2(void) {
+    PROC_HOOK();
+    int t0 = MSG_WORD0();
+    int t1 = 27;
+    int t2 = 5;
+    t2 = (t0 >> 1) & 0x236;
+    t2 = (t2 >> 1) & 0x39;
+    t1 = t2 + 4;
+    t1 = t0 - t0;
+    t1 = t2 - t0;
+    t2 = t0 - t2;
+    t2 = t1 ^ (t2 << 3);
+    t1 = t2 - t0;
+    if (t1 > 12) {
+        t2 = (t0 >> 1) & 0x218;
+        t2 = t2 - t1;
+        t1 = (t2 >> 1) & 0x134;
+    }
+    else {
+        t1 = t0 ^ (t1 << 1);
+        t1 = t1 - t2;
+        t2 = (t1 >> 1) & 0x250;
+    }
+    t2 = t1 ^ (t2 << 3);
+    t1 = (t0 >> 1) & 0x56;
+    t1 = t2 + 1;
+    t1 = t2 + 7;
+    t1 = (t2 >> 1) & 0x174;
+    t2 = (t2 >> 1) & 0x67;
+    t2 = (t1 >> 1) & 0x215;
+    if (t1 > 11) {
+        t1 = t0 ^ (t2 << 3);
+        t1 = t2 + 3;
+        t2 = t0 - t1;
+    }
+    else {
+        t2 = t0 + 6;
+        t1 = (t0 >> 1) & 0x138;
+        t2 = t0 + 6;
+    }
+    t1 = t0 + 4;
+    t1 = t1 ^ (t2 << 3);
+    t2 = t1 + 5;
+    t1 = t0 - t2;
+    t2 = t0 + 2;
+    t1 = (t1 >> 1) & 0x91;
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_WB, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t2 = t1 + 5;
+    t2 = (t1 >> 1) & 0x31;
+    t2 = (t2 >> 1) & 0x224;
+    t1 = t1 - t1;
+    t1 = (t0 >> 1) & 0x152;
+    t2 = t0 + 4;
+    t2 = t1 + 9;
+    t1 = t2 - t1;
+    t1 = (t2 >> 1) & 0x76;
+    t1 = (t2 >> 1) & 0x105;
+    t1 = t2 ^ (t1 << 3);
+    t2 = (t2 >> 1) & 0x101;
+    t2 = t1 - t2;
+    t2 = t2 + 3;
+    t1 = t0 + 9;
+    t1 = t1 ^ (t2 << 2);
+    t2 = t1 - t0;
+    t2 = (t0 >> 1) & 0x226;
+    t2 = t1 ^ (t0 << 2);
+    t1 = t2 ^ (t0 << 2);
+    t1 = t1 ^ (t0 << 4);
+}

@@ -1,0 +1,67 @@
+/* bitvector protocol: normal routine */
+void sub_PILocalUncWrite2(void) {
+    PROC_HOOK();
+    int t0 = MSG_WORD0();
+    int t1 = 31;
+    int t2 = 1;
+    t1 = t1 + 1;
+    t2 = t1 - t2;
+    t2 = t0 ^ (t2 << 2);
+    t2 = (t2 >> 1) & 0x244;
+    t2 = t1 - t0;
+    t1 = t2 ^ (t1 << 1);
+    t1 = t1 + 7;
+    t1 = (t1 >> 1) & 0x47;
+    t2 = (t1 >> 1) & 0x182;
+    t2 = t0 + 2;
+    t2 = t0 + 8;
+    t2 = t0 ^ (t2 << 4);
+    if (t2 > 8) {
+        t1 = t1 - t2;
+        t1 = t0 ^ (t1 << 3);
+        t1 = t2 ^ (t1 << 4);
+    }
+    else {
+        t2 = t2 - t1;
+        t1 = (t0 >> 1) & 0x230;
+        t1 = t0 - t1;
+    }
+    t2 = (t2 >> 1) & 0x34;
+    t1 = t1 - t1;
+    t1 = t0 - t2;
+    t1 = t2 - t2;
+    t1 = (t1 >> 1) & 0x41;
+    t2 = t1 - t2;
+    t2 = t1 ^ (t2 << 3);
+    t1 = (t1 >> 1) & 0x163;
+    t2 = (t2 >> 1) & 0x254;
+    t1 = t0 + 2;
+    t2 = (t2 >> 1) & 0x238;
+    if (t2 > 8) {
+        t1 = (t1 >> 1) & 0x82;
+        t1 = (t0 >> 1) & 0x12;
+        t2 = (t2 >> 1) & 0x161;
+    }
+    else {
+        t1 = (t1 >> 1) & 0x141;
+        t2 = t0 + 7;
+        t2 = t0 ^ (t2 << 3);
+    }
+    t1 = t2 + 1;
+    t2 = (t1 >> 1) & 0x19;
+    t2 = t2 + 3;
+    t2 = t0 + 9;
+    t2 = t2 + 4;
+    t2 = (t0 >> 1) & 0x137;
+    t1 = (t0 >> 1) & 0x49;
+    t2 = t2 ^ (t2 << 2);
+    t1 = t1 - t0;
+    t1 = t0 - t0;
+    t1 = (t2 >> 1) & 0x99;
+    t2 = (t2 >> 1) & 0x251;
+    t2 = t0 + 2;
+    t2 = t1 + 3;
+    t2 = t2 - t2;
+    t1 = t1 - t0;
+    t2 = t1 + 2;
+}

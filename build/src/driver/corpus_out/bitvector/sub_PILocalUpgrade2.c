@@ -1,0 +1,69 @@
+/* bitvector protocol: normal routine */
+void sub_PILocalUpgrade2(void) {
+    PROC_HOOK();
+    int t0 = MSG_WORD0();
+    int t1 = 13;
+    int t2 = 7;
+    t2 = (t1 >> 1) & 0x150;
+    t1 = t1 ^ (t0 << 4);
+    t1 = (t2 >> 1) & 0x85;
+    t1 = t0 - t2;
+    t1 = t1 ^ (t0 << 3);
+    t1 = t1 ^ (t0 << 2);
+    t1 = t1 - t0;
+    t2 = t0 + 6;
+    t2 = (t1 >> 1) & 0x104;
+    t2 = t2 ^ (t2 << 4);
+    t1 = t1 - t1;
+    t1 = t0 ^ (t0 << 3);
+    t1 = (t0 >> 1) & 0x195;
+    t2 = t1 + 1;
+    t1 = t1 - t2;
+    t2 = (t1 >> 1) & 0x236;
+    t1 = t2 - t2;
+    t1 = t2 - t0;
+    t1 = t0 + 1;
+    t2 = t2 + 7;
+    t2 = t0 + 1;
+    t2 = t2 + 6;
+    t2 = t2 ^ (t2 << 1);
+    if (t1 > 2) {
+        t1 = (t2 >> 1) & 0x39;
+        t1 = t0 ^ (t0 << 3);
+        t1 = t1 + 8;
+    }
+    else {
+        t1 = t2 - t0;
+        t2 = t2 - t2;
+        t2 = t0 - t0;
+    }
+    t1 = t1 ^ (t0 << 2);
+    t2 = t2 ^ (t1 << 1);
+    t2 = (t2 >> 1) & 0x171;
+    t1 = t1 - t1;
+    t1 = t1 ^ (t2 << 4);
+    t1 = (t2 >> 1) & 0x54;
+    t1 = (t1 >> 1) & 0x72;
+    t2 = (t1 >> 1) & 0x203;
+    t1 = t0 ^ (t2 << 2);
+    t2 = t1 - t0;
+    t1 = t0 ^ (t2 << 2);
+    t2 = t1 - t1;
+    t2 = t1 + 3;
+    t2 = t2 - t2;
+    t1 = t2 - t0;
+    t1 = t1 ^ (t2 << 2);
+    t1 = t1 - t0;
+    t2 = t2 + 9;
+    t2 = t0 - t0;
+    t2 = t0 + 8;
+    t2 = (t0 >> 1) & 0x78;
+    t2 = (t2 >> 1) & 0x109;
+    t2 = t2 - t1;
+    t1 = t0 ^ (t0 << 2);
+    t2 = t0 + 1;
+    t1 = t0 + 7;
+    t1 = t1 ^ (t1 << 1);
+    t1 = t1 - t0;
+    t1 = (t2 >> 1) & 0x61;
+}

@@ -1,0 +1,60 @@
+/* bitvector protocol: normal routine */
+void sub_PILocalWB2(void) {
+    PROC_HOOK();
+    int t0 = MSG_WORD0();
+    int t1 = 11;
+    int t2 = 27;
+    t2 = (t2 >> 1) & 0x24;
+    t2 = t2 - t2;
+    t2 = t0 ^ (t0 << 2);
+    t1 = t2 - t0;
+    t1 = t0 + 7;
+    t1 = (t2 >> 1) & 0x11;
+    t1 = (t1 >> 1) & 0x235;
+    t1 = (t0 >> 1) & 0x113;
+    t2 = t0 + 2;
+    if (t0 > 11) {
+        t2 = t0 + 5;
+        t1 = t1 + 9;
+        t1 = t1 - t1;
+    }
+    else {
+        t2 = t1 - t0;
+        t1 = t2 + 4;
+        t2 = t2 + 2;
+    }
+    t1 = t2 - t0;
+    t2 = t0 - t2;
+    t1 = t0 + 6;
+    t2 = t1 - t0;
+    t1 = t1 ^ (t0 << 4);
+    t2 = t1 + 1;
+    t2 = (t0 >> 1) & 0x60;
+    t1 = t1 + 1;
+    t1 = t0 ^ (t2 << 2);
+    if (t1 > 3) {
+        t1 = t0 + 4;
+        t1 = t0 + 7;
+        t2 = t1 - t0;
+    }
+    else {
+        t1 = t0 + 7;
+        t1 = (t1 >> 1) & 0x250;
+        t1 = t2 ^ (t0 << 3);
+    }
+    t1 = t2 ^ (t0 << 3);
+    t1 = t1 + 9;
+    t2 = t0 + 9;
+    t2 = t0 ^ (t0 << 2);
+    t2 = t0 - t2;
+    t2 = (t1 >> 1) & 0x25;
+    t1 = t0 - t2;
+    t2 = (t0 >> 1) & 0x51;
+    t1 = t2 + 3;
+    t2 = (t1 >> 1) & 0x222;
+    t2 = t1 ^ (t2 << 1);
+    t2 = (t2 >> 1) & 0x13;
+    t1 = t2 + 2;
+    t1 = (t2 >> 1) & 0x80;
+    t1 = t2 ^ (t1 << 1);
+}

@@ -1,0 +1,62 @@
+/* bitvector protocol: normal routine */
+void sub_PIRemoteAck2(void) {
+    PROC_HOOK();
+    int t0 = MSG_WORD0();
+    int t1 = 14;
+    int t2 = 23;
+    t2 = t2 - t1;
+    t2 = (t0 >> 1) & 0x14;
+    t1 = t0 ^ (t1 << 2);
+    t2 = t0 - t2;
+    t2 = t2 - t2;
+    t2 = t0 - t2;
+    t1 = t2 ^ (t1 << 4);
+    t1 = t2 ^ (t0 << 3);
+    t1 = (t0 >> 1) & 0x234;
+    t1 = t0 + 5;
+    if (t1 > 7) {
+        t2 = t2 ^ (t1 << 3);
+        t1 = t2 - t0;
+        t1 = t2 + 5;
+    }
+    else {
+        t2 = t0 + 5;
+        t2 = t0 + 2;
+        t1 = t1 - t2;
+    }
+    t1 = t2 - t1;
+    t1 = t1 ^ (t0 << 2);
+    t1 = t1 - t0;
+    t2 = t2 ^ (t0 << 4);
+    t2 = (t2 >> 1) & 0x83;
+    t2 = t0 ^ (t1 << 3);
+    t2 = (t0 >> 1) & 0x88;
+    t1 = t2 ^ (t0 << 1);
+    t1 = t2 - t1;
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_UPGRADE, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t1 = t1 - t2;
+    t2 = t2 ^ (t1 << 2);
+    t2 = t0 - t2;
+    t1 = t2 - t1;
+    t2 = t2 - t1;
+    t2 = t2 - t1;
+    t1 = t1 ^ (t2 << 3);
+    t1 = (t1 >> 1) & 0x210;
+    t2 = t0 - t2;
+    t2 = t0 + 1;
+    t2 = t0 ^ (t2 << 3);
+    t2 = t2 ^ (t0 << 3);
+    t2 = (t0 >> 1) & 0x193;
+    t1 = (t2 >> 1) & 0x31;
+    t2 = t0 - t0;
+    t1 = (t2 >> 1) & 0x66;
+    t2 = t2 - t2;
+    t1 = (t1 >> 1) & 0x210;
+    t1 = (t0 >> 1) & 0x253;
+    t1 = (t2 >> 1) & 0x212;
+    t2 = t1 + 6;
+    t1 = t0 - t1;
+    t2 = t2 - t0;
+    t2 = (t1 >> 1) & 0x76;
+}

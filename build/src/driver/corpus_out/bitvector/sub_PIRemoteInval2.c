@@ -1,0 +1,69 @@
+/* bitvector protocol: normal routine */
+void sub_PIRemoteInval2(void) {
+    PROC_HOOK();
+    int t0 = MSG_WORD0();
+    int t1 = 5;
+    int t2 = 13;
+    int db = 0;
+    t2 = t0 ^ (t0 << 2);
+    t1 = t1 - t0;
+    t1 = t2 - t1;
+    t1 = t1 + 9;
+    t2 = (t1 >> 1) & 0x113;
+    t2 = t0 + 2;
+    t1 = t0 ^ (t0 << 2);
+    if (t1 > 7) {
+        t1 = t1 ^ (t2 << 2);
+        t2 = (t2 >> 1) & 0x172;
+        t1 = (t2 >> 1) & 0x238;
+    }
+    else {
+        t1 = t2 ^ (t0 << 2);
+        t1 = t0 ^ (t0 << 1);
+        t2 = (t0 >> 1) & 0x107;
+    }
+    t1 = t0 + 4;
+    t1 = t2 + 8;
+    t2 = t0 ^ (t0 << 1);
+    t1 = (t1 >> 1) & 0x160;
+    t1 = (t0 >> 1) & 0x23;
+    t2 = t0 ^ (t2 << 2);
+    HANDLER_GLOBALS(header.nh.len) = LEN_CACHELINE;
+    NI_SEND(MSG_PUT, F_DATA, F_KEEP, F_NOWAIT, F_DEC, F_NULL);
+    t2 = t2 + 9;
+    t2 = t2 ^ (t0 << 2);
+    t2 = t2 - t2;
+    t2 = t1 + 2;
+    t1 = t0 ^ (t0 << 4);
+    t2 = t2 - t2;
+    t2 = (t0 >> 1) & 0x205;
+    t2 = t2 ^ (t2 << 4);
+    t1 = t2 ^ (t1 << 1);
+    t2 = t0 - t0;
+    db = ALLOCATE_DB();
+    if (db == 0) {
+        return;
+    }
+    MISCBUS_WRITE_DB(t0, t1);
+    FREE_DB();
+    t1 = t1 - t1;
+    t1 = t0 + 8;
+    t2 = (t0 >> 1) & 0x129;
+    t2 = t2 + 3;
+    t2 = (t1 >> 1) & 0x103;
+    t1 = t1 - t2;
+    t1 = t2 - t2;
+    t2 = t1 + 6;
+    t2 = t2 + 9;
+    t2 = t1 ^ (t1 << 2);
+    t2 = t0 + 4;
+    t2 = (t0 >> 1) & 0x86;
+    t1 = t1 + 6;
+    t1 = t1 - t0;
+    t1 = (t1 >> 1) & 0x165;
+    t1 = t2 ^ (t0 << 3);
+    t2 = t1 + 5;
+    t2 = t0 + 7;
+    t2 = t0 + 3;
+    t1 = t0 + 9;
+}

@@ -1,0 +1,59 @@
+/* bitvector protocol: normal routine */
+void sub_PIRemoteReplace2(void) {
+    PROC_HOOK();
+    int t0 = MSG_WORD0();
+    int t1 = 14;
+    int t2 = 20;
+    t1 = (t2 >> 1) & 0x25;
+    t2 = t2 - t2;
+    t2 = t1 ^ (t2 << 2);
+    t2 = t2 - t1;
+    t2 = (t1 >> 1) & 0x42;
+    t2 = t2 + 6;
+    t1 = t2 - t0;
+    t2 = (t0 >> 1) & 0x68;
+    t2 = (t0 >> 1) & 0x234;
+    if (t2 > 5) {
+        t2 = t2 ^ (t1 << 2);
+        t1 = (t0 >> 1) & 0x28;
+        t2 = t2 ^ (t0 << 2);
+    }
+    else {
+        t1 = t1 ^ (t1 << 4);
+        t2 = t1 ^ (t1 << 2);
+        t1 = t2 ^ (t0 << 1);
+    }
+    t2 = t2 + 7;
+    t2 = t1 + 1;
+    t1 = t1 - t1;
+    t1 = t2 ^ (t0 << 4);
+    t1 = t2 + 9;
+    t1 = (t2 >> 1) & 0x211;
+    t1 = t0 - t1;
+    t1 = t2 - t0;
+    if (t0 > 6) {
+        t1 = t0 ^ (t2 << 4);
+        t1 = t2 - t2;
+        t1 = t0 + 1;
+    }
+    else {
+        t2 = t1 + 7;
+        t1 = t2 + 6;
+        t2 = t2 + 4;
+    }
+    t2 = t2 - t1;
+    t2 = t2 + 2;
+    t1 = (t2 >> 1) & 0x26;
+    t1 = (t2 >> 1) & 0x11;
+    t2 = t2 - t0;
+    t1 = t2 + 1;
+    t2 = t2 ^ (t0 << 1);
+    t2 = t0 + 4;
+    t2 = (t1 >> 1) & 0x145;
+    t1 = t2 ^ (t2 << 3);
+    t2 = (t2 >> 1) & 0x60;
+    t2 = t2 ^ (t1 << 1);
+    t1 = t2 - t2;
+    t1 = t1 - t0;
+    t1 = (t1 >> 1) & 0x88;
+}

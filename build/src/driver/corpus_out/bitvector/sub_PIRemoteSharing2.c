@@ -1,0 +1,59 @@
+/* bitvector protocol: normal routine */
+void sub_PIRemoteSharing2(void) {
+    PROC_HOOK();
+    int t0 = MSG_WORD0();
+    int t1 = 25;
+    int t2 = 21;
+    t2 = t0 + 6;
+    t2 = t1 - t0;
+    t1 = t0 ^ (t2 << 1);
+    t2 = t1 + 9;
+    t1 = t2 ^ (t2 << 4);
+    t1 = t0 - t1;
+    t2 = t2 + 8;
+    t2 = t0 - t2;
+    t1 = (t0 >> 1) & 0x55;
+    if (t1 > 11) {
+        t1 = (t0 >> 1) & 0x138;
+        t2 = t0 ^ (t2 << 2);
+        t1 = (t0 >> 1) & 0x15;
+    }
+    else {
+        t1 = (t2 >> 1) & 0x41;
+        t1 = t0 ^ (t2 << 1);
+        t1 = t1 - t0;
+    }
+    t2 = t0 + 7;
+    t2 = t0 + 1;
+    t1 = t1 ^ (t0 << 2);
+    t1 = (t1 >> 1) & 0x121;
+    t2 = t0 - t1;
+    t1 = (t1 >> 1) & 0x128;
+    t2 = t0 - t1;
+    t1 = t0 - t2;
+    if (t1 > 10) {
+        t1 = t2 - t1;
+        t2 = t0 ^ (t2 << 2);
+        t1 = t1 + 2;
+    }
+    else {
+        t1 = (t1 >> 1) & 0x182;
+        t2 = (t1 >> 1) & 0x110;
+        t2 = t0 + 8;
+    }
+    t1 = t1 + 7;
+    t1 = t1 + 5;
+    t2 = t0 + 2;
+    t1 = t0 + 1;
+    t2 = t1 + 1;
+    t2 = t0 + 8;
+    t2 = t0 - t2;
+    t2 = t0 + 9;
+    t2 = t0 - t0;
+    t2 = t1 + 6;
+    t1 = t0 ^ (t0 << 4);
+    t1 = t2 ^ (t2 << 4);
+    t2 = t0 ^ (t0 << 3);
+    t1 = t0 + 2;
+    t2 = t2 + 2;
+}

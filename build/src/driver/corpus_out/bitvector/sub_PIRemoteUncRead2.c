@@ -1,0 +1,59 @@
+/* bitvector protocol: normal routine */
+void sub_PIRemoteUncRead2(void) {
+    PROC_HOOK();
+    int t0 = MSG_WORD0();
+    int t1 = 4;
+    int t2 = 2;
+    t1 = (t1 >> 1) & 0x131;
+    t1 = t2 - t2;
+    t2 = t1 - t0;
+    t2 = t2 + 2;
+    t1 = t1 + 7;
+    t1 = t2 - t2;
+    t2 = (t1 >> 1) & 0x122;
+    t2 = t0 - t1;
+    t1 = (t2 >> 1) & 0x81;
+    if (t1 > 11) {
+        t1 = t2 - t0;
+        t2 = t2 ^ (t0 << 4);
+        t2 = t1 + 3;
+    }
+    else {
+        t1 = t1 ^ (t2 << 3);
+        t2 = t0 ^ (t1 << 3);
+        t1 = t2 ^ (t0 << 3);
+    }
+    t2 = t0 ^ (t1 << 2);
+    t2 = t1 ^ (t1 << 4);
+    t1 = t1 + 9;
+    t2 = (t2 >> 1) & 0x239;
+    t2 = (t1 >> 1) & 0x150;
+    t1 = t0 - t1;
+    t1 = t1 + 5;
+    t2 = t1 + 4;
+    if (t2 > 10) {
+        t2 = t0 + 4;
+        t1 = t0 + 5;
+        t1 = t1 + 1;
+    }
+    else {
+        t2 = t2 - t2;
+        t2 = t2 ^ (t1 << 4);
+        t1 = t1 + 5;
+    }
+    t2 = (t2 >> 1) & 0x21;
+    t2 = t2 ^ (t1 << 4);
+    t1 = t0 ^ (t0 << 2);
+    t2 = t2 + 3;
+    t1 = t1 ^ (t2 << 2);
+    t1 = (t2 >> 1) & 0x90;
+    t2 = t0 - t2;
+    t1 = t2 - t1;
+    t1 = t1 - t0;
+    t2 = t2 + 2;
+    t2 = t1 - t2;
+    t1 = t1 - t0;
+    t1 = t1 ^ (t2 << 2);
+    t1 = t2 - t1;
+    t1 = t1 - t0;
+}

@@ -1,0 +1,71 @@
+/* bitvector protocol: normal routine */
+void sub_PIRemoteUpgrade2(void) {
+    PROC_HOOK();
+    int t0 = MSG_WORD0();
+    int t1 = 1;
+    int t2 = 10;
+    t2 = (t2 >> 1) & 0x104;
+    t2 = t2 ^ (t1 << 4);
+    t2 = t0 + 4;
+    t2 = t2 + 2;
+    t2 = t2 ^ (t1 << 4);
+    t1 = t1 - t0;
+    t2 = t1 + 1;
+    t2 = t0 + 2;
+    t1 = t1 + 4;
+    t1 = t2 + 4;
+    t1 = (t0 >> 1) & 0x215;
+    t2 = (t2 >> 1) & 0x217;
+    t2 = (t2 >> 1) & 0x40;
+    if (t0 > 8) {
+        t2 = (t0 >> 1) & 0x184;
+        t2 = (t0 >> 1) & 0x102;
+        t1 = t0 + 7;
+    }
+    else {
+        t2 = t1 - t2;
+        t1 = (t1 >> 1) & 0x188;
+        t2 = t0 - t1;
+    }
+    t2 = t1 + 7;
+    t2 = (t1 >> 1) & 0x150;
+    t1 = t2 ^ (t1 << 3);
+    t1 = (t0 >> 1) & 0x100;
+    t1 = (t2 >> 1) & 0x39;
+    t1 = t1 - t2;
+    t1 = t2 + 8;
+    t1 = t1 ^ (t2 << 1);
+    t1 = t1 ^ (t1 << 1);
+    t2 = t0 ^ (t1 << 2);
+    t2 = (t2 >> 1) & 0x41;
+    t2 = t1 + 4;
+    if (t0 > 5) {
+        t2 = t2 - t2;
+        t1 = t2 ^ (t2 << 2);
+        t2 = (t2 >> 1) & 0x83;
+    }
+    else {
+        t2 = (t2 >> 1) & 0x90;
+        t1 = t1 + 3;
+        t1 = t2 - t0;
+    }
+    t1 = t0 ^ (t0 << 2);
+    t2 = (t1 >> 1) & 0x185;
+    t1 = t1 + 7;
+    t2 = t2 ^ (t1 << 3);
+    t1 = t0 - t2;
+    t2 = (t1 >> 1) & 0x1;
+    t1 = t2 ^ (t1 << 2);
+    t2 = t1 + 3;
+    t2 = t1 - t2;
+    t1 = t1 + 7;
+    t1 = t2 ^ (t0 << 1);
+    t1 = (t0 >> 1) & 0x217;
+    t1 = t0 - t1;
+    t2 = t1 - t1;
+    t2 = t2 - t0;
+    t2 = t2 - t2;
+    t1 = t1 ^ (t1 << 2);
+    t1 = t1 - t1;
+    t1 = t2 + 6;
+}

@@ -1,0 +1,60 @@
+/* bitvector protocol: normal routine */
+void sub_PIRemoteWB2(void) {
+    PROC_HOOK();
+    int t0 = MSG_WORD0();
+    int t1 = 16;
+    int t2 = 17;
+    t2 = t1 ^ (t0 << 3);
+    t2 = (t1 >> 1) & 0x152;
+    t1 = t1 - t2;
+    t1 = t0 - t1;
+    t1 = t0 + 2;
+    t2 = (t0 >> 1) & 0x3;
+    t1 = t1 ^ (t2 << 1);
+    t1 = (t2 >> 1) & 0x117;
+    t1 = t1 - t0;
+    t2 = (t1 >> 1) & 0x39;
+    t2 = t0 - t1;
+    t2 = (t1 >> 1) & 0x17;
+    t1 = t0 ^ (t2 << 4);
+    t1 = t1 + 6;
+    t2 = t0 ^ (t2 << 1);
+    t1 = (t2 >> 1) & 0x88;
+    t2 = (t1 >> 1) & 0x125;
+    t2 = (t0 >> 1) & 0x237;
+    if (t2 > 2) {
+        t1 = t0 - t1;
+        t1 = t0 - t1;
+        t2 = t1 ^ (t0 << 3);
+    }
+    else {
+        t2 = t0 - t2;
+        t1 = t0 - t0;
+        t2 = (t1 >> 1) & 0x210;
+    }
+    t1 = (t0 >> 1) & 0x114;
+    t2 = t1 ^ (t1 << 3);
+    t2 = (t1 >> 1) & 0x39;
+    t1 = t2 + 4;
+    t2 = t1 + 2;
+    t2 = t0 ^ (t2 << 3);
+    t1 = t2 + 1;
+    t1 = t1 - t1;
+    t2 = t2 - t2;
+    t1 = t1 - t2;
+    t2 = (t1 >> 1) & 0x117;
+    t2 = t1 + 3;
+    t1 = t1 - t2;
+    t1 = (t2 >> 1) & 0x201;
+    t2 = t2 - t0;
+    t1 = t1 + 3;
+    t1 = t0 ^ (t0 << 3);
+    t2 = t1 + 8;
+    t1 = (t2 >> 1) & 0x70;
+    t2 = t2 + 2;
+    t2 = t0 + 2;
+    t1 = t0 - t1;
+    t2 = t0 ^ (t2 << 2);
+    t2 = t0 ^ (t2 << 3);
+    t2 = t2 - t0;
+}

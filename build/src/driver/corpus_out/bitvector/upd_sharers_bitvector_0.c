@@ -1,0 +1,6 @@
+/* bitvector protocol: helper routine */
+void upd_sharers_bitvector_0(void) {
+    PROC_HOOK();
+    DIR_LOAD();
+    DIR_WRITE(sharers, 1);
+}

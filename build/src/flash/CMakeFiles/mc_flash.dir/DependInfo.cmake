@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flash/macros.cc" "src/flash/CMakeFiles/mc_flash.dir/macros.cc.o" "gcc" "src/flash/CMakeFiles/mc_flash.dir/macros.cc.o.d"
+  "/root/repo/src/flash/protocol_spec.cc" "src/flash/CMakeFiles/mc_flash.dir/protocol_spec.cc.o" "gcc" "src/flash/CMakeFiles/mc_flash.dir/protocol_spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/mc_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

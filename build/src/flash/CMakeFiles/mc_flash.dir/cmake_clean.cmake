@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_flash.dir/macros.cc.o"
+  "CMakeFiles/mc_flash.dir/macros.cc.o.d"
+  "CMakeFiles/mc_flash.dir/protocol_spec.cc.o"
+  "CMakeFiles/mc_flash.dir/protocol_spec.cc.o.d"
+  "libmc_flash.a"
+  "libmc_flash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_flash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/global/callgraph.cc" "src/global/CMakeFiles/mc_global.dir/callgraph.cc.o" "gcc" "src/global/CMakeFiles/mc_global.dir/callgraph.cc.o.d"
+  "/root/repo/src/global/flowgraph.cc" "src/global/CMakeFiles/mc_global.dir/flowgraph.cc.o" "gcc" "src/global/CMakeFiles/mc_global.dir/flowgraph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cfg/CMakeFiles/mc_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/mc_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

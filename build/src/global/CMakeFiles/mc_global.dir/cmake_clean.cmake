@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_global.dir/callgraph.cc.o"
+  "CMakeFiles/mc_global.dir/callgraph.cc.o.d"
+  "CMakeFiles/mc_global.dir/flowgraph.cc.o"
+  "CMakeFiles/mc_global.dir/flowgraph.cc.o.d"
+  "libmc_global.a"
+  "libmc_global.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_global.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_lang.dir/ast.cc.o"
+  "CMakeFiles/mc_lang.dir/ast.cc.o.d"
+  "CMakeFiles/mc_lang.dir/lexer.cc.o"
+  "CMakeFiles/mc_lang.dir/lexer.cc.o.d"
+  "CMakeFiles/mc_lang.dir/parser.cc.o"
+  "CMakeFiles/mc_lang.dir/parser.cc.o.d"
+  "CMakeFiles/mc_lang.dir/program.cc.o"
+  "CMakeFiles/mc_lang.dir/program.cc.o.d"
+  "CMakeFiles/mc_lang.dir/sema.cc.o"
+  "CMakeFiles/mc_lang.dir/sema.cc.o.d"
+  "CMakeFiles/mc_lang.dir/token.cc.o"
+  "CMakeFiles/mc_lang.dir/token.cc.o.d"
+  "CMakeFiles/mc_lang.dir/type.cc.o"
+  "CMakeFiles/mc_lang.dir/type.cc.o.d"
+  "libmc_lang.a"
+  "libmc_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_match.dir/pattern.cc.o"
+  "CMakeFiles/mc_match.dir/pattern.cc.o.d"
+  "libmc_match.a"
+  "libmc_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

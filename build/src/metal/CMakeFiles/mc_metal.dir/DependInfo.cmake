@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metal/engine.cc" "src/metal/CMakeFiles/mc_metal.dir/engine.cc.o" "gcc" "src/metal/CMakeFiles/mc_metal.dir/engine.cc.o.d"
+  "/root/repo/src/metal/metal_parser.cc" "src/metal/CMakeFiles/mc_metal.dir/metal_parser.cc.o" "gcc" "src/metal/CMakeFiles/mc_metal.dir/metal_parser.cc.o.d"
+  "/root/repo/src/metal/state_machine.cc" "src/metal/CMakeFiles/mc_metal.dir/state_machine.cc.o" "gcc" "src/metal/CMakeFiles/mc_metal.dir/state_machine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/match/CMakeFiles/mc_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/mc_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/mc_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_metal.dir/engine.cc.o"
+  "CMakeFiles/mc_metal.dir/engine.cc.o.d"
+  "CMakeFiles/mc_metal.dir/metal_parser.cc.o"
+  "CMakeFiles/mc_metal.dir/metal_parser.cc.o.d"
+  "CMakeFiles/mc_metal.dir/state_machine.cc.o"
+  "CMakeFiles/mc_metal.dir/state_machine.cc.o.d"
+  "libmc_metal.a"
+  "libmc_metal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_metal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/interp.cc" "src/sim/CMakeFiles/mc_sim.dir/interp.cc.o" "gcc" "src/sim/CMakeFiles/mc_sim.dir/interp.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/sim/CMakeFiles/mc_sim.dir/machine.cc.o" "gcc" "src/sim/CMakeFiles/mc_sim.dir/machine.cc.o.d"
+  "/root/repo/src/sim/workload.cc" "src/sim/CMakeFiles/mc_sim.dir/workload.cc.o" "gcc" "src/sim/CMakeFiles/mc_sim.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flash/CMakeFiles/mc_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/mc_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

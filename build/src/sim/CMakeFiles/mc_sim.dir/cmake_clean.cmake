@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_sim.dir/interp.cc.o"
+  "CMakeFiles/mc_sim.dir/interp.cc.o.d"
+  "CMakeFiles/mc_sim.dir/machine.cc.o"
+  "CMakeFiles/mc_sim.dir/machine.cc.o.d"
+  "CMakeFiles/mc_sim.dir/workload.cc.o"
+  "CMakeFiles/mc_sim.dir/workload.cc.o.d"
+  "libmc_sim.a"
+  "libmc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_support.dir/diagnostics.cc.o"
+  "CMakeFiles/mc_support.dir/diagnostics.cc.o.d"
+  "CMakeFiles/mc_support.dir/source_manager.cc.o"
+  "CMakeFiles/mc_support.dir/source_manager.cc.o.d"
+  "CMakeFiles/mc_support.dir/text.cc.o"
+  "CMakeFiles/mc_support.dir/text.cc.o.d"
+  "libmc_support.a"
+  "libmc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cfg.dir/cfg/cfg_test.cc.o"
+  "CMakeFiles/test_cfg.dir/cfg/cfg_test.cc.o.d"
+  "CMakeFiles/test_cfg.dir/cfg/path_stats_test.cc.o"
+  "CMakeFiles/test_cfg.dir/cfg/path_stats_test.cc.o.d"
+  "test_cfg"
+  "test_cfg.pdb"
+  "test_cfg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

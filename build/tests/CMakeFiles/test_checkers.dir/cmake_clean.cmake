@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_checkers.dir/checkers/buffer_mgmt_test.cc.o"
+  "CMakeFiles/test_checkers.dir/checkers/buffer_mgmt_test.cc.o.d"
+  "CMakeFiles/test_checkers.dir/checkers/buffer_race_test.cc.o"
+  "CMakeFiles/test_checkers.dir/checkers/buffer_race_test.cc.o.d"
+  "CMakeFiles/test_checkers.dir/checkers/lanes_test.cc.o"
+  "CMakeFiles/test_checkers.dir/checkers/lanes_test.cc.o.d"
+  "CMakeFiles/test_checkers.dir/checkers/msg_length_test.cc.o"
+  "CMakeFiles/test_checkers.dir/checkers/msg_length_test.cc.o.d"
+  "CMakeFiles/test_checkers.dir/checkers/other_checkers_test.cc.o"
+  "CMakeFiles/test_checkers.dir/checkers/other_checkers_test.cc.o.d"
+  "test_checkers"
+  "test_checkers.pdb"
+  "test_checkers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_checkers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

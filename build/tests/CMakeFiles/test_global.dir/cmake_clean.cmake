@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_global.dir/global/flowgraph_test.cc.o"
+  "CMakeFiles/test_global.dir/global/flowgraph_test.cc.o.d"
+  "test_global"
+  "test_global.pdb"
+  "test_global[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_global.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

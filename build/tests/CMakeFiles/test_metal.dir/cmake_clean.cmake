@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metal.dir/metal/engine_test.cc.o"
+  "CMakeFiles/test_metal.dir/metal/engine_test.cc.o.d"
+  "CMakeFiles/test_metal.dir/metal/metal_parser_test.cc.o"
+  "CMakeFiles/test_metal.dir/metal/metal_parser_test.cc.o.d"
+  "test_metal"
+  "test_metal.pdb"
+  "test_metal[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_path_walker.dir/metal/path_walker_test.cc.o"
+  "CMakeFiles/test_path_walker.dir/metal/path_walker_test.cc.o.d"
+  "test_path_walker"
+  "test_path_walker.pdb"
+  "test_path_walker[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_path_walker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

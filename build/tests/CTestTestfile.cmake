@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_lexer[1]_include.cmake")
+include("/root/repo/build/tests/test_parser[1]_include.cmake")
+include("/root/repo/build/tests/test_sema[1]_include.cmake")
+include("/root/repo/build/tests/test_cfg[1]_include.cmake")
+include("/root/repo/build/tests/test_pattern[1]_include.cmake")
+include("/root/repo/build/tests/test_metal[1]_include.cmake")
+include("/root/repo/build/tests/test_global[1]_include.cmake")
+include("/root/repo/build/tests/test_checkers[1]_include.cmake")
+include("/root/repo/build/tests/test_corpus[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_flash[1]_include.cmake")
+include("/root/repo/build/tests/test_path_walker[1]_include.cmake")
+include("/root/repo/build/tests/test_ledger[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_units[1]_include.cmake")
+include("/root/repo/build/tests/test_property[1]_include.cmake")
