@@ -9,6 +9,7 @@
 #include "corpus/generator.h"
 #include "metal/engine.h"
 #include "metal/metal_parser.h"
+#include "support/metrics.h"
 
 #include <benchmark/benchmark.h>
 
@@ -111,6 +112,36 @@ BM_EngineExponentialPaths(benchmark::State& state)
     state.counters["paths"] = std::pow(2.0, n);
 }
 BENCHMARK(BM_EngineExponentialPaths)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+/**
+ * Cost of the observability layer when it is actually collecting: the
+ * same whole-protocol run as BM_RunAllCheckers but with the metrics
+ * registry enabled. Compare against BM_RunAllCheckers to see the
+ * enabled-mode overhead; the disabled-mode overhead is what the plain
+ * benchmarks above measure (and must stay within noise of the
+ * pre-instrumentation engine).
+ */
+void
+BM_RunAllCheckersMetricsEnabled(benchmark::State& state)
+{
+    const corpus::LoadedProtocol& loaded = bitvector();
+    support::MetricsRegistry& metrics = support::MetricsRegistry::global();
+    metrics.setEnabled(true);
+    for (auto _ : state) {
+        auto set = checkers::makeAllCheckers();
+        support::DiagnosticSink sink;
+        auto stats = checkers::runCheckers(*loaded.program,
+                                           loaded.gen.spec,
+                                           set.pointers(), sink);
+        benchmark::DoNotOptimize(stats.size());
+    }
+    state.counters["visits"] =
+        static_cast<double>(metrics.counterValue("engine.visits")) /
+        static_cast<double>(state.iterations());
+    metrics.setEnabled(false);
+    metrics.clear();
+}
+BENCHMARK(BM_RunAllCheckersMetricsEnabled)->Unit(benchmark::kMillisecond);
 
 void
 BM_PatternMatch(benchmark::State& state)

@@ -1,5 +1,7 @@
 #include "cfg/path_stats.h"
 
+#include "support/metrics.h"
+
 #include <algorithm>
 #include <set>
 
@@ -74,6 +76,10 @@ saturatingAdd(std::uint64_t a, std::uint64_t b)
 PathStats
 computePathStats(const Cfg& cfg)
 {
+    support::MetricsRegistry& metrics = support::MetricsRegistry::global();
+    support::ScopedTimer timer(
+        metrics.enabled() ? &metrics.timer("cfg.path_stats") : nullptr);
+
     auto succs = forwardSuccessors(cfg);
     auto order = topoOrder(cfg, succs);
 
@@ -115,6 +121,14 @@ computePathStats(const Cfg& cfg)
     stats.avg_length_lines =
         count[exit] > 0 ? length_sum[exit] / static_cast<double>(count[exit])
                         : 0.0;
+
+    if (metrics.enabled()) {
+        metrics.counter("cfg.path_stats.functions").add();
+        metrics.counter("cfg.path_stats.blocks")
+            .add(static_cast<std::uint64_t>(cfg.blockCount()));
+        metrics.gauge("cfg.path_stats.max_paths")
+            .observe(stats.path_count);
+    }
     return stats;
 }
 

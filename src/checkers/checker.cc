@@ -1,5 +1,10 @@
 #include "checkers/checker.h"
 
+#include "support/metrics.h"
+#include "support/trace.h"
+
+#include <chrono>
+
 namespace mc::checkers {
 
 std::vector<CheckerRunStats>
@@ -8,6 +13,8 @@ runCheckers(const lang::Program& program, const flash::ProtocolSpec& spec,
             support::DiagnosticSink& sink)
 {
     CheckContext ctx{program, spec, sink};
+    support::MetricsRegistry& metrics = support::MetricsRegistry::global();
+    support::TraceRecorder& tracer = support::TraceRecorder::global();
 
     // Baseline per-checker counts, so stats reflect only this run even if
     // the sink already held diagnostics.
@@ -21,13 +28,33 @@ runCheckers(const lang::Program& program, const flash::ProtocolSpec& spec,
             checker->name(), support::Severity::Warning));
     }
 
+    // Per-checker wall time, accumulated across every function pass plus
+    // the program-level pass. One steady_clock read per (function,
+    // checker) pair — microseconds against the checking work itself.
+    using Clock = std::chrono::steady_clock;
+    std::vector<Clock::duration> elapsed(checkers.size(),
+                                         Clock::duration::zero());
+
     for (const lang::FunctionDecl* fn : program.functions()) {
         cfg::Cfg cfg = cfg::CfgBuilder::build(*fn);
-        for (Checker* checker : checkers)
-            checker->checkFunction(*fn, cfg, ctx);
+        for (std::size_t i = 0; i < checkers.size(); ++i) {
+            support::TraceSpan span(tracer.enabled() ? &tracer : nullptr,
+                                    checkers[i]->name(), "checker");
+            if (tracer.enabled())
+                span.arg("function", fn->name);
+            Clock::time_point t0 = Clock::now();
+            checkers[i]->checkFunction(*fn, cfg, ctx);
+            elapsed[i] += Clock::now() - t0;
+        }
     }
-    for (Checker* checker : checkers)
-        checker->checkProgram(ctx);
+    for (std::size_t i = 0; i < checkers.size(); ++i) {
+        support::TraceSpan span(tracer.enabled() ? &tracer : nullptr,
+                                checkers[i]->name() + ".program",
+                                "checker");
+        Clock::time_point t0 = Clock::now();
+        checkers[i]->checkProgram(ctx);
+        elapsed[i] += Clock::now() - t0;
+    }
 
     std::vector<CheckerRunStats> stats;
     for (std::size_t i = 0; i < checkers.size(); ++i) {
@@ -40,6 +67,19 @@ runCheckers(const lang::Program& program, const flash::ProtocolSpec& spec,
                                           support::Severity::Warning) -
                      base_warnings[i];
         s.applied = checkers[i]->applied();
+        s.wall_ms =
+            std::chrono::duration<double, std::milli>(elapsed[i]).count();
+        if (metrics.enabled()) {
+            metrics.timer("checker." + s.checker)
+                .add(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    elapsed[i]));
+            metrics.counter("checker." + s.checker + ".errors")
+                .add(static_cast<std::uint64_t>(s.errors));
+            metrics.counter("checker." + s.checker + ".warnings")
+                .add(static_cast<std::uint64_t>(s.warnings));
+            metrics.counter("checker." + s.checker + ".applied")
+                .add(static_cast<std::uint64_t>(s.applied));
+        }
         stats.push_back(std::move(s));
     }
     return stats;

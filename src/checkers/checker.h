@@ -70,6 +70,8 @@ struct CheckerRunStats
     int errors = 0;
     int warnings = 0;
     int applied = 0;
+    /** Wall time this checker spent (function passes + program pass). */
+    double wall_ms = 0.0;
 };
 
 /**

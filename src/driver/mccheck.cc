@@ -9,6 +9,11 @@
  *     mccheck --metal <c.metal> <f.c>... run a user-written metal checker
  *     mccheck <file.c>...                check FLASH-dialect sources
  *
+ * Observability options (combine with any checking mode):
+ *     --metrics <out.json>   write the MetricsRegistry report
+ *     --trace <out.json>     write a Chrome trace-event file
+ *     --format text|json|sarif   diagnostic output encoding
+ *
  * When checking loose files, every CamelCase function is treated as a
  * hardware handler unless its name starts with "Sw" (software handler);
  * lowercase-named functions are plain routines — the FLASH naming
@@ -19,7 +24,10 @@
 #include "corpus/generator.h"
 #include "metal/engine.h"
 #include "metal/metal_parser.h"
+#include "support/metrics.h"
 #include "support/text.h"
+#include "support/trace.h"
+#include "support/version.h"
 
 #include <cctype>
 #include <filesystem>
@@ -31,6 +39,130 @@ namespace {
 
 using namespace mc;
 
+const char* const kUsage =
+    "usage: mccheck [options] --protocol <name> | --list |\n"
+    "       mccheck [options] --emit-corpus <name> <dir> |\n"
+    "       mccheck [options] --metal <c.metal> <file.c>... |\n"
+    "       mccheck [options] <file.c>...\n"
+    "\n"
+    "modes:\n"
+    "  --protocol <name>        generate and check a paper protocol\n"
+    "  --list                   list known protocols\n"
+    "  --emit-corpus <name> <d> write a protocol's sources under <d>\n"
+    "  --metal <c.metal> ...    run a user metal checker over sources\n"
+    "  <file.c>...              check FLASH-dialect sources\n"
+    "\n"
+    "options:\n"
+    "  --format <text|json|sarif>  diagnostic output encoding\n"
+    "  --metrics <out.json>        write engine/checker metrics report\n"
+    "  --trace <out.json>          write Chrome trace-event JSON\n"
+    "                              (open in chrome://tracing or Perfetto)\n"
+    "  --help                      show this help\n"
+    "  --version                   print version and exit\n";
+
+/** Parsed command line: one mode plus cross-cutting options. */
+struct CliOptions
+{
+    enum class Mode
+    {
+        Help,
+        Version,
+        List,
+        Protocol,
+        EmitCorpus,
+        Metal,
+        Files,
+    };
+
+    Mode mode = Mode::Files;
+    std::string protocol;
+    std::string emit_dir;
+    std::string metal_path;
+    std::vector<std::string> files;
+    std::string metrics_path;
+    std::string trace_path;
+    support::OutputFormat format = support::OutputFormat::Text;
+};
+
+/** Print `what` plus usage to stderr; used for every CLI error. */
+int
+usageError(const std::string& what)
+{
+    std::cerr << "mccheck: " << what << '\n' << kUsage;
+    return 1;
+}
+
+/**
+ * Parse argv into `out`. Returns -1 on success or the exit code to
+ * return immediately (usage errors).
+ */
+int
+parseArgs(const std::vector<std::string>& args, CliOptions& out)
+{
+    auto need_value = [&](std::size_t i, const std::string& flag,
+                          std::string& value) -> bool {
+        if (i + 1 >= args.size())
+            return false;
+        value = args[i + 1];
+        (void)flag;
+        return true;
+    };
+
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string& arg = args[i];
+        if (arg == "--help" || arg == "-h") {
+            out.mode = CliOptions::Mode::Help;
+            return -1;
+        }
+        if (arg == "--version") {
+            out.mode = CliOptions::Mode::Version;
+            return -1;
+        }
+        if (arg == "--list") {
+            out.mode = CliOptions::Mode::List;
+        } else if (arg == "--protocol") {
+            if (!need_value(i, arg, out.protocol))
+                return usageError("--protocol needs a protocol name");
+            out.mode = CliOptions::Mode::Protocol;
+            ++i;
+        } else if (arg == "--emit-corpus") {
+            if (i + 2 >= args.size())
+                return usageError(
+                    "--emit-corpus needs a protocol name and a directory");
+            out.protocol = args[i + 1];
+            out.emit_dir = args[i + 2];
+            out.mode = CliOptions::Mode::EmitCorpus;
+            i += 2;
+        } else if (arg == "--metal") {
+            if (!need_value(i, arg, out.metal_path))
+                return usageError("--metal needs a .metal file");
+            out.mode = CliOptions::Mode::Metal;
+            ++i;
+        } else if (arg == "--metrics") {
+            if (!need_value(i, arg, out.metrics_path))
+                return usageError("--metrics needs an output path");
+            ++i;
+        } else if (arg == "--trace") {
+            if (!need_value(i, arg, out.trace_path))
+                return usageError("--trace needs an output path");
+            ++i;
+        } else if (arg == "--format") {
+            std::string name;
+            if (!need_value(i, arg, name))
+                return usageError("--format needs text, json, or sarif");
+            if (!support::parseOutputFormat(name, out.format))
+                return usageError("unknown format '" + name +
+                                  "' (expected text, json, or sarif)");
+            ++i;
+        } else if (support::startsWith(arg, "-") && arg != "-") {
+            return usageError("unknown option '" + arg + "'");
+        } else {
+            out.files.push_back(arg);
+        }
+    }
+    return -1;
+}
+
 int
 listProtocols()
 {
@@ -39,24 +171,48 @@ listProtocols()
     return 0;
 }
 
+/** Render run stats + diagnostics in the selected format. */
+void
+emitFindings(const CliOptions& opts, const support::DiagnosticSink& sink,
+             const support::SourceManager* sm,
+             const std::vector<checkers::CheckerRunStats>* stats)
+{
+    if (opts.format == support::OutputFormat::Text) {
+        sink.print(std::cout, sm);
+        if (stats) {
+            std::cout << '\n';
+            std::vector<std::vector<std::string>> rows;
+            for (const auto& s : *stats) {
+                std::ostringstream ms;
+                ms.precision(2);
+                ms << std::fixed << s.wall_ms;
+                rows.push_back({s.checker, std::to_string(s.errors),
+                                std::to_string(s.warnings),
+                                std::to_string(s.applied), ms.str()});
+            }
+            std::cout << support::formatTable(
+                {"checker", "errors", "warnings", "applied", "wall_ms"},
+                rows);
+        }
+    } else {
+        sink.write(std::cout, opts.format, sm);
+    }
+}
+
 int
-checkProtocol(const std::string& name)
+checkProtocol(const CliOptions& opts)
 {
     corpus::LoadedProtocol loaded =
-        corpus::loadProtocol(corpus::profileByName(name));
+        corpus::loadProtocol(corpus::profileByName(opts.protocol));
+    support::TraceRecorder& tracer = support::TraceRecorder::global();
+    support::TraceSpan span(tracer.enabled() ? &tracer : nullptr,
+                            "protocol:" + opts.protocol, "driver");
     auto set = checkers::makeAllCheckers();
     support::DiagnosticSink sink;
     auto stats = checkers::runCheckers(*loaded.program, loaded.gen.spec,
                                        set.pointers(), sink);
-    sink.print(std::cout, &loaded.program->sourceManager());
-    std::cout << '\n';
-    std::vector<std::vector<std::string>> rows;
-    for (const auto& s : stats)
-        rows.push_back({s.checker, std::to_string(s.errors),
-                        std::to_string(s.warnings),
-                        std::to_string(s.applied)});
-    std::cout << support::formatTable(
-        {"checker", "errors", "warnings", "applied"}, rows);
+    span.finish();
+    emitFindings(opts, sink, &loaded.program->sourceManager(), &stats);
     return sink.count(support::Severity::Error) > 0 ? 2 : 0;
 }
 
@@ -107,18 +263,17 @@ loadSources(lang::Program& program, const std::vector<std::string>& paths)
 
 /** Run one user-written metal checker over dialect sources. */
 int
-runMetalChecker(const std::string& metal_path,
-                const std::vector<std::string>& sources)
+runMetalChecker(const CliOptions& opts)
 {
     metal::MetalProgram checker;
     try {
-        checker = metal::loadMetalFile(metal_path);
+        checker = metal::loadMetalFile(opts.metal_path);
     } catch (const metal::MetalParseError& e) {
         std::cerr << "mccheck: " << e.what() << '\n';
         return 1;
     }
     lang::Program program;
-    if (!loadSources(program, sources))
+    if (!loadSources(program, opts.files))
         return 1;
 
     support::DiagnosticSink sink;
@@ -126,19 +281,20 @@ runMetalChecker(const std::string& metal_path,
         cfg::Cfg cfg = cfg::CfgBuilder::build(*fn);
         metal::runStateMachine(*checker.sm, cfg, sink);
     }
-    sink.print(std::cout, &program.sourceManager());
-    std::cout << "sm '" << checker.name << "': "
-              << sink.count(support::Severity::Error) << " error(s), "
-              << sink.count(support::Severity::Warning)
-              << " warning(s)\n";
+    emitFindings(opts, sink, &program.sourceManager(), nullptr);
+    if (opts.format == support::OutputFormat::Text)
+        std::cout << "sm '" << checker.name << "': "
+                  << sink.count(support::Severity::Error) << " error(s), "
+                  << sink.count(support::Severity::Warning)
+                  << " warning(s)\n";
     return sink.count(support::Severity::Error) > 0 ? 2 : 0;
 }
 
 int
-checkFiles(const std::vector<std::string>& paths)
+checkFiles(const CliOptions& opts)
 {
     lang::Program program;
-    if (!loadSources(program, paths))
+    if (!loadSources(program, opts.files))
         return 1;
 
     flash::ProtocolSpec spec;
@@ -160,12 +316,43 @@ checkFiles(const std::vector<std::string>& paths)
 
     auto set = checkers::makeAllCheckers();
     support::DiagnosticSink sink;
-    checkers::runCheckers(program, spec, set.pointers(), sink);
-    sink.print(std::cout, &program.sourceManager());
-    std::cout << sink.count(support::Severity::Error) << " error(s), "
-              << sink.count(support::Severity::Warning)
-              << " warning(s)\n";
+    auto stats =
+        checkers::runCheckers(program, spec, set.pointers(), sink);
+    emitFindings(opts, sink, &program.sourceManager(), nullptr);
+    if (opts.format == support::OutputFormat::Text)
+        std::cout << sink.count(support::Severity::Error) << " error(s), "
+                  << sink.count(support::Severity::Warning)
+                  << " warning(s)\n";
+    (void)stats;
     return sink.count(support::Severity::Error) > 0 ? 2 : 0;
+}
+
+/** Write metrics / trace reports if requested. Returns false on I/O error. */
+bool
+writeObservabilityOutputs(const CliOptions& opts)
+{
+    bool ok = true;
+    if (!opts.metrics_path.empty()) {
+        std::ofstream out(opts.metrics_path);
+        if (!out) {
+            std::cerr << "mccheck: cannot write " << opts.metrics_path
+                      << '\n';
+            ok = false;
+        } else {
+            support::MetricsRegistry::global().writeJson(out);
+        }
+    }
+    if (!opts.trace_path.empty()) {
+        std::ofstream out(opts.trace_path);
+        if (!out) {
+            std::cerr << "mccheck: cannot write " << opts.trace_path
+                      << '\n';
+            ok = false;
+        } else {
+            support::TraceRecorder::global().writeJson(out);
+        }
+    }
+    return ok;
 }
 
 } // namespace
@@ -174,25 +361,59 @@ int
 main(int argc, char** argv)
 {
     std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty()) {
+        std::cerr << kUsage;
+        return 1;
+    }
+
+    CliOptions opts;
+    if (int rc = parseArgs(args, opts); rc >= 0)
+        return rc;
+
+    if (opts.mode == CliOptions::Mode::Help) {
+        std::cout << kUsage;
+        return 0;
+    }
+    if (opts.mode == CliOptions::Mode::Version) {
+        std::cout << support::kToolName << ' ' << support::kToolVersion
+                  << '\n';
+        return 0;
+    }
+
+    if (!opts.metrics_path.empty())
+        support::MetricsRegistry::global().setEnabled(true);
+    if (!opts.trace_path.empty())
+        support::TraceRecorder::global().setEnabled(true);
+
     try {
-        if (args.empty() || args[0] == "--help") {
-            std::cout << "usage: mccheck --protocol <name> | --list |\n"
-                         "       mccheck --emit-corpus <name> <dir> |\n"
-                         "       mccheck --metal <c.metal> <file.c>... |\n"
-                         "       mccheck <file.c>...\n";
-            return args.empty() ? 1 : 0;
+        int rc = 0;
+        switch (opts.mode) {
+          case CliOptions::Mode::List:
+            rc = listProtocols();
+            break;
+          case CliOptions::Mode::Protocol:
+            rc = checkProtocol(opts);
+            break;
+          case CliOptions::Mode::EmitCorpus:
+            rc = emitCorpus(opts.protocol, opts.emit_dir);
+            break;
+          case CliOptions::Mode::Metal:
+            if (opts.files.empty())
+                return usageError("--metal needs source files to check");
+            rc = runMetalChecker(opts);
+            break;
+          case CliOptions::Mode::Files:
+            if (opts.files.empty())
+                return usageError("no input files");
+            rc = checkFiles(opts);
+            break;
+          case CliOptions::Mode::Help:
+          case CliOptions::Mode::Version:
+            break;
         }
-        if (args[0] == "--list")
-            return listProtocols();
-        if (args[0] == "--protocol" && args.size() == 2)
-            return checkProtocol(args[1]);
-        if (args[0] == "--emit-corpus" && args.size() == 3)
-            return emitCorpus(args[1], args[2]);
-        if (args[0] == "--metal" && args.size() >= 3)
-            return runMetalChecker(
-                args[1],
-                std::vector<std::string>(args.begin() + 2, args.end()));
-        return checkFiles(args);
+        if (!writeObservabilityOutputs(opts) && rc == 0)
+            rc = 1;
+        return rc;
     } catch (const std::exception& e) {
         std::cerr << "mccheck: " << e.what() << '\n';
         return 1;

@@ -1,6 +1,8 @@
 #include "metal/engine.h"
 
 #include "metal/path_walker.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 
 #include <set>
 
@@ -23,6 +25,24 @@ SmRunResult
 runStateMachine(const StateMachine& sm, const cfg::Cfg& cfg,
                 support::DiagnosticSink& sink, const SmRunOptions& options)
 {
+    // Observability: locals are tallied unconditionally (they are part of
+    // SmRunResult anyway); the registry/recorder are only touched when
+    // enabled, so a disabled run pays one boolean load here and one at
+    // the end.
+    support::MetricsRegistry& metrics = support::MetricsRegistry::global();
+    support::TraceRecorder& tracer = support::TraceRecorder::global();
+    support::ScopedTimer timer(
+        metrics.enabled() ? &metrics.timer("engine.sm." + sm.name())
+                          : nullptr);
+    support::TraceSpan span(tracer.enabled() ? &tracer : nullptr,
+                            sm.name(), "engine");
+    if (tracer.enabled()) {
+        if (!options.trace_label.empty())
+            span.arg("function", options.trace_label);
+        else if (cfg.function)
+            span.arg("function", cfg.function->name);
+    }
+
     SmRunResult result;
     // Dedup firings: one (rule, statement) pair fires the action and is
     // counted once, no matter how many paths cross it in the same state.
@@ -48,8 +68,10 @@ runStateMachine(const StateMachine& sm, const cfg::Cfg& cfg,
                     rule.action(action_ctx);
                 }
             }
-            if (!rule.next_state.empty())
+            if (!rule.next_state.empty() && rule.next_state != st.state) {
                 st.state = rule.next_state;
+                ++result.transitions;
+            }
             return true;
         }
         return false;
@@ -74,6 +96,26 @@ runStateMachine(const StateMachine& sm, const cfg::Cfg& cfg,
     auto walk = walker.walk(cfg, initial);
     result.visits = walk.visits;
     result.truncated = walk.truncated;
+    result.cache_hits = walk.cache_hits;
+    result.pruned_edges = walk.pruned_edges;
+    result.peak_frontier = walk.peak_frontier;
+
+    if (metrics.enabled()) {
+        metrics.counter("engine.runs").add();
+        metrics.counter("engine.visits").add(result.visits);
+        metrics.counter("engine.cache_hits").add(result.cache_hits);
+        metrics.counter("engine.cache_misses").add(result.visits);
+        metrics.counter("engine.pruned_paths").add(result.pruned_edges);
+        metrics.counter("engine.sm_transitions").add(result.transitions);
+        metrics.counter("engine.truncations").add(result.truncated ? 1 : 0);
+        metrics.gauge("engine.peak_frontier").observe(result.peak_frontier);
+        std::uint64_t fired = 0;
+        for (const auto& [rule, n] : result.firings)
+            fired += static_cast<std::uint64_t>(n);
+        metrics.counter("engine.rule_firings").add(fired);
+    }
+    if (tracer.enabled())
+        span.arg("visits", std::to_string(result.visits));
     return result;
 }
 

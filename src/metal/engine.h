@@ -15,10 +15,18 @@ struct SmRunResult
 {
     /** Rule firings, keyed by rule id, deduplicated per statement. */
     std::map<std::string, int> firings;
-    /** (block, state) visits performed. */
+    /** (block, state) visits performed (path-walker cache misses). */
     std::uint64_t visits = 0;
     /** True if the visit cap stopped exploration early. */
     bool truncated = false;
+    /** Paths folded into an already-visited (block, state) pair. */
+    std::uint64_t cache_hits = 0;
+    /** Branch edges pruned as contradictory (pruning mode only). */
+    std::uint64_t pruned_edges = 0;
+    /** Largest pending-path frontier reached during the walk. */
+    std::uint64_t peak_frontier = 0;
+    /** State transitions taken (rule matches that changed the state). */
+    std::uint64_t transitions = 0;
 };
 
 /** Options controlling one engine run. */
@@ -33,6 +41,11 @@ struct SmRunOptions
      * measures what it would have bought.
      */
     bool prune_correlated_branches = false;
+    /**
+     * Function name recorded on the run's trace span ("function" arg in
+     * the trace viewer). Defaults to the CFG's own function when unset.
+     */
+    std::string trace_label;
 };
 
 /**

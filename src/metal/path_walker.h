@@ -53,12 +53,20 @@ class PathWalker
 
     struct Result
     {
-        /** Number of (block, state) visits performed. */
+        /** Number of (block, state) visits performed (= cache misses). */
         std::uint64_t visits = 0;
         /** True if the visit cap stopped exploration early. */
         bool truncated = false;
         /** Branch edges pruned as contradictory (pruning mode only). */
         std::uint64_t pruned_edges = 0;
+        /**
+         * Paths abandoned because their (block, state) pair had already
+         * been visited — the cache hits that keep 2^N-path functions
+         * linear. visits + cache_hits = pairs popped off the work list.
+         */
+        std::uint64_t cache_hits = 0;
+        /** Largest pending-path frontier (work-list depth) reached. */
+        std::uint64_t peak_frontier = 0;
     };
 
     struct WalkOptions
@@ -102,8 +110,11 @@ class PathWalker
         std::set<std::pair<int, std::string>> visited;
         std::vector<Entry> stack;
         stack.push_back(Entry{cfg.entryId(), initial, {}});
+        result.peak_frontier = 1;
 
         while (!stack.empty()) {
+            if (stack.size() > result.peak_frontier)
+                result.peak_frontier = stack.size();
             Entry entry = std::move(stack.back());
             stack.pop_back();
 
@@ -111,8 +122,10 @@ class PathWalker
             if (options_.prune_correlated_branches)
                 for (const auto& [cond, value] : entry.outcomes)
                     key += (value ? "|+" : "|-") + cond;
-            if (!visited.emplace(entry.block, std::move(key)).second)
+            if (!visited.emplace(entry.block, std::move(key)).second) {
+                ++result.cache_hits;
                 continue;
+            }
             if (++result.visits > options_.max_visits) {
                 result.truncated = true;
                 return result;

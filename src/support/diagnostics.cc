@@ -1,9 +1,12 @@
 #include "support/diagnostics.h"
 
 #include "support/source_manager.h"
+#include "support/text.h"
+#include "support/version.h"
 
+#include <algorithm>
 #include <ostream>
-#include <sstream>
+#include <set>
 
 namespace mc::support {
 
@@ -19,13 +22,26 @@ severityName(Severity sev)
 }
 
 bool
+parseOutputFormat(const std::string& name, OutputFormat& out)
+{
+    if (name == "text") {
+        out = OutputFormat::Text;
+    } else if (name == "json") {
+        out = OutputFormat::Json;
+    } else if (name == "sarif") {
+        out = OutputFormat::Sarif;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+bool
 DiagnosticSink::report(Diagnostic diag)
 {
-    std::ostringstream key;
-    key << diag.checker << '\x1f' << diag.rule << '\x1f' << diag.loc.file_id
-        << ':' << diag.loc.line << ':' << diag.loc.column;
     if (diag.severity != Severity::Note) {
-        auto [it, inserted] = seen_.emplace(key.str(), 1);
+        auto [it, inserted] = seen_.emplace(
+            DedupKey{diag.checker, diag.rule, diag.loc}, 1);
         if (!inserted) {
             ++it->second;
             return false;
@@ -92,6 +108,126 @@ DiagnosticSink::print(std::ostream& os, const SourceManager* sm) const
         }
         for (const auto& frame : d.trace)
             os << "    at " << frame << '\n';
+    }
+}
+
+namespace {
+
+/** File-name string for JSON emitters: resolved name or "file<id>". */
+std::string
+fileNameFor(const SourceLoc& loc, const SourceManager* sm)
+{
+    if (sm)
+        return sm->fileName(loc.file_id);
+    return "file" + std::to_string(loc.file_id);
+}
+
+/** SARIF `level` property for a severity. */
+const char*
+sarifLevel(Severity sev)
+{
+    switch (sev) {
+      case Severity::Error: return "error";
+      case Severity::Warning: return "warning";
+      case Severity::Note: return "note";
+    }
+    return "none";
+}
+
+} // namespace
+
+void
+DiagnosticSink::printJson(std::ostream& os, const SourceManager* sm) const
+{
+    os << "{\n  \"tool\": {\"name\": \"" << kToolName
+       << "\", \"version\": \"" << kToolVersion << "\"},\n"
+       << "  \"counts\": {\"error\": " << count(Severity::Error)
+       << ", \"warning\": " << count(Severity::Warning)
+       << ", \"note\": " << count(Severity::Note) << "},\n"
+       << "  \"diagnostics\": [";
+    bool first = true;
+    for (const Diagnostic& d : diags_) {
+        os << (first ? "\n" : ",\n") << "    {\"severity\": \""
+           << severityName(d.severity) << "\", \"file\": \""
+           << jsonEscape(fileNameFor(d.loc, sm))
+           << "\", \"line\": " << d.loc.line
+           << ", \"column\": " << d.loc.column << ", \"checker\": \""
+           << jsonEscape(d.checker) << "\", \"rule\": \""
+           << jsonEscape(d.rule) << "\", \"message\": \""
+           << jsonEscape(d.message) << '"';
+        if (!d.trace.empty()) {
+            os << ", \"trace\": [";
+            for (std::size_t i = 0; i < d.trace.size(); ++i)
+                os << (i ? ", " : "") << '"' << jsonEscape(d.trace[i])
+                   << '"';
+            os << ']';
+        }
+        os << '}';
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "]\n}\n";
+}
+
+void
+DiagnosticSink::printSarif(std::ostream& os, const SourceManager* sm) const
+{
+    os << "{\n  \"$schema\": "
+          "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+       << "  \"version\": \"2.1.0\",\n  \"runs\": [{\n"
+       << "    \"tool\": {\"driver\": {\"name\": \"" << kToolName
+       << "\", \"version\": \"" << kToolVersion
+       << "\", \"informationUri\": "
+          "\"https://doi.org/10.1145/378993.379232\", \"rules\": [";
+
+    // One reportingDescriptor per distinct checker.rule id, sorted.
+    std::set<std::string> rule_ids;
+    for (const Diagnostic& d : diags_)
+        rule_ids.insert(d.checker + "." + d.rule);
+    bool first = true;
+    for (const std::string& id : rule_ids) {
+        os << (first ? "\n" : ",\n") << "      {\"id\": \""
+           << jsonEscape(id) << "\"}";
+        first = false;
+    }
+    os << (first ? "" : "\n    ") << "]}},\n    \"results\": [";
+
+    first = true;
+    for (const Diagnostic& d : diags_) {
+        os << (first ? "\n" : ",\n") << "      {\"ruleId\": \""
+           << jsonEscape(d.checker + "." + d.rule) << "\", \"level\": \""
+           << sarifLevel(d.severity) << "\", \"message\": {\"text\": \""
+           << jsonEscape(d.message) << "\"},\n"
+           << "       \"locations\": [{\"physicalLocation\": "
+              "{\"artifactLocation\": {\"uri\": \""
+           << jsonEscape(fileNameFor(d.loc, sm))
+           << "\"}, \"region\": {\"startLine\": " << std::max(d.loc.line, 1)
+           << ", \"startColumn\": " << std::max(d.loc.column, 1)
+           << "}}}]";
+        if (!d.trace.empty()) {
+            // The lanes checker's inter-procedural back-trace, rendered as
+            // a SARIF stack (innermost frame first, as collected).
+            os << ",\n       \"stacks\": [{\"message\": {\"text\": "
+                  "\"call path\"}, \"frames\": [";
+            for (std::size_t i = 0; i < d.trace.size(); ++i)
+                os << (i ? ", " : "")
+                   << "{\"location\": {\"message\": {\"text\": \""
+                   << jsonEscape(d.trace[i]) << "\"}}}";
+            os << "]}]";
+        }
+        os << '}';
+        first = false;
+    }
+    os << (first ? "" : "\n    ") << "]\n  }]\n}\n";
+}
+
+void
+DiagnosticSink::write(std::ostream& os, OutputFormat format,
+                      const SourceManager* sm) const
+{
+    switch (format) {
+      case OutputFormat::Text: print(os, sm); break;
+      case OutputFormat::Json: printJson(os, sm); break;
+      case OutputFormat::Sarif: printSarif(os, sm); break;
     }
 }
 

@@ -6,6 +6,7 @@
 #include <iosfwd>
 #include <map>
 #include <string>
+#include <tuple>
 #include <vector>
 
 namespace mc::support {
@@ -25,6 +26,23 @@ enum class Severity
 
 /** Returns a short lowercase name ("error", "warning", "note"). */
 const char* severityName(Severity sev);
+
+/** Output encodings the sink can render findings in. */
+enum class OutputFormat
+{
+    /** Human-readable "file:line:col: severity: ..." lines. */
+    Text,
+    /** A JSON object with a "diagnostics" array and severity counts. */
+    Json,
+    /** SARIF 2.1.0 (the subset CI result viewers consume). */
+    Sarif,
+};
+
+/**
+ * Parse "text" / "json" / "sarif" into a format. Returns false (leaving
+ * `out` untouched) for anything else.
+ */
+bool parseOutputFormat(const std::string& name, OutputFormat& out);
 
 /**
  * One finding emitted by a checker.
@@ -95,9 +113,38 @@ class DiagnosticSink
      */
     void print(std::ostream& os, const SourceManager* sm = nullptr) const;
 
+    /**
+     * Emit all findings as a JSON object:
+     * {"tool": {...}, "counts": {"error": n, ...}, "diagnostics": [...]}.
+     * Each diagnostic carries severity, file/line/column, checker, rule,
+     * message, and the back-trace frames. File names resolve through `sm`
+     * when provided; otherwise the numeric file id is used.
+     */
+    void printJson(std::ostream& os, const SourceManager* sm = nullptr) const;
+
+    /**
+     * Emit findings as SARIF 2.1.0 — the "lite" subset CI viewers need:
+     * one run, tool.driver with a rule table, one result per finding with
+     * a physical location, and inter-procedural back-traces rendered as a
+     * SARIF stack.
+     */
+    void printSarif(std::ostream& os,
+                    const SourceManager* sm = nullptr) const;
+
+    /** Dispatch on `format` to print / printJson / printSarif. */
+    void write(std::ostream& os, OutputFormat format,
+               const SourceManager* sm = nullptr) const;
+
   private:
+    /**
+     * Structured dedup key. (Earlier versions concatenated the fields
+     * into one delimited string, which let a checker or rule name
+     * containing the delimiter collide with a different pair.)
+     */
+    using DedupKey = std::tuple<std::string, std::string, SourceLoc>;
+
     std::vector<Diagnostic> diags_;
-    std::map<std::string, int> seen_;
+    std::map<DedupKey, int> seen_;
 };
 
 } // namespace mc::support

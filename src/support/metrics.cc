@@ -1,0 +1,78 @@
+#include "support/metrics.h"
+
+#include "support/text.h"
+
+#include <ostream>
+
+namespace mc::support {
+
+MetricsRegistry&
+MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+std::uint64_t
+MetricsRegistry::counterValue(const std::string& name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+std::uint64_t
+MetricsRegistry::gaugeValue(const std::string& name) const
+{
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0 : it->second.value();
+}
+
+void
+MetricsRegistry::reset()
+{
+    for (auto& [name, c] : counters_)
+        c.reset();
+    for (auto& [name, g] : gauges_)
+        g.reset();
+    for (auto& [name, t] : timers_)
+        t.reset();
+}
+
+void
+MetricsRegistry::clear()
+{
+    counters_.clear();
+    gauges_.clear();
+    timers_.clear();
+}
+
+void
+MetricsRegistry::writeJson(std::ostream& os) const
+{
+    // std::map iteration gives sorted, deterministic key order.
+    os << "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto& [name, c] : counters_) {
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
+           << "\": " << c.value();
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+    first = true;
+    for (const auto& [name, g] : gauges_) {
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
+           << "\": " << g.value();
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n  \"timers\": {";
+    first = true;
+    for (const auto& [name, t] : timers_) {
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
+           << "\": {\"count\": " << t.count()
+           << ", \"total_ms\": " << t.totalMillis() << '}';
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+} // namespace mc::support

@@ -1,0 +1,177 @@
+#ifndef MCHECK_SUPPORT_METRICS_H
+#define MCHECK_SUPPORT_METRICS_H
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+namespace mc::support {
+
+/**
+ * A monotonically increasing counter. Handles returned by
+ * MetricsRegistry::counter are stable for the registry's lifetime, so hot
+ * loops can hold one and increment without a map lookup.
+ */
+class Counter
+{
+  public:
+    void add(std::uint64_t n = 1) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * A high-water-mark gauge: `observe` keeps the maximum value seen since
+ * the last reset (peak frontier size, worst-case path counts).
+ */
+class Gauge
+{
+  public:
+    void
+    observe(std::uint64_t v)
+    {
+        if (v > value_)
+            value_ = v;
+    }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * Accumulated wall time plus an invocation count. Fed by ScopedTimer or
+ * directly via `add`.
+ */
+class Timer
+{
+  public:
+    void
+    add(std::chrono::nanoseconds elapsed)
+    {
+        total_ns_ += static_cast<std::uint64_t>(elapsed.count());
+        ++count_;
+    }
+
+    std::uint64_t totalNanos() const { return total_ns_; }
+    double totalMillis() const { return static_cast<double>(total_ns_) / 1e6; }
+    std::uint64_t count() const { return count_; }
+
+    void
+    reset()
+    {
+        total_ns_ = 0;
+        count_ = 0;
+    }
+
+  private:
+    std::uint64_t total_ns_ = 0;
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * Process-wide registry of named counters, gauges, and timers.
+ *
+ * Metric names are dotted stable keys ("engine.visits",
+ * "checker.lanes.wall_ms") intended for BENCH_*.json trend tracking: once
+ * published, a key's meaning never changes. Instruments are created on
+ * first use and persist (zeroed, not dropped) across `reset`, so a report
+ * always lists every metric the process has touched.
+ *
+ * The registry is disabled by default. Instrumentation sites are expected
+ * to keep cheap local tallies unconditionally and only publish into the
+ * registry behind `enabled()`, which makes the disabled configuration
+ * cost one inlined boolean load per engine run — nothing per statement.
+ */
+class MetricsRegistry
+{
+  public:
+    /** The process-wide instance used by all instrumentation sites. */
+    static MetricsRegistry& global();
+
+    bool enabled() const { return enabled_; }
+    void setEnabled(bool on) { enabled_ = on; }
+
+    /** Get-or-create; the returned reference is stable. */
+    Counter& counter(const std::string& name) { return counters_[name]; }
+    Gauge& gauge(const std::string& name) { return gauges_[name]; }
+    Timer& timer(const std::string& name) { return timers_[name]; }
+
+    /** Value of a counter, or 0 if it was never touched. */
+    std::uint64_t counterValue(const std::string& name) const;
+    std::uint64_t gaugeValue(const std::string& name) const;
+
+    const std::map<std::string, Counter>& counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+    const std::map<std::string, Timer>& timers() const { return timers_; }
+
+    /** Zero every instrument, keeping registrations. */
+    void reset();
+
+    /** Drop every instrument (invalidates outstanding handles). */
+    void clear();
+
+    /**
+     * Write the report as JSON with stable keys:
+     * {"counters": {name: n}, "gauges": {name: n},
+     *  "timers": {name: {"count": n, "total_ms": x}}}
+     */
+    void writeJson(std::ostream& os) const;
+
+  private:
+    bool enabled_ = false;
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Gauge> gauges_;
+    std::map<std::string, Timer> timers_;
+};
+
+/**
+ * RAII wall timer. Constructed against a Timer (or nullptr for the
+ * disabled case, making the whole object a no-op — the clock is never
+ * read). Typical use:
+ *
+ *     auto& m = MetricsRegistry::global();
+ *     ScopedTimer t(m.enabled() ? &m.timer("engine.run") : nullptr);
+ */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(Timer* timer) : timer_(timer)
+    {
+        if (timer_)
+            start_ = std::chrono::steady_clock::now();
+    }
+
+    ~ScopedTimer() { stop(); }
+
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+    /** Record now instead of at destruction (idempotent). */
+    void
+    stop()
+    {
+        if (!timer_)
+            return;
+        timer_->add(std::chrono::steady_clock::now() - start_);
+        timer_ = nullptr;
+    }
+
+  private:
+    Timer* timer_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace mc::support
+
+#endif // MCHECK_SUPPORT_METRICS_H

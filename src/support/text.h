@@ -28,6 +28,14 @@ std::string join(const std::vector<std::string>& parts,
 std::string formatTable(const std::vector<std::string>& header,
                         const std::vector<std::vector<std::string>>& rows);
 
+/**
+ * Escape `s` for inclusion inside a double-quoted JSON string literal
+ * (quotes, backslashes, and control characters; everything else passes
+ * through byte-for-byte). The metrics, trace, and diagnostic emitters all
+ * route through this.
+ */
+std::string jsonEscape(std::string_view s);
+
 } // namespace mc::support
 
 #endif // MCHECK_SUPPORT_TEXT_H

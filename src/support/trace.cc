@@ -1,0 +1,45 @@
+#include "support/trace.h"
+
+#include "support/text.h"
+
+#include <ostream>
+
+namespace mc::support {
+
+TraceRecorder&
+TraceRecorder::global()
+{
+    static TraceRecorder recorder;
+    return recorder;
+}
+
+void
+TraceRecorder::writeJson(std::ostream& os) const
+{
+    os << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
+    bool first = true;
+    for (const TraceEvent& e : events_) {
+        os << (first ? "\n" : ",\n")
+           << "    {\"name\": \"" << jsonEscape(e.name)
+           << "\", \"cat\": \"" << jsonEscape(e.category)
+           << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": 1"
+           << ", \"ts\": " << e.ts_us << ", \"dur\": " << e.dur_us;
+        if (!e.args.empty()) {
+            os << ", \"args\": {";
+            bool first_arg = true;
+            for (const auto& [key, value] : e.args) {
+                if (!first_arg)
+                    os << ", ";
+                os << '"' << jsonEscape(key) << "\": \""
+                   << jsonEscape(value) << '"';
+                first_arg = false;
+            }
+            os << '}';
+        }
+        os << '}';
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "]\n}\n";
+}
+
+} // namespace mc::support

@@ -1,0 +1,134 @@
+#ifndef MCHECK_SUPPORT_TRACE_H
+#define MCHECK_SUPPORT_TRACE_H
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mc::support {
+
+/**
+ * One complete ("ph":"X") trace event: a named span with a category, a
+ * start timestamp, a duration (both microseconds relative to the
+ * recorder's enable time), and optional string args.
+ */
+struct TraceEvent
+{
+    std::string name;
+    std::string category;
+    std::uint64_t ts_us = 0;
+    std::uint64_t dur_us = 0;
+    std::vector<std::pair<std::string, std::string>> args;
+};
+
+/**
+ * Records spans and exports them in the Chrome trace-event JSON format,
+ * loadable in chrome://tracing and Perfetto (ui.perfetto.dev).
+ *
+ * Like MetricsRegistry, the recorder is disabled by default and
+ * instrumentation sites guard on `enabled()`: a disabled recorder costs
+ * one inlined boolean load per engine run and never reads the clock.
+ */
+class TraceRecorder
+{
+  public:
+    /** The process-wide instance used by all instrumentation sites. */
+    static TraceRecorder& global();
+
+    bool enabled() const { return enabled_; }
+
+    /** Enabling (re)anchors the timestamp origin at "now". */
+    void
+    setEnabled(bool on)
+    {
+        enabled_ = on;
+        if (on)
+            origin_ = std::chrono::steady_clock::now();
+    }
+
+    /** Microseconds since the recorder was enabled. */
+    std::uint64_t
+    nowUs() const
+    {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - origin_)
+                .count());
+    }
+
+    void addEvent(TraceEvent event) { events_.push_back(std::move(event)); }
+
+    const std::vector<TraceEvent>& events() const { return events_; }
+
+    void clear() { events_.clear(); }
+
+    /**
+     * Write {"traceEvents": [...], "displayTimeUnit": "ms"}. Every event
+     * is a complete span ("ph":"X") on pid 1 / tid 1.
+     */
+    void writeJson(std::ostream& os) const;
+
+  private:
+    bool enabled_ = false;
+    std::chrono::steady_clock::time_point origin_;
+    std::vector<TraceEvent> events_;
+};
+
+/**
+ * RAII span: records a complete event on the recorder covering the
+ * object's lifetime. Constructed against a TraceRecorder (or nullptr for
+ * the disabled case — then nothing happens, the clock is never read).
+ *
+ *     auto& tr = TraceRecorder::global();
+ *     TraceSpan span(tr.enabled() ? &tr : nullptr, sm.name(), "engine");
+ *     span.arg("function", fn_name);
+ */
+class TraceSpan
+{
+  public:
+    TraceSpan(TraceRecorder* recorder, std::string name,
+              std::string category)
+        : recorder_(recorder)
+    {
+        if (!recorder_)
+            return;
+        event_.name = std::move(name);
+        event_.category = std::move(category);
+        event_.ts_us = recorder_->nowUs();
+    }
+
+    ~TraceSpan() { finish(); }
+
+    TraceSpan(const TraceSpan&) = delete;
+    TraceSpan& operator=(const TraceSpan&) = delete;
+
+    /** Attach a string arg (shown in the viewer's detail pane). */
+    void
+    arg(std::string key, std::string value)
+    {
+        if (recorder_)
+            event_.args.emplace_back(std::move(key), std::move(value));
+    }
+
+    /** Close the span now instead of at destruction (idempotent). */
+    void
+    finish()
+    {
+        if (!recorder_)
+            return;
+        event_.dur_us = recorder_->nowUs() - event_.ts_us;
+        recorder_->addEvent(std::move(event_));
+        recorder_ = nullptr;
+    }
+
+  private:
+    TraceRecorder* recorder_;
+    TraceEvent event_;
+};
+
+} // namespace mc::support
+
+#endif // MCHECK_SUPPORT_TRACE_H

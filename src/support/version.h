@@ -1,0 +1,12 @@
+#ifndef MCHECK_SUPPORT_VERSION_H
+#define MCHECK_SUPPORT_VERSION_H
+
+namespace mc::support {
+
+/** Tool identity, shared by `mccheck --version` and the SARIF emitter. */
+inline constexpr const char* kToolName = "mccheck";
+inline constexpr const char* kToolVersion = "1.1.0";
+
+} // namespace mc::support
+
+#endif // MCHECK_SUPPORT_VERSION_H

@@ -3,6 +3,8 @@
 
 #include "cfg/cfg.h"
 #include "lang/program.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 
 #include <gtest/gtest.h>
 
@@ -232,6 +234,102 @@ TEST(Engine, PruningKeepsRealErrors)
     options.prune_correlated_branches = true;
     runStateMachine(*mp.sm, cfg, sink, options);
     EXPECT_EQ(sink.count(support::Severity::Error), 1);
+}
+
+TEST(Engine, RunResultCarriesWalkerObservability)
+{
+    lang::Program program;
+    support::DiagnosticSink sink;
+    MetalProgram mp = parseMetal(kWaitForDb);
+    // Two independent diamonds: paths re-converge in the same SM state,
+    // so the (block, state) cache must fold them (cache_hits > 0), and
+    // the pending-path frontier must have exceeded one entry.
+    program.addSource("t.c",
+                      "void f(void) {"
+                      "  if (a) { x = 1; } else { x = 2; }"
+                      "  if (b) { y = 1; } else { y = 2; }"
+                      "  WAIT_FOR_DB_FULL(p);"
+                      "  MISCBUS_READ_DB(p, q);"
+                      "}");
+    cfg::Cfg cfg = cfg::CfgBuilder::build(*program.findFunction("f"));
+    auto result = runStateMachine(*mp.sm, cfg, sink);
+    EXPECT_GT(result.cache_hits, 0u);
+    EXPECT_GE(result.peak_frontier, 2u);
+    // WAIT_FOR_DB_FULL transitions start -> stop.
+    EXPECT_GE(result.transitions, 1u);
+    EXPECT_FALSE(result.truncated);
+    EXPECT_EQ(sink.count(support::Severity::Error), 0);
+}
+
+TEST(Engine, PublishesMetricsWhenRegistryEnabled)
+{
+    support::MetricsRegistry& metrics = support::MetricsRegistry::global();
+    metrics.clear();
+    metrics.setEnabled(true);
+
+    lang::Program program;
+    support::DiagnosticSink sink;
+    MetalProgram mp = parseMetal(kWaitForDb);
+    program.addSource("t.c",
+                      "void f(void) { MISCBUS_READ_DB(a, b); }");
+    cfg::Cfg cfg = cfg::CfgBuilder::build(*program.findFunction("f"));
+    auto result = runStateMachine(*mp.sm, cfg, sink);
+
+    EXPECT_EQ(metrics.counterValue("engine.runs"), 1u);
+    EXPECT_EQ(metrics.counterValue("engine.visits"), result.visits);
+    EXPECT_EQ(metrics.counterValue("engine.rule_firings"), 1u);
+    EXPECT_GE(metrics.gaugeValue("engine.peak_frontier"), 1u);
+    EXPECT_EQ(metrics.timers().count("engine.sm.wait_for_db"), 1u);
+
+    metrics.setEnabled(false);
+    metrics.clear();
+}
+
+TEST(Engine, PublishesTraceSpanWhenRecorderEnabled)
+{
+    support::TraceRecorder& tracer = support::TraceRecorder::global();
+    tracer.clear();
+    tracer.setEnabled(true);
+
+    lang::Program program;
+    support::DiagnosticSink sink;
+    MetalProgram mp = parseMetal(kWaitForDb);
+    program.addSource("t.c",
+                      "void handler(void) { WAIT_FOR_DB_FULL(a); }");
+    cfg::Cfg cfg = cfg::CfgBuilder::build(*program.findFunction("handler"));
+    runStateMachine(*mp.sm, cfg, sink);
+
+    ASSERT_EQ(tracer.events().size(), 1u);
+    const support::TraceEvent& e = tracer.events()[0];
+    EXPECT_EQ(e.name, "wait_for_db");
+    EXPECT_EQ(e.category, "engine");
+    ASSERT_FALSE(e.args.empty());
+    EXPECT_EQ(e.args[0].first, "function");
+    EXPECT_EQ(e.args[0].second, "handler");
+
+    tracer.setEnabled(false);
+    tracer.clear();
+}
+
+TEST(Engine, NothingPublishedWhenDisabled)
+{
+    support::MetricsRegistry& metrics = support::MetricsRegistry::global();
+    support::TraceRecorder& tracer = support::TraceRecorder::global();
+    metrics.clear();
+    tracer.clear();
+    ASSERT_FALSE(metrics.enabled());
+    ASSERT_FALSE(tracer.enabled());
+
+    lang::Program program;
+    support::DiagnosticSink sink;
+    MetalProgram mp = parseMetal(kWaitForDb);
+    program.addSource("t.c",
+                      "void f(void) { MISCBUS_READ_DB(a, b); }");
+    cfg::Cfg cfg = cfg::CfgBuilder::build(*program.findFunction("f"));
+    runStateMachine(*mp.sm, cfg, sink);
+
+    EXPECT_TRUE(metrics.counters().empty());
+    EXPECT_TRUE(tracer.events().empty());
 }
 
 TEST(Engine, DiagnosticLocationPointsAtOffendingRead)

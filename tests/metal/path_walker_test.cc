@@ -119,6 +119,30 @@ prunedEdges(const std::string& body)
     return walker.walk(b->cfg, CountState{}).pruned_edges;
 }
 
+TEST(PathWalker, ResultCountsCacheHitsAndPeakFrontier)
+{
+    // A diamond whose arms re-converge in the same state: the join block
+    // is reached twice but visited once — the second arrival is a cache
+    // hit. The branch forks two pending entries, so the frontier peaks
+    // at two or more.
+    auto b = build("if (c) { x(); } else { y(); } z();");
+    PathWalker<TraceState> walker(PathWalker<TraceState>::Hooks{});
+    auto result = walker.walk(b->cfg, TraceState{});
+    EXPECT_GT(result.visits, 0u);
+    EXPECT_GE(result.cache_hits, 1u);
+    EXPECT_GE(result.peak_frontier, 2u);
+    EXPECT_FALSE(result.truncated);
+}
+
+TEST(PathWalker, StraightLineHasNoCacheHits)
+{
+    auto b = build("a(); b(); c();");
+    PathWalker<TraceState> walker(PathWalker<TraceState>::Hooks{});
+    auto result = walker.walk(b->cfg, TraceState{});
+    EXPECT_EQ(result.cache_hits, 0u);
+    EXPECT_EQ(result.peak_frontier, 1u);
+}
+
 TEST(PathWalkerPruning, SameConditionTwicePrunesImpossiblePaths)
 {
     // 4 static paths, 2 impossible.

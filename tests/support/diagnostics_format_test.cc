@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Golden-file tests for the machine-readable diagnostic emitters: a small
+ * fixture protocol is checked with the shipped wait_for_db metal checker,
+ * a lanes-style inter-procedural finding (with back-trace) is added, and
+ * the JSON / SARIF renderings are compared byte-for-byte against
+ * tests/goldens/. Regenerate with:
+ *     MCHECK_REGEN_GOLDENS=1 build/tests/test_observability
+ */
+#include "cfg/cfg.h"
+#include "lang/program.h"
+#include "metal/engine.h"
+#include "metal/metal_parser.h"
+#include "support/diagnostics.h"
+
+#include "json_test_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#ifndef MCHECK_GOLDEN_DIR
+#error "MCHECK_GOLDEN_DIR must be defined by the build"
+#endif
+
+namespace mc {
+namespace {
+
+/** Two handlers; the second reads the DMA buffer without waiting. */
+const char* const kFixtureSource =
+    "void PILocalGet(void) {\n"
+    "    WAIT_FOR_DB_FULL(addr);\n"
+    "    MISCBUS_READ_DB(addr, buf);\n"
+    "}\n"
+    "void NILocalPut(void) {\n"
+    "    MISCBUS_READ_DB(addr, buf);\n"
+    "}\n";
+
+/** Build the fixture sink every emitter test shares. */
+void
+buildFixture(lang::Program& program, support::DiagnosticSink& sink)
+{
+    program.addSource("fixture.c", kFixtureSource);
+    metal::MetalProgram checker = metal::parseMetal(
+        "sm wait_for_db {\n"
+        "  decl { scalar } addr, buf;\n"
+        "  start:\n"
+        "    { WAIT_FOR_DB_FULL(addr); } ==> stop\n"
+        "  | { MISCBUS_READ_DB(addr, buf); } ==> "
+        "{ err(\"Buffer not synchronized\"); }\n"
+        "  ;\n"
+        "}\n");
+    for (const lang::FunctionDecl* fn : program.functions()) {
+        cfg::Cfg cfg = cfg::CfgBuilder::build(*fn);
+        metal::runStateMachine(*checker.sm, cfg, sink);
+    }
+
+    // A lanes-style inter-procedural finding, to exercise back-traces.
+    support::Diagnostic lanes;
+    lanes.severity = support::Severity::Error;
+    lanes.loc = support::SourceLoc{1, 6, 5};
+    lanes.checker = "lanes";
+    lanes.rule = "overflow";
+    lanes.message = "lane quota exceeded";
+    lanes.trace = {"NILocalPut (fixture.c:5)", "helper (fixture.c:6)"};
+    sink.report(lanes);
+}
+
+std::string
+goldenPath(const std::string& name)
+{
+    return std::string(MCHECK_GOLDEN_DIR) + "/" + name;
+}
+
+std::string
+readFile(const std::string& path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "cannot open golden file " << path;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+/** Compare `actual` to the golden, or rewrite it in regen mode. */
+void
+expectMatchesGolden(const std::string& actual, const std::string& name)
+{
+    if (std::getenv("MCHECK_REGEN_GOLDENS")) {
+        std::ofstream out(goldenPath(name));
+        out << actual;
+        return;
+    }
+    EXPECT_EQ(actual, readFile(goldenPath(name)))
+        << "golden mismatch for " << name
+        << " (set MCHECK_REGEN_GOLDENS=1 to regenerate)";
+}
+
+TEST(DiagnosticFormats, JsonMatchesGoldenAndParses)
+{
+    lang::Program program;
+    support::DiagnosticSink sink;
+    buildFixture(program, sink);
+
+    std::ostringstream os;
+    sink.printJson(os, &program.sourceManager());
+
+    testjson::Value root;
+    ASSERT_NO_THROW(root = testjson::parse(os.str()));
+    EXPECT_EQ(root.at("counts").at("error").number, 2.0);
+    ASSERT_EQ(root.at("diagnostics").array.size(), 2u);
+    const auto& first = root.at("diagnostics").array[0];
+    EXPECT_EQ(first.at("checker").string, "wait_for_db");
+    EXPECT_EQ(first.at("file").string, "fixture.c");
+    EXPECT_EQ(first.at("line").number, 6.0);
+    const auto& second = root.at("diagnostics").array[1];
+    ASSERT_EQ(second.at("trace").array.size(), 2u);
+    EXPECT_EQ(second.at("trace").array[0].string,
+              "NILocalPut (fixture.c:5)");
+
+    expectMatchesGolden(os.str(), "fixture_diagnostics.json");
+}
+
+TEST(DiagnosticFormats, SarifMatchesGoldenAndParses)
+{
+    lang::Program program;
+    support::DiagnosticSink sink;
+    buildFixture(program, sink);
+
+    std::ostringstream os;
+    sink.printSarif(os, &program.sourceManager());
+
+    testjson::Value root;
+    ASSERT_NO_THROW(root = testjson::parse(os.str()));
+    EXPECT_EQ(root.at("version").string, "2.1.0");
+    ASSERT_EQ(root.at("runs").array.size(), 1u);
+    const auto& run = root.at("runs").array[0];
+    EXPECT_EQ(run.at("tool").at("driver").at("name").string, "mccheck");
+    ASSERT_EQ(run.at("results").array.size(), 2u);
+    const auto& result = run.at("results").array[0];
+    EXPECT_EQ(result.at("ruleId").string,
+              "wait_for_db.buffer-not-synchronized");
+    EXPECT_EQ(result.at("level").string, "error");
+    const auto& region = result.at("locations")
+                             .array[0]
+                             .at("physicalLocation")
+                             .at("region");
+    EXPECT_EQ(region.at("startLine").number, 6.0);
+    // The lanes finding carries its back-trace as a SARIF stack.
+    const auto& lanes = run.at("results").array[1];
+    ASSERT_EQ(lanes.at("stacks").array.size(), 1u);
+    EXPECT_EQ(lanes.at("stacks").array[0].at("frames").array.size(), 2u);
+
+    expectMatchesGolden(os.str(), "fixture_diagnostics.sarif");
+}
+
+TEST(DiagnosticFormats, WriteDispatchesOnFormat)
+{
+    support::DiagnosticSink sink;
+    sink.error(support::SourceLoc{1, 1, 1}, "c", "r", "m");
+
+    std::ostringstream text, json, sarif;
+    sink.write(text, support::OutputFormat::Text);
+    sink.write(json, support::OutputFormat::Json);
+    sink.write(sarif, support::OutputFormat::Sarif);
+    EXPECT_NE(text.str().find("[c.r]"), std::string::npos);
+    EXPECT_NE(json.str().find("\"diagnostics\""), std::string::npos);
+    EXPECT_NE(sarif.str().find("\"2.1.0\""), std::string::npos);
+}
+
+TEST(DiagnosticFormats, ParseOutputFormat)
+{
+    support::OutputFormat f = support::OutputFormat::Text;
+    EXPECT_TRUE(support::parseOutputFormat("json", f));
+    EXPECT_EQ(f, support::OutputFormat::Json);
+    EXPECT_TRUE(support::parseOutputFormat("sarif", f));
+    EXPECT_EQ(f, support::OutputFormat::Sarif);
+    EXPECT_TRUE(support::parseOutputFormat("text", f));
+    EXPECT_EQ(f, support::OutputFormat::Text);
+    EXPECT_FALSE(support::parseOutputFormat("yaml", f));
+    EXPECT_EQ(f, support::OutputFormat::Text); // untouched on failure
+}
+
+TEST(DiagnosticSink, DedupKeyIsNotFooledByDelimiters)
+{
+    // With string-concatenated keys, ("a\x1f" "b", "c") and ("a", "b\x1f"
+    // "c") collided. The structured tuple key keeps them distinct.
+    support::DiagnosticSink sink;
+    support::SourceLoc at{1, 1, 1};
+    EXPECT_TRUE(sink.error(at, "a\x1f"
+                               "b",
+                           "c", "first"));
+    EXPECT_TRUE(sink.error(at, "a",
+                           "b\x1f"
+                           "c",
+                           "second"));
+    EXPECT_EQ(sink.count(support::Severity::Error), 2);
+}
+
+TEST(DiagnosticFormats, MessagesWithQuotesAndNewlinesStayWellFormed)
+{
+    support::DiagnosticSink sink;
+    sink.error(support::SourceLoc{1, 2, 3}, "checker\"q", "rule\\b",
+               "line1\nline2\t\"quoted\"");
+
+    std::ostringstream json, sarif;
+    sink.printJson(json);
+    sink.printSarif(sarif);
+    testjson::Value jroot, sroot;
+    ASSERT_NO_THROW(jroot = testjson::parse(json.str()));
+    ASSERT_NO_THROW(sroot = testjson::parse(sarif.str()));
+    EXPECT_EQ(jroot.at("diagnostics").array[0].at("message").string,
+              "line1\nline2\t\"quoted\"");
+}
+
+} // namespace
+} // namespace mc

@@ -1,0 +1,275 @@
+#ifndef MCHECK_TESTS_SUPPORT_JSON_TEST_UTIL_H
+#define MCHECK_TESTS_SUPPORT_JSON_TEST_UTIL_H
+
+/**
+ * @file
+ * A deliberately small recursive-descent JSON reader for tests: enough to
+ * assert that the metrics / trace / diagnostic emitters produce
+ * well-formed JSON and to navigate into the result. Throws
+ * std::runtime_error on malformed input — tests wrap parses in
+ * ASSERT_NO_THROW.
+ */
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mc::testjson {
+
+struct Value
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<Value> array;
+    std::map<std::string, Value> object;
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+
+    bool has(const std::string& key) const
+    {
+        return kind == Kind::Object && object.count(key) > 0;
+    }
+
+    const Value&
+    at(const std::string& key) const
+    {
+        if (!has(key))
+            throw std::runtime_error("missing key: " + key);
+        return object.at(key);
+    }
+};
+
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Value
+    parse()
+    {
+        Value v = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            throw std::runtime_error("trailing garbage after JSON value");
+        return v;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            throw std::runtime_error("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            throw std::runtime_error(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    Value
+    parseValue()
+    {
+        switch (peek()) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': {
+            Value v;
+            v.kind = Value::Kind::String;
+            v.string = parseString();
+            return v;
+          }
+          case 't':
+          case 'f': return parseLiteralBool();
+          case 'n': {
+            parseLiteral("null");
+            return Value{};
+          }
+          default: return parseNumber();
+        }
+    }
+
+    Value
+    parseObject()
+    {
+        Value v;
+        v.kind = Value::Kind::Object;
+        expect('{');
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            std::string key = parseString();
+            expect(':');
+            v.object.emplace(std::move(key), parseValue());
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    Value
+    parseArray()
+    {
+        Value v;
+        v.kind = Value::Kind::Array;
+        expect('[');
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            v.array.push_back(parseValue());
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                throw std::runtime_error("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (static_cast<unsigned char>(c) < 0x20)
+                throw std::runtime_error("raw control char in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                throw std::runtime_error("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    throw std::runtime_error("bad \\u escape");
+                int code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code += h - '0';
+                    else if (h >= 'a' && h <= 'f')
+                        code += h - 'a' + 10;
+                    else if (h >= 'A' && h <= 'F')
+                        code += h - 'A' + 10;
+                    else
+                        throw std::runtime_error("bad \\u escape");
+                }
+                // Tests only emit ASCII escapes; keep it simple.
+                out += static_cast<char>(code);
+                break;
+              }
+              default: throw std::runtime_error("unknown escape");
+            }
+        }
+    }
+
+    Value
+    parseLiteralBool()
+    {
+        Value v;
+        v.kind = Value::Kind::Bool;
+        if (text_.compare(pos_, 4, "true") == 0) {
+            v.boolean = true;
+            pos_ += 4;
+        } else if (text_.compare(pos_, 5, "false") == 0) {
+            v.boolean = false;
+            pos_ += 5;
+        } else {
+            throw std::runtime_error("bad literal");
+        }
+        return v;
+    }
+
+    void
+    parseLiteral(std::string_view lit)
+    {
+        if (text_.compare(pos_, lit.size(), lit) != 0)
+            throw std::runtime_error("bad literal");
+        pos_ += lit.size();
+    }
+
+    Value
+    parseNumber()
+    {
+        skipWs();
+        std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E'))
+            ++pos_;
+        if (pos_ == start)
+            throw std::runtime_error("expected a value");
+        Value v;
+        v.kind = Value::Kind::Number;
+        v.number = std::stod(std::string(text_.substr(start, pos_ - start)));
+        return v;
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+inline Value
+parse(std::string_view text)
+{
+    return Parser(text).parse();
+}
+
+} // namespace mc::testjson
+
+#endif // MCHECK_TESTS_SUPPORT_JSON_TEST_UTIL_H

@@ -1,0 +1,137 @@
+#include "support/metrics.h"
+
+#include "json_test_util.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+
+namespace mc::support {
+namespace {
+
+TEST(MetricsRegistry, CounterHandlesAreStableAndAccumulate)
+{
+    MetricsRegistry reg;
+    Counter& c = reg.counter("engine.visits");
+    c.add();
+    c.add(41);
+    EXPECT_EQ(reg.counterValue("engine.visits"), 42u);
+    // Get-or-create returns the same instrument.
+    EXPECT_EQ(&reg.counter("engine.visits"), &c);
+    // Untouched counters read as zero without being created.
+    EXPECT_EQ(reg.counterValue("engine.nope"), 0u);
+    EXPECT_EQ(reg.counters().count("engine.nope"), 0u);
+}
+
+TEST(MetricsRegistry, GaugeKeepsHighWaterMark)
+{
+    MetricsRegistry reg;
+    Gauge& g = reg.gauge("engine.peak_frontier");
+    g.observe(7);
+    g.observe(3);
+    EXPECT_EQ(reg.gaugeValue("engine.peak_frontier"), 7u);
+    g.observe(11);
+    EXPECT_EQ(reg.gaugeValue("engine.peak_frontier"), 11u);
+}
+
+TEST(MetricsRegistry, ScopedTimerAccumulatesIntoTimer)
+{
+    MetricsRegistry reg;
+    {
+        ScopedTimer t(&reg.timer("engine.run"));
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    {
+        ScopedTimer t(&reg.timer("engine.run"));
+    }
+    const Timer& timer = reg.timer("engine.run");
+    EXPECT_EQ(timer.count(), 2u);
+    EXPECT_GE(timer.totalMillis(), 1.0);
+}
+
+TEST(MetricsRegistry, NullScopedTimerIsANoOp)
+{
+    ScopedTimer t(nullptr);
+    t.stop(); // must not crash; stop twice is fine too
+    t.stop();
+}
+
+TEST(MetricsRegistry, ResetZeroesButKeepsRegistrations)
+{
+    MetricsRegistry reg;
+    reg.counter("a").add(5);
+    reg.gauge("b").observe(5);
+    reg.timer("c").add(std::chrono::nanoseconds(500));
+    reg.reset();
+    EXPECT_EQ(reg.counterValue("a"), 0u);
+    EXPECT_EQ(reg.gaugeValue("b"), 0u);
+    EXPECT_EQ(reg.timer("c").count(), 0u);
+    // Keys survive a reset so reports always list every metric.
+    EXPECT_EQ(reg.counters().count("a"), 1u);
+    EXPECT_EQ(reg.gauges().count("b"), 1u);
+    EXPECT_EQ(reg.timers().count("c"), 1u);
+
+    reg.clear();
+    EXPECT_EQ(reg.counters().size(), 0u);
+}
+
+TEST(MetricsRegistry, DisabledByDefault)
+{
+    MetricsRegistry reg;
+    EXPECT_FALSE(reg.enabled());
+    reg.setEnabled(true);
+    EXPECT_TRUE(reg.enabled());
+}
+
+TEST(MetricsRegistry, GlobalIsASingleton)
+{
+    EXPECT_EQ(&MetricsRegistry::global(), &MetricsRegistry::global());
+}
+
+TEST(MetricsRegistry, JsonRoundTrip)
+{
+    MetricsRegistry reg;
+    reg.counter("engine.visits").add(123);
+    reg.counter("engine.cache_hits").add(45);
+    reg.gauge("engine.peak_frontier").observe(9);
+    reg.timer("checker.lanes").add(std::chrono::milliseconds(3));
+
+    std::ostringstream os;
+    reg.writeJson(os);
+
+    testjson::Value root;
+    ASSERT_NO_THROW(root = testjson::parse(os.str()));
+    EXPECT_EQ(root.at("counters").at("engine.visits").number, 123.0);
+    EXPECT_EQ(root.at("counters").at("engine.cache_hits").number, 45.0);
+    EXPECT_EQ(root.at("gauges").at("engine.peak_frontier").number, 9.0);
+    const auto& timer = root.at("timers").at("checker.lanes");
+    EXPECT_EQ(timer.at("count").number, 1.0);
+    EXPECT_NEAR(timer.at("total_ms").number, 3.0, 0.5);
+}
+
+TEST(MetricsRegistry, EmptyRegistryWritesValidJson)
+{
+    MetricsRegistry reg;
+    std::ostringstream os;
+    reg.writeJson(os);
+    testjson::Value root;
+    ASSERT_NO_THROW(root = testjson::parse(os.str()));
+    EXPECT_TRUE(root.at("counters").isObject());
+    EXPECT_TRUE(root.at("timers").isObject());
+}
+
+TEST(MetricsRegistry, MetricNamesNeedingEscapesStayWellFormed)
+{
+    MetricsRegistry reg;
+    reg.counter("weird\"name\\with\nescapes").add(1);
+    std::ostringstream os;
+    reg.writeJson(os);
+    testjson::Value root;
+    ASSERT_NO_THROW(root = testjson::parse(os.str()));
+    EXPECT_EQ(
+        root.at("counters").at("weird\"name\\with\nescapes").number, 1.0);
+}
+
+} // namespace
+} // namespace mc::support

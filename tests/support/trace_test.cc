@@ -1,0 +1,120 @@
+#include "support/trace.h"
+
+#include "json_test_util.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mc::support {
+namespace {
+
+TEST(TraceRecorder, DisabledByDefaultAndSpanIsNoOp)
+{
+    TraceRecorder rec;
+    EXPECT_FALSE(rec.enabled());
+    {
+        TraceSpan span(nullptr, "run", "engine");
+        span.arg("k", "v");
+    }
+    EXPECT_TRUE(rec.events().empty());
+}
+
+TEST(TraceRecorder, SpanRecordsCompleteEvent)
+{
+    TraceRecorder rec;
+    rec.setEnabled(true);
+    {
+        TraceSpan span(&rec, "wait_for_db", "engine");
+        span.arg("function", "PILocalGet");
+    }
+    ASSERT_EQ(rec.events().size(), 1u);
+    const TraceEvent& e = rec.events()[0];
+    EXPECT_EQ(e.name, "wait_for_db");
+    EXPECT_EQ(e.category, "engine");
+    ASSERT_EQ(e.args.size(), 1u);
+    EXPECT_EQ(e.args[0].first, "function");
+    EXPECT_EQ(e.args[0].second, "PILocalGet");
+}
+
+TEST(TraceRecorder, FinishIsIdempotent)
+{
+    TraceRecorder rec;
+    rec.setEnabled(true);
+    TraceSpan span(&rec, "run", "engine");
+    span.finish();
+    span.finish();
+    EXPECT_EQ(rec.events().size(), 1u);
+}
+
+TEST(TraceRecorder, TimestampsAreMonotonic)
+{
+    TraceRecorder rec;
+    rec.setEnabled(true);
+    {
+        TraceSpan a(&rec, "first", "engine");
+    }
+    {
+        TraceSpan b(&rec, "second", "engine");
+    }
+    ASSERT_EQ(rec.events().size(), 2u);
+    EXPECT_LE(rec.events()[0].ts_us, rec.events()[1].ts_us);
+}
+
+TEST(TraceRecorder, JsonIsWellFormedChromeTraceFormat)
+{
+    TraceRecorder rec;
+    rec.setEnabled(true);
+    {
+        TraceSpan span(&rec, "msglen_check", "engine");
+        span.arg("function", "NILocalGet");
+        span.arg("visits", "42");
+    }
+    {
+        TraceSpan span(&rec, "protocol:\"sci\"", "driver");
+    }
+
+    std::ostringstream os;
+    rec.writeJson(os);
+    testjson::Value root;
+    ASSERT_NO_THROW(root = testjson::parse(os.str()));
+
+    const auto& events = root.at("traceEvents");
+    ASSERT_TRUE(events.isArray());
+    ASSERT_EQ(events.array.size(), 2u);
+    const auto& first = events.array[0];
+    EXPECT_EQ(first.at("name").string, "msglen_check");
+    EXPECT_EQ(first.at("cat").string, "engine");
+    EXPECT_EQ(first.at("ph").string, "X");
+    EXPECT_EQ(first.at("pid").number, 1.0);
+    EXPECT_TRUE(first.has("ts"));
+    EXPECT_TRUE(first.has("dur"));
+    EXPECT_EQ(first.at("args").at("visits").string, "42");
+    // Quote in the span name survives escaping.
+    EXPECT_EQ(events.array[1].at("name").string, "protocol:\"sci\"");
+}
+
+TEST(TraceRecorder, EmptyRecorderWritesValidJson)
+{
+    TraceRecorder rec;
+    std::ostringstream os;
+    rec.writeJson(os);
+    testjson::Value root;
+    ASSERT_NO_THROW(root = testjson::parse(os.str()));
+    EXPECT_TRUE(root.at("traceEvents").isArray());
+    EXPECT_EQ(root.at("traceEvents").array.size(), 0u);
+}
+
+TEST(TraceRecorder, ClearDropsEvents)
+{
+    TraceRecorder rec;
+    rec.setEnabled(true);
+    {
+        TraceSpan span(&rec, "run", "engine");
+    }
+    rec.clear();
+    EXPECT_TRUE(rec.events().empty());
+}
+
+} // namespace
+} // namespace mc::support
