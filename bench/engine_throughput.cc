@@ -5,16 +5,19 @@
  * engine (showing the (block, state) cache keeps exponential-path
  * functions linear-time), and whole-protocol checking throughput.
  */
+#include "checkers/parallel.h"
 #include "checkers/registry.h"
 #include "corpus/generator.h"
 #include "metal/engine.h"
 #include "metal/metal_parser.h"
 #include "support/metrics.h"
+#include "support/thread_pool.h"
 
 #include <benchmark/benchmark.h>
 
 #include <cmath>
 #include <memory>
+#include <vector>
 
 namespace {
 
@@ -142,6 +145,93 @@ BM_RunAllCheckersMetricsEnabled(benchmark::State& state)
     metrics.clear();
 }
 BENCHMARK(BM_RunAllCheckersMetricsEnabled)->Unit(benchmark::kMillisecond);
+
+/** The five buggy paper protocols, loaded once. */
+const std::vector<corpus::LoadedProtocol>&
+fullCorpus()
+{
+    static const std::vector<corpus::LoadedProtocol>* corpus = [] {
+        auto* loaded = new std::vector<corpus::LoadedProtocol>();
+        for (const char* name :
+             {"bitvector", "dyn_ptr", "sci", "coma", "rac"})
+            loaded->push_back(
+                corpus::loadProtocol(corpus::profileByName(name)));
+        return loaded;
+    }();
+    return *corpus;
+}
+
+/**
+ * Whole-corpus checking throughput at a given --jobs level, fanning
+ * (function x checker) units out within each protocol. Arg(1) is the
+ * sequential baseline the ISSUE's speedup target compares against; on a
+ * single-core host all arms measure the same work (the pool still
+ * exercises its queues, so this doubles as a contention check).
+ */
+void
+BM_CheckCorpusParallel(benchmark::State& state)
+{
+    unsigned jobs = static_cast<unsigned>(state.range(0));
+    std::int64_t loc = 0;
+    for (const corpus::LoadedProtocol& loaded : fullCorpus())
+        loc += loaded.gen.totalLoc();
+    for (auto _ : state) {
+        int diags = 0;
+        for (const corpus::LoadedProtocol& loaded : fullCorpus()) {
+            auto set = checkers::makeAllCheckers();
+            support::DiagnosticSink sink;
+            checkers::ParallelRunOptions options;
+            options.jobs = jobs;
+            auto stats = checkers::runCheckersParallel(
+                *loaded.program, loaded.gen.spec, set.pointers(), sink,
+                options);
+            diags += static_cast<int>(sink.diagnostics().size());
+            benchmark::DoNotOptimize(stats.size());
+        }
+        benchmark::DoNotOptimize(diags);
+    }
+    state.counters["jobs"] = static_cast<double>(jobs);
+    state.counters["corpus_loc"] = static_cast<double>(loc);
+}
+BENCHMARK(BM_CheckCorpusParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * The coarser fan-out: whole protocols across the corpus, one pool lane
+ * per protocol, each checked sequentially inside its lane.
+ */
+void
+BM_CheckCorpusProtocolFanout(benchmark::State& state)
+{
+    unsigned jobs = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        const auto& corpus = fullCorpus();
+        support::ThreadPool pool(jobs);
+        std::vector<int> diags(corpus.size(), 0);
+        pool.parallelFor(corpus.size(), [&](std::size_t p) {
+            auto set = checkers::makeAllCheckers();
+            support::DiagnosticSink sink;
+            auto stats =
+                checkers::runCheckers(*corpus[p].program,
+                                      corpus[p].gen.spec,
+                                      set.pointers(), sink);
+            benchmark::DoNotOptimize(stats.size());
+            diags[p] = static_cast<int>(sink.diagnostics().size());
+        });
+        benchmark::DoNotOptimize(diags.data());
+    }
+    state.counters["jobs"] = static_cast<double>(jobs);
+}
+BENCHMARK(BM_CheckCorpusProtocolFanout)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_PatternMatch(benchmark::State& state)

@@ -61,6 +61,16 @@ class BufferMgmtChecker : public Checker
         annotations_unneeded_ = 0;
     }
 
+    void
+    absorb(Checker& other) override
+    {
+        Checker::absorb(other);
+        if (auto* o = dynamic_cast<BufferMgmtChecker*>(&other)) {
+            annotations_seen_ += o->annotations_seen_;
+            annotations_unneeded_ += o->annotations_unneeded_;
+        }
+    }
+
     /** Annotation sites encountered across the run. */
     int annotationsSeen() const { return annotations_seen_; }
 

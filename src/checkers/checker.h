@@ -59,6 +59,18 @@ class Checker
     /** Reset per-run statistics (the runner calls this before a run). */
     virtual void reset() { applied_ = 0; }
 
+    /**
+     * Merge the per-run state another instance of the *same* checker
+     * accumulated during its function passes into this one. The parallel
+     * runner gives every (function, checker) work unit a private
+     * instance, then absorbs them back — in program function order — into
+     * one instance before the program-level pass, so inter-procedural
+     * state (e.g. the lanes checker's summaries) ends up exactly as a
+     * sequential run would have left it. `other` is dead afterwards;
+     * overrides may steal from it.
+     */
+    virtual void absorb(Checker& other) { applied_ += other.applied_; }
+
   protected:
     int applied_ = 0;
 };

@@ -45,6 +45,16 @@ class ExecRestrictChecker : public Checker
         vars_checked_ = 0;
     }
 
+    void
+    absorb(Checker& other) override
+    {
+        Checker::absorb(other);
+        if (auto* o = dynamic_cast<ExecRestrictChecker*>(&other)) {
+            handlers_checked_ += o->handlers_checked_;
+            vars_checked_ += o->vars_checked_;
+        }
+    }
+
     int handlersChecked() const { return handlers_checked_; }
     int varsChecked() const { return vars_checked_; }
 

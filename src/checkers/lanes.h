@@ -54,6 +54,20 @@ class LanesChecker : public Checker
         summaries_.clear();
     }
 
+    /** Steal `other`'s emitted summaries, preserving append order. */
+    void
+    absorb(Checker& other) override
+    {
+        Checker::absorb(other);
+        if (auto* o = dynamic_cast<LanesChecker*>(&other)) {
+            summaries_.insert(
+                summaries_.end(),
+                std::make_move_iterator(o->summaries_.begin()),
+                std::make_move_iterator(o->summaries_.end()));
+            o->summaries_.clear();
+        }
+    }
+
     /** The local pass's emitted summaries (exposed for tests/benches). */
     const std::vector<global::FunctionSummary>& summaries() const
     {

@@ -1,0 +1,146 @@
+#include "checkers/parallel.h"
+
+#include "support/metrics.h"
+#include "support/trace.h"
+
+#include <chrono>
+
+namespace mc::checkers {
+
+std::vector<CheckerRunStats>
+runCheckersParallel(const lang::Program& program,
+                    const flash::ProtocolSpec& spec,
+                    const std::vector<Checker*>& checkers,
+                    support::DiagnosticSink& sink,
+                    const ParallelRunOptions& options)
+{
+    // Any checker the factory cannot rebuild (a test double, say) makes
+    // private instances impossible; one lane makes them pointless.
+    unsigned jobs = options.pool           ? options.pool->jobs()
+                    : options.jobs != 0   ? options.jobs
+                                           : support::ThreadPool::defaultJobs();
+    bool clonable = true;
+    for (Checker* checker : checkers)
+        if (!makeChecker(checker->name(), options.checker_options))
+            clonable = false;
+    if (jobs <= 1 || !clonable)
+        return runCheckers(program, spec, checkers, sink);
+
+    support::ThreadPool local_pool(options.pool ? 1 : jobs);
+    support::ThreadPool& pool = options.pool ? *options.pool : local_pool;
+
+    support::MetricsRegistry& metrics = support::MetricsRegistry::global();
+    support::TraceRecorder& tracer = support::TraceRecorder::global();
+    using Clock = std::chrono::steady_clock;
+
+    const std::vector<const lang::FunctionDecl*>& fns = program.functions();
+    const std::size_t nfns = fns.size();
+    const std::size_t ncheckers = checkers.size();
+    const std::size_t nunits = nfns * ncheckers;
+
+    std::vector<int> base_errors;
+    std::vector<int> base_warnings;
+    for (Checker* checker : checkers) {
+        checker->reset();
+        base_errors.push_back(sink.countForChecker(
+            checker->name(), support::Severity::Error));
+        base_warnings.push_back(sink.countForChecker(
+            checker->name(), support::Severity::Warning));
+    }
+
+    if (metrics.enabled()) {
+        metrics.gauge("parallel.jobs").observe(jobs);
+        metrics.counter("parallel.work_units").add(nunits);
+    }
+
+    // Phase 1: build every function's CFG concurrently, one builder per
+    // function. backEdges() is warmed here, while each Cfg still has a
+    // single owner — its lazily-filled mutable cache is not synchronized,
+    // so it must never be computed from two phase-2 units at once.
+    Clock::time_point cfg_t0 = Clock::now();
+    std::vector<cfg::Cfg> cfgs(nfns);
+    pool.parallelFor(nfns, [&](std::size_t f) {
+        cfgs[f] = cfg::CfgBuilder::build(*fns[f]);
+        cfgs[f].backEdges();
+    });
+    if (metrics.enabled())
+        metrics.timer("parallel.cfg_build")
+            .add(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - cfg_t0));
+
+    // Phase 2: (function x checker) units, each against a private checker
+    // instance and private sink. Unit u = f * ncheckers + c — the merge
+    // below walks u in order to reproduce the sequential visit order.
+    std::vector<std::unique_ptr<Checker>> unit_checkers(nunits);
+    std::vector<support::DiagnosticSink> unit_sinks(nunits);
+    std::vector<Clock::duration> unit_elapsed(nunits,
+                                              Clock::duration::zero());
+    pool.parallelFor(nunits, [&](std::size_t u) {
+        std::size_t f = u / ncheckers;
+        std::size_t c = u % ncheckers;
+        unit_checkers[u] =
+            makeChecker(checkers[c]->name(), options.checker_options);
+        CheckContext uctx{program, spec, unit_sinks[u]};
+        support::TraceSpan span(tracer.enabled() ? &tracer : nullptr,
+                                checkers[c]->name(), "checker");
+        if (tracer.enabled())
+            span.arg("function", fns[f]->name);
+        Clock::time_point t0 = Clock::now();
+        unit_checkers[u]->checkFunction(*fns[f], cfgs[f], uctx);
+        unit_elapsed[u] = Clock::now() - t0;
+    });
+
+    // Sequential merge, in exactly the sequential runner's visit order:
+    // per-checker state absorbs into the masters and each unit's findings
+    // replay through the shared sink (which re-runs the global dedup the
+    // private sinks could not see).
+    std::vector<Clock::duration> elapsed(ncheckers,
+                                         Clock::duration::zero());
+    for (std::size_t u = 0; u < nunits; ++u) {
+        std::size_t c = u % ncheckers;
+        checkers[c]->absorb(*unit_checkers[u]);
+        elapsed[c] += unit_elapsed[u];
+        for (const support::Diagnostic& d : unit_sinks[u].diagnostics())
+            sink.report(d);
+    }
+
+    CheckContext ctx{program, spec, sink};
+    for (std::size_t i = 0; i < ncheckers; ++i) {
+        support::TraceSpan span(tracer.enabled() ? &tracer : nullptr,
+                                checkers[i]->name() + ".program",
+                                "checker");
+        Clock::time_point t0 = Clock::now();
+        checkers[i]->checkProgram(ctx);
+        elapsed[i] += Clock::now() - t0;
+    }
+
+    std::vector<CheckerRunStats> stats;
+    for (std::size_t i = 0; i < ncheckers; ++i) {
+        CheckerRunStats s;
+        s.checker = checkers[i]->name();
+        s.errors = sink.countForChecker(s.checker,
+                                        support::Severity::Error) -
+                   base_errors[i];
+        s.warnings = sink.countForChecker(s.checker,
+                                          support::Severity::Warning) -
+                     base_warnings[i];
+        s.applied = checkers[i]->applied();
+        s.wall_ms =
+            std::chrono::duration<double, std::milli>(elapsed[i]).count();
+        if (metrics.enabled()) {
+            metrics.timer("checker." + s.checker)
+                .add(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    elapsed[i]));
+            metrics.counter("checker." + s.checker + ".errors")
+                .add(static_cast<std::uint64_t>(s.errors));
+            metrics.counter("checker." + s.checker + ".warnings")
+                .add(static_cast<std::uint64_t>(s.warnings));
+            metrics.counter("checker." + s.checker + ".applied")
+                .add(static_cast<std::uint64_t>(s.applied));
+        }
+        stats.push_back(std::move(s));
+    }
+    return stats;
+}
+
+} // namespace mc::checkers

@@ -1,0 +1,56 @@
+#ifndef MCHECK_CHECKERS_PARALLEL_H
+#define MCHECK_CHECKERS_PARALLEL_H
+
+#include "checkers/checker.h"
+#include "checkers/registry.h"
+#include "support/thread_pool.h"
+
+namespace mc::checkers {
+
+/** Knobs for runCheckersParallel. */
+struct ParallelRunOptions
+{
+    /** Worker lanes; 0 means one per hardware thread. */
+    unsigned jobs = 0;
+    /**
+     * Factory options for the per-unit checker instances. Must match the
+     * options the master `checkers` were built with, or the private
+     * instances check different things than the masters claim.
+     */
+    CheckerSetOptions checker_options;
+    /**
+     * Reuse an existing pool (its lane count wins over `jobs`). The run
+     * must not itself be executing on one of the pool's workers — the
+     * pool forbids nested parallelFor.
+     */
+    support::ThreadPool* pool = nullptr;
+};
+
+/**
+ * Parallel drop-in for runCheckers: same inputs, same outputs, same
+ * bytes in the sink — only the wall clock differs.
+ *
+ * The function passes fan out as (function x checker) work units, each
+ * with a private checker instance (built by makeChecker from the
+ * master's name) and a private DiagnosticSink. Units are merged back
+ * sequentially in (function-major, checker-minor) order — exactly the
+ * order the sequential runner visits them — so the shared sink sees the
+ * identical diagnostic sequence, dedup decisions and all, for any job
+ * count. Master instances absorb the units' per-run state in the same
+ * order, then run the program-level passes sequentially, so
+ * inter-procedural checkers (lanes) see exactly the sequential state.
+ *
+ * Checkers whose names the registry factory does not know force a
+ * sequential fallback (their instances cannot be cloned); the result is
+ * still correct, just not parallel.
+ */
+std::vector<CheckerRunStats>
+runCheckersParallel(const lang::Program& program,
+                    const flash::ProtocolSpec& spec,
+                    const std::vector<Checker*>& checkers,
+                    support::DiagnosticSink& sink,
+                    const ParallelRunOptions& options = ParallelRunOptions());
+
+} // namespace mc::checkers
+
+#endif // MCHECK_CHECKERS_PARALLEL_H

@@ -21,22 +21,51 @@ CheckerSet::byName(const std::string& name) const
     return nullptr;
 }
 
+std::unique_ptr<Checker>
+makeChecker(const std::string& name, const CheckerSetOptions& options)
+{
+    if (name == "buffer_mgmt") {
+        BufferMgmtChecker::Options bm;
+        bm.value_sensitive_frees = options.value_sensitive_frees;
+        return std::make_unique<BufferMgmtChecker>(bm);
+    }
+    if (name == "msglen_check")
+        return std::make_unique<MsgLengthChecker>(
+            options.prune_impossible_paths);
+    if (name == "lanes")
+        return std::make_unique<LanesChecker>();
+    if (name == "wait_for_db")
+        return std::make_unique<BufferRaceChecker>();
+    if (name == "alloc_check")
+        return std::make_unique<BufferAllocChecker>();
+    if (name == "dir_check")
+        return std::make_unique<DirectoryChecker>();
+    if (name == "send_wait")
+        return std::make_unique<SendWaitChecker>();
+    if (name == "exec_restrict")
+        return std::make_unique<ExecRestrictChecker>();
+    if (name == "no_float")
+        return std::make_unique<NoFloatChecker>();
+    return nullptr;
+}
+
+const std::vector<std::string>&
+allCheckerNames()
+{
+    static const std::vector<std::string> names = {
+        "buffer_mgmt", "msglen_check", "lanes",
+        "wait_for_db", "alloc_check",  "dir_check",
+        "send_wait",   "exec_restrict", "no_float",
+    };
+    return names;
+}
+
 CheckerSet
 makeAllCheckers(const CheckerSetOptions& options)
 {
     CheckerSet set;
-    BufferMgmtChecker::Options bm;
-    bm.value_sensitive_frees = options.value_sensitive_frees;
-    set.owned.push_back(std::make_unique<BufferMgmtChecker>(bm));
-    set.owned.push_back(
-        std::make_unique<MsgLengthChecker>(options.prune_impossible_paths));
-    set.owned.push_back(std::make_unique<LanesChecker>());
-    set.owned.push_back(std::make_unique<BufferRaceChecker>());
-    set.owned.push_back(std::make_unique<BufferAllocChecker>());
-    set.owned.push_back(std::make_unique<DirectoryChecker>());
-    set.owned.push_back(std::make_unique<SendWaitChecker>());
-    set.owned.push_back(std::make_unique<ExecRestrictChecker>());
-    set.owned.push_back(std::make_unique<NoFloatChecker>());
+    for (const std::string& name : allCheckerNames())
+        set.owned.push_back(makeChecker(name, options));
     return set;
 }
 

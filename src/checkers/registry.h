@@ -47,6 +47,20 @@ struct CheckerSetOptions
 CheckerSet makeAllCheckers(
     const CheckerSetOptions& options = CheckerSetOptions());
 
+/**
+ * Instantiate one checker by its stable name (a Table 7 row). Returns
+ * nullptr for unknown names. The parallel runner uses this as its
+ * per-worker factory: checkers carry mutable per-run state (applied
+ * counts, lanes summaries), so each (function, checker) work unit gets a
+ * fresh instance built with the same options.
+ */
+std::unique_ptr<Checker> makeChecker(
+    const std::string& name,
+    const CheckerSetOptions& options = CheckerSetOptions());
+
+/** The nine checker names in Table 7 (= makeAllCheckers) order. */
+const std::vector<std::string>& allCheckerNames();
+
 /** Static per-checker metadata for the Table 7 reproduction. */
 struct CheckerMeta
 {

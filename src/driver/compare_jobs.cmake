@@ -1,0 +1,45 @@
+# Determinism harness: run mccheck twice with different --jobs values and
+# require byte-identical stdout and matching exit codes.
+#
+# Usage:
+#   cmake -DMCCHECK=<path> -DPROTOCOL=<name> -DFORMAT=<json|sarif>
+#         -P compare_jobs.cmake
+#
+# The corpus protocols carry intentional bugs, so mccheck exits 2; the
+# harness only requires the two runs to agree.
+foreach(var MCCHECK PROTOCOL FORMAT)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "compare_jobs.cmake: -D${var}=... is required")
+    endif()
+endforeach()
+
+execute_process(
+    COMMAND ${MCCHECK} --protocol ${PROTOCOL} --format ${FORMAT} --jobs 1
+    OUTPUT_VARIABLE out_seq
+    ERROR_VARIABLE err_seq
+    RESULT_VARIABLE rc_seq)
+execute_process(
+    COMMAND ${MCCHECK} --protocol ${PROTOCOL} --format ${FORMAT} --jobs 4
+    OUTPUT_VARIABLE out_par
+    ERROR_VARIABLE err_par
+    RESULT_VARIABLE rc_par)
+
+if(NOT rc_seq EQUAL rc_par)
+    message(FATAL_ERROR
+        "exit codes differ for ${PROTOCOL} (${FORMAT}): "
+        "--jobs 1 -> ${rc_seq}, --jobs 4 -> ${rc_par}\n"
+        "stderr(jobs=1): ${err_seq}\nstderr(jobs=4): ${err_par}")
+endif()
+if(NOT out_seq STREQUAL out_par)
+    message(FATAL_ERROR
+        "stdout differs between --jobs 1 and --jobs 4 for "
+        "${PROTOCOL} (${FORMAT}); the engine's deterministic-output "
+        "guarantee is broken")
+endif()
+if(out_seq STREQUAL "")
+    message(FATAL_ERROR
+        "mccheck produced no output for ${PROTOCOL} (${FORMAT}); "
+        "the comparison is vacuous (rc=${rc_seq}, stderr: ${err_seq})")
+endif()
+message(STATUS
+    "${PROTOCOL} (${FORMAT}): --jobs 1 and --jobs 4 agree byte-for-byte")

@@ -13,6 +13,12 @@
  *     --metrics <out.json>   write the MetricsRegistry report
  *     --trace <out.json>     write a Chrome trace-event file
  *     --format text|json|sarif   diagnostic output encoding
+ *     --jobs <n>             checking concurrency (default: all cores)
+ *
+ * Output is deterministic for any --jobs value: diagnostics are ordered
+ * by (file, line, column, checker, rule) at emission and the parallel
+ * runner merges worker results in the sequential visit order, so the
+ * rendered text/JSON/SARIF bytes never depend on thread scheduling.
  *
  * When checking loose files, every CamelCase function is treated as a
  * hardware handler unless its name starts with "Sw" (software handler);
@@ -20,12 +26,14 @@
  * conventions the corpus also uses.
  */
 #include "cfg/cfg.h"
+#include "checkers/parallel.h"
 #include "checkers/registry.h"
 #include "corpus/generator.h"
 #include "metal/engine.h"
 #include "metal/metal_parser.h"
 #include "support/metrics.h"
 #include "support/text.h"
+#include "support/thread_pool.h"
 #include "support/trace.h"
 #include "support/version.h"
 
@@ -57,6 +65,9 @@ const char* const kUsage =
     "  --metrics <out.json>        write engine/checker metrics report\n"
     "  --trace <out.json>          write Chrome trace-event JSON\n"
     "                              (open in chrome://tracing or Perfetto)\n"
+    "  --jobs <n>                  run checkers on n threads (default:\n"
+    "                              hardware concurrency; output is\n"
+    "                              byte-identical for any n)\n"
     "  --help                      show this help\n"
     "  --version                   print version and exit\n";
 
@@ -82,6 +93,8 @@ struct CliOptions
     std::string metrics_path;
     std::string trace_path;
     support::OutputFormat format = support::OutputFormat::Text;
+    /** Checking concurrency; 0 = one lane per hardware thread. */
+    unsigned jobs = 0;
 };
 
 /** Print `what` plus usage to stderr; used for every CLI error. */
@@ -146,6 +159,22 @@ parseArgs(const std::vector<std::string>& args, CliOptions& out)
             if (!need_value(i, arg, out.trace_path))
                 return usageError("--trace needs an output path");
             ++i;
+        } else if (arg == "--jobs") {
+            std::string value;
+            if (!need_value(i, arg, value))
+                return usageError("--jobs needs a positive thread count");
+            unsigned long parsed = 0;
+            std::size_t used = 0;
+            try {
+                parsed = std::stoul(value, &used);
+            } catch (...) {
+                used = 0;
+            }
+            if (used != value.size() || parsed == 0 || parsed > 1024)
+                return usageError("--jobs needs a thread count in 1..1024, "
+                                  "got '" + value + "'");
+            out.jobs = static_cast<unsigned>(parsed);
+            ++i;
         } else if (arg == "--format") {
             std::string name;
             if (!need_value(i, arg, name))
@@ -209,8 +238,10 @@ checkProtocol(const CliOptions& opts)
                             "protocol:" + opts.protocol, "driver");
     auto set = checkers::makeAllCheckers();
     support::DiagnosticSink sink;
-    auto stats = checkers::runCheckers(*loaded.program, loaded.gen.spec,
-                                       set.pointers(), sink);
+    checkers::ParallelRunOptions prun;
+    prun.jobs = opts.jobs;
+    auto stats = checkers::runCheckersParallel(
+        *loaded.program, loaded.gen.spec, set.pointers(), sink, prun);
     span.finish();
     emitFindings(opts, sink, &loaded.program->sourceManager(), &stats);
     return sink.count(support::Severity::Error) > 0 ? 2 : 0;
@@ -276,11 +307,22 @@ runMetalChecker(const CliOptions& opts)
     if (!loadSources(program, opts.files))
         return 1;
 
+    // Fan functions out across the pool, each into a private sink; merge
+    // in program function order so the shared sink sees the same
+    // diagnostic sequence a sequential loop would produce. The parsed
+    // state machine is shared read-only across lanes.
+    const std::vector<const lang::FunctionDecl*>& fns =
+        program.functions();
+    std::vector<support::DiagnosticSink> fn_sinks(fns.size());
+    support::ThreadPool pool(opts.jobs);
+    pool.parallelFor(fns.size(), [&](std::size_t f) {
+        cfg::Cfg cfg = cfg::CfgBuilder::build(*fns[f]);
+        metal::runStateMachine(*checker.sm, cfg, fn_sinks[f]);
+    });
     support::DiagnosticSink sink;
-    for (const lang::FunctionDecl* fn : program.functions()) {
-        cfg::Cfg cfg = cfg::CfgBuilder::build(*fn);
-        metal::runStateMachine(*checker.sm, cfg, sink);
-    }
+    for (const support::DiagnosticSink& fs : fn_sinks)
+        for (const support::Diagnostic& d : fs.diagnostics())
+            sink.report(d);
     emitFindings(opts, sink, &program.sourceManager(), nullptr);
     if (opts.format == support::OutputFormat::Text)
         std::cout << "sm '" << checker.name << "': "
@@ -316,8 +358,10 @@ checkFiles(const CliOptions& opts)
 
     auto set = checkers::makeAllCheckers();
     support::DiagnosticSink sink;
-    auto stats =
-        checkers::runCheckers(program, spec, set.pointers(), sink);
+    checkers::ParallelRunOptions prun;
+    prun.jobs = opts.jobs;
+    auto stats = checkers::runCheckersParallel(program, spec,
+                                               set.pointers(), sink, prun);
     emitFindings(opts, sink, &program.sourceManager(), nullptr);
     if (opts.format == support::OutputFormat::Text)
         std::cout << sink.count(support::Severity::Error) << " error(s), "

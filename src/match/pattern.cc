@@ -2,6 +2,7 @@
 
 #include "lang/lexer.h"
 
+#include <atomic>
 #include <cassert>
 
 namespace mc::match {
@@ -28,8 +29,14 @@ Pattern
 Pattern::compile(PatternContext& pc, const std::string& text,
                  std::vector<WildcardDecl> wildcards)
 {
-    static int counter = 0;
-    std::string name = "<pattern#" + std::to_string(++counter) + ">";
+    // Atomic: patterns are compiled concurrently by per-worker checker
+    // instances. The number only keeps buffer names unique within this
+    // context's SourceManager; it never reaches diagnostics.
+    static std::atomic<int> counter{0};
+    std::string name =
+        "<pattern#" +
+        std::to_string(counter.fetch_add(1, std::memory_order_relaxed) + 1) +
+        ">";
     std::int32_t id = pc.sourceManager().addFile(name, text);
     Lexer lexer(pc.sourceManager(), id);
     ParserOptions options;

@@ -126,10 +126,16 @@ class PathWalker
                 ++result.cache_hits;
                 continue;
             }
-            if (++result.visits > options_.max_visits) {
+            // Cap check precedes the count: a capped walk performs (and
+            // reports) exactly max_visits fully-processed visits. An
+            // earlier version counted first and bailed after, so visits
+            // ended at max_visits + 1 with the last visit's block never
+            // actually processed.
+            if (result.visits >= options_.max_visits) {
                 result.truncated = true;
                 return result;
             }
+            ++result.visits;
 
             const cfg::BasicBlock& bb = cfg.block(entry.block);
             for (const lang::Stmt* stmt : bb.stmts) {
@@ -151,7 +157,15 @@ class PathWalker
             }
 
             for (std::size_t i = 0; i < bb.succs.size(); ++i) {
-                Entry next{bb.succs[i], entry.state, entry.outcomes};
+                // The popped entry is dead after this loop, so the last
+                // successor steals its state and outcomes instead of
+                // copying them — one fewer deep copy per non-branch
+                // block, which is most of a walk.
+                bool last = i + 1 == bb.succs.size();
+                Entry next =
+                    last ? Entry{bb.succs[i], std::move(entry.state),
+                                 std::move(entry.outcomes)}
+                         : Entry{bb.succs[i], entry.state, entry.outcomes};
                 if (bb.isBranch() && hooks_.on_branch)
                     hooks_.on_branch(next.state, *bb.branch_cond, i);
                 if (next.state.dead())

@@ -39,6 +39,7 @@ parseOutputFormat(const std::string& name, OutputFormat& out)
 bool
 DiagnosticSink::report(Diagnostic diag)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     if (diag.severity != Severity::Note) {
         auto [it, inserted] = seen_.emplace(
             DedupKey{diag.checker, diag.rule, diag.loc}, 1);
@@ -52,7 +53,7 @@ DiagnosticSink::report(Diagnostic diag)
 }
 
 int
-DiagnosticSink::count(Severity sev) const
+DiagnosticSink::countLocked(Severity sev) const
 {
     int n = 0;
     for (const auto& d : diags_)
@@ -62,8 +63,35 @@ DiagnosticSink::count(Severity sev) const
 }
 
 int
+DiagnosticSink::count(Severity sev) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return countLocked(sev);
+}
+
+std::vector<std::size_t>
+DiagnosticSink::emissionOrder() const
+{
+    std::vector<std::size_t> order(diags_.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [this](std::size_t a, std::size_t b) {
+                         const Diagnostic& da = diags_[a];
+                         const Diagnostic& db = diags_[b];
+                         if (!(da.loc == db.loc))
+                             return da.loc < db.loc;
+                         if (da.checker != db.checker)
+                             return da.checker < db.checker;
+                         return da.rule < db.rule;
+                     });
+    return order;
+}
+
+int
 DiagnosticSink::countForChecker(const std::string& checker) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     int n = 0;
     for (const auto& d : diags_)
         if (d.checker == checker)
@@ -75,6 +103,7 @@ int
 DiagnosticSink::countForChecker(const std::string& checker,
                                 Severity sev) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     int n = 0;
     for (const auto& d : diags_)
         if (d.checker == checker && d.severity == sev)
@@ -85,6 +114,7 @@ DiagnosticSink::countForChecker(const std::string& checker,
 void
 DiagnosticSink::clear()
 {
+    std::lock_guard<std::mutex> lock(mu_);
     diags_.clear();
     seen_.clear();
 }
@@ -92,7 +122,9 @@ DiagnosticSink::clear()
 void
 DiagnosticSink::print(std::ostream& os, const SourceManager* sm) const
 {
-    for (const auto& d : diags_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t idx : emissionOrder()) {
+        const Diagnostic& d = diags_[idx];
         if (sm) {
             os << sm->describe(d.loc);
         } else {
@@ -139,14 +171,16 @@ sarifLevel(Severity sev)
 void
 DiagnosticSink::printJson(std::ostream& os, const SourceManager* sm) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     os << "{\n  \"tool\": {\"name\": \"" << kToolName
        << "\", \"version\": \"" << kToolVersion << "\"},\n"
-       << "  \"counts\": {\"error\": " << count(Severity::Error)
-       << ", \"warning\": " << count(Severity::Warning)
-       << ", \"note\": " << count(Severity::Note) << "},\n"
+       << "  \"counts\": {\"error\": " << countLocked(Severity::Error)
+       << ", \"warning\": " << countLocked(Severity::Warning)
+       << ", \"note\": " << countLocked(Severity::Note) << "},\n"
        << "  \"diagnostics\": [";
     bool first = true;
-    for (const Diagnostic& d : diags_) {
+    for (std::size_t idx : emissionOrder()) {
+        const Diagnostic& d = diags_[idx];
         os << (first ? "\n" : ",\n") << "    {\"severity\": \""
            << severityName(d.severity) << "\", \"file\": \""
            << jsonEscape(fileNameFor(d.loc, sm))
@@ -171,6 +205,7 @@ DiagnosticSink::printJson(std::ostream& os, const SourceManager* sm) const
 void
 DiagnosticSink::printSarif(std::ostream& os, const SourceManager* sm) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     os << "{\n  \"$schema\": "
           "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
        << "  \"version\": \"2.1.0\",\n  \"runs\": [{\n"
@@ -192,7 +227,8 @@ DiagnosticSink::printSarif(std::ostream& os, const SourceManager* sm) const
     os << (first ? "" : "\n    ") << "]}},\n    \"results\": [";
 
     first = true;
-    for (const Diagnostic& d : diags_) {
+    for (std::size_t idx : emissionOrder()) {
+        const Diagnostic& d = diags_[idx];
         os << (first ? "\n" : ",\n") << "      {\"ruleId\": \""
            << jsonEscape(d.checker + "." + d.rule) << "\", \"level\": \""
            << sarifLevel(d.severity) << "\", \"message\": {\"text\": \""

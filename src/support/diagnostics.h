@@ -5,6 +5,7 @@
 
 #include <iosfwd>
 #include <map>
+#include <mutex>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -69,6 +70,14 @@ struct Diagnostic
  * The sink deduplicates findings by (checker, rule, location): a
  * path-sensitive engine can reach the same bad statement along many paths,
  * but the paper's tables count distinct source-level errors.
+ *
+ * Thread-safety and determinism: `report`, the counting queries, and
+ * `clear` take an internal mutex, so checker worker threads may share one
+ * sink. Emission (`print` / `printJson` / `printSarif`) orders findings
+ * by (file, line, column, checker, rule) — insertion order breaks ties —
+ * so rendered output is byte-identical no matter how many threads (or
+ * which interleaving) produced the findings. `diagnostics()` still
+ * exposes raw insertion order and expects a quiesced sink.
  */
 class DiagnosticSink
 {
@@ -143,6 +152,16 @@ class DiagnosticSink
      */
     using DedupKey = std::tuple<std::string, std::string, SourceLoc>;
 
+    /** count(sev) with mu_ already held. */
+    int countLocked(Severity sev) const;
+
+    /**
+     * Emission order: indices into diags_, stably sorted by
+     * (location, checker, rule). Call with mu_ held.
+     */
+    std::vector<std::size_t> emissionOrder() const;
+
+    mutable std::mutex mu_;
     std::vector<Diagnostic> diags_;
     std::map<DedupKey, int> seen_;
 };

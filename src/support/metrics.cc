@@ -13,9 +13,31 @@ MetricsRegistry::global()
     return registry;
 }
 
+Counter&
+MetricsRegistry::counter(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_[name];
+}
+
+Gauge&
+MetricsRegistry::gauge(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return gauges_[name];
+}
+
+Timer&
+MetricsRegistry::timer(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return timers_[name];
+}
+
 std::uint64_t
 MetricsRegistry::counterValue(const std::string& name) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second.value();
 }
@@ -23,6 +45,7 @@ MetricsRegistry::counterValue(const std::string& name) const
 std::uint64_t
 MetricsRegistry::gaugeValue(const std::string& name) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = gauges_.find(name);
     return it == gauges_.end() ? 0 : it->second.value();
 }
@@ -30,6 +53,7 @@ MetricsRegistry::gaugeValue(const std::string& name) const
 void
 MetricsRegistry::reset()
 {
+    std::lock_guard<std::mutex> lock(mu_);
     for (auto& [name, c] : counters_)
         c.reset();
     for (auto& [name, g] : gauges_)
@@ -41,6 +65,7 @@ MetricsRegistry::reset()
 void
 MetricsRegistry::clear()
 {
+    std::lock_guard<std::mutex> lock(mu_);
     counters_.clear();
     gauges_.clear();
     timers_.clear();
@@ -49,6 +74,7 @@ MetricsRegistry::clear()
 void
 MetricsRegistry::writeJson(std::ostream& os) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     // std::map iteration gives sorted, deterministic key order.
     os << "{\n  \"counters\": {";
     bool first = true;

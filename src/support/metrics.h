@@ -1,10 +1,12 @@
 #ifndef MCHECK_SUPPORT_METRICS_H
 #define MCHECK_SUPPORT_METRICS_H
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace mc::support {
@@ -13,21 +15,38 @@ namespace mc::support {
  * A monotonically increasing counter. Handles returned by
  * MetricsRegistry::counter are stable for the registry's lifetime, so hot
  * loops can hold one and increment without a map lookup.
+ *
+ * Thread-safe: `add` is a relaxed atomic fetch-add, so worker threads of
+ * the parallel checking engine publish into one shared instrument without
+ * locks; the merged total is exact regardless of interleaving.
  */
 class Counter
 {
   public:
-    void add(std::uint64_t n = 1) { value_ += n; }
-    std::uint64_t value() const { return value_; }
-    void reset() { value_ = 0; }
+    void
+    add(std::uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0, std::memory_order_relaxed); }
 
   private:
-    std::uint64_t value_ = 0;
+    std::atomic<std::uint64_t> value_{0};
 };
 
 /**
  * A high-water-mark gauge: `observe` keeps the maximum value seen since
  * the last reset (peak frontier size, worst-case path counts).
+ *
+ * Thread-safe via an atomic max-merge: concurrent observers race only to
+ * raise the value, so the final reading is the true maximum across all
+ * threads — max is commutative, making the merge order irrelevant.
  */
 class Gauge
 {
@@ -35,20 +54,32 @@ class Gauge
     void
     observe(std::uint64_t v)
     {
-        if (v > value_)
-            value_ = v;
+        std::uint64_t cur = value_.load(std::memory_order_relaxed);
+        while (v > cur &&
+               !value_.compare_exchange_weak(cur, v,
+                                             std::memory_order_relaxed)) {
+        }
     }
 
-    std::uint64_t value() const { return value_; }
-    void reset() { value_ = 0; }
+    std::uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0, std::memory_order_relaxed); }
 
   private:
-    std::uint64_t value_ = 0;
+    std::atomic<std::uint64_t> value_{0};
 };
 
 /**
  * Accumulated wall time plus an invocation count. Fed by ScopedTimer or
  * directly via `add`.
+ *
+ * Thread-safe: both fields are relaxed atomics. The two increments of one
+ * `add` are not a single transaction, so a concurrent reader can observe
+ * a count/total pair mid-update; totals are exact once writers quiesce
+ * (reports are written after the pool joins).
  */
 class Timer
 {
@@ -56,24 +87,36 @@ class Timer
     void
     add(std::chrono::nanoseconds elapsed)
     {
-        total_ns_ += static_cast<std::uint64_t>(elapsed.count());
-        ++count_;
+        total_ns_.fetch_add(static_cast<std::uint64_t>(elapsed.count()),
+                            std::memory_order_relaxed);
+        count_.fetch_add(1, std::memory_order_relaxed);
     }
 
-    std::uint64_t totalNanos() const { return total_ns_; }
-    double totalMillis() const { return static_cast<double>(total_ns_) / 1e6; }
-    std::uint64_t count() const { return count_; }
+    std::uint64_t totalNanos() const
+    {
+        return total_ns_.load(std::memory_order_relaxed);
+    }
+
+    double totalMillis() const
+    {
+        return static_cast<double>(totalNanos()) / 1e6;
+    }
+
+    std::uint64_t count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
 
     void
     reset()
     {
-        total_ns_ = 0;
-        count_ = 0;
+        total_ns_.store(0, std::memory_order_relaxed);
+        count_.store(0, std::memory_order_relaxed);
     }
 
   private:
-    std::uint64_t total_ns_ = 0;
-    std::uint64_t count_ = 0;
+    std::atomic<std::uint64_t> total_ns_{0};
+    std::atomic<std::uint64_t> count_{0};
 };
 
 /**
@@ -89,6 +132,12 @@ class Timer
  * to keep cheap local tallies unconditionally and only publish into the
  * registry behind `enabled()`, which makes the disabled configuration
  * cost one inlined boolean load per engine run — nothing per statement.
+ *
+ * Concurrency: get-or-create takes a mutex, but the returned references
+ * are stable (std::map nodes never move), so hot paths look up once and
+ * then touch only the lock-free instruments. The map accessors
+ * (`counters()` et al.) and `writeJson` expect a quiesced registry — the
+ * engine joins its pool before reporting.
  */
 class MetricsRegistry
 {
@@ -96,15 +145,18 @@ class MetricsRegistry
     /** The process-wide instance used by all instrumentation sites. */
     static MetricsRegistry& global();
 
-    bool enabled() const { return enabled_; }
-    void setEnabled(bool on) { enabled_ = on; }
+    bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+    void setEnabled(bool on)
+    {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
 
-    /** Get-or-create; the returned reference is stable. */
-    Counter& counter(const std::string& name) { return counters_[name]; }
-    Gauge& gauge(const std::string& name) { return gauges_[name]; }
-    Timer& timer(const std::string& name) { return timers_[name]; }
+    /** Get-or-create; the returned reference is stable. Thread-safe. */
+    Counter& counter(const std::string& name);
+    Gauge& gauge(const std::string& name);
+    Timer& timer(const std::string& name);
 
-    /** Value of a counter, or 0 if it was never touched. */
+    /** Value of a counter, or 0 if it was never touched. Thread-safe. */
     std::uint64_t counterValue(const std::string& name) const;
     std::uint64_t gaugeValue(const std::string& name) const;
 
@@ -129,7 +181,8 @@ class MetricsRegistry
     void writeJson(std::ostream& os) const;
 
   private:
-    bool enabled_ = false;
+    std::atomic<bool> enabled_{false};
+    mutable std::mutex mu_;
     std::map<std::string, Counter> counters_;
     std::map<std::string, Gauge> gauges_;
     std::map<std::string, Timer> timers_;

@@ -1,0 +1,92 @@
+#ifndef MCHECK_SUPPORT_THREAD_POOL_H
+#define MCHECK_SUPPORT_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mc::support {
+
+/**
+ * A small work-stealing thread pool for the checking engine.
+ *
+ * The pool models a *concurrency level* of `jobs`: it spawns `jobs - 1`
+ * worker threads, and `parallelFor` contributes the calling thread as the
+ * final lane. `jobs == 1` therefore means strictly sequential execution on
+ * the caller with no threads at all — the baseline every determinism test
+ * compares against.
+ *
+ * Each worker owns a deque: `submit` distributes tasks round-robin, a
+ * worker pops from the back of its own deque (LIFO, cache-warm) and steals
+ * from the front of a victim's (FIFO, oldest first). `parallelFor` layers
+ * a dynamically-balanced index loop on top: one runner task per lane, all
+ * pulling indices from a shared atomic counter, so a giant function next
+ * to a hundred tiny ones self-balances without static partitioning.
+ *
+ * Restrictions (all checked-by-construction in the engine's usage):
+ *  - `parallelFor` must not be called from inside a pool task (no
+ *    nesting); it is a fork-join barrier for the calling thread only.
+ *  - Task exceptions: `parallelFor` re-throws the first body exception on
+ *    the caller after the join; `submit` tasks must not throw.
+ */
+class ThreadPool
+{
+  public:
+    /** `jobs == 0` means defaultJobs(). Spawns `jobs - 1` workers. */
+    explicit ThreadPool(unsigned jobs = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** The concurrency level: worker threads + the parallelFor caller. */
+    unsigned jobs() const { return jobs_; }
+
+    /** Hardware concurrency, clamped to at least 1. */
+    static unsigned defaultJobs();
+
+    /** Enqueue one task. With no workers (jobs == 1) it runs inline. */
+    void submit(std::function<void()> task);
+
+    /**
+     * Run `body(0) .. body(n-1)` across the workers plus the calling
+     * thread; returns when every index has completed. Indices are handed
+     * out one at a time from an atomic counter (work for stealing), so
+     * uneven per-index cost self-balances. The first exception thrown by
+     * any body is re-thrown on the caller; remaining indices are skipped.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)>& body);
+
+  private:
+    /** One worker's deque; stealing locks the victim's mutex only. */
+    struct WorkQueue
+    {
+        std::mutex mu;
+        std::deque<std::function<void()>> tasks;
+    };
+
+    void workerLoop(unsigned self);
+    /** Pop own back, else steal another queue's front. */
+    bool runOneTask(unsigned self);
+
+    unsigned jobs_ = 1;
+    std::vector<std::unique_ptr<WorkQueue>> queues_;
+    std::vector<std::thread> workers_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+    /** Tasks enqueued but not yet finished (guarded by mu_ for the cv). */
+    std::size_t pending_ = 0;
+    std::atomic<unsigned> next_queue_{0};
+};
+
+} // namespace mc::support
+
+#endif // MCHECK_SUPPORT_THREAD_POOL_H

@@ -2,9 +2,41 @@
 
 #include "support/text.h"
 
+#include <algorithm>
 #include <ostream>
 
 namespace mc::support {
+
+namespace {
+
+/**
+ * One thread's cache of (recorder id -> buffer). Keyed by the recorder's
+ * unique id, never its address: ids are monotonically allocated, so an id
+ * in the cache can never be confused with a later recorder that happens
+ * to be constructed at a freed recorder's address. Stale entries (from
+ * destroyed recorders) are never matched and simply linger — bounded by
+ * the number of recorders a thread ever touches.
+ */
+struct BufferCacheEntry
+{
+    std::uint64_t recorder_id;
+    void* buffer;
+};
+
+thread_local std::vector<BufferCacheEntry> t_buffer_cache;
+
+std::uint64_t
+nextRecorderId()
+{
+    static std::atomic<std::uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace
+
+TraceRecorder::TraceRecorder() : id_(nextRecorderId()) {}
+
+TraceRecorder::~TraceRecorder() = default;
 
 TraceRecorder&
 TraceRecorder::global()
@@ -13,16 +45,70 @@ TraceRecorder::global()
     return recorder;
 }
 
+TraceRecorder::ThreadBuffer&
+TraceRecorder::localBuffer()
+{
+    for (const BufferCacheEntry& e : t_buffer_cache)
+        if (e.recorder_id == id_)
+            return *static_cast<ThreadBuffer*>(e.buffer);
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back(std::make_unique<ThreadBuffer>());
+    ThreadBuffer& buf = *buffers_.back();
+    buf.tid = next_tid_++;
+    t_buffer_cache.push_back({id_, &buf});
+    return buf;
+}
+
+void
+TraceRecorder::addEvent(TraceEvent event)
+{
+    ThreadBuffer& buf = localBuffer();
+    event.tid = buf.tid;
+    buf.events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent>
+TraceRecorder::events() const
+{
+    std::vector<TraceEvent> merged;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        std::size_t total = 0;
+        for (const auto& buf : buffers_)
+            total += buf->events.size();
+        merged.reserve(total);
+        for (const auto& buf : buffers_)
+            merged.insert(merged.end(), buf->events.begin(),
+                          buf->events.end());
+    }
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                         if (a.ts_us != b.ts_us)
+                             return a.ts_us < b.ts_us;
+                         return a.tid < b.tid;
+                     });
+    return merged;
+}
+
+void
+TraceRecorder::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& buf : buffers_)
+        buf->events.clear();
+}
+
 void
 TraceRecorder::writeJson(std::ostream& os) const
 {
+    std::vector<TraceEvent> merged = events();
     os << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
     bool first = true;
-    for (const TraceEvent& e : events_) {
+    for (const TraceEvent& e : merged) {
         os << (first ? "\n" : ",\n")
            << "    {\"name\": \"" << jsonEscape(e.name)
            << "\", \"cat\": \"" << jsonEscape(e.category)
-           << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": 1"
+           << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << e.tid
            << ", \"ts\": " << e.ts_us << ", \"dur\": " << e.dur_us;
         if (!e.args.empty()) {
             os << ", \"args\": {";

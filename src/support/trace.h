@@ -1,9 +1,12 @@
 #ifndef MCHECK_SUPPORT_TRACE_H
 #define MCHECK_SUPPORT_TRACE_H
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -13,7 +16,8 @@ namespace mc::support {
 /**
  * One complete ("ph":"X") trace event: a named span with a category, a
  * start timestamp, a duration (both microseconds relative to the
- * recorder's enable time), and optional string args.
+ * recorder's enable time), the recording thread's lane id, and optional
+ * string args.
  */
 struct TraceEvent
 {
@@ -21,6 +25,8 @@ struct TraceEvent
     std::string category;
     std::uint64_t ts_us = 0;
     std::uint64_t dur_us = 0;
+    /** Trace lane ("tid" in the viewer): 1 = first thread seen. */
+    std::uint32_t tid = 1;
     std::vector<std::pair<std::string, std::string>> args;
 };
 
@@ -31,22 +37,35 @@ struct TraceEvent
  * Like MetricsRegistry, the recorder is disabled by default and
  * instrumentation sites guard on `enabled()`: a disabled recorder costs
  * one inlined boolean load per engine run and never reads the clock.
+ *
+ * Concurrency: each thread appends to its own buffer (registered once per
+ * thread, under a lock; appends are lock-free thereafter), so worker
+ * threads of the parallel engine never contend. Buffers are merged, in
+ * timestamp order, when events are read or flushed — `events()`,
+ * `writeJson`, and `clear` expect a quiesced recorder (the engine joins
+ * its pool first).
  */
 class TraceRecorder
 {
   public:
+    TraceRecorder();
+    ~TraceRecorder();
+
+    TraceRecorder(const TraceRecorder&) = delete;
+    TraceRecorder& operator=(const TraceRecorder&) = delete;
+
     /** The process-wide instance used by all instrumentation sites. */
     static TraceRecorder& global();
 
-    bool enabled() const { return enabled_; }
+    bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
     /** Enabling (re)anchors the timestamp origin at "now". */
     void
     setEnabled(bool on)
     {
-        enabled_ = on;
         if (on)
             origin_ = std::chrono::steady_clock::now();
+        enabled_.store(on, std::memory_order_relaxed);
     }
 
     /** Microseconds since the recorder was enabled. */
@@ -59,22 +78,43 @@ class TraceRecorder
                 .count());
     }
 
-    void addEvent(TraceEvent event) { events_.push_back(std::move(event)); }
+    /** Record one event into the calling thread's buffer. Thread-safe. */
+    void addEvent(TraceEvent event);
 
-    const std::vector<TraceEvent>& events() const { return events_; }
+    /**
+     * All recorded events merged across thread buffers, ordered by
+     * (timestamp, lane). Snapshot by value: per-thread buffers stay
+     * private until this merge.
+     */
+    std::vector<TraceEvent> events() const;
 
-    void clear() { events_.clear(); }
+    /** Drop all recorded events (buffers stay registered). */
+    void clear();
 
     /**
      * Write {"traceEvents": [...], "displayTimeUnit": "ms"}. Every event
-     * is a complete span ("ph":"X") on pid 1 / tid 1.
+     * is a complete span ("ph":"X") on pid 1; tid is the lane of the
+     * thread that recorded the span.
      */
     void writeJson(std::ostream& os) const;
 
   private:
-    bool enabled_ = false;
+    struct ThreadBuffer
+    {
+        std::uint32_t tid = 1;
+        std::vector<TraceEvent> events;
+    };
+
+    /** This thread's buffer, registering it on first use. */
+    ThreadBuffer& localBuffer();
+
+    std::atomic<bool> enabled_{false};
     std::chrono::steady_clock::time_point origin_;
-    std::vector<TraceEvent> events_;
+    /** Distinguishes recorder instances in the thread-local cache. */
+    std::uint64_t id_ = 0;
+    mutable std::mutex mu_;
+    std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+    std::uint32_t next_tid_ = 1;
 };
 
 /**

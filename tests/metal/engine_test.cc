@@ -299,8 +299,9 @@ TEST(Engine, PublishesTraceSpanWhenRecorderEnabled)
     cfg::Cfg cfg = cfg::CfgBuilder::build(*program.findFunction("handler"));
     runStateMachine(*mp.sm, cfg, sink);
 
-    ASSERT_EQ(tracer.events().size(), 1u);
-    const support::TraceEvent& e = tracer.events()[0];
+    std::vector<support::TraceEvent> events = tracer.events();
+    ASSERT_EQ(events.size(), 1u);
+    const support::TraceEvent& e = events[0];
     EXPECT_EQ(e.name, "wait_for_db");
     EXPECT_EQ(e.category, "engine");
     ASSERT_FALSE(e.args.empty());

@@ -94,6 +94,78 @@ TEST(PathWalker, VisitCapReportsTruncation)
     PathWalker<TraceState> walker(std::move(hooks), /*max_visits=*/2);
     auto result = walker.walk(b->cfg, TraceState{});
     EXPECT_TRUE(result.truncated);
+    // A capped walk performs exactly max_visits fully-processed visits.
+    // The off-by-one this pins down: counting before checking the cap
+    // reported max_visits + 1, with the final visit's block never
+    // actually processed.
+    EXPECT_EQ(result.visits, 2u);
+}
+
+TEST(PathWalker, CapEqualToNeededVisitsDoesNotTruncate)
+{
+    // A cap exactly equal to the walk's natural visit count must let the
+    // walk finish: every counted visit is fully processed, so nothing is
+    // left when the counter reaches the cap.
+    auto b = build("if (a) x(); if (b) y();");
+    PathWalker<TraceState> uncapped(PathWalker<TraceState>::Hooks{});
+    auto full = uncapped.walk(b->cfg, TraceState{});
+    ASSERT_FALSE(full.truncated);
+    ASSERT_GT(full.visits, 0u);
+
+    PathWalker<TraceState> capped(PathWalker<TraceState>::Hooks{},
+                                  /*max_visits=*/full.visits);
+    auto result = capped.walk(b->cfg, TraceState{});
+    EXPECT_FALSE(result.truncated);
+    EXPECT_EQ(result.visits, full.visits);
+    EXPECT_EQ(result.cache_hits, full.cache_hits);
+}
+
+/** State that counts how many times it is deep-copied. */
+struct CopyCountState
+{
+    std::shared_ptr<int> copies = std::make_shared<int>(0);
+
+    CopyCountState() = default;
+    CopyCountState(const CopyCountState& o) : copies(o.copies)
+    {
+        ++*copies;
+    }
+    CopyCountState(CopyCountState&&) = default;
+    CopyCountState&
+    operator=(const CopyCountState& o)
+    {
+        copies = o.copies;
+        ++*copies;
+        return *this;
+    }
+    CopyCountState& operator=(CopyCountState&&) = default;
+
+    std::string key() const { return "k"; }
+    bool dead() const { return false; }
+};
+
+TEST(PathWalker, StraightLineWalkCopiesStateOnlyAtSeed)
+{
+    // Single-successor blocks hand their state to the successor by move;
+    // the only copy is seeding the entry from the caller's initial state.
+    auto b = build("a(); b(); c();");
+    PathWalker<CopyCountState> walker(PathWalker<CopyCountState>::Hooks{});
+    CopyCountState initial;
+    auto result = walker.walk(b->cfg, initial);
+    EXPECT_GT(result.visits, 0u);
+    EXPECT_EQ(*initial.copies, 1);
+}
+
+TEST(PathWalker, BranchForkCopiesStateOncePerExtraEdge)
+{
+    // A two-way branch needs one copy (first edge); the last edge steals
+    // the popped entry's state. One branch + the seed copy = 2.
+    auto b = build("if (c) { x(); } else { y(); } z();");
+    PathWalker<CopyCountState> walker(PathWalker<CopyCountState>::Hooks{});
+    CopyCountState initial;
+    auto result = walker.walk(b->cfg, initial);
+    EXPECT_GT(result.visits, 0u);
+    EXPECT_EQ(*initial.copies, 2);
 }
 
 // ---------------------------------------------------------------------

@@ -111,14 +111,17 @@ TEST(DiagnosticFormats, JsonMatchesGoldenAndParses)
     ASSERT_NO_THROW(root = testjson::parse(os.str()));
     EXPECT_EQ(root.at("counts").at("error").number, 2.0);
     ASSERT_EQ(root.at("diagnostics").array.size(), 2u);
+    // Both findings land on fixture.c:6:5, so the sorted emission order
+    // breaks the tie by checker name: "lanes" before "wait_for_db".
     const auto& first = root.at("diagnostics").array[0];
-    EXPECT_EQ(first.at("checker").string, "wait_for_db");
-    EXPECT_EQ(first.at("file").string, "fixture.c");
-    EXPECT_EQ(first.at("line").number, 6.0);
-    const auto& second = root.at("diagnostics").array[1];
-    ASSERT_EQ(second.at("trace").array.size(), 2u);
-    EXPECT_EQ(second.at("trace").array[0].string,
+    EXPECT_EQ(first.at("checker").string, "lanes");
+    ASSERT_EQ(first.at("trace").array.size(), 2u);
+    EXPECT_EQ(first.at("trace").array[0].string,
               "NILocalPut (fixture.c:5)");
+    const auto& second = root.at("diagnostics").array[1];
+    EXPECT_EQ(second.at("checker").string, "wait_for_db");
+    EXPECT_EQ(second.at("file").string, "fixture.c");
+    EXPECT_EQ(second.at("line").number, 6.0);
 
     expectMatchesGolden(os.str(), "fixture_diagnostics.json");
 }
@@ -139,7 +142,13 @@ TEST(DiagnosticFormats, SarifMatchesGoldenAndParses)
     const auto& run = root.at("runs").array[0];
     EXPECT_EQ(run.at("tool").at("driver").at("name").string, "mccheck");
     ASSERT_EQ(run.at("results").array.size(), 2u);
-    const auto& result = run.at("results").array[0];
+    // Tie on location, so sorted emission puts "lanes" first; it carries
+    // its back-trace as a SARIF stack.
+    const auto& lanes = run.at("results").array[0];
+    EXPECT_EQ(lanes.at("ruleId").string, "lanes.overflow");
+    ASSERT_EQ(lanes.at("stacks").array.size(), 1u);
+    EXPECT_EQ(lanes.at("stacks").array[0].at("frames").array.size(), 2u);
+    const auto& result = run.at("results").array[1];
     EXPECT_EQ(result.at("ruleId").string,
               "wait_for_db.buffer-not-synchronized");
     EXPECT_EQ(result.at("level").string, "error");
@@ -148,10 +157,6 @@ TEST(DiagnosticFormats, SarifMatchesGoldenAndParses)
                              .at("physicalLocation")
                              .at("region");
     EXPECT_EQ(region.at("startLine").number, 6.0);
-    // The lanes finding carries its back-trace as a SARIF stack.
-    const auto& lanes = run.at("results").array[1];
-    ASSERT_EQ(lanes.at("stacks").array.size(), 1u);
-    EXPECT_EQ(lanes.at("stacks").array[0].at("frames").array.size(), 2u);
 
     expectMatchesGolden(os.str(), "fixture_diagnostics.sarif");
 }

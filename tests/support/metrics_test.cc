@@ -6,6 +6,7 @@
 
 #include <sstream>
 #include <thread>
+#include <vector>
 
 namespace mc::support {
 namespace {
@@ -119,6 +120,37 @@ TEST(MetricsRegistry, EmptyRegistryWritesValidJson)
     ASSERT_NO_THROW(root = testjson::parse(os.str()));
     EXPECT_TRUE(root.at("counters").isObject());
     EXPECT_TRUE(root.at("timers").isObject());
+}
+
+TEST(MetricsRegistry, ConcurrentUpdatesMergeExactly)
+{
+    // Hammer one counter, one max-gauge, and one timer from several
+    // threads, including racing get-or-create on the same names. Counter
+    // and timer sums must be exact; the gauge must hold the global max.
+    MetricsRegistry reg;
+    constexpr int kThreads = 8;
+    constexpr int kIters = 5000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&reg, t] {
+            for (int i = 0; i < kIters; ++i) {
+                reg.counter("hammer.count").add(1);
+                reg.gauge("hammer.peak").observe(
+                    static_cast<std::uint64_t>(t * kIters + i));
+                reg.timer("hammer.time").add(std::chrono::nanoseconds(1));
+            }
+        });
+    for (std::thread& t : threads)
+        t.join();
+
+    EXPECT_EQ(reg.counterValue("hammer.count"),
+              static_cast<std::uint64_t>(kThreads) * kIters);
+    EXPECT_EQ(reg.gaugeValue("hammer.peak"),
+              static_cast<std::uint64_t>(kThreads) * kIters - 1);
+    EXPECT_EQ(reg.timer("hammer.time").count(),
+              static_cast<std::uint64_t>(kThreads) * kIters);
+    EXPECT_EQ(reg.timer("hammer.time").totalNanos(),
+              static_cast<std::uint64_t>(kThreads) * kIters);
 }
 
 TEST(MetricsRegistry, MetricNamesNeedingEscapesStayWellFormed)
