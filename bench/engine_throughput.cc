@@ -5,6 +5,7 @@
  * engine (showing the (block, state) cache keeps exponential-path
  * functions linear-time), and whole-protocol checking throughput.
  */
+#include "cache/analysis_cache.h"
 #include "checkers/parallel.h"
 #include "checkers/registry.h"
 #include "corpus/generator.h"
@@ -16,6 +17,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <filesystem>
 #include <memory>
 #include <vector>
 
@@ -229,6 +231,65 @@ BM_CheckCorpusProtocolFanout(benchmark::State& state)
 BENCHMARK(BM_CheckCorpusProtocolFanout)
     ->Arg(1)
     ->Arg(2)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Whole-corpus checking against a pre-filled analysis cache: every
+ * (function, checker) unit replays its stored outcome instead of walking
+ * paths, so this measures the warm-run floor — fingerprinting, entry
+ * decode, state replay, and the merge. Compare against
+ * BM_CheckCorpusParallel at the same Arg for the cold/warm speedup the
+ * EXPERIMENTS table reports.
+ */
+void
+BM_CheckCorpusWarmCache(benchmark::State& state)
+{
+    namespace fs = std::filesystem;
+    unsigned jobs = static_cast<unsigned>(state.range(0));
+    fs::path dir =
+        fs::temp_directory_path() / "mccheck_bench_warm_cache";
+    fs::remove_all(dir);
+    {
+        // Cold fill, outside the timed loop.
+        cache::AnalysisCache cache(dir.string());
+        for (const corpus::LoadedProtocol& loaded : fullCorpus()) {
+            auto set = checkers::makeAllCheckers();
+            support::DiagnosticSink sink;
+            checkers::ParallelRunOptions options;
+            options.jobs = jobs;
+            options.cache = &cache;
+            checkers::runCheckersParallel(*loaded.program,
+                                          loaded.gen.spec,
+                                          set.pointers(), sink, options);
+        }
+    }
+    std::uint64_t hits = 0;
+    for (auto _ : state) {
+        cache::AnalysisCache cache(dir.string());
+        int diags = 0;
+        for (const corpus::LoadedProtocol& loaded : fullCorpus()) {
+            auto set = checkers::makeAllCheckers();
+            support::DiagnosticSink sink;
+            checkers::ParallelRunOptions options;
+            options.jobs = jobs;
+            options.cache = &cache;
+            auto stats = checkers::runCheckersParallel(
+                *loaded.program, loaded.gen.spec, set.pointers(), sink,
+                options);
+            diags += static_cast<int>(sink.diagnostics().size());
+            benchmark::DoNotOptimize(stats.size());
+        }
+        hits = cache.stats().hits;
+        benchmark::DoNotOptimize(diags);
+    }
+    state.counters["jobs"] = static_cast<double>(jobs);
+    state.counters["cache_hits"] = static_cast<double>(hits);
+    fs::remove_all(dir);
+}
+BENCHMARK(BM_CheckCorpusWarmCache)
+    ->Arg(1)
     ->Arg(4)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);

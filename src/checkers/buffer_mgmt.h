@@ -3,6 +3,9 @@
 
 #include "checkers/checker.h"
 
+#include <istream>
+#include <ostream>
+
 namespace mc::checkers {
 
 /**
@@ -69,6 +72,30 @@ class BufferMgmtChecker : public Checker
             annotations_seen_ += o->annotations_seen_;
             annotations_unneeded_ += o->annotations_unneeded_;
         }
+    }
+
+    void
+    saveState(std::ostream& os) const override
+    {
+        Checker::saveState(os);
+        os << "annotations " << annotations_seen_ << ' '
+           << annotations_unneeded_ << '\n';
+    }
+
+    bool
+    loadState(std::istream& is) override
+    {
+        if (!Checker::loadState(is))
+            return false;
+        std::string tag;
+        int seen = 0;
+        int unneeded = 0;
+        if (!(is >> tag >> seen >> unneeded) || tag != "annotations" ||
+            seen < 0 || unneeded < 0)
+            return false;
+        annotations_seen_ = seen;
+        annotations_unneeded_ = unneeded;
+        return true;
     }
 
     /** Annotation sites encountered across the run. */

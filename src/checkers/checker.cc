@@ -4,8 +4,27 @@
 #include "support/trace.h"
 
 #include <chrono>
+#include <istream>
+#include <ostream>
 
 namespace mc::checkers {
+
+void
+Checker::saveState(std::ostream& os) const
+{
+    os << "applied " << applied_ << '\n';
+}
+
+bool
+Checker::loadState(std::istream& is)
+{
+    std::string tag;
+    int n = 0;
+    if (!(is >> tag >> n) || tag != "applied" || n < 0)
+        return false;
+    applied_ = n;
+    return true;
+}
 
 std::vector<CheckerRunStats>
 runCheckers(const lang::Program& program, const flash::ProtocolSpec& spec,

@@ -6,6 +6,7 @@
 #include "lang/program.h"
 #include "support/diagnostics.h"
 
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -70,6 +71,23 @@ class Checker
      * overrides may steal from it.
      */
     virtual void absorb(Checker& other) { applied_ += other.applied_; }
+
+    /**
+     * Serialize the per-run state the function passes accumulated — the
+     * exact state `absorb` would merge. The analysis cache stores this
+     * blob per (function, checker) work unit and replays it through
+     * `loadState` + `absorb` on a hit, so a warm run leaves every master
+     * checker bit-identical to a cold one. Overrides must call the base
+     * first and append their own fields in a self-delimiting form.
+     */
+    virtual void saveState(std::ostream& os) const;
+
+    /**
+     * Inverse of saveState. Returns false (leaving the checker unusable
+     * for replay) on malformed input; the cache then treats the entry as
+     * corrupt and falls back to cold analysis.
+     */
+    virtual bool loadState(std::istream& is);
 
   protected:
     int applied_ = 0;

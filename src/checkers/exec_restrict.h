@@ -3,6 +3,9 @@
 
 #include "checkers/checker.h"
 
+#include <istream>
+#include <ostream>
+
 namespace mc::checkers {
 
 /**
@@ -53,6 +56,30 @@ class ExecRestrictChecker : public Checker
             handlers_checked_ += o->handlers_checked_;
             vars_checked_ += o->vars_checked_;
         }
+    }
+
+    void
+    saveState(std::ostream& os) const override
+    {
+        Checker::saveState(os);
+        os << "restrict " << handlers_checked_ << ' ' << vars_checked_
+           << '\n';
+    }
+
+    bool
+    loadState(std::istream& is) override
+    {
+        if (!Checker::loadState(is))
+            return false;
+        std::string tag;
+        int handlers = 0;
+        int vars = 0;
+        if (!(is >> tag >> handlers >> vars) || tag != "restrict" ||
+            handlers < 0 || vars < 0)
+            return false;
+        handlers_checked_ = handlers;
+        vars_checked_ = vars;
+        return true;
     }
 
     int handlersChecked() const { return handlers_checked_; }

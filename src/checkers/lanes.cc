@@ -3,6 +3,7 @@
 #include "flash/macros.h"
 #include "global/callgraph.h"
 
+#include <limits>
 #include <sstream>
 
 namespace mc::checkers {
@@ -122,6 +123,29 @@ LanesChecker::checkProgram(CheckContext& ctx)
             ctx.sink.report(std::move(diag));
         }
     }
+}
+
+void
+LanesChecker::saveState(std::ostream& os) const
+{
+    Checker::saveState(os);
+    global::writeSummaries(os, summaries_);
+}
+
+bool
+LanesChecker::loadState(std::istream& is)
+{
+    if (!Checker::loadState(is))
+        return false;
+    // Skip the newline the base reader leaves behind, then hand the rest
+    // of the stream to the flow-graph parser (it reads to EOF).
+    is.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+    try {
+        summaries_ = global::readSummaries(is);
+    } catch (const std::exception&) {
+        return false;
+    }
+    return true;
 }
 
 } // namespace mc::checkers

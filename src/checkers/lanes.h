@@ -68,6 +68,14 @@ class LanesChecker : public Checker
         }
     }
 
+    /**
+     * Cache serialization: base state plus the emitted summaries in the
+     * textual flow-graph format (the paper's emit-to-file pipeline doing
+     * double duty as the cache encoding).
+     */
+    void saveState(std::ostream& os) const override;
+    bool loadState(std::istream& is) override;
+
     /** The local pass's emitted summaries (exposed for tests/benches). */
     const std::vector<global::FunctionSummary>& summaries() const
     {

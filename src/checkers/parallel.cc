@@ -1,11 +1,58 @@
 #include "checkers/parallel.h"
 
+#include "checkers/metal_sources.h"
+#include "flash/protocol_spec.h"
+#include "lang/fingerprint.h"
+#include "support/hash.h"
 #include "support/metrics.h"
 #include "support/trace.h"
+#include "support/version.h"
 
 #include <chrono>
+#include <sstream>
 
 namespace mc::checkers {
+
+namespace {
+
+/**
+ * The metal state-machine source a checker compiles from, or "" for the
+ * hand-written ones. Part of the cache key: editing a .metal file must
+ * invalidate every result its checker produced.
+ */
+const char*
+metalSourceFor(const std::string& checker_name)
+{
+    if (checker_name == "wait_for_db")
+        return kWaitForDbMetal;
+    if (checker_name == "msglen_check")
+        return kMsgLenCheckMetal;
+    return "";
+}
+
+/**
+ * Content key for one (function, checker) work unit. Any input that can
+ * change the unit's diagnostics or absorbed state is folded in; two runs
+ * may share an entry only when every ingredient matches.
+ */
+std::uint64_t
+unitCacheKey(const std::string& checker_name,
+             const CheckerSetOptions& options, std::uint64_t spec_fp,
+             std::uint64_t fn_fp)
+{
+    support::Fnv1a h;
+    h.i64(cache::kCacheFormatVersion);
+    h.str(support::kToolVersion);
+    h.str(checker_name);
+    h.str(metalSourceFor(checker_name));
+    h.u8(options.value_sensitive_frees ? 1 : 0);
+    h.u8(options.prune_impossible_paths ? 1 : 0);
+    h.u64(spec_fp);
+    h.u64(fn_fp);
+    return h.value();
+}
+
+} // namespace
 
 std::vector<CheckerRunStats>
 runCheckersParallel(const lang::Program& program,
@@ -15,7 +62,8 @@ runCheckersParallel(const lang::Program& program,
                     const ParallelRunOptions& options)
 {
     // Any checker the factory cannot rebuild (a test double, say) makes
-    // private instances impossible; one lane makes them pointless.
+    // private instances impossible; one lane makes them pointless unless
+    // a cache needs the unit machinery for replay.
     unsigned jobs = options.pool           ? options.pool->jobs()
                     : options.jobs != 0   ? options.jobs
                                            : support::ThreadPool::defaultJobs();
@@ -23,7 +71,8 @@ runCheckersParallel(const lang::Program& program,
     for (Checker* checker : checkers)
         if (!makeChecker(checker->name(), options.checker_options))
             clonable = false;
-    if (jobs <= 1 || !clonable)
+    cache::AnalysisCache* cache = clonable ? options.cache : nullptr;
+    if ((jobs <= 1 && !cache) || !clonable)
         return runCheckers(program, spec, checkers, sink);
 
     support::ThreadPool local_pool(options.pool ? 1 : jobs);
@@ -53,13 +102,75 @@ runCheckersParallel(const lang::Program& program,
         metrics.counter("parallel.work_units").add(nunits);
     }
 
+    std::vector<std::unique_ptr<Checker>> unit_checkers(nunits);
+    std::vector<support::DiagnosticSink> unit_sinks(nunits);
+    std::vector<char> unit_hit(nunits, 0);
+    std::vector<std::uint64_t> unit_keys(nunits, 0);
+
+    // Phase 0 (cache only): look every unit up by content key. A usable
+    // hit yields a reconstructed private checker (state replayed through
+    // loadState) and a private sink refilled with the stored diagnostics
+    // in their original order, so the merge below cannot tell a replayed
+    // unit from a freshly checked one. Unresolvable file names or a
+    // state blob loadState rejects demote the hit to a miss.
+    if (cache) {
+        support::TraceSpan span(tracer.enabled() ? &tracer : nullptr,
+                                "cache.lookup", "cache");
+        std::map<std::string, std::uint64_t> fn_fps =
+            lang::fingerprintFunctions(program);
+        std::map<std::string, std::int32_t> file_ids =
+            cache::AnalysisCache::fileIdsByName(program.sourceManager());
+        std::uint64_t spec_fp = flash::specFingerprint(spec);
+        pool.parallelFor(nunits, [&](std::size_t u) {
+            std::size_t f = u / ncheckers;
+            std::size_t c = u % ncheckers;
+            auto fp = fn_fps.find(fns[f]->name);
+            if (fp == fn_fps.end())
+                return;
+            unit_keys[u] = unitCacheKey(checkers[c]->name(),
+                                        options.checker_options, spec_fp,
+                                        fp->second);
+            cache::CachedUnit unit;
+            if (!cache->lookup(unit_keys[u], unit))
+                return;
+            if (unit.checker != checkers[c]->name() ||
+                unit.function != fns[f]->name)
+                return; // key collision; vanishingly unlikely, run cold
+            std::vector<support::Diagnostic> replayed;
+            for (const cache::CachedDiagnostic& cached : unit.diags) {
+                support::Diagnostic d;
+                if (!cache::AnalysisCache::fromCached(cached, file_ids, d))
+                    return;
+                replayed.push_back(std::move(d));
+            }
+            auto rebuilt = makeChecker(checkers[c]->name(),
+                                       options.checker_options);
+            std::istringstream state(unit.state);
+            if (!rebuilt->loadState(state))
+                return;
+            for (support::Diagnostic& d : replayed)
+                unit_sinks[u].report(std::move(d));
+            unit_checkers[u] = std::move(rebuilt);
+            unit_hit[u] = 1;
+        });
+    }
+
     // Phase 1: build every function's CFG concurrently, one builder per
     // function. backEdges() is warmed here, while each Cfg still has a
     // single owner — its lazily-filled mutable cache is not synchronized,
     // so it must never be computed from two phase-2 units at once.
+    // Functions whose every unit replayed from cache skip the build —
+    // that skipped path enumeration is the warm-run speedup.
+    std::vector<char> need_cfg(nfns, cache ? 0 : 1);
+    if (cache)
+        for (std::size_t u = 0; u < nunits; ++u)
+            if (!unit_hit[u])
+                need_cfg[u / ncheckers] = 1;
     Clock::time_point cfg_t0 = Clock::now();
     std::vector<cfg::Cfg> cfgs(nfns);
     pool.parallelFor(nfns, [&](std::size_t f) {
+        if (!need_cfg[f])
+            return;
         cfgs[f] = cfg::CfgBuilder::build(*fns[f]);
         cfgs[f].backEdges();
     });
@@ -71,11 +182,13 @@ runCheckersParallel(const lang::Program& program,
     // Phase 2: (function x checker) units, each against a private checker
     // instance and private sink. Unit u = f * ncheckers + c — the merge
     // below walks u in order to reproduce the sequential visit order.
-    std::vector<std::unique_ptr<Checker>> unit_checkers(nunits);
-    std::vector<support::DiagnosticSink> unit_sinks(nunits);
+    // Cache misses run live and (in read-write mode) store their outcome:
+    // the private sink's diagnostics plus the instance's serialized state.
     std::vector<Clock::duration> unit_elapsed(nunits,
                                               Clock::duration::zero());
     pool.parallelFor(nunits, [&](std::size_t u) {
+        if (unit_hit[u])
+            return;
         std::size_t f = u / ncheckers;
         std::size_t c = u % ncheckers;
         unit_checkers[u] =
@@ -88,6 +201,19 @@ runCheckersParallel(const lang::Program& program,
         Clock::time_point t0 = Clock::now();
         unit_checkers[u]->checkFunction(*fns[f], cfgs[f], uctx);
         unit_elapsed[u] = Clock::now() - t0;
+        if (cache && !cache->readonly()) {
+            cache::CachedUnit unit;
+            unit.checker = checkers[c]->name();
+            unit.function = fns[f]->name;
+            std::ostringstream state;
+            unit_checkers[u]->saveState(state);
+            unit.state = state.str();
+            for (const support::Diagnostic& d :
+                 unit_sinks[u].diagnostics())
+                unit.diags.push_back(cache::AnalysisCache::toCached(
+                    d, program.sourceManager()));
+            cache->store(unit_keys[u], unit);
+        }
     });
 
     // Sequential merge, in exactly the sequential runner's visit order:

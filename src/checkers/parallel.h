@@ -1,6 +1,7 @@
 #ifndef MCHECK_CHECKERS_PARALLEL_H
 #define MCHECK_CHECKERS_PARALLEL_H
 
+#include "cache/analysis_cache.h"
 #include "checkers/checker.h"
 #include "checkers/registry.h"
 #include "support/thread_pool.h"
@@ -24,6 +25,19 @@ struct ParallelRunOptions
      * pool forbids nested parallelFor.
      */
     support::ThreadPool* pool = nullptr;
+    /**
+     * Persistent analysis cache. When set, each (function, checker) work
+     * unit is first looked up by content key — engine version, checker
+     * identity/options/metal source, protocol-spec fingerprint, function
+     * token-stream fingerprint — and on a hit its stored diagnostics and
+     * checker state replay through the normal merge path instead of
+     * re-walking paths; CFGs are only built for functions with at least
+     * one miss. Output stays byte-identical to an uncached run for any
+     * job count. Cache use implies the unit machinery even at jobs == 1
+     * (the pool spawns no threads there). Checkers the factory cannot
+     * rebuild still force the sequential, uncached fallback.
+     */
+    cache::AnalysisCache* cache = nullptr;
 };
 
 /**

@@ -1,0 +1,127 @@
+# Cache-determinism harness: run mccheck cold, warm, warm-after-touch,
+# and warm-again over the same inputs and require byte-identical stdout
+# plus the expected hit/miss counts at each temperature.
+#
+# Usage:
+#   cmake -DMCCHECK=<path> -DPROTOCOL=<name> -DFORMAT=<text|json|sarif>
+#         -DJOBS=<n> -DWORKDIR=<scratch dir> [-DMODE=protocol]
+#         -P compare_cache.cmake
+#
+# File mode (the default) emits the protocol's corpus to disk first, so
+# the touch step can append a declaration to one source and prove that
+# exactly that file's (function, checker) units — and nothing else —
+# re-analyze. MODE=protocol checks the generated in-memory protocol
+# instead (no touch step there: its sources never land on disk), which
+# exercises the --protocol code path end to end. Either way, the corpus
+# protocols carry intentional bugs, so mccheck exits 2; the harness only
+# requires every run to agree with the first.
+foreach(var MCCHECK PROTOCOL FORMAT JOBS WORKDIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "compare_cache.cmake: -D${var}=... is required")
+    endif()
+endforeach()
+if(NOT DEFINED MODE)
+    set(MODE files)
+endif()
+
+# Scratch state from a previous (possibly failed) run must not leak in.
+file(REMOVE_RECURSE ${WORKDIR})
+file(MAKE_DIRECTORY ${WORKDIR})
+set(cache_dir ${WORKDIR}/cache)
+set(metrics_flags)
+
+if(MODE STREQUAL "protocol")
+    set(check_args --protocol ${PROTOCOL})
+else()
+    execute_process(
+        COMMAND ${MCCHECK} --emit-corpus ${PROTOCOL} ${WORKDIR}/corpus
+        RESULT_VARIABLE rc_emit
+        ERROR_VARIABLE err_emit)
+    if(NOT rc_emit EQUAL 0)
+        message(FATAL_ERROR
+            "--emit-corpus ${PROTOCOL} failed (rc=${rc_emit}): ${err_emit}")
+    endif()
+    file(GLOB_RECURSE sources ${WORKDIR}/corpus/*.c)
+    list(SORT sources)
+    list(LENGTH sources nsources)
+    if(nsources EQUAL 0)
+        message(FATAL_ERROR "--emit-corpus ${PROTOCOL} wrote no .c files")
+    endif()
+    set(check_args ${sources})
+endif()
+
+# run(<tag>): one mccheck invocation against the shared cache, capturing
+# stdout/rc into out_<tag>/rc_<tag> and the metrics report (the cache.*
+# counters the assertions below read) into ${WORKDIR}/<tag>.metrics.json.
+function(run tag)
+    execute_process(
+        COMMAND ${MCCHECK} ${check_args} --format ${FORMAT} --jobs ${JOBS}
+                --cache ${cache_dir}
+                --metrics ${WORKDIR}/${tag}.metrics.json
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err
+        RESULT_VARIABLE rc)
+    set(out_${tag} "${out}" PARENT_SCOPE)
+    set(err_${tag} "${err}" PARENT_SCOPE)
+    set(rc_${tag} "${rc}" PARENT_SCOPE)
+endfunction()
+
+# metrics_require(<tag> <regex> <what>): assert the run's metrics report
+# matches, with the report echoed on failure.
+function(metrics_require tag regex what)
+    file(READ ${WORKDIR}/${tag}.metrics.json report)
+    if(NOT report MATCHES "${regex}")
+        message(FATAL_ERROR
+            "${PROTOCOL} (${FORMAT}, jobs=${JOBS}, ${tag} run): expected "
+            "${what} (regex: ${regex})\nmetrics: ${report}")
+    endif()
+endfunction()
+
+run(cold)
+if(out_cold STREQUAL "")
+    message(FATAL_ERROR
+        "cold run produced no stdout for ${PROTOCOL} (${FORMAT}); the "
+        "comparison is vacuous (rc=${rc_cold}, stderr: ${err_cold})")
+endif()
+metrics_require(cold "\"cache.misses\": [1-9]" "cold-run cache misses")
+metrics_require(cold "\"cache.stores\": [1-9]" "cold-run cache stores")
+
+run(warm)
+metrics_require(warm "\"cache.hits\": [1-9]" "warm-run cache hits")
+metrics_require(warm "\"cache.misses\": 0[,\n ]" "zero warm-run misses")
+
+set(runs warm)
+if(MODE STREQUAL "files")
+    # Appending a declaration adds tokens to exactly one translation
+    # unit: its functions' fingerprints change, everyone else's replay.
+    list(GET sources 0 probe)
+    file(APPEND ${probe} "int mc_cache_touch_probe;\n")
+    run(touched)
+    metrics_require(touched "\"cache.hits\": [1-9]"
+        "post-touch hits for the untouched files")
+    metrics_require(touched "\"cache.misses\": [1-9]"
+        "post-touch misses for the touched file")
+    run(warm2)
+    metrics_require(warm2 "\"cache.misses\": 0[,\n ]"
+        "zero misses once the touched result is stored")
+    list(APPEND runs touched warm2)
+endif()
+
+foreach(tag IN LISTS runs)
+    if(NOT rc_cold EQUAL rc_${tag})
+        message(FATAL_ERROR
+            "exit codes differ for ${PROTOCOL} (${FORMAT}, jobs=${JOBS}): "
+            "cold -> ${rc_cold}, ${tag} -> ${rc_${tag}}\n"
+            "stderr(${tag}): ${err_${tag}}")
+    endif()
+    if(NOT out_cold STREQUAL out_${tag})
+        message(FATAL_ERROR
+            "stdout differs between the cold and ${tag} runs for "
+            "${PROTOCOL} (${FORMAT}, jobs=${JOBS}); the cache's "
+            "byte-identical-replay guarantee is broken")
+    endif()
+endforeach()
+
+message(STATUS
+    "${PROTOCOL} (${FORMAT}, jobs=${JOBS}): cold/warm/touched runs agree "
+    "byte-for-byte")

@@ -15,22 +15,35 @@
  *     --format text|json|sarif   diagnostic output encoding
  *     --jobs <n>             checking concurrency (default: all cores)
  *
- * Output is deterministic for any --jobs value: diagnostics are ordered
- * by (file, line, column, checker, rule) at emission and the parallel
- * runner merges worker results in the sequential visit order, so the
- * rendered text/JSON/SARIF bytes never depend on thread scheduling.
+ * Caching (combine with --protocol, --metal, or file checking):
+ *     --cache <dir>          persistent per-(function, checker) result
+ *                            cache; unchanged units replay instead of
+ *                            re-walking paths
+ *     --cache-readonly       consult the cache but never write it
+ *     --cache-limit-mb <n>   evict oldest entries past n MiB after a run
+ *
+ * Output is deterministic for any --jobs value and for warm vs. cold
+ * cache runs: diagnostics are ordered by (file, line, column, checker,
+ * rule) at emission, the parallel runner merges worker results in the
+ * sequential visit order, and cached units replay their stored
+ * diagnostics and checker state through that same merge path — so the
+ * rendered text/JSON/SARIF bytes never depend on thread scheduling or
+ * cache temperature. Cache status goes to stderr only.
  *
  * When checking loose files, every CamelCase function is treated as a
  * hardware handler unless its name starts with "Sw" (software handler);
  * lowercase-named functions are plain routines — the FLASH naming
  * conventions the corpus also uses.
  */
+#include "cache/analysis_cache.h"
 #include "cfg/cfg.h"
 #include "checkers/parallel.h"
 #include "checkers/registry.h"
 #include "corpus/generator.h"
+#include "lang/fingerprint.h"
 #include "metal/engine.h"
 #include "metal/metal_parser.h"
+#include "support/hash.h"
 #include "support/metrics.h"
 #include "support/text.h"
 #include "support/thread_pool.h"
@@ -41,6 +54,8 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <memory>
 #include <sstream>
 
 namespace {
@@ -68,6 +83,12 @@ const char* const kUsage =
     "  --jobs <n>                  run checkers on n threads (default:\n"
     "                              hardware concurrency; output is\n"
     "                              byte-identical for any n)\n"
+    "  --cache <dir>               reuse analysis results for unchanged\n"
+    "                              (function, checker) units; output is\n"
+    "                              byte-identical warm or cold\n"
+    "  --cache-readonly            read the cache but never write it\n"
+    "  --cache-limit-mb <n>        evict oldest cache entries beyond n\n"
+    "                              MiB after the run\n"
     "  --help                      show this help\n"
     "  --version                   print version and exit\n";
 
@@ -95,6 +116,11 @@ struct CliOptions
     support::OutputFormat format = support::OutputFormat::Text;
     /** Checking concurrency; 0 = one lane per hardware thread. */
     unsigned jobs = 0;
+    /** Analysis cache directory; empty = caching off. */
+    std::string cache_dir;
+    bool cache_readonly = false;
+    /** Cache size cap in MiB enforced after the run; 0 = unlimited. */
+    unsigned long cache_limit_mb = 0;
 };
 
 /** Print `what` plus usage to stderr; used for every CLI error. */
@@ -175,6 +201,29 @@ parseArgs(const std::vector<std::string>& args, CliOptions& out)
                                   "got '" + value + "'");
             out.jobs = static_cast<unsigned>(parsed);
             ++i;
+        } else if (arg == "--cache") {
+            if (!need_value(i, arg, out.cache_dir))
+                return usageError("--cache needs a directory");
+            ++i;
+        } else if (arg == "--cache-readonly") {
+            out.cache_readonly = true;
+        } else if (arg == "--cache-limit-mb") {
+            std::string value;
+            if (!need_value(i, arg, value))
+                return usageError("--cache-limit-mb needs a size in MiB");
+            unsigned long parsed = 0;
+            std::size_t used = 0;
+            try {
+                parsed = std::stoul(value, &used);
+            } catch (...) {
+                used = 0;
+            }
+            if (used != value.size() || parsed == 0)
+                return usageError(
+                    "--cache-limit-mb needs a positive size in MiB, "
+                    "got '" + value + "'");
+            out.cache_limit_mb = parsed;
+            ++i;
         } else if (arg == "--format") {
             std::string name;
             if (!need_value(i, arg, name))
@@ -229,7 +278,7 @@ emitFindings(const CliOptions& opts, const support::DiagnosticSink& sink,
 }
 
 int
-checkProtocol(const CliOptions& opts)
+checkProtocol(const CliOptions& opts, cache::AnalysisCache* cache)
 {
     corpus::LoadedProtocol loaded =
         corpus::loadProtocol(corpus::profileByName(opts.protocol));
@@ -240,6 +289,7 @@ checkProtocol(const CliOptions& opts)
     support::DiagnosticSink sink;
     checkers::ParallelRunOptions prun;
     prun.jobs = opts.jobs;
+    prun.cache = cache;
     auto stats = checkers::runCheckersParallel(
         *loaded.program, loaded.gen.spec, set.pointers(), sink, prun);
     span.finish();
@@ -294,11 +344,16 @@ loadSources(lang::Program& program, const std::vector<std::string>& paths)
 
 /** Run one user-written metal checker over dialect sources. */
 int
-runMetalChecker(const CliOptions& opts)
+runMetalChecker(const CliOptions& opts, cache::AnalysisCache* cache)
 {
     metal::MetalProgram checker;
+    std::string metal_source;
     try {
         checker = metal::loadMetalFile(opts.metal_path);
+        std::ifstream metal_in(opts.metal_path);
+        std::ostringstream metal_buf;
+        metal_buf << metal_in.rdbuf();
+        metal_source = metal_buf.str();
     } catch (const metal::MetalParseError& e) {
         std::cerr << "mccheck: " << e.what() << '\n';
         return 1;
@@ -311,13 +366,64 @@ runMetalChecker(const CliOptions& opts)
     // in program function order so the shared sink sees the same
     // diagnostic sequence a sequential loop would produce. The parsed
     // state machine is shared read-only across lanes.
+    //
+    // With a cache, each function's walk outcome (its private sink's
+    // diagnostics) is keyed by the metal source text plus the function's
+    // token-stream fingerprint, so re-checks after an edit replay every
+    // untouched function.
     const std::vector<const lang::FunctionDecl*>& fns =
         program.functions();
     std::vector<support::DiagnosticSink> fn_sinks(fns.size());
+    std::map<std::string, std::uint64_t> fn_fps;
+    std::map<std::string, std::int32_t> file_ids;
+    std::vector<std::uint64_t> keys(fns.size(), 0);
+    if (cache) {
+        fn_fps = lang::fingerprintFunctions(program);
+        file_ids =
+            cache::AnalysisCache::fileIdsByName(program.sourceManager());
+    }
     support::ThreadPool pool(opts.jobs);
     pool.parallelFor(fns.size(), [&](std::size_t f) {
+        if (cache) {
+            keys[f] = support::Fnv1a()
+                          .i64(cache::kCacheFormatVersion)
+                          .str(support::kToolVersion)
+                          .str("metal:" + checker.name)
+                          .str(metal_source)
+                          .u64(fn_fps.at(fns[f]->name))
+                          .value();
+            cache::CachedUnit unit;
+            if (cache->lookup(keys[f], unit) &&
+                unit.function == fns[f]->name) {
+                bool ok = true;
+                std::vector<support::Diagnostic> replayed;
+                for (const cache::CachedDiagnostic& cached : unit.diags) {
+                    support::Diagnostic d;
+                    if (!cache::AnalysisCache::fromCached(cached, file_ids,
+                                                          d)) {
+                        ok = false;
+                        break;
+                    }
+                    replayed.push_back(std::move(d));
+                }
+                if (ok) {
+                    for (support::Diagnostic& d : replayed)
+                        fn_sinks[f].report(std::move(d));
+                    return;
+                }
+            }
+        }
         cfg::Cfg cfg = cfg::CfgBuilder::build(*fns[f]);
         metal::runStateMachine(*checker.sm, cfg, fn_sinks[f]);
+        if (cache && !cache->readonly()) {
+            cache::CachedUnit unit;
+            unit.checker = "metal:" + checker.name;
+            unit.function = fns[f]->name;
+            for (const support::Diagnostic& d : fn_sinks[f].diagnostics())
+                unit.diags.push_back(cache::AnalysisCache::toCached(
+                    d, program.sourceManager()));
+            cache->store(keys[f], unit);
+        }
     });
     support::DiagnosticSink sink;
     for (const support::DiagnosticSink& fs : fn_sinks)
@@ -333,7 +439,7 @@ runMetalChecker(const CliOptions& opts)
 }
 
 int
-checkFiles(const CliOptions& opts)
+checkFiles(const CliOptions& opts, cache::AnalysisCache* cache)
 {
     lang::Program program;
     if (!loadSources(program, opts.files))
@@ -360,6 +466,7 @@ checkFiles(const CliOptions& opts)
     support::DiagnosticSink sink;
     checkers::ParallelRunOptions prun;
     prun.jobs = opts.jobs;
+    prun.cache = cache;
     auto stats = checkers::runCheckersParallel(program, spec,
                                                set.pointers(), sink, prun);
     emitFindings(opts, sink, &program.sourceManager(), nullptr);
@@ -429,6 +536,19 @@ main(int argc, char** argv)
     if (!opts.trace_path.empty())
         support::TraceRecorder::global().setEnabled(true);
 
+    // The cache touches stderr only: findings on stdout must stay
+    // byte-identical between cold and warm runs.
+    std::unique_ptr<cache::AnalysisCache> cache;
+    if (!opts.cache_dir.empty()) {
+        try {
+            cache = std::make_unique<cache::AnalysisCache>(
+                opts.cache_dir, opts.cache_readonly);
+        } catch (const std::exception& e) {
+            std::cerr << "mccheck: " << e.what() << '\n';
+            return 1;
+        }
+    }
+
     try {
         int rc = 0;
         switch (opts.mode) {
@@ -436,7 +556,7 @@ main(int argc, char** argv)
             rc = listProtocols();
             break;
           case CliOptions::Mode::Protocol:
-            rc = checkProtocol(opts);
+            rc = checkProtocol(opts, cache.get());
             break;
           case CliOptions::Mode::EmitCorpus:
             rc = emitCorpus(opts.protocol, opts.emit_dir);
@@ -444,16 +564,26 @@ main(int argc, char** argv)
           case CliOptions::Mode::Metal:
             if (opts.files.empty())
                 return usageError("--metal needs source files to check");
-            rc = runMetalChecker(opts);
+            rc = runMetalChecker(opts, cache.get());
             break;
           case CliOptions::Mode::Files:
             if (opts.files.empty())
                 return usageError("no input files");
-            rc = checkFiles(opts);
+            rc = checkFiles(opts, cache.get());
             break;
           case CliOptions::Mode::Help:
           case CliOptions::Mode::Version:
             break;
+        }
+        if (cache) {
+            if (opts.cache_limit_mb > 0)
+                cache->trim(opts.cache_limit_mb * 1024ull * 1024ull);
+            for (const std::string& warning : cache->takeWarnings())
+                std::cerr << "mccheck: cache: " << warning << '\n';
+            const cache::CacheStats cs = cache->stats();
+            std::cerr << "mccheck: cache: " << cs.hits << " hit(s), "
+                      << cs.misses << " miss(es), " << cs.stores
+                      << " stored, " << cs.evictions << " evicted\n";
         }
         if (!writeObservabilityOutputs(opts) && rc == 0)
             rc = 1;

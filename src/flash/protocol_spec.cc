@@ -1,5 +1,7 @@
 #include "flash/protocol_spec.h"
 
+#include "support/hash.h"
+
 namespace mc::flash {
 
 const char*
@@ -37,6 +39,34 @@ void
 ProtocolSpec::setLane(const std::string& opcode, int lane)
 {
     opcode_lanes_[opcode] = lane;
+}
+
+std::uint64_t
+specFingerprint(const ProtocolSpec& spec)
+{
+    support::Fnv1a h;
+    h.str(spec.name);
+    h.u64(spec.handlers().size());
+    for (const auto& [name, hs] : spec.handlers()) {
+        h.str(name);
+        h.u8(static_cast<std::uint8_t>(hs.kind));
+        for (int allowance : hs.lane_allowance)
+            h.i64(allowance);
+        h.u8(hs.no_stack ? 1 : 0);
+    }
+    h.u64(spec.opcodeLanes().size());
+    for (const auto& [opcode, lane] : spec.opcodeLanes()) {
+        h.str(opcode);
+        h.i64(lane);
+    }
+    for (const auto* table :
+         {&spec.freeing_routines, &spec.buffer_using_routines,
+          &spec.dir_deferred_routines, &spec.deprecated}) {
+        h.u64(table->size());
+        for (const std::string& routine : *table)
+            h.str(routine);
+    }
+    return h.value();
 }
 
 } // namespace mc::flash

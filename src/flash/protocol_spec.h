@@ -2,6 +2,7 @@
 #define MCHECK_FLASH_PROTOCOL_SPEC_H
 
 #include <array>
+#include <cstdint>
 #include <map>
 #include <set>
 #include <string>
@@ -109,6 +110,15 @@ class ProtocolSpec
     std::map<std::string, HandlerSpec> handlers_;
     std::map<std::string, int> opcode_lanes_;
 };
+
+/**
+ * Stable content hash over everything a checker can read out of a spec:
+ * handler classifications, lane allowances, opcode lanes, and the four
+ * routine tables. Part of the analysis cache key — two runs may share
+ * cached results only if the protocol knowledge fed to the checkers is
+ * identical.
+ */
+std::uint64_t specFingerprint(const ProtocolSpec& spec);
 
 } // namespace mc::flash
 

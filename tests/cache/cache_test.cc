@@ -1,0 +1,425 @@
+/**
+ * @file
+ * Analysis-cache tests: on-disk round-trips, the corruption contract
+ * (truncated / version-mismatched / bit-flipped entries fall back to
+ * cold analysis with a warning — never a crash, never stale findings),
+ * fingerprint sensitivity, eviction, and warm-vs-cold byte-identity of
+ * the full checking pipeline.
+ */
+#include "cache/analysis_cache.h"
+#include "checkers/parallel.h"
+#include "checkers/registry.h"
+#include "corpus/generator.h"
+#include "corpus/profile.h"
+#include "lang/fingerprint.h"
+#include "support/hash.h"
+#include "support/version.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace mc::cache {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Fresh scratch directory per test, removed on destruction. */
+class TempCacheDir
+{
+  public:
+    explicit TempCacheDir(const std::string& tag)
+        : path_(fs::path(::testing::TempDir()) /
+                ("mccheck_cache_test_" + tag))
+    {
+        fs::remove_all(path_);
+        fs::create_directories(path_);
+    }
+    ~TempCacheDir() { fs::remove_all(path_); }
+    std::string str() const { return path_.string(); }
+
+  private:
+    fs::path path_;
+};
+
+CachedUnit
+sampleUnit()
+{
+    CachedUnit unit;
+    unit.checker = "lanes";
+    unit.function = "PILocalGet";
+    unit.state = "applied 3\nfunction PILocalGet\n  calls helper 2\n";
+    CachedDiagnostic d;
+    d.severity = 1;
+    d.file = "sci/PILocalGet.c";
+    d.line = 12;
+    d.column = 5;
+    d.checker = "lanes";
+    d.rule = "lane-overflow";
+    d.message = "message with spaces, 100% odd chars & a\ttab";
+    d.trace = {"PILocalGet -> helper", "helper: SEND at line 9"};
+    unit.diags.push_back(d);
+    d.trace.clear();
+    d.severity = 0;
+    d.message = "second finding";
+    unit.diags.push_back(d);
+    return unit;
+}
+
+void
+expectSameUnit(const CachedUnit& a, const CachedUnit& b)
+{
+    EXPECT_EQ(a.checker, b.checker);
+    EXPECT_EQ(a.function, b.function);
+    EXPECT_EQ(a.state, b.state);
+    ASSERT_EQ(a.diags.size(), b.diags.size());
+    for (std::size_t i = 0; i < a.diags.size(); ++i) {
+        EXPECT_EQ(a.diags[i].severity, b.diags[i].severity);
+        EXPECT_EQ(a.diags[i].file, b.diags[i].file);
+        EXPECT_EQ(a.diags[i].line, b.diags[i].line);
+        EXPECT_EQ(a.diags[i].column, b.diags[i].column);
+        EXPECT_EQ(a.diags[i].checker, b.diags[i].checker);
+        EXPECT_EQ(a.diags[i].rule, b.diags[i].rule);
+        EXPECT_EQ(a.diags[i].message, b.diags[i].message);
+        EXPECT_EQ(a.diags[i].trace, b.diags[i].trace);
+    }
+}
+
+TEST(CacheEncoding, RoundTripsEveryField)
+{
+    CachedUnit unit = sampleUnit();
+    std::string text = AnalysisCache::encodeUnit(unit);
+    CachedUnit decoded;
+    std::string error;
+    ASSERT_TRUE(AnalysisCache::decodeUnit(text, decoded, error)) << error;
+    expectSameUnit(unit, decoded);
+}
+
+TEST(CacheEncoding, RoundTripsEmptyUnit)
+{
+    CachedUnit unit;
+    unit.checker = "no_float";
+    unit.function = "f";
+    std::string text = AnalysisCache::encodeUnit(unit);
+    CachedUnit decoded;
+    std::string error;
+    ASSERT_TRUE(AnalysisCache::decodeUnit(text, decoded, error)) << error;
+    expectSameUnit(unit, decoded);
+}
+
+TEST(CacheEncoding, RejectsEveryTruncation)
+{
+    std::string text = AnalysisCache::encodeUnit(sampleUnit());
+    for (std::size_t len = 0; len < text.size(); ++len) {
+        CachedUnit decoded;
+        std::string error;
+        EXPECT_FALSE(AnalysisCache::decodeUnit(text.substr(0, len),
+                                               decoded, error))
+            << "prefix of length " << len << " decoded successfully";
+        EXPECT_FALSE(error.empty()) << "no reason for prefix " << len;
+    }
+}
+
+TEST(CacheEncoding, RejectsEverySingleBitFlip)
+{
+    std::string text = AnalysisCache::encodeUnit(sampleUnit());
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        std::string flipped = text;
+        flipped[i] = static_cast<char>(flipped[i] ^ 0x20);
+        if (flipped == text)
+            continue; // the XOR was a no-op for this byte
+        CachedUnit decoded;
+        std::string error;
+        EXPECT_FALSE(AnalysisCache::decodeUnit(flipped, decoded, error))
+            << "bit flip at offset " << i << " decoded successfully";
+    }
+}
+
+TEST(CacheEncoding, RejectsFormatAndToolVersionMismatch)
+{
+    // Re-checksum the tampered bodies so the version gate itself (not the
+    // checksum) is what rejects them.
+    auto reseal = [](std::string body) {
+        return body + "sum " + support::hashHex(support::fnv1a(body)) +
+               "\n";
+    };
+    std::string text = AnalysisCache::encodeUnit(sampleUnit());
+    std::string body = text.substr(0, text.rfind("sum "));
+    std::string header = body.substr(0, body.find('\n'));
+    std::string rest = body.substr(body.find('\n'));
+
+    CachedUnit decoded;
+    std::string error;
+    std::string wrong_format = reseal("mccheck-cache 999 " +
+                                      std::string(support::kToolVersion) +
+                                      rest);
+    EXPECT_FALSE(AnalysisCache::decodeUnit(wrong_format, decoded, error));
+    EXPECT_EQ(error, "cache format version mismatch");
+
+    std::string wrong_tool = reseal("mccheck-cache 1 0.0.1" + rest);
+    EXPECT_FALSE(AnalysisCache::decodeUnit(wrong_tool, decoded, error));
+    EXPECT_EQ(error, "tool version mismatch");
+    (void)header;
+}
+
+TEST(CacheStore, PersistsAcrossInstances)
+{
+    TempCacheDir dir("persist");
+    CachedUnit unit = sampleUnit();
+    {
+        AnalysisCache cache(dir.str());
+        cache.store(42, unit);
+        EXPECT_EQ(cache.stats().stores, 1u);
+    }
+    AnalysisCache cache(dir.str());
+    CachedUnit loaded;
+    ASSERT_TRUE(cache.lookup(42, loaded));
+    expectSameUnit(unit, loaded);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    // A different key is a plain miss: no warning, nothing corrupt.
+    EXPECT_FALSE(cache.lookup(43, loaded));
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().corrupt, 0u);
+    EXPECT_TRUE(cache.takeWarnings().empty());
+}
+
+TEST(CacheStore, TruncatedEntryFallsBackColdAndIsDeleted)
+{
+    TempCacheDir dir("truncated");
+    AnalysisCache cache(dir.str());
+    cache.store(7, sampleUnit());
+    std::string path = cache.entryPath(7);
+    fs::resize_file(path, 20);
+
+    CachedUnit loaded;
+    EXPECT_FALSE(cache.lookup(7, loaded));
+    EXPECT_EQ(cache.stats().corrupt, 1u);
+    std::vector<std::string> warnings = cache.takeWarnings();
+    ASSERT_EQ(warnings.size(), 1u);
+    EXPECT_NE(warnings[0].find("unusable"), std::string::npos);
+    // Read-write mode deletes the corpse so the next store is clean.
+    EXPECT_FALSE(fs::exists(path));
+}
+
+TEST(CacheStore, BitFlippedEntryFallsBackCold)
+{
+    TempCacheDir dir("bitflip");
+    AnalysisCache cache(dir.str());
+    cache.store(9, sampleUnit());
+    std::string path = cache.entryPath(9);
+    std::string text;
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        text = buf.str();
+    }
+    text[text.size() / 2] = static_cast<char>(text[text.size() / 2] ^ 1);
+    std::ofstream(path, std::ios::binary) << text;
+
+    CachedUnit loaded;
+    EXPECT_FALSE(cache.lookup(9, loaded));
+    EXPECT_EQ(cache.stats().corrupt, 1u);
+    EXPECT_FALSE(cache.takeWarnings().empty());
+}
+
+TEST(CacheStore, ReadonlyDropsStoresAndKeepsCorpses)
+{
+    TempCacheDir dir("readonly");
+    {
+        AnalysisCache rw(dir.str());
+        rw.store(1, sampleUnit());
+        fs::resize_file(rw.entryPath(1), 10);
+    }
+    AnalysisCache ro(dir.str(), /*readonly=*/true);
+    EXPECT_TRUE(ro.readonly());
+    CachedUnit loaded;
+    EXPECT_FALSE(ro.lookup(1, loaded));
+    // The corrupt entry stays on disk for post-mortem in readonly mode.
+    EXPECT_TRUE(fs::exists(ro.entryPath(1)));
+    ro.store(2, sampleUnit());
+    EXPECT_EQ(ro.stats().stores, 0u);
+    EXPECT_FALSE(fs::exists(ro.entryPath(2)));
+}
+
+TEST(CacheStore, MissingReadonlyDirectoryThrows)
+{
+    EXPECT_THROW(AnalysisCache("/nonexistent/mccheck/cache/dir",
+                               /*readonly=*/true),
+                 std::runtime_error);
+}
+
+TEST(CacheStore, TrimEvictsOldestEntriesFirst)
+{
+    TempCacheDir dir("trim");
+    AnalysisCache cache(dir.str());
+    for (std::uint64_t key = 1; key <= 3; ++key)
+        cache.store(key, sampleUnit());
+    // Age the entries explicitly — filesystem mtime granularity is too
+    // coarse to rely on store order.
+    auto now = fs::last_write_time(cache.entryPath(3));
+    fs::last_write_time(cache.entryPath(1), now - std::chrono::hours(2));
+    fs::last_write_time(cache.entryPath(2), now - std::chrono::hours(1));
+
+    std::uintmax_t one_entry = fs::file_size(cache.entryPath(3));
+    cache.trim(2 * one_entry);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_FALSE(fs::exists(cache.entryPath(1)));
+    EXPECT_TRUE(fs::exists(cache.entryPath(2)));
+    EXPECT_TRUE(fs::exists(cache.entryPath(3)));
+
+    cache.trim(0);
+    EXPECT_EQ(cache.stats().evictions, 3u);
+    EXPECT_FALSE(fs::exists(cache.entryPath(2)));
+    EXPECT_FALSE(fs::exists(cache.entryPath(3)));
+}
+
+// ---- fingerprint sensitivity ------------------------------------------
+
+std::uint64_t
+fingerprintOf(const std::string& source)
+{
+    lang::Program program;
+    program.addSource("fp.c", source);
+    auto fps = lang::fingerprintFunctions(program);
+    EXPECT_EQ(fps.size(), 1u);
+    return fps.begin()->second;
+}
+
+TEST(Fingerprint, StableAcrossRuns)
+{
+    const std::string src = "void H(void) { x = y + 1; }";
+    EXPECT_EQ(fingerprintOf(src), fingerprintOf(src));
+}
+
+TEST(Fingerprint, ChangesWhenTokensChange)
+{
+    EXPECT_NE(fingerprintOf("void H(void) { x = y + 1; }"),
+              fingerprintOf("void H(void) { x = y + 2; }"));
+}
+
+TEST(Fingerprint, ChangesWhenLinesShift)
+{
+    // Diagnostics carry line numbers, so a shifted body — identical
+    // token text — must still invalidate.
+    EXPECT_NE(fingerprintOf("void H(void) { x = y + 1; }"),
+              fingerprintOf("\nvoid H(void) { x = y + 1; }"));
+}
+
+TEST(Fingerprint, IgnoresTrailingComment)
+{
+    // A comment after the last token moves no token and no line: replay
+    // stays valid, so the fingerprint may (and does) stay put.
+    EXPECT_EQ(fingerprintOf("void H(void) { x = y + 1; }"),
+              fingerprintOf("void H(void) { x = y + 1; } /* note */"));
+}
+
+TEST(Fingerprint, DistinguishesFunctionsWithinAUnit)
+{
+    lang::Program program;
+    program.addSource("two.c",
+                      "void A(void) { x = 1; }\nvoid B(void) { x = 1; }");
+    auto fps = lang::fingerprintFunctions(program);
+    ASSERT_EQ(fps.size(), 2u);
+    EXPECT_NE(fps.at("A"), fps.at("B"));
+}
+
+// ---- end-to-end: warm replay is byte-identical to cold ----------------
+
+struct PipelineResult
+{
+    std::string text;
+    std::string json;
+    std::string sarif;
+};
+
+PipelineResult
+runPipeline(const corpus::LoadedProtocol& loaded, AnalysisCache* cache,
+            unsigned jobs)
+{
+    auto set = checkers::makeAllCheckers();
+    support::DiagnosticSink sink;
+    checkers::ParallelRunOptions options;
+    options.jobs = jobs;
+    options.cache = cache;
+    checkers::runCheckersParallel(*loaded.program, loaded.gen.spec,
+                                  set.pointers(), sink, options);
+    const support::SourceManager& sm = loaded.program->sourceManager();
+    PipelineResult out;
+    std::ostringstream text, json, sarif;
+    sink.print(text, &sm);
+    sink.printJson(json, &sm);
+    sink.printSarif(sarif, &sm);
+    out.text = text.str();
+    out.json = json.str();
+    out.sarif = sarif.str();
+    return out;
+}
+
+TEST(CachePipeline, WarmRunReplaysByteIdentical)
+{
+    TempCacheDir dir("pipeline");
+    corpus::LoadedProtocol loaded =
+        corpus::loadProtocol(corpus::profileByName("bitvector"));
+
+    PipelineResult uncached = runPipeline(loaded, nullptr, 2);
+    ASSERT_FALSE(uncached.text.empty());
+
+    AnalysisCache cold_cache(dir.str());
+    PipelineResult cold = runPipeline(loaded, &cold_cache, 2);
+    EXPECT_GT(cold_cache.stats().stores, 0u);
+    EXPECT_EQ(cold_cache.stats().hits, 0u);
+
+    AnalysisCache warm_cache(dir.str());
+    PipelineResult warm = runPipeline(loaded, &warm_cache, 2);
+    EXPECT_GT(warm_cache.stats().hits, 0u);
+    EXPECT_EQ(warm_cache.stats().misses, 0u);
+
+    EXPECT_EQ(uncached.text, cold.text);
+    EXPECT_EQ(cold.text, warm.text);
+    EXPECT_EQ(cold.json, warm.json);
+    EXPECT_EQ(cold.sarif, warm.sarif);
+
+    // jobs=1 with a cache still replays, and still matches.
+    AnalysisCache warm1_cache(dir.str());
+    PipelineResult warm1 = runPipeline(loaded, &warm1_cache, 1);
+    EXPECT_GT(warm1_cache.stats().hits, 0u);
+    EXPECT_EQ(cold.json, warm1.json);
+}
+
+TEST(CachePipeline, CorruptedEntriesReanalyzeNotReplay)
+{
+    TempCacheDir dir("pipeline_corrupt");
+    corpus::LoadedProtocol loaded =
+        corpus::loadProtocol(corpus::profileByName("bitvector"));
+
+    AnalysisCache cold_cache(dir.str());
+    PipelineResult cold = runPipeline(loaded, &cold_cache, 2);
+
+    // Corrupt every third entry on disk; the warm run must notice each
+    // one, re-analyze those units, and still produce identical bytes.
+    std::size_t mangled = 0;
+    std::size_t index = 0;
+    for (const auto& e : fs::directory_iterator(dir.str()))
+        if (e.path().extension() == ".mcu" && index++ % 3 == 0) {
+            fs::resize_file(e.path(), fs::file_size(e.path()) / 2);
+            ++mangled;
+        }
+    ASSERT_GT(mangled, 0u);
+
+    AnalysisCache warm_cache(dir.str());
+    PipelineResult warm = runPipeline(loaded, &warm_cache, 2);
+    EXPECT_EQ(warm_cache.stats().corrupt, mangled);
+    EXPECT_EQ(warm_cache.stats().misses, mangled);
+    EXPECT_GT(warm_cache.stats().hits, 0u);
+    EXPECT_EQ(cold.text, warm.text);
+    EXPECT_EQ(cold.json, warm.json);
+}
+
+} // namespace
+} // namespace mc::cache

@@ -1,8 +1,17 @@
+#include "cache/analysis_cache.h"
 #include "cfg/path_stats.h"
+#include "checkers/parallel.h"
+#include "checkers/registry.h"
+#include "corpus/generator.h"
+#include "corpus/profile.h"
+#include "lang/fingerprint.h"
 #include "lang/program.h"
 #include "support/rng.h"
 
 #include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
 
 namespace mc::lang {
 namespace {
@@ -278,6 +287,208 @@ TEST_P(LexerRobustness, MutatedSourceNeverCrashes)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, LexerRobustness, ::testing::Range(0, 4));
+
+// ---- generated-corpus properties --------------------------------------
+//
+// The corpus generator is itself a seeded random-program generator; these
+// properties run it at several seeds and require (a) byte-determinism,
+// (b) print -> re-parse stability for every expression it emits, and
+// (c) the full checking pipeline to produce byte-identical findings from
+// a cold and a warm analysis cache.
+
+/** A miniature protocol profile whose structure varies with the seed. */
+corpus::ProtocolProfile
+smallProfile(std::uint64_t seed)
+{
+    corpus::ProtocolProfile p;
+    p.name = "prop";
+    p.seed = seed * 2654435761u + 97;
+    p.target_loc = 700;
+    p.hw_handlers = 6 + static_cast<int>(seed % 3);
+    p.sw_handlers = 2;
+    p.normal_routines = 4;
+    p.giant_handlers = 0;
+    p.passthru_percent = 25;
+    p.branches_per_handler = 2;
+    p.vars_per_function = 2;
+    p.db_reads = 2;
+    p.send_segments = 2;
+    p.alloc_sites = 1;
+    p.race_errors = 1;
+    p.msglen_errors = 1;
+    p.bm_leak = 1;
+    p.lanes_errors = 1;
+    p.hooks_missing = 1;
+    return p;
+}
+
+/** Collect every expression reachable from a statement subtree. */
+void
+collectExprs(const Stmt* stmt, std::vector<const Expr*>& out)
+{
+    if (!stmt)
+        return;
+    switch (stmt->skind) {
+      case StmtKind::Expr:
+        out.push_back(static_cast<const ExprStmt*>(stmt)->expr);
+        break;
+      case StmtKind::Decl:
+        for (const VarDecl* d :
+             static_cast<const DeclStmt*>(stmt)->decls)
+            if (d->init)
+                out.push_back(d->init);
+        break;
+      case StmtKind::Compound:
+        for (const Stmt* s :
+             static_cast<const CompoundStmt*>(stmt)->stmts)
+            collectExprs(s, out);
+        break;
+      case StmtKind::If: {
+        const auto* s = static_cast<const IfStmt*>(stmt);
+        out.push_back(s->cond);
+        collectExprs(s->then_branch, out);
+        collectExprs(s->else_branch, out);
+        break;
+      }
+      case StmtKind::While: {
+        const auto* s = static_cast<const WhileStmt*>(stmt);
+        out.push_back(s->cond);
+        collectExprs(s->body, out);
+        break;
+      }
+      case StmtKind::DoWhile: {
+        const auto* s = static_cast<const DoWhileStmt*>(stmt);
+        collectExprs(s->body, out);
+        out.push_back(s->cond);
+        break;
+      }
+      case StmtKind::For: {
+        const auto* s = static_cast<const ForStmt*>(stmt);
+        collectExprs(s->init, out);
+        if (s->cond)
+            out.push_back(s->cond);
+        if (s->step)
+            out.push_back(s->step);
+        collectExprs(s->body, out);
+        break;
+      }
+      case StmtKind::Switch: {
+        const auto* s = static_cast<const SwitchStmt*>(stmt);
+        out.push_back(s->cond);
+        collectExprs(s->body, out);
+        break;
+      }
+      case StmtKind::Case:
+        out.push_back(static_cast<const CaseStmt*>(stmt)->value);
+        break;
+      case StmtKind::Return:
+        if (const Expr* v = static_cast<const ReturnStmt*>(stmt)->value)
+            out.push_back(v);
+        break;
+      default:
+        break;
+    }
+}
+
+class GeneratedCorpus : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(GeneratedCorpus, GenerationIsByteDeterministic)
+{
+    SCOPED_TRACE("seed=" + std::to_string(GetParam()));
+    corpus::GeneratedProtocol first =
+        corpus::generateProtocol(smallProfile(GetParam()));
+    corpus::GeneratedProtocol second =
+        corpus::generateProtocol(smallProfile(GetParam()));
+    ASSERT_FALSE(first.files.empty());
+    ASSERT_EQ(first.files.size(), second.files.size());
+    for (std::size_t i = 0; i < first.files.size(); ++i) {
+        EXPECT_EQ(first.files[i].name, second.files[i].name);
+        EXPECT_EQ(first.files[i].source, second.files[i].source);
+    }
+}
+
+TEST_P(GeneratedCorpus, EveryEmittedExpressionRoundTrips)
+{
+    SCOPED_TRACE("seed=" + std::to_string(GetParam()));
+    corpus::LoadedProtocol loaded =
+        corpus::loadProtocol(smallProfile(GetParam()));
+    std::size_t exprs_checked = 0;
+    for (const FunctionDecl* fn : loaded.program->functions()) {
+        std::vector<const Expr*> exprs;
+        collectExprs(fn->body, exprs);
+        for (const Expr* expr : exprs) {
+            std::string printed = exprToString(*expr);
+            AstContext ctx;
+            support::SourceManager sm;
+            TranslationUnit tu =
+                parseSource(ctx, sm, "rt.c",
+                            "void f(void) { " + printed + "; }");
+            const auto* stmt = static_cast<const ExprStmt*>(
+                tu.functionDefinitions()[0]->body->stmts[0]);
+            ASSERT_TRUE(exprEquals(*expr, *stmt->expr))
+                << "function " << fn->name << ", printed: " << printed;
+            EXPECT_EQ(printed, exprToString(*stmt->expr));
+            ++exprs_checked;
+        }
+    }
+    EXPECT_GT(exprs_checked, 0u);
+}
+
+TEST_P(GeneratedCorpus, FingerprintsAreStableAndSeedSensitive)
+{
+    SCOPED_TRACE("seed=" + std::to_string(GetParam()));
+    corpus::LoadedProtocol a =
+        corpus::loadProtocol(smallProfile(GetParam()));
+    corpus::LoadedProtocol b =
+        corpus::loadProtocol(smallProfile(GetParam()));
+    EXPECT_EQ(fingerprintFunctions(*a.program),
+              fingerprintFunctions(*b.program));
+    corpus::LoadedProtocol other =
+        corpus::loadProtocol(smallProfile(GetParam() + 100));
+    EXPECT_NE(fingerprintFunctions(*a.program),
+              fingerprintFunctions(*other.program));
+}
+
+TEST_P(GeneratedCorpus, ColdAndWarmPipelinesProduceIdenticalBytes)
+{
+    SCOPED_TRACE("seed=" + std::to_string(GetParam()));
+    namespace fs = std::filesystem;
+    fs::path dir = fs::path(::testing::TempDir()) /
+                   ("mccheck_property_cache_" +
+                    std::to_string(GetParam()));
+    fs::remove_all(dir);
+
+    corpus::LoadedProtocol loaded =
+        corpus::loadProtocol(smallProfile(GetParam()));
+    auto run = [&](cache::AnalysisCache* c) {
+        auto set = checkers::makeAllCheckers();
+        support::DiagnosticSink sink;
+        checkers::ParallelRunOptions options;
+        options.jobs = 2;
+        options.cache = c;
+        checkers::runCheckersParallel(*loaded.program, loaded.gen.spec,
+                                      set.pointers(), sink, options);
+        std::ostringstream out;
+        sink.print(out, &loaded.program->sourceManager());
+        sink.printJson(out, &loaded.program->sourceManager());
+        sink.printSarif(out, &loaded.program->sourceManager());
+        return out.str();
+    };
+
+    std::string uncached = run(nullptr);
+    cache::AnalysisCache cold(dir.string());
+    EXPECT_EQ(run(&cold), uncached);
+    EXPECT_GT(cold.stats().stores, 0u);
+    cache::AnalysisCache warm(dir.string());
+    EXPECT_EQ(run(&warm), uncached);
+    EXPECT_GT(warm.stats().hits, 0u);
+    EXPECT_EQ(warm.stats().misses, 0u);
+    fs::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratedCorpus, ::testing::Range(0, 6));
 
 } // namespace
 } // namespace mc::lang

@@ -95,7 +95,8 @@ expectMatchesGolden(const std::string& actual, const std::string& name)
     }
     EXPECT_EQ(actual, readFile(goldenPath(name)))
         << "golden mismatch for " << name
-        << " (set MCHECK_REGEN_GOLDENS=1 to regenerate)";
+        << " — if the output change is intentional, run "
+           "tools/regen_goldens.sh and review the diff";
 }
 
 TEST(DiagnosticFormats, JsonMatchesGoldenAndParses)
