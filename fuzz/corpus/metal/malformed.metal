@@ -1,0 +1,3 @@
+sm broken {
+    start:
+        { PI_SEND( } ==>

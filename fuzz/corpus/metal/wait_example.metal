@@ -1,0 +1,9 @@
+{ #include "flash-includes.h" }
+sm fuzz_wait {
+    decl { scalar } addr, buf;
+    pat read_db = { MISCBUS_READ_DB(addr, buf); };
+    start:
+        { WAIT_FOR_DB_FULL(addr); } ==> stop
+      | read_db ==> { err("Buffer not synchronized"); }
+      ;
+}

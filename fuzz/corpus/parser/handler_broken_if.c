@@ -1,0 +1,7 @@
+void BrokenHandler(void) {
+  if (x {
+  }
+}
+void SiblingGet(void) {
+  MSG_T* m = MISCBUS_GET_MSG();
+}

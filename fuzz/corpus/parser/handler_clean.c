@@ -1,0 +1,8 @@
+void PILocalGet(void) {
+  HANDLER_DEFS();
+  MSG_T* m = MISCBUS_GET_MSG();
+  if (m) {
+    SEND(m);
+  }
+  FREE_MSG(m);
+}

@@ -1,0 +1,4 @@
+;;; 42 +
+void Ok(void) { int x = 1; }
+} stray closer
+int also_ok;

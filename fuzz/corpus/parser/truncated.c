@@ -1,0 +1,3 @@
+void Truncated(void) {
+  while (1) {
+    int y =

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Fuzz target: the .mcu analysis-cache entry decoder.
+ *
+ * Properties: decodeUnit never throws or crashes on arbitrary bytes — it
+ * returns false with a reason — and anything it does accept survives an
+ * encode/decode round trip bit-for-bit (the checksum line pins the
+ * encoding, so a lossy field would show up as a second-decode failure or
+ * a field mismatch).
+ */
+#include "cache/analysis_cache.h"
+
+#include <cstdint>
+#include <string>
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size)
+{
+    const std::string text(reinterpret_cast<const char*>(data), size);
+    mc::cache::CachedUnit unit;
+    std::string error;
+    if (!mc::cache::AnalysisCache::decodeUnit(text, unit, error))
+        return 0;
+    const std::string encoded =
+        mc::cache::AnalysisCache::encodeUnit(unit);
+    mc::cache::CachedUnit again;
+    std::string error2;
+    if (!mc::cache::AnalysisCache::decodeUnit(encoded, again, error2))
+        __builtin_trap();
+    if (again.checker != unit.checker || again.function != unit.function ||
+        again.state != unit.state ||
+        again.diags.size() != unit.diags.size())
+        __builtin_trap();
+    return 0;
+}
+
+#include "replay_main.h"

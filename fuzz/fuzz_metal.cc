@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Fuzz target: the metal state-machine parser.
+ *
+ * Property: parseMetal either returns a well-formed MetalProgram (named,
+ * with a state machine) or throws MetalParseError — nothing else escapes
+ * on any byte sequence.
+ */
+#include "metal/metal_parser.h"
+
+#include <cstdint>
+#include <string>
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size)
+{
+    const std::string source(reinterpret_cast<const char*>(data), size);
+    try {
+        mc::metal::MetalProgram program =
+            mc::metal::parseMetal(source, "fuzz.metal");
+        if (!program.sm)
+            __builtin_trap();
+    } catch (const mc::metal::MetalParseError&) {
+    }
+    return 0;
+}
+
+#include "replay_main.h"

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fuzz target: the FLASH-dialect lexer + parser, strict and recovering.
+ *
+ * Properties enforced on arbitrary bytes:
+ *   - strict mode only ever fails by throwing ParseError or LexError —
+ *     no other exception type, no crash;
+ *   - recovery mode never throws at all: every failure must degrade into
+ *     poisoned declarations with recorded issues;
+ *   - a recovering parse of malformed input is internally consistent —
+ *     a degraded program has at least one recorded issue.
+ */
+#include "lang/lexer.h"
+#include "lang/parser.h"
+#include "lang/program.h"
+
+#include <cstdint>
+#include <string>
+
+extern "C" int
+LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size)
+{
+    const std::string source(reinterpret_cast<const char*>(data), size);
+    {
+        mc::lang::Program strict;
+        try {
+            strict.addSource("fuzz.c", source);
+        } catch (const mc::lang::ParseError&) {
+        } catch (const mc::lang::LexError&) {
+        }
+    }
+    {
+        mc::lang::Program recovering(/*recover=*/true);
+        mc::lang::TranslationUnit& tu =
+            recovering.addSource("fuzz.c", source);
+        if (recovering.degraded() && tu.issues.empty())
+            __builtin_trap();
+        (void)recovering.functions();
+    }
+    return 0;
+}
+
+#include "replay_main.h"

@@ -1,0 +1,76 @@
+#ifndef MCHECK_FUZZ_REPLAY_MAIN_H
+#define MCHECK_FUZZ_REPLAY_MAIN_H
+
+/**
+ * Standalone corpus-replay driver for builds without libFuzzer (gcc, or
+ * clang with MCHECK_FUZZERS=OFF). Each fuzz target defines
+ * LLVMFuzzerTestOneInput and includes this header last; under
+ * -fsanitize=fuzzer (MCHECK_LIBFUZZER) libFuzzer supplies main and this
+ * header contributes nothing.
+ *
+ * The replay main feeds every file named on the command line — and every
+ * regular file under any directory named on it — through the target
+ * exactly as libFuzzer would, so the checked-in seed corpora double as
+ * regression tests on toolchains that cannot fuzz. Any escape (uncaught
+ * exception, abort, sanitizer report) fails the run.
+ */
+#if !defined(MCHECK_LIBFUZZER)
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+int
+main(int argc, char** argv)
+{
+    namespace fs = std::filesystem;
+    std::vector<fs::path> inputs;
+    for (int i = 1; i < argc; ++i) {
+        fs::path arg(argv[i]);
+        std::error_code ec;
+        if (fs::is_directory(arg, ec)) {
+            for (const fs::directory_entry& entry :
+                 fs::recursive_directory_iterator(arg, ec))
+                if (entry.is_regular_file())
+                    inputs.push_back(entry.path());
+        } else {
+            inputs.push_back(arg);
+        }
+    }
+    if (inputs.empty()) {
+        std::cerr << argv[0]
+                  << ": no inputs (pass seed files or corpus dirs)\n";
+        return 1;
+    }
+    // Sorted so a crash report names a reproducible position in the run.
+    std::sort(inputs.begin(), inputs.end());
+    for (const fs::path& path : inputs) {
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+            std::cerr << argv[0] << ": cannot read " << path << '\n';
+            return 1;
+        }
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        const std::string bytes = buffer.str();
+        LLVMFuzzerTestOneInput(
+            reinterpret_cast<const std::uint8_t*>(bytes.data()),
+            bytes.size());
+    }
+    std::cout << argv[0] << ": replayed " << inputs.size()
+              << " input(s), no escapes\n";
+    return 0;
+}
+
+#endif // !MCHECK_LIBFUZZER
+
+#endif // MCHECK_FUZZ_REPLAY_MAIN_H

@@ -1,5 +1,6 @@
 #include "cache/analysis_cache.h"
 
+#include "support/fault_injection.h"
 #include "support/hash.h"
 #include "support/metrics.h"
 #include "support/version.h"
@@ -198,6 +199,15 @@ bool
 AnalysisCache::lookup(std::uint64_t key, CachedUnit& out)
 {
     const std::string path = entryPath(key);
+    // I/O faults are contained right here: a failed read is exactly a
+    // corrupt-entry miss, so the caller re-analyzes and the run's output
+    // is unaffected. The injected variant follows the same path.
+    try {
+        support::fault::probe("cache.lookup", support::hashHex(key));
+    } catch (const support::InjectedFault& f) {
+        countMiss(true, path, f.what());
+        return false;
+    }
     std::ifstream in(path, std::ios::binary);
     if (!in) {
         countMiss(false, path, "");
@@ -232,6 +242,15 @@ AnalysisCache::store(std::uint64_t key, const CachedUnit& unit)
     if (readonly_)
         return;
     const std::string path = entryPath(key);
+    // A failed publish only costs the next run a re-analysis; contain it
+    // here (like the real short-write/rename failures below) so checking
+    // continues undisturbed.
+    try {
+        support::fault::probe("cache.store", support::hashHex(key));
+    } catch (const support::InjectedFault& f) {
+        warn("cache entry " + path + " not stored (" + f.what() + ")");
+        return;
+    }
     const std::string tmp = path + ".tmp";
     const std::string text = encodeUnit(unit);
     {
@@ -280,11 +299,24 @@ AnalysisCache::trim(std::uint64_t max_bytes)
     std::vector<Entry> entries;
     std::uint64_t total = 0;
     std::error_code ec;
-    for (const fs::directory_entry& de : fs::directory_iterator(dir_, ec)) {
+    // A second process (or thread) may be publishing and evicting
+    // concurrently, so every filesystem step tolerates entries appearing
+    // and vanishing mid-scan: stat failures skip the entry, an iterator
+    // error ends the scan with whatever was collected, and a remove that
+    // loses the race still counts the bytes as gone.
+    fs::directory_iterator it(dir_, ec);
+    if (ec)
+        return;
+    for (fs::directory_iterator end; it != end; it.increment(ec)) {
+        if (ec)
+            break;
+        const fs::directory_entry& de = *it;
         if (de.path().extension() != ".mcu")
             continue;
         std::error_code sec;
         std::uint64_t size = de.file_size(sec);
+        if (sec)
+            continue;
         fs::file_time_type mtime = de.last_write_time(sec);
         if (sec)
             continue;
@@ -304,12 +336,19 @@ AnalysisCache::trim(std::uint64_t max_bytes)
         if (total <= max_bytes)
             break;
         std::error_code rec;
-        if (fs::remove(entry.path, rec)) {
-            total -= entry.size;
+        bool removed = fs::remove(entry.path, rec);
+        if (removed) {
             evictions_.fetch_add(1, std::memory_order_relaxed);
             if (metrics.enabled())
                 metrics.counter("cache.evictions").add();
+        } else if (rec) {
+            // Couldn't remove and it still exists (permissions?): its
+            // bytes remain, keep evicting others.
+            continue;
         }
+        // Removed by us or already gone (ENOENT race with a concurrent
+        // trimmer): either way those bytes no longer count.
+        total -= entry.size;
     }
 }
 

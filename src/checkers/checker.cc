@@ -35,6 +35,14 @@ runCheckers(const lang::Program& program, const flash::ProtocolSpec& spec,
     support::MetricsRegistry& metrics = support::MetricsRegistry::global();
     support::TraceRecorder& tracer = support::TraceRecorder::global();
 
+    // Pre-registered to match the parallel runner's report: the
+    // sequential runner has no unit containment, so both are honestly
+    // zero — but the key set must not depend on which runner ran.
+    if (metrics.enabled()) {
+        metrics.counter("engine.unit_failures").add(0);
+        metrics.counter("budget.truncations").add(0);
+    }
+
     // Baseline per-checker counts, so stats reflect only this run even if
     // the sink already held diagnostics.
     std::vector<int> base_errors;

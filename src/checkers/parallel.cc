@@ -1,8 +1,10 @@
 #include "checkers/parallel.h"
 
 #include "checkers/metal_sources.h"
+#include "checkers/unit_guard.h"
 #include "flash/protocol_spec.h"
 #include "lang/fingerprint.h"
+#include "support/fault_injection.h"
 #include "support/hash.h"
 #include "support/metrics.h"
 #include "support/trace.h"
@@ -62,8 +64,10 @@ runCheckersParallel(const lang::Program& program,
                     const ParallelRunOptions& options)
 {
     // Any checker the factory cannot rebuild (a test double, say) makes
-    // private instances impossible; one lane makes them pointless unless
-    // a cache needs the unit machinery for replay.
+    // private instances impossible, which rules out the unit machinery
+    // entirely. Every clonable configuration — including jobs == 1 —
+    // goes through the unit machinery, so fault containment and cache
+    // replay behave identically at any job count.
     unsigned jobs = options.pool           ? options.pool->jobs()
                     : options.jobs != 0   ? options.jobs
                                            : support::ThreadPool::defaultJobs();
@@ -72,7 +76,7 @@ runCheckersParallel(const lang::Program& program,
         if (!makeChecker(checker->name(), options.checker_options))
             clonable = false;
     cache::AnalysisCache* cache = clonable ? options.cache : nullptr;
-    if ((jobs <= 1 && !cache) || !clonable)
+    if (!clonable)
         return runCheckers(program, spec, checkers, sink);
 
     support::ThreadPool local_pool(options.pool ? 1 : jobs);
@@ -100,6 +104,10 @@ runCheckersParallel(const lang::Program& program,
     if (metrics.enabled()) {
         metrics.gauge("parallel.jobs").observe(jobs);
         metrics.counter("parallel.work_units").add(nunits);
+        // Pre-registered so "engine.unit_failures": 0 in a report is a
+        // statement that every unit completed, not an omission.
+        metrics.counter("engine.unit_failures").add(0);
+        metrics.counter("budget.truncations").add(0);
     }
 
     std::vector<std::unique_ptr<Checker>> unit_checkers(nunits);
@@ -180,28 +188,69 @@ runCheckersParallel(const lang::Program& program,
                 Clock::now() - cfg_t0));
 
     // Phase 2: (function x checker) units, each against a private checker
-    // instance and private sink. Unit u = f * ncheckers + c — the merge
-    // below walks u in order to reproduce the sequential visit order.
+    // instance and private sink, each under a UnitGuard. Unit
+    // u = f * ncheckers + c — the merge below walks u in order to
+    // reproduce the sequential visit order. A unit that throws is
+    // discarded wholesale (fresh instance, no partial findings) and
+    // replaced by one "analysis incomplete" warning, so a crash stays
+    // contained to its unit and the merged bytes stay deterministic.
     // Cache misses run live and (in read-write mode) store their outcome:
-    // the private sink's diagnostics plus the instance's serialized state.
+    // the private sink's diagnostics plus the instance's serialized
+    // state. Failed units are never stored; neither are budget-truncated
+    // ones, since budget limits are not part of the content key and a
+    // partial result must not masquerade as a full one.
     std::vector<Clock::duration> unit_elapsed(nunits,
                                               Clock::duration::zero());
+    std::vector<char> unit_failed(nunits, 0);
+    std::vector<support::BudgetStop> unit_stop(
+        nunits, support::BudgetStop::None);
     pool.parallelFor(nunits, [&](std::size_t u) {
         if (unit_hit[u])
             return;
         std::size_t f = u / ncheckers;
         std::size_t c = u % ncheckers;
+        const std::string label =
+            fns[f]->name + "/" + checkers[c]->name();
         unit_checkers[u] =
             makeChecker(checkers[c]->name(), options.checker_options);
-        CheckContext uctx{program, spec, unit_sinks[u]};
+        support::DiagnosticSink scratch;
+        CheckContext uctx{program, spec, scratch};
         support::TraceSpan span(tracer.enabled() ? &tracer : nullptr,
                                 checkers[c]->name(), "checker");
         if (tracer.enabled())
             span.arg("function", fns[f]->name);
         Clock::time_point t0 = Clock::now();
-        unit_checkers[u]->checkFunction(*fns[f], cfgs[f], uctx);
+        UnitGuard guard(label, options.unit_budget, options.fail_fast);
+        UnitOutcome outcome = guard.run([&] {
+            // Keyed by the unit's identity: the same units fault no
+            // matter how the pool schedules them across lanes.
+            support::fault::probe("checker.unit", label);
+            unit_checkers[u]->checkFunction(*fns[f], cfgs[f], uctx);
+        });
         unit_elapsed[u] = Clock::now() - t0;
-        if (cache && !cache->readonly()) {
+        unit_stop[u] = outcome.budget_stop;
+        if (outcome.failed) {
+            unit_failed[u] = 1;
+            unit_checkers[u] = makeChecker(checkers[c]->name(),
+                                           options.checker_options);
+            unit_sinks[u].warning(
+                fns[f]->loc, "engine", "unit-failure",
+                "analysis incomplete: " + checkers[c]->name() +
+                    " failed on '" + fns[f]->name +
+                    "': " + outcome.error);
+            return;
+        }
+        for (const support::Diagnostic& d : scratch.diagnostics())
+            unit_sinks[u].report(d);
+        if (outcome.budget_stop != support::BudgetStop::None)
+            unit_sinks[u].warning(
+                fns[f]->loc, "engine", "budget-exhausted",
+                "analysis truncated: " + checkers[c]->name() + " on '" +
+                    fns[f]->name + "' exhausted its " +
+                    support::budgetStopName(outcome.budget_stop) +
+                    " budget");
+        if (cache && !cache->readonly() && unit_keys[u] != 0 &&
+            outcome.budget_stop == support::BudgetStop::None) {
             cache::CachedUnit unit;
             unit.checker = checkers[c]->name();
             unit.function = fns[f]->name;
@@ -222,12 +271,25 @@ runCheckersParallel(const lang::Program& program,
     // private sinks could not see).
     std::vector<Clock::duration> elapsed(ncheckers,
                                          Clock::duration::zero());
+    std::uint64_t failures = 0;
+    std::uint64_t truncations = 0;
     for (std::size_t u = 0; u < nunits; ++u) {
         std::size_t c = u % ncheckers;
         checkers[c]->absorb(*unit_checkers[u]);
         elapsed[c] += unit_elapsed[u];
         for (const support::Diagnostic& d : unit_sinks[u].diagnostics())
             sink.report(d);
+        failures += unit_failed[u] ? 1 : 0;
+        truncations +=
+            unit_stop[u] != support::BudgetStop::None ? 1 : 0;
+    }
+    if (options.health) {
+        options.health->unit_failures += failures;
+        options.health->budget_truncations += truncations;
+    }
+    if (metrics.enabled()) {
+        metrics.counter("engine.unit_failures").add(failures);
+        metrics.counter("budget.truncations").add(truncations);
     }
 
     CheckContext ctx{program, spec, sink};

@@ -4,9 +4,24 @@
 #include "cache/analysis_cache.h"
 #include "checkers/checker.h"
 #include "checkers/registry.h"
+#include "support/budget.h"
 #include "support/thread_pool.h"
 
 namespace mc::checkers {
+
+/**
+ * Containment tally for one run: how many work units failed under their
+ * UnitGuard and how many were truncated by their resource budget. The
+ * driver maps a non-zero unit_failures (or frontend issues) to the
+ * "degraded" exit code.
+ */
+struct RunHealth
+{
+    std::uint64_t unit_failures = 0;
+    std::uint64_t budget_truncations = 0;
+
+    bool degraded() const { return unit_failures > 0; }
+};
 
 /** Knobs for runCheckersParallel. */
 struct ParallelRunOptions
@@ -38,6 +53,23 @@ struct ParallelRunOptions
      * rebuild still force the sequential, uncached fallback.
      */
     cache::AnalysisCache* cache = nullptr;
+    /**
+     * Per-unit resource budget (wall-clock deadline, step and byte
+     * allowances) installed around each (function, checker) unit and
+     * consulted by the path walker. Exhaustion truncates that unit's
+     * analysis gracefully — partial findings survive, a
+     * "budget-exhausted" warning marks the gap — and the unit is not
+     * stored in the cache (budgets are not part of cache keys).
+     * Default-constructed means unlimited.
+     */
+    support::BudgetLimits unit_budget;
+    /**
+     * Abort the whole run on the first unit failure (the exception
+     * propagates out of runCheckersParallel) instead of containing it.
+     */
+    bool fail_fast = false;
+    /** Optional out-param receiving the run's containment tally. */
+    RunHealth* health = nullptr;
 };
 
 /**
@@ -56,7 +88,17 @@ struct ParallelRunOptions
  *
  * Checkers whose names the registry factory does not know force a
  * sequential fallback (their instances cannot be cloned); the result is
- * still correct, just not parallel.
+ * still correct, just not parallel — and not fault-contained.
+ *
+ * Fault containment: every unit body runs under a UnitGuard. A unit
+ * that throws (checker bug, injected fault, bad_alloc) is discarded —
+ * fresh instance absorbed, no partial findings — and replaced by a
+ * single "analysis incomplete" warning diagnostic (checker "engine",
+ * rule "unit-failure") that flows through the normal sorted merge, so a
+ * degraded run is still byte-identical for any job count. Failures
+ * tally into the engine.unit_failures metric and options.health. With
+ * jobs == 1 the unit machinery (and the guard) is used all the same, so
+ * sequential and parallel runs degrade identically.
  */
 std::vector<CheckerRunStats>
 runCheckersParallel(const lang::Program& program,

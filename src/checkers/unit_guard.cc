@@ -1,0 +1,30 @@
+#include "checkers/unit_guard.h"
+
+namespace mc::checkers {
+
+UnitOutcome
+UnitGuard::run(const std::function<void()>& body) const
+{
+    UnitOutcome outcome;
+    support::Budget budget(limits_);
+    support::BudgetScope scope(&budget);
+    try {
+        body();
+    } catch (const std::exception& e) {
+        outcome.failed = true;
+        outcome.error = e.what();
+        if (rethrow_)
+            throw;
+    } catch (...) {
+        outcome.failed = true;
+        outcome.error = "non-standard exception in unit " + label_;
+        if (rethrow_)
+            throw;
+    }
+    outcome.budget_stop = budget.stop();
+    outcome.steps = budget.steps();
+    outcome.elapsed = budget.elapsed();
+    return outcome;
+}
+
+} // namespace mc::checkers

@@ -1228,7 +1228,10 @@ loadProtocol(const ProtocolProfile& profile)
 {
     LoadedProtocol loaded;
     loaded.gen = generateProtocol(profile);
-    loaded.program = std::make_unique<lang::Program>();
+    // Recovery mode: a generator bug that emits a malformed handler
+    // poisons that declaration and degrades the run instead of aborting
+    // the whole protocol check.
+    loaded.program = std::make_unique<lang::Program>(/*recover=*/true);
     for (const GeneratedFile& file : loaded.gen.files) {
         lang::TranslationUnit& tu =
             loaded.program->addSource(file.name, file.source);

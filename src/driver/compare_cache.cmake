@@ -13,8 +13,8 @@
 # re-analyze. MODE=protocol checks the generated in-memory protocol
 # instead (no touch step there: its sources never land on disk), which
 # exercises the --protocol code path end to end. Either way, the corpus
-# protocols carry intentional bugs, so mccheck exits 2; the harness only
-# requires every run to agree with the first.
+# protocols carry intentional bugs, so mccheck exits 1 (findings); the
+# harness only requires every run to agree with the first.
 foreach(var MCCHECK PROTOCOL FORMAT JOBS WORKDIR)
     if(NOT DEFINED ${var})
         message(FATAL_ERROR "compare_cache.cmake: -D${var}=... is required")

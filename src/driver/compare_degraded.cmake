@@ -1,0 +1,96 @@
+# Degraded-run determinism harness: drop a malformed handler into an
+# emitted corpus and require that (a) the run exits 2 (degraded), (b) the
+# siblings' checker findings still appear alongside the frontend
+# diagnostic, and (c) stdout is byte-identical at --jobs 1 and --jobs 4 —
+# with and without an armed fault-injection probe. Containment must not
+# let scheduling leak into the output.
+#
+# Usage:
+#   cmake -DMCCHECK=<path> -DWORKDIR=<scratch dir>
+#         -P compare_degraded.cmake
+foreach(var MCCHECK WORKDIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR
+            "compare_degraded.cmake: -D${var}=... is required")
+    endif()
+endforeach()
+
+file(REMOVE_RECURSE ${WORKDIR})
+file(MAKE_DIRECTORY ${WORKDIR})
+
+execute_process(
+    COMMAND ${MCCHECK} --emit-corpus bitvector ${WORKDIR}/corpus
+    RESULT_VARIABLE rc_emit
+    ERROR_VARIABLE err_emit)
+if(NOT rc_emit EQUAL 0)
+    message(FATAL_ERROR
+        "--emit-corpus bitvector failed (rc=${rc_emit}): ${err_emit}")
+endif()
+
+# The malformed handler: panic-mode recovery poisons BrokenHandler and
+# must keep checking its sibling and every other corpus file.
+file(WRITE ${WORKDIR}/corpus/zz_broken_handler.c
+    "void BrokenHandler(void) {\n"
+    "  if (x {\n"
+    "  }\n"
+    "}\n"
+    "void BrokenSibling(void) { int y = 1; }\n")
+
+file(GLOB_RECURSE sources ${WORKDIR}/corpus/*.c)
+list(SORT sources)
+
+# run(<tag> <jobs> [extra mccheck args...])
+function(run tag jobs)
+    execute_process(
+        COMMAND ${MCCHECK} ${sources} --format json --jobs ${jobs} ${ARGN}
+        OUTPUT_VARIABLE out
+        ERROR_VARIABLE err
+        RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 2)
+        message(FATAL_ERROR
+            "degraded run '${tag}' (jobs=${jobs}): want exit 2, got "
+            "${rc}\nstderr: ${err}")
+    endif()
+    set(out_${tag} "${out}" PARENT_SCOPE)
+endfunction()
+
+run(seq 1)
+run(par 4)
+if(NOT out_seq STREQUAL out_par)
+    message(FATAL_ERROR
+        "degraded stdout differs between --jobs 1 and --jobs 4; "
+        "recovery broke the deterministic-output guarantee")
+endif()
+
+# The frontend diagnostic for the poisoned handler must be present...
+if(NOT out_seq MATCHES "parse-error")
+    message(FATAL_ERROR "no frontend parse-error diagnostic in:\n${out_seq}")
+endif()
+# ...and so must findings from checkers on the surviving units.
+string(REGEX MATCHALL "\"checker\": \"[a-z_]+\"" checkers "${out_seq}")
+list(REMOVE_DUPLICATES checkers)
+list(FILTER checkers EXCLUDE REGEX "frontend")
+if(checkers STREQUAL "")
+    message(FATAL_ERROR
+        "no sibling checker findings survived the malformed handler; "
+        "recovery dropped healthy units:\n${out_seq}")
+endif()
+
+# Same bar with a fault armed: the keyed probe fails the same units at
+# any job count, so degraded output stays byte-identical.
+run(inj_seq 1 --inject-fault checker.unit:3)
+run(inj_par 4 --inject-fault checker.unit:3)
+if(NOT out_inj_seq STREQUAL out_inj_par)
+    message(FATAL_ERROR
+        "fault-injected stdout differs between --jobs 1 and --jobs 4; "
+        "unit containment is scheduling-dependent")
+endif()
+if(NOT out_inj_seq MATCHES "unit-failure")
+    message(FATAL_ERROR
+        "armed checker.unit:3 probe produced no unit-failure marker:\n"
+        "${out_inj_seq}")
+endif()
+
+message(STATUS
+    "degraded runs agree byte-for-byte across job counts, with and "
+    "without injected faults")

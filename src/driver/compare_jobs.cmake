@@ -5,8 +5,8 @@
 #   cmake -DMCCHECK=<path> -DPROTOCOL=<name> -DFORMAT=<json|sarif>
 #         -P compare_jobs.cmake
 #
-# The corpus protocols carry intentional bugs, so mccheck exits 2; the
-# harness only requires the two runs to agree.
+# The corpus protocols carry intentional bugs, so mccheck exits 1
+# (findings); the harness only requires the two runs to agree.
 foreach(var MCCHECK PROTOCOL FORMAT)
     if(NOT DEFINED ${var})
         message(FATAL_ERROR "compare_jobs.cmake: -D${var}=... is required")

@@ -22,13 +22,31 @@
  *     --cache-readonly       consult the cache but never write it
  *     --cache-limit-mb <n>   evict oldest entries past n MiB after a run
  *
+ * Robustness (see docs/robustness.md):
+ *     --unit-timeout-ms <n>  per-(function, checker) wall-clock budget
+ *     --unit-max-steps <n>   per-unit path-walker step budget
+ *     --fail-fast            abort the run on the first unit failure
+ *     --keep-going           contain unit failures (default)
+ *     --inject-fault <s:n>   arm a fault-injection probe (testing)
+ *
+ * Exit codes:
+ *     0  clean — every unit analyzed completely, no errors found
+ *     1  findings — checkers reported at least one error
+ *     2  degraded — analysis incomplete somewhere (a parse error
+ *        recovered into a poisoned declaration, a contained unit
+ *        failure, or a budget truncation); takes precedence over 1
+ *     3  fatal — usage errors, unreadable inputs, --fail-fast aborts,
+ *        or an escaped internal error
+ *
  * Output is deterministic for any --jobs value and for warm vs. cold
  * cache runs: diagnostics are ordered by (file, line, column, checker,
  * rule) at emission, the parallel runner merges worker results in the
  * sequential visit order, and cached units replay their stored
  * diagnostics and checker state through that same merge path — so the
  * rendered text/JSON/SARIF bytes never depend on thread scheduling or
- * cache temperature. Cache status goes to stderr only.
+ * cache temperature. Cache status goes to stderr only. Degraded runs
+ * keep the guarantee: poisoned declarations, "analysis incomplete"
+ * markers, and keyed fault injection are all scheduling-independent.
  *
  * When checking loose files, every CamelCase function is treated as a
  * hardware handler unless its name starts with "Sw" (software handler);
@@ -39,10 +57,13 @@
 #include "cfg/cfg.h"
 #include "checkers/parallel.h"
 #include "checkers/registry.h"
+#include "checkers/unit_guard.h"
 #include "corpus/generator.h"
 #include "lang/fingerprint.h"
 #include "metal/engine.h"
 #include "metal/metal_parser.h"
+#include "support/budget.h"
+#include "support/fault_injection.h"
 #include "support/hash.h"
 #include "support/metrics.h"
 #include "support/text.h"
@@ -89,8 +110,21 @@ const char* const kUsage =
     "  --cache-readonly            read the cache but never write it\n"
     "  --cache-limit-mb <n>        evict oldest cache entries beyond n\n"
     "                              MiB after the run\n"
+    "  --unit-timeout-ms <n>       wall-clock budget per (function,\n"
+    "                              checker) unit; exhausted units are\n"
+    "                              truncated, not killed\n"
+    "  --unit-max-steps <n>        path-walker step budget per unit\n"
+    "  --fail-fast                 abort on the first unit failure\n"
+    "                              (exit 3) instead of containing it\n"
+    "  --keep-going                contain unit failures and keep\n"
+    "                              checking (default)\n"
+    "  --inject-fault <site:n>     arm a fault-injection probe (also\n"
+    "                              via MCCHECK_FAULT_INJECT)\n"
     "  --help                      show this help\n"
-    "  --version                   print version and exit\n";
+    "  --version                   print version and exit\n"
+    "\n"
+    "exit codes: 0 clean, 1 findings, 2 degraded (incomplete analysis;\n"
+    "wins over 1), 3 fatal (usage, unreadable input, --fail-fast)\n";
 
 /** Parsed command line: one mode plus cross-cutting options. */
 struct CliOptions
@@ -121,6 +155,14 @@ struct CliOptions
     bool cache_readonly = false;
     /** Cache size cap in MiB enforced after the run; 0 = unlimited. */
     unsigned long cache_limit_mb = 0;
+    /** Per-unit wall-clock budget in ms; 0 = unlimited. */
+    unsigned long unit_timeout_ms = 0;
+    /** Per-unit path-walker step budget; 0 = unlimited. */
+    unsigned long unit_max_steps = 0;
+    /** Abort on the first contained unit failure instead of degrading. */
+    bool fail_fast = false;
+    /** Fault-injection spec ("site:n"); empty = use the env var only. */
+    std::string inject_fault;
 };
 
 /** Print `what` plus usage to stderr; used for every CLI error. */
@@ -128,7 +170,37 @@ int
 usageError(const std::string& what)
 {
     std::cerr << "mccheck: " << what << '\n' << kUsage;
-    return 1;
+    return 3;
+}
+
+/**
+ * Parse a whole-string decimal count for `flag` into `out`. Reports
+ * exactly why a value was rejected — the stoul failure modes
+ * (non-numeric, out of range) used to be swallowed by a bare catch and
+ * surfaced as a generic usage error.
+ */
+bool
+parseCount(const std::string& flag, const std::string& value,
+           unsigned long& out)
+{
+    std::size_t used = 0;
+    try {
+        out = std::stoul(value, &used);
+    } catch (const std::invalid_argument&) {
+        std::cerr << "mccheck: " << flag << ": '" << value
+                  << "' is not a number\n";
+        return false;
+    } catch (const std::out_of_range&) {
+        std::cerr << "mccheck: " << flag << ": '" << value
+                  << "' is out of range for unsigned long\n";
+        return false;
+    }
+    if (used != value.size()) {
+        std::cerr << "mccheck: " << flag << ": trailing characters in '"
+                  << value << "'\n";
+        return false;
+    }
+    return true;
 }
 
 /**
@@ -190,13 +262,8 @@ parseArgs(const std::vector<std::string>& args, CliOptions& out)
             if (!need_value(i, arg, value))
                 return usageError("--jobs needs a positive thread count");
             unsigned long parsed = 0;
-            std::size_t used = 0;
-            try {
-                parsed = std::stoul(value, &used);
-            } catch (...) {
-                used = 0;
-            }
-            if (used != value.size() || parsed == 0 || parsed > 1024)
+            if (!parseCount(arg, value, parsed) || parsed == 0 ||
+                parsed > 1024)
                 return usageError("--jobs needs a thread count in 1..1024, "
                                   "got '" + value + "'");
             out.jobs = static_cast<unsigned>(parsed);
@@ -212,17 +279,41 @@ parseArgs(const std::vector<std::string>& args, CliOptions& out)
             if (!need_value(i, arg, value))
                 return usageError("--cache-limit-mb needs a size in MiB");
             unsigned long parsed = 0;
-            std::size_t used = 0;
-            try {
-                parsed = std::stoul(value, &used);
-            } catch (...) {
-                used = 0;
-            }
-            if (used != value.size() || parsed == 0)
+            if (!parseCount(arg, value, parsed) || parsed == 0)
                 return usageError(
                     "--cache-limit-mb needs a positive size in MiB, "
                     "got '" + value + "'");
             out.cache_limit_mb = parsed;
+            ++i;
+        } else if (arg == "--unit-timeout-ms") {
+            std::string value;
+            if (!need_value(i, arg, value))
+                return usageError("--unit-timeout-ms needs a duration");
+            unsigned long parsed = 0;
+            if (!parseCount(arg, value, parsed) || parsed == 0)
+                return usageError(
+                    "--unit-timeout-ms needs a positive duration in "
+                    "milliseconds, got '" + value + "'");
+            out.unit_timeout_ms = parsed;
+            ++i;
+        } else if (arg == "--unit-max-steps") {
+            std::string value;
+            if (!need_value(i, arg, value))
+                return usageError("--unit-max-steps needs a step count");
+            unsigned long parsed = 0;
+            if (!parseCount(arg, value, parsed) || parsed == 0)
+                return usageError(
+                    "--unit-max-steps needs a positive step count, "
+                    "got '" + value + "'");
+            out.unit_max_steps = parsed;
+            ++i;
+        } else if (arg == "--fail-fast") {
+            out.fail_fast = true;
+        } else if (arg == "--keep-going") {
+            out.fail_fast = false;
+        } else if (arg == "--inject-fault") {
+            if (!need_value(i, arg, out.inject_fault))
+                return usageError("--inject-fault needs a <site>:<n> spec");
             ++i;
         } else if (arg == "--format") {
             std::string name;
@@ -247,6 +338,44 @@ listProtocols()
     for (const corpus::ProtocolProfile& profile : corpus::paperProfiles())
         std::cout << profile.name << '\n';
     return 0;
+}
+
+/** Per-unit resource limits from the CLI budget flags. */
+support::BudgetLimits
+unitBudget(const CliOptions& opts)
+{
+    support::BudgetLimits limits;
+    limits.deadline = std::chrono::milliseconds(opts.unit_timeout_ms);
+    limits.max_steps = opts.unit_max_steps;
+    return limits;
+}
+
+/**
+ * Map a finished run to the documented exit scheme: degraded (2) wins
+ * over findings (1) — an incomplete analysis can neither prove nor
+ * refute cleanliness, and the caller must not mistake "no errors
+ * reported" for "no errors present".
+ */
+int
+exitCode(bool degraded, const support::DiagnosticSink& sink)
+{
+    if (degraded)
+        return 2;
+    return sink.count(support::Severity::Error) > 0 ? 1 : 0;
+}
+
+/**
+ * Surface recovered frontend failures (parse/lex errors that poisoned a
+ * declaration) as ordinary diagnostics so they reach every output
+ * format, SARIF included, through the same sorted emission path.
+ */
+void
+reportFrontendIssues(const lang::Program& program,
+                     support::DiagnosticSink& sink)
+{
+    for (const lang::TranslationUnit& unit : program.units())
+        for (const lang::ParseIssue& issue : unit.issues)
+            sink.error(issue.loc, "frontend", issue.rule, issue.message);
 }
 
 /** Render run stats + diagnostics in the selected format. */
@@ -287,14 +416,22 @@ checkProtocol(const CliOptions& opts, cache::AnalysisCache* cache)
                             "protocol:" + opts.protocol, "driver");
     auto set = checkers::makeAllCheckers();
     support::DiagnosticSink sink;
+    reportFrontendIssues(*loaded.program, sink);
+    checkers::RunHealth health;
     checkers::ParallelRunOptions prun;
     prun.jobs = opts.jobs;
     prun.cache = cache;
+    prun.unit_budget = unitBudget(opts);
+    prun.fail_fast = opts.fail_fast;
+    prun.health = &health;
     auto stats = checkers::runCheckersParallel(
         *loaded.program, loaded.gen.spec, set.pointers(), sink, prun);
     span.finish();
     emitFindings(opts, sink, &loaded.program->sourceManager(), &stats);
-    return sink.count(support::Severity::Error) > 0 ? 2 : 0;
+    return exitCode(loaded.program->degraded() ||
+                        health.unit_failures > 0 ||
+                        health.budget_truncations > 0,
+                    sink);
 }
 
 int
@@ -356,24 +493,33 @@ runMetalChecker(const CliOptions& opts, cache::AnalysisCache* cache)
         metal_source = metal_buf.str();
     } catch (const metal::MetalParseError& e) {
         std::cerr << "mccheck: " << e.what() << '\n';
-        return 1;
+        return 3;
     }
-    lang::Program program;
+    lang::Program program(/*recover=*/true);
     if (!loadSources(program, opts.files))
-        return 1;
+        return 3;
 
     // Fan functions out across the pool, each into a private sink; merge
     // in program function order so the shared sink sees the same
     // diagnostic sequence a sequential loop would produce. The parsed
-    // state machine is shared read-only across lanes.
+    // state machine is shared read-only across lanes. Each function runs
+    // under a UnitGuard with the CLI budget, mirroring the parallel
+    // checker runner's containment: a walk that throws is replaced by an
+    // "analysis incomplete" warning and the run degrades instead of
+    // dying.
     //
     // With a cache, each function's walk outcome (its private sink's
     // diagnostics) is keyed by the metal source text plus the function's
     // token-stream fingerprint, so re-checks after an edit replay every
-    // untouched function.
+    // untouched function. Functions in degraded units have no
+    // fingerprint and bypass the cache entirely.
     const std::vector<const lang::FunctionDecl*>& fns =
         program.functions();
+    const std::string unit_checker = "metal:" + checker.name;
     std::vector<support::DiagnosticSink> fn_sinks(fns.size());
+    std::vector<char> fn_failed(fns.size(), 0);
+    std::vector<support::BudgetStop> fn_stop(fns.size(),
+                                             support::BudgetStop::None);
     std::map<std::string, std::uint64_t> fn_fps;
     std::map<std::string, std::int32_t> file_ids;
     std::vector<std::uint64_t> keys(fns.size(), 0);
@@ -384,13 +530,14 @@ runMetalChecker(const CliOptions& opts, cache::AnalysisCache* cache)
     }
     support::ThreadPool pool(opts.jobs);
     pool.parallelFor(fns.size(), [&](std::size_t f) {
-        if (cache) {
+        auto fp = fn_fps.find(fns[f]->name);
+        if (cache && fp != fn_fps.end()) {
             keys[f] = support::Fnv1a()
                           .i64(cache::kCacheFormatVersion)
                           .str(support::kToolVersion)
-                          .str("metal:" + checker.name)
+                          .str(unit_checker)
                           .str(metal_source)
-                          .u64(fn_fps.at(fns[f]->name))
+                          .u64(fp->second)
                           .value();
             cache::CachedUnit unit;
             if (cache->lookup(keys[f], unit) &&
@@ -413,11 +560,37 @@ runMetalChecker(const CliOptions& opts, cache::AnalysisCache* cache)
                 }
             }
         }
-        cfg::Cfg cfg = cfg::CfgBuilder::build(*fns[f]);
-        metal::runStateMachine(*checker.sm, cfg, fn_sinks[f]);
-        if (cache && !cache->readonly()) {
+        const std::string label = fns[f]->name + "/" + unit_checker;
+        support::DiagnosticSink scratch;
+        checkers::UnitGuard guard(label, unitBudget(opts),
+                                  opts.fail_fast);
+        checkers::UnitOutcome outcome = guard.run([&] {
+            support::fault::probe("checker.unit", label);
+            cfg::Cfg cfg = cfg::CfgBuilder::build(*fns[f]);
+            metal::runStateMachine(*checker.sm, cfg, scratch);
+        });
+        fn_stop[f] = outcome.budget_stop;
+        if (outcome.failed) {
+            fn_failed[f] = 1;
+            fn_sinks[f].warning(fns[f]->loc, "engine", "unit-failure",
+                                "analysis incomplete: " + unit_checker +
+                                    " failed on '" + fns[f]->name +
+                                    "': " + outcome.error);
+            return;
+        }
+        for (const support::Diagnostic& d : scratch.diagnostics())
+            fn_sinks[f].report(d);
+        if (outcome.budget_stop != support::BudgetStop::None)
+            fn_sinks[f].warning(
+                fns[f]->loc, "engine", "budget-exhausted",
+                "analysis truncated: " + unit_checker + " on '" +
+                    fns[f]->name + "' exhausted its " +
+                    support::budgetStopName(outcome.budget_stop) +
+                    " budget");
+        if (cache && !cache->readonly() && keys[f] != 0 &&
+            outcome.budget_stop == support::BudgetStop::None) {
             cache::CachedUnit unit;
-            unit.checker = "metal:" + checker.name;
+            unit.checker = unit_checker;
             unit.function = fns[f]->name;
             for (const support::Diagnostic& d : fn_sinks[f].diagnostics())
                 unit.diags.push_back(cache::AnalysisCache::toCached(
@@ -426,24 +599,38 @@ runMetalChecker(const CliOptions& opts, cache::AnalysisCache* cache)
         }
     });
     support::DiagnosticSink sink;
-    for (const support::DiagnosticSink& fs : fn_sinks)
-        for (const support::Diagnostic& d : fs.diagnostics())
+    reportFrontendIssues(program, sink);
+    std::uint64_t failures = 0;
+    std::uint64_t truncations = 0;
+    for (std::size_t f = 0; f < fns.size(); ++f) {
+        for (const support::Diagnostic& d : fn_sinks[f].diagnostics())
             sink.report(d);
+        failures += fn_failed[f] ? 1 : 0;
+        truncations +=
+            fn_stop[f] != support::BudgetStop::None ? 1 : 0;
+    }
+    support::MetricsRegistry& metrics = support::MetricsRegistry::global();
+    if (metrics.enabled()) {
+        metrics.counter("engine.unit_failures").add(failures);
+        metrics.counter("budget.truncations").add(truncations);
+    }
     emitFindings(opts, sink, &program.sourceManager(), nullptr);
     if (opts.format == support::OutputFormat::Text)
         std::cout << "sm '" << checker.name << "': "
                   << sink.count(support::Severity::Error) << " error(s), "
                   << sink.count(support::Severity::Warning)
                   << " warning(s)\n";
-    return sink.count(support::Severity::Error) > 0 ? 2 : 0;
+    return exitCode(program.degraded() || failures > 0 ||
+                        truncations > 0,
+                    sink);
 }
 
 int
 checkFiles(const CliOptions& opts, cache::AnalysisCache* cache)
 {
-    lang::Program program;
+    lang::Program program(/*recover=*/true);
     if (!loadSources(program, opts.files))
-        return 1;
+        return 3;
 
     flash::ProtocolSpec spec;
     spec.name = "<cli>";
@@ -464,9 +651,14 @@ checkFiles(const CliOptions& opts, cache::AnalysisCache* cache)
 
     auto set = checkers::makeAllCheckers();
     support::DiagnosticSink sink;
+    reportFrontendIssues(program, sink);
+    checkers::RunHealth health;
     checkers::ParallelRunOptions prun;
     prun.jobs = opts.jobs;
     prun.cache = cache;
+    prun.unit_budget = unitBudget(opts);
+    prun.fail_fast = opts.fail_fast;
+    prun.health = &health;
     auto stats = checkers::runCheckersParallel(program, spec,
                                                set.pointers(), sink, prun);
     emitFindings(opts, sink, &program.sourceManager(), nullptr);
@@ -475,7 +667,9 @@ checkFiles(const CliOptions& opts, cache::AnalysisCache* cache)
                   << sink.count(support::Severity::Warning)
                   << " warning(s)\n";
     (void)stats;
-    return sink.count(support::Severity::Error) > 0 ? 2 : 0;
+    return exitCode(program.degraded() || health.unit_failures > 0 ||
+                        health.budget_truncations > 0,
+                    sink);
 }
 
 /** Write metrics / trace reports if requested. Returns false on I/O error. */
@@ -514,12 +708,24 @@ main(int argc, char** argv)
     std::vector<std::string> args(argv + 1, argv + argc);
     if (args.empty()) {
         std::cerr << kUsage;
-        return 1;
+        return 3;
     }
 
     CliOptions opts;
     if (int rc = parseArgs(args, opts); rc >= 0)
         return rc;
+
+    // Arm fault injection before any probe site can run. The CLI flag
+    // wins over the environment variable.
+    if (!opts.inject_fault.empty()) {
+        if (!support::fault::arm(opts.inject_fault))
+            return usageError(
+                "--inject-fault needs <site>:<n> with n >= 1, got '" +
+                opts.inject_fault +
+                "' (or this build has MCHECK_FAULT_INJECTION off)");
+    } else {
+        support::fault::armFromEnv();
+    }
 
     if (opts.mode == CliOptions::Mode::Help) {
         std::cout << kUsage;
@@ -545,7 +751,7 @@ main(int argc, char** argv)
                 opts.cache_dir, opts.cache_readonly);
         } catch (const std::exception& e) {
             std::cerr << "mccheck: " << e.what() << '\n';
-            return 1;
+            return 3;
         }
     }
 
@@ -585,11 +791,14 @@ main(int argc, char** argv)
                       << cs.misses << " miss(es), " << cs.stores
                       << " stored, " << cs.evictions << " evicted\n";
         }
-        if (!writeObservabilityOutputs(opts) && rc == 0)
-            rc = 1;
+        if (!writeObservabilityOutputs(opts))
+            rc = 3;
         return rc;
     } catch (const std::exception& e) {
+        // Anything that escapes containment — including --fail-fast
+        // rethrows and fault-injection probes outside any UnitGuard —
+        // is fatal.
         std::cerr << "mccheck: " << e.what() << '\n';
-        return 1;
+        return 3;
     }
 }

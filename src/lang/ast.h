@@ -318,7 +318,7 @@ struct EmptyStmt : Stmt
 
 enum class DeclKind : std::uint8_t
 {
-    Var, Param, Function, Record, Typedef, Enum, EnumConst,
+    Var, Param, Function, Record, Typedef, Enum, EnumConst, Poisoned,
 };
 
 struct Decl : Node
@@ -390,9 +390,41 @@ struct EnumDecl : Decl
     EnumDecl() : Decl(DeclKind::Enum) {}
 };
 
+/**
+ * Placeholder for a top-level declaration that failed to parse when the
+ * parser runs in recovery mode. It marks the skipped source region so
+ * later phases know something lived here; `name` is the best-effort
+ * declarator name ("" when unrecognizable). Poisoned decls are never
+ * function definitions, so checkers and fingerprints skip them
+ * naturally.
+ */
+struct PoisonedDecl : Decl
+{
+    /** The parse error that poisoned this region. */
+    std::string message;
+    /** Where the error was reported (loc is where the region starts). */
+    support::SourceLoc error_loc;
+    /** First location after the skipped region. */
+    support::SourceLoc end_loc;
+
+    PoisonedDecl() : Decl(DeclKind::Poisoned) {}
+};
+
 // --------------------------------------------------------------------------
 // Containers
 // --------------------------------------------------------------------------
+
+/**
+ * One problem found while turning a source file into an AST (a syntax
+ * error recovered from, or a lex error that emptied the unit).
+ */
+struct ParseIssue
+{
+    support::SourceLoc loc;
+    std::string message;
+    /** Diagnostic rule id: "parse-error" or "lex-error". */
+    std::string rule = "parse-error";
+};
 
 /** All top-level declarations parsed from one source file. */
 struct TranslationUnit
@@ -400,6 +432,8 @@ struct TranslationUnit
     std::int32_t file_id = 0;
     std::vector<Decl*> decls;
     std::vector<std::string> directives;
+    /** Recovered-from frontend errors; non-empty means degraded. */
+    std::vector<ParseIssue> issues;
 
     /** Function definitions in declaration order. */
     std::vector<const FunctionDecl*> functionDefinitions() const;

@@ -33,6 +33,13 @@ fingerprintFunctions(const Program& program)
 {
     std::map<std::string, std::uint64_t> out;
     for (const TranslationUnit& unit : program.units()) {
+        // A unit that needed frontend recovery gets no fingerprints at
+        // all: its token stream contains the garbage region, so caching
+        // sibling results keyed on it would be fragile, and a lex-failed
+        // unit cannot even be re-lexed here. Its functions are simply
+        // re-analyzed every run until the unit is fixed.
+        if (!unit.issues.empty())
+            continue;
         std::uint64_t unit_fp =
             unitFingerprint(program.sourceManager(), unit.file_id);
         for (const FunctionDecl* fn : unit.functionDefinitions())

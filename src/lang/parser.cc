@@ -1,5 +1,7 @@
 #include "lang/parser.h"
 
+#include "support/fault_injection.h"
+
 #include <cassert>
 #include <sstream>
 
@@ -283,9 +285,108 @@ Parser::parseTranslationUnit(std::int32_t file_id)
 {
     TranslationUnit tu;
     tu.file_id = file_id;
-    while (!check(TokKind::End))
-        tu.decls.push_back(parseTopLevel());
+    while (!check(TokKind::End)) {
+        if (!options_.recover) {
+            tu.decls.push_back(parseTopLevel());
+            continue;
+        }
+        std::size_t start = pos_;
+        support::SourceLoc start_loc = peek().loc;
+        try {
+            support::fault::probe("parser.top_level");
+            tu.decls.push_back(parseTopLevel());
+        } catch (const ParseError& err) {
+            tu.decls.push_back(
+                poisonAndSync(start, start_loc, err.loc(), err.what()));
+        } catch (const support::InjectedFault& fault) {
+            tu.decls.push_back(
+                poisonAndSync(start, start_loc, start_loc, fault.what()));
+        }
+    }
+    tu.issues = issues_;
     return tu;
+}
+
+/**
+ * Panic-mode recovery: record the issue, then emit a PoisonedDecl
+ * covering everything from the failed declaration's first token to the
+ * resynchronization point.
+ */
+PoisonedDecl*
+Parser::poisonAndSync(std::size_t start_pos, support::SourceLoc start_loc,
+                      support::SourceLoc error_loc,
+                      const std::string& message)
+{
+    issues_.push_back(ParseIssue{error_loc, message, "parse-error"});
+
+    auto* decl = ctx_.make<PoisonedDecl>();
+    decl->loc = start_loc;
+    decl->error_loc = error_loc;
+    decl->message = message;
+    decl->name = guessDeclaratorName(start_pos);
+
+    synchronizeTopLevel(start_pos);
+    decl->end_loc = peek().loc;
+    return decl;
+}
+
+/**
+ * Skip tokens until a top-level boundary: a `;` at brace depth zero (a
+ * malformed global or typedef) or the `}` that returns the depth to
+ * zero (the end of a malformed function body). Depth is measured over
+ * everything consumed since `start_pos`, so an error deep inside a body
+ * still resynchronizes at that body's closing brace. Always consumes at
+ * least one token (unless already at End) so recovery cannot loop.
+ */
+void
+Parser::synchronizeTopLevel(std::size_t start_pos)
+{
+    int depth = 0;
+    for (std::size_t i = start_pos; i < pos_; ++i) {
+        if (tokens_[i].kind == TokKind::LBrace)
+            ++depth;
+        else if (tokens_[i].kind == TokKind::RBrace)
+            --depth;
+    }
+
+    while (!check(TokKind::End)) {
+        TokKind k = peek().kind;
+        if (k == TokKind::LBrace) {
+            ++depth;
+        } else if (k == TokKind::RBrace) {
+            --depth;
+            if (depth <= 0) {
+                advance();
+                // A struct/enum definition's body ends `};` — eat the
+                // semicolon so it isn't mistaken for a stray statement.
+                accept(TokKind::Semicolon);
+                return;
+            }
+        } else if (depth <= 0 && k == TokKind::Semicolon) {
+            advance();
+            return;
+        }
+        advance();
+    }
+}
+
+/**
+ * Best-effort name for the poisoned region: the identifier directly
+ * before the first '(' (a function declarator), else the last
+ * identifier before the error. Purely cosmetic — used in diagnostics.
+ */
+std::string
+Parser::guessDeclaratorName(std::size_t start_pos) const
+{
+    std::string last_ident;
+    for (std::size_t i = start_pos; i < pos_ && i < tokens_.size(); ++i) {
+        const Token& tok = tokens_[i];
+        if (tok.kind == TokKind::LParen && !last_ident.empty())
+            return last_ident;
+        if (tok.kind == TokKind::Identifier)
+            last_ident = std::string(tok.text);
+    }
+    return last_ident;
 }
 
 Decl*

@@ -52,6 +52,16 @@ struct ParserOptions
      * semicolon off (see Figure 3 of the paper).
      */
     bool allow_missing_semicolon = false;
+
+    /**
+     * Panic-mode error recovery: instead of aborting the unit at the
+     * first syntax error, record a ParseIssue, emit a PoisonedDecl for
+     * the malformed region, resynchronize at the next top-level
+     * boundary (a `;` or a body-closing `}` at brace depth zero), and
+     * keep parsing. The other declarations of the unit still parse and
+     * check. Single-statement/expression entry points ignore this flag.
+     */
+    bool recover = false;
 };
 
 class Parser
@@ -76,7 +86,18 @@ class Parser
     /** Parse exactly one expression (used by the pattern compiler). */
     Expr* parseSingleExpression();
 
+    /** Issues recovered from so far (recovery mode only). */
+    const std::vector<ParseIssue>& issues() const { return issues_; }
+
   private:
+    // Error recovery.
+    PoisonedDecl* poisonAndSync(std::size_t start_pos,
+                                support::SourceLoc start_loc,
+                                support::SourceLoc error_loc,
+                                const std::string& message);
+    void synchronizeTopLevel(std::size_t start_pos);
+    std::string guessDeclaratorName(std::size_t start_pos) const;
+
     // Token access.
     const Token& peek(int ahead = 0) const;
     const Token& advance();
@@ -128,6 +149,7 @@ class Parser
     ParserSymbols local_symbols_;
     ParserSymbols* symbols_;
     Options options_;
+    std::vector<ParseIssue> issues_;
 };
 
 /**

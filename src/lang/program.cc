@@ -6,11 +6,30 @@ TranslationUnit&
 Program::addSource(std::string name, std::string source)
 {
     std::int32_t id = sm_.addFile(std::move(name), std::move(source));
-    Lexer lexer(sm_, id);
-    std::vector<Token> tokens = lexer.lexAll();
-    Parser parser(ctx_, std::move(tokens), &symbols_);
-    TranslationUnit tu = parser.parseTranslationUnit(id);
-    tu.directives = lexer.directives();
+    TranslationUnit tu;
+    try {
+        Lexer lexer(sm_, id);
+        std::vector<Token> tokens = lexer.lexAll();
+        ParserOptions options;
+        options.recover = recover_;
+        Parser parser(ctx_, std::move(tokens), &symbols_, options);
+        tu = parser.parseTranslationUnit(id);
+        tu.directives = lexer.directives();
+    } catch (const LexError& err) {
+        if (!recover_)
+            throw;
+        // The token stream is unusable; the whole unit becomes one
+        // poisoned region so downstream phases see the file existed.
+        tu = TranslationUnit{};
+        tu.file_id = id;
+        auto* poison = ctx_.make<PoisonedDecl>();
+        poison->loc = err.loc();
+        poison->error_loc = err.loc();
+        poison->end_loc = err.loc();
+        poison->message = err.what();
+        tu.decls.push_back(poison);
+        tu.issues.push_back(ParseIssue{err.loc(), err.what(), "lex-error"});
+    }
     units_.push_back(std::move(tu));
     TranslationUnit& stored = units_.back();
     sema_.run(stored);
@@ -19,6 +38,15 @@ Program::addSource(std::string name, std::string source)
         by_name_[fn->name] = fn;
     }
     return stored;
+}
+
+bool
+Program::degraded() const
+{
+    for (const TranslationUnit& unit : units_)
+        if (!unit.issues.empty())
+            return true;
+    return false;
 }
 
 const FunctionDecl*

@@ -23,7 +23,15 @@ namespace mc::lang {
 class Program
 {
   public:
-    Program() : sema_(ctx_) {}
+    /**
+     * @param recover Enable frontend fault isolation: syntax errors in
+     *   one declaration poison that declaration (panic-mode recovery)
+     *   instead of aborting the unit, and a lex error yields an empty
+     *   poisoned unit instead of propagating. Issues are recorded on
+     *   each TranslationUnit; addSource never throws for malformed
+     *   input in this mode.
+     */
+    explicit Program(bool recover = false) : sema_(ctx_), recover_(recover) {}
 
     Program(const Program&) = delete;
     Program& operator=(const Program&) = delete;
@@ -31,9 +39,15 @@ class Program
     /**
      * Parse `source` as a new translation unit named `name`, run Sema
      * over it, and index its function definitions.
-     * Throws LexError / ParseError on malformed input.
+     * Throws LexError / ParseError on malformed input unless the
+     * program was built with recover = true.
      */
     TranslationUnit& addSource(std::string name, std::string source);
+
+    /** True when any unit recorded a frontend issue (recovery mode). */
+    bool degraded() const;
+
+    bool recovering() const { return recover_; }
 
     AstContext& ctx() { return ctx_; }
     const AstContext& ctx() const { return ctx_; }
@@ -60,6 +74,7 @@ class Program
     std::deque<TranslationUnit> units_;
     std::vector<const FunctionDecl*> functions_;
     std::map<std::string, const FunctionDecl*> by_name_;
+    bool recover_ = false;
 };
 
 } // namespace mc::lang

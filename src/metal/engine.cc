@@ -1,6 +1,7 @@
 #include "metal/engine.h"
 
 #include "metal/path_walker.h"
+#include "support/fault_injection.h"
 #include "support/metrics.h"
 #include "support/trace.h"
 
@@ -93,12 +94,20 @@ runStateMachine(const StateMachine& sm, const cfg::Cfg& cfg,
     PathWalker<SmState> walker(std::move(hooks), walk_options);
     SmState initial;
     initial.state = sm.startState();
+    // Keyed by (machine, function): the same walks fault at any --jobs.
+    support::fault::probe(
+        "walker.walk",
+        sm.name() + "/" +
+            (!options.trace_label.empty()
+                 ? options.trace_label
+                 : (cfg.function ? cfg.function->name : std::string())));
     auto walk = walker.walk(cfg, initial);
     result.visits = walk.visits;
     result.truncated = walk.truncated;
     result.cache_hits = walk.cache_hits;
     result.pruned_edges = walk.pruned_edges;
     result.peak_frontier = walk.peak_frontier;
+    result.budget_stop = walk.budget_stop;
 
     if (metrics.enabled()) {
         metrics.counter("engine.runs").add();

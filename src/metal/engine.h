@@ -3,6 +3,7 @@
 
 #include "cfg/cfg.h"
 #include "metal/state_machine.h"
+#include "support/budget.h"
 #include "support/diagnostics.h"
 
 #include <cstdint>
@@ -27,6 +28,11 @@ struct SmRunResult
     std::uint64_t peak_frontier = 0;
     /** State transitions taken (rule matches that changed the state). */
     std::uint64_t transitions = 0;
+    /**
+     * The per-unit resource budget limit that stopped the walk early
+     * (support/budget.h), or None. When set, truncated is also true.
+     */
+    support::BudgetStop budget_stop = support::BudgetStop::None;
 };
 
 /** Options controlling one engine run. */

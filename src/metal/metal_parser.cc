@@ -1,6 +1,7 @@
 #include "metal/metal_parser.h"
 
 #include "lang/lexer.h"
+#include "lang/parser.h"
 #include "support/text.h"
 
 #include <fstream>
@@ -243,7 +244,18 @@ class MetalParser
     {
         if (check(TokKind::LBrace)) {
             std::string text = takeBracedText();
-            return match::Pattern::compile(*pc_, text, wildcards_);
+            // The template compiles through the dialect parser, whose
+            // ParseError/LexError must not escape parseMetal's contract:
+            // everything malformed surfaces as MetalParseError.
+            try {
+                return match::Pattern::compile(*pc_, text, wildcards_);
+            } catch (const lang::ParseError& e) {
+                fail("malformed pattern template: " +
+                     std::string(e.what()));
+            } catch (const lang::LexError& e) {
+                fail("malformed pattern template: " +
+                     std::string(e.what()));
+            }
         }
         if (check(TokKind::Identifier)) {
             std::string name(advance().text);

@@ -2,6 +2,7 @@
 #define MCHECK_METAL_PATH_WALKER_H
 
 #include "cfg/cfg.h"
+#include "support/budget.h"
 
 #include <cctype>
 #include <cstdint>
@@ -67,6 +68,11 @@ class PathWalker
         std::uint64_t cache_hits = 0;
         /** Largest pending-path frontier (work-list depth) reached. */
         std::uint64_t peak_frontier = 0;
+        /**
+         * Which per-unit resource budget limit stopped the walk, if any
+         * (truncated is also set). None for max_visits truncation.
+         */
+        support::BudgetStop budget_stop = support::BudgetStop::None;
     };
 
     struct WalkOptions
@@ -122,6 +128,7 @@ class PathWalker
             if (options_.prune_correlated_branches)
                 for (const auto& [cond, value] : entry.outcomes)
                     key += (value ? "|+" : "|-") + cond;
+            std::size_t key_size = key.size();
             if (!visited.emplace(entry.block, std::move(key)).second) {
                 ++result.cache_hits;
                 continue;
@@ -134,6 +141,21 @@ class PathWalker
             if (result.visits >= options_.max_visits) {
                 result.truncated = true;
                 return result;
+            }
+            // The unit's resource budget (installed by the parallel
+            // engine's UnitGuard) governs the whole (function, checker)
+            // unit across all of its walks: one step per visit, bytes
+            // for the visited-set key plus the frontier entry. Like the
+            // visit cap, exhaustion truncates gracefully — partial
+            // results survive; nothing is thrown.
+            if (support::Budget* budget = support::Budget::current()) {
+                budget->chargeStep();
+                budget->chargeBytes(sizeof(Entry) + key_size);
+                if (budget->exhausted()) {
+                    result.truncated = true;
+                    result.budget_stop = budget->stop();
+                    return result;
+                }
             }
             ++result.visits;
 

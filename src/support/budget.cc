@@ -1,0 +1,68 @@
+#include "support/budget.h"
+
+namespace mc::support {
+
+namespace {
+thread_local Budget* tl_current_budget = nullptr;
+} // namespace
+
+const char*
+budgetStopName(BudgetStop stop)
+{
+    switch (stop) {
+    case BudgetStop::None:
+        return "none";
+    case BudgetStop::Deadline:
+        return "deadline";
+    case BudgetStop::Steps:
+        return "steps";
+    case BudgetStop::Bytes:
+        return "bytes";
+    }
+    return "none";
+}
+
+Budget::Budget(const BudgetLimits& limits)
+    : limits_(limits), start_(std::chrono::steady_clock::now())
+{
+}
+
+bool
+Budget::exhausted()
+{
+    if (stop_ != BudgetStop::None)
+        return true;
+    if (limits_.deadline.count() != 0 && steps_ >= next_poll_) {
+        next_poll_ = steps_ + kDeadlineStride;
+        if (elapsed() >= limits_.deadline) {
+            stop_ = BudgetStop::Deadline;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::chrono::milliseconds
+Budget::elapsed() const
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - start_);
+}
+
+Budget*
+Budget::current()
+{
+    return tl_current_budget;
+}
+
+BudgetScope::BudgetScope(Budget* budget) : prev_(tl_current_budget)
+{
+    tl_current_budget = budget;
+}
+
+BudgetScope::~BudgetScope()
+{
+    tl_current_budget = prev_;
+}
+
+} // namespace mc::support

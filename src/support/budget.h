@@ -1,0 +1,146 @@
+#ifndef MCHECK_SUPPORT_BUDGET_H
+#define MCHECK_SUPPORT_BUDGET_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace mc::support {
+
+/** Which limit stopped an analysis unit, if any. */
+enum class BudgetStop : std::uint8_t
+{
+    None,
+    /** Wall-clock deadline expired. */
+    Deadline,
+    /** Step allowance (walker visits and similar work items) spent. */
+    Steps,
+    /** Allocation allowance (tracked bytes) spent. */
+    Bytes,
+};
+
+/** Short stable name ("deadline", "steps", "bytes", "none"). */
+const char* budgetStopName(BudgetStop stop);
+
+/**
+ * Per-unit resource limits. Zero means "unlimited" for every field, so a
+ * default-constructed BudgetLimits never trips.
+ */
+struct BudgetLimits
+{
+    /** Wall-clock deadline for the unit. */
+    std::chrono::milliseconds deadline{0};
+    /** Abstract work steps (one PathWalker visit charges one step). */
+    std::uint64_t max_steps = 0;
+    /** Tracked allocation bytes (path frontier state, mostly). */
+    std::uint64_t max_bytes = 0;
+
+    bool
+    unlimited() const
+    {
+        return deadline.count() == 0 && max_steps == 0 && max_bytes == 0;
+    }
+};
+
+/**
+ * Resource governor for one analysis work unit.
+ *
+ * A Budget accumulates step and byte charges and polls a wall-clock
+ * deadline. It complements the PathWalker's `max_visits` cap: visits
+ * bound one walk, while a budget bounds a whole (function, checker) unit
+ * — several walks, pattern matching, everything — in wall time and work.
+ *
+ * Charging is cheap: two integer adds per charge, with the deadline
+ * clock read only once every `kDeadlineStride` step charges (a steady
+ * clock read per visit would dominate small walks). Once a limit trips,
+ * `stop()` latches — further charges cannot un-exhaust a budget.
+ *
+ * A Budget belongs to the single thread running its unit; it is NOT
+ * thread-safe. Deep layers (the path walker) reach the active unit's
+ * budget through the thread-local `Budget::current()`, installed by a
+ * BudgetScope, so the governor spans layers without threading a
+ * parameter through every checker signature.
+ */
+class Budget
+{
+  public:
+    explicit Budget(const BudgetLimits& limits);
+
+    /** Charge `n` abstract work steps. */
+    void
+    chargeStep(std::uint64_t n = 1)
+    {
+        steps_ += n;
+        if (limits_.max_steps != 0 && steps_ > limits_.max_steps &&
+            stop_ == BudgetStop::None)
+            stop_ = BudgetStop::Steps;
+    }
+
+    /** Charge `n` tracked allocation bytes. */
+    void
+    chargeBytes(std::uint64_t n)
+    {
+        bytes_ += n;
+        if (limits_.max_bytes != 0 && bytes_ > limits_.max_bytes &&
+            stop_ == BudgetStop::None)
+            stop_ = BudgetStop::Bytes;
+    }
+
+    /**
+     * True once any limit has tripped. Polls the deadline when one is
+     * configured and enough step charges have accumulated since the last
+     * poll (or none have — idle callers may poll freely).
+     */
+    bool exhausted();
+
+    /** The first limit that tripped, or None. Does not poll the clock. */
+    BudgetStop stop() const { return stop_; }
+
+    std::uint64_t steps() const { return steps_; }
+    std::uint64_t bytes() const { return bytes_; }
+    const BudgetLimits& limits() const { return limits_; }
+
+    /** Wall time since construction. */
+    std::chrono::milliseconds elapsed() const;
+
+    /**
+     * The calling thread's active budget, or nullptr outside any
+     * BudgetScope. Never-failing: deep layers call this unconditionally.
+     */
+    static Budget* current();
+
+  private:
+    friend class BudgetScope;
+
+    /** Step charges between deadline polls. */
+    static constexpr std::uint64_t kDeadlineStride = 256;
+
+    BudgetLimits limits_;
+    std::chrono::steady_clock::time_point start_;
+    std::uint64_t steps_ = 0;
+    std::uint64_t bytes_ = 0;
+    std::uint64_t next_poll_ = 0;
+    BudgetStop stop_ = BudgetStop::None;
+};
+
+/**
+ * RAII installer: makes `budget` the calling thread's Budget::current()
+ * for the scope's lifetime, restoring the previous one on exit (scopes
+ * nest; the innermost wins). Passing nullptr is allowed and simply
+ * shadows any outer budget — a way to exempt a sub-computation.
+ */
+class BudgetScope
+{
+  public:
+    explicit BudgetScope(Budget* budget);
+    ~BudgetScope();
+
+    BudgetScope(const BudgetScope&) = delete;
+    BudgetScope& operator=(const BudgetScope&) = delete;
+
+  private:
+    Budget* prev_;
+};
+
+} // namespace mc::support
+
+#endif // MCHECK_SUPPORT_BUDGET_H

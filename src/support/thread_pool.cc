@@ -1,6 +1,11 @@
 #include "support/thread_pool.h"
 
+#include "support/fault_injection.h"
+#include "support/metrics.h"
+
 #include <exception>
+#include <iostream>
+#include <string>
 #include <utility>
 
 namespace mc::support {
@@ -115,8 +120,10 @@ ThreadPool::parallelFor(std::size_t n,
     if (n == 0)
         return;
     if (workers_.empty() || n == 1) {
-        for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t i = 0; i < n; ++i) {
+            fault::probe("pool.task", std::to_string(i));
             body(i);
+        }
         return;
     }
 
@@ -130,6 +137,10 @@ ThreadPool::parallelFor(std::size_t n,
         std::condition_variable done;
         unsigned running = 0;
         std::exception_ptr error;
+        /** Body exceptions discarded because error was already set. */
+        std::size_t suppressed = 0;
+        /** what() of the first few suppressed exceptions, for the log. */
+        std::vector<std::string> suppressed_what;
     };
     auto st = std::make_shared<ForState>();
     st->n = n;
@@ -140,11 +151,29 @@ ThreadPool::parallelFor(std::size_t n,
         while ((i = st->next.fetch_add(1, std::memory_order_relaxed)) <
                st->n) {
             try {
+                fault::probe("pool.task", std::to_string(i));
                 (*st->body)(i);
             } catch (...) {
+                std::exception_ptr ep = std::current_exception();
                 std::lock_guard<std::mutex> lock(st->mu);
-                if (!st->error)
-                    st->error = std::current_exception();
+                if (!st->error) {
+                    st->error = ep;
+                } else {
+                    // Only the first exception reaches the caller; the
+                    // rest are counted and logged at the join so a
+                    // multi-failure run is still observable.
+                    ++st->suppressed;
+                    if (st->suppressed_what.size() < 4) {
+                        try {
+                            std::rethrow_exception(ep);
+                        } catch (const std::exception& e) {
+                            st->suppressed_what.emplace_back(e.what());
+                        } catch (...) {
+                            st->suppressed_what.emplace_back(
+                                "unknown exception");
+                        }
+                    }
+                }
                 // Drain remaining indices: nothing else should run.
                 st->next.store(st->n, std::memory_order_relaxed);
             }
@@ -167,6 +196,20 @@ ThreadPool::parallelFor(std::size_t n,
     {
         std::unique_lock<std::mutex> lock(st->mu);
         st->done.wait(lock, [&] { return st->running == 0; });
+        if (st->suppressed > 0) {
+            MetricsRegistry& metrics = MetricsRegistry::global();
+            if (metrics.enabled())
+                metrics.counter("pool.suppressed_exceptions")
+                    .add(st->suppressed);
+            std::cerr << "mccheck: parallelFor: suppressed "
+                      << st->suppressed
+                      << " additional exception(s) after the first:";
+            for (const std::string& what : st->suppressed_what)
+                std::cerr << ' ' << what << ';';
+            if (st->suppressed > st->suppressed_what.size())
+                std::cerr << " ...";
+            std::cerr << '\n';
+        }
         if (st->error)
             std::rethrow_exception(st->error);
     }

@@ -5,7 +5,7 @@ namespace mc::support {
 
 /** Tool identity, shared by `mccheck --version` and the SARIF emitter. */
 inline constexpr const char* kToolName = "mccheck";
-inline constexpr const char* kToolVersion = "1.2.0";
+inline constexpr const char* kToolVersion = "1.3.0";
 
 } // namespace mc::support
 

@@ -17,11 +17,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace mc::cache {
@@ -277,6 +279,48 @@ TEST(CacheStore, TrimEvictsOldestEntriesFirst)
     EXPECT_EQ(cache.stats().evictions, 3u);
     EXPECT_FALSE(fs::exists(cache.entryPath(2)));
     EXPECT_FALSE(fs::exists(cache.entryPath(3)));
+}
+
+TEST(CacheStore, TrimToleratesConcurrentPublisher)
+{
+    // Regression: trim scans the directory, then stats and removes the
+    // entries it saw. A second process (or thread) publishing and
+    // re-publishing entries in that window makes files appear, change
+    // size, and vanish mid-scan; every filesystem call in trim must
+    // tolerate that instead of throwing or double-counting evictions.
+    TempCacheDir dir("trim_race");
+    AnalysisCache writer(dir.str());
+    AnalysisCache trimmer(dir.str());
+
+    std::atomic<bool> done{false};
+    std::thread publisher([&] {
+        for (std::uint64_t round = 0; round < 50; ++round)
+            for (std::uint64_t key = 1; key <= 20; ++key)
+                writer.store(key, sampleUnit());
+        done.store(true);
+    });
+
+    while (!done.load())
+        trimmer.trim(1); // 1 byte: try to evict everything it sees
+    publisher.join();
+    trimmer.trim(1);
+
+    // No exception escaped, and the survivors are decodable (trim never
+    // removes half a file — entries are published by rename).
+    std::uint64_t decodable = 0;
+    for (const auto& entry : fs::directory_iterator(dir.str())) {
+        std::ifstream in(entry.path(), std::ios::binary);
+        std::ostringstream os;
+        os << in.rdbuf();
+        CachedUnit unit;
+        std::string error;
+        if (AnalysisCache::decodeUnit(os.str(), unit, error))
+            ++decodable;
+        else
+            ADD_FAILURE() << "undecodable survivor " << entry.path()
+                          << ": " << error;
+    }
+    (void)decodable;
 }
 
 // ---- fingerprint sensitivity ------------------------------------------

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Resource-budget governor: limit tripping, latching, deadline polling,
+ * and the thread-local BudgetScope install/restore discipline.
+ */
+#include "support/budget.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace mc::support {
+namespace {
+
+TEST(Budget, UnlimitedByDefault)
+{
+    BudgetLimits limits;
+    EXPECT_TRUE(limits.unlimited());
+    Budget budget(limits);
+    budget.chargeStep(1'000'000);
+    budget.chargeBytes(1'000'000'000);
+    EXPECT_FALSE(budget.exhausted());
+    EXPECT_EQ(budget.stop(), BudgetStop::None);
+}
+
+TEST(Budget, StepLimitTrips)
+{
+    BudgetLimits limits;
+    limits.max_steps = 10;
+    Budget budget(limits);
+    budget.chargeStep(10);
+    EXPECT_FALSE(budget.exhausted());
+    budget.chargeStep();
+    EXPECT_TRUE(budget.exhausted());
+    EXPECT_EQ(budget.stop(), BudgetStop::Steps);
+    EXPECT_EQ(budget.steps(), 11u);
+}
+
+TEST(Budget, ByteLimitTrips)
+{
+    BudgetLimits limits;
+    limits.max_bytes = 100;
+    Budget budget(limits);
+    budget.chargeBytes(100);
+    EXPECT_FALSE(budget.exhausted());
+    budget.chargeBytes(1);
+    EXPECT_TRUE(budget.exhausted());
+    EXPECT_EQ(budget.stop(), BudgetStop::Bytes);
+}
+
+TEST(Budget, FirstTripLatches)
+{
+    BudgetLimits limits;
+    limits.max_steps = 1;
+    limits.max_bytes = 1;
+    Budget budget(limits);
+    budget.chargeStep(5);
+    budget.chargeBytes(5);
+    EXPECT_EQ(budget.stop(), BudgetStop::Steps)
+        << "first tripped limit must win and latch";
+}
+
+TEST(Budget, DeadlineTrips)
+{
+    BudgetLimits limits;
+    limits.deadline = std::chrono::milliseconds(1);
+    Budget budget(limits);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    EXPECT_TRUE(budget.exhausted());
+    EXPECT_EQ(budget.stop(), BudgetStop::Deadline);
+}
+
+TEST(Budget, StopNamesAreStable)
+{
+    EXPECT_STREQ(budgetStopName(BudgetStop::None), "none");
+    EXPECT_STREQ(budgetStopName(BudgetStop::Deadline), "deadline");
+    EXPECT_STREQ(budgetStopName(BudgetStop::Steps), "steps");
+    EXPECT_STREQ(budgetStopName(BudgetStop::Bytes), "bytes");
+}
+
+TEST(BudgetScope, InstallAndRestore)
+{
+    EXPECT_EQ(Budget::current(), nullptr);
+    Budget outer{BudgetLimits{}};
+    {
+        BudgetScope outer_scope(&outer);
+        EXPECT_EQ(Budget::current(), &outer);
+        Budget inner{BudgetLimits{}};
+        {
+            BudgetScope inner_scope(&inner);
+            EXPECT_EQ(Budget::current(), &inner);
+        }
+        EXPECT_EQ(Budget::current(), &outer);
+        {
+            // nullptr shadows: exempts a sub-computation.
+            BudgetScope shadow(nullptr);
+            EXPECT_EQ(Budget::current(), nullptr);
+        }
+        EXPECT_EQ(Budget::current(), &outer);
+    }
+    EXPECT_EQ(Budget::current(), nullptr);
+}
+
+TEST(BudgetScope, PerThread)
+{
+    Budget main_budget{BudgetLimits{}};
+    BudgetScope scope(&main_budget);
+    Budget* seen = &main_budget;
+    std::thread worker([&] { seen = Budget::current(); });
+    worker.join();
+    EXPECT_EQ(seen, nullptr)
+        << "a budget must not leak across threads";
+    EXPECT_EQ(Budget::current(), &main_budget);
+}
+
+} // namespace
+} // namespace mc::support

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Fault-injection probes: arming specs, keyed scheduling-independence,
+ * counted Nth-call firing, and env-var arming.
+ */
+#include "support/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace mc::support {
+namespace {
+
+#if defined(MCHECK_FAULT_INJECTION)
+
+struct DisarmedFixture : ::testing::Test
+{
+    void SetUp() override { fault::disarm(); }
+    void TearDown() override { fault::disarm(); }
+};
+
+using FaultArm = DisarmedFixture;
+using FaultProbe = DisarmedFixture;
+
+TEST_F(FaultArm, AcceptsSiteColonN)
+{
+    EXPECT_TRUE(fault::arm("checker.unit:3"));
+    EXPECT_TRUE(fault::armed());
+    fault::disarm();
+    EXPECT_FALSE(fault::armed());
+}
+
+TEST_F(FaultArm, RejectsMalformedSpecs)
+{
+    EXPECT_FALSE(fault::arm(""));
+    EXPECT_FALSE(fault::arm("nosite"));
+    EXPECT_FALSE(fault::arm("site:"));
+    EXPECT_FALSE(fault::arm(":3"));
+    EXPECT_FALSE(fault::arm("site:0"));
+    EXPECT_FALSE(fault::arm("site:abc"));
+    EXPECT_FALSE(fault::arm("site:12x"));
+    EXPECT_FALSE(fault::armed());
+}
+
+TEST_F(FaultProbe, UnarmedProbesAreInert)
+{
+    EXPECT_NO_THROW(fault::probe("checker.unit", "any/key"));
+    EXPECT_NO_THROW(fault::probe("parser.top_level"));
+}
+
+TEST_F(FaultProbe, OnlyTheArmedSiteFires)
+{
+    ASSERT_TRUE(fault::arm("checker.unit:1"));
+    EXPECT_NO_THROW(fault::probe("walker.walk", "sm/fn"));
+    EXPECT_THROW(fault::probe("checker.unit", "fn/chk"), InjectedFault);
+}
+
+TEST_F(FaultProbe, KeyedFiringIsAPureFunctionOfTheKey)
+{
+    ASSERT_TRUE(fault::arm("checker.unit:3"));
+    const std::vector<std::string> keys = {
+        "a/chk", "b/chk", "c/chk", "d/chk", "e/chk", "f/chk",
+        "g/chk", "h/chk", "i/chk", "j/chk", "k/chk", "l/chk"};
+    auto firingSet = [&](bool reversed) {
+        std::set<std::string> fired;
+        auto order = keys;
+        if (reversed)
+            std::reverse(order.begin(), order.end());
+        for (const std::string& key : order) {
+            try {
+                fault::probe("checker.unit", key);
+            } catch (const InjectedFault& f) {
+                fired.insert(f.key());
+            }
+        }
+        return fired;
+    };
+    const auto forward = firingSet(false);
+    const auto backward = firingSet(true);
+    EXPECT_EQ(forward, backward)
+        << "keyed probes must not depend on call order";
+    EXPECT_FALSE(forward.empty()) << "n=3 over 12 keys hit nothing";
+    EXPECT_LT(forward.size(), keys.size());
+}
+
+TEST_F(FaultProbe, CountedProbeFiresEveryNth)
+{
+    ASSERT_TRUE(fault::arm("parser.top_level:3"));
+    int fired = 0;
+    for (int i = 0; i < 9; ++i) {
+        try {
+            fault::probe("parser.top_level");
+        } catch (const InjectedFault&) {
+            ++fired;
+        }
+    }
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(fault::triggered(), 3u);
+}
+
+TEST_F(FaultProbe, ExceptionCarriesSiteAndKey)
+{
+    ASSERT_TRUE(fault::arm("cache.lookup:1"));
+    try {
+        fault::probe("cache.lookup", "deadbeefdeadbeef");
+        FAIL() << "probe did not fire";
+    } catch (const InjectedFault& f) {
+        EXPECT_EQ(f.site(), "cache.lookup");
+        EXPECT_EQ(f.key(), "deadbeefdeadbeef");
+        EXPECT_NE(std::string(f.what()).find("cache.lookup"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(FaultArm, ArmsFromEnvironment)
+{
+    ASSERT_EQ(setenv("MCCHECK_FAULT_INJECT", "pool.task:2", 1), 0);
+    EXPECT_TRUE(fault::armFromEnv());
+    EXPECT_TRUE(fault::armed());
+    unsetenv("MCCHECK_FAULT_INJECT");
+    fault::disarm();
+    EXPECT_FALSE(fault::armFromEnv());
+}
+
+#else
+
+TEST(FaultInjection, CompiledOutProbesAreFree)
+{
+    EXPECT_FALSE(fault::arm("checker.unit:1"));
+    EXPECT_FALSE(fault::armed());
+    EXPECT_NO_THROW(fault::probe("checker.unit", "fn/chk"));
+}
+
+#endif
+
+} // namespace
+} // namespace mc::support

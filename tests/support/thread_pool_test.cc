@@ -1,8 +1,10 @@
+#include "support/metrics.h"
 #include "support/thread_pool.h"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <barrier>
 #include <chrono>
 #include <mutex>
 #include <numeric>
@@ -107,6 +109,52 @@ TEST(ThreadPool, SubmittedTasksAllRunBeforeDestruction)
             pool.submit([&] { ran.fetch_add(1, std::memory_order_relaxed); });
     } // dtor drains the queues
     EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, SuppressedExceptionsAreCountedNotLost)
+{
+    // Only the first body exception rethrows; the rest used to vanish
+    // silently. They must now tally into pool.suppressed_exceptions
+    // (and a stderr note) so a multi-unit crash is visible as such.
+    MetricsRegistry& metrics = MetricsRegistry::global();
+    const bool was_enabled = metrics.enabled();
+    metrics.setEnabled(true);
+    metrics.counter("pool.suppressed_exceptions").reset();
+    ThreadPool pool(4);
+    // Four lanes, four indices: the barrier holds every body until all
+    // four have claimed an index, then all four throw — one rethrows,
+    // exactly three must be counted as suppressed. (Without the
+    // rendezvous the count would race with the early-drain of remaining
+    // indices.)
+    std::barrier<> rendezvous(4);
+    EXPECT_THROW(pool.parallelFor(4,
+                                  [&](std::size_t i) {
+                                      rendezvous.arrive_and_wait();
+                                      throw std::runtime_error(
+                                          "boom " + std::to_string(i));
+                                  }),
+                 std::runtime_error);
+    EXPECT_EQ(metrics.counter("pool.suppressed_exceptions").value(), 3u);
+    metrics.counter("pool.suppressed_exceptions").reset();
+    metrics.setEnabled(was_enabled);
+}
+
+TEST(ThreadPool, SingleLaneSuppressesNothing)
+{
+    MetricsRegistry& metrics = MetricsRegistry::global();
+    const bool was_enabled = metrics.enabled();
+    metrics.setEnabled(true);
+    metrics.counter("pool.suppressed_exceptions").reset();
+    ThreadPool pool(1);
+    EXPECT_THROW(pool.parallelFor(
+                     4,
+                     [&](std::size_t) {
+                         throw std::runtime_error("boom");
+                     }),
+                 std::runtime_error);
+    // The sequential lane stops at the first throw: nothing to suppress.
+    EXPECT_EQ(metrics.counter("pool.suppressed_exceptions").value(), 0u);
+    metrics.setEnabled(was_enabled);
 }
 
 TEST(ThreadPool, UnevenWorkSelfBalances)

@@ -20,6 +20,8 @@ fi
 
 MCHECK_REGEN_GOLDENS=1 "$build_dir/tests/test_observability" \
     --gtest_brief=1 >/dev/null
+MCHECK_REGEN_GOLDENS=1 "$build_dir/tests/test_recovery" \
+    --gtest_brief=1 >/dev/null
 
 echo "Regenerated goldens under tests/goldens/:"
 git -C "$repo_root" status --short -- tests/goldens || true
