@@ -1,11 +1,16 @@
 #ifndef MCHECK_BENCH_BENCH_UTIL_H
 #define MCHECK_BENCH_BENCH_UTIL_H
 
+#include "cfg/cfg.h"
+#include "checkers/metal_sources.h"
 #include "checkers/registry.h"
 #include "corpus/generator.h"
+#include "metal/engine.h"
+#include "metal/metal_parser.h"
 #include "support/text.h"
 
 #include <chrono>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -68,6 +73,146 @@ allCheckedProtocols()
         return out;
     }();
     return cache;
+}
+
+/**
+ * Steady-state engine throughput over the five buggy paper protocols:
+ * every function's CFG walked by both paper state machines (wait_for_db
+ * and msg_len_check), repeated `repeats` times after one warmup pass.
+ * The counters are the engine's own semantic counters, so the numbers
+ * double as an invariant check (they must not change with the matching
+ * strategy, the thread count, or cache temperature).
+ */
+struct EngineThroughput
+{
+    std::uint64_t cfgs = 0;
+    std::uint64_t blocks = 0;
+    std::uint64_t stmts = 0;
+    /** Per repeat-pass semantic counters (identical every pass). */
+    std::uint64_t visits = 0;
+    std::uint64_t sm_transitions = 0;
+    std::uint64_t rule_firings = 0;
+    std::uint64_t peak_frontier = 0;
+    double ns_per_visit = 0.0;
+    double visits_per_sec = 0.0;
+    double transitions_per_sec = 0.0;
+};
+
+inline EngineThroughput
+measureEngineThroughput(metal::MatchStrategy strategy, int repeats = 5)
+{
+    EngineThroughput out;
+    std::vector<corpus::LoadedProtocol> corpus;
+    for (const char* name : {"bitvector", "dyn_ptr", "sci", "coma", "rac"})
+        corpus.push_back(corpus::loadProtocol(corpus::profileByName(name)));
+    metal::MetalProgram wait =
+        metal::parseMetal(checkers::kWaitForDbMetal);
+    metal::MetalProgram msg =
+        metal::parseMetal(checkers::kMsgLenCheckMetal);
+
+    std::vector<cfg::Cfg> cfgs;
+    for (const corpus::LoadedProtocol& loaded : corpus)
+        for (const lang::FunctionDecl* fn : loaded.program->functions())
+            cfgs.push_back(cfg::CfgBuilder::build(*fn));
+    out.cfgs = cfgs.size();
+    for (const cfg::Cfg& cfg : cfgs) {
+        out.blocks += cfg.blocks().size();
+        for (const cfg::BasicBlock& bb : cfg.blocks())
+            out.stmts += bb.stmts.size();
+    }
+
+    metal::SmRunOptions options;
+    options.match_strategy = strategy;
+    auto pass = [&](bool record) {
+        std::uint64_t visits = 0, transitions = 0, firings = 0;
+        for (const cfg::Cfg& cfg : cfgs) {
+            support::DiagnosticSink sink;
+            for (metal::StateMachine* sm : {wait.sm.get(), msg.sm.get()}) {
+                metal::SmRunResult r =
+                    metal::runStateMachine(*sm, cfg, sink, options);
+                visits += r.visits;
+                transitions += r.transitions;
+                for (const auto& [rule, n] : r.firings)
+                    firings += static_cast<std::uint64_t>(n);
+                if (record && r.peak_frontier > out.peak_frontier)
+                    out.peak_frontier = r.peak_frontier;
+            }
+        }
+        if (record) {
+            out.visits = visits;
+            out.sm_transitions = transitions;
+            out.rule_firings = firings;
+        }
+    };
+
+    pass(/*record=*/false); // warmup: lazy SM compilation, allocator state
+    auto begin = std::chrono::steady_clock::now();
+    for (int r = 0; r < repeats; ++r)
+        pass(/*record=*/true);
+    auto end = std::chrono::steady_clock::now();
+    double ns = std::chrono::duration<double, std::nano>(end - begin)
+                    .count();
+    double total_visits =
+        static_cast<double>(out.visits) * static_cast<double>(repeats);
+    double total_transitions = static_cast<double>(out.sm_transitions) *
+                               static_cast<double>(repeats);
+    if (total_visits > 0) {
+        out.ns_per_visit = ns / total_visits;
+        out.visits_per_sec = total_visits / (ns * 1e-9);
+        out.transitions_per_sec = total_transitions / (ns * 1e-9);
+    }
+    return out;
+}
+
+inline void
+writeEngineThroughputJson(std::ostream& os, const EngineThroughput& table,
+                          const EngineThroughput& legacy)
+{
+    auto section = [&](const char* name, const EngineThroughput& t,
+                       bool last) {
+        os << "  \"" << name << "\": {\n"
+           << "    \"ns_per_visit\": " << t.ns_per_visit << ",\n"
+           << "    \"visits_per_sec\": " << t.visits_per_sec << ",\n"
+           << "    \"transitions_per_sec\": " << t.transitions_per_sec
+           << ",\n"
+           << "    \"peak_frontier\": " << t.peak_frontier << ",\n"
+           << "    \"visits\": " << t.visits << ",\n"
+           << "    \"sm_transitions\": " << t.sm_transitions << ",\n"
+           << "    \"rule_firings\": " << t.rule_firings << "\n"
+           << "  }" << (last ? "\n" : ",\n");
+    };
+    os << "{\n"
+       << "  \"bench\": \"engine_throughput\",\n"
+       << "  \"corpus\": {\n"
+       << "    \"protocols\": 5,\n"
+       << "    \"cfgs\": " << table.cfgs << ",\n"
+       << "    \"blocks\": " << table.blocks << ",\n"
+       << "    \"stmts\": " << table.stmts << "\n"
+       << "  },\n";
+    section("engine", table, /*last=*/false);
+    section("legacy", legacy, /*last=*/true);
+    os << "}\n";
+}
+
+/**
+ * Measure both strategies and write BENCH_engine.json-style output to
+ * `path`. Returns false (after reporting to stderr) if the file cannot
+ * be opened.
+ */
+inline bool
+writeEngineThroughputReport(const std::string& path, int repeats = 5)
+{
+    EngineThroughput table =
+        measureEngineThroughput(metal::MatchStrategy::Table, repeats);
+    EngineThroughput legacy =
+        measureEngineThroughput(metal::MatchStrategy::Legacy, repeats);
+    std::ofstream os(path);
+    if (!os) {
+        std::cerr << "cannot write " << path << '\n';
+        return false;
+    }
+    writeEngineThroughputJson(os, table, legacy);
+    return os.good();
 }
 
 /** Print a bench header naming the reproduced table. */

@@ -5,6 +5,7 @@
  * engine (showing the (block, state) cache keeps exponential-path
  * functions linear-time), and whole-protocol checking throughput.
  */
+#include "bench/bench_util.h"
 #include "cache/analysis_cache.h"
 #include "checkers/parallel.h"
 #include "checkers/registry.h"
@@ -335,4 +336,37 @@ BENCHMARK(BM_GenerateProtocol)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+/**
+ * Custom main: `--json <path>` (or `--json=<path>`) additionally runs the
+ * steady-state engine-throughput measurement for both matching strategies
+ * and writes the machine-readable BENCH_engine.json report. The flag is
+ * stripped before google-benchmark sees the argument vector; everything
+ * else behaves like BENCHMARK_MAIN().
+ */
+int
+main(int argc, char** argv)
+{
+    std::string json_path;
+    std::vector<char*> args;
+    args.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (arg.rfind("--json=", 0) == 0) {
+            json_path = arg.substr(7);
+        } else {
+            args.push_back(argv[i]);
+        }
+    }
+    int bench_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&bench_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    if (!json_path.empty() &&
+        !mc::bench::writeEngineThroughputReport(json_path))
+        return 1;
+    return 0;
+}

@@ -107,6 +107,11 @@ const char* const kUsage =
     "  --cache <dir>               reuse analysis results for unchanged\n"
     "                              (function, checker) units; output is\n"
     "                              byte-identical warm or cold\n"
+    "  --match-strategy <s>        SM matching strategy: 'table'\n"
+    "                              (pre-compiled transition tables, the\n"
+    "                              default) or 'legacy' (re-match per\n"
+    "                              visit); output is byte-identical\n"
+    "                              either way\n"
     "  --cache-readonly            read the cache but never write it\n"
     "  --cache-limit-mb <n>        evict oldest cache entries beyond n\n"
     "                              MiB after the run\n"
@@ -267,6 +272,22 @@ parseArgs(const std::vector<std::string>& args, CliOptions& out)
                 return usageError("--jobs needs a thread count in 1..1024, "
                                   "got '" + value + "'");
             out.jobs = static_cast<unsigned>(parsed);
+            ++i;
+        } else if (arg == "--match-strategy") {
+            std::string value;
+            if (!need_value(i, arg, value))
+                return usageError("--match-strategy needs a value "
+                                  "(table or legacy)");
+            if (value == "table") {
+                metal::setDefaultMatchStrategy(
+                    metal::MatchStrategy::Table);
+            } else if (value == "legacy") {
+                metal::setDefaultMatchStrategy(
+                    metal::MatchStrategy::Legacy);
+            } else {
+                return usageError("--match-strategy must be 'table' or "
+                                  "'legacy', got '" + value + "'");
+            }
             ++i;
         } else if (arg == "--cache") {
             if (!need_value(i, arg, out.cache_dir))

@@ -1,5 +1,6 @@
 #include "lang/ast.h"
 
+#include <algorithm>
 #include <sstream>
 
 namespace mc::lang {
@@ -216,6 +217,44 @@ forEachTopLevelExpr(const Stmt& stmt,
       default:
         return;
     }
+}
+
+void
+forEachIdent(const Stmt& stmt,
+             const std::function<void(const IdentExpr&)>& fn)
+{
+    forEachTopLevelExpr(stmt, [&](const Expr& top) {
+        forEachSubExpr(top, [&](const Expr& e) {
+            if (e.ekind == ExprKind::Ident)
+                fn(static_cast<const IdentExpr&>(e));
+        });
+    });
+}
+
+const std::vector<support::SymbolId>&
+stmtIdentIds(const Stmt& stmt)
+{
+    const Stmt::IdentScan* scan =
+        stmt.ident_scan.load(std::memory_order_acquire);
+    if (!scan) {
+        auto* fresh = new Stmt::IdentScan;
+        visitIdentsFast(stmt, [&](const IdentExpr& e) {
+            fresh->ids.push_back(identSymbol(e));
+        });
+        std::sort(fresh->ids.begin(), fresh->ids.end());
+        fresh->ids.erase(std::unique(fresh->ids.begin(), fresh->ids.end()),
+                         fresh->ids.end());
+        const Stmt::IdentScan* expected = nullptr;
+        if (stmt.ident_scan.compare_exchange_strong(
+                expected, fresh, std::memory_order_acq_rel,
+                std::memory_order_acquire)) {
+            scan = fresh;
+        } else {
+            delete fresh; // another thread won the install race
+            scan = expected;
+        }
+    }
+    return scan->ids;
 }
 
 void

@@ -2,8 +2,10 @@
 #define MCHECK_LANG_AST_H
 
 #include "lang/type.h"
+#include "support/interner.h"
 #include "support/source_location.h"
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -100,9 +102,32 @@ struct IdentExpr : Expr
     std::string name;
     /** Resolved by Sema when the name has a visible declaration. */
     const Decl* decl = nullptr;
+    /**
+     * Lazily cached interned id of `name` (see identSymbol()). Relaxed
+     * atomic: concurrent fills race benignly — every writer stores the
+     * same value, since the global interner is idempotent per string.
+     */
+    mutable std::atomic<support::SymbolId> sym_cache{
+        support::kInvalidSymbol};
 
     IdentExpr() : Expr(ExprKind::Ident) {}
 };
+
+/**
+ * The interned symbol id of an identifier node, cached on the node so the
+ * matching hot path pays the interner's hash-and-lock cost once per node
+ * per process instead of once per visit.
+ */
+inline support::SymbolId
+identSymbol(const IdentExpr& e)
+{
+    support::SymbolId sym = e.sym_cache.load(std::memory_order_relaxed);
+    if (sym == support::kInvalidSymbol) {
+        sym = support::SymbolInterner::global().intern(e.name);
+        e.sym_cache.store(sym, std::memory_order_relaxed);
+    }
+    return sym;
+}
 
 struct UnaryExpr : Expr
 {
@@ -192,7 +217,26 @@ struct Stmt : Node
 {
     StmtKind skind;
 
+    /** Payload of the lazily installed identifier-scan cache. */
+    struct IdentScan
+    {
+        /** Sorted unique interned ids of every identifier in the stmt. */
+        std::vector<support::SymbolId> ids;
+    };
+    /**
+     * Identifier-scan cache, installed once per node by stmtIdentIds()
+     * (compare-and-swap; losers of a racy double-compute delete their
+     * copy). Mutable/atomic for the same reason as IdentExpr::sym_cache:
+     * the AST is immutable after Sema, and concurrent checkers may warm
+     * the cache for the same node simultaneously.
+     */
+    mutable std::atomic<const IdentScan*> ident_scan{nullptr};
+
     explicit Stmt(StmtKind k) : skind(k) {}
+    ~Stmt() override
+    {
+        delete ident_scan.load(std::memory_order_relaxed);
+    }
 };
 
 struct VarDecl;
@@ -492,6 +536,141 @@ void forEachSubExpr(const Expr& expr,
  */
 void forEachTopLevelExpr(const Stmt& stmt,
                          const std::function<void(const Expr&)>& fn);
+
+/**
+ * Invoke `fn` on every IdentExpr occurring in `stmt`'s top-level
+ * expressions (including subexpressions). This is the ident-collection
+ * primitive behind pattern prefilters.
+ */
+void forEachIdent(const Stmt& stmt,
+                  const std::function<void(const IdentExpr&)>& fn);
+
+/**
+ * The sorted unique interned identifier ids of `stmt`, computed once per
+ * node and cached on it (Stmt::ident_scan). This is the per-statement
+ * input of pattern prefilters; the cache makes it free on every engine
+ * run after the first. Thread-safe; the reference lives as long as the
+ * statement's AST.
+ */
+const std::vector<support::SymbolId>& stmtIdentIds(const Stmt& stmt);
+
+/**
+ * Statically-dispatched twin of forEachIdent for hot paths: same visit
+ * order and coverage, but direct switch recursion instead of per-node
+ * std::function indirection.
+ */
+template <typename Fn>
+void
+visitIdentsFast(const Expr& expr, Fn&& fn)
+{
+    switch (expr.ekind) {
+      case ExprKind::IntLit:
+      case ExprKind::FloatLit:
+      case ExprKind::CharLit:
+      case ExprKind::StringLit:
+        return;
+      case ExprKind::Ident:
+        fn(static_cast<const IdentExpr&>(expr));
+        return;
+      case ExprKind::Unary: {
+        const auto& u = static_cast<const UnaryExpr&>(expr);
+        if (u.operand) visitIdentsFast(*u.operand, fn);
+        return;
+      }
+      case ExprKind::Binary: {
+        const auto& b = static_cast<const BinaryExpr&>(expr);
+        if (b.lhs) visitIdentsFast(*b.lhs, fn);
+        if (b.rhs) visitIdentsFast(*b.rhs, fn);
+        return;
+      }
+      case ExprKind::Ternary: {
+        const auto& t = static_cast<const TernaryExpr&>(expr);
+        if (t.cond) visitIdentsFast(*t.cond, fn);
+        if (t.then_expr) visitIdentsFast(*t.then_expr, fn);
+        if (t.else_expr) visitIdentsFast(*t.else_expr, fn);
+        return;
+      }
+      case ExprKind::Call: {
+        const auto& c = static_cast<const CallExpr&>(expr);
+        if (c.callee) visitIdentsFast(*c.callee, fn);
+        for (const Expr* a : c.args)
+            if (a) visitIdentsFast(*a, fn);
+        return;
+      }
+      case ExprKind::Member: {
+        const auto& m = static_cast<const MemberExpr&>(expr);
+        if (m.base) visitIdentsFast(*m.base, fn);
+        return;
+      }
+      case ExprKind::Index: {
+        const auto& i = static_cast<const IndexExpr&>(expr);
+        if (i.base) visitIdentsFast(*i.base, fn);
+        if (i.index) visitIdentsFast(*i.index, fn);
+        return;
+      }
+      case ExprKind::Cast: {
+        const auto& c = static_cast<const CastExpr&>(expr);
+        if (c.operand) visitIdentsFast(*c.operand, fn);
+        return;
+      }
+      case ExprKind::Sizeof: {
+        const auto& s = static_cast<const SizeofExpr&>(expr);
+        if (s.operand) visitIdentsFast(*s.operand, fn);
+        return;
+      }
+    }
+}
+
+template <typename Fn>
+void
+visitIdentsFast(const Stmt& stmt, Fn&& fn)
+{
+    switch (stmt.skind) {
+      case StmtKind::Expr: {
+        const auto& s = static_cast<const ExprStmt&>(stmt);
+        if (s.expr) visitIdentsFast(*s.expr, fn);
+        return;
+      }
+      case StmtKind::Decl: {
+        const auto& s = static_cast<const DeclStmt&>(stmt);
+        for (const VarDecl* v : s.decls)
+            if (v->init) visitIdentsFast(*v->init, fn);
+        return;
+      }
+      case StmtKind::If:
+        if (const Expr* e = static_cast<const IfStmt&>(stmt).cond)
+            visitIdentsFast(*e, fn);
+        return;
+      case StmtKind::While:
+        if (const Expr* e = static_cast<const WhileStmt&>(stmt).cond)
+            visitIdentsFast(*e, fn);
+        return;
+      case StmtKind::DoWhile:
+        if (const Expr* e = static_cast<const DoWhileStmt&>(stmt).cond)
+            visitIdentsFast(*e, fn);
+        return;
+      case StmtKind::For: {
+        const auto& s = static_cast<const ForStmt&>(stmt);
+        if (s.cond) visitIdentsFast(*s.cond, fn);
+        if (s.step) visitIdentsFast(*s.step, fn);
+        return;
+      }
+      case StmtKind::Switch:
+        if (const Expr* e = static_cast<const SwitchStmt&>(stmt).cond)
+            visitIdentsFast(*e, fn);
+        return;
+      case StmtKind::Case:
+        if (const Expr* e = static_cast<const CaseStmt&>(stmt).value)
+            visitIdentsFast(*e, fn);
+        return;
+      case StmtKind::Return:
+        if (const Expr* e = static_cast<const ReturnStmt&>(stmt).value)
+            visitIdentsFast(*e, fn);
+        return;
+      default:
+        return;
+    }
+}
 
 /** Invoke `fn` on `stmt` and all nested statements, pre-order. */
 void forEachStmt(const Stmt& stmt, const std::function<void(const Stmt&)>& fn);

@@ -2,6 +2,7 @@
 
 #include "lang/lexer.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 
@@ -23,6 +24,13 @@ wildcardKindFromName(std::string_view name)
     if (name == "constant" || name == "const")
         return WildcardKind::Constant;
     return std::nullopt;
+}
+
+const lang::Expr*
+Bindings::lookup(const std::string& name) const
+{
+    auto sym = support::SymbolInterner::global().lookup(name);
+    return sym ? lookupId(*sym) : nullptr;
 }
 
 Pattern
@@ -55,6 +63,9 @@ Pattern::compile(PatternContext& pc, const std::string& text,
 
     Pattern pattern;
     pattern.wildcards_ = std::move(wildcards);
+    for (WildcardDecl& wd : pattern.wildcards_)
+        if (wd.sym == support::kInvalidSymbol)
+            wd.sym = support::SymbolInterner::global().intern(wd.name);
     Alternative alt;
     Stmt* inner = block->stmts.front();
     if (inner->skind == StmtKind::Expr)
@@ -77,8 +88,7 @@ Pattern::computeRequiredIdent(Alternative& alt) const
                 return;
             const std::string& name =
                 static_cast<const IdentExpr&>(e).name;
-            WildcardKind kind;
-            if (!isWildcard(name, &kind))
+            if (!findWildcard(name))
                 alt.required_ident = name;
         });
     };
@@ -88,6 +98,9 @@ Pattern::computeRequiredIdent(Alternative& alt) const
         forEachTopLevelExpr(*alt.stmt,
                             [&](const Expr& top) { scan(top); });
     }
+    if (!alt.required_ident.empty())
+        alt.required_sym =
+            support::SymbolInterner::global().intern(alt.required_ident);
 }
 
 bool
@@ -102,15 +115,46 @@ Pattern::couldMatch(const std::set<std::string>& idents) const
     return false;
 }
 
+bool
+Pattern::couldMatchIds(const std::vector<support::SymbolId>& ids) const
+{
+    for (const Alternative& alt : alternatives_) {
+        if (alt.required_sym == support::kInvalidSymbol)
+            return true;
+        if (std::binary_search(ids.begin(), ids.end(), alt.required_sym))
+            return true;
+    }
+    return false;
+}
+
 void
 Pattern::collectIdents(const lang::Stmt& stmt, std::set<std::string>& out)
 {
-    forEachTopLevelExpr(stmt, [&](const Expr& top) {
-        forEachSubExpr(top, [&](const Expr& e) {
-            if (e.ekind == ExprKind::Ident)
-                out.insert(static_cast<const IdentExpr&>(e).name);
-        });
-    });
+    forEachIdent(stmt, [&](const IdentExpr& e) { out.insert(e.name); });
+}
+
+void
+Pattern::collectIdentIds(const lang::Stmt& stmt,
+                         std::vector<support::SymbolId>& out)
+{
+    const std::vector<support::SymbolId>& ids = lang::stmtIdentIds(stmt);
+    out.insert(out.end(), ids.begin(), ids.end());
+    if (out.size() != ids.size()) {
+        // Appended to a non-empty vector: restore the sorted-unique form.
+        std::sort(out.begin(), out.end());
+        out.erase(std::unique(out.begin(), out.end()), out.end());
+    }
+}
+
+bool
+Pattern::requiredSyms(std::vector<support::SymbolId>& out) const
+{
+    for (const Alternative& alt : alternatives_) {
+        if (alt.required_sym == support::kInvalidSymbol)
+            return false;
+        out.push_back(alt.required_sym);
+    }
+    return !alternatives_.empty();
 }
 
 void
@@ -128,25 +172,22 @@ Pattern::addAlternatives(const Pattern& other)
     }
 }
 
-bool
-Pattern::isWildcard(const std::string& name, WildcardKind* kind) const
+const WildcardDecl*
+Pattern::findWildcard(const std::string& name) const
 {
-    for (const WildcardDecl& wd : wildcards_) {
-        if (wd.name == name) {
-            *kind = wd.kind;
-            return true;
-        }
-    }
-    return false;
+    for (const WildcardDecl& wd : wildcards_)
+        if (wd.name == name)
+            return &wd;
+    return nullptr;
 }
 
 bool
-Pattern::bindWildcard(const std::string& name, WildcardKind kind,
-                      const Expr& cand, Bindings& bindings) const
+Pattern::bindWildcard(const WildcardDecl& wd, const Expr& cand,
+                      Bindings& bindings) const
 {
     // Kind constraints. Types are only partially known in the dialect, so
     // constraints are syntactic plus "definitely wrong" type rejections.
-    switch (kind) {
+    switch (wd.kind) {
       case WildcardKind::Scalar:
       case WildcardKind::Unsigned:
         if (cand.ekind == ExprKind::FloatLit ||
@@ -169,9 +210,9 @@ Pattern::bindWildcard(const std::string& name, WildcardKind kind,
 
     // Consistent-binding rule: a wildcard appearing twice in one pattern
     // must match structurally equal expressions.
-    if (const Expr* existing = bindings.lookup(name))
+    if (const Expr* existing = bindings.lookupId(wd.sym))
         return exprEquals(*existing, cand);
-    bindings.map.emplace(name, &cand);
+    bindings.entries.emplace_back(wd.sym, &cand);
     return true;
 }
 
@@ -181,9 +222,8 @@ Pattern::unifyExpr(const Expr& pat, const Expr& cand,
 {
     if (pat.ekind == ExprKind::Ident) {
         const auto& ident = static_cast<const IdentExpr&>(pat);
-        WildcardKind kind;
-        if (isWildcard(ident.name, &kind))
-            return bindWildcard(ident.name, kind, cand, bindings);
+        if (const WildcardDecl* wd = findWildcard(ident.name))
+            return bindWildcard(*wd, cand, bindings);
     }
 
     if (pat.ekind != cand.ekind)

@@ -3,13 +3,14 @@
 
 #include "lang/ast.h"
 #include "lang/parser.h"
+#include "support/interner.h"
 #include "support/source_manager.h"
 
-#include <map>
 #include <memory>
 #include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace mc::match {
@@ -43,19 +44,33 @@ struct WildcardDecl
 {
     std::string name;
     WildcardKind kind = WildcardKind::Scalar;
+    /** Interned `name`; filled in by Pattern::compile. */
+    support::SymbolId sym = support::kInvalidSymbol;
 };
 
-/** Wildcard-variable bindings accumulated during one successful match. */
+/**
+ * Wildcard-variable bindings accumulated during one successful match.
+ *
+ * Patterns declare at most a handful of wildcards, so bindings live in a
+ * flat (symbol, expr) vector: binding is a push_back, lookup a linear
+ * scan of uint32 keys — no node allocations on the matching hot path.
+ */
 struct Bindings
 {
-    std::map<std::string, const lang::Expr*> map;
+    std::vector<std::pair<support::SymbolId, const lang::Expr*>> entries;
 
+    /** The expression bound to the wildcard with interned id `sym`. */
     const lang::Expr*
-    lookup(const std::string& name) const
+    lookupId(support::SymbolId sym) const
     {
-        auto it = map.find(name);
-        return it == map.end() ? nullptr : it->second;
+        for (const auto& [s, e] : entries)
+            if (s == sym)
+                return e;
+        return nullptr;
     }
+
+    /** Name-based lookup (resolves `name` via the global interner). */
+    const lang::Expr* lookup(const std::string& name) const;
 };
 
 /**
@@ -137,9 +152,31 @@ class Pattern
      */
     bool couldMatch(const std::set<std::string>& idents) const;
 
+    /**
+     * Interned-id prefilter: same contract as couldMatch, but `ids`
+     * is the sorted unique output of collectIdentIds and membership is
+     * a binary search over uint32s instead of a string-set probe.
+     */
+    bool couldMatchIds(const std::vector<support::SymbolId>& ids) const;
+
     /** Collect every identifier occurring in `stmt` into `out`. */
     static void collectIdents(const lang::Stmt& stmt,
                               std::set<std::string>& out);
+
+    /**
+     * Collect the interned ids of every identifier in `stmt` into
+     * `out`, sorted and deduplicated — the form couldMatchIds expects.
+     */
+    static void collectIdentIds(const lang::Stmt& stmt,
+                                std::vector<support::SymbolId>& out);
+
+    /**
+     * Append every alternative's required-identifier symbol to `out` and
+     * return true — or return false (leaving `out` unspecified) when some
+     * alternative has no required identifier, i.e. the pattern cannot be
+     * prefiltered at all. Used to build mask-based prefilters.
+     */
+    bool requiredSyms(std::vector<support::SymbolId>& out) const;
 
   private:
     struct Alternative
@@ -150,17 +187,19 @@ class Pattern
         const lang::Expr* expr = nullptr;
         /** First non-wildcard identifier in the template ("" if none). */
         std::string required_ident;
+        /** Interned required_ident (kInvalidSymbol if none). */
+        support::SymbolId required_sym = support::kInvalidSymbol;
     };
 
     void computeRequiredIdent(Alternative& alt) const;
 
-    bool isWildcard(const std::string& name, WildcardKind* kind) const;
+    const WildcardDecl* findWildcard(const std::string& name) const;
     bool unifyExpr(const lang::Expr& pat, const lang::Expr& cand,
                    Bindings& bindings) const;
     bool unifyStmt(const lang::Stmt& pat, const lang::Stmt& cand,
                    Bindings& bindings) const;
-    bool bindWildcard(const std::string& name, WildcardKind kind,
-                      const lang::Expr& cand, Bindings& bindings) const;
+    bool bindWildcard(const WildcardDecl& wd, const lang::Expr& cand,
+                      Bindings& bindings) const;
 
     std::vector<Alternative> alternatives_;
     std::vector<WildcardDecl> wildcards_;

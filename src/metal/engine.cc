@@ -1,17 +1,21 @@
 #include "metal/engine.h"
 
 #include "metal/path_walker.h"
+#include "metal/transition_table.h"
 #include "support/fault_injection.h"
 #include "support/metrics.h"
 #include "support/trace.h"
 
+#include <atomic>
 #include <set>
 
 namespace mc::metal {
 
 namespace {
 
-/** Walker state: just the SM state name. */
+std::atomic<MatchStrategy> g_default_strategy{MatchStrategy::Table};
+
+/** Legacy walker state: just the SM state name. */
 struct SmState
 {
     std::string state;
@@ -20,33 +24,96 @@ struct SmState
     bool dead() const { return state == StateMachine::kStop; }
 };
 
-} // namespace
-
-SmRunResult
-runStateMachine(const StateMachine& sm, const cfg::Cfg& cfg,
-                support::DiagnosticSink& sink, const SmRunOptions& options)
+/** Table walker state: dense state index (4-byte key, exact caching). */
+struct TableSmState
 {
-    // Observability: locals are tallied unconditionally (they are part of
-    // SmRunResult anyway); the registry/recorder are only touched when
-    // enabled, so a disabled run pays one boolean load here and one at
-    // the end.
-    support::MetricsRegistry& metrics = support::MetricsRegistry::global();
-    support::TraceRecorder& tracer = support::TraceRecorder::global();
-    support::ScopedTimer timer(
-        metrics.enabled() ? &metrics.timer("engine.sm." + sm.name())
-                          : nullptr);
-    support::TraceSpan span(tracer.enabled() ? &tracer : nullptr,
-                            sm.name(), "engine");
-    if (tracer.enabled()) {
-        if (!options.trace_label.empty())
-            span.arg("function", options.trace_label);
-        else if (cfg.function)
-            span.arg("function", cfg.function->name);
-    }
+    StateIdx state = 0;
+    StateIdx stop = 0;
 
+    std::uint32_t key() const { return state; }
+    bool dead() const { return state == stop; }
+};
+
+template <typename WalkResult>
+void
+fillWalkStats(SmRunResult& result, const WalkResult& walk)
+{
+    result.visits = walk.visits;
+    result.truncated = walk.truncated;
+    result.cache_hits = walk.cache_hits;
+    result.pruned_edges = walk.pruned_edges;
+    result.peak_frontier = walk.peak_frontier;
+    result.budget_stop = walk.budget_stop;
+}
+
+template <typename State>
+typename PathWalker<State>::WalkOptions
+walkOptions(const SmRunOptions& options)
+{
+    typename PathWalker<State>::WalkOptions walk_options;
+    walk_options.max_visits = options.max_visits;
+    walk_options.prune_correlated_branches =
+        options.prune_correlated_branches;
+    return walk_options;
+}
+
+/**
+ * Table strategy: compile the per-(function, SM) transition table up
+ * front, then walk with O(1) cell lookups per statement.
+ */
+SmRunResult
+runTable(const StateMachine& sm, const cfg::Cfg& cfg,
+         support::DiagnosticSink& sink, const SmRunOptions& options)
+{
     SmRunResult result;
+    const CompiledSm& csm = sm.compiled();
+    TransitionTable table(csm, cfg);
+
     // Dedup firings: one (rule, statement) pair fires the action and is
     // counted once, no matter how many paths cross it in the same state.
+    // Keyed on the interned rule id so rules sharing an id string share
+    // a dedup slot, exactly like the legacy string-keyed set.
+    std::set<std::pair<support::SymbolId, support::SourceLoc>> fired;
+
+    typename PathWalker<TableSmState>::Hooks hooks;
+    hooks.on_stmt_at = [&](TableSmState& st, const lang::Stmt& stmt,
+                           int block, std::size_t pos) {
+        const TransitionTable::Cell& cell =
+            table.cell(block, pos, st.state);
+        if (!cell.rule)
+            return; // no match: fill() left cell.next == state
+        if (fired.emplace(cell.id_sym, stmt.loc).second) {
+            ++result.firings[cell.rule->id];
+            if (cell.rule->action) {
+                ActionContext action_ctx(stmt, table.bindings(cell), sink,
+                                         sm.name(), cell.rule->id);
+                cell.rule->action(action_ctx);
+            }
+        }
+        if (cell.next != st.state) {
+            st.state = cell.next;
+            ++result.transitions;
+        }
+    };
+
+    PathWalker<TableSmState> walker(std::move(hooks),
+                                    walkOptions<TableSmState>(options));
+    TableSmState initial;
+    initial.state = csm.start();
+    initial.stop = csm.stop();
+    fillWalkStats(result, walker.walk(cfg, initial));
+    return result;
+}
+
+/**
+ * Legacy strategy: re-match every rule at every visit. Kept byte-for-byte
+ * equivalent to the table strategy as the differential-test reference.
+ */
+SmRunResult
+runLegacy(const StateMachine& sm, const cfg::Cfg& cfg,
+          support::DiagnosticSink& sink, const SmRunOptions& options)
+{
+    SmRunResult result;
     std::set<std::pair<std::string, support::SourceLoc>> fired;
 
     auto try_rules = [&](SmState& st, const lang::Stmt& stmt,
@@ -87,27 +154,69 @@ runStateMachine(const StateMachine& sm, const cfg::Cfg& cfg,
         try_rules(st, stmt, idents, sm.allRules());
     };
 
-    PathWalker<SmState>::WalkOptions walk_options;
-    walk_options.max_visits = options.max_visits;
-    walk_options.prune_correlated_branches =
-        options.prune_correlated_branches;
-    PathWalker<SmState> walker(std::move(hooks), walk_options);
+    PathWalker<SmState> walker(std::move(hooks),
+                               walkOptions<SmState>(options));
     SmState initial;
     initial.state = sm.startState();
+    fillWalkStats(result, walker.walk(cfg, initial));
+    return result;
+}
+
+} // namespace
+
+MatchStrategy
+defaultMatchStrategy()
+{
+    return g_default_strategy.load(std::memory_order_relaxed);
+}
+
+void
+setDefaultMatchStrategy(MatchStrategy strategy)
+{
+    g_default_strategy.store(strategy == MatchStrategy::Legacy
+                                 ? MatchStrategy::Legacy
+                                 : MatchStrategy::Table,
+                             std::memory_order_relaxed);
+}
+
+SmRunResult
+runStateMachine(const StateMachine& sm, const cfg::Cfg& cfg,
+                support::DiagnosticSink& sink, const SmRunOptions& options)
+{
+    // Observability: locals are tallied unconditionally (they are part of
+    // SmRunResult anyway); the registry/recorder are only touched when
+    // enabled, so a disabled run pays one boolean load here and one at
+    // the end.
+    support::MetricsRegistry& metrics = support::MetricsRegistry::global();
+    support::TraceRecorder& tracer = support::TraceRecorder::global();
+    support::ScopedTimer timer(
+        metrics.enabled() ? &metrics.timer(sm.timerName()) : nullptr);
+    support::TraceSpan span(tracer.enabled() ? &tracer : nullptr,
+                            sm.name(), "engine");
+    if (tracer.enabled()) {
+        if (!options.trace_label.empty())
+            span.arg("function", options.trace_label);
+        else if (cfg.function)
+            span.arg("function", cfg.function->name);
+    }
+
     // Keyed by (machine, function): the same walks fault at any --jobs.
-    support::fault::probe(
-        "walker.walk",
-        sm.name() + "/" +
-            (!options.trace_label.empty()
-                 ? options.trace_label
-                 : (cfg.function ? cfg.function->name : std::string())));
-    auto walk = walker.walk(cfg, initial);
-    result.visits = walk.visits;
-    result.truncated = walk.truncated;
-    result.cache_hits = walk.cache_hits;
-    result.pruned_edges = walk.pruned_edges;
-    result.peak_frontier = walk.peak_frontier;
-    result.budget_stop = walk.budget_stop;
+    // The key string is only composed when a fault spec is armed.
+    if (support::fault::armed())
+        support::fault::probe(
+            "walker.walk",
+            sm.name() + "/" +
+                (!options.trace_label.empty()
+                     ? options.trace_label
+                     : (cfg.function ? cfg.function->name
+                                     : std::string())));
+
+    MatchStrategy strategy = options.match_strategy;
+    if (strategy == MatchStrategy::Default)
+        strategy = defaultMatchStrategy();
+    SmRunResult result = strategy == MatchStrategy::Legacy
+                             ? runLegacy(sm, cfg, sink, options)
+                             : runTable(sm, cfg, sink, options);
 
     if (metrics.enabled()) {
         metrics.counter("engine.runs").add();

@@ -35,6 +35,30 @@ struct SmRunResult
     support::BudgetStop budget_stop = support::BudgetStop::None;
 };
 
+/**
+ * How the engine matches rules against statements.
+ *
+ * Both strategies are semantically identical — same diagnostics (byte for
+ * byte), same firings, same visit/transition counts. Legacy is retained
+ * as the reference implementation for differential testing.
+ */
+enum class MatchStrategy : std::uint8_t
+{
+    /** Use the process-wide default (Table unless overridden). */
+    Default,
+    /** Pre-compile a per-(function, SM) transition table, then walk with
+     *  O(1) indexed lookups per statement. */
+    Table,
+    /** Re-run pattern unification at every path-sensitive visit. */
+    Legacy,
+};
+
+/** The strategy Default resolves to (initially Table). */
+MatchStrategy defaultMatchStrategy();
+
+/** Override the process-wide default (Default resets to Table). */
+void setDefaultMatchStrategy(MatchStrategy strategy);
+
 /** Options controlling one engine run. */
 struct SmRunOptions
 {
@@ -52,6 +76,8 @@ struct SmRunOptions
      * the trace viewer). Defaults to the CFG's own function when unset.
      */
     std::string trace_label;
+    /** Matching strategy for this run (Default = process default). */
+    MatchStrategy match_strategy = MatchStrategy::Default;
 };
 
 /**

@@ -3,13 +3,17 @@
 
 #include "cfg/cfg.h"
 #include "support/budget.h"
+#include "support/hash.h"
+#include "support/interner.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <set>
 #include <string>
+#include <type_traits>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -27,8 +31,11 @@ namespace mc::metal {
  *
  * The client state type must provide:
  *   - copy construction (paths fork at branches);
- *   - `std::string key() const` — a stable encoding used for the
- *     (block, state) visited set;
+ *   - `key() const` returning either `std::string` or an unsigned
+ *     integral of at most 32 bits — a stable encoding used for the
+ *     (block, state) visited set. Integral keys are packed with the
+ *     block id into one exact 64-bit word (no hashing, no collisions);
+ *     string keys are FNV-1a hashed;
  *   - `bool dead() const` — true when this path needs no further
  *     exploration (the metal `stop` state).
  */
@@ -40,6 +47,14 @@ class PathWalker
     {
         /** Called for each statement of each visited block, in order. */
         std::function<void(State&, const lang::Stmt&)> on_stmt;
+        /**
+         * Indexed twin of on_stmt: additionally receives the block id and
+         * the statement's position within that block, so clients can
+         * address precomputed per-(block, position) tables without any
+         * pointer hashing. When set, it is called instead of on_stmt.
+         */
+        std::function<void(State&, const lang::Stmt&, int, std::size_t)>
+            on_stmt_at;
         /**
          * Called when leaving a branch block, once per out-edge, with
          * the branch condition and the index of the taken edge (0 = the
@@ -104,16 +119,9 @@ class PathWalker
     Result
     walk(const cfg::Cfg& cfg, const State& initial)
     {
-        /** Client state plus the path's recorded branch outcomes. */
-        struct Entry
-        {
-            int block;
-            State state;
-            std::map<std::string, bool> outcomes;
-        };
-
         Result result;
-        std::set<std::pair<int, std::string>> visited;
+        CondTable conds;
+        VisitedSet visited;
         std::vector<Entry> stack;
         stack.push_back(Entry{cfg.entryId(), initial, {}});
         result.peak_frontier = 1;
@@ -124,12 +132,7 @@ class PathWalker
             Entry entry = std::move(stack.back());
             stack.pop_back();
 
-            std::string key = entry.state.key();
-            if (options_.prune_correlated_branches)
-                for (const auto& [cond, value] : entry.outcomes)
-                    key += (value ? "|+" : "|-") + cond;
-            std::size_t key_size = key.size();
-            if (!visited.emplace(entry.block, std::move(key)).second) {
+            if (!visited.insert(visitedKey(entry))) {
                 ++result.cache_hits;
                 continue;
             }
@@ -145,12 +148,14 @@ class PathWalker
             // The unit's resource budget (installed by the parallel
             // engine's UnitGuard) governs the whole (function, checker)
             // unit across all of its walks: one step per visit, bytes
-            // for the visited-set key plus the frontier entry. Like the
-            // visit cap, exhaustion truncates gracefully — partial
-            // results survive; nothing is thrown.
+            // for the frontier entry (including the heap behind the
+            // state key and the recorded branch outcomes) plus the
+            // 8-byte visited-set key. Like the visit cap, exhaustion
+            // truncates gracefully — partial results survive; nothing
+            // is thrown.
             if (support::Budget* budget = support::Budget::current()) {
                 budget->chargeStep();
-                budget->chargeBytes(sizeof(Entry) + key_size);
+                budget->chargeBytes(entryBytes(entry));
                 if (budget->exhausted()) {
                     result.truncated = true;
                     result.budget_stop = budget->stop();
@@ -160,12 +165,15 @@ class PathWalker
             ++result.visits;
 
             const cfg::BasicBlock& bb = cfg.block(entry.block);
-            for (const lang::Stmt* stmt : bb.stmts) {
-                if (hooks_.on_stmt)
+            for (std::size_t si = 0; si < bb.stmts.size(); ++si) {
+                const lang::Stmt* stmt = bb.stmts[si];
+                if (hooks_.on_stmt_at)
+                    hooks_.on_stmt_at(entry.state, *stmt, entry.block, si);
+                else if (hooks_.on_stmt)
                     hooks_.on_stmt(entry.state, *stmt);
                 if (options_.prune_correlated_branches &&
                     !entry.outcomes.empty())
-                    invalidateOutcomes(*stmt, entry.outcomes);
+                    conds.invalidateOutcomes(*stmt, entry.outcomes);
                 if (entry.state.dead())
                     break;
             }
@@ -194,8 +202,8 @@ class PathWalker
                     continue;
                 if (options_.prune_correlated_branches && bb.isBranch() &&
                     bb.succs.size() == 2 &&
-                    !recordOutcome(*bb.branch_cond, i == 0,
-                                   next.outcomes)) {
+                    !conds.recordOutcome(*bb.branch_cond, i == 0,
+                                         next.outcomes)) {
                     ++result.pruned_edges;
                     continue; // contradicts an earlier outcome
                 }
@@ -206,110 +214,331 @@ class PathWalker
     }
 
   private:
-    /**
-     * Record "cond evaluated to `value`" in `outcomes`. Returns false if
-     * that contradicts a previously recorded outcome on this path.
-     * Conditions with calls or assignments are not correlated (their
-     * value can change between tests).
-     */
-    static bool
-    recordOutcome(const lang::Expr& cond, bool value,
-                  std::map<std::string, bool>& outcomes)
+    /** Recorded branch outcomes: (condition id, value), sorted by id. */
+    using Outcomes = std::vector<std::pair<std::uint32_t, bool>>;
+
+    /** Client state plus the path's recorded branch outcomes. */
+    struct Entry
     {
-        const lang::Expr* base = &cond;
-        while (base->ekind == lang::ExprKind::Unary &&
-               static_cast<const lang::UnaryExpr*>(base)->op ==
-                   lang::UnaryOp::Not) {
-            base = static_cast<const lang::UnaryExpr*>(base)->operand;
-            value = !value;
-        }
-        bool impure = false;
-        lang::forEachSubExpr(*base, [&](const lang::Expr& e) {
-            if (e.ekind == lang::ExprKind::Call)
-                impure = true;
-            if (e.ekind == lang::ExprKind::Binary &&
-                lang::isAssignment(
-                    static_cast<const lang::BinaryExpr&>(e).op))
-                impure = true;
-            if (e.ekind == lang::ExprKind::Unary) {
-                auto op = static_cast<const lang::UnaryExpr&>(e).op;
-                if (op == lang::UnaryOp::PreInc ||
-                    op == lang::UnaryOp::PreDec ||
-                    op == lang::UnaryOp::PostInc ||
-                    op == lang::UnaryOp::PostDec)
-                    impure = true;
+        int block;
+        State state;
+        Outcomes outcomes;
+    };
+
+    using KeyType = decltype(std::declval<const State&>().key());
+    static constexpr bool kIntegralKey =
+        std::is_integral_v<KeyType> && sizeof(KeyType) <= 4;
+
+    /**
+     * Open-addressing set of 64-bit visited keys: one flat allocation
+     * and linear probing instead of a node per (block, state) — the
+     * walker's busiest data structure. All-ones is the empty-slot
+     * sentinel; it is unreachable for exact integral keys (block ids
+     * are non-negative ints), and a key that hashes to it is remapped,
+     * which on the digest path is just another hash collision.
+     */
+    class VisitedSet
+    {
+      public:
+        /** True if `key` was newly inserted, false if already present. */
+        bool
+        insert(std::uint64_t key)
+        {
+            if (key == kEmpty)
+                key = 0x9e3779b97f4a7c15ull;
+            if ((count_ + 1) * 4 > slots_.size() * 3)
+                grow();
+            std::size_t mask = slots_.size() - 1;
+            std::size_t i = static_cast<std::size_t>(mix(key)) & mask;
+            while (slots_[i] != kEmpty) {
+                if (slots_[i] == key)
+                    return false;
+                i = (i + 1) & mask;
             }
-        });
-        if (impure)
+            slots_[i] = key;
+            ++count_;
             return true;
-        std::string text = lang::exprToString(*base);
-        auto [it, inserted] = outcomes.emplace(std::move(text), value);
-        return inserted || it->second == value;
+        }
+
+      private:
+        static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+
+        /** splitmix64 finalizer: spreads packed (block << 32 | state)
+         *  keys, whose low bits alone are highly regular. */
+        static std::uint64_t
+        mix(std::uint64_t x)
+        {
+            x ^= x >> 30;
+            x *= 0xbf58476d1ce4e5b9ull;
+            x ^= x >> 27;
+            x *= 0x94d049bb133111ebull;
+            x ^= x >> 31;
+            return x;
+        }
+
+        void
+        grow()
+        {
+            std::size_t cap = slots_.empty() ? 64 : slots_.size() * 2;
+            std::vector<std::uint64_t> old = std::move(slots_);
+            slots_.assign(cap, kEmpty);
+            std::size_t mask = cap - 1;
+            for (std::uint64_t key : old) {
+                if (key == kEmpty)
+                    continue;
+                std::size_t i =
+                    static_cast<std::size_t>(mix(key)) & mask;
+                while (slots_[i] != kEmpty)
+                    i = (i + 1) & mask;
+                slots_[i] = key;
+            }
+        }
+
+        std::vector<std::uint64_t> slots_;
+        std::size_t count_ = 0;
+    };
+
+    /**
+     * The visited-set key for an entry. Integral state keys without
+     * pruning pack exactly into (block << 32) | key — membership is
+     * collision-free, so the engine's semantic counters (visits,
+     * cache_hits, transitions) are exact, not probabilistic. String
+     * keys, and any walk with pruning enabled (whose key must also
+     * encode the path's branch outcomes), use a 64-bit FNV-1a digest.
+     */
+    std::uint64_t
+    visitedKey(const Entry& entry) const
+    {
+        if constexpr (kIntegralKey) {
+            if (!options_.prune_correlated_branches)
+                return (static_cast<std::uint64_t>(
+                            static_cast<std::uint32_t>(entry.block))
+                        << 32) |
+                       static_cast<std::uint64_t>(
+                           static_cast<std::uint32_t>(entry.state.key()));
+        }
+        support::Fnv1a h;
+        h.u64(static_cast<std::uint64_t>(entry.block));
+        if constexpr (kIntegralKey)
+            h.u64(static_cast<std::uint64_t>(entry.state.key()));
+        else
+            h.str(entry.state.key());
+        for (const auto& [cond, value] : entry.outcomes) {
+            h.u64(cond);
+            h.u8(value ? 1 : 0);
+        }
+        return h.value();
     }
 
-    /** True if `name` occurs as a whole identifier inside `text`. */
-    static bool
-    mentionsIdent(const std::string& text, const std::string& name)
+    /** Bytes a pending entry pins: the entry itself, its key's heap
+     *  footprint, the outcome vector's heap, and the visited-set slot. */
+    static std::size_t
+    entryBytes(const Entry& entry)
     {
-        std::size_t pos = 0;
-        auto is_word = [](char c) {
-            return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-        };
-        while ((pos = text.find(name, pos)) != std::string::npos) {
-            bool left_ok = pos == 0 || !is_word(text[pos - 1]);
-            std::size_t end = pos + name.size();
-            bool right_ok = end >= text.size() || !is_word(text[end]);
-            if (left_ok && right_ok)
-                return true;
-            pos = end;
-        }
-        return false;
+        std::size_t bytes = sizeof(Entry) + sizeof(std::uint64_t) +
+                            entry.outcomes.capacity() *
+                                sizeof(typename Outcomes::value_type);
+        if constexpr (!kIntegralKey)
+            bytes += entry.state.key().size();
+        return bytes;
     }
 
     /**
-     * Drop recorded outcomes whose condition mentions a variable this
-     * statement assigns — the re-test of the condition is no longer
-     * correlated with the first.
+     * Canonicalizes branch conditions to dense ids for outcome tracking.
+     *
+     * Two conditions share an id iff they render to the same source text
+     * (after stripping `!` prefixes) — the same equivalence the legacy
+     * string-keyed outcome map used. Per condition id the table keeps the
+     * interned word tokens of that text, so assignment invalidation is a
+     * sorted-id intersection instead of a substring scan. All caches are
+     * per-walk; ids never escape the walk.
      */
-    static void
-    invalidateOutcomes(const lang::Stmt& stmt,
-                       std::map<std::string, bool>& outcomes)
+    class CondTable
     {
-        std::vector<std::string> assigned;
-        if (stmt.skind == lang::StmtKind::Decl)
-            for (const lang::VarDecl* v :
-                 static_cast<const lang::DeclStmt&>(stmt).decls)
-                assigned.push_back(v->name);
-        lang::forEachTopLevelExpr(stmt, [&](const lang::Expr& top) {
-            lang::forEachSubExpr(top, [&](const lang::Expr& e) {
-                const lang::Expr* target = nullptr;
+      public:
+        /**
+         * Record "cond evaluated to `value`" in `outcomes`. Returns
+         * false if that contradicts a previously recorded outcome on
+         * this path. Conditions with calls or assignments are not
+         * correlated (their value can change between tests).
+         */
+        bool
+        recordOutcome(const lang::Expr& cond, bool value,
+                      Outcomes& outcomes)
+        {
+            const CondInfo& info = condInfo(cond);
+            if (info.impure)
+                return true;
+            if (info.flip)
+                value = !value;
+            auto it = std::lower_bound(
+                outcomes.begin(), outcomes.end(), info.id,
+                [](const auto& e, std::uint32_t id) { return e.first < id; });
+            if (it != outcomes.end() && it->first == info.id)
+                return it->second == value;
+            outcomes.insert(it, {info.id, value});
+            return true;
+        }
+
+        /**
+         * Drop recorded outcomes whose condition mentions a variable
+         * this statement assigns — the re-test of the condition is no
+         * longer correlated with the first.
+         */
+        void
+        invalidateOutcomes(const lang::Stmt& stmt, Outcomes& outcomes)
+        {
+            const std::vector<support::SymbolId>& assigned =
+                assignedIdents(stmt);
+            if (assigned.empty())
+                return;
+            outcomes.erase(
+                std::remove_if(
+                    outcomes.begin(), outcomes.end(),
+                    [&](const std::pair<std::uint32_t, bool>& outcome) {
+                        const std::vector<support::SymbolId>& toks =
+                            tokens_[outcome.first];
+                        for (support::SymbolId name : assigned)
+                            if (std::binary_search(toks.begin(),
+                                                   toks.end(), name))
+                                return true;
+                        return false;
+                    }),
+                outcomes.end());
+        }
+
+      private:
+        struct CondInfo
+        {
+            std::uint32_t id = 0;
+            /** Parity of stripped `!` prefixes on the original node. */
+            bool flip = false;
+            bool impure = false;
+        };
+
+        const CondInfo&
+        condInfo(const lang::Expr& cond)
+        {
+            auto cached = by_node_.find(&cond);
+            if (cached != by_node_.end())
+                return cached->second;
+
+            CondInfo info;
+            const lang::Expr* base = &cond;
+            while (base->ekind == lang::ExprKind::Unary &&
+                   static_cast<const lang::UnaryExpr*>(base)->op ==
+                       lang::UnaryOp::Not) {
+                base = static_cast<const lang::UnaryExpr*>(base)->operand;
+                info.flip = !info.flip;
+            }
+            lang::forEachSubExpr(*base, [&](const lang::Expr& e) {
+                if (e.ekind == lang::ExprKind::Call)
+                    info.impure = true;
                 if (e.ekind == lang::ExprKind::Binary &&
                     lang::isAssignment(
                         static_cast<const lang::BinaryExpr&>(e).op))
-                    target = static_cast<const lang::BinaryExpr&>(e).lhs;
+                    info.impure = true;
                 if (e.ekind == lang::ExprKind::Unary) {
                     auto op = static_cast<const lang::UnaryExpr&>(e).op;
                     if (op == lang::UnaryOp::PreInc ||
                         op == lang::UnaryOp::PreDec ||
                         op == lang::UnaryOp::PostInc ||
                         op == lang::UnaryOp::PostDec)
-                        target =
-                            static_cast<const lang::UnaryExpr&>(e).operand;
+                        info.impure = true;
                 }
-                if (target && target->ekind == lang::ExprKind::Ident)
-                    assigned.push_back(
-                        static_cast<const lang::IdentExpr*>(target)->name);
             });
-        });
-        if (assigned.empty())
-            return;
-        for (auto it = outcomes.begin(); it != outcomes.end();) {
-            bool hit = false;
-            for (const std::string& name : assigned)
-                hit |= mentionsIdent(it->first, name);
-            it = hit ? outcomes.erase(it) : ++it;
+            if (!info.impure) {
+                std::string text = lang::exprToString(*base);
+                auto [it, inserted] = text_ids_.emplace(
+                    std::move(text),
+                    static_cast<std::uint32_t>(tokens_.size()));
+                if (inserted)
+                    tokens_.push_back(wordTokens(it->first));
+                info.id = it->second;
+            }
+            return by_node_.emplace(&cond, info).first->second;
         }
-    }
+
+        /**
+         * The interned maximal [A-Za-z0-9_] runs of `text`, sorted and
+         * deduplicated. Membership of an identifier in this set is
+         * exactly the legacy whole-word substring test: every whole-word
+         * occurrence is a maximal run and vice versa.
+         */
+        static std::vector<support::SymbolId>
+        wordTokens(const std::string& text)
+        {
+            std::vector<support::SymbolId> out;
+            auto& interner = support::SymbolInterner::global();
+            auto is_word = [](char c) {
+                return std::isalnum(static_cast<unsigned char>(c)) ||
+                       c == '_';
+            };
+            std::size_t i = 0;
+            while (i < text.size()) {
+                if (!is_word(text[i])) {
+                    ++i;
+                    continue;
+                }
+                std::size_t start = i;
+                while (i < text.size() && is_word(text[i]))
+                    ++i;
+                out.push_back(interner.intern(
+                    std::string_view(text).substr(start, i - start)));
+            }
+            std::sort(out.begin(), out.end());
+            out.erase(std::unique(out.begin(), out.end()), out.end());
+            return out;
+        }
+
+        /** Interned names this statement assigns (cached per stmt). */
+        const std::vector<support::SymbolId>&
+        assignedIdents(const lang::Stmt& stmt)
+        {
+            auto cached = assigned_.find(&stmt);
+            if (cached != assigned_.end())
+                return cached->second;
+
+            std::vector<support::SymbolId> assigned;
+            auto& interner = support::SymbolInterner::global();
+            if (stmt.skind == lang::StmtKind::Decl)
+                for (const lang::VarDecl* v :
+                     static_cast<const lang::DeclStmt&>(stmt).decls)
+                    assigned.push_back(interner.intern(v->name));
+            lang::forEachTopLevelExpr(stmt, [&](const lang::Expr& top) {
+                lang::forEachSubExpr(top, [&](const lang::Expr& e) {
+                    const lang::Expr* target = nullptr;
+                    if (e.ekind == lang::ExprKind::Binary &&
+                        lang::isAssignment(
+                            static_cast<const lang::BinaryExpr&>(e).op))
+                        target = static_cast<const lang::BinaryExpr&>(e).lhs;
+                    if (e.ekind == lang::ExprKind::Unary) {
+                        auto op = static_cast<const lang::UnaryExpr&>(e).op;
+                        if (op == lang::UnaryOp::PreInc ||
+                            op == lang::UnaryOp::PreDec ||
+                            op == lang::UnaryOp::PostInc ||
+                            op == lang::UnaryOp::PostDec)
+                            target = static_cast<const lang::UnaryExpr&>(e)
+                                         .operand;
+                    }
+                    if (target && target->ekind == lang::ExprKind::Ident)
+                        assigned.push_back(interner.intern(
+                            static_cast<const lang::IdentExpr*>(target)
+                                ->name));
+                });
+            });
+            return assigned_.emplace(&stmt, std::move(assigned))
+                .first->second;
+        }
+
+        /** Canonical condition text -> id; id indexes tokens_. */
+        std::map<std::string, std::uint32_t> text_ids_;
+        std::vector<std::vector<support::SymbolId>> tokens_;
+        std::unordered_map<const lang::Expr*, CondInfo> by_node_;
+        std::unordered_map<const lang::Stmt*,
+                           std::vector<support::SymbolId>>
+            assigned_;
+    };
 
     Hooks hooks_;
     WalkOptions options_;

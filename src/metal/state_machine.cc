@@ -1,6 +1,24 @@
 #include "metal/state_machine.h"
 
+#include "metal/transition_table.h"
+
 namespace mc::metal {
+
+// Out of line: constructing/destroying unique_ptr<CompiledSm> needs the
+// complete type.
+StateMachine::StateMachine(std::string name)
+    : name_(std::move(name)), timer_name_("engine.sm." + name_)
+{}
+
+StateMachine::~StateMachine() = default;
+
+const CompiledSm&
+StateMachine::compiled() const
+{
+    std::call_once(compiled_once_,
+                   [&] { compiled_ = std::make_unique<CompiledSm>(*this); });
+    return *compiled_;
+}
 
 void
 StateMachine::addRule(const std::string& state, Rule rule)

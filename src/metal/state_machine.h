@@ -6,10 +6,14 @@
 
 #include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 namespace mc::metal {
+
+class CompiledSm;
 
 /**
  * Context handed to a rule action when its pattern matches.
@@ -83,9 +87,16 @@ class StateMachine
         std::string id;
     };
 
-    explicit StateMachine(std::string name) : name_(std::move(name)) {}
+    explicit StateMachine(std::string name);
+    ~StateMachine();
 
     const std::string& name() const { return name_; }
+
+    /**
+     * Metrics timer name for this SM's engine runs ("engine.sm." + name),
+     * pre-built here so runStateMachine does not concatenate it per call.
+     */
+    const std::string& timerName() const { return timer_name_; }
 
     /**
      * Add a rule under `state`. The first non-`all` state mentioned
@@ -109,10 +120,21 @@ class StateMachine
 
     int ruleCount() const;
 
+    /**
+     * The compiled (interned, flattened) view of this SM, built lazily on
+     * first use and cached. Thread-safe: the engine shares one SM across
+     * worker lanes read-only. Call only after rule construction is done —
+     * the compiled view aliases the rule storage.
+     */
+    const CompiledSm& compiled() const;
+
   private:
     std::string name_;
+    std::string timer_name_;
     std::string start_;
     std::map<std::string, std::vector<Rule>> rules_;
+    mutable std::once_flag compiled_once_;
+    mutable std::unique_ptr<CompiledSm> compiled_;
 };
 
 } // namespace mc::metal

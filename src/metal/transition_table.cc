@@ -1,0 +1,147 @@
+#include "metal/transition_table.h"
+
+#include <algorithm>
+
+namespace mc::metal {
+
+StateIdx
+CompiledSm::internState(const std::string& name)
+{
+    auto [it, inserted] =
+        state_ids_.emplace(name, static_cast<StateIdx>(state_names_.size()));
+    if (inserted)
+        state_names_.push_back(name);
+    return it->second;
+}
+
+CompiledSm::CompiledSm(const StateMachine& sm) : sm_(&sm)
+{
+    // Index order is deterministic: start first, then stop, then the
+    // remaining rule-owning states and transition targets in definition
+    // (map) order. Indices never reach output — diagnostics always go
+    // through the state/rule *names* — so only stability within this
+    // CompiledSm matters.
+    start_ = internState(sm.startState());
+    stop_ = internState(StateMachine::kStop);
+    for (const std::string& state : sm.states()) {
+        internState(state);
+        for (const StateMachine::Rule& rule : sm.rulesFor(state))
+            if (!rule.next_state.empty())
+                internState(rule.next_state);
+    }
+
+    auto& interner = support::SymbolInterner::global();
+    candidates_.resize(state_names_.size());
+    for (StateIdx s = 0; s < candidates_.size(); ++s) {
+        if (s == stop_)
+            continue;
+        auto add = [&](const StateMachine::Rule& rule) {
+            Candidate cand;
+            cand.rule = &rule;
+            cand.id_sym = interner.intern(rule.id);
+            if (!rule.next_state.empty())
+                cand.next = state_ids_.at(rule.next_state);
+            candidates_[s].push_back(cand);
+        };
+        // Own rules first, then `all` rules — the paper's "implicitly
+        // applied to other states" order. For the `all` state itself this
+        // appends its list twice; first-match-wins makes the second copy
+        // unreachable, exactly like the legacy two-call sequence.
+        for (const StateMachine::Rule& rule : sm.rulesFor(stateName(s)))
+            add(rule);
+        for (const StateMachine::Rule& rule : sm.allRules())
+            add(rule);
+    }
+
+    // Assign mask bits: the sorted distinct required-identifier symbols
+    // across every rule, first 64 only (checkers have a handful).
+    std::vector<support::SymbolId> req;
+    for (const std::vector<Candidate>& list : candidates_)
+        for (const Candidate& cand : list)
+            cand.rule->pattern.requiredSyms(req);
+    std::sort(req.begin(), req.end());
+    req.erase(std::unique(req.begin(), req.end()), req.end());
+    if (req.size() > 64)
+        req.resize(64);
+    mask_syms_ = std::move(req);
+
+    std::vector<support::SymbolId> syms;
+    for (std::vector<Candidate>& list : candidates_)
+        for (Candidate& cand : list) {
+            syms.clear();
+            if (!cand.rule->pattern.requiredSyms(syms))
+                continue; // unfilterable: req_mask stays 0
+            std::uint64_t mask = 0;
+            bool complete = true;
+            for (support::SymbolId sym : syms) {
+                std::uint64_t bit = symMask(sym);
+                if (!bit) {
+                    complete = false;
+                    break;
+                }
+                mask |= bit;
+            }
+            // The mask is only exact if *every* alternative got a bit.
+            cand.req_mask = complete ? mask : 0;
+        }
+}
+
+TransitionTable::TransitionTable(const CompiledSm& csm, const cfg::Cfg& cfg)
+    : csm_(&csm), state_count_(csm.stateCount())
+{
+    // Prefix sums over block statement counts: (block, pos) addresses a
+    // row directly, with no per-run hash map over statement pointers.
+    offsets_.resize(cfg.blocks().size());
+    std::size_t total = 0;
+    for (std::size_t b = 0; b < cfg.blocks().size(); ++b) {
+        offsets_[b] = total;
+        total += cfg.blocks()[b].stmts.size();
+    }
+    rows_.resize(total);
+    std::size_t row = 0;
+    for (const cfg::BasicBlock& bb : cfg.blocks())
+        for (const lang::Stmt* stmt : bb.stmts)
+            rows_[row++].stmt = stmt;
+    cells_.resize(total * state_count_);
+}
+
+void
+TransitionTable::fill(std::size_t row_idx, StateIdx state, Cell& cell)
+{
+    cell.ready = true;
+    cell.next = state;
+    if (state == csm_->stop())
+        return;
+    Row& row = rows_[row_idx];
+    if (!row.ids) {
+        // The scan itself is cached on the Stmt node; per run we only
+        // fold the ids into this machine's prefilter mask.
+        row.ids = &lang::stmtIdentIds(*row.stmt);
+        std::uint64_t mask = 0;
+        for (support::SymbolId sym : *row.ids)
+            mask |= csm_->symMask(sym);
+        row.mask = mask;
+    }
+    for (const CompiledSm::Candidate& cand : csm_->candidatesFor(state)) {
+        if (cand.req_mask) {
+            // Exact bitmask prefilter (see Candidate::req_mask).
+            if (!(cand.req_mask & row.mask))
+                continue;
+        } else if (!cand.rule->pattern.couldMatchIds(*row.ids)) {
+            continue;
+        }
+        auto bindings = cand.rule->pattern.matchInStmt(*row.stmt);
+        if (!bindings)
+            continue;
+        cell.rule = cand.rule;
+        cell.id_sym = cand.id_sym;
+        cell.bindings_idx =
+            static_cast<std::uint32_t>(bindings_pool_.size());
+        bindings_pool_.push_back(std::move(*bindings));
+        if (cand.next != CompiledSm::kKeepState && cand.next != state)
+            cell.next = cand.next;
+        return;
+    }
+}
+
+} // namespace mc::metal

@@ -1,0 +1,194 @@
+#ifndef MCHECK_METAL_TRANSITION_TABLE_H
+#define MCHECK_METAL_TRANSITION_TABLE_H
+
+#include "cfg/cfg.h"
+#include "metal/state_machine.h"
+#include "support/interner.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mc::metal {
+
+/** Dense index of an SM state within one CompiledSm. */
+using StateIdx = std::uint32_t;
+
+/**
+ * Per-StateMachine compiled view: state names and rule ids interned to
+ * dense indices, and each state's candidate rules (its own rules followed
+ * by the `all` rules — the legacy first-match order) flattened into one
+ * list with pre-resolved transition targets and bitmask prefilters.
+ *
+ * Built once per SM (lazily, via StateMachine::compiled()) after rule
+ * construction is complete; Candidate pointers alias the SM's own rule
+ * storage, so no rules may be added afterwards.
+ */
+class CompiledSm
+{
+  public:
+    /** Sentinel target: the rule keeps the walker in its current state. */
+    static constexpr StateIdx kKeepState = 0xFFFFFFFFu;
+
+    explicit CompiledSm(const StateMachine& sm);
+
+    struct Candidate
+    {
+        const StateMachine::Rule* rule = nullptr;
+        /**
+         * Interned rule id — the firing-dedup key. Distinct Rule objects
+         * can share a (slugified) id string; they must then share one
+         * dedup slot, which the shared symbol guarantees.
+         */
+        support::SymbolId id_sym = support::kInvalidSymbol;
+        /** Absolute target state, or kKeepState when next_state is "". */
+        StateIdx next = kKeepState;
+        /**
+         * OR of the mask bits of every alternative's required identifier.
+         * When nonzero this is an *exact* prefilter: the candidate can
+         * match a statement iff `req_mask & statement-mask` is nonzero.
+         * Zero means "cannot prefilter" (some alternative has no required
+         * identifier, or its symbol fell outside the 64 mask slots) and
+         * the caller must fall back to Pattern::couldMatchIds.
+         */
+        std::uint64_t req_mask = 0;
+    };
+
+    const StateMachine& sm() const { return *sm_; }
+    StateIdx start() const { return start_; }
+    StateIdx stop() const { return stop_; }
+    std::uint32_t stateCount() const
+    {
+        return static_cast<std::uint32_t>(state_names_.size());
+    }
+    const std::string& stateName(StateIdx s) const
+    {
+        return state_names_[s];
+    }
+
+    /** Candidates tried, in order, when a statement is seen in state `s`. */
+    const std::vector<Candidate>& candidatesFor(StateIdx s) const
+    {
+        return candidates_[s];
+    }
+
+    /**
+     * The mask bit assigned to `sym`, or 0 when `sym` is not one of this
+     * machine's required-identifier symbols. At most 64 distinct symbols
+     * get bits; every real checker needs a handful.
+     */
+    std::uint64_t symMask(support::SymbolId sym) const
+    {
+        // mask_syms_ is sorted; its index is the bit position.
+        std::size_t lo = 0, hi = mask_syms_.size();
+        while (lo < hi) {
+            std::size_t mid = (lo + hi) / 2;
+            if (mask_syms_[mid] < sym)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        return (lo < mask_syms_.size() && mask_syms_[lo] == sym)
+                   ? (std::uint64_t{1} << lo)
+                   : 0;
+    }
+
+  private:
+    StateIdx internState(const std::string& name);
+
+    const StateMachine* sm_;
+    std::vector<std::string> state_names_;
+    std::unordered_map<std::string, StateIdx> state_ids_;
+    /** Indexed by StateIdx; the stop state's list is empty. */
+    std::vector<std::vector<Candidate>> candidates_;
+    /** Sorted distinct required-identifier symbols (≤ 64 get mask bits). */
+    std::vector<support::SymbolId> mask_syms_;
+    StateIdx start_ = 0;
+    StateIdx stop_ = 0;
+};
+
+/**
+ * Per-(function, SM) transition table: one cell per (CFG statement, SM
+ * state) holding the first matching rule, its wildcard bindings, and the
+ * resulting state. The walker's per-visit work is an indexed lookup —
+ * statements are addressed by (block id, position in block), so neither
+ * construction nor lookup touches a hash table.
+ *
+ * Cells are materialized on first touch and then reused: full pattern
+ * unification runs at most once per (statement, state) no matter how many
+ * path-sensitive visits cross that statement. A statement's identifier
+ * mask (the prefilter input) is computed once per statement per table.
+ */
+class TransitionTable
+{
+  public:
+    TransitionTable(const CompiledSm& csm, const cfg::Cfg& cfg);
+
+    /**
+     * One (statement, state) slot. Deliberately trivial with an all-zero
+     * initial state, so the per-run cell array is a single memset-style
+     * allocation. Bindings of matched cells live in a side pool
+     * (bindings()); a cell holds only the pool index.
+     */
+    struct Cell
+    {
+        /** First matching rule for (stmt, state), or nullptr. */
+        const StateMachine::Rule* rule;
+        /** Interned rule id (firing-dedup key); valid when `rule` set. */
+        support::SymbolId id_sym;
+        /** State after the statement; valid once `ready`. */
+        StateIdx next;
+        /** Index into the bindings pool; valid when `rule` set. */
+        std::uint32_t bindings_idx;
+        /** False until this cell's match has been computed. */
+        bool ready;
+    };
+
+    /**
+     * The cell for the `pos`-th statement of block `block` in state
+     * `state`, matching on first touch. `block`/`pos` must come from the
+     * CFG this table was built for (the walker guarantees this).
+     */
+    const Cell&
+    cell(int block, std::size_t pos, StateIdx state)
+    {
+        std::size_t row =
+            offsets_[static_cast<std::size_t>(block)] + pos;
+        Cell& c = cells_[row * state_count_ + state];
+        if (!c.ready)
+            fill(row, state, c);
+        return c;
+    }
+
+    /** The wildcard bindings of a matched cell (`cell.rule != nullptr`). */
+    const match::Bindings& bindings(const Cell& cell) const
+    {
+        return bindings_pool_[cell.bindings_idx];
+    }
+
+  private:
+    struct Row
+    {
+        const lang::Stmt* stmt = nullptr;
+        /** Cached sorted-unique ident ids (null until first fill). */
+        const std::vector<support::SymbolId>* ids = nullptr;
+        /** OR of symMask() over the statement's identifiers. */
+        std::uint64_t mask = 0;
+    };
+
+    void fill(std::size_t row_idx, StateIdx state, Cell& cell);
+
+    const CompiledSm* csm_;
+    std::uint32_t state_count_;
+    /** offsets_[block id] = row index of that block's first statement. */
+    std::vector<std::size_t> offsets_;
+    std::vector<Row> rows_;
+    /** Row-major: cells_[row * state_count_ + state]. */
+    std::vector<Cell> cells_;
+    std::vector<match::Bindings> bindings_pool_;
+};
+
+} // namespace mc::metal
+
+#endif // MCHECK_METAL_TRANSITION_TABLE_H

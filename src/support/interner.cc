@@ -1,0 +1,62 @@
+#include "support/interner.h"
+
+#include <cassert>
+#include <mutex>
+
+namespace mc::support {
+
+SymbolInterner&
+SymbolInterner::global()
+{
+    static SymbolInterner instance;
+    return instance;
+}
+
+SymbolId
+SymbolInterner::intern(std::string_view name)
+{
+    {
+        std::shared_lock<std::shared_mutex> lock(mu_);
+        auto it = ids_.find(name);
+        if (it != ids_.end())
+            return it->second;
+    }
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    // Double-check: another thread may have interned it between locks.
+    auto it = ids_.find(name);
+    if (it != ids_.end())
+        return it->second;
+    SymbolId id = static_cast<SymbolId>(names_.size());
+    names_.emplace_back(name);
+    ids_.emplace(std::string_view(names_.back()), id);
+    return id;
+}
+
+std::optional<SymbolId>
+SymbolInterner::lookup(std::string_view name) const
+{
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = ids_.find(name);
+    if (it == ids_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::string_view
+SymbolInterner::name(SymbolId id) const
+{
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    assert(id < names_.size() && "unknown SymbolId");
+    if (id >= names_.size())
+        return {};
+    return names_[id];
+}
+
+std::size_t
+SymbolInterner::size() const
+{
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return names_.size();
+}
+
+} // namespace mc::support

@@ -1,0 +1,76 @@
+#ifndef MCHECK_SUPPORT_INTERNER_H
+#define MCHECK_SUPPORT_INTERNER_H
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace mc::support {
+
+/** Dense handle for an interned string (see SymbolInterner). */
+using SymbolId = std::uint32_t;
+
+/** "No symbol" sentinel; never returned by intern(). */
+inline constexpr SymbolId kInvalidSymbol = 0xFFFFFFFFu;
+
+/**
+ * String <-> dense-id interner for the matching hot path.
+ *
+ * The engine's per-visit work used to be dominated by rebuilding
+ * `std::set<std::string>` identifier sets and comparing heap strings;
+ * interning turns every such comparison into a `uint32_t` compare and
+ * every set into a sorted id vector. Ids are dense (0, 1, 2, ...) in
+ * first-intern order and are never recycled.
+ *
+ * Lifetime rules (also in docs/performance.md):
+ *  - `global()` lives for the process; ids and the views returned by
+ *    `name()` stay valid forever. Ids are NOT stable across processes
+ *    or runs — never persist them (the analysis cache keys on content
+ *    hashes, not symbol ids) and never let an id's numeric value leak
+ *    into diagnostics or reports.
+ *  - A locally constructed interner's ids are meaningful only against
+ *    that instance; `name()` views die with it.
+ *
+ * Thread-safe: lookups of already-interned names take a shared lock
+ * (the steady state once a run's vocabulary is warm); first-time
+ * interns briefly take the lock exclusively. Storage is a deque so
+ * grown elements never move and returned views stay valid unlocked.
+ */
+class SymbolInterner
+{
+  public:
+    /** The process-wide instance used by pattern matching. */
+    static SymbolInterner& global();
+
+    /** Id for `name`, interning it on first sight. */
+    SymbolId intern(std::string_view name);
+
+    /** Id for `name` if already interned; does not intern. */
+    std::optional<SymbolId> lookup(std::string_view name) const;
+
+    /**
+     * The string for an interned id. The view stays valid for the
+     * interner's lifetime. Passing an id this interner never returned
+     * is a logic error (asserted in debug builds; empty view in
+     * release).
+     */
+    std::string_view name(SymbolId id) const;
+
+    /** Number of distinct strings interned so far. */
+    std::size_t size() const;
+
+  private:
+    mutable std::shared_mutex mu_;
+    /** Id -> string; deque keeps element addresses stable on growth. */
+    std::deque<std::string> names_;
+    /** Keys are views into names_, so they are stable too. */
+    std::unordered_map<std::string_view, SymbolId> ids_;
+};
+
+} // namespace mc::support
+
+#endif // MCHECK_SUPPORT_INTERNER_H

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Byte-for-byte differential of the table-driven matcher against the
+ * legacy re-match-per-visit strategy: for all five paper protocols, the
+ * rendered diagnostics (text, JSON, SARIF) must be identical at --jobs 1
+ * and 4, cold and against a warm analysis cache. This pins the tentpole
+ * optimization's hard constraint: the strategy may never change output.
+ */
+#include "cache/analysis_cache.h"
+#include "checkers/parallel.h"
+#include "checkers/registry.h"
+#include "corpus/generator.h"
+#include "metal/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace mc {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** One protocol checked under one configuration, rendered three ways. */
+struct Rendered
+{
+    std::string text;
+    std::string json;
+    std::string sarif;
+    std::uint64_t cache_hits = 0;
+};
+
+Rendered
+checkProtocol(const corpus::LoadedProtocol& loaded, unsigned jobs,
+              cache::AnalysisCache* cache)
+{
+    auto set = checkers::makeAllCheckers();
+    support::DiagnosticSink sink;
+    checkers::ParallelRunOptions options;
+    options.jobs = jobs;
+    options.cache = cache;
+    checkers::runCheckersParallel(*loaded.program, loaded.gen.spec,
+                                  set.pointers(), sink, options);
+    Rendered out;
+    const support::SourceManager* sm = &loaded.program->sourceManager();
+    std::ostringstream text, json, sarif;
+    sink.write(text, support::OutputFormat::Text, sm);
+    sink.write(json, support::OutputFormat::Json, sm);
+    sink.write(sarif, support::OutputFormat::Sarif, sm);
+    out.text = text.str();
+    out.json = json.str();
+    out.sarif = sarif.str();
+    if (cache)
+        out.cache_hits = cache->stats().hits;
+    return out;
+}
+
+class StrategyDifferential : public ::testing::Test
+{
+  protected:
+    void TearDown() override
+    {
+        // The strategy default is process-global; never leak Legacy into
+        // other tests.
+        metal::setDefaultMatchStrategy(metal::MatchStrategy::Table);
+    }
+};
+
+TEST_F(StrategyDifferential, ByteIdenticalAcrossProtocolsJobsAndCache)
+{
+    fs::path cache_root =
+        fs::temp_directory_path() / "mccheck_strategy_diff_cache";
+    fs::remove_all(cache_root);
+
+    for (const char* name :
+         {"bitvector", "dyn_ptr", "sci", "coma", "rac"}) {
+        corpus::LoadedProtocol loaded =
+            corpus::loadProtocol(corpus::profileByName(name));
+        // renders[strategy] = {cold j1, cold j4, warm j1, warm j4}
+        std::map<std::string, std::vector<Rendered>> renders;
+        for (const char* strategy : {"table", "legacy"}) {
+            metal::setDefaultMatchStrategy(
+                strategy == std::string("legacy")
+                    ? metal::MatchStrategy::Legacy
+                    : metal::MatchStrategy::Table);
+            fs::path dir =
+                cache_root / (std::string(name) + "_" + strategy);
+            std::vector<Rendered>& out = renders[strategy];
+            for (unsigned jobs : {1u, 4u})
+                out.push_back(checkProtocol(loaded, jobs, nullptr));
+            {
+                // Cold fill (not compared; hits may be zero).
+                cache::AnalysisCache cache(dir.string());
+                checkProtocol(loaded, 1, &cache);
+            }
+            for (unsigned jobs : {1u, 4u}) {
+                cache::AnalysisCache cache(dir.string());
+                out.push_back(checkProtocol(loaded, jobs, &cache));
+                EXPECT_GT(out.back().cache_hits, 0u)
+                    << name << " " << strategy << " jobs=" << jobs;
+            }
+        }
+        const std::vector<Rendered>& table = renders["table"];
+        const std::vector<Rendered>& legacy = renders["legacy"];
+        ASSERT_EQ(table.size(), 4u);
+        ASSERT_EQ(legacy.size(), 4u);
+        const char* arm[] = {"cold j1", "cold j4", "warm j1", "warm j4"};
+        for (std::size_t i = 0; i < table.size(); ++i) {
+            // Strategy differential, same arm.
+            EXPECT_EQ(table[i].text, legacy[i].text)
+                << name << " text " << arm[i];
+            EXPECT_EQ(table[i].json, legacy[i].json)
+                << name << " json " << arm[i];
+            EXPECT_EQ(table[i].sarif, legacy[i].sarif)
+                << name << " sarif " << arm[i];
+            // And every arm agrees with the first (jobs/cache
+            // determinism within a strategy).
+            EXPECT_EQ(table[i].json, table[0].json)
+                << name << " table arm " << arm[i];
+            EXPECT_EQ(legacy[i].json, legacy[0].json)
+                << name << " legacy arm " << arm[i];
+        }
+    }
+    fs::remove_all(cache_root);
+}
+
+} // namespace
+} // namespace mc

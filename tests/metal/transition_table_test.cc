@@ -1,0 +1,267 @@
+/**
+ * @file
+ * CompiledSm / TransitionTable unit tests, the couldMatch-prefilter
+ * completeness property, and the table-vs-legacy differential over real
+ * corpus functions: every engine counter and firing must be identical
+ * under both matching strategies.
+ */
+#include "metal/transition_table.h"
+
+#include "cfg/cfg.h"
+#include "corpus/generator.h"
+#include "lang/program.h"
+#include "metal/engine.h"
+#include "metal/metal_parser.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace mc::metal {
+namespace {
+
+const char* kWaitForDb = R"metal(
+sm wait_for_db {
+    decl { scalar } addr, buf;
+    start:
+        { WAIT_FOR_DB_FULL(addr); } ==> stop
+      | { MISCBUS_READ_DB(addr, buf); } ==>
+            { err("Buffer not synchronized"); }
+      ;
+}
+)metal";
+
+const char* kMsgLen = R"metal(
+sm msglen_check {
+    pat zero_assign = { len = LEN_NODATA } ;
+    pat nonzero_assign = { len = LEN_WORD } | { len = LEN_CACHELINE } ;
+    decl { unsigned } keep;
+    pat send_data = { PI_SEND(F_DATA, keep) } ;
+    pat send_nodata = { PI_SEND(F_NODATA, keep) } ;
+    all:
+        zero_assign ==> zero_len
+      | nonzero_assign ==> nonzero_len
+      ;
+    zero_len:
+        send_data ==> { err("data send, zero len"); } ;
+    nonzero_len:
+        send_nodata ==> { err("nodata send, nonzero len"); } ;
+}
+)metal";
+
+TEST(CompiledSm, StateIndexingIsStartStopFirst)
+{
+    MetalProgram mp = parseMetal(kWaitForDb);
+    const CompiledSm& csm = mp.sm->compiled();
+    EXPECT_EQ(csm.stateName(csm.start()), mp.sm->startState());
+    EXPECT_EQ(csm.stateName(csm.stop()), StateMachine::kStop);
+    EXPECT_NE(csm.start(), csm.stop());
+    EXPECT_GE(csm.stateCount(), 2u);
+}
+
+TEST(CompiledSm, CompiledIsCachedPerMachine)
+{
+    MetalProgram mp = parseMetal(kWaitForDb);
+    EXPECT_EQ(&mp.sm->compiled(), &mp.sm->compiled());
+}
+
+TEST(CompiledSm, CandidatesPreserveFirstMatchOrder)
+{
+    MetalProgram mp = parseMetal(kMsgLen);
+    const CompiledSm& csm = mp.sm->compiled();
+    // Every non-stop state's candidate list is its own rules followed by
+    // the `all` rules, so a state with own rules lists them first.
+    for (StateIdx s = 0; s < csm.stateCount(); ++s) {
+        if (s == csm.stop())
+            continue;
+        const auto& own = mp.sm->rulesFor(csm.stateName(s));
+        const auto& cands = csm.candidatesFor(s);
+        ASSERT_GE(cands.size(), own.size());
+        for (std::size_t i = 0; i < own.size(); ++i)
+            EXPECT_EQ(cands[i].rule, &own[i]);
+    }
+}
+
+TEST(CompiledSm, SymMaskAssignsDistinctBits)
+{
+    MetalProgram mp = parseMetal(kMsgLen);
+    const CompiledSm& csm = mp.sm->compiled();
+    std::set<std::uint64_t> bits;
+    std::vector<support::SymbolId> syms;
+    for (StateIdx s = 0; s < csm.stateCount(); ++s)
+        for (const CompiledSm::Candidate& cand : csm.candidatesFor(s)) {
+            syms.clear();
+            if (!cand.rule->pattern.requiredSyms(syms))
+                continue;
+            for (support::SymbolId sym : syms) {
+                std::uint64_t bit = csm.symMask(sym);
+                ASSERT_NE(bit, 0u);
+                // Power of two, and the same sym always the same bit.
+                EXPECT_EQ(bit & (bit - 1), 0u);
+                bits.insert(bit);
+                EXPECT_EQ(csm.symMask(sym), bit);
+            }
+            // req_mask covers exactly its alternatives' bits.
+            std::uint64_t want = 0;
+            for (support::SymbolId sym : syms)
+                want |= csm.symMask(sym);
+            EXPECT_EQ(cand.req_mask, want);
+        }
+    EXPECT_FALSE(bits.empty());
+    EXPECT_EQ(csm.symMask(support::kInvalidSymbol), 0u);
+}
+
+TEST(TransitionTable, CellMatchesAndTransitions)
+{
+    MetalProgram mp = parseMetal(kWaitForDb);
+    lang::Program program;
+    program.addSource("t.c",
+                      "void f(void) { x = 1; WAIT_FOR_DB_FULL(a); }");
+    cfg::Cfg cfg = cfg::CfgBuilder::build(*program.findFunction("f"));
+    const CompiledSm& csm = mp.sm->compiled();
+    TransitionTable table(csm, cfg);
+
+    // Find the block holding the two statements.
+    int block = -1;
+    for (const cfg::BasicBlock& bb : cfg.blocks())
+        if (bb.stmts.size() == 2)
+            block = bb.id;
+    ASSERT_NE(block, -1);
+
+    const TransitionTable::Cell& miss = table.cell(block, 0, csm.start());
+    EXPECT_EQ(miss.rule, nullptr);
+    EXPECT_EQ(miss.next, csm.start());
+
+    const TransitionTable::Cell& hit = table.cell(block, 1, csm.start());
+    ASSERT_NE(hit.rule, nullptr);
+    EXPECT_EQ(hit.next, csm.stop());
+    // The wildcard `addr` bound to the call argument.
+    EXPECT_NE(table.bindings(hit).lookup("addr"), nullptr);
+    // Idempotent: the same cell comes back ready.
+    EXPECT_EQ(&table.cell(block, 1, csm.start()), &hit);
+}
+
+TEST(TransitionTable, StopStateCellsAreInert)
+{
+    MetalProgram mp = parseMetal(kWaitForDb);
+    lang::Program program;
+    program.addSource("t.c", "void f(void) { MISCBUS_READ_DB(a, b); }");
+    cfg::Cfg cfg = cfg::CfgBuilder::build(*program.findFunction("f"));
+    const CompiledSm& csm = mp.sm->compiled();
+    TransitionTable table(csm, cfg);
+    for (const cfg::BasicBlock& bb : cfg.blocks())
+        for (std::size_t pos = 0; pos < bb.stmts.size(); ++pos) {
+            const TransitionTable::Cell& cell =
+                table.cell(bb.id, pos, csm.stop());
+            EXPECT_EQ(cell.rule, nullptr);
+            EXPECT_EQ(cell.next, csm.stop());
+        }
+}
+
+/** All rule patterns of both paper checkers. */
+std::vector<const match::Pattern*>
+allPatterns(const StateMachine& sm)
+{
+    std::vector<const match::Pattern*> out;
+    for (const std::string& state : sm.states())
+        for (const StateMachine::Rule& rule : sm.rulesFor(state))
+            out.push_back(&rule.pattern);
+    return out;
+}
+
+/**
+ * Property: the prefilters never reject a statement the full match
+ * accepts — for every (statement, pattern) pair over a real protocol,
+ * matchInStmt() success implies couldMatch(idents) and
+ * couldMatchIds(ids). Also: the id-based and string-based ident
+ * collections agree through the interner.
+ */
+TEST(TransitionTable, PrefilterNeverRejectsAMatch)
+{
+    corpus::LoadedProtocol loaded =
+        corpus::loadProtocol(corpus::profileByName("sci"));
+    MetalProgram wait = parseMetal(kWaitForDb);
+    MetalProgram msg = parseMetal(kMsgLen);
+    std::vector<const match::Pattern*> patterns = allPatterns(*wait.sm);
+    for (const match::Pattern* p : allPatterns(*msg.sm))
+        patterns.push_back(p);
+    ASSERT_FALSE(patterns.empty());
+
+    auto& interner = support::SymbolInterner::global();
+    std::uint64_t stmts = 0, matches = 0;
+    for (const lang::FunctionDecl* fn : loaded.program->functions()) {
+        cfg::Cfg cfg = cfg::CfgBuilder::build(*fn);
+        for (const cfg::BasicBlock& bb : cfg.blocks())
+            for (const lang::Stmt* stmt : bb.stmts) {
+                ++stmts;
+                std::set<std::string> idents;
+                match::Pattern::collectIdents(*stmt, idents);
+                std::vector<support::SymbolId> ids;
+                match::Pattern::collectIdentIds(*stmt, ids);
+                // The two collections are the same set of names.
+                ASSERT_EQ(ids.size(), idents.size());
+                for (support::SymbolId id : ids)
+                    EXPECT_TRUE(
+                        idents.count(std::string(interner.name(id))));
+                for (const match::Pattern* pattern : patterns) {
+                    if (!pattern->matchInStmt(*stmt))
+                        continue;
+                    ++matches;
+                    EXPECT_TRUE(pattern->couldMatch(idents));
+                    EXPECT_TRUE(pattern->couldMatchIds(ids));
+                }
+            }
+    }
+    // The property is vacuous unless the corpus actually exercised it.
+    EXPECT_GT(stmts, 1000u);
+    EXPECT_GT(matches, 0u);
+}
+
+/**
+ * Differential: both strategies produce identical engine results —
+ * firings (rule and count), visits, transitions, cache hits, frontier —
+ * for every function of a real protocol, under both walk modes.
+ */
+TEST(TransitionTable, StrategiesAgreeOnEveryCorpusFunction)
+{
+    corpus::LoadedProtocol loaded =
+        corpus::loadProtocol(corpus::profileByName("bitvector"));
+    MetalProgram wait = parseMetal(kWaitForDb);
+    MetalProgram msg = parseMetal(kMsgLen);
+    for (bool prune : {false, true}) {
+        SmRunOptions legacy_options, table_options;
+        legacy_options.match_strategy = MatchStrategy::Legacy;
+        legacy_options.prune_correlated_branches = prune;
+        table_options.match_strategy = MatchStrategy::Table;
+        table_options.prune_correlated_branches = prune;
+        for (const lang::FunctionDecl* fn : loaded.program->functions()) {
+            cfg::Cfg cfg = cfg::CfgBuilder::build(*fn);
+            for (StateMachine* sm : {wait.sm.get(), msg.sm.get()}) {
+                support::DiagnosticSink legacy_sink, table_sink;
+                SmRunResult legacy = runStateMachine(*sm, cfg, legacy_sink,
+                                                     legacy_options);
+                SmRunResult table = runStateMachine(*sm, cfg, table_sink,
+                                                    table_options);
+                ASSERT_EQ(legacy.firings, table.firings)
+                    << fn->name << " prune=" << prune;
+                ASSERT_EQ(legacy.visits, table.visits) << fn->name;
+                ASSERT_EQ(legacy.transitions, table.transitions)
+                    << fn->name;
+                ASSERT_EQ(legacy.cache_hits, table.cache_hits)
+                    << fn->name;
+                ASSERT_EQ(legacy.pruned_edges, table.pruned_edges)
+                    << fn->name;
+                ASSERT_EQ(legacy.peak_frontier, table.peak_frontier)
+                    << fn->name;
+                ASSERT_EQ(legacy_sink.diagnostics().size(),
+                          table_sink.diagnostics().size())
+                    << fn->name;
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace mc::metal
