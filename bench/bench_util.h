@@ -8,6 +8,7 @@
 #include "metal/engine.h"
 #include "metal/metal_parser.h"
 #include "support/text.h"
+#include "support/witness.h"
 
 #include <chrono>
 #include <fstream>
@@ -93,6 +94,8 @@ struct EngineThroughput
     std::uint64_t sm_transitions = 0;
     std::uint64_t rule_firings = 0;
     std::uint64_t peak_frontier = 0;
+    /** Witness steps recorded per pass (0 unless capture is enabled). */
+    std::uint64_t witness_steps = 0;
     double ns_per_visit = 0.0;
     double visits_per_sec = 0.0;
     double transitions_per_sec = 0.0;
@@ -125,6 +128,7 @@ measureEngineThroughput(metal::MatchStrategy strategy, int repeats = 5)
     options.match_strategy = strategy;
     auto pass = [&](bool record) {
         std::uint64_t visits = 0, transitions = 0, firings = 0;
+        std::uint64_t wsteps = 0;
         for (const cfg::Cfg& cfg : cfgs) {
             support::DiagnosticSink sink;
             for (metal::StateMachine* sm : {wait.sm.get(), msg.sm.get()}) {
@@ -132,6 +136,7 @@ measureEngineThroughput(metal::MatchStrategy strategy, int repeats = 5)
                     metal::runStateMachine(*sm, cfg, sink, options);
                 visits += r.visits;
                 transitions += r.transitions;
+                wsteps += r.witness_steps;
                 for (const auto& [rule, n] : r.firings)
                     firings += static_cast<std::uint64_t>(n);
                 if (record && r.peak_frontier > out.peak_frontier)
@@ -142,6 +147,7 @@ measureEngineThroughput(metal::MatchStrategy strategy, int repeats = 5)
             out.visits = visits;
             out.sm_transitions = transitions;
             out.rule_firings = firings;
+            out.witness_steps = wsteps;
         }
     };
 
@@ -166,7 +172,8 @@ measureEngineThroughput(metal::MatchStrategy strategy, int repeats = 5)
 
 inline void
 writeEngineThroughputJson(std::ostream& os, const EngineThroughput& table,
-                          const EngineThroughput& legacy)
+                          const EngineThroughput& legacy,
+                          const EngineThroughput& witness)
 {
     auto section = [&](const char* name, const EngineThroughput& t,
                        bool last) {
@@ -178,7 +185,8 @@ writeEngineThroughputJson(std::ostream& os, const EngineThroughput& table,
            << "    \"peak_frontier\": " << t.peak_frontier << ",\n"
            << "    \"visits\": " << t.visits << ",\n"
            << "    \"sm_transitions\": " << t.sm_transitions << ",\n"
-           << "    \"rule_firings\": " << t.rule_firings << "\n"
+           << "    \"rule_firings\": " << t.rule_firings << ",\n"
+           << "    \"witness_steps\": " << t.witness_steps << "\n"
            << "  }" << (last ? "\n" : ",\n");
     };
     os << "{\n"
@@ -190,14 +198,16 @@ writeEngineThroughputJson(std::ostream& os, const EngineThroughput& table,
        << "    \"stmts\": " << table.stmts << "\n"
        << "  },\n";
     section("engine", table, /*last=*/false);
-    section("legacy", legacy, /*last=*/true);
+    section("legacy", legacy, /*last=*/false);
+    section("witness", witness, /*last=*/true);
     os << "}\n";
 }
 
 /**
- * Measure both strategies and write BENCH_engine.json-style output to
- * `path`. Returns false (after reporting to stderr) if the file cannot
- * be opened.
+ * Measure both strategies (plus the table strategy with witness capture
+ * on, quantifying the --witness overhead) and write
+ * BENCH_engine.json-style output to `path`. Returns false (after
+ * reporting to stderr) if the file cannot be opened.
  */
 inline bool
 writeEngineThroughputReport(const std::string& path, int repeats = 5)
@@ -206,12 +216,16 @@ writeEngineThroughputReport(const std::string& path, int repeats = 5)
         measureEngineThroughput(metal::MatchStrategy::Table, repeats);
     EngineThroughput legacy =
         measureEngineThroughput(metal::MatchStrategy::Legacy, repeats);
+    support::setWitnessConfig(true, support::kDefaultWitnessLimit);
+    EngineThroughput witness =
+        measureEngineThroughput(metal::MatchStrategy::Table, repeats);
+    support::setWitnessConfig(false, 0);
     std::ofstream os(path);
     if (!os) {
         std::cerr << "cannot write " << path << '\n';
         return false;
     }
-    writeEngineThroughputJson(os, table, legacy);
+    writeEngineThroughputJson(os, table, legacy, witness);
     return os.good();
 }
 

@@ -388,11 +388,20 @@ AnalysisCache::encodeUnit(const CachedUnit& unit)
     os << "diags " << unit.diags.size() << '\n';
     for (const CachedDiagnostic& d : unit.diags) {
         os << "diag " << d.severity << ' ' << d.line << ' ' << d.column
-           << ' ' << d.trace.size() << ' ' << encodeField(d.file) << ' '
-           << encodeField(d.checker) << ' ' << encodeField(d.rule) << ' '
-           << encodeField(d.message) << '\n';
+           << ' ' << d.trace.size() << ' ' << d.wsteps.size() << ' '
+           << d.wblocks.size() << ' ' << (d.wtruncated ? 1 : 0) << ' '
+           << encodeField(d.file) << ' ' << encodeField(d.checker) << ' '
+           << encodeField(d.rule) << ' ' << encodeField(d.message)
+           << '\n';
         for (const std::string& frame : d.trace)
             os << "trace " << encodeField(frame) << '\n';
+        for (const CachedWitnessStep& s : d.wsteps)
+            os << "wstep " << s.line << ' ' << s.column << ' '
+               << encodeField(s.from) << ' ' << encodeField(s.to) << ' '
+               << encodeField(s.file) << ' ' << encodeField(s.note)
+               << '\n';
+        for (int block : d.wblocks)
+            os << "wblock " << block << '\n';
     }
     std::string body = os.str();
     return body + "sum " + support::hashHex(support::fnv1a(body)) + "\n";
@@ -509,18 +518,24 @@ AnalysisCache::decodeUnit(const std::string& text, CachedUnit& out,
         }
         auto f = splitFields(line);
         long long sev = 0, dline = 0, dcol = 0, ntrace = 0;
+        long long nsteps = 0, nblocks = 0, wtrunc = 0;
         CachedDiagnostic d;
-        if (f.size() != 9 || f[0] != "diag" || !parseInt(f[1], sev) ||
+        if (f.size() != 12 || f[0] != "diag" || !parseInt(f[1], sev) ||
             !parseInt(f[2], dline) || !parseInt(f[3], dcol) ||
-            !parseInt(f[4], ntrace) || ntrace < 0 || sev < 0 || sev > 2 ||
-            !decodeField(f[5], d.file) || !decodeField(f[6], d.checker) ||
-            !decodeField(f[7], d.rule) || !decodeField(f[8], d.message)) {
+            !parseInt(f[4], ntrace) || ntrace < 0 ||
+            !parseInt(f[5], nsteps) || nsteps < 0 ||
+            !parseInt(f[6], nblocks) || nblocks < 0 ||
+            !parseInt(f[7], wtrunc) || wtrunc < 0 || wtrunc > 1 ||
+            sev < 0 || sev > 2 || !decodeField(f[8], d.file) ||
+            !decodeField(f[9], d.checker) || !decodeField(f[10], d.rule) ||
+            !decodeField(f[11], d.message)) {
             error = "bad diag line";
             return false;
         }
         d.severity = static_cast<int>(sev);
         d.line = static_cast<int>(dline);
         d.column = static_cast<int>(dcol);
+        d.wtruncated = wtrunc != 0;
         for (long long t = 0; t < ntrace; ++t) {
             if (!cursor.nextLine(line)) {
                 error = "missing trace line";
@@ -534,6 +549,41 @@ AnalysisCache::decodeUnit(const std::string& text, CachedUnit& out,
                 return false;
             }
             d.trace.push_back(std::move(frame));
+        }
+        for (long long s = 0; s < nsteps; ++s) {
+            if (!cursor.nextLine(line)) {
+                error = "missing wstep line";
+                return false;
+            }
+            auto sf = splitFields(line);
+            long long sline = 0, scol = 0;
+            CachedWitnessStep step;
+            if (sf.size() != 7 || sf[0] != "wstep" ||
+                !parseInt(sf[1], sline) || !parseInt(sf[2], scol) ||
+                !decodeField(sf[3], step.from) ||
+                !decodeField(sf[4], step.to) ||
+                !decodeField(sf[5], step.file) ||
+                !decodeField(sf[6], step.note)) {
+                error = "bad wstep line";
+                return false;
+            }
+            step.line = static_cast<int>(sline);
+            step.column = static_cast<int>(scol);
+            d.wsteps.push_back(std::move(step));
+        }
+        for (long long b = 0; b < nblocks; ++b) {
+            if (!cursor.nextLine(line)) {
+                error = "missing wblock line";
+                return false;
+            }
+            auto bf = splitFields(line);
+            long long block = 0;
+            if (bf.size() != 2 || bf[0] != "wblock" ||
+                !parseInt(bf[1], block)) {
+                error = "bad wblock line";
+                return false;
+            }
+            d.wblocks.push_back(static_cast<int>(block));
         }
         out.diags.push_back(std::move(d));
     }
@@ -557,6 +607,18 @@ AnalysisCache::toCached(const support::Diagnostic& diag,
     out.rule = diag.rule;
     out.message = diag.message;
     out.trace = diag.trace;
+    out.wtruncated = diag.witness.truncated;
+    out.wblocks = diag.witness.blocks;
+    for (const support::WitnessStep& step : diag.witness.steps) {
+        CachedWitnessStep cs;
+        cs.from = step.from_state;
+        cs.to = step.to_state;
+        cs.file = sm.fileName(step.loc.file_id);
+        cs.line = step.loc.line;
+        cs.column = step.loc.column;
+        cs.note = step.note;
+        out.wsteps.push_back(std::move(cs));
+    }
     return out;
 }
 
@@ -569,12 +631,30 @@ AnalysisCache::fromCached(
     auto it = file_ids.find(cached.file);
     if (it == file_ids.end())
         return false;
+    // Resolve every witness-step file before mutating `out`: one
+    // unresolvable name misses the whole unit rather than replaying a
+    // finding with a mangled witness.
+    support::Witness witness;
+    witness.truncated = cached.wtruncated;
+    witness.blocks = cached.wblocks;
+    for (const CachedWitnessStep& cs : cached.wsteps) {
+        auto sit = file_ids.find(cs.file);
+        if (sit == file_ids.end())
+            return false;
+        support::WitnessStep step;
+        step.from_state = cs.from;
+        step.to_state = cs.to;
+        step.loc = support::SourceLoc{sit->second, cs.line, cs.column};
+        step.note = cs.note;
+        witness.steps.push_back(std::move(step));
+    }
     out.severity = static_cast<support::Severity>(cached.severity);
     out.loc = support::SourceLoc{it->second, cached.line, cached.column};
     out.checker = cached.checker;
     out.rule = cached.rule;
     out.message = cached.message;
     out.trace = cached.trace;
+    out.witness = std::move(witness);
     return true;
 }
 

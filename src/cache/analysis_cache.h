@@ -18,7 +18,23 @@ namespace mc::cache {
  * key *and* written in each entry header, so a new binary never reads an
  * old layout (key miss) and a tampered header is rejected (load error).
  */
-inline constexpr int kCacheFormatVersion = 1;
+inline constexpr int kCacheFormatVersion = 2;
+
+/**
+ * One witness step as stored on disk. Like diagnostic locations, the
+ * step's location travels by file *name* and is re-resolved against the
+ * current run's SourceManager on replay, so warm-run witnesses are
+ * byte-identical to cold ones.
+ */
+struct CachedWitnessStep
+{
+    std::string from;
+    std::string to;
+    std::string file;
+    int line = 0;
+    int column = 0;
+    std::string note;
+};
 
 /**
  * One diagnostic as stored on disk. Locations are carried by file *name*
@@ -36,6 +52,10 @@ struct CachedDiagnostic
     std::string rule;
     std::string message;
     std::vector<std::string> trace;
+    /** Witness payload (empty unless the run captured provenance). */
+    std::vector<CachedWitnessStep> wsteps;
+    std::vector<int> wblocks;
+    bool wtruncated = false;
 };
 
 /**

@@ -7,10 +7,13 @@
 #include "support/fault_injection.h"
 #include "support/hash.h"
 #include "support/metrics.h"
+#include "support/run_ledger.h"
 #include "support/trace.h"
 #include "support/version.h"
+#include "support/witness.h"
 
 #include <chrono>
+#include <set>
 #include <sstream>
 
 namespace mc::checkers {
@@ -49,6 +52,11 @@ unitCacheKey(const std::string& checker_name,
     h.str(metalSourceFor(checker_name));
     h.u8(options.value_sensitive_frees ? 1 : 0);
     h.u8(options.prune_impossible_paths ? 1 : 0);
+    // Witness capture changes the bytes a unit produces (diagnostics
+    // carry provenance), so witness-on and witness-off runs must never
+    // share an entry — and neither may runs with different caps.
+    h.u8(support::witnessEnabled() ? 1 : 0);
+    h.u64(support::witnessLimit());
     h.u64(spec_fp);
     h.u64(fn_fp);
     return h.value();
@@ -105,9 +113,16 @@ runCheckersParallel(const lang::Program& program,
         metrics.gauge("parallel.jobs").observe(jobs);
         metrics.counter("parallel.work_units").add(nunits);
         // Pre-registered so "engine.unit_failures": 0 in a report is a
-        // statement that every unit completed, not an omission.
+        // statement that every unit completed, not an omission — and so
+        // the map nodes exist before phase 2 fans out, keeping first-use
+        // registration off the worker threads entirely.
         metrics.counter("engine.unit_failures").add(0);
         metrics.counter("budget.truncations").add(0);
+        metrics.counter("witness.steps").add(0);
+        metrics.counter("witness.truncations").add(0);
+        metrics.counter("ledger.events").add(0);
+        metrics.histogram("unit.wall_ns");
+        metrics.histogram("unit.visits");
     }
 
     std::vector<std::unique_ptr<Checker>> unit_checkers(nunits);
@@ -202,6 +217,7 @@ runCheckersParallel(const lang::Program& program,
     std::vector<Clock::duration> unit_elapsed(nunits,
                                               Clock::duration::zero());
     std::vector<char> unit_failed(nunits, 0);
+    std::vector<std::uint64_t> unit_visits(nunits, 0);
     std::vector<support::BudgetStop> unit_stop(
         nunits, support::BudgetStop::None);
     pool.parallelFor(nunits, [&](std::size_t u) {
@@ -219,6 +235,10 @@ runCheckersParallel(const lang::Program& program,
                                 checkers[c]->name(), "checker");
         if (tracer.enabled())
             span.arg("function", fns[f]->name);
+        // Visit accumulator for the ledger: every walk this unit performs
+        // publishes into it through the thread-local scope.
+        support::LedgerUnitStats unit_stats;
+        support::LedgerUnitScope stats_scope(&unit_stats);
         Clock::time_point t0 = Clock::now();
         UnitGuard guard(label, options.unit_budget, options.fail_fast);
         UnitOutcome outcome = guard.run([&] {
@@ -228,6 +248,7 @@ runCheckersParallel(const lang::Program& program,
             unit_checkers[u]->checkFunction(*fns[f], cfgs[f], uctx);
         });
         unit_elapsed[u] = Clock::now() - t0;
+        unit_visits[u] = unit_stats.visits;
         unit_stop[u] = outcome.budget_stop;
         if (outcome.failed) {
             unit_failed[u] = 1;
@@ -269,19 +290,53 @@ runCheckersParallel(const lang::Program& program,
     // per-checker state absorbs into the masters and each unit's findings
     // replay through the shared sink (which re-runs the global dedup the
     // private sinks could not see).
+    support::RunLedger& ledger = support::RunLedger::global();
+    std::set<std::int32_t> degraded_files;
+    if (ledger.enabled())
+        for (const lang::TranslationUnit& tu : program.units())
+            if (!tu.issues.empty())
+                degraded_files.insert(tu.file_id);
     std::vector<Clock::duration> elapsed(ncheckers,
                                          Clock::duration::zero());
     std::uint64_t failures = 0;
     std::uint64_t truncations = 0;
+    std::uint64_t witness_truncations = 0;
     for (std::size_t u = 0; u < nunits; ++u) {
+        std::size_t f = u / ncheckers;
         std::size_t c = u % ncheckers;
         checkers[c]->absorb(*unit_checkers[u]);
         elapsed[c] += unit_elapsed[u];
-        for (const support::Diagnostic& d : unit_sinks[u].diagnostics())
+        for (const support::Diagnostic& d : unit_sinks[u].diagnostics()) {
+            witness_truncations += d.witness.truncated ? 1 : 0;
             sink.report(d);
+        }
         failures += unit_failed[u] ? 1 : 0;
         truncations +=
             unit_stop[u] != support::BudgetStop::None ? 1 : 0;
+        if (ledger.enabled()) {
+            support::LedgerUnitEvent event;
+            event.function = fns[f]->name;
+            event.checker = checkers[c]->name();
+            event.wall_ms = std::chrono::duration<double, std::milli>(
+                                unit_elapsed[u])
+                                .count();
+            event.visits = unit_visits[u];
+            event.cache = !cache ? "off" : unit_hit[u] ? "hit" : "miss";
+            event.budget_stop = support::budgetStopName(unit_stop[u]);
+            event.truncated = unit_stop[u] != support::BudgetStop::None;
+            event.failed = unit_failed[u] != 0;
+            event.degraded_parse =
+                degraded_files.count(fns[f]->loc.file_id) != 0;
+            ledger.unit(event);
+        }
+        if (metrics.enabled() && !unit_hit[u]) {
+            metrics.histogram("unit.wall_ns")
+                .observe(static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        unit_elapsed[u])
+                        .count()));
+            metrics.histogram("unit.visits").observe(unit_visits[u]);
+        }
     }
     if (options.health) {
         options.health->unit_failures += failures;
@@ -290,6 +345,7 @@ runCheckersParallel(const lang::Program& program,
     if (metrics.enabled()) {
         metrics.counter("engine.unit_failures").add(failures);
         metrics.counter("budget.truncations").add(truncations);
+        metrics.counter("witness.truncations").add(witness_truncations);
     }
 
     CheckContext ctx{program, spec, sink};

@@ -12,6 +12,10 @@
  * Observability options (combine with any checking mode):
  *     --metrics <out.json>   write the MetricsRegistry report
  *     --trace <out.json>     write a Chrome trace-event file
+ *     --witness              attach witness paths (SM transition history
+ *                            + CFG block path) to findings
+ *     --witness-limit <n>    cap witness steps/blocks (default 16)
+ *     --ledger <out.jsonl>   append a per-unit run ledger
  *     --format text|json|sarif   diagnostic output encoding
  *     --jobs <n>             checking concurrency (default: all cores)
  *
@@ -66,17 +70,21 @@
 #include "support/fault_injection.h"
 #include "support/hash.h"
 #include "support/metrics.h"
+#include "support/run_ledger.h"
 #include "support/text.h"
 #include "support/thread_pool.h"
 #include "support/trace.h"
 #include "support/version.h"
+#include "support/witness.h"
 
 #include <cctype>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <set>
 #include <sstream>
 
 namespace {
@@ -99,8 +107,24 @@ const char* const kUsage =
     "options:\n"
     "  --format <text|json|sarif>  diagnostic output encoding\n"
     "  --metrics <out.json>        write engine/checker metrics report\n"
+    "                              (timers carry count/mean/min/max;\n"
+    "                              histograms carry p50/p95/max)\n"
     "  --trace <out.json>          write Chrome trace-event JSON\n"
     "                              (open in chrome://tracing or Perfetto)\n"
+    "  --witness                   record each finding's provenance: the\n"
+    "                              SM transitions and CFG block path that\n"
+    "                              led to it (text back-trace, JSON\n"
+    "                              'witness', SARIF codeFlows); output is\n"
+    "                              byte-identical for any --jobs value,\n"
+    "                              either match strategy, warm or cold\n"
+    "                              cache\n"
+    "  --witness-limit <n>         cap witness steps/blocks per finding\n"
+    "                              (default 16; truncation is marked)\n"
+    "  --ledger <out.jsonl>        append one JSON line per (function,\n"
+    "                              checker) unit — wall time, visits,\n"
+    "                              cache status, budget/failure state —\n"
+    "                              plus run_start/run_end manifests (see\n"
+    "                              tools/ledger_schema.json)\n"
     "  --jobs <n>                  run checkers on n threads (default:\n"
     "                              hardware concurrency; output is\n"
     "                              byte-identical for any n)\n"
@@ -152,6 +176,12 @@ struct CliOptions
     std::vector<std::string> files;
     std::string metrics_path;
     std::string trace_path;
+    /** Attach witness paths (provenance) to findings. */
+    bool witness = false;
+    /** Witness step/block cap; 0 = the built-in default. */
+    unsigned long witness_limit = 0;
+    /** Run-ledger JSONL path; empty = ledger off. */
+    std::string ledger_path;
     support::OutputFormat format = support::OutputFormat::Text;
     /** Checking concurrency; 0 = one lane per hardware thread. */
     unsigned jobs = 0;
@@ -261,6 +291,23 @@ parseArgs(const std::vector<std::string>& args, CliOptions& out)
         } else if (arg == "--trace") {
             if (!need_value(i, arg, out.trace_path))
                 return usageError("--trace needs an output path");
+            ++i;
+        } else if (arg == "--witness") {
+            out.witness = true;
+        } else if (arg == "--witness-limit") {
+            std::string value;
+            if (!need_value(i, arg, value))
+                return usageError("--witness-limit needs a step count");
+            unsigned long parsed = 0;
+            if (!parseCount(arg, value, parsed) || parsed == 0)
+                return usageError(
+                    "--witness-limit needs a positive step count, "
+                    "got '" + value + "'");
+            out.witness_limit = parsed;
+            ++i;
+        } else if (arg == "--ledger") {
+            if (!need_value(i, arg, out.ledger_path))
+                return usageError("--ledger needs an output path");
             ++i;
         } else if (arg == "--jobs") {
             std::string value;
@@ -399,12 +446,18 @@ reportFrontendIssues(const lang::Program& program,
             sink.error(issue.loc, "frontend", issue.rule, issue.message);
 }
 
+/** Final error/warning tallies for the ledger's run_end summary. */
+int g_run_errors = 0;
+int g_run_warnings = 0;
+
 /** Render run stats + diagnostics in the selected format. */
 void
 emitFindings(const CliOptions& opts, const support::DiagnosticSink& sink,
              const support::SourceManager* sm,
              const std::vector<checkers::CheckerRunStats>* stats)
 {
+    g_run_errors = sink.count(support::Severity::Error);
+    g_run_warnings = sink.count(support::Severity::Warning);
     if (opts.format == support::OutputFormat::Text) {
         sink.print(std::cout, sm);
         if (stats) {
@@ -537,8 +590,13 @@ runMetalChecker(const CliOptions& opts, cache::AnalysisCache* cache)
     const std::vector<const lang::FunctionDecl*>& fns =
         program.functions();
     const std::string unit_checker = "metal:" + checker.name;
+    using Clock = std::chrono::steady_clock;
     std::vector<support::DiagnosticSink> fn_sinks(fns.size());
     std::vector<char> fn_failed(fns.size(), 0);
+    std::vector<char> fn_hit(fns.size(), 0);
+    std::vector<Clock::duration> fn_elapsed(fns.size(),
+                                            Clock::duration::zero());
+    std::vector<std::uint64_t> fn_visits(fns.size(), 0);
     std::vector<support::BudgetStop> fn_stop(fns.size(),
                                              support::BudgetStop::None);
     std::map<std::string, std::uint64_t> fn_fps;
@@ -551,13 +609,18 @@ runMetalChecker(const CliOptions& opts, cache::AnalysisCache* cache)
     }
     support::ThreadPool pool(opts.jobs);
     pool.parallelFor(fns.size(), [&](std::size_t f) {
+        Clock::time_point t0 = Clock::now();
         auto fp = fn_fps.find(fns[f]->name);
         if (cache && fp != fn_fps.end()) {
+            // Witness capture changes the cached bytes, so witness-on
+            // and witness-off runs (and different caps) key separately.
             keys[f] = support::Fnv1a()
                           .i64(cache::kCacheFormatVersion)
                           .str(support::kToolVersion)
                           .str(unit_checker)
                           .str(metal_source)
+                          .u8(support::witnessEnabled() ? 1 : 0)
+                          .u64(support::witnessLimit())
                           .u64(fp->second)
                           .value();
             cache::CachedUnit unit;
@@ -577,12 +640,16 @@ runMetalChecker(const CliOptions& opts, cache::AnalysisCache* cache)
                 if (ok) {
                     for (support::Diagnostic& d : replayed)
                         fn_sinks[f].report(std::move(d));
+                    fn_hit[f] = 1;
+                    fn_elapsed[f] = Clock::now() - t0;
                     return;
                 }
             }
         }
         const std::string label = fns[f]->name + "/" + unit_checker;
         support::DiagnosticSink scratch;
+        support::LedgerUnitStats unit_stats;
+        support::LedgerUnitScope stats_scope(&unit_stats);
         checkers::UnitGuard guard(label, unitBudget(opts),
                                   opts.fail_fast);
         checkers::UnitOutcome outcome = guard.run([&] {
@@ -590,6 +657,8 @@ runMetalChecker(const CliOptions& opts, cache::AnalysisCache* cache)
             cfg::Cfg cfg = cfg::CfgBuilder::build(*fns[f]);
             metal::runStateMachine(*checker.sm, cfg, scratch);
         });
+        fn_elapsed[f] = Clock::now() - t0;
+        fn_visits[f] = unit_stats.visits;
         fn_stop[f] = outcome.budget_stop;
         if (outcome.failed) {
             fn_failed[f] = 1;
@@ -621,19 +690,53 @@ runMetalChecker(const CliOptions& opts, cache::AnalysisCache* cache)
     });
     support::DiagnosticSink sink;
     reportFrontendIssues(program, sink);
+    support::RunLedger& ledger = support::RunLedger::global();
+    support::MetricsRegistry& metrics = support::MetricsRegistry::global();
+    std::set<std::int32_t> degraded_files;
+    if (ledger.enabled())
+        for (const lang::TranslationUnit& tu : program.units())
+            if (!tu.issues.empty())
+                degraded_files.insert(tu.file_id);
     std::uint64_t failures = 0;
     std::uint64_t truncations = 0;
+    std::uint64_t witness_truncations = 0;
     for (std::size_t f = 0; f < fns.size(); ++f) {
-        for (const support::Diagnostic& d : fn_sinks[f].diagnostics())
+        for (const support::Diagnostic& d : fn_sinks[f].diagnostics()) {
+            witness_truncations += d.witness.truncated ? 1 : 0;
             sink.report(d);
+        }
         failures += fn_failed[f] ? 1 : 0;
         truncations +=
             fn_stop[f] != support::BudgetStop::None ? 1 : 0;
+        if (ledger.enabled()) {
+            support::LedgerUnitEvent event;
+            event.function = fns[f]->name;
+            event.checker = unit_checker;
+            event.wall_ms = std::chrono::duration<double, std::milli>(
+                                fn_elapsed[f])
+                                .count();
+            event.visits = fn_visits[f];
+            event.cache = !cache ? "off" : fn_hit[f] ? "hit" : "miss";
+            event.budget_stop = support::budgetStopName(fn_stop[f]);
+            event.truncated = fn_stop[f] != support::BudgetStop::None;
+            event.failed = fn_failed[f] != 0;
+            event.degraded_parse =
+                degraded_files.count(fns[f]->loc.file_id) != 0;
+            ledger.unit(event);
+        }
+        if (metrics.enabled() && !fn_hit[f]) {
+            metrics.histogram("unit.wall_ns")
+                .observe(static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        fn_elapsed[f])
+                        .count()));
+            metrics.histogram("unit.visits").observe(fn_visits[f]);
+        }
     }
-    support::MetricsRegistry& metrics = support::MetricsRegistry::global();
     if (metrics.enabled()) {
         metrics.counter("engine.unit_failures").add(failures);
         metrics.counter("budget.truncations").add(truncations);
+        metrics.counter("witness.truncations").add(witness_truncations);
     }
     emitFindings(opts, sink, &program.sourceManager(), nullptr);
     if (opts.format == support::OutputFormat::Text)
@@ -762,6 +865,18 @@ main(int argc, char** argv)
         support::MetricsRegistry::global().setEnabled(true);
     if (!opts.trace_path.empty())
         support::TraceRecorder::global().setEnabled(true);
+    support::setWitnessConfig(opts.witness,
+                              static_cast<unsigned>(opts.witness_limit));
+    if (!opts.ledger_path.empty()) {
+        support::RunLedger& ledger = support::RunLedger::global();
+        if (!ledger.open(opts.ledger_path)) {
+            std::cerr << "mccheck: cannot write " << opts.ledger_path
+                      << '\n';
+            return 3;
+        }
+        ledger.runStart(args, opts.witness, support::witnessLimit(),
+                        opts.jobs);
+    }
 
     // The cache touches stderr only: findings on stdout must stay
     // byte-identical between cold and warm runs.
@@ -814,6 +929,8 @@ main(int argc, char** argv)
         }
         if (!writeObservabilityOutputs(opts))
             rc = 3;
+        support::RunLedger::global().runEnd(rc, g_run_errors,
+                                            g_run_warnings);
         return rc;
     } catch (const std::exception& e) {
         // Anything that escapes containment — including --fail-fast

@@ -3,8 +3,10 @@
 #include "metal/path_walker.h"
 #include "metal/transition_table.h"
 #include "support/fault_injection.h"
+#include "support/interner.h"
 #include "support/metrics.h"
 #include "support/trace.h"
+#include "support/witness.h"
 
 #include <atomic>
 #include <set>
@@ -12,6 +14,45 @@
 namespace mc::metal {
 
 namespace {
+
+/**
+ * Human-readable step annotation: the rule that fired and what each
+ * wildcard bound to. Built identically from table-pool and legacy
+ * bindings (same match, same entry order), preserving byte-for-byte
+ * witness equality between strategies.
+ */
+std::string
+witnessNote(const std::string& rule_id, const match::Bindings& bindings)
+{
+    std::string note = "rule " + rule_id;
+    const support::SymbolInterner& interner =
+        support::SymbolInterner::global();
+    for (const auto& [sym, expr] : bindings.entries) {
+        note += ", ";
+        note += interner.name(sym);
+        note += " = ";
+        note += lang::exprToString(*expr);
+    }
+    return note;
+}
+
+/**
+ * Append one SM step to the current path's trail (recorded BEFORE the
+ * rule's action runs, so a diagnostic the action reports already sees
+ * the firing step in its witness).
+ */
+void
+recordWitnessStep(const std::string& from, const std::string& to,
+                  const support::SourceLoc& loc, std::string note,
+                  unsigned limit, SmRunResult& result)
+{
+    support::WitnessTrail* trail = support::WitnessTrail::current();
+    if (!trail)
+        return;
+    if (trail->addStep(
+            support::WitnessStep{from, to, loc, std::move(note)}, limit))
+        ++result.witness_steps;
+}
 
 std::atomic<MatchStrategy> g_default_strategy{MatchStrategy::Table};
 
@@ -68,6 +109,8 @@ runTable(const StateMachine& sm, const cfg::Cfg& cfg,
     SmRunResult result;
     const CompiledSm& csm = sm.compiled();
     TransitionTable table(csm, cfg);
+    const bool wit = support::witnessEnabled();
+    const unsigned wlimit = support::witnessLimit();
 
     // Dedup firings: one (rule, statement) pair fires the action and is
     // counted once, no matter how many paths cross it in the same state.
@@ -82,7 +125,14 @@ runTable(const StateMachine& sm, const cfg::Cfg& cfg,
             table.cell(block, pos, st.state);
         if (!cell.rule)
             return; // no match: fill() left cell.next == state
-        if (fired.emplace(cell.id_sym, stmt.loc).second) {
+        bool is_new = fired.emplace(cell.id_sym, stmt.loc).second;
+        if (wit && (is_new || cell.next != st.state))
+            recordWitnessStep(csm.stateName(st.state),
+                              csm.stateName(cell.next), stmt.loc,
+                              witnessNote(cell.rule->id,
+                                          table.bindings(cell)),
+                              wlimit, result);
+        if (is_new) {
             ++result.firings[cell.rule->id];
             if (cell.rule->action) {
                 ActionContext action_ctx(stmt, table.bindings(cell), sink,
@@ -114,6 +164,8 @@ runLegacy(const StateMachine& sm, const cfg::Cfg& cfg,
           support::DiagnosticSink& sink, const SmRunOptions& options)
 {
     SmRunResult result;
+    const bool wit = support::witnessEnabled();
+    const unsigned wlimit = support::witnessLimit();
     std::set<std::pair<std::string, support::SourceLoc>> fired;
 
     auto try_rules = [&](SmState& st, const lang::Stmt& stmt,
@@ -128,7 +180,16 @@ runLegacy(const StateMachine& sm, const cfg::Cfg& cfg,
             auto bindings = rule.pattern.matchInStmt(stmt);
             if (!bindings)
                 continue;
-            if (fired.emplace(rule.id, stmt.loc).second) {
+            bool is_new = fired.emplace(rule.id, stmt.loc).second;
+            bool changes_state =
+                !rule.next_state.empty() && rule.next_state != st.state;
+            if (wit && (is_new || changes_state))
+                recordWitnessStep(st.state,
+                                  changes_state ? rule.next_state
+                                                : st.state,
+                                  stmt.loc, witnessNote(rule.id, *bindings),
+                                  wlimit, result);
+            if (is_new) {
                 ++result.firings[rule.id];
                 if (rule.action) {
                     ActionContext action_ctx(stmt, *bindings, sink,
@@ -136,7 +197,7 @@ runLegacy(const StateMachine& sm, const cfg::Cfg& cfg,
                     rule.action(action_ctx);
                 }
             }
-            if (!rule.next_state.empty() && rule.next_state != st.state) {
+            if (changes_state) {
                 st.state = rule.next_state;
                 ++result.transitions;
             }
@@ -231,6 +292,7 @@ runStateMachine(const StateMachine& sm, const cfg::Cfg& cfg,
         for (const auto& [rule, n] : result.firings)
             fired += static_cast<std::uint64_t>(n);
         metrics.counter("engine.rule_firings").add(fired);
+        metrics.counter("witness.steps").add(result.witness_steps);
     }
     if (tracer.enabled())
         span.arg("visits", std::to_string(result.visits));

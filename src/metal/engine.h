@@ -29,6 +29,12 @@ struct SmRunResult
     /** State transitions taken (rule matches that changed the state). */
     std::uint64_t transitions = 0;
     /**
+     * Witness steps appended to path trails (0 unless --witness). Both
+     * strategies record the same steps, so this is part of the
+     * differential contract like visits/transitions.
+     */
+    std::uint64_t witness_steps = 0;
+    /**
      * The per-unit resource budget limit that stopped the walk early
      * (support/budget.h), or None. When set, truncated is also true.
      */

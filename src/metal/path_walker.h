@@ -5,12 +5,15 @@
 #include "support/budget.h"
 #include "support/hash.h"
 #include "support/interner.h"
+#include "support/run_ledger.h"
+#include "support/witness.h"
 
 #include <algorithm>
 #include <cctype>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
 #include <type_traits>
 #include <unordered_map>
@@ -122,8 +125,15 @@ class PathWalker
         Result result;
         CondTable conds;
         VisitedSet visited;
+        // Witness capture is resolved once per walk: when off, every
+        // entry carries an inert trail (a null pointer member), so the
+        // per-fork cost is copying one nullptr and the per-statement
+        // cost is zero.
+        const bool witness_on = support::witnessEnabled();
+        const unsigned witness_cap = support::witnessLimit();
         std::vector<Entry> stack;
-        stack.push_back(Entry{cfg.entryId(), initial, {}});
+        stack.push_back(Entry{cfg.entryId(), initial, {},
+                              support::WitnessTrail(witness_on)});
         result.peak_frontier = 1;
 
         while (!stack.empty()) {
@@ -143,6 +153,7 @@ class PathWalker
             // actually processed.
             if (result.visits >= options_.max_visits) {
                 result.truncated = true;
+                publishUnitStats(result);
                 return result;
             }
             // The unit's resource budget (installed by the parallel
@@ -159,10 +170,20 @@ class PathWalker
                 if (budget->exhausted()) {
                     result.truncated = true;
                     result.budget_stop = budget->stop();
+                    publishUnitStats(result);
                     return result;
                 }
             }
             ++result.visits;
+
+            // Record the block on the path segment and expose the trail
+            // to statement hooks (and, transitively, to DiagnosticSink
+            // reports made from checker actions) for this visit.
+            std::optional<support::WitnessTrailScope> witness_scope;
+            if (witness_on) {
+                entry.trail.addBlock(entry.block, witness_cap);
+                witness_scope.emplace(&entry.trail);
+            }
 
             const cfg::BasicBlock& bb = cfg.block(entry.block);
             for (std::size_t si = 0; si < bb.stmts.size(); ++si) {
@@ -194,8 +215,10 @@ class PathWalker
                 bool last = i + 1 == bb.succs.size();
                 Entry next =
                     last ? Entry{bb.succs[i], std::move(entry.state),
-                                 std::move(entry.outcomes)}
-                         : Entry{bb.succs[i], entry.state, entry.outcomes};
+                                 std::move(entry.outcomes),
+                                 std::move(entry.trail)}
+                         : Entry{bb.succs[i], entry.state, entry.outcomes,
+                                 entry.trail};
                 if (bb.isBranch() && hooks_.on_branch)
                     hooks_.on_branch(next.state, *bb.branch_cond, i);
                 if (next.state.dead())
@@ -210,6 +233,7 @@ class PathWalker
                 stack.push_back(std::move(next));
             }
         }
+        publishUnitStats(result);
         return result;
     }
 
@@ -223,7 +247,22 @@ class PathWalker
         int block;
         State state;
         Outcomes outcomes;
+        /** Path provenance; inert (one null pointer) unless --witness. */
+        support::WitnessTrail trail;
     };
+
+    /**
+     * Fold this walk's tallies into the thread's active per-unit ledger
+     * accumulator, if any (installed by the unit runners). One TLS load
+     * per walk; nothing per visit.
+     */
+    static void
+    publishUnitStats(const Result& result)
+    {
+        if (support::LedgerUnitStats* stats =
+                support::LedgerUnitStats::current())
+            stats->visits += result.visits;
+    }
 
     using KeyType = decltype(std::declval<const State&>().key());
     static constexpr bool kIntegralKey =
@@ -331,13 +370,15 @@ class PathWalker
     }
 
     /** Bytes a pending entry pins: the entry itself, its key's heap
-     *  footprint, the outcome vector's heap, and the visited-set slot. */
+     *  footprint, the outcome vector's heap, the witness trail's bounded
+     *  payload, and the visited-set slot. */
     static std::size_t
     entryBytes(const Entry& entry)
     {
         std::size_t bytes = sizeof(Entry) + sizeof(std::uint64_t) +
                             entry.outcomes.capacity() *
-                                sizeof(typename Outcomes::value_type);
+                                sizeof(typename Outcomes::value_type) +
+                            entry.trail.heapBytes();
         if constexpr (!kIntegralKey)
             bytes += entry.state.key().size();
         return bytes;

@@ -3,6 +3,7 @@
 #include "support/source_manager.h"
 #include "support/text.h"
 #include "support/version.h"
+#include "support/witness.h"
 
 #include <algorithm>
 #include <ostream>
@@ -39,6 +40,30 @@ parseOutputFormat(const std::string& name, OutputFormat& out)
 bool
 DiagnosticSink::report(Diagnostic diag)
 {
+    // Attach path provenance at the moment of reporting: if the calling
+    // thread is inside a walk with an active witness trail (installed by
+    // the path walker), the finding inherits a snapshot of the path that
+    // reached it. Findings that already carry a witness — cache replays,
+    // unit-sink merges — keep theirs; the merge paths run with no trail
+    // installed, so replayed provenance is never overwritten.
+    if (diag.witness.empty()) {
+        if (const WitnessTrail* trail = WitnessTrail::current();
+            trail && trail->active()) {
+            diag.witness = *trail->witness();
+        } else if (diag.severity != Severity::Note && witnessEnabled()) {
+            // Declaration-level findings (signature checks, parse
+            // errors) are reported outside any walk, so no trail exists.
+            // --witness still guarantees every finding carries
+            // provenance: a single step naming the rule's evaluation
+            // site, explicitly marked as having no path.
+            WitnessStep step;
+            step.from_state = "decl";
+            step.to_state = "decl";
+            step.loc = diag.loc;
+            step.note = "rule " + diag.rule + ", structural (no path)";
+            diag.witness.steps.push_back(std::move(step));
+        }
+    }
     std::lock_guard<std::mutex> lock(mu_);
     if (diag.severity != Severity::Note) {
         auto [it, inserted] = seen_.emplace(
@@ -140,6 +165,29 @@ DiagnosticSink::print(std::ostream& os, const SourceManager* sm) const
         }
         for (const auto& frame : d.trace)
             os << "    at " << frame << '\n';
+        if (!d.witness.empty()) {
+            os << "    witness: blocks";
+            if (d.witness.blocks.empty())
+                os << " (none)";
+            for (std::size_t i = 0; i < d.witness.blocks.size(); ++i)
+                os << (i ? " -> " : " ") << d.witness.blocks[i];
+            if (d.witness.truncated)
+                os << " (truncated)";
+            os << '\n';
+            for (const WitnessStep& step : d.witness.steps) {
+                os << "      step " << step.from_state << " => "
+                   << step.to_state << " at ";
+                if (sm) {
+                    os << sm->describe(step.loc);
+                } else {
+                    os << "file" << step.loc.file_id << ':'
+                       << step.loc.line << ':' << step.loc.column;
+                }
+                if (!step.note.empty())
+                    os << " (" << step.note << ')';
+                os << '\n';
+            }
+        }
     }
 }
 
@@ -196,6 +244,25 @@ DiagnosticSink::printJson(std::ostream& os, const SourceManager* sm) const
                    << '"';
             os << ']';
         }
+        if (!d.witness.empty()) {
+            os << ", \"witness\": {\"truncated\": "
+               << (d.witness.truncated ? "true" : "false")
+               << ", \"blocks\": [";
+            for (std::size_t i = 0; i < d.witness.blocks.size(); ++i)
+                os << (i ? ", " : "") << d.witness.blocks[i];
+            os << "], \"steps\": [";
+            for (std::size_t i = 0; i < d.witness.steps.size(); ++i) {
+                const WitnessStep& step = d.witness.steps[i];
+                os << (i ? ", " : "") << "{\"from\": \""
+                   << jsonEscape(step.from_state) << "\", \"to\": \""
+                   << jsonEscape(step.to_state) << "\", \"file\": \""
+                   << jsonEscape(fileNameFor(step.loc, sm))
+                   << "\", \"line\": " << step.loc.line
+                   << ", \"column\": " << step.loc.column
+                   << ", \"note\": \"" << jsonEscape(step.note) << "\"}";
+            }
+            os << "]}";
+        }
         os << '}';
         first = false;
     }
@@ -249,6 +316,48 @@ DiagnosticSink::printSarif(std::ostream& os, const SourceManager* sm) const
                    << "{\"location\": {\"message\": {\"text\": \""
                    << jsonEscape(d.trace[i]) << "\"}}}";
             os << "]}]";
+        }
+        if (!d.witness.empty()) {
+            // Path provenance as a real SARIF codeFlow: one
+            // threadFlowLocation per SM transition step (or one for the
+            // finding itself when the witness carries only a block
+            // path), so SARIF viewers can step along the witness.
+            std::string flow = "block path:";
+            if (d.witness.blocks.empty())
+                flow += " (none)";
+            for (std::size_t i = 0; i < d.witness.blocks.size(); ++i)
+                flow += (i ? " -> " : " ") +
+                        std::to_string(d.witness.blocks[i]);
+            if (d.witness.truncated)
+                flow += " (truncated)";
+            os << ",\n       \"codeFlows\": [{\"message\": {\"text\": \""
+               << jsonEscape(flow)
+               << "\"}, \"threadFlows\": [{\"locations\": [";
+            auto step_location = [&](const SourceLoc& loc,
+                                     const std::string& text, bool lead) {
+                os << (lead ? "" : ", ")
+                   << "{\"location\": {\"physicalLocation\": "
+                      "{\"artifactLocation\": {\"uri\": \""
+                   << jsonEscape(fileNameFor(loc, sm))
+                   << "\"}, \"region\": {\"startLine\": "
+                   << std::max(loc.line, 1)
+                   << ", \"startColumn\": " << std::max(loc.column, 1)
+                   << "}}, \"message\": {\"text\": \"" << jsonEscape(text)
+                   << "\"}}}";
+            };
+            if (d.witness.steps.empty()) {
+                step_location(d.loc, "finding (" + flow + ")", true);
+            } else {
+                for (std::size_t i = 0; i < d.witness.steps.size(); ++i) {
+                    const WitnessStep& step = d.witness.steps[i];
+                    std::string text =
+                        step.from_state + " => " + step.to_state;
+                    if (!step.note.empty())
+                        text += ": " + step.note;
+                    step_location(step.loc, text, i == 0);
+                }
+            }
+            os << "]}]}]";
         }
         os << '}';
         first = false;

@@ -46,13 +46,45 @@ enum class OutputFormat
 bool parseOutputFormat(const std::string& name, OutputFormat& out);
 
 /**
+ * One SM transition (or rule firing) on the path that produced a
+ * finding: the state before and after, the statement it happened at,
+ * and a note naming the rule plus its rendered wildcard bindings.
+ */
+struct WitnessStep
+{
+    std::string from_state;
+    std::string to_state;
+    SourceLoc loc;
+    /** "rule <id>, <wildcard> = <expr>, ..." — human-readable evidence. */
+    std::string note;
+};
+
+/**
+ * Bounded provenance for one finding: the ordered SM transition history
+ * and the CFG block-path segment of the path that reached it. Capture is
+ * capped at the configured `--witness-limit`; a capped witness carries
+ * `truncated = true` rather than silently losing its tail.
+ */
+struct Witness
+{
+    std::vector<WitnessStep> steps;
+    std::vector<int> blocks;
+    bool truncated = false;
+
+    bool empty() const { return steps.empty() && blocks.empty(); }
+};
+
+/**
  * One finding emitted by a checker.
  *
  * `checker` is the checker's stable name (Table 7 row), `rule` a short
  * machine-readable id for the specific violated rule, and `message` the
  * human-readable text. `trace` optionally carries an inter-procedural
  * back-trace (the lanes checker populates it, mirroring the paper's
- * "precise textual back traces").
+ * "precise textual back traces"). `witness` carries the path-level
+ * provenance captured under `--witness`: the SM transition history and
+ * block path that produced the finding (empty when capture is off or
+ * the finding has no path context).
  */
 struct Diagnostic
 {
@@ -62,6 +94,7 @@ struct Diagnostic
     std::string rule;
     std::string message;
     std::vector<std::string> trace;
+    Witness witness;
 };
 
 /**
@@ -91,7 +124,8 @@ class DiagnosticSink
           std::string message)
     {
         return report(Diagnostic{Severity::Error, loc, std::move(checker),
-                                 std::move(rule), std::move(message), {}});
+                                 std::move(rule), std::move(message), {},
+                                 {}});
     }
 
     bool
@@ -99,7 +133,8 @@ class DiagnosticSink
             std::string message)
     {
         return report(Diagnostic{Severity::Warning, loc, std::move(checker),
-                                 std::move(rule), std::move(message), {}});
+                                 std::move(rule), std::move(message), {},
+                                 {}});
     }
 
     const std::vector<Diagnostic>& diagnostics() const { return diags_; }

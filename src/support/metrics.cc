@@ -34,6 +34,13 @@ MetricsRegistry::timer(const std::string& name)
     return timers_[name];
 }
 
+Histogram&
+MetricsRegistry::histogram(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return histograms_[name];
+}
+
 std::uint64_t
 MetricsRegistry::counterValue(const std::string& name) const
 {
@@ -60,6 +67,8 @@ MetricsRegistry::reset()
         g.reset();
     for (auto& [name, t] : timers_)
         t.reset();
+    for (auto& [name, h] : histograms_)
+        h.reset();
 }
 
 void
@@ -69,6 +78,7 @@ MetricsRegistry::clear()
     counters_.clear();
     gauges_.clear();
     timers_.clear();
+    histograms_.clear();
 }
 
 void
@@ -95,7 +105,21 @@ MetricsRegistry::writeJson(std::ostream& os) const
     for (const auto& [name, t] : timers_) {
         os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
            << "\": {\"count\": " << t.count()
-           << ", \"total_ms\": " << t.totalMillis() << '}';
+           << ", \"total_ms\": " << t.totalMillis()
+           << ", \"mean_ms\": " << t.meanNanos() / 1e6
+           << ", \"min_ms\": " << static_cast<double>(t.minNanos()) / 1e6
+           << ", \"max_ms\": " << static_cast<double>(t.maxNanos()) / 1e6
+           << '}';
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+    first = true;
+    for (const auto& [name, h] : histograms_) {
+        os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
+           << "\": {\"count\": " << h.count()
+           << ", \"p50\": " << h.percentile(50.0)
+           << ", \"p95\": " << h.percentile(95.0)
+           << ", \"max\": " << h.max() << '}';
         first = false;
     }
     os << (first ? "" : "\n  ") << "}\n}\n";

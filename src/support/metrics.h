@@ -87,9 +87,18 @@ class Timer
     void
     add(std::chrono::nanoseconds elapsed)
     {
-        total_ns_.fetch_add(static_cast<std::uint64_t>(elapsed.count()),
-                            std::memory_order_relaxed);
+        std::uint64_t ns = static_cast<std::uint64_t>(elapsed.count());
+        total_ns_.fetch_add(ns, std::memory_order_relaxed);
         count_.fetch_add(1, std::memory_order_relaxed);
+        // min/max via CAS max-merge (commutative; order irrelevant).
+        std::uint64_t cur = min_ns_.load(std::memory_order_relaxed);
+        while (ns < cur && !min_ns_.compare_exchange_weak(
+                               cur, ns, std::memory_order_relaxed)) {
+        }
+        cur = max_ns_.load(std::memory_order_relaxed);
+        while (ns > cur && !max_ns_.compare_exchange_weak(
+                               cur, ns, std::memory_order_relaxed)) {
+        }
     }
 
     std::uint64_t totalNanos() const
@@ -107,16 +116,144 @@ class Timer
         return count_.load(std::memory_order_relaxed);
     }
 
+    /** Shortest recorded interval in ns (0 before any add). */
+    std::uint64_t
+    minNanos() const
+    {
+        std::uint64_t v = min_ns_.load(std::memory_order_relaxed);
+        return v == kNoMin ? 0 : v;
+    }
+
+    /** Longest recorded interval in ns (0 before any add). */
+    std::uint64_t maxNanos() const
+    {
+        return max_ns_.load(std::memory_order_relaxed);
+    }
+
+    /** Mean interval in ns (0 before any add). */
+    double
+    meanNanos() const
+    {
+        std::uint64_t n = count();
+        return n == 0 ? 0.0
+                      : static_cast<double>(totalNanos()) /
+                            static_cast<double>(n);
+    }
+
     void
     reset()
     {
         total_ns_.store(0, std::memory_order_relaxed);
         count_.store(0, std::memory_order_relaxed);
+        min_ns_.store(kNoMin, std::memory_order_relaxed);
+        max_ns_.store(0, std::memory_order_relaxed);
     }
 
   private:
+    static constexpr std::uint64_t kNoMin = ~std::uint64_t{0};
+
     std::atomic<std::uint64_t> total_ns_{0};
     std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> min_ns_{kNoMin};
+    std::atomic<std::uint64_t> max_ns_{0};
+};
+
+/**
+ * Fixed-bucket distribution: power-of-two buckets (bucket i holds values
+ * whose bit width is i, so bucket bounds never drift), an exact count,
+ * and an exact maximum. `percentile` answers with the upper bound of the
+ * bucket containing the requested rank, clamped to the true max — a
+ * deterministic, allocation-free approximation that is exact enough for
+ * p50/p95 trend lines over unit wall times and visit counts.
+ *
+ * Thread-safe the same way Counter is: every field is a relaxed atomic,
+ * readers expect a quiesced registry for consistent snapshots.
+ */
+class Histogram
+{
+  public:
+    void
+    observe(std::uint64_t v)
+    {
+        buckets_[bucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+        count_.fetch_add(1, std::memory_order_relaxed);
+        std::uint64_t cur = max_.load(std::memory_order_relaxed);
+        while (v > cur && !max_.compare_exchange_weak(
+                              cur, v, std::memory_order_relaxed)) {
+        }
+    }
+
+    std::uint64_t count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t max() const
+    {
+        return max_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Upper bound of the bucket holding the `p`-th percentile value
+     * (p in [0, 100]), clamped to the exact max. 0 when empty.
+     */
+    std::uint64_t
+    percentile(double p) const
+    {
+        std::uint64_t n = count();
+        if (n == 0)
+            return 0;
+        if (p < 0.0)
+            p = 0.0;
+        if (p > 100.0)
+            p = 100.0;
+        // Rank of the requested value, 1-based, ceil'd so p100 == max.
+        std::uint64_t rank = static_cast<std::uint64_t>(
+            (p / 100.0) * static_cast<double>(n) + 0.9999999);
+        if (rank < 1)
+            rank = 1;
+        std::uint64_t seen = 0;
+        for (int b = 0; b < kBuckets; ++b) {
+            seen += buckets_[b].load(std::memory_order_relaxed);
+            if (seen >= rank) {
+                std::uint64_t upper =
+                    b == 0 ? 0
+                           : (b >= 64 ? ~std::uint64_t{0}
+                                      : (std::uint64_t{1} << b) - 1);
+                std::uint64_t mx = max();
+                return upper < mx ? upper : mx;
+            }
+        }
+        return max();
+    }
+
+    void
+    reset()
+    {
+        for (auto& b : buckets_)
+            b.store(0, std::memory_order_relaxed);
+        count_.store(0, std::memory_order_relaxed);
+        max_.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    /** 0 -> bucket 0; otherwise the value's bit width (1..64). */
+    static int
+    bucketOf(std::uint64_t v)
+    {
+        int w = 0;
+        while (v != 0) {
+            ++w;
+            v >>= 1;
+        }
+        return w;
+    }
+
+    static constexpr int kBuckets = 65;
+
+    std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> max_{0};
 };
 
 /**
@@ -155,6 +292,7 @@ class MetricsRegistry
     Counter& counter(const std::string& name);
     Gauge& gauge(const std::string& name);
     Timer& timer(const std::string& name);
+    Histogram& histogram(const std::string& name);
 
     /** Value of a counter, or 0 if it was never touched. Thread-safe. */
     std::uint64_t counterValue(const std::string& name) const;
@@ -166,6 +304,10 @@ class MetricsRegistry
     }
     const std::map<std::string, Gauge>& gauges() const { return gauges_; }
     const std::map<std::string, Timer>& timers() const { return timers_; }
+    const std::map<std::string, Histogram>& histograms() const
+    {
+        return histograms_;
+    }
 
     /** Zero every instrument, keeping registrations. */
     void reset();
@@ -176,7 +318,9 @@ class MetricsRegistry
     /**
      * Write the report as JSON with stable keys:
      * {"counters": {name: n}, "gauges": {name: n},
-     *  "timers": {name: {"count": n, "total_ms": x}}}
+     *  "timers": {name: {"count", "total_ms", "mean_ms", "min_ms",
+     *                    "max_ms"}},
+     *  "histograms": {name: {"count", "p50", "p95", "max"}}}
      */
     void writeJson(std::ostream& os) const;
 
@@ -186,6 +330,7 @@ class MetricsRegistry
     std::map<std::string, Counter> counters_;
     std::map<std::string, Gauge> gauges_;
     std::map<std::string, Timer> timers_;
+    std::map<std::string, Histogram> histograms_;
 };
 
 /**

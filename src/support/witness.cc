@@ -1,0 +1,53 @@
+#include "support/witness.h"
+
+#include <atomic>
+
+namespace mc::support {
+
+namespace {
+
+std::atomic<bool> g_witness_enabled{false};
+std::atomic<unsigned> g_witness_limit{kDefaultWitnessLimit};
+
+thread_local WitnessTrail* t_current_trail = nullptr;
+
+} // namespace
+
+bool
+witnessEnabled()
+{
+    return g_witness_enabled.load(std::memory_order_relaxed);
+}
+
+unsigned
+witnessLimit()
+{
+    return g_witness_limit.load(std::memory_order_relaxed);
+}
+
+void
+setWitnessConfig(bool enabled, unsigned limit)
+{
+    g_witness_enabled.store(enabled, std::memory_order_relaxed);
+    g_witness_limit.store(limit == 0 ? kDefaultWitnessLimit : limit,
+                          std::memory_order_relaxed);
+}
+
+WitnessTrail*
+WitnessTrail::current()
+{
+    return t_current_trail;
+}
+
+WitnessTrailScope::WitnessTrailScope(WitnessTrail* trail)
+    : prev_(t_current_trail)
+{
+    t_current_trail = trail;
+}
+
+WitnessTrailScope::~WitnessTrailScope()
+{
+    t_current_trail = prev_;
+}
+
+} // namespace mc::support

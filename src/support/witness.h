@@ -1,0 +1,146 @@
+#ifndef MCHECK_SUPPORT_WITNESS_H
+#define MCHECK_SUPPORT_WITNESS_H
+
+#include "support/diagnostics.h"
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+namespace mc::support {
+
+/**
+ * Process-wide witness capture configuration.
+ *
+ * Witness recording is off by default (`--witness` enables it) and every
+ * recording site gates on `witnessEnabled()`, so a disabled run pays one
+ * relaxed atomic load per walk — nothing per statement. The limit caps
+ * both the transition history and the block-path segment of a trail;
+ * hitting it marks the witness truncated rather than growing it.
+ */
+bool witnessEnabled();
+unsigned witnessLimit();
+void setWitnessConfig(bool enabled, unsigned limit);
+
+/** The default step/block cap (`--witness-limit`). */
+inline constexpr unsigned kDefaultWitnessLimit = 16;
+
+/**
+ * The provenance accumulator one path-walker entry carries: the CFG
+ * blocks the path traversed and the SM transitions it took, bounded by
+ * the configured limit.
+ *
+ * A default-constructed trail is inert — its payload pointer is null, so
+ * copying it (which happens once per path fork) copies one null pointer.
+ * Only `WitnessTrail(true)` allocates; forks of an active trail deep-copy
+ * the bounded payload, keeping capture O(path) with an O(limit) constant.
+ */
+class WitnessTrail
+{
+  public:
+    WitnessTrail() = default;
+
+    explicit WitnessTrail(bool enabled)
+    {
+        if (enabled)
+            data_ = std::make_unique<Witness>();
+    }
+
+    WitnessTrail(const WitnessTrail& other)
+        : data_(other.data_ ? std::make_unique<Witness>(*other.data_)
+                            : nullptr)
+    {}
+
+    WitnessTrail& operator=(const WitnessTrail& other)
+    {
+        if (this != &other)
+            data_ = other.data_ ? std::make_unique<Witness>(*other.data_)
+                                : nullptr;
+        return *this;
+    }
+
+    WitnessTrail(WitnessTrail&&) noexcept = default;
+    WitnessTrail& operator=(WitnessTrail&&) noexcept = default;
+
+    bool active() const { return data_ != nullptr; }
+
+    /** Append a visited CFG block, respecting the cap. Returns whether
+     *  the block was appended (false: inert, or cap hit → truncated). */
+    bool
+    addBlock(int block, unsigned limit)
+    {
+        if (!data_)
+            return false;
+        if (data_->blocks.size() >= limit) {
+            data_->truncated = true;
+            return false;
+        }
+        data_->blocks.push_back(block);
+        return true;
+    }
+
+    /** Append an SM transition step, respecting the cap. Returns whether
+     *  the step was appended (false: inert, or cap hit → truncated). */
+    bool
+    addStep(WitnessStep step, unsigned limit)
+    {
+        if (!data_)
+            return false;
+        if (data_->steps.size() >= limit) {
+            data_->truncated = true;
+            return false;
+        }
+        data_->steps.push_back(std::move(step));
+        return true;
+    }
+
+    /** True once either segment has hit the cap. */
+    bool truncated() const { return data_ && data_->truncated; }
+
+    /** The accumulated witness, or nullptr when inert. */
+    const Witness* witness() const { return data_.get(); }
+
+    /** Approximate heap bytes pinned (for budget charging). */
+    std::size_t
+    heapBytes() const
+    {
+        if (!data_)
+            return 0;
+        return sizeof(Witness) +
+               data_->steps.capacity() * sizeof(WitnessStep) +
+               data_->blocks.capacity() * sizeof(int);
+    }
+
+    /**
+     * The calling thread's trail (installed by WitnessTrailScope during
+     * a walk), or nullptr. DiagnosticSink::report consults this to
+     * attach provenance to findings at the moment they are reported.
+     */
+    static WitnessTrail* current();
+
+  private:
+    std::unique_ptr<Witness> data_;
+};
+
+/**
+ * RAII installer for WitnessTrail::current(), mirroring BudgetScope:
+ * the walker installs the popped entry's trail around its statement
+ * hooks so any diagnostic reported from a checker action sees the path
+ * that led there. Scopes nest; the previous trail is restored on exit.
+ */
+class WitnessTrailScope
+{
+  public:
+    explicit WitnessTrailScope(WitnessTrail* trail);
+    ~WitnessTrailScope();
+
+    WitnessTrailScope(const WitnessTrailScope&) = delete;
+    WitnessTrailScope& operator=(const WitnessTrailScope&) = delete;
+
+  private:
+    WitnessTrail* prev_;
+};
+
+} // namespace mc::support
+
+#endif // MCHECK_SUPPORT_WITNESS_H

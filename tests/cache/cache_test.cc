@@ -14,6 +14,7 @@
 #include "lang/fingerprint.h"
 #include "support/hash.h"
 #include "support/version.h"
+#include "support/witness.h"
 
 #include <gtest/gtest.h>
 
@@ -65,8 +66,24 @@ sampleUnit()
     d.rule = "lane-overflow";
     d.message = "message with spaces, 100% odd chars & a\ttab";
     d.trace = {"PILocalGet -> helper", "helper: SEND at line 9"};
+    CachedWitnessStep step;
+    step.from = "start";
+    step.to = "buf checked";
+    step.file = "sci/PILocalGet.c";
+    step.line = 9;
+    step.column = 3;
+    step.note = "rule lane-overflow, addr = h->addr";
+    d.wsteps.push_back(step);
+    step.to = "stop";
+    step.note = "rule done";
+    d.wsteps.push_back(step);
+    d.wblocks = {0, 2, 5};
+    d.wtruncated = true;
     unit.diags.push_back(d);
     d.trace.clear();
+    d.wsteps.clear();
+    d.wblocks.clear();
+    d.wtruncated = false;
     d.severity = 0;
     d.message = "second finding";
     unit.diags.push_back(d);
@@ -89,6 +106,19 @@ expectSameUnit(const CachedUnit& a, const CachedUnit& b)
         EXPECT_EQ(a.diags[i].rule, b.diags[i].rule);
         EXPECT_EQ(a.diags[i].message, b.diags[i].message);
         EXPECT_EQ(a.diags[i].trace, b.diags[i].trace);
+        EXPECT_EQ(a.diags[i].wblocks, b.diags[i].wblocks);
+        EXPECT_EQ(a.diags[i].wtruncated, b.diags[i].wtruncated);
+        ASSERT_EQ(a.diags[i].wsteps.size(), b.diags[i].wsteps.size());
+        for (std::size_t s = 0; s < a.diags[i].wsteps.size(); ++s) {
+            const CachedWitnessStep& ws = a.diags[i].wsteps[s];
+            const CachedWitnessStep& bs = b.diags[i].wsteps[s];
+            EXPECT_EQ(ws.from, bs.from);
+            EXPECT_EQ(ws.to, bs.to);
+            EXPECT_EQ(ws.file, bs.file);
+            EXPECT_EQ(ws.line, bs.line);
+            EXPECT_EQ(ws.column, bs.column);
+            EXPECT_EQ(ws.note, bs.note);
+        }
     }
 }
 
@@ -163,7 +193,9 @@ TEST(CacheEncoding, RejectsFormatAndToolVersionMismatch)
     EXPECT_FALSE(AnalysisCache::decodeUnit(wrong_format, decoded, error));
     EXPECT_EQ(error, "cache format version mismatch");
 
-    std::string wrong_tool = reseal("mccheck-cache 1 0.0.1" + rest);
+    std::string wrong_tool =
+        reseal("mccheck-cache " + std::to_string(kCacheFormatVersion) +
+               " 0.0.1" + rest);
     EXPECT_FALSE(AnalysisCache::decodeUnit(wrong_tool, decoded, error));
     EXPECT_EQ(error, "tool version mismatch");
     (void)header;
@@ -434,6 +466,34 @@ TEST(CachePipeline, WarmRunReplaysByteIdentical)
     PipelineResult warm1 = runPipeline(loaded, &warm1_cache, 1);
     EXPECT_GT(warm1_cache.stats().hits, 0u);
     EXPECT_EQ(cold.json, warm1.json);
+}
+
+TEST(CachePipeline, WitnessSurvivesWarmReplayByteIdentical)
+{
+    // Witnesses ride the cache: a warm run must replay the same witness
+    // bytes a cold run captured, and witness-on entries must not collide
+    // with the witness-off entries other tests stored (the config is part
+    // of the unit key).
+    TempCacheDir dir("pipeline_witness");
+    corpus::LoadedProtocol loaded =
+        corpus::loadProtocol(corpus::profileByName("bitvector"));
+
+    support::setWitnessConfig(true, support::kDefaultWitnessLimit);
+    AnalysisCache cold_cache(dir.str());
+    PipelineResult cold = runPipeline(loaded, &cold_cache, 2);
+    EXPECT_GT(cold_cache.stats().stores, 0u);
+
+    AnalysisCache warm_cache(dir.str());
+    PipelineResult warm = runPipeline(loaded, &warm_cache, 2);
+    support::setWitnessConfig(false, 0);
+
+    EXPECT_GT(warm_cache.stats().hits, 0u);
+    EXPECT_EQ(warm_cache.stats().misses, 0u);
+    EXPECT_EQ(cold.text, warm.text);
+    EXPECT_EQ(cold.json, warm.json);
+    EXPECT_EQ(cold.sarif, warm.sarif);
+    // The witness actually made it into the replayed output.
+    EXPECT_NE(warm.json.find("\"witness\""), std::string::npos);
 }
 
 TEST(CachePipeline, CorruptedEntriesReanalyzeNotReplay)

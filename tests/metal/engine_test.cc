@@ -5,6 +5,7 @@
 #include "lang/program.h"
 #include "support/metrics.h"
 #include "support/trace.h"
+#include "support/witness.h"
 
 #include <gtest/gtest.h>
 
@@ -331,6 +332,112 @@ TEST(Engine, NothingPublishedWhenDisabled)
 
     EXPECT_TRUE(metrics.counters().empty());
     EXPECT_TRUE(tracer.events().empty());
+}
+
+/** Enables witness capture for one test, restoring the off default. */
+struct WitnessGuard
+{
+    explicit WitnessGuard(unsigned limit = support::kDefaultWitnessLimit)
+    {
+        support::setWitnessConfig(true, limit);
+    }
+    ~WitnessGuard() { support::setWitnessConfig(false, 0); }
+};
+
+std::unique_ptr<Run>
+runWithStrategy(const char* metal_src, const std::string& body,
+                MatchStrategy strategy)
+{
+    auto r = std::make_unique<Run>();
+    MetalProgram mp = parseMetal(metal_src);
+    r->program.addSource("t.c", "void f(void) {" + body + "}");
+    cfg::Cfg cfg = cfg::CfgBuilder::build(*r->program.findFunction("f"));
+    SmRunOptions options;
+    options.match_strategy = strategy;
+    r->result = runStateMachine(*mp.sm, cfg, r->sink, options);
+    return r;
+}
+
+TEST(EngineWitness, OffByDefaultRecordsNothing)
+{
+    auto r = run(kWaitForDb, "MISCBUS_READ_DB(a, b);");
+    EXPECT_EQ(r->result.witness_steps, 0u);
+    ASSERT_EQ(r->sink.count(support::Severity::Error), 1);
+    EXPECT_TRUE(r->sink.diagnostics()[0].witness.empty());
+}
+
+TEST(EngineWitness, FindingCarriesTransitionHistoryAndBlockPath)
+{
+    WitnessGuard guard;
+    // The wait on one branch transitions start -> stop; the unguarded
+    // branch reaches the read still in start.
+    auto r = run(kWaitForDb,
+                 "if (c) { WAIT_FOR_DB_FULL(a); } MISCBUS_READ_DB(a, b);");
+    EXPECT_GE(r->result.witness_steps, 2u);
+    ASSERT_EQ(r->sink.count(support::Severity::Error), 1);
+    const support::Witness& w = r->sink.diagnostics()[0].witness;
+    ASSERT_FALSE(w.empty());
+    EXPECT_FALSE(w.blocks.empty());
+    ASSERT_FALSE(w.steps.empty());
+    // The finding's own firing is the last step on its path.
+    const support::WitnessStep& last = w.steps.back();
+    EXPECT_EQ(last.from_state, "start");
+    EXPECT_EQ(last.to_state, "start");
+    EXPECT_NE(last.note.find("rule"), std::string::npos);
+    // Bound wildcards render into the note ("addr = a").
+    EXPECT_NE(last.note.find("addr = a"), std::string::npos);
+    EXPECT_FALSE(w.truncated);
+}
+
+TEST(EngineWitness, TransitionStepsRecordedEvenWithoutFindings)
+{
+    WitnessGuard guard;
+    // No error: the wait's start -> stop transition is still a step.
+    auto r = run(kWaitForDb, "WAIT_FOR_DB_FULL(a);");
+    EXPECT_EQ(r->sink.count(support::Severity::Error), 0);
+    EXPECT_GE(r->result.witness_steps, 1u);
+}
+
+TEST(EngineWitness, StepsIdenticalAcrossMatchStrategies)
+{
+    WitnessGuard guard;
+    const std::string body =
+        "len = LEN_NODATA; PI_SEND(F_NODATA, k);"
+        "len = LEN_WORD; PI_SEND(F_NODATA, k);";
+    auto table = runWithStrategy(kMsgLen, body, MatchStrategy::Table);
+    auto legacy = runWithStrategy(kMsgLen, body, MatchStrategy::Legacy);
+
+    EXPECT_GT(table->result.witness_steps, 0u);
+    EXPECT_EQ(table->result.witness_steps, legacy->result.witness_steps);
+
+    ASSERT_EQ(table->sink.diagnostics().size(),
+              legacy->sink.diagnostics().size());
+    for (std::size_t d = 0; d < table->sink.diagnostics().size(); ++d) {
+        const support::Witness& tw = table->sink.diagnostics()[d].witness;
+        const support::Witness& lw = legacy->sink.diagnostics()[d].witness;
+        EXPECT_EQ(tw.blocks, lw.blocks);
+        EXPECT_EQ(tw.truncated, lw.truncated);
+        ASSERT_EQ(tw.steps.size(), lw.steps.size());
+        for (std::size_t s = 0; s < tw.steps.size(); ++s) {
+            EXPECT_EQ(tw.steps[s].from_state, lw.steps[s].from_state);
+            EXPECT_EQ(tw.steps[s].to_state, lw.steps[s].to_state);
+            EXPECT_EQ(tw.steps[s].note, lw.steps[s].note);
+            EXPECT_EQ(tw.steps[s].loc, lw.steps[s].loc);
+        }
+    }
+}
+
+TEST(EngineWitness, LimitCapsStepsAndMarksTruncation)
+{
+    WitnessGuard guard(1);
+    // Two firings on one path; the second exceeds the 1-step cap.
+    auto r = run(kWaitForDb,
+                 "MISCBUS_READ_DB(a, b); MISCBUS_READ_DB(c, d);");
+    ASSERT_EQ(r->sink.count(support::Severity::Error), 2);
+    EXPECT_EQ(r->result.witness_steps, 1u);
+    const support::Witness& second = r->sink.diagnostics()[1].witness;
+    EXPECT_EQ(second.steps.size(), 1u);
+    EXPECT_TRUE(second.truncated);
 }
 
 TEST(Engine, DiagnosticLocationPointsAtOffendingRead)

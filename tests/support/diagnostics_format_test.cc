@@ -12,6 +12,7 @@
 #include "metal/engine.h"
 #include "metal/metal_parser.h"
 #include "support/diagnostics.h"
+#include "support/witness.h"
 
 #include "json_test_util.h"
 
@@ -99,6 +100,16 @@ expectMatchesGolden(const std::string& actual, const std::string& name)
            "tools/regen_goldens.sh and review the diff";
 }
 
+/** Enable witness capture for one test; restores the default (off). */
+struct WitnessConfigGuard
+{
+    explicit WitnessConfigGuard(unsigned limit = 0)
+    {
+        support::setWitnessConfig(true, limit);
+    }
+    ~WitnessConfigGuard() { support::setWitnessConfig(false, 0); }
+};
+
 TEST(DiagnosticFormats, JsonMatchesGoldenAndParses)
 {
     lang::Program program;
@@ -160,6 +171,133 @@ TEST(DiagnosticFormats, SarifMatchesGoldenAndParses)
     EXPECT_EQ(region.at("startLine").number, 6.0);
 
     expectMatchesGolden(os.str(), "fixture_diagnostics.sarif");
+}
+
+TEST(WitnessFormats, TextMatchesGolden)
+{
+    WitnessConfigGuard witness;
+    lang::Program program;
+    support::DiagnosticSink sink;
+    buildFixture(program, sink);
+
+    std::ostringstream os;
+    sink.print(os, &program.sourceManager());
+    EXPECT_NE(os.str().find("witness: blocks"), std::string::npos);
+    EXPECT_NE(os.str().find("step start => start"), std::string::npos);
+    expectMatchesGolden(os.str(), "fixture_witness.txt");
+}
+
+TEST(WitnessFormats, JsonMatchesGoldenAndParses)
+{
+    WitnessConfigGuard witness;
+    lang::Program program;
+    support::DiagnosticSink sink;
+    buildFixture(program, sink);
+
+    std::ostringstream os;
+    sink.printJson(os, &program.sourceManager());
+
+    testjson::Value root;
+    ASSERT_NO_THROW(root = testjson::parse(os.str()));
+    ASSERT_EQ(root.at("diagnostics").array.size(), 2u);
+    // The walker-sourced finding carries full provenance; the manually
+    // reported lanes finding (no walk, no trail) gets the structural
+    // fallback — one step at the rule's evaluation site, no block path —
+    // so --witness guarantees every finding carries a witness.
+    const auto& lanes = root.at("diagnostics").array[0];
+    EXPECT_EQ(lanes.at("checker").string, "lanes");
+    const auto& lanes_witness = lanes.at("witness");
+    EXPECT_TRUE(lanes_witness.at("blocks").array.empty());
+    ASSERT_EQ(lanes_witness.at("steps").array.size(), 1u);
+    const auto& lanes_step = lanes_witness.at("steps").array[0];
+    EXPECT_EQ(lanes_step.at("from").string, "decl");
+    EXPECT_EQ(lanes_step.at("to").string, "decl");
+    EXPECT_NE(lanes_step.at("note").string.find("structural"),
+              std::string::npos);
+    const auto& finding = root.at("diagnostics").array[1];
+    EXPECT_EQ(finding.at("checker").string, "wait_for_db");
+    const auto& witness_obj = finding.at("witness");
+    EXPECT_FALSE(witness_obj.at("blocks").array.empty());
+    ASSERT_EQ(witness_obj.at("steps").array.size(), 1u);
+    const auto& step = witness_obj.at("steps").array[0];
+    EXPECT_EQ(step.at("from").string, "start");
+    EXPECT_EQ(step.at("to").string, "start");
+    EXPECT_EQ(step.at("file").string, "fixture.c");
+    EXPECT_EQ(step.at("line").number, 6.0);
+    EXPECT_NE(step.at("note").string.find("rule"), std::string::npos);
+
+    expectMatchesGolden(os.str(), "fixture_witness.json");
+}
+
+TEST(WitnessFormats, SarifCarriesCodeFlowsAndMatchesGolden)
+{
+    WitnessConfigGuard witness;
+    lang::Program program;
+    support::DiagnosticSink sink;
+    buildFixture(program, sink);
+
+    std::ostringstream os;
+    sink.printSarif(os, &program.sourceManager());
+
+    testjson::Value root;
+    ASSERT_NO_THROW(root = testjson::parse(os.str()));
+    const auto& run = root.at("runs").array[0];
+    ASSERT_EQ(run.at("results").array.size(), 2u);
+    const auto& result = run.at("results").array[1];
+    EXPECT_EQ(result.at("ruleId").string,
+              "wait_for_db.buffer-not-synchronized");
+    ASSERT_EQ(result.at("codeFlows").array.size(), 1u);
+    const auto& flow = result.at("codeFlows").array[0];
+    EXPECT_NE(flow.at("message").at("text").string.find("block path"),
+              std::string::npos);
+    ASSERT_EQ(flow.at("threadFlows").array.size(), 1u);
+    const auto& locations = flow.at("threadFlows").array[0].at("locations");
+    ASSERT_FALSE(locations.array.empty());
+    const auto& loc = locations.array[0].at("location");
+    EXPECT_EQ(loc.at("physicalLocation")
+                  .at("artifactLocation")
+                  .at("uri")
+                  .string,
+              "fixture.c");
+    EXPECT_NE(loc.at("message").at("text").string.find("start => start"),
+              std::string::npos);
+
+    expectMatchesGolden(os.str(), "fixture_witness.sarif");
+}
+
+TEST(WitnessFormats, OffByDefaultLeavesFindingsBare)
+{
+    // No guard: the process-wide default must be witness-off.
+    lang::Program program;
+    support::DiagnosticSink sink;
+    buildFixture(program, sink);
+
+    std::ostringstream os;
+    sink.printJson(os, &program.sourceManager());
+    EXPECT_EQ(os.str().find("\"witness\""), std::string::npos);
+    for (const support::Diagnostic& d : sink.diagnostics())
+        EXPECT_TRUE(d.witness.empty());
+}
+
+TEST(WitnessFormats, ReportedWitnessSurvivesSinkToSinkMerge)
+{
+    // The parallel runner replays private-sink findings into the shared
+    // sink outside any walk; the witness attached at capture time must
+    // ride along unchanged.
+    lang::Program program;
+    support::DiagnosticSink unit_sink;
+    {
+        WitnessConfigGuard witness;
+        buildFixture(program, unit_sink);
+    }
+    support::DiagnosticSink merged;
+    for (const support::Diagnostic& d : unit_sink.diagnostics())
+        merged.report(d);
+
+    std::ostringstream a, b;
+    unit_sink.printJson(a, &program.sourceManager());
+    merged.printJson(b, &program.sourceManager());
+    EXPECT_EQ(a.str(), b.str());
 }
 
 TEST(DiagnosticFormats, WriteDispatchesOnFormat)

@@ -153,6 +153,140 @@ TEST(MetricsRegistry, ConcurrentUpdatesMergeExactly)
               static_cast<std::uint64_t>(kThreads) * kIters);
 }
 
+TEST(MetricsRegistry, TimerJsonCarriesCountMeanMinMax)
+{
+    MetricsRegistry reg;
+    Timer& t = reg.timer("unit.time");
+    t.add(std::chrono::nanoseconds(1'000'000)); // 1 ms
+    t.add(std::chrono::nanoseconds(3'000'000)); // 3 ms
+
+    EXPECT_EQ(t.count(), 2u);
+    EXPECT_EQ(t.minNanos(), 1'000'000u);
+    EXPECT_EQ(t.maxNanos(), 3'000'000u);
+    EXPECT_EQ(t.meanNanos(), 2'000'000.0);
+
+    std::ostringstream os;
+    reg.writeJson(os);
+    testjson::Value root;
+    ASSERT_NO_THROW(root = testjson::parse(os.str()));
+    const auto& timer = root.at("timers").at("unit.time");
+    EXPECT_EQ(timer.at("count").number, 2.0);
+    EXPECT_NEAR(timer.at("mean_ms").number, 2.0, 0.01);
+    EXPECT_NEAR(timer.at("min_ms").number, 1.0, 0.01);
+    EXPECT_NEAR(timer.at("max_ms").number, 3.0, 0.01);
+}
+
+TEST(MetricsRegistry, UnusedTimerReportsZeroMinMax)
+{
+    MetricsRegistry reg;
+    Timer& t = reg.timer("never.used");
+    EXPECT_EQ(t.minNanos(), 0u);
+    EXPECT_EQ(t.maxNanos(), 0u);
+    EXPECT_EQ(t.meanNanos(), 0.0);
+}
+
+TEST(Histogram, PercentilesBracketObservations)
+{
+    Histogram h;
+    // 100 observations 1..100: p50 lands in the bucket holding 50 (upper
+    // bound 63), p95 in the bucket holding 95 (upper bound clamps to the
+    // exact max, 100).
+    for (std::uint64_t v = 1; v <= 100; ++v)
+        h.observe(v);
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_EQ(h.max(), 100u);
+    std::uint64_t p50 = h.percentile(50.0);
+    std::uint64_t p95 = h.percentile(95.0);
+    EXPECT_GE(p50, 50u);
+    EXPECT_LE(p50, 63u);
+    EXPECT_GE(p95, 95u);
+    EXPECT_LE(p95, 100u);
+    EXPECT_LE(p50, p95);
+    EXPECT_LE(p95, h.max());
+}
+
+TEST(Histogram, SingleValueAndZeroAndEmpty)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentile(50.0), 0u);
+    h.observe(0);
+    EXPECT_EQ(h.percentile(50.0), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    Histogram one;
+    one.observe(369);
+    EXPECT_EQ(one.percentile(50.0), 369u);
+    EXPECT_EQ(one.percentile(95.0), 369u);
+    EXPECT_EQ(one.max(), 369u);
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h;
+    h.observe(42);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.percentile(95.0), 0u);
+}
+
+TEST(MetricsRegistry, HistogramJsonCarriesPercentiles)
+{
+    MetricsRegistry reg;
+    Histogram& h = reg.histogram("unit.visits");
+    for (std::uint64_t v = 1; v <= 16; ++v)
+        h.observe(v);
+    EXPECT_EQ(&reg.histogram("unit.visits"), &h);
+
+    std::ostringstream os;
+    reg.writeJson(os);
+    testjson::Value root;
+    ASSERT_NO_THROW(root = testjson::parse(os.str()));
+    const auto& hist = root.at("histograms").at("unit.visits");
+    EXPECT_EQ(hist.at("count").number, 16.0);
+    EXPECT_EQ(hist.at("max").number, 16.0);
+    EXPECT_GE(hist.at("p95").number, hist.at("p50").number);
+
+    reg.reset();
+    EXPECT_EQ(reg.histograms().count("unit.visits"), 1u);
+    EXPECT_EQ(reg.histogram("unit.visits").count(), 0u);
+}
+
+TEST(MetricsRegistry, PreRegisteredInstrumentsHammeredConcurrently)
+{
+    // The parallel runner pre-registers ledger./witness./unit.* names
+    // before fanning out, then workers only update. Updates through
+    // pre-registered references must merge exactly with no registration
+    // race (TSan covers this test in CI).
+    MetricsRegistry reg;
+    reg.counter("witness.steps").add(0);
+    reg.counter("ledger.events").add(0);
+    reg.histogram("unit.wall_ns");
+    constexpr int kThreads = 8;
+    constexpr int kIters = 5000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&reg, t] {
+            for (int i = 0; i < kIters; ++i) {
+                reg.counter("witness.steps").add(1);
+                reg.counter("ledger.events").add(1);
+                reg.histogram("unit.wall_ns")
+                    .observe(static_cast<std::uint64_t>(t * kIters + i));
+            }
+        });
+    for (std::thread& t : threads)
+        t.join();
+
+    EXPECT_EQ(reg.counterValue("witness.steps"),
+              static_cast<std::uint64_t>(kThreads) * kIters);
+    EXPECT_EQ(reg.counterValue("ledger.events"),
+              static_cast<std::uint64_t>(kThreads) * kIters);
+    EXPECT_EQ(reg.histogram("unit.wall_ns").count(),
+              static_cast<std::uint64_t>(kThreads) * kIters);
+    EXPECT_EQ(reg.histogram("unit.wall_ns").max(),
+              static_cast<std::uint64_t>(kThreads) * kIters - 1);
+}
+
 TEST(MetricsRegistry, MetricNamesNeedingEscapesStayWellFormed)
 {
     MetricsRegistry reg;

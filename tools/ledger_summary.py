@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Summarize an mccheck --ledger JSONL stream.
+
+Reads one or more ledger files (or stdin) and prints:
+  - the run manifest(s) (tool, version, flags, exit code),
+  - the slowest units by wall time,
+  - cache effectiveness (hit rate, visits saved),
+  - budget truncations, unit failures, and degraded-parse units.
+
+Usage:
+    tools/ledger_summary.py run.jsonl [more.jsonl ...]
+    mccheck --ledger /dev/stdout ... | tools/ledger_summary.py
+    tools/ledger_summary.py --top 20 run.jsonl
+
+Only the standard library is used; the input schema is frozen in
+tools/ledger_schema.json.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_events(stream, path):
+    events = []
+    for lineno, line in enumerate(stream, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as e:
+            raise SystemExit(f"{path}:{lineno}: not JSON: {e}")
+        if "event" not in event:
+            raise SystemExit(f"{path}:{lineno}: missing 'event' field")
+        events.append(event)
+    return events
+
+
+def fmt_table(headers, rows):
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    lines = ["  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(str(c).ljust(widths[i]) for i, c in enumerate(row)))
+    return "\n".join(lines)
+
+
+def summarize(events, top):
+    starts = [e for e in events if e["event"] == "run_start"]
+    units = [e for e in events if e["event"] == "unit"]
+    ends = [e for e in events if e["event"] == "run_end"]
+
+    for s in starts:
+        flags = " ".join(s.get("args", []))
+        print(f"run: {s.get('tool', '?')} {s.get('version', '?')}"
+              f"  witness={s.get('witness')}"
+              f"  witness_limit={s.get('witness_limit')}"
+              f"  jobs={s.get('jobs')}")
+        if flags:
+            print(f"  args: {flags}")
+    for e in ends:
+        print(f"exit: {e.get('exit_code')}  errors={e.get('errors')}"
+              f"  warnings={e.get('warnings')}  units={e.get('units')}"
+              f"  total_visits={e.get('total_visits')}")
+    if not units:
+        print("no unit events")
+        return
+
+    print(f"\nslowest units (top {top} of {len(units)}):")
+    slowest = sorted(units, key=lambda u: -u.get("wall_ms", 0.0))[:top]
+    print(fmt_table(
+        ["function", "checker", "wall_ms", "visits", "cache", "flags"],
+        [[u.get("function", "?"), u.get("checker", "?"),
+          f"{u.get('wall_ms', 0.0):.3f}", u.get("visits", 0),
+          u.get("cache", "?"),
+          ",".join(f for f in (
+              "failed" if u.get("failed") else "",
+              u.get("budget_stop") if u.get("budget_stop") != "none" else "",
+              "degraded" if u.get("degraded_parse") else "") if f) or "-"]
+         for u in slowest]))
+
+    hits = sum(1 for u in units if u.get("cache") == "hit")
+    misses = sum(1 for u in units if u.get("cache") == "miss")
+    looked_up = hits + misses
+    print("\ncache:")
+    if looked_up:
+        print(f"  {hits} hit(s), {misses} miss(es) "
+              f"({100.0 * hits / looked_up:.1f}% hit rate)")
+    else:
+        print("  off")
+
+    truncated = [u for u in units if u.get("budget_stop", "none") != "none"]
+    failed = [u for u in units if u.get("failed")]
+    degraded = [u for u in units if u.get("degraded_parse")]
+    print("\nhealth:")
+    print(f"  {len(truncated)} budget-truncated, {len(failed)} failed, "
+          f"{len(degraded)} degraded-parse unit(s)")
+    for u in truncated[:top]:
+        print(f"  truncated: {u.get('function')}/{u.get('checker')} "
+              f"({u.get('budget_stop')} budget)")
+    for u in failed[:top]:
+        print(f"  failed: {u.get('function')}/{u.get('checker')}")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Summarize an mccheck --ledger JSONL stream.")
+    parser.add_argument("ledgers", nargs="*",
+                        help="ledger files (default: stdin)")
+    parser.add_argument("--top", type=int, default=10,
+                        help="rows in the slowest-units table (default 10)")
+    args = parser.parse_args()
+
+    events = []
+    if args.ledgers:
+        for path in args.ledgers:
+            with open(path, encoding="utf-8") as f:
+                events.extend(load_events(f, path))
+    else:
+        events = load_events(sys.stdin, "<stdin>")
+    if not events:
+        raise SystemExit("no events")
+    summarize(events, args.top)
+
+
+if __name__ == "__main__":
+    main()
