@@ -1,16 +1,29 @@
 /**
  * @file
- * Extension ablation: correlated-branch path pruning.
+ * Extension ablation: branch-feasibility path pruning.
  *
  * Section 5 of the paper, on the two coma false positives: "The variable
  * usage was simple enough that the checker could have statically pruned
  * the impossible execution paths with a more elaborate analysis, but the
  * effort seemed unjustified in this case."
  *
- * We built that analysis (PathWalker's correlated-branch pruning) and
- * measure what it buys: with pruning on, the message-length checker's
- * two coma false positives disappear while every real error is still
- * found.
+ * We built that analysis twice over and measure what each layer buys:
+ *
+ *   off          no pruning — the paper's configuration (69 FPs).
+ *   correlated   syntactic branch correlation: a later branch whose
+ *                rendered condition matches an earlier one on the path
+ *                takes only the recorded outcome.
+ *   constraints  semantic feasibility: per-path integer constraints
+ *                (equalities, intervals, disequalities) over interned
+ *                symbols, so `x == 5` then `x > 10` prunes even though
+ *                the conditions never render to the same text.
+ *
+ * Every real seeded error must survive at every strategy, and findings
+ * must shrink monotonically: constraints <= correlated <= off.
+ *
+ * Output includes machine-greppable lines of the form
+ *   PRUNE_FP_TOTAL <strategy>=<fps> errors=<errors>
+ * which ci pins (see .github/workflows/ci.yml).
  */
 #include "bench/bench_util.h"
 
@@ -23,43 +36,68 @@ main()
     bench::banner("Ablation: impossible-path pruning (extension)",
                   "the Section 5 false-positive discussion");
 
-    std::vector<std::vector<std::string>> rows;
-    int baseline_fps = 0;
-    int pruned_fps = 0;
-    for (const corpus::ProtocolProfile& profile : corpus::paperProfiles()) {
-        bench::CheckedProtocol baseline(profile);
-        checkers::CheckerSetOptions pruning;
-        pruning.prune_impossible_paths = true;
-        bench::CheckedProtocol pruned(profile, pruning);
+    struct Totals
+    {
+        int errors = 0;
+        int fps = 0;
+    };
 
-        auto count = [](const bench::CheckedProtocol& cp,
-                        support::Severity sev) {
-            return cp.sink.countForChecker("msglen_check", sev);
-        };
-        int base_reports = count(baseline, support::Severity::Error);
-        int pruned_reports = count(pruned, support::Severity::Error);
-        int base_errors =
-            baseline.reconcile("msglen_check")
-                .foundWithClass(corpus::SeedClass::Error);
-        int pruned_errors =
-            pruned.reconcile("msglen_check")
-                .foundWithClass(corpus::SeedClass::Error);
-        baseline_fps += base_reports - base_errors;
-        pruned_fps += pruned_reports - pruned_errors;
-        rows.push_back({profile.name, std::to_string(base_errors),
-                        std::to_string(base_reports - base_errors),
-                        std::to_string(pruned_errors),
-                        std::to_string(pruned_reports - pruned_errors)});
+    const metal::PruneStrategy strategies[] = {
+        metal::PruneStrategy::Off,
+        metal::PruneStrategy::Correlated,
+        metal::PruneStrategy::Constraints,
+    };
+
+    std::vector<std::vector<std::string>> rows;
+    Totals totals[3];
+    for (const corpus::ProtocolProfile& profile :
+         corpus::paperProfiles()) {
+        std::vector<std::string> row = {profile.name};
+        for (int s = 0; s < 3; ++s) {
+            checkers::CheckerSetOptions options;
+            options.prune_strategy = strategies[s];
+            bench::CheckedProtocol checked(profile, options);
+            Totals t;
+            for (const checkers::CheckerMeta& meta :
+                 checkers::table7Meta()) {
+                corpus::Reconciliation rec = checked.reconcile(meta.name);
+                t.errors += rec.foundWithClass(corpus::SeedClass::Error);
+                // Table 7's FP column: seeded false positives the
+                // checker still reports, plus the buffer checker's
+                // useless annotations (the paper folds those in).
+                t.fps +=
+                    rec.foundWithClass(corpus::SeedClass::FalsePositive);
+                if (meta.name == "buffer_mgmt")
+                    t.fps += checked.loaded.gen.ledger.count(
+                        "buffer_mgmt",
+                        corpus::SeedClass::UselessAnnotation);
+            }
+            totals[s].errors += t.errors;
+            totals[s].fps += t.fps;
+            row.push_back(std::to_string(t.errors));
+            row.push_back(std::to_string(t.fps));
+        }
+        rows.push_back(std::move(row));
     }
-    rows.push_back({"total", "", std::to_string(baseline_fps), "",
-                    std::to_string(pruned_fps)});
-    bench::printTable({"Protocol", "errors (paper cfg)", "FPs (paper cfg)",
-                       "errors (pruning)", "FPs (pruning)"},
+    rows.push_back({"total", std::to_string(totals[0].errors),
+                    std::to_string(totals[0].fps),
+                    std::to_string(totals[1].errors),
+                    std::to_string(totals[1].fps),
+                    std::to_string(totals[2].errors),
+                    std::to_string(totals[2].fps)});
+    bench::printTable({"Protocol", "errors (off)", "FPs (off)",
+                       "errors (correlated)", "FPs (correlated)",
+                       "errors (constraints)", "FPs (constraints)"},
                       rows);
 
-    std::cout << "pruning removes " << baseline_fps - pruned_fps
-              << " of the " << baseline_fps
-              << " message-length false positives (the paper's coma pair) "
-                 "without losing any real error.\n";
+    for (int s = 0; s < 3; ++s)
+        std::cout << "PRUNE_FP_TOTAL "
+                  << metal::pruneStrategyName(strategies[s]) << "="
+                  << totals[s].fps << " errors=" << totals[s].errors
+                  << '\n';
+    std::cout << "constraint pruning removes "
+              << totals[0].fps - totals[2].fps << " of the "
+              << totals[0].fps
+              << " false positives without losing any real error.\n";
     return 0;
 }

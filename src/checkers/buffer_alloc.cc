@@ -142,7 +142,9 @@ BufferAllocChecker::checkFunction(const FunctionDecl& fn,
             st.checked = true;
     };
 
-    mc::metal::PathWalker<AllocState> walker(std::move(hooks));
+    mc::metal::PathWalker<AllocState>::WalkOptions wopts;
+    wopts.prune_strategy = prune_strategy_;
+    mc::metal::PathWalker<AllocState> walker(std::move(hooks), wopts);
     walker.walk(cfg, AllocState{});
 }
 

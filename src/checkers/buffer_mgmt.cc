@@ -271,7 +271,9 @@ BufferMgmtChecker::checkFunction(const FunctionDecl& fn,
                          role == Role::FreeingHelper ||
                          role == Role::UsingHelper;
 
-    mc::metal::PathWalker<BufState> walker(std::move(hooks));
+    mc::metal::PathWalker<BufState>::WalkOptions wopts;
+    wopts.prune_strategy = options_.prune_strategy;
+    mc::metal::PathWalker<BufState> walker(std::move(hooks), wopts);
     walker.walk(cfg, initial);
 
     for (const auto& [loc, useful] : annotation_useful) {

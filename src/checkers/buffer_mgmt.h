@@ -2,6 +2,7 @@
 #define MCHECK_CHECKERS_BUFFER_MGMT_H
 
 #include "checkers/checker.h"
+#include "metal/feasibility.h"
 
 #include <istream>
 #include <ostream>
@@ -46,6 +47,8 @@ class BufferMgmtChecker : public Checker
     struct Options
     {
         bool value_sensitive_frees = true;
+        /** Path-feasibility pruning for the buffer-state walk. */
+        metal::PruneStrategy prune_strategy = metal::PruneStrategy::Off;
     };
 
     BufferMgmtChecker() = default;

@@ -6,8 +6,10 @@
 
 namespace mc::checkers {
 
-BufferRaceChecker::BufferRaceChecker()
-    : program_(mc::metal::parseMetal(kWaitForDbMetal, "wait_for_db.metal"))
+BufferRaceChecker::BufferRaceChecker(metal::PruneStrategy prune_strategy)
+    : program_(
+          mc::metal::parseMetal(kWaitForDbMetal, "wait_for_db.metal")),
+      prune_strategy_(prune_strategy)
 {}
 
 const char*
@@ -21,7 +23,9 @@ BufferRaceChecker::checkFunction(const lang::FunctionDecl& fn,
                                  const cfg::Cfg& cfg, CheckContext& ctx)
 {
     (void)fn;
-    mc::metal::runStateMachine(*program_.sm, cfg, ctx.sink);
+    mc::metal::SmRunOptions options;
+    options.prune_strategy = prune_strategy_;
+    mc::metal::runStateMachine(*program_.sm, cfg, ctx.sink, options);
 
     // "Applied" = data-buffer reads encountered (Table 2).
     for (const cfg::BasicBlock& bb : cfg.blocks()) {

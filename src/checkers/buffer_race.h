@@ -2,6 +2,7 @@
 #define MCHECK_CHECKERS_BUFFER_RACE_H
 
 #include "checkers/checker.h"
+#include "metal/feasibility.h"
 #include "metal/metal_parser.h"
 
 namespace mc::checkers {
@@ -19,7 +20,8 @@ namespace mc::checkers {
 class BufferRaceChecker : public Checker
 {
   public:
-    BufferRaceChecker();
+    explicit BufferRaceChecker(
+        metal::PruneStrategy prune_strategy = metal::PruneStrategy::Off);
 
     std::string name() const override { return "wait_for_db"; }
 
@@ -31,6 +33,7 @@ class BufferRaceChecker : public Checker
 
   private:
     mc::metal::MetalProgram program_;
+    metal::PruneStrategy prune_strategy_ = metal::PruneStrategy::Off;
 };
 
 } // namespace mc::checkers

@@ -127,7 +127,9 @@ DirectoryChecker::checkFunction(const FunctionDecl& fn, const cfg::Cfg& cfg,
         }
     };
 
-    mc::metal::PathWalker<DirWalkState> walker(std::move(hooks));
+    mc::metal::PathWalker<DirWalkState>::WalkOptions wopts;
+    wopts.prune_strategy = prune_strategy_;
+    mc::metal::PathWalker<DirWalkState> walker(std::move(hooks), wopts);
     walker.walk(cfg, DirWalkState{});
 }
 

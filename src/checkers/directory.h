@@ -2,6 +2,7 @@
 #define MCHECK_CHECKERS_DIRECTORY_H
 
 #include "checkers/checker.h"
+#include "metal/feasibility.h"
 
 namespace mc::checkers {
 
@@ -26,10 +27,18 @@ namespace mc::checkers {
 class DirectoryChecker : public Checker
 {
   public:
+    explicit DirectoryChecker(
+        metal::PruneStrategy prune_strategy = metal::PruneStrategy::Off)
+        : prune_strategy_(prune_strategy)
+    {}
+
     std::string name() const override { return "dir_check"; }
 
     void checkFunction(const lang::FunctionDecl& fn, const cfg::Cfg& cfg,
                        CheckContext& ctx) override;
+
+  private:
+    metal::PruneStrategy prune_strategy_ = metal::PruneStrategy::Off;
 };
 
 } // namespace mc::checkers

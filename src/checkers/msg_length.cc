@@ -6,10 +6,10 @@
 
 namespace mc::checkers {
 
-MsgLengthChecker::MsgLengthChecker(bool prune_impossible_paths)
+MsgLengthChecker::MsgLengthChecker(metal::PruneStrategy prune_strategy)
     : program_(
           mc::metal::parseMetal(kMsgLenCheckMetal, "msglen_check.metal")),
-      prune_impossible_paths_(prune_impossible_paths)
+      prune_strategy_(prune_strategy)
 {}
 
 const char*
@@ -24,7 +24,7 @@ MsgLengthChecker::checkFunction(const lang::FunctionDecl& fn,
 {
     (void)fn;
     mc::metal::SmRunOptions options;
-    options.prune_correlated_branches = prune_impossible_paths_;
+    options.prune_strategy = prune_strategy_;
     mc::metal::runStateMachine(*program_.sm, cfg, ctx.sink, options);
 
     // "Applied" = sends plus length assignments the checker examined.

@@ -2,6 +2,7 @@
 #define MCHECK_CHECKERS_MSG_LENGTH_H
 
 #include "checkers/checker.h"
+#include "metal/feasibility.h"
 #include "metal/metal_parser.h"
 
 namespace mc::checkers {
@@ -24,14 +25,15 @@ class MsgLengthChecker : public Checker
 {
   public:
     /**
-     * @param prune_impossible_paths Enable correlated-branch pruning —
-     * the analysis that would have removed the paper's two coma false
-     * positives (Section 5 notes "the checker could have statically
-     * pruned the impossible execution paths with a more elaborate
-     * analysis, but the effort seemed unjustified"). Off by default to
-     * match the paper's checker.
+     * @param prune_strategy Path-feasibility pruning — the analysis
+     * that would have removed the paper's two coma false positives
+     * (Section 5 notes "the checker could have statically pruned the
+     * impossible execution paths with a more elaborate analysis, but
+     * the effort seemed unjustified"). Off by default to match the
+     * paper's checker.
      */
-    explicit MsgLengthChecker(bool prune_impossible_paths = false);
+    explicit MsgLengthChecker(
+        metal::PruneStrategy prune_strategy = metal::PruneStrategy::Off);
 
     std::string name() const override { return "msglen_check"; }
 
@@ -43,7 +45,7 @@ class MsgLengthChecker : public Checker
 
   private:
     mc::metal::MetalProgram program_;
-    bool prune_impossible_paths_ = false;
+    metal::PruneStrategy prune_strategy_ = metal::PruneStrategy::Off;
 };
 
 } // namespace mc::checkers

@@ -51,7 +51,9 @@ unitCacheKey(const std::string& checker_name,
     h.str(checker_name);
     h.str(metalSourceFor(checker_name));
     h.u8(options.value_sensitive_frees ? 1 : 0);
-    h.u8(options.prune_impossible_paths ? 1 : 0);
+    // PruneStrategy::Off encodes 0 — the byte the old boolean flag
+    // wrote — so existing cache entries stay valid for unpruned runs.
+    h.u8(static_cast<std::uint8_t>(options.prune_strategy));
     // Witness capture changes the bytes a unit produces (diagnostics
     // carry provenance), so witness-on and witness-off runs must never
     // share an entry — and neither may runs with different caps.
@@ -121,6 +123,9 @@ runCheckersParallel(const lang::Program& program,
         metrics.counter("witness.steps").add(0);
         metrics.counter("witness.truncations").add(0);
         metrics.counter("ledger.events").add(0);
+        metrics.counter("walker.infeasible_pruned").add(0);
+        metrics.counter("walker.prune_cache_hits").add(0);
+        metrics.counter("walker.prune_skipped_nary").add(0);
         metrics.histogram("unit.wall_ns");
         metrics.histogram("unit.visits");
     }
@@ -217,7 +222,7 @@ runCheckersParallel(const lang::Program& program,
     std::vector<Clock::duration> unit_elapsed(nunits,
                                               Clock::duration::zero());
     std::vector<char> unit_failed(nunits, 0);
-    std::vector<std::uint64_t> unit_visits(nunits, 0);
+    std::vector<support::LedgerUnitStats> unit_walk_stats(nunits);
     std::vector<support::BudgetStop> unit_stop(
         nunits, support::BudgetStop::None);
     pool.parallelFor(nunits, [&](std::size_t u) {
@@ -248,7 +253,7 @@ runCheckersParallel(const lang::Program& program,
             unit_checkers[u]->checkFunction(*fns[f], cfgs[f], uctx);
         });
         unit_elapsed[u] = Clock::now() - t0;
-        unit_visits[u] = unit_stats.visits;
+        unit_walk_stats[u] = unit_stats;
         unit_stop[u] = outcome.budget_stop;
         if (outcome.failed) {
             unit_failed[u] = 1;
@@ -320,7 +325,11 @@ runCheckersParallel(const lang::Program& program,
             event.wall_ms = std::chrono::duration<double, std::milli>(
                                 unit_elapsed[u])
                                 .count();
-            event.visits = unit_visits[u];
+            event.visits = unit_walk_stats[u].visits;
+            event.pruned_edges = unit_walk_stats[u].pruned_edges;
+            event.prune_cache_hits = unit_walk_stats[u].prune_cache_hits;
+            event.prune_skipped_nary =
+                unit_walk_stats[u].prune_skipped_nary;
             event.cache = !cache ? "off" : unit_hit[u] ? "hit" : "miss";
             event.budget_stop = support::budgetStopName(unit_stop[u]);
             event.truncated = unit_stop[u] != support::BudgetStop::None;
@@ -335,7 +344,8 @@ runCheckersParallel(const lang::Program& program,
                     std::chrono::duration_cast<std::chrono::nanoseconds>(
                         unit_elapsed[u])
                         .count()));
-            metrics.histogram("unit.visits").observe(unit_visits[u]);
+            metrics.histogram("unit.visits")
+                .observe(unit_walk_stats[u].visits);
         }
     }
     if (options.health) {

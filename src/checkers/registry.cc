@@ -27,21 +27,22 @@ makeChecker(const std::string& name, const CheckerSetOptions& options)
     if (name == "buffer_mgmt") {
         BufferMgmtChecker::Options bm;
         bm.value_sensitive_frees = options.value_sensitive_frees;
+        bm.prune_strategy = options.prune_strategy;
         return std::make_unique<BufferMgmtChecker>(bm);
     }
     if (name == "msglen_check")
-        return std::make_unique<MsgLengthChecker>(
-            options.prune_impossible_paths);
+        return std::make_unique<MsgLengthChecker>(options.prune_strategy);
     if (name == "lanes")
         return std::make_unique<LanesChecker>();
     if (name == "wait_for_db")
-        return std::make_unique<BufferRaceChecker>();
+        return std::make_unique<BufferRaceChecker>(options.prune_strategy);
     if (name == "alloc_check")
-        return std::make_unique<BufferAllocChecker>();
+        return std::make_unique<BufferAllocChecker>(
+            options.prune_strategy);
     if (name == "dir_check")
-        return std::make_unique<DirectoryChecker>();
+        return std::make_unique<DirectoryChecker>(options.prune_strategy);
     if (name == "send_wait")
-        return std::make_unique<SendWaitChecker>();
+        return std::make_unique<SendWaitChecker>(options.prune_strategy);
     if (name == "exec_restrict")
         return std::make_unique<ExecRestrictChecker>();
     if (name == "no_float")

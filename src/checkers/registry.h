@@ -2,6 +2,7 @@
 #define MCHECK_CHECKERS_REGISTRY_H
 
 #include "checkers/checker.h"
+#include "metal/feasibility.h"
 
 #include <memory>
 #include <string>
@@ -32,11 +33,13 @@ struct CheckerSetOptions
     /** Section 6.1 value-sensitive frees refinement (ablation toggle). */
     bool value_sensitive_frees = true;
     /**
-     * Correlated-branch path pruning for the message-length checker —
-     * the extension the paper declined to build (ablation toggle; off
-     * matches the paper).
+     * Path-feasibility pruning strategy (`--prune-paths`), applied
+     * uniformly to every path-sensitive checker — the extension the
+     * paper declined to build. Off matches the paper. (This replaces
+     * the old `prune_impossible_paths` flag, which only the
+     * message-length checker honored.)
      */
-    bool prune_impossible_paths = false;
+    metal::PruneStrategy prune_strategy = metal::PruneStrategy::Off;
 };
 
 /**

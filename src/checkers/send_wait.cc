@@ -105,7 +105,9 @@ SendWaitChecker::checkFunction(const FunctionDecl& fn, const cfg::Cfg& cfg,
         }
     };
 
-    mc::metal::PathWalker<WaitState> walker(std::move(hooks));
+    mc::metal::PathWalker<WaitState>::WalkOptions wopts;
+    wopts.prune_strategy = prune_strategy_;
+    mc::metal::PathWalker<WaitState> walker(std::move(hooks), wopts);
     walker.walk(cfg, WaitState{});
 }
 

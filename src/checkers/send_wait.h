@@ -2,6 +2,7 @@
 #define MCHECK_CHECKERS_SEND_WAIT_H
 
 #include "checkers/checker.h"
+#include "metal/feasibility.h"
 
 namespace mc::checkers {
 
@@ -21,10 +22,18 @@ namespace mc::checkers {
 class SendWaitChecker : public Checker
 {
   public:
+    explicit SendWaitChecker(
+        metal::PruneStrategy prune_strategy = metal::PruneStrategy::Off)
+        : prune_strategy_(prune_strategy)
+    {}
+
     std::string name() const override { return "send_wait"; }
 
     void checkFunction(const lang::FunctionDecl& fn, const cfg::Cfg& cfg,
                        CheckContext& ctx) override;
+
+  private:
+    metal::PruneStrategy prune_strategy_ = metal::PruneStrategy::Off;
 };
 
 } // namespace mc::checkers

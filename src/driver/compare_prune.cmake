@@ -1,0 +1,96 @@
+# Pruning-strategy determinism harness. For every --prune-paths strategy:
+#
+#   1. JSON output must be byte-identical between --jobs 1 and --jobs 4.
+#   2. A cold cache fill and a warm replay must both produce those same
+#      bytes (the unit cache key embeds the strategy, so strategies can
+#      share one cache directory without cross-talk).
+#   3. With -DGOLDEN=<file>, the 'off' strategy's bytes must equal the
+#      committed seed golden: pruning lands without perturbing the
+#      paper-faithful configuration at all.
+#
+# Usage:
+#   cmake -DMCCHECK=<path> -DPROTOCOL=<name> -DWORKDIR=<dir>
+#         [-DGOLDEN=<file>] -P compare_prune.cmake
+foreach(var MCCHECK PROTOCOL WORKDIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "compare_prune.cmake: -D${var}=... is required")
+    endif()
+endforeach()
+
+file(REMOVE_RECURSE ${WORKDIR})
+file(MAKE_DIRECTORY ${WORKDIR})
+
+foreach(strategy off correlated constraints)
+    execute_process(
+        COMMAND ${MCCHECK} --protocol ${PROTOCOL} --format json
+                --prune-paths ${strategy} --jobs 1
+        OUTPUT_VARIABLE out_j1
+        ERROR_VARIABLE err_j1
+        RESULT_VARIABLE rc_j1)
+    execute_process(
+        COMMAND ${MCCHECK} --protocol ${PROTOCOL} --format json
+                --prune-paths ${strategy} --jobs 4
+        OUTPUT_VARIABLE out_j4
+        RESULT_VARIABLE rc_j4)
+    if(NOT rc_j1 EQUAL rc_j4)
+        message(FATAL_ERROR
+            "exit codes differ for ${PROTOCOL} --prune-paths ${strategy}: "
+            "--jobs 1 -> ${rc_j1}, --jobs 4 -> ${rc_j4}\n"
+            "stderr(jobs=1): ${err_j1}")
+    endif()
+    if(NOT out_j1 STREQUAL out_j4)
+        message(FATAL_ERROR
+            "stdout differs between --jobs 1 and --jobs 4 for "
+            "${PROTOCOL} --prune-paths ${strategy}")
+    endif()
+    if(out_j1 STREQUAL "")
+        message(FATAL_ERROR
+            "mccheck produced no output for ${PROTOCOL} "
+            "--prune-paths ${strategy} (rc=${rc_j1}, stderr: ${err_j1})")
+    endif()
+
+    # Cold fill, then warm replay, against one shared cache directory.
+    execute_process(
+        COMMAND ${MCCHECK} --protocol ${PROTOCOL} --format json
+                --prune-paths ${strategy} --jobs 1
+                --cache ${WORKDIR}/cache
+        OUTPUT_VARIABLE out_cold
+        RESULT_VARIABLE rc_cold)
+    execute_process(
+        COMMAND ${MCCHECK} --protocol ${PROTOCOL} --format json
+                --prune-paths ${strategy} --jobs 4
+                --cache ${WORKDIR}/cache
+        OUTPUT_VARIABLE out_warm
+        ERROR_VARIABLE err_warm
+        RESULT_VARIABLE rc_warm)
+    if(NOT out_cold STREQUAL out_j1)
+        message(FATAL_ERROR
+            "cold-cache bytes differ from uncached for ${PROTOCOL} "
+            "--prune-paths ${strategy}")
+    endif()
+    if(NOT out_warm STREQUAL out_j1)
+        message(FATAL_ERROR
+            "warm-cache bytes differ from uncached for ${PROTOCOL} "
+            "--prune-paths ${strategy}")
+    endif()
+    if(NOT err_warm MATCHES "hit")
+        message(FATAL_ERROR
+            "warm run reported no cache hits for ${PROTOCOL} "
+            "--prune-paths ${strategy}; the comparison is vacuous "
+            "(stderr: ${err_warm})")
+    endif()
+
+    if(strategy STREQUAL "off" AND DEFINED GOLDEN)
+        file(READ ${GOLDEN} golden_bytes)
+        if(NOT out_j1 STREQUAL golden_bytes)
+            message(FATAL_ERROR
+                "--prune-paths off output for ${PROTOCOL} differs from "
+                "the committed seed golden ${GOLDEN}; the default "
+                "configuration must be byte-identical to the "
+                "pre-pruning tool")
+        endif()
+    endif()
+    message(STATUS
+        "${PROTOCOL} --prune-paths ${strategy}: jobs 1/4 and cold/warm "
+        "cache agree byte-for-byte")
+endforeach()

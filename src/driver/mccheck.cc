@@ -136,6 +136,16 @@ const char* const kUsage =
     "                              default) or 'legacy' (re-match per\n"
     "                              visit); output is byte-identical\n"
     "                              either way\n"
+    "  --prune-paths <s>           path-feasibility pruning: 'off'\n"
+    "                              (the default; walk every syntactic\n"
+    "                              path like the paper's tool),\n"
+    "                              'correlated' (re-tests of the same\n"
+    "                              condition take the same edge), or\n"
+    "                              'constraints' (adds a semantic value\n"
+    "                              domain: x == 5 then x > 10 prunes);\n"
+    "                              each strategy's output is\n"
+    "                              byte-identical for any --jobs value,\n"
+    "                              warm or cold cache\n"
     "  --cache-readonly            read the cache but never write it\n"
     "  --cache-limit-mb <n>        evict oldest cache entries beyond n\n"
     "                              MiB after the run\n"
@@ -194,6 +204,8 @@ struct CliOptions
     unsigned long unit_timeout_ms = 0;
     /** Per-unit path-walker step budget; 0 = unlimited. */
     unsigned long unit_max_steps = 0;
+    /** Path-feasibility pruning strategy for every checker's walks. */
+    metal::PruneStrategy prune_strategy = metal::PruneStrategy::Off;
     /** Abort on the first contained unit failure instead of degrading. */
     bool fail_fast = false;
     /** Fault-injection spec ("site:n"); empty = use the env var only. */
@@ -335,6 +347,19 @@ parseArgs(const std::vector<std::string>& args, CliOptions& out)
                 return usageError("--match-strategy must be 'table' or "
                                   "'legacy', got '" + value + "'");
             }
+            ++i;
+        } else if (arg == "--prune-paths") {
+            std::string value;
+            if (!need_value(i, arg, value))
+                return usageError("--prune-paths needs a value (off, "
+                                  "correlated, or constraints)");
+            std::optional<metal::PruneStrategy> strategy =
+                metal::parsePruneStrategy(value);
+            if (!strategy)
+                return usageError("--prune-paths must be 'off', "
+                                  "'correlated', or 'constraints', got '" +
+                                  value + "'");
+            out.prune_strategy = *strategy;
             ++i;
         } else if (arg == "--cache") {
             if (!need_value(i, arg, out.cache_dir))
@@ -488,7 +513,9 @@ checkProtocol(const CliOptions& opts, cache::AnalysisCache* cache)
     support::TraceRecorder& tracer = support::TraceRecorder::global();
     support::TraceSpan span(tracer.enabled() ? &tracer : nullptr,
                             "protocol:" + opts.protocol, "driver");
-    auto set = checkers::makeAllCheckers();
+    checkers::CheckerSetOptions copts;
+    copts.prune_strategy = opts.prune_strategy;
+    auto set = checkers::makeAllCheckers(copts);
     support::DiagnosticSink sink;
     reportFrontendIssues(*loaded.program, sink);
     checkers::RunHealth health;
@@ -498,6 +525,7 @@ checkProtocol(const CliOptions& opts, cache::AnalysisCache* cache)
     prun.unit_budget = unitBudget(opts);
     prun.fail_fast = opts.fail_fast;
     prun.health = &health;
+    prun.checker_options = copts;
     auto stats = checkers::runCheckersParallel(
         *loaded.program, loaded.gen.spec, set.pointers(), sink, prun);
     span.finish();
@@ -596,7 +624,7 @@ runMetalChecker(const CliOptions& opts, cache::AnalysisCache* cache)
     std::vector<char> fn_hit(fns.size(), 0);
     std::vector<Clock::duration> fn_elapsed(fns.size(),
                                             Clock::duration::zero());
-    std::vector<std::uint64_t> fn_visits(fns.size(), 0);
+    std::vector<support::LedgerUnitStats> fn_walk_stats(fns.size());
     std::vector<support::BudgetStop> fn_stop(fns.size(),
                                              support::BudgetStop::None);
     std::map<std::string, std::uint64_t> fn_fps;
@@ -621,6 +649,8 @@ runMetalChecker(const CliOptions& opts, cache::AnalysisCache* cache)
                           .str(metal_source)
                           .u8(support::witnessEnabled() ? 1 : 0)
                           .u64(support::witnessLimit())
+                          .u8(static_cast<std::uint8_t>(
+                              opts.prune_strategy))
                           .u64(fp->second)
                           .value();
             cache::CachedUnit unit;
@@ -655,10 +685,13 @@ runMetalChecker(const CliOptions& opts, cache::AnalysisCache* cache)
         checkers::UnitOutcome outcome = guard.run([&] {
             support::fault::probe("checker.unit", label);
             cfg::Cfg cfg = cfg::CfgBuilder::build(*fns[f]);
-            metal::runStateMachine(*checker.sm, cfg, scratch);
+            metal::SmRunOptions run_options;
+            run_options.prune_strategy = opts.prune_strategy;
+            metal::runStateMachine(*checker.sm, cfg, scratch,
+                                   run_options);
         });
         fn_elapsed[f] = Clock::now() - t0;
-        fn_visits[f] = unit_stats.visits;
+        fn_walk_stats[f] = unit_stats;
         fn_stop[f] = outcome.budget_stop;
         if (outcome.failed) {
             fn_failed[f] = 1;
@@ -715,7 +748,11 @@ runMetalChecker(const CliOptions& opts, cache::AnalysisCache* cache)
             event.wall_ms = std::chrono::duration<double, std::milli>(
                                 fn_elapsed[f])
                                 .count();
-            event.visits = fn_visits[f];
+            event.visits = fn_walk_stats[f].visits;
+            event.pruned_edges = fn_walk_stats[f].pruned_edges;
+            event.prune_cache_hits = fn_walk_stats[f].prune_cache_hits;
+            event.prune_skipped_nary =
+                fn_walk_stats[f].prune_skipped_nary;
             event.cache = !cache ? "off" : fn_hit[f] ? "hit" : "miss";
             event.budget_stop = support::budgetStopName(fn_stop[f]);
             event.truncated = fn_stop[f] != support::BudgetStop::None;
@@ -730,7 +767,8 @@ runMetalChecker(const CliOptions& opts, cache::AnalysisCache* cache)
                     std::chrono::duration_cast<std::chrono::nanoseconds>(
                         fn_elapsed[f])
                         .count()));
-            metrics.histogram("unit.visits").observe(fn_visits[f]);
+            metrics.histogram("unit.visits")
+                .observe(fn_walk_stats[f].visits);
         }
     }
     if (metrics.enabled()) {
@@ -773,7 +811,9 @@ checkFiles(const CliOptions& opts, cache::AnalysisCache* cache)
         spec.addHandler(hs);
     }
 
-    auto set = checkers::makeAllCheckers();
+    checkers::CheckerSetOptions copts;
+    copts.prune_strategy = opts.prune_strategy;
+    auto set = checkers::makeAllCheckers(copts);
     support::DiagnosticSink sink;
     reportFrontendIssues(program, sink);
     checkers::RunHealth health;
@@ -783,6 +823,7 @@ checkFiles(const CliOptions& opts, cache::AnalysisCache* cache)
     prun.unit_budget = unitBudget(opts);
     prun.fail_fast = opts.fail_fast;
     prun.health = &health;
+    prun.checker_options = copts;
     auto stats = checkers::runCheckersParallel(program, spec,
                                                set.pointers(), sink, prun);
     emitFindings(opts, sink, &program.sourceManager(), nullptr);

@@ -83,6 +83,8 @@ fillWalkStats(SmRunResult& result, const WalkResult& walk)
     result.truncated = walk.truncated;
     result.cache_hits = walk.cache_hits;
     result.pruned_edges = walk.pruned_edges;
+    result.prune_cache_hits = walk.prune_cache_hits;
+    result.prune_skipped_nary = walk.prune_skipped_nary;
     result.peak_frontier = walk.peak_frontier;
     result.budget_stop = walk.budget_stop;
 }
@@ -93,8 +95,7 @@ walkOptions(const SmRunOptions& options)
 {
     typename PathWalker<State>::WalkOptions walk_options;
     walk_options.max_visits = options.max_visits;
-    walk_options.prune_correlated_branches =
-        options.prune_correlated_branches;
+    walk_options.prune_strategy = options.prune_strategy;
     return walk_options;
 }
 

@@ -2,6 +2,7 @@
 #define MCHECK_METAL_ENGINE_H
 
 #include "cfg/cfg.h"
+#include "metal/feasibility.h"
 #include "metal/state_machine.h"
 #include "support/budget.h"
 #include "support/diagnostics.h"
@@ -24,6 +25,10 @@ struct SmRunResult
     std::uint64_t cache_hits = 0;
     /** Branch edges pruned as contradictory (pruning mode only). */
     std::uint64_t pruned_edges = 0;
+    /** Feasibility verdicts answered from the prune-decision cache. */
+    std::uint64_t prune_cache_hits = 0;
+    /** Branch blocks pruning skipped for fanning out != 2 ways. */
+    std::uint64_t prune_skipped_nary = 0;
     /** Largest pending-path frontier reached during the walk. */
     std::uint64_t peak_frontier = 0;
     /** State transitions taken (rule matches that changed the state). */
@@ -71,12 +76,11 @@ struct SmRunOptions
     /** Cap on (block, state) visits. */
     std::uint64_t max_visits = 1u << 22;
     /**
-     * Prune statically impossible paths through correlated branches
-     * (see PathWalker::WalkOptions). The paper declines to build this
-     * ("the effort seemed unjustified"); the path-pruning ablation
-     * measures what it would have bought.
+     * Prune statically impossible paths (see PruneStrategy). The paper
+     * declines to build this ("the effort seemed unjustified"); the
+     * path-pruning ablation measures what it would have bought.
      */
-    bool prune_correlated_branches = false;
+    PruneStrategy prune_strategy = PruneStrategy::Off;
     /**
      * Function name recorded on the run's trace span ("function" arg in
      * the trace viewer). Defaults to the CFG's own function when unset.

@@ -2,21 +2,20 @@
 #define MCHECK_METAL_PATH_WALKER_H
 
 #include "cfg/cfg.h"
+#include "metal/feasibility.h"
 #include "support/budget.h"
 #include "support/hash.h"
 #include "support/interner.h"
+#include "support/metrics.h"
 #include "support/run_ledger.h"
 #include "support/witness.h"
 
 #include <algorithm>
-#include <cctype>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <optional>
 #include <string>
 #include <type_traits>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -78,6 +77,12 @@ class PathWalker
         bool truncated = false;
         /** Branch edges pruned as contradictory (pruning mode only). */
         std::uint64_t pruned_edges = 0;
+        /** Feasibility verdicts answered from the per-(block, facts)
+         *  prune-decision cache instead of re-deciding. */
+        std::uint64_t prune_cache_hits = 0;
+        /** Branch blocks pruning had to skip because they fan out to
+         *  other than two successors (switch-lowered branches). */
+        std::uint64_t prune_skipped_nary = 0;
         /**
          * Paths abandoned because their (block, state) pair had already
          * been visited — the cache hits that keep 2^N-path functions
@@ -97,15 +102,14 @@ class PathWalker
     {
         std::uint64_t max_visits = 1u << 22;
         /**
-         * Prune statically impossible paths through *correlated
-         * branches*: when two two-way branches test the syntactically
-         * identical (side-effect-free) condition along one path, the
-         * second must take the same edge as the first. This is the
-         * "more elaborate analysis" the paper's Section 5 describes and
-         * declines to build; the path-pruning ablation measures what it
-         * buys. Negated conditions (`!c` vs `c`) correlate too.
+         * Prune statically impossible paths (feasibility.h). Correlated
+         * rejects re-takes of the syntactically identical condition —
+         * the "more elaborate analysis" the paper's Section 5 describes
+         * and declines to build. Constraints layers a semantic value
+         * domain on top, so `x == 5` followed by `x > 10` is pruned
+         * even though the two conditions never render to the same text.
          */
-        bool prune_correlated_branches = false;
+        PruneStrategy prune_strategy = PruneStrategy::Off;
     };
 
     explicit PathWalker(Hooks hooks, std::uint64_t max_visits = 1u << 22)
@@ -123,7 +127,8 @@ class PathWalker
     walk(const cfg::Cfg& cfg, const State& initial)
     {
         Result result;
-        CondTable conds;
+        FeasibilityContext feas(options_.prune_strategy);
+        const bool pruning = feas.enabled();
         VisitedSet visited;
         // Witness capture is resolved once per walk: when off, every
         // entry carries an inert trail (a null pointer member), so the
@@ -153,6 +158,7 @@ class PathWalker
             // actually processed.
             if (result.visits >= options_.max_visits) {
                 result.truncated = true;
+                result.prune_cache_hits = feas.cacheHits();
                 publishUnitStats(result);
                 return result;
             }
@@ -170,6 +176,7 @@ class PathWalker
                 if (budget->exhausted()) {
                     result.truncated = true;
                     result.budget_stop = budget->stop();
+                    result.prune_cache_hits = feas.cacheHits();
                     publishUnitStats(result);
                     return result;
                 }
@@ -192,9 +199,8 @@ class PathWalker
                     hooks_.on_stmt_at(entry.state, *stmt, entry.block, si);
                 else if (hooks_.on_stmt)
                     hooks_.on_stmt(entry.state, *stmt);
-                if (options_.prune_correlated_branches &&
-                    !entry.outcomes.empty())
-                    conds.invalidateOutcomes(*stmt, entry.outcomes);
+                if (pruning)
+                    feas.invalidate(*stmt, entry.facts);
                 if (entry.state.dead())
                     break;
             }
@@ -207,61 +213,119 @@ class PathWalker
                 continue;
             }
 
+            // Successor fan-out runs in two phases so that pruned edges
+            // are dead on arrival: phase one classifies every out-edge
+            // against the path's facts (pure — nothing mutated), phase
+            // two forks only the feasible ones. on_branch therefore
+            // never fires on a pruned edge — an earlier version ran the
+            // hook first and pruned after, so contradictory edges still
+            // executed branch transitions, inflating sm_transitions and
+            // witness state on paths that were about to be discarded.
+            const bool prunable =
+                pruning && bb.isBranch() && bb.succs.size() == 2;
+            if (pruning && bb.isBranch() && bb.succs.size() != 2)
+                ++result.prune_skipped_nary;
+            unsigned feasible_mask = ~0u;
+            if (prunable) {
+                std::uint64_t digest =
+                    FeasibilityContext::factsDigest(entry.facts);
+                for (std::size_t i = 0; i < 2; ++i) {
+                    if (feas.edgeFeasible(entry.block, *bb.branch_cond,
+                                          i == 0, entry.facts, digest))
+                        continue;
+                    feasible_mask &= ~(1u << i);
+                    ++result.pruned_edges;
+                    // Note the pruned edge on the popped entry's trail
+                    // before forking: every surviving sibling path
+                    // carries the evidence that its twin was cut.
+                    if (witness_on)
+                        entry.trail.addStep(
+                            support::WitnessStep{
+                                "path", "pruned", bb.branch_cond->loc,
+                                prunedEdgeNote(bb, i)},
+                            witness_cap);
+                }
+            }
+            std::size_t last_live = bb.succs.size();
+            for (std::size_t i = 0; i < bb.succs.size(); ++i)
+                if (feasible_mask >> i & 1u)
+                    last_live = i;
             for (std::size_t i = 0; i < bb.succs.size(); ++i) {
+                if (!(feasible_mask >> i & 1u))
+                    continue; // contradicts the path's facts
                 // The popped entry is dead after this loop, so the last
-                // successor steals its state and outcomes instead of
-                // copying them — one fewer deep copy per non-branch
+                // surviving successor steals its state and facts instead
+                // of copying them — one fewer deep copy per non-branch
                 // block, which is most of a walk.
-                bool last = i + 1 == bb.succs.size();
                 Entry next =
-                    last ? Entry{bb.succs[i], std::move(entry.state),
-                                 std::move(entry.outcomes),
-                                 std::move(entry.trail)}
-                         : Entry{bb.succs[i], entry.state, entry.outcomes,
-                                 entry.trail};
+                    i == last_live
+                        ? Entry{bb.succs[i], std::move(entry.state),
+                                std::move(entry.facts),
+                                std::move(entry.trail)}
+                        : Entry{bb.succs[i], entry.state, entry.facts,
+                                entry.trail};
+                if (prunable)
+                    feas.applyEdge(*bb.branch_cond, i == 0, next.facts);
                 if (bb.isBranch() && hooks_.on_branch)
                     hooks_.on_branch(next.state, *bb.branch_cond, i);
                 if (next.state.dead())
                     continue;
-                if (options_.prune_correlated_branches && bb.isBranch() &&
-                    bb.succs.size() == 2 &&
-                    !conds.recordOutcome(*bb.branch_cond, i == 0,
-                                         next.outcomes)) {
-                    ++result.pruned_edges;
-                    continue; // contradicts an earlier outcome
-                }
                 stack.push_back(std::move(next));
             }
         }
+        result.prune_cache_hits = feas.cacheHits();
         publishUnitStats(result);
         return result;
     }
 
   private:
-    /** Recorded branch outcomes: (condition id, value), sorted by id. */
-    using Outcomes = std::vector<std::pair<std::uint32_t, bool>>;
-
-    /** Client state plus the path's recorded branch outcomes. */
+    /** Client state plus everything the path's branches established. */
     struct Entry
     {
         int block;
         State state;
-        Outcomes outcomes;
+        /** Branch outcomes + value constraints (empty when not pruning). */
+        PathFacts facts;
         /** Path provenance; inert (one null pointer) unless --witness. */
         support::WitnessTrail trail;
     };
 
+    /** Deterministic annotation for a pruned edge's witness step. */
+    static std::string
+    prunedEdgeNote(const cfg::BasicBlock& bb, std::size_t edge)
+    {
+        return "infeasible edge to block " +
+               std::to_string(bb.succs[edge]) + ": branch cannot be " +
+               (edge == 0 ? "true" : "false") +
+               " given earlier branches on this path";
+    }
+
     /**
      * Fold this walk's tallies into the thread's active per-unit ledger
-     * accumulator, if any (installed by the unit runners). One TLS load
-     * per walk; nothing per visit.
+     * accumulator, if any (installed by the unit runners), and into the
+     * walker.* metrics. One TLS load and one enabled check per walk;
+     * nothing per visit.
      */
     static void
     publishUnitStats(const Result& result)
     {
         if (support::LedgerUnitStats* stats =
-                support::LedgerUnitStats::current())
+                support::LedgerUnitStats::current()) {
             stats->visits += result.visits;
+            stats->pruned_edges += result.pruned_edges;
+            stats->prune_cache_hits += result.prune_cache_hits;
+            stats->prune_skipped_nary += result.prune_skipped_nary;
+        }
+        support::MetricsRegistry& metrics =
+            support::MetricsRegistry::global();
+        if (metrics.enabled()) {
+            metrics.counter("walker.infeasible_pruned")
+                .add(result.pruned_edges);
+            metrics.counter("walker.prune_cache_hits")
+                .add(result.prune_cache_hits);
+            metrics.counter("walker.prune_skipped_nary")
+                .add(result.prune_skipped_nary);
+        }
     }
 
     using KeyType = decltype(std::declval<const State&>().key());
@@ -343,13 +407,14 @@ class PathWalker
      * collision-free, so the engine's semantic counters (visits,
      * cache_hits, transitions) are exact, not probabilistic. String
      * keys, and any walk with pruning enabled (whose key must also
-     * encode the path's branch outcomes), use a 64-bit FNV-1a digest.
+     * encode the path's branch outcomes and value constraints), use a
+     * 64-bit FNV-1a digest.
      */
     std::uint64_t
     visitedKey(const Entry& entry) const
     {
         if constexpr (kIntegralKey) {
-            if (!options_.prune_correlated_branches)
+            if (options_.prune_strategy == PruneStrategy::Off)
                 return (static_cast<std::uint64_t>(
                             static_cast<std::uint32_t>(entry.block))
                         << 32) |
@@ -362,224 +427,26 @@ class PathWalker
             h.u64(static_cast<std::uint64_t>(entry.state.key()));
         else
             h.str(entry.state.key());
-        for (const auto& [cond, value] : entry.outcomes) {
-            h.u64(cond);
-            h.u8(value ? 1 : 0);
-        }
+        h.u64(FeasibilityContext::factsDigest(entry.facts));
         return h.value();
     }
 
     /** Bytes a pending entry pins: the entry itself, its key's heap
-     *  footprint, the outcome vector's heap, the witness trail's bounded
-     *  payload, and the visited-set slot. */
+     *  footprint, the facts' heap (outcome vector plus constraint
+     *  store), the witness trail's bounded payload, and the
+     *  visited-set slot. */
     static std::size_t
     entryBytes(const Entry& entry)
     {
         std::size_t bytes = sizeof(Entry) + sizeof(std::uint64_t) +
-                            entry.outcomes.capacity() *
-                                sizeof(typename Outcomes::value_type) +
+                            entry.facts.outcomes.capacity() *
+                                sizeof(Outcomes::value_type) +
+                            entry.facts.constraints.heapBytes() +
                             entry.trail.heapBytes();
         if constexpr (!kIntegralKey)
             bytes += entry.state.key().size();
         return bytes;
     }
-
-    /**
-     * Canonicalizes branch conditions to dense ids for outcome tracking.
-     *
-     * Two conditions share an id iff they render to the same source text
-     * (after stripping `!` prefixes) — the same equivalence the legacy
-     * string-keyed outcome map used. Per condition id the table keeps the
-     * interned word tokens of that text, so assignment invalidation is a
-     * sorted-id intersection instead of a substring scan. All caches are
-     * per-walk; ids never escape the walk.
-     */
-    class CondTable
-    {
-      public:
-        /**
-         * Record "cond evaluated to `value`" in `outcomes`. Returns
-         * false if that contradicts a previously recorded outcome on
-         * this path. Conditions with calls or assignments are not
-         * correlated (their value can change between tests).
-         */
-        bool
-        recordOutcome(const lang::Expr& cond, bool value,
-                      Outcomes& outcomes)
-        {
-            const CondInfo& info = condInfo(cond);
-            if (info.impure)
-                return true;
-            if (info.flip)
-                value = !value;
-            auto it = std::lower_bound(
-                outcomes.begin(), outcomes.end(), info.id,
-                [](const auto& e, std::uint32_t id) { return e.first < id; });
-            if (it != outcomes.end() && it->first == info.id)
-                return it->second == value;
-            outcomes.insert(it, {info.id, value});
-            return true;
-        }
-
-        /**
-         * Drop recorded outcomes whose condition mentions a variable
-         * this statement assigns — the re-test of the condition is no
-         * longer correlated with the first.
-         */
-        void
-        invalidateOutcomes(const lang::Stmt& stmt, Outcomes& outcomes)
-        {
-            const std::vector<support::SymbolId>& assigned =
-                assignedIdents(stmt);
-            if (assigned.empty())
-                return;
-            outcomes.erase(
-                std::remove_if(
-                    outcomes.begin(), outcomes.end(),
-                    [&](const std::pair<std::uint32_t, bool>& outcome) {
-                        const std::vector<support::SymbolId>& toks =
-                            tokens_[outcome.first];
-                        for (support::SymbolId name : assigned)
-                            if (std::binary_search(toks.begin(),
-                                                   toks.end(), name))
-                                return true;
-                        return false;
-                    }),
-                outcomes.end());
-        }
-
-      private:
-        struct CondInfo
-        {
-            std::uint32_t id = 0;
-            /** Parity of stripped `!` prefixes on the original node. */
-            bool flip = false;
-            bool impure = false;
-        };
-
-        const CondInfo&
-        condInfo(const lang::Expr& cond)
-        {
-            auto cached = by_node_.find(&cond);
-            if (cached != by_node_.end())
-                return cached->second;
-
-            CondInfo info;
-            const lang::Expr* base = &cond;
-            while (base->ekind == lang::ExprKind::Unary &&
-                   static_cast<const lang::UnaryExpr*>(base)->op ==
-                       lang::UnaryOp::Not) {
-                base = static_cast<const lang::UnaryExpr*>(base)->operand;
-                info.flip = !info.flip;
-            }
-            lang::forEachSubExpr(*base, [&](const lang::Expr& e) {
-                if (e.ekind == lang::ExprKind::Call)
-                    info.impure = true;
-                if (e.ekind == lang::ExprKind::Binary &&
-                    lang::isAssignment(
-                        static_cast<const lang::BinaryExpr&>(e).op))
-                    info.impure = true;
-                if (e.ekind == lang::ExprKind::Unary) {
-                    auto op = static_cast<const lang::UnaryExpr&>(e).op;
-                    if (op == lang::UnaryOp::PreInc ||
-                        op == lang::UnaryOp::PreDec ||
-                        op == lang::UnaryOp::PostInc ||
-                        op == lang::UnaryOp::PostDec)
-                        info.impure = true;
-                }
-            });
-            if (!info.impure) {
-                std::string text = lang::exprToString(*base);
-                auto [it, inserted] = text_ids_.emplace(
-                    std::move(text),
-                    static_cast<std::uint32_t>(tokens_.size()));
-                if (inserted)
-                    tokens_.push_back(wordTokens(it->first));
-                info.id = it->second;
-            }
-            return by_node_.emplace(&cond, info).first->second;
-        }
-
-        /**
-         * The interned maximal [A-Za-z0-9_] runs of `text`, sorted and
-         * deduplicated. Membership of an identifier in this set is
-         * exactly the legacy whole-word substring test: every whole-word
-         * occurrence is a maximal run and vice versa.
-         */
-        static std::vector<support::SymbolId>
-        wordTokens(const std::string& text)
-        {
-            std::vector<support::SymbolId> out;
-            auto& interner = support::SymbolInterner::global();
-            auto is_word = [](char c) {
-                return std::isalnum(static_cast<unsigned char>(c)) ||
-                       c == '_';
-            };
-            std::size_t i = 0;
-            while (i < text.size()) {
-                if (!is_word(text[i])) {
-                    ++i;
-                    continue;
-                }
-                std::size_t start = i;
-                while (i < text.size() && is_word(text[i]))
-                    ++i;
-                out.push_back(interner.intern(
-                    std::string_view(text).substr(start, i - start)));
-            }
-            std::sort(out.begin(), out.end());
-            out.erase(std::unique(out.begin(), out.end()), out.end());
-            return out;
-        }
-
-        /** Interned names this statement assigns (cached per stmt). */
-        const std::vector<support::SymbolId>&
-        assignedIdents(const lang::Stmt& stmt)
-        {
-            auto cached = assigned_.find(&stmt);
-            if (cached != assigned_.end())
-                return cached->second;
-
-            std::vector<support::SymbolId> assigned;
-            auto& interner = support::SymbolInterner::global();
-            if (stmt.skind == lang::StmtKind::Decl)
-                for (const lang::VarDecl* v :
-                     static_cast<const lang::DeclStmt&>(stmt).decls)
-                    assigned.push_back(interner.intern(v->name));
-            lang::forEachTopLevelExpr(stmt, [&](const lang::Expr& top) {
-                lang::forEachSubExpr(top, [&](const lang::Expr& e) {
-                    const lang::Expr* target = nullptr;
-                    if (e.ekind == lang::ExprKind::Binary &&
-                        lang::isAssignment(
-                            static_cast<const lang::BinaryExpr&>(e).op))
-                        target = static_cast<const lang::BinaryExpr&>(e).lhs;
-                    if (e.ekind == lang::ExprKind::Unary) {
-                        auto op = static_cast<const lang::UnaryExpr&>(e).op;
-                        if (op == lang::UnaryOp::PreInc ||
-                            op == lang::UnaryOp::PreDec ||
-                            op == lang::UnaryOp::PostInc ||
-                            op == lang::UnaryOp::PostDec)
-                            target = static_cast<const lang::UnaryExpr&>(e)
-                                         .operand;
-                    }
-                    if (target && target->ekind == lang::ExprKind::Ident)
-                        assigned.push_back(interner.intern(
-                            static_cast<const lang::IdentExpr*>(target)
-                                ->name));
-                });
-            });
-            return assigned_.emplace(&stmt, std::move(assigned))
-                .first->second;
-        }
-
-        /** Canonical condition text -> id; id indexes tokens_. */
-        std::map<std::string, std::uint32_t> text_ids_;
-        std::vector<std::vector<support::SymbolId>> tokens_;
-        std::unordered_map<const lang::Expr*, CondInfo> by_node_;
-        std::unordered_map<const lang::Stmt*,
-                           std::vector<support::SymbolId>>
-            assigned_;
-    };
 
     Hooks hooks_;
     WalkOptions options_;

@@ -114,7 +114,11 @@ RunLedger::unit(const LedgerUnitEvent& event)
     os << "{\"event\": \"unit\", \"function\": " << quoted(event.function)
        << ", \"checker\": " << quoted(event.checker)
        << ", \"wall_ms\": " << event.wall_ms
-       << ", \"visits\": " << event.visits << ", \"cache\": \""
+       << ", \"visits\": " << event.visits
+       << ", \"pruned_edges\": " << event.pruned_edges
+       << ", \"prune_cache_hits\": " << event.prune_cache_hits
+       << ", \"prune_skipped_nary\": " << event.prune_skipped_nary
+       << ", \"cache\": \""
        << event.cache << "\", \"budget_stop\": \"" << event.budget_stop
        << "\", \"truncated\": " << boolName(event.truncated)
        << ", \"failed\": " << boolName(event.failed)

@@ -21,6 +21,12 @@ struct LedgerUnitEvent
     std::string checker;
     double wall_ms = 0.0;
     std::uint64_t visits = 0;
+    /** Branch edges pruned as infeasible (pruning strategies only). */
+    std::uint64_t pruned_edges = 0;
+    /** Feasibility verdicts answered from the prune-decision cache. */
+    std::uint64_t prune_cache_hits = 0;
+    /** Branch blocks pruning skipped for fanning out != 2 ways. */
+    std::uint64_t prune_skipped_nary = 0;
     /** "hit", "miss", or "off" (no cache configured). */
     const char* cache = "off";
     /** Budget truncation: "none", "deadline", "steps", "bytes". */
@@ -41,6 +47,9 @@ struct LedgerUnitEvent
 struct LedgerUnitStats
 {
     std::uint64_t visits = 0;
+    std::uint64_t pruned_edges = 0;
+    std::uint64_t prune_cache_hits = 0;
+    std::uint64_t prune_skipped_nary = 0;
 
     /** The calling thread's active accumulator, or nullptr. */
     static LedgerUnitStats* current();

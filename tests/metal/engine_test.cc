@@ -214,7 +214,7 @@ TEST(Engine, PruningRemovesCorrelatedBranchFalsePositive)
     program.addSource("t.c", "void f(void) {" + body + "}");
     cfg::Cfg cfg = cfg::CfgBuilder::build(*program.findFunction("f"));
     SmRunOptions options;
-    options.prune_correlated_branches = true;
+    options.prune_strategy = PruneStrategy::Correlated;
     auto result = runStateMachine(*mp.sm, cfg, sink, options);
     EXPECT_EQ(sink.count(support::Severity::Error), 0);
     EXPECT_GE(result.visits, 1u);
@@ -232,7 +232,7 @@ TEST(Engine, PruningKeepsRealErrors)
                       "}");
     cfg::Cfg cfg = cfg::CfgBuilder::build(*program.findFunction("f"));
     SmRunOptions options;
-    options.prune_correlated_branches = true;
+    options.prune_strategy = PruneStrategy::Correlated;
     runStateMachine(*mp.sm, cfg, sink, options);
     EXPECT_EQ(sink.count(support::Severity::Error), 1);
 }
@@ -438,6 +438,38 @@ TEST(EngineWitness, LimitCapsStepsAndMarksTruncation)
     const support::Witness& second = r->sink.diagnostics()[1].witness;
     EXPECT_EQ(second.steps.size(), 1u);
     EXPECT_TRUE(second.truncated);
+}
+
+TEST(EngineWitness, PrunedEdgesAnnotateTheSurvivingPath)
+{
+    WitnessGuard guard;
+    // Under constraint pruning the inner `x > 10` true edge contradicts
+    // `x == 5`; the surviving path notes the pruned edge so a finding's
+    // provenance explains why a branch was never explored.
+    lang::Program program;
+    support::DiagnosticSink sink;
+    MetalProgram mp = parseMetal(kMsgLen);
+    program.addSource("t.c",
+                      "void f(void) {"
+                      "  len = LEN_NODATA;"
+                      "  if (x == 5) { if (x > 10) { a(); }"
+                      "    PI_SEND(F_DATA, k); }"
+                      "}");
+    cfg::Cfg cfg = cfg::CfgBuilder::build(*program.findFunction("f"));
+    SmRunOptions options;
+    options.prune_strategy = PruneStrategy::Constraints;
+    auto result = runStateMachine(*mp.sm, cfg, sink, options);
+    EXPECT_EQ(result.pruned_edges, 1u);
+    ASSERT_EQ(sink.count(support::Severity::Error), 1);
+    const support::Witness& w = sink.diagnostics()[0].witness;
+    ASSERT_FALSE(w.steps.empty());
+    bool noted = false;
+    for (const support::WitnessStep& step : w.steps)
+        if (step.from_state == "path" && step.to_state == "pruned" &&
+            step.note.find("infeasible edge") != std::string::npos &&
+            step.note.find("cannot be true") != std::string::npos)
+            noted = true;
+    EXPECT_TRUE(noted);
 }
 
 TEST(Engine, DiagnosticLocationPointsAtOffendingRead)

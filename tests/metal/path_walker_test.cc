@@ -186,7 +186,7 @@ prunedEdges(const std::string& body)
     auto b = build(body);
     PathWalker<CountState>::Hooks hooks;
     PathWalker<CountState>::WalkOptions options;
-    options.prune_correlated_branches = true;
+    options.prune_strategy = PruneStrategy::Correlated;
     PathWalker<CountState> walker(std::move(hooks), options);
     return walker.walk(b->cfg, CountState{}).pruned_edges;
 }

@@ -233,9 +233,9 @@ TEST(TransitionTable, StrategiesAgreeOnEveryCorpusFunction)
     for (bool prune : {false, true}) {
         SmRunOptions legacy_options, table_options;
         legacy_options.match_strategy = MatchStrategy::Legacy;
-        legacy_options.prune_correlated_branches = prune;
+        legacy_options.prune_strategy = prune ? PruneStrategy::Correlated : PruneStrategy::Off;
         table_options.match_strategy = MatchStrategy::Table;
-        table_options.prune_correlated_branches = prune;
+        table_options.prune_strategy = prune ? PruneStrategy::Correlated : PruneStrategy::Off;
         for (const lang::FunctionDecl* fn : loaded.program->functions()) {
             cfg::Cfg cfg = cfg::CfgBuilder::build(*fn);
             for (StateMachine* sm : {wait.sm.get(), msg.sm.get()}) {
