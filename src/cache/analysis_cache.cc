@@ -159,6 +159,55 @@ AnalysisCache::AnalysisCache(std::string dir, bool readonly)
             metrics.counter(name).add(0);
 }
 
+AnalysisCache::AnalysisCache(MemoryTag) : dir_("<memory>"), memory_(true)
+{
+    support::MetricsRegistry& metrics = support::MetricsRegistry::global();
+    if (metrics.enabled())
+        for (const char* name :
+             {"cache.hits", "cache.misses", "cache.stores", "cache.corrupt",
+              "cache.evictions", "cache.bytes_read", "cache.bytes_written"})
+            metrics.counter(name).add(0);
+}
+
+std::unique_ptr<AnalysisCache>
+AnalysisCache::inMemory()
+{
+    return std::unique_ptr<AnalysisCache>(new AnalysisCache(MemoryTag{}));
+}
+
+std::uint64_t
+AnalysisCache::entryCount() const
+{
+    if (memory_) {
+        std::lock_guard<std::mutex> lock(mem_mu_);
+        return mem_.size();
+    }
+    std::uint64_t n = 0;
+    std::error_code ec;
+    fs::directory_iterator it(dir_, ec);
+    if (ec)
+        return 0;
+    for (fs::directory_iterator end; it != end; it.increment(ec)) {
+        if (ec)
+            break;
+        if (it->path().extension() == ".mcu")
+            ++n;
+    }
+    return n;
+}
+
+std::uint64_t
+AnalysisCache::residentBytes() const
+{
+    if (!memory_)
+        return 0;
+    std::lock_guard<std::mutex> lock(mem_mu_);
+    std::uint64_t total = 0;
+    for (const auto& [key, entry] : mem_)
+        total += entry.second.size();
+    return total;
+}
+
 std::string
 AnalysisCache::entryPath(std::uint64_t key) const
 {
@@ -205,8 +254,42 @@ AnalysisCache::lookup(std::uint64_t key, CachedUnit& out)
     try {
         support::fault::probe("cache.lookup", support::hashHex(key));
     } catch (const support::InjectedFault& f) {
+        if (memory_) {
+            std::lock_guard<std::mutex> lock(mem_mu_);
+            mem_.erase(key);
+        }
         countMiss(true, path, f.what());
         return false;
+    }
+    if (memory_) {
+        std::string text;
+        {
+            std::lock_guard<std::mutex> lock(mem_mu_);
+            auto it = mem_.find(key);
+            if (it == mem_.end()) {
+                countMiss(false, path, "");
+                return false;
+            }
+            text = it->second.second;
+        }
+        std::string error;
+        if (!decodeUnit(text, out, error)) {
+            {
+                std::lock_guard<std::mutex> lock(mem_mu_);
+                mem_.erase(key);
+            }
+            countMiss(true, path, error);
+            return false;
+        }
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        bytes_read_.fetch_add(text.size(), std::memory_order_relaxed);
+        support::MetricsRegistry& metrics =
+            support::MetricsRegistry::global();
+        if (metrics.enabled()) {
+            metrics.counter("cache.hits").add();
+            metrics.counter("cache.bytes_read").add(text.size());
+        }
+        return true;
     }
     std::ifstream in(path, std::ios::binary);
     if (!in) {
@@ -251,6 +334,23 @@ AnalysisCache::store(std::uint64_t key, const CachedUnit& unit)
         warn("cache entry " + path + " not stored (" + f.what() + ")");
         return;
     }
+    if (memory_) {
+        const std::string text = encodeUnit(unit);
+        std::uint64_t size = text.size();
+        {
+            std::lock_guard<std::mutex> lock(mem_mu_);
+            mem_[key] = {mem_seq_++, std::move(text)};
+        }
+        stores_.fetch_add(1, std::memory_order_relaxed);
+        bytes_written_.fetch_add(size, std::memory_order_relaxed);
+        support::MetricsRegistry& metrics =
+            support::MetricsRegistry::global();
+        if (metrics.enabled()) {
+            metrics.counter("cache.stores").add();
+            metrics.counter("cache.bytes_written").add(size);
+        }
+        return;
+    }
     const std::string tmp = path + ".tmp";
     const std::string text = encodeUnit(unit);
     {
@@ -290,6 +390,29 @@ AnalysisCache::trim(std::uint64_t max_bytes)
 {
     if (readonly_)
         return;
+    if (memory_) {
+        // Oldest-stored entries go first, mirroring the disk tier's
+        // oldest-mtime policy with an exact (not timestamp-granular)
+        // insertion order.
+        support::MetricsRegistry& metrics =
+            support::MetricsRegistry::global();
+        std::lock_guard<std::mutex> lock(mem_mu_);
+        std::uint64_t total = 0;
+        for (const auto& [key, entry] : mem_)
+            total += entry.second.size();
+        while (total > max_bytes && !mem_.empty()) {
+            auto oldest = mem_.begin();
+            for (auto it = mem_.begin(); it != mem_.end(); ++it)
+                if (it->second.first < oldest->second.first)
+                    oldest = it;
+            total -= oldest->second.second.size();
+            mem_.erase(oldest);
+            evictions_.fetch_add(1, std::memory_order_relaxed);
+            if (metrics.enabled())
+                metrics.counter("cache.evictions").add();
+        }
+        return;
+    }
     struct Entry
     {
         fs::path path;

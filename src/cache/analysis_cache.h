@@ -7,8 +7,10 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace mc::cache {
@@ -117,8 +119,26 @@ class AnalysisCache
      */
     explicit AnalysisCache(std::string dir, bool readonly = false);
 
+    /**
+     * A cache with no backing directory: entries live in a mutex-guarded
+     * in-process map, in the exact on-disk encoding (encodeUnit bytes,
+     * checksum line included), so lookups exercise the same decode +
+     * validation path and replay semantics as the persistent store. This
+     * is the resident per-unit result store of the checking daemon —
+     * fingerprint-keyed invalidation with zero filesystem traffic.
+     * `trim` evicts oldest-stored entries first.
+     */
+    static std::unique_ptr<AnalysisCache> inMemory();
+
     const std::string& dir() const { return dir_; }
     bool readonly() const { return readonly_; }
+    bool memoryBacked() const { return memory_; }
+
+    /** Live entries (memory mode: exact; disk mode: a directory scan). */
+    std::uint64_t entryCount() const;
+
+    /** Total encoded bytes currently resident (memory mode only). */
+    std::uint64_t residentBytes() const;
 
     /**
      * Load the entry for `key` into `out`. Returns false (a miss) if the
@@ -178,12 +198,23 @@ class AnalysisCache
     fileIdsByName(const support::SourceManager& sm);
 
   private:
+    struct MemoryTag
+    {
+    };
+    explicit AnalysisCache(MemoryTag);
+
     void warn(std::string message);
     void countMiss(bool corrupt_entry, const std::string& path,
                    const std::string& reason);
 
     std::string dir_;
     bool readonly_ = false;
+    bool memory_ = false;
+
+    /** Memory-mode store: key -> (insertion sequence, encoded entry). */
+    mutable std::mutex mem_mu_;
+    std::map<std::uint64_t, std::pair<std::uint64_t, std::string>> mem_;
+    std::uint64_t mem_seq_ = 0;
 
     std::atomic<std::uint64_t> hits_{0};
     std::atomic<std::uint64_t> misses_{0};

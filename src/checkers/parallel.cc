@@ -12,6 +12,7 @@
 #include "support/version.h"
 #include "support/witness.h"
 
+#include <atomic>
 #include <chrono>
 #include <set>
 #include <sstream>
@@ -126,6 +127,8 @@ runCheckersParallel(const lang::Program& program,
         metrics.counter("walker.infeasible_pruned").add(0);
         metrics.counter("walker.prune_cache_hits").add(0);
         metrics.counter("walker.prune_skipped_nary").add(0);
+        if (options.cfg_cache)
+            metrics.counter("parallel.cfg_reused").add(0);
         metrics.histogram("unit.wall_ns");
         metrics.histogram("unit.visits");
     }
@@ -196,16 +199,44 @@ runCheckersParallel(const lang::Program& program,
                 need_cfg[u / ncheckers] = 1;
     Clock::time_point cfg_t0 = Clock::now();
     std::vector<cfg::Cfg> cfgs(nfns);
+    std::vector<const cfg::Cfg*> cfg_ptrs(nfns, nullptr);
+    std::atomic<std::uint64_t> cfg_reused{0};
     pool.parallelFor(nfns, [&](std::size_t f) {
         if (!need_cfg[f])
             return;
+        if (CfgCache* resident = options.cfg_cache) {
+            {
+                std::lock_guard<std::mutex> lock(resident->mu);
+                auto it = resident->cfgs.find(fns[f]);
+                if (it != resident->cfgs.end()) {
+                    cfg_ptrs[f] = &it->second;
+                    cfg_reused.fetch_add(1, std::memory_order_relaxed);
+                    return;
+                }
+            }
+            // Build (and warm backEdges) outside the lock, publish under
+            // it. std::map nodes are address-stable, so the pointer stays
+            // good as other functions insert.
+            cfg::Cfg built = cfg::CfgBuilder::build(*fns[f]);
+            built.backEdges();
+            std::lock_guard<std::mutex> lock(resident->mu);
+            cfg_ptrs[f] =
+                &resident->cfgs.emplace(fns[f], std::move(built))
+                     .first->second;
+            return;
+        }
         cfgs[f] = cfg::CfgBuilder::build(*fns[f]);
         cfgs[f].backEdges();
+        cfg_ptrs[f] = &cfgs[f];
     });
-    if (metrics.enabled())
+    if (metrics.enabled()) {
         metrics.timer("parallel.cfg_build")
             .add(std::chrono::duration_cast<std::chrono::nanoseconds>(
                 Clock::now() - cfg_t0));
+        if (options.cfg_cache)
+            metrics.counter("parallel.cfg_reused")
+                .add(cfg_reused.load(std::memory_order_relaxed));
+    }
 
     // Phase 2: (function x checker) units, each against a private checker
     // instance and private sink, each under a UnitGuard. Unit
@@ -250,7 +281,7 @@ runCheckersParallel(const lang::Program& program,
             // Keyed by the unit's identity: the same units fault no
             // matter how the pool schedules them across lanes.
             support::fault::probe("checker.unit", label);
-            unit_checkers[u]->checkFunction(*fns[f], cfgs[f], uctx);
+            unit_checkers[u]->checkFunction(*fns[f], *cfg_ptrs[f], uctx);
         });
         unit_elapsed[u] = Clock::now() - t0;
         unit_walk_stats[u] = unit_stats;

@@ -7,7 +7,37 @@
 #include "support/budget.h"
 #include "support/thread_pool.h"
 
+#include <map>
+#include <mutex>
+
 namespace mc::checkers {
+
+/**
+ * Resident CFG store for long-lived callers (the checking daemon).
+ *
+ * Keyed by function *declaration pointer*: the AST arena is append-only,
+ * so a declaration that survives an incremental re-parse keeps its
+ * address (and its CFG here stays valid — CFGs hold pointers into the
+ * same arena), while a re-parsed file's functions get fresh declarations
+ * and therefore fresh entries. Stale entries for replaced declarations
+ * are never looked up again; they are reclaimed when the owner drops the
+ * whole cache (the daemon does so whenever it rebuilds a program).
+ *
+ * Entries are inserted with their backEdges() cache pre-warmed while the
+ * CFG still has a single owner, so concurrent phase-2 units only ever
+ * *read* a resident CFG.
+ */
+struct CfgCache
+{
+    mutable std::mutex mu;
+    std::map<const lang::FunctionDecl*, cfg::Cfg> cfgs;
+
+    std::size_t size() const
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        return cfgs.size();
+    }
+};
 
 /**
  * Containment tally for one run: how many work units failed under their
@@ -70,6 +100,14 @@ struct ParallelRunOptions
     bool fail_fast = false;
     /** Optional out-param receiving the run's containment tally. */
     RunHealth* health = nullptr;
+    /**
+     * Resident CFG store shared across runs over the same Program. When
+     * set, phase 1 consults it before building and publishes what it
+     * builds; reuses tally into the "parallel.cfg_reused" counter. The
+     * cache must only ever be paired with the Program whose declarations
+     * key it.
+     */
+    CfgCache* cfg_cache = nullptr;
 };
 
 /**

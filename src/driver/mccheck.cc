@@ -42,15 +42,12 @@
  *     3  fatal — usage errors, unreadable inputs, --fail-fast aborts,
  *        or an escaped internal error
  *
+ * The checking pipeline itself lives in src/server/check_request.cc,
+ * shared with the mccheckd daemon: this file only parses argv into a
+ * server::CheckRequest and runs it against fresh (non-resident) state.
  * Output is deterministic for any --jobs value and for warm vs. cold
- * cache runs: diagnostics are ordered by (file, line, column, checker,
- * rule) at emission, the parallel runner merges worker results in the
- * sequential visit order, and cached units replay their stored
- * diagnostics and checker state through that same merge path — so the
- * rendered text/JSON/SARIF bytes never depend on thread scheduling or
- * cache temperature. Cache status goes to stderr only. Degraded runs
- * keep the guarantee: poisoned declarations, "analysis incomplete"
- * markers, and keyed fault injection are all scheduling-independent.
+ * cache runs — see that file for the ordering guarantees. Cache status
+ * goes to stderr only.
  *
  * When checking loose files, every CamelCase function is treated as a
  * hardware handler unless its name starts with "Sw" (software handler);
@@ -58,33 +55,22 @@
  * conventions the corpus also uses.
  */
 #include "cache/analysis_cache.h"
-#include "cfg/cfg.h"
-#include "checkers/parallel.h"
-#include "checkers/registry.h"
-#include "checkers/unit_guard.h"
 #include "corpus/generator.h"
-#include "lang/fingerprint.h"
 #include "metal/engine.h"
-#include "metal/metal_parser.h"
-#include "support/budget.h"
+#include "server/check_request.h"
 #include "support/fault_injection.h"
-#include "support/hash.h"
 #include "support/metrics.h"
 #include "support/run_ledger.h"
 #include "support/text.h"
-#include "support/thread_pool.h"
 #include "support/trace.h"
 #include "support/version.h"
 #include "support/witness.h"
 
-#include <cctype>
-#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
-#include <map>
 #include <memory>
-#include <set>
+#include <optional>
 #include <sstream>
 
 namespace {
@@ -206,6 +192,8 @@ struct CliOptions
     unsigned long unit_max_steps = 0;
     /** Path-feasibility pruning strategy for every checker's walks. */
     metal::PruneStrategy prune_strategy = metal::PruneStrategy::Off;
+    /** SM matching strategy (both produce identical bytes). */
+    metal::MatchStrategy match_strategy = metal::MatchStrategy::Table;
     /** Abort on the first contained unit failure instead of degrading. */
     bool fail_fast = false;
     /** Fault-injection spec ("site:n"); empty = use the env var only. */
@@ -338,11 +326,9 @@ parseArgs(const std::vector<std::string>& args, CliOptions& out)
                 return usageError("--match-strategy needs a value "
                                   "(table or legacy)");
             if (value == "table") {
-                metal::setDefaultMatchStrategy(
-                    metal::MatchStrategy::Table);
+                out.match_strategy = metal::MatchStrategy::Table;
             } else if (value == "legacy") {
-                metal::setDefaultMatchStrategy(
-                    metal::MatchStrategy::Legacy);
+                out.match_strategy = metal::MatchStrategy::Legacy;
             } else {
                 return usageError("--match-strategy must be 'table' or "
                                   "'legacy', got '" + value + "'");
@@ -433,109 +419,6 @@ listProtocols()
     return 0;
 }
 
-/** Per-unit resource limits from the CLI budget flags. */
-support::BudgetLimits
-unitBudget(const CliOptions& opts)
-{
-    support::BudgetLimits limits;
-    limits.deadline = std::chrono::milliseconds(opts.unit_timeout_ms);
-    limits.max_steps = opts.unit_max_steps;
-    return limits;
-}
-
-/**
- * Map a finished run to the documented exit scheme: degraded (2) wins
- * over findings (1) — an incomplete analysis can neither prove nor
- * refute cleanliness, and the caller must not mistake "no errors
- * reported" for "no errors present".
- */
-int
-exitCode(bool degraded, const support::DiagnosticSink& sink)
-{
-    if (degraded)
-        return 2;
-    return sink.count(support::Severity::Error) > 0 ? 1 : 0;
-}
-
-/**
- * Surface recovered frontend failures (parse/lex errors that poisoned a
- * declaration) as ordinary diagnostics so they reach every output
- * format, SARIF included, through the same sorted emission path.
- */
-void
-reportFrontendIssues(const lang::Program& program,
-                     support::DiagnosticSink& sink)
-{
-    for (const lang::TranslationUnit& unit : program.units())
-        for (const lang::ParseIssue& issue : unit.issues)
-            sink.error(issue.loc, "frontend", issue.rule, issue.message);
-}
-
-/** Final error/warning tallies for the ledger's run_end summary. */
-int g_run_errors = 0;
-int g_run_warnings = 0;
-
-/** Render run stats + diagnostics in the selected format. */
-void
-emitFindings(const CliOptions& opts, const support::DiagnosticSink& sink,
-             const support::SourceManager* sm,
-             const std::vector<checkers::CheckerRunStats>* stats)
-{
-    g_run_errors = sink.count(support::Severity::Error);
-    g_run_warnings = sink.count(support::Severity::Warning);
-    if (opts.format == support::OutputFormat::Text) {
-        sink.print(std::cout, sm);
-        if (stats) {
-            std::cout << '\n';
-            std::vector<std::vector<std::string>> rows;
-            for (const auto& s : *stats) {
-                std::ostringstream ms;
-                ms.precision(2);
-                ms << std::fixed << s.wall_ms;
-                rows.push_back({s.checker, std::to_string(s.errors),
-                                std::to_string(s.warnings),
-                                std::to_string(s.applied), ms.str()});
-            }
-            std::cout << support::formatTable(
-                {"checker", "errors", "warnings", "applied", "wall_ms"},
-                rows);
-        }
-    } else {
-        sink.write(std::cout, opts.format, sm);
-    }
-}
-
-int
-checkProtocol(const CliOptions& opts, cache::AnalysisCache* cache)
-{
-    corpus::LoadedProtocol loaded =
-        corpus::loadProtocol(corpus::profileByName(opts.protocol));
-    support::TraceRecorder& tracer = support::TraceRecorder::global();
-    support::TraceSpan span(tracer.enabled() ? &tracer : nullptr,
-                            "protocol:" + opts.protocol, "driver");
-    checkers::CheckerSetOptions copts;
-    copts.prune_strategy = opts.prune_strategy;
-    auto set = checkers::makeAllCheckers(copts);
-    support::DiagnosticSink sink;
-    reportFrontendIssues(*loaded.program, sink);
-    checkers::RunHealth health;
-    checkers::ParallelRunOptions prun;
-    prun.jobs = opts.jobs;
-    prun.cache = cache;
-    prun.unit_budget = unitBudget(opts);
-    prun.fail_fast = opts.fail_fast;
-    prun.health = &health;
-    prun.checker_options = copts;
-    auto stats = checkers::runCheckersParallel(
-        *loaded.program, loaded.gen.spec, set.pointers(), sink, prun);
-    span.finish();
-    emitFindings(opts, sink, &loaded.program->sourceManager(), &stats);
-    return exitCode(loaded.program->degraded() ||
-                        health.unit_failures > 0 ||
-                        health.budget_truncations > 0,
-                    sink);
-}
-
 int
 emitCorpus(const std::string& name, const std::string& dir)
 {
@@ -553,288 +436,35 @@ emitCorpus(const std::string& name, const std::string& dir)
     return 0;
 }
 
-/** Load dialect sources into `program`; returns false on error. */
-bool
-loadSources(lang::Program& program, const std::vector<std::string>& paths)
+/** The checking-mode portion of the CLI as one engine request. */
+server::CheckRequest
+toCheckRequest(const CliOptions& opts)
 {
-    for (const std::string& path : paths) {
-        std::ifstream in(path);
-        if (!in) {
-            std::cerr << "mccheck: cannot open " << path << '\n';
-            return false;
-        }
-        std::ostringstream buffer;
-        buffer << in.rdbuf();
-        try {
-            program.addSource(path, buffer.str());
-        } catch (const lang::ParseError& e) {
-            std::cerr << path << ':' << e.loc().line << ':'
-                      << e.loc().column << ": parse error: " << e.what()
-                      << '\n';
-            return false;
-        } catch (const lang::LexError& e) {
-            std::cerr << path << ':' << e.loc().line << ": lex error: "
-                      << e.what() << '\n';
-            return false;
-        }
+    server::CheckRequest req;
+    switch (opts.mode) {
+      case CliOptions::Mode::Protocol:
+        req.mode = server::CheckRequest::Mode::Protocol;
+        break;
+      case CliOptions::Mode::Metal:
+        req.mode = server::CheckRequest::Mode::Metal;
+        break;
+      default:
+        req.mode = server::CheckRequest::Mode::Files;
+        break;
     }
-    return true;
-}
-
-/** Run one user-written metal checker over dialect sources. */
-int
-runMetalChecker(const CliOptions& opts, cache::AnalysisCache* cache)
-{
-    metal::MetalProgram checker;
-    std::string metal_source;
-    try {
-        checker = metal::loadMetalFile(opts.metal_path);
-        std::ifstream metal_in(opts.metal_path);
-        std::ostringstream metal_buf;
-        metal_buf << metal_in.rdbuf();
-        metal_source = metal_buf.str();
-    } catch (const metal::MetalParseError& e) {
-        std::cerr << "mccheck: " << e.what() << '\n';
-        return 3;
-    }
-    lang::Program program(/*recover=*/true);
-    if (!loadSources(program, opts.files))
-        return 3;
-
-    // Fan functions out across the pool, each into a private sink; merge
-    // in program function order so the shared sink sees the same
-    // diagnostic sequence a sequential loop would produce. The parsed
-    // state machine is shared read-only across lanes. Each function runs
-    // under a UnitGuard with the CLI budget, mirroring the parallel
-    // checker runner's containment: a walk that throws is replaced by an
-    // "analysis incomplete" warning and the run degrades instead of
-    // dying.
-    //
-    // With a cache, each function's walk outcome (its private sink's
-    // diagnostics) is keyed by the metal source text plus the function's
-    // token-stream fingerprint, so re-checks after an edit replay every
-    // untouched function. Functions in degraded units have no
-    // fingerprint and bypass the cache entirely.
-    const std::vector<const lang::FunctionDecl*>& fns =
-        program.functions();
-    const std::string unit_checker = "metal:" + checker.name;
-    using Clock = std::chrono::steady_clock;
-    std::vector<support::DiagnosticSink> fn_sinks(fns.size());
-    std::vector<char> fn_failed(fns.size(), 0);
-    std::vector<char> fn_hit(fns.size(), 0);
-    std::vector<Clock::duration> fn_elapsed(fns.size(),
-                                            Clock::duration::zero());
-    std::vector<support::LedgerUnitStats> fn_walk_stats(fns.size());
-    std::vector<support::BudgetStop> fn_stop(fns.size(),
-                                             support::BudgetStop::None);
-    std::map<std::string, std::uint64_t> fn_fps;
-    std::map<std::string, std::int32_t> file_ids;
-    std::vector<std::uint64_t> keys(fns.size(), 0);
-    if (cache) {
-        fn_fps = lang::fingerprintFunctions(program);
-        file_ids =
-            cache::AnalysisCache::fileIdsByName(program.sourceManager());
-    }
-    support::ThreadPool pool(opts.jobs);
-    pool.parallelFor(fns.size(), [&](std::size_t f) {
-        Clock::time_point t0 = Clock::now();
-        auto fp = fn_fps.find(fns[f]->name);
-        if (cache && fp != fn_fps.end()) {
-            // Witness capture changes the cached bytes, so witness-on
-            // and witness-off runs (and different caps) key separately.
-            keys[f] = support::Fnv1a()
-                          .i64(cache::kCacheFormatVersion)
-                          .str(support::kToolVersion)
-                          .str(unit_checker)
-                          .str(metal_source)
-                          .u8(support::witnessEnabled() ? 1 : 0)
-                          .u64(support::witnessLimit())
-                          .u8(static_cast<std::uint8_t>(
-                              opts.prune_strategy))
-                          .u64(fp->second)
-                          .value();
-            cache::CachedUnit unit;
-            if (cache->lookup(keys[f], unit) &&
-                unit.function == fns[f]->name) {
-                bool ok = true;
-                std::vector<support::Diagnostic> replayed;
-                for (const cache::CachedDiagnostic& cached : unit.diags) {
-                    support::Diagnostic d;
-                    if (!cache::AnalysisCache::fromCached(cached, file_ids,
-                                                          d)) {
-                        ok = false;
-                        break;
-                    }
-                    replayed.push_back(std::move(d));
-                }
-                if (ok) {
-                    for (support::Diagnostic& d : replayed)
-                        fn_sinks[f].report(std::move(d));
-                    fn_hit[f] = 1;
-                    fn_elapsed[f] = Clock::now() - t0;
-                    return;
-                }
-            }
-        }
-        const std::string label = fns[f]->name + "/" + unit_checker;
-        support::DiagnosticSink scratch;
-        support::LedgerUnitStats unit_stats;
-        support::LedgerUnitScope stats_scope(&unit_stats);
-        checkers::UnitGuard guard(label, unitBudget(opts),
-                                  opts.fail_fast);
-        checkers::UnitOutcome outcome = guard.run([&] {
-            support::fault::probe("checker.unit", label);
-            cfg::Cfg cfg = cfg::CfgBuilder::build(*fns[f]);
-            metal::SmRunOptions run_options;
-            run_options.prune_strategy = opts.prune_strategy;
-            metal::runStateMachine(*checker.sm, cfg, scratch,
-                                   run_options);
-        });
-        fn_elapsed[f] = Clock::now() - t0;
-        fn_walk_stats[f] = unit_stats;
-        fn_stop[f] = outcome.budget_stop;
-        if (outcome.failed) {
-            fn_failed[f] = 1;
-            fn_sinks[f].warning(fns[f]->loc, "engine", "unit-failure",
-                                "analysis incomplete: " + unit_checker +
-                                    " failed on '" + fns[f]->name +
-                                    "': " + outcome.error);
-            return;
-        }
-        for (const support::Diagnostic& d : scratch.diagnostics())
-            fn_sinks[f].report(d);
-        if (outcome.budget_stop != support::BudgetStop::None)
-            fn_sinks[f].warning(
-                fns[f]->loc, "engine", "budget-exhausted",
-                "analysis truncated: " + unit_checker + " on '" +
-                    fns[f]->name + "' exhausted its " +
-                    support::budgetStopName(outcome.budget_stop) +
-                    " budget");
-        if (cache && !cache->readonly() && keys[f] != 0 &&
-            outcome.budget_stop == support::BudgetStop::None) {
-            cache::CachedUnit unit;
-            unit.checker = unit_checker;
-            unit.function = fns[f]->name;
-            for (const support::Diagnostic& d : fn_sinks[f].diagnostics())
-                unit.diags.push_back(cache::AnalysisCache::toCached(
-                    d, program.sourceManager()));
-            cache->store(keys[f], unit);
-        }
-    });
-    support::DiagnosticSink sink;
-    reportFrontendIssues(program, sink);
-    support::RunLedger& ledger = support::RunLedger::global();
-    support::MetricsRegistry& metrics = support::MetricsRegistry::global();
-    std::set<std::int32_t> degraded_files;
-    if (ledger.enabled())
-        for (const lang::TranslationUnit& tu : program.units())
-            if (!tu.issues.empty())
-                degraded_files.insert(tu.file_id);
-    std::uint64_t failures = 0;
-    std::uint64_t truncations = 0;
-    std::uint64_t witness_truncations = 0;
-    for (std::size_t f = 0; f < fns.size(); ++f) {
-        for (const support::Diagnostic& d : fn_sinks[f].diagnostics()) {
-            witness_truncations += d.witness.truncated ? 1 : 0;
-            sink.report(d);
-        }
-        failures += fn_failed[f] ? 1 : 0;
-        truncations +=
-            fn_stop[f] != support::BudgetStop::None ? 1 : 0;
-        if (ledger.enabled()) {
-            support::LedgerUnitEvent event;
-            event.function = fns[f]->name;
-            event.checker = unit_checker;
-            event.wall_ms = std::chrono::duration<double, std::milli>(
-                                fn_elapsed[f])
-                                .count();
-            event.visits = fn_walk_stats[f].visits;
-            event.pruned_edges = fn_walk_stats[f].pruned_edges;
-            event.prune_cache_hits = fn_walk_stats[f].prune_cache_hits;
-            event.prune_skipped_nary =
-                fn_walk_stats[f].prune_skipped_nary;
-            event.cache = !cache ? "off" : fn_hit[f] ? "hit" : "miss";
-            event.budget_stop = support::budgetStopName(fn_stop[f]);
-            event.truncated = fn_stop[f] != support::BudgetStop::None;
-            event.failed = fn_failed[f] != 0;
-            event.degraded_parse =
-                degraded_files.count(fns[f]->loc.file_id) != 0;
-            ledger.unit(event);
-        }
-        if (metrics.enabled() && !fn_hit[f]) {
-            metrics.histogram("unit.wall_ns")
-                .observe(static_cast<std::uint64_t>(
-                    std::chrono::duration_cast<std::chrono::nanoseconds>(
-                        fn_elapsed[f])
-                        .count()));
-            metrics.histogram("unit.visits")
-                .observe(fn_walk_stats[f].visits);
-        }
-    }
-    if (metrics.enabled()) {
-        metrics.counter("engine.unit_failures").add(failures);
-        metrics.counter("budget.truncations").add(truncations);
-        metrics.counter("witness.truncations").add(witness_truncations);
-    }
-    emitFindings(opts, sink, &program.sourceManager(), nullptr);
-    if (opts.format == support::OutputFormat::Text)
-        std::cout << "sm '" << checker.name << "': "
-                  << sink.count(support::Severity::Error) << " error(s), "
-                  << sink.count(support::Severity::Warning)
-                  << " warning(s)\n";
-    return exitCode(program.degraded() || failures > 0 ||
-                        truncations > 0,
-                    sink);
-}
-
-int
-checkFiles(const CliOptions& opts, cache::AnalysisCache* cache)
-{
-    lang::Program program(/*recover=*/true);
-    if (!loadSources(program, opts.files))
-        return 3;
-
-    flash::ProtocolSpec spec;
-    spec.name = "<cli>";
-    for (const lang::FunctionDecl* fn : program.functions()) {
-        flash::HandlerSpec hs;
-        hs.name = fn->name;
-        bool camel_case =
-            !fn->name.empty() &&
-            std::isupper(static_cast<unsigned char>(fn->name[0]));
-        if (!camel_case)
-            hs.kind = flash::HandlerKind::Normal;
-        else if (support::startsWith(fn->name, "Sw"))
-            hs.kind = flash::HandlerKind::Software;
-        else
-            hs.kind = flash::HandlerKind::Hardware;
-        spec.addHandler(hs);
-    }
-
-    checkers::CheckerSetOptions copts;
-    copts.prune_strategy = opts.prune_strategy;
-    auto set = checkers::makeAllCheckers(copts);
-    support::DiagnosticSink sink;
-    reportFrontendIssues(program, sink);
-    checkers::RunHealth health;
-    checkers::ParallelRunOptions prun;
-    prun.jobs = opts.jobs;
-    prun.cache = cache;
-    prun.unit_budget = unitBudget(opts);
-    prun.fail_fast = opts.fail_fast;
-    prun.health = &health;
-    prun.checker_options = copts;
-    auto stats = checkers::runCheckersParallel(program, spec,
-                                               set.pointers(), sink, prun);
-    emitFindings(opts, sink, &program.sourceManager(), nullptr);
-    if (opts.format == support::OutputFormat::Text)
-        std::cout << sink.count(support::Severity::Error) << " error(s), "
-                  << sink.count(support::Severity::Warning)
-                  << " warning(s)\n";
-    (void)stats;
-    return exitCode(program.degraded() || health.unit_failures > 0 ||
-                        health.budget_truncations > 0,
-                    sink);
+    req.protocol = opts.protocol;
+    req.metal_path = opts.metal_path;
+    req.files = opts.files;
+    req.format = opts.format;
+    req.jobs = opts.jobs;
+    req.prune_strategy = opts.prune_strategy;
+    req.unit_timeout_ms = opts.unit_timeout_ms;
+    req.unit_max_steps = opts.unit_max_steps;
+    req.fail_fast = opts.fail_fast;
+    req.witness = opts.witness;
+    req.witness_limit = static_cast<unsigned>(opts.witness_limit);
+    req.match_strategy = opts.match_strategy;
+    return req;
 }
 
 /** Write metrics / trace reports if requested. Returns false on I/O error. */
@@ -906,6 +536,8 @@ main(int argc, char** argv)
         support::MetricsRegistry::global().setEnabled(true);
     if (!opts.trace_path.empty())
         support::TraceRecorder::global().setEnabled(true);
+    // Installed here so the ledger manifest reads the effective limit;
+    // runCheckRequest re-installs the same values per run.
     support::setWitnessConfig(opts.witness,
                               static_cast<unsigned>(opts.witness_limit));
     if (!opts.ledger_path.empty()) {
@@ -934,26 +566,35 @@ main(int argc, char** argv)
 
     try {
         int rc = 0;
+        int run_errors = 0;
+        int run_warnings = 0;
         switch (opts.mode) {
           case CliOptions::Mode::List:
             rc = listProtocols();
-            break;
-          case CliOptions::Mode::Protocol:
-            rc = checkProtocol(opts, cache.get());
             break;
           case CliOptions::Mode::EmitCorpus:
             rc = emitCorpus(opts.protocol, opts.emit_dir);
             break;
           case CliOptions::Mode::Metal:
-            if (opts.files.empty())
-                return usageError("--metal needs source files to check");
-            rc = runMetalChecker(opts, cache.get());
-            break;
           case CliOptions::Mode::Files:
             if (opts.files.empty())
-                return usageError("no input files");
-            rc = checkFiles(opts, cache.get());
+                return usageError(opts.mode == CliOptions::Mode::Metal
+                                      ? "--metal needs source files to "
+                                        "check"
+                                      : "no input files");
+            [[fallthrough]];
+          case CliOptions::Mode::Protocol: {
+            // Batch = the shared pipeline against fresh state: no
+            // resident snapshots, reads straight from disk.
+            const server::CheckOutcome outcome =
+                server::runCheckRequest(toCheckRequest(opts), cache.get(),
+                                        /*resident=*/nullptr, std::cout,
+                                        std::cerr);
+            rc = outcome.exit_code;
+            run_errors = outcome.errors;
+            run_warnings = outcome.warnings;
             break;
+          }
           case CliOptions::Mode::Help:
           case CliOptions::Mode::Version:
             break;
@@ -970,13 +611,12 @@ main(int argc, char** argv)
         }
         if (!writeObservabilityOutputs(opts))
             rc = 3;
-        support::RunLedger::global().runEnd(rc, g_run_errors,
-                                            g_run_warnings);
+        support::RunLedger::global().runEnd(rc, run_errors,
+                                            run_warnings);
         return rc;
     } catch (const std::exception& e) {
-        // Anything that escapes containment — including --fail-fast
-        // rethrows and fault-injection probes outside any UnitGuard —
-        // is fatal.
+        // Anything that escapes containment — including fault-injection
+        // probes outside any run — is fatal.
         std::cerr << "mccheck: " << e.what() << '\n';
         return 3;
     }

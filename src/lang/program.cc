@@ -2,10 +2,9 @@
 
 namespace mc::lang {
 
-TranslationUnit&
-Program::addSource(std::string name, std::string source)
+TranslationUnit
+Program::parseUnit(std::int32_t id)
 {
-    std::int32_t id = sm_.addFile(std::move(name), std::move(source));
     TranslationUnit tu;
     try {
         Lexer lexer(sm_, id);
@@ -30,7 +29,14 @@ Program::addSource(std::string name, std::string source)
         tu.decls.push_back(poison);
         tu.issues.push_back(ParseIssue{err.loc(), err.what(), "lex-error"});
     }
-    units_.push_back(std::move(tu));
+    return tu;
+}
+
+TranslationUnit&
+Program::addSource(std::string name, std::string source)
+{
+    std::int32_t id = sm_.addFile(std::move(name), std::move(source));
+    units_.push_back(parseUnit(id));
     TranslationUnit& stored = units_.back();
     sema_.run(stored);
     for (const FunctionDecl* fn : stored.functionDefinitions()) {
@@ -38,6 +44,46 @@ Program::addSource(std::string name, std::string source)
         by_name_[fn->name] = fn;
     }
     return stored;
+}
+
+TranslationUnit*
+Program::updateSource(const std::string& name, std::string source)
+{
+    std::int32_t id = sm_.findFile(name);
+    if (id < 0)
+        return nullptr;
+    std::size_t slot = units_.size();
+    for (std::size_t i = 0; i < units_.size(); ++i) {
+        if (units_[i].file_id == id) {
+            slot = i;
+            break;
+        }
+    }
+    if (slot == units_.size())
+        return nullptr;
+    arena_waste_ += sm_.fileContents(id).size();
+    if (!sm_.replaceFile(id, std::move(source)))
+        return nullptr;
+    units_[slot] = parseUnit(id);
+    TranslationUnit& stored = units_[slot];
+    sema_.run(stored);
+    reindexFunctions();
+    return &stored;
+}
+
+void
+Program::reindexFunctions()
+{
+    functions_.clear();
+    by_name_.clear();
+    // Slot order is addition order, so the rebuilt index matches what a
+    // fresh program built from the same file list would produce.
+    for (TranslationUnit& unit : units_) {
+        for (const FunctionDecl* fn : unit.functionDefinitions()) {
+            functions_.push_back(fn);
+            by_name_[fn->name] = fn;
+        }
+    }
 }
 
 bool

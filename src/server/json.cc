@@ -1,0 +1,503 @@
+#include "server/json.h"
+
+#include "support/text.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+namespace mc::server {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+/** Cursor over the input with one-token-lookahead helpers. */
+struct Parser
+{
+    std::string_view text;
+    std::size_t pos = 0;
+    std::string error;
+
+    bool fail(const std::string& what)
+    {
+        if (error.empty()) {
+            std::ostringstream os;
+            os << what << " at offset " << pos;
+            error = os.str();
+        }
+        return false;
+    }
+
+    void skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool atEnd()
+    {
+        skipWs();
+        return pos >= text.size();
+    }
+
+    bool consume(char c)
+    {
+        skipWs();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool parseValue(JsonValue& out, int depth);
+    bool parseString(std::string& out);
+    bool parseNumber(JsonValue& out);
+    bool parseLiteral(std::string_view word);
+};
+
+void
+appendUtf8(std::string& out, unsigned cp)
+{
+    if (cp < 0x80) {
+        out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+        out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+        out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+        out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+        out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+        out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+        out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+}
+
+bool
+parseHex4(std::string_view text, std::size_t pos, unsigned& out)
+{
+    if (pos + 4 > text.size())
+        return false;
+    out = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+        char c = text[pos + i];
+        unsigned digit;
+        if (c >= '0' && c <= '9')
+            digit = static_cast<unsigned>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            digit = static_cast<unsigned>(c - 'a' + 10);
+        else if (c >= 'A' && c <= 'F')
+            digit = static_cast<unsigned>(c - 'A' + 10);
+        else
+            return false;
+        out = (out << 4) | digit;
+    }
+    return true;
+}
+
+bool
+Parser::parseString(std::string& out)
+{
+    skipWs();
+    if (pos >= text.size() || text[pos] != '"')
+        return fail("expected string");
+    ++pos;
+    out.clear();
+    while (pos < text.size()) {
+        unsigned char c = static_cast<unsigned char>(text[pos]);
+        if (c == '"') {
+            ++pos;
+            return true;
+        }
+        if (c < 0x20)
+            return fail("raw control character in string");
+        if (c != '\\') {
+            out.push_back(static_cast<char>(c));
+            ++pos;
+            continue;
+        }
+        if (pos + 1 >= text.size())
+            return fail("truncated escape");
+        char esc = text[pos + 1];
+        pos += 2;
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            unsigned cp = 0;
+            if (!parseHex4(text, pos, cp))
+                return fail("bad \\u escape");
+            pos += 4;
+            if (cp >= 0xD800 && cp <= 0xDBFF) {
+                // Surrogate pair: the low half must follow immediately.
+                unsigned lo = 0;
+                if (pos + 2 > text.size() || text[pos] != '\\' ||
+                    text[pos + 1] != 'u' ||
+                    !parseHex4(text, pos + 2, lo) || lo < 0xDC00 ||
+                    lo > 0xDFFF)
+                    return fail("unpaired surrogate");
+                pos += 6;
+                cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+                return fail("unpaired surrogate");
+            }
+            appendUtf8(out, cp);
+            break;
+          }
+          default:
+            return fail("unknown escape");
+        }
+    }
+    return fail("unterminated string");
+}
+
+bool
+Parser::parseNumber(JsonValue& out)
+{
+    std::size_t start = pos;
+    bool integral = true;
+    if (pos < text.size() && text[pos] == '-')
+        ++pos;
+    if (pos >= text.size() ||
+        !(text[pos] >= '0' && text[pos] <= '9'))
+        return fail("malformed number");
+    const bool leading_zero = text[pos] == '0';
+    while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9')
+        ++pos;
+    if (leading_zero && pos - start > (text[start] == '-' ? 2u : 1u))
+        return fail("leading zero in number");
+    if (pos < text.size() && text[pos] == '.') {
+        integral = false;
+        ++pos;
+        if (pos >= text.size() ||
+            !(text[pos] >= '0' && text[pos] <= '9'))
+            return fail("malformed number");
+        while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9')
+            ++pos;
+    }
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+        integral = false;
+        ++pos;
+        if (pos < text.size() && (text[pos] == '+' || text[pos] == '-'))
+            ++pos;
+        if (pos >= text.size() ||
+            !(text[pos] >= '0' && text[pos] <= '9'))
+            return fail("malformed number");
+        while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9')
+            ++pos;
+    }
+    const std::string token(text.substr(start, pos - start));
+    if (integral) {
+        errno = 0;
+        char* end = nullptr;
+        long long v = std::strtoll(token.c_str(), &end, 10);
+        if (errno == 0 && end && *end == '\0') {
+            out = JsonValue::number(static_cast<std::int64_t>(v));
+            return true;
+        }
+        // Out of int64 range: fall through to double, losing exactness.
+    }
+    out = JsonValue::number(std::strtod(token.c_str(), nullptr));
+    return true;
+}
+
+bool
+Parser::parseLiteral(std::string_view word)
+{
+    if (text.substr(pos, word.size()) != word)
+        return fail("malformed literal");
+    pos += word.size();
+    return true;
+}
+
+bool
+Parser::parseValue(JsonValue& out, int depth)
+{
+    if (depth > kMaxDepth)
+        return fail("nesting too deep");
+    skipWs();
+    if (pos >= text.size())
+        return fail("unexpected end of input");
+    char c = text[pos];
+    if (c == '{') {
+        ++pos;
+        out = JsonValue::object();
+        if (consume('}'))
+            return true;
+        while (true) {
+            std::string key;
+            if (!parseString(key))
+                return false;
+            if (!consume(':'))
+                return fail("expected ':'");
+            JsonValue value;
+            if (!parseValue(value, depth + 1))
+                return false;
+            out.set(std::move(key), std::move(value));
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return true;
+            return fail("expected ',' or '}'");
+        }
+    }
+    if (c == '[') {
+        ++pos;
+        out = JsonValue::array();
+        if (consume(']'))
+            return true;
+        while (true) {
+            JsonValue value;
+            if (!parseValue(value, depth + 1))
+                return false;
+            out.push(std::move(value));
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return true;
+            return fail("expected ',' or ']'");
+        }
+    }
+    if (c == '"') {
+        std::string s;
+        if (!parseString(s))
+            return false;
+        out = JsonValue::string(std::move(s));
+        return true;
+    }
+    if (c == 't') {
+        if (!parseLiteral("true"))
+            return false;
+        out = JsonValue::boolean(true);
+        return true;
+    }
+    if (c == 'f') {
+        if (!parseLiteral("false"))
+            return false;
+        out = JsonValue::boolean(false);
+        return true;
+    }
+    if (c == 'n') {
+        if (!parseLiteral("null"))
+            return false;
+        out = JsonValue();
+        return true;
+    }
+    return parseNumber(out);
+}
+
+void
+dumpInto(const JsonValue& v, std::string& out)
+{
+    switch (v.kind()) {
+      case JsonValue::Kind::Null:
+        out += "null";
+        break;
+      case JsonValue::Kind::Bool:
+        out += v.asBool() ? "true" : "false";
+        break;
+      case JsonValue::Kind::Number: {
+        if (v.isIntegral()) {
+            out += std::to_string(v.asInt());
+        } else {
+            std::ostringstream os;
+            os.precision(15);
+            os << v.asDouble();
+            out += os.str();
+        }
+        break;
+      }
+      case JsonValue::Kind::String:
+        out += '"';
+        out += support::jsonEscape(v.asString());
+        out += '"';
+        break;
+      case JsonValue::Kind::Array: {
+        out += '[';
+        bool first = true;
+        for (const JsonValue& item : v.items()) {
+            if (!first)
+                out += ", ";
+            first = false;
+            dumpInto(item, out);
+        }
+        out += ']';
+        break;
+      }
+      case JsonValue::Kind::Object: {
+        out += '{';
+        bool first = true;
+        for (const auto& [key, value] : v.members()) {
+            if (!first)
+                out += ", ";
+            first = false;
+            out += '"';
+            out += support::jsonEscape(key);
+            out += "\": ";
+            dumpInto(value, out);
+        }
+        out += '}';
+        break;
+      }
+    }
+}
+
+} // namespace
+
+JsonValue
+JsonValue::boolean(bool b)
+{
+    JsonValue v;
+    v.kind_ = Kind::Bool;
+    v.bool_ = b;
+    return v;
+}
+
+JsonValue
+JsonValue::number(double d)
+{
+    JsonValue v;
+    v.kind_ = Kind::Number;
+    v.num_ = d;
+    // A double that happens to be integral still dumps as a plain
+    // integer when it round-trips exactly (wall_ms of 0 reads "0").
+    if (std::nearbyint(d) == d && std::abs(d) < 9.0e15) {
+        v.int_ = static_cast<std::int64_t>(d);
+        v.integral_ = true;
+    }
+    return v;
+}
+
+JsonValue
+JsonValue::number(std::int64_t i)
+{
+    JsonValue v;
+    v.kind_ = Kind::Number;
+    v.num_ = static_cast<double>(i);
+    v.int_ = i;
+    v.integral_ = true;
+    return v;
+}
+
+JsonValue
+JsonValue::number(std::uint64_t u)
+{
+    return number(static_cast<std::int64_t>(u));
+}
+
+JsonValue
+JsonValue::string(std::string s)
+{
+    JsonValue v;
+    v.kind_ = Kind::String;
+    v.string_ = std::move(s);
+    return v;
+}
+
+JsonValue
+JsonValue::array()
+{
+    JsonValue v;
+    v.kind_ = Kind::Array;
+    return v;
+}
+
+JsonValue
+JsonValue::object()
+{
+    JsonValue v;
+    v.kind_ = Kind::Object;
+    return v;
+}
+
+bool
+JsonValue::asBool(bool dflt) const
+{
+    return kind_ == Kind::Bool ? bool_ : dflt;
+}
+
+double
+JsonValue::asDouble(double dflt) const
+{
+    return kind_ == Kind::Number ? num_ : dflt;
+}
+
+std::int64_t
+JsonValue::asInt(std::int64_t dflt, bool* ok) const
+{
+    if (kind_ == Kind::Number && integral_) {
+        if (ok)
+            *ok = true;
+        return int_;
+    }
+    if (ok)
+        *ok = false;
+    return dflt;
+}
+
+void
+JsonValue::push(JsonValue v)
+{
+    items_.push_back(std::move(v));
+}
+
+const JsonValue*
+JsonValue::get(const std::string& key) const
+{
+    for (const auto& [k, v] : members_)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+void
+JsonValue::set(std::string key, JsonValue v)
+{
+    for (auto& [k, existing] : members_) {
+        if (k == key) {
+            existing = std::move(v);
+            return;
+        }
+    }
+    members_.emplace_back(std::move(key), std::move(v));
+}
+
+std::string
+JsonValue::dump() const
+{
+    std::string out;
+    dumpInto(*this, out);
+    return out;
+}
+
+bool
+JsonValue::parse(std::string_view text, JsonValue& out, std::string& error)
+{
+    Parser p{text, 0, {}};
+    JsonValue value;
+    if (!p.parseValue(value, 0)) {
+        error = p.error;
+        return false;
+    }
+    if (!p.atEnd()) {
+        p.fail("trailing characters after value");
+        error = p.error;
+        return false;
+    }
+    out = std::move(value);
+    return true;
+}
+
+} // namespace mc::server

@@ -1,0 +1,197 @@
+#include "server/protocol.h"
+
+#include "metal/engine.h"
+
+#include <optional>
+
+namespace mc::server {
+
+JsonValue
+makeErrorResponse(bool has_id, std::int64_t id, int code,
+                  const std::string& message)
+{
+    JsonValue error = JsonValue::object();
+    error.set("code", JsonValue::number(static_cast<std::int64_t>(code)));
+    error.set("message", JsonValue::string(message));
+    JsonValue response = JsonValue::object();
+    response.set("id", has_id ? JsonValue::number(id) : JsonValue());
+    response.set("error", std::move(error));
+    return response;
+}
+
+JsonValue
+makeResultResponse(std::int64_t id, JsonValue result)
+{
+    JsonValue response = JsonValue::object();
+    response.set("id", JsonValue::number(id));
+    response.set("result", std::move(result));
+    return response;
+}
+
+namespace {
+
+bool
+failParam(std::string& error, const std::string& what)
+{
+    error = what;
+    return false;
+}
+
+/** Positive integral param in [1, max]; absent leaves `out` untouched. */
+bool
+takeCount(const JsonValue& params, const std::string& key,
+          std::uint64_t max, std::optional<std::uint64_t>& out,
+          std::string& error)
+{
+    const JsonValue* v = params.get(key);
+    if (!v)
+        return true;
+    bool ok = false;
+    std::int64_t n = v->asInt(0, &ok);
+    if (!ok || n < 1 || static_cast<std::uint64_t>(n) > max)
+        return failParam(error, "'" + key + "' must be an integer in 1.." +
+                                    std::to_string(max));
+    out = static_cast<std::uint64_t>(n);
+    return true;
+}
+
+bool
+takeBool(const JsonValue& params, const std::string& key, bool& out,
+         std::string& error)
+{
+    const JsonValue* v = params.get(key);
+    if (!v)
+        return true;
+    if (!v->isBool())
+        return failParam(error, "'" + key + "' must be a boolean");
+    out = v->asBool();
+    return true;
+}
+
+} // namespace
+
+bool
+parseCheckParams(const JsonValue* params, unsigned default_jobs,
+                 CheckRequest& out, std::string& error)
+{
+    if (!params || !params->isObject())
+        return failParam(error, "'check' needs a params object");
+
+    // Strictness keeps the wire honest: a typo'd key is an error the
+    // client sees, not an option silently ignored — and it keeps this
+    // decoder and tools/daemon_protocol_schema.json provably in sync
+    // (the schema-validation test round-trips both).
+    static const char* const kKnown[] = {
+        "protocol",     "metal",          "files",
+        "format",       "jobs",           "prune_paths",
+        "match_strategy", "witness",      "witness_limit",
+        "unit_timeout_ms", "unit_max_steps", "fail_fast",
+    };
+    for (const auto& [key, value] : params->members()) {
+        bool known = false;
+        for (const char* k : kKnown)
+            known = known || key == k;
+        if (!known)
+            return failParam(error, "unknown check param '" + key + "'");
+    }
+
+    const JsonValue* protocol = params->get("protocol");
+    const JsonValue* metal = params->get("metal");
+    const JsonValue* files = params->get("files");
+
+    if (files) {
+        if (!files->isArray())
+            return failParam(error, "'files' must be an array of paths");
+        for (const JsonValue& f : files->items()) {
+            if (!f.isString())
+                return failParam(error,
+                                 "'files' must be an array of paths");
+            out.files.push_back(f.asString());
+        }
+    }
+
+    if (protocol) {
+        if (!protocol->isString())
+            return failParam(error, "'protocol' must be a string");
+        if (metal || files)
+            return failParam(
+                error, "'protocol' excludes 'metal' and 'files'");
+        out.mode = CheckRequest::Mode::Protocol;
+        out.protocol = protocol->asString();
+    } else if (metal) {
+        if (!metal->isString())
+            return failParam(error, "'metal' must be a string path");
+        if (out.files.empty())
+            return failParam(error, "'metal' needs source files to check");
+        out.mode = CheckRequest::Mode::Metal;
+        out.metal_path = metal->asString();
+    } else if (files) {
+        if (out.files.empty())
+            return failParam(error, "no input files");
+        out.mode = CheckRequest::Mode::Files;
+    } else {
+        return failParam(error,
+                         "check needs 'protocol', 'metal', or 'files'");
+    }
+
+    if (const JsonValue* format = params->get("format")) {
+        if (!format->isString() ||
+            !support::parseOutputFormat(format->asString(), out.format))
+            return failParam(error,
+                             "'format' must be text, json, or sarif");
+    }
+
+    out.jobs = default_jobs;
+    std::optional<std::uint64_t> jobs;
+    if (!takeCount(*params, "jobs", 1024, jobs, error))
+        return false;
+    if (jobs)
+        out.jobs = static_cast<unsigned>(*jobs);
+
+    if (const JsonValue* prune = params->get("prune_paths")) {
+        std::optional<metal::PruneStrategy> strategy;
+        if (prune->isString())
+            strategy = metal::parsePruneStrategy(prune->asString());
+        if (!strategy)
+            return failParam(error, "'prune_paths' must be off, "
+                                    "correlated, or constraints");
+        out.prune_strategy = *strategy;
+    }
+
+    if (const JsonValue* match = params->get("match_strategy")) {
+        if (match->isString() && match->asString() == "table")
+            out.match_strategy = metal::MatchStrategy::Table;
+        else if (match->isString() && match->asString() == "legacy")
+            out.match_strategy = metal::MatchStrategy::Legacy;
+        else
+            return failParam(error,
+                             "'match_strategy' must be table or legacy");
+    }
+
+    if (!takeBool(*params, "witness", out.witness, error))
+        return false;
+    std::optional<std::uint64_t> witness_limit;
+    if (!takeCount(*params, "witness_limit", 1u << 20, witness_limit,
+                   error))
+        return false;
+    if (witness_limit)
+        out.witness_limit = static_cast<unsigned>(*witness_limit);
+
+    std::optional<std::uint64_t> timeout;
+    if (!takeCount(*params, "unit_timeout_ms", ~0ull >> 1, timeout, error))
+        return false;
+    if (timeout)
+        out.unit_timeout_ms = static_cast<unsigned long>(*timeout);
+    std::optional<std::uint64_t> steps;
+    if (!takeCount(*params, "unit_max_steps", ~0ull >> 1, steps, error))
+        return false;
+    if (steps)
+        out.unit_max_steps = static_cast<unsigned long>(*steps);
+
+    if (!takeBool(*params, "fail_fast", out.fail_fast, error))
+        return false;
+
+    return true;
+}
+
+} // namespace mc::server

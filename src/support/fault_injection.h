@@ -53,6 +53,10 @@ class InjectedFault : public std::runtime_error
  *   cache.lookup      — keyed by entry filename, inside lookup I/O
  *   cache.store       — keyed by entry filename, inside store I/O
  *   pool.task         — keyed, inside parallelFor bodies (tests only)
+ *   server.request    — keyed by method name, after a daemon request is
+ *                       decoded but before it executes (containment:
+ *                       the client gets a structured error and the
+ *                       daemon's resident state stays untouched)
  *
  * Probes compile to nothing unless MCHECK_FAULT_INJECTION is defined
  * (CMake option of the same name, default ON; turn OFF for release

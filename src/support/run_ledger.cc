@@ -128,6 +128,28 @@ RunLedger::unit(const LedgerUnitEvent& event)
 }
 
 void
+RunLedger::request(const LedgerRequestEvent& event)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!enabled_)
+        return;
+    std::ostringstream os;
+    os.precision(3);
+    os << std::fixed;
+    os << "{\"event\": \"request\", \"id\": " << event.id
+       << ", \"method\": " << quoted(event.method)
+       << ", \"status\": " << quoted(event.status)
+       << ", \"exit_code\": " << event.exit_code
+       << ", \"wall_ms\": " << event.wall_ms
+       << ", \"units_total\": " << event.units_total
+       << ", \"units_reused\": " << event.units_reused
+       << ", \"files_reparsed\": " << event.files_reparsed
+       << ", \"program_reused\": " << boolName(event.program_reused)
+       << "}";
+    emitLine(os.str());
+}
+
+void
 RunLedger::runEnd(int exit_code, int errors, int warnings)
 {
     std::lock_guard<std::mutex> lock(mu_);

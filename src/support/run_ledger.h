@@ -38,6 +38,30 @@ struct LedgerUnitEvent
 };
 
 /**
+ * One daemon request as seen by the ledger (`request` event): which
+ * method ran, how it ended, and how much resident state it reused. The
+ * daemon emits one per request between the unit events that request
+ * produced, so a ledger of a daemon session reads as an interleaving of
+ * request boundaries and per-unit work.
+ */
+struct LedgerRequestEvent
+{
+    std::uint64_t id = 0;
+    std::string method;
+    /** "ok" or "error". */
+    std::string status = "ok";
+    int exit_code = 0;
+    double wall_ms = 0.0;
+    std::uint64_t units_total = 0;
+    /** Units replayed from the resident analysis cache. */
+    std::uint64_t units_reused = 0;
+    /** Files re-parsed (incremental updateSource or full rebuild). */
+    std::uint64_t files_reparsed = 0;
+    /** The resident Program snapshot satisfied this request. */
+    bool program_reused = false;
+};
+
+/**
  * Thread-local visit accumulator for the unit currently running on this
  * thread. The path walker adds each walk's visit count here (one TLS
  * load per walk), so unit events can report visits without changing any
@@ -106,6 +130,9 @@ class RunLedger
 
     /** Emit one unit event (tallies fold into the run_end summary). */
     void unit(const LedgerUnitEvent& event);
+
+    /** Emit one daemon request event (does not close the stream). */
+    void request(const LedgerRequestEvent& event);
 
     /** Emit the run_end summary and close the stream. */
     void runEnd(int exit_code, int errors, int warnings);

@@ -28,6 +28,32 @@ SourceManager::addFile(std::string name, std::string contents)
     return static_cast<std::int32_t>(files_.size()) - 1;
 }
 
+bool
+SourceManager::replaceFile(std::int32_t file_id, std::string contents)
+{
+    if (file_id < 1 || file_id >= static_cast<std::int32_t>(files_.size()))
+        return false;
+    File& f = files_[static_cast<std::size_t>(file_id)];
+    f.contents = std::move(contents);
+    f.line_offsets.clear();
+    f.line_offsets.push_back(0);
+    for (std::size_t i = 0; i < f.contents.size(); ++i) {
+        if (f.contents[i] == '\n')
+            f.line_offsets.push_back(i + 1);
+    }
+    f.line_offsets.push_back(f.contents.size() + 1);
+    return true;
+}
+
+std::int32_t
+SourceManager::findFile(std::string_view name) const
+{
+    for (std::size_t i = files_.size(); i > 1; --i)
+        if (files_[i - 1].name == name)
+            return static_cast<std::int32_t>(i - 1);
+    return -1;
+}
+
 const SourceManager::File&
 SourceManager::file(std::int32_t file_id) const
 {

@@ -32,6 +32,21 @@ class SourceManager
      */
     std::int32_t addFile(std::string name, std::string contents);
 
+    /**
+     * Replace the contents of an already-registered file, keeping its id
+     * and name. The resident checking server uses this to apply document
+     * edits without renumbering files: diagnostic emission sorts by
+     * file_id, so ids must stay in registration order for the server's
+     * output to match a fresh batch run over the same file list.
+     * SourceLocs minted against the old contents become stale — callers
+     * must re-parse the file before anything consults them. Returns false
+     * (and changes nothing) for an unknown id or the "<unknown>" slot.
+     */
+    bool replaceFile(std::int32_t file_id, std::string contents);
+
+    /** Id of the file registered under `name`, or -1. Latest id wins. */
+    std::int32_t findFile(std::string_view name) const;
+
     /** Number of registered files. */
     int fileCount() const { return static_cast<int>(files_.size()) - 1; }
 

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Concurrency tests for the checking daemon, written to run under
+ * ThreadSanitizer: many threads hammer one Daemon with overlapping
+ * check/status/malformed requests, and every check response must be
+ * byte-identical to the serial batch answer for its parameters —
+ * execution serializes on the daemon's mutex, so interleaving may
+ * affect ordering but never bytes. Also races the admission-control
+ * counter to show rejections are structured errors, not crashes.
+ */
+#include "server/daemon.h"
+
+#include "server/check_request.h"
+#include "server/json.h"
+#include "server/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mc::server {
+namespace {
+
+/** Tiny deterministic sources; each trips exec_restrict (exit 1). */
+const std::map<std::string, std::string>&
+sources()
+{
+    static const std::map<std::string, std::string> files = {
+        {"conc_a.c", "void HandlerA(void) { x = 1; }\n"},
+        {"conc_b.c", "void HandlerB(void) { if (a) y = 2; }\n"},
+        {"conc_c.c", "void HandlerC(void) { while (n) n = n - 1; }\n"},
+    };
+    return files;
+}
+
+std::string
+batchOutput(const std::vector<std::string>& files, int& exit_code)
+{
+    CheckRequest request;
+    request.mode = CheckRequest::Mode::Files;
+    request.files = files;
+    request.format = support::OutputFormat::Json;
+    request.jobs = 1;
+    request.read_file = [](const std::string& path, std::string& contents,
+                           std::string& error) {
+        auto it = sources().find(path);
+        if (it == sources().end()) {
+            error = "no such overlay";
+            return false;
+        }
+        contents = it->second;
+        return true;
+    };
+    std::ostringstream out;
+    std::ostringstream err;
+    exit_code = runCheckRequest(request, nullptr, nullptr, out, err)
+                    .exit_code;
+    return out.str();
+}
+
+std::string
+checkRequestLine(const std::vector<std::string>& files)
+{
+    JsonValue request = JsonValue::object();
+    request.set("method", JsonValue::string("check"));
+    JsonValue params = JsonValue::object();
+    JsonValue list = JsonValue::array();
+    for (const std::string& f : files)
+        list.push(JsonValue::string(f));
+    params.set("files", std::move(list));
+    params.set("format", JsonValue::string("json"));
+    params.set("jobs", JsonValue::number(std::int64_t{1}));
+    request.set("params", std::move(params));
+    return request.dump();
+}
+
+TEST(DaemonConcurrency, OverlappingChecksMatchSerialBytes)
+{
+    // Serial ground truth, one answer per parameter set.
+    const std::vector<std::vector<std::string>> file_sets = {
+        {"conc_a.c"},
+        {"conc_b.c", "conc_c.c"},
+        {"conc_a.c", "conc_b.c", "conc_c.c"},
+    };
+    std::vector<std::string> expected_output(file_sets.size());
+    std::vector<int> expected_exit(file_sets.size());
+    for (std::size_t i = 0; i < file_sets.size(); ++i)
+        expected_output[i] = batchOutput(file_sets[i], expected_exit[i]);
+
+    DaemonOptions options;
+    options.max_in_flight = 64; // admission must not fire in this test
+    Daemon daemon(options);
+    for (const auto& [path, text] : sources()) {
+        JsonValue request = JsonValue::object();
+        request.set("method", JsonValue::string("open"));
+        JsonValue params = JsonValue::object();
+        params.set("path", JsonValue::string(path));
+        params.set("text", JsonValue::string(text));
+        request.set("params", std::move(params));
+        daemon.handleRequestLine(request.dump());
+    }
+
+    constexpr int kThreads = 4;
+    constexpr int kIterations = 6;
+    std::vector<std::string> failures(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < kIterations; ++i) {
+                const std::size_t which =
+                    static_cast<std::size_t>(t + i) % file_sets.size();
+                std::string line = daemon.handleRequestLine(
+                    checkRequestLine(file_sets[which]));
+                JsonValue response;
+                std::string error;
+                if (!JsonValue::parse(line, response, error)) {
+                    failures[t] = "unparsable response: " + line;
+                    return;
+                }
+                const JsonValue* result = response.get("result");
+                if (!result) {
+                    failures[t] = "error response: " + line;
+                    return;
+                }
+                if (result->get("output")->asString() !=
+                        expected_output[which] ||
+                    result->get("exit_code")->asInt() !=
+                        expected_exit[which]) {
+                    failures[t] =
+                        "thread " + std::to_string(t) + " iteration " +
+                        std::to_string(i) +
+                        ": response bytes differ from serial batch run";
+                    return;
+                }
+            }
+        });
+    }
+    // Status and garbage traffic race the checks: decode is lock-free,
+    // bookkeeping is guarded — TSan watches both.
+    threads.emplace_back([&] {
+        for (int i = 0; i < 3 * kIterations; ++i) {
+            daemon.handleRequestLine(R"({"method": "status"})");
+            daemon.handleRequestLine("{garbage");
+        }
+    });
+    for (std::thread& thread : threads)
+        thread.join();
+    for (const std::string& failure : failures)
+        EXPECT_EQ(failure, "");
+}
+
+TEST(DaemonConcurrency, AdmissionRejectionsAreStructuredUnderRace)
+{
+    DaemonOptions options;
+    options.max_in_flight = 1; // most overlapping checks must be rejected
+    Daemon daemon(options);
+    JsonValue open = JsonValue::object();
+    open.set("method", JsonValue::string("open"));
+    JsonValue params = JsonValue::object();
+    params.set("path", JsonValue::string("conc_a.c"));
+    params.set("text", JsonValue::string(sources().at("conc_a.c")));
+    open.set("params", std::move(params));
+    daemon.handleRequestLine(open.dump());
+
+    const std::string line = checkRequestLine({"conc_a.c"});
+    std::vector<std::string> bad(4);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < 4; ++i) {
+                std::string out = daemon.handleRequestLine(line);
+                JsonValue response;
+                std::string error;
+                if (!JsonValue::parse(out, response, error)) {
+                    bad[t] = "unparsable response: " + out;
+                    return;
+                }
+                // Either the check ran (result) or admission bounced it
+                // with the dedicated busy code — nothing else.
+                if (response.get("result"))
+                    continue;
+                const JsonValue* err = response.get("error");
+                if (!err ||
+                    err->get("code")->asInt() != protocol::kServerBusy) {
+                    bad[t] = "unexpected response: " + out;
+                    return;
+                }
+            }
+        });
+    }
+    for (std::thread& thread : threads)
+        thread.join();
+    for (const std::string& failure : bad)
+        EXPECT_EQ(failure, "");
+    // The daemon is healthy afterwards and the in-flight gauge drained:
+    // one more check must be admitted and still match batch bytes.
+    int exit_code = 0;
+    std::string expected = batchOutput({"conc_a.c"}, exit_code);
+    std::string out = daemon.handleRequestLine(line);
+    JsonValue response;
+    std::string error;
+    ASSERT_TRUE(JsonValue::parse(out, response, error)) << out;
+    ASSERT_NE(response.get("result"), nullptr) << out;
+    EXPECT_EQ(response.get("result")->get("output")->asString(), expected);
+    EXPECT_EQ(response.get("result")->get("exit_code")->asInt(), exit_code);
+}
+
+} // namespace
+} // namespace mc::server

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Wire-protocol JSON tests: parse/dump round-trips, insertion-order
+ * rendering (wire bytes must be deterministic), integral-vs-fractional
+ * number discipline, and rejection of everything outside the strict
+ * line-protocol subset (trailing garbage, bad escapes, control
+ * characters, runaway nesting).
+ */
+#include "server/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mc::server {
+namespace {
+
+JsonValue
+parseOk(const std::string& text)
+{
+    JsonValue v;
+    std::string error;
+    EXPECT_TRUE(JsonValue::parse(text, v, error)) << text << ": " << error;
+    return v;
+}
+
+std::string
+parseFail(const std::string& text)
+{
+    JsonValue v;
+    std::string error;
+    EXPECT_FALSE(JsonValue::parse(text, v, error)) << text;
+    EXPECT_FALSE(error.empty()) << text;
+    return error;
+}
+
+TEST(ServerJson, ScalarsRoundTrip)
+{
+    EXPECT_TRUE(parseOk("null").isNull());
+    EXPECT_TRUE(parseOk("true").asBool());
+    EXPECT_FALSE(parseOk("false").asBool(true));
+    EXPECT_EQ(parseOk("42").asInt(), 42);
+    EXPECT_EQ(parseOk("-7").asInt(), -7);
+    EXPECT_DOUBLE_EQ(parseOk("2.5").asDouble(), 2.5);
+    EXPECT_EQ(parseOk("\"hi\"").asString(), "hi");
+}
+
+TEST(ServerJson, IntegralNumbersAreDistinguished)
+{
+    // Integrality is value-based (JSON Schema's rule): 3, 3.0, and 3e2
+    // are all whole numbers; 1.5 is not.
+    EXPECT_TRUE(parseOk("3").isIntegral());
+    EXPECT_TRUE(parseOk("3.0").isIntegral());
+    EXPECT_TRUE(parseOk("3e2").isIntegral());
+    EXPECT_FALSE(parseOk("1.5").isIntegral());
+
+    // asInt refuses fractional values rather than truncating: a
+    // malformed "jobs": 1.5 must be an error, not one thread.
+    bool ok = true;
+    EXPECT_EQ(parseOk("1.5").asInt(0, &ok), 0);
+    EXPECT_FALSE(ok);
+    ok = false;
+    EXPECT_EQ(parseOk("6").asInt(0, &ok), 6);
+    EXPECT_TRUE(ok);
+    ok = false;
+    EXPECT_EQ(parseOk("3.0").asInt(0, &ok), 3);
+    EXPECT_TRUE(ok);
+}
+
+TEST(ServerJson, StringEscapesRoundTrip)
+{
+    JsonValue v = parseOk(R"("a\"b\\c\nd\teA")");
+    EXPECT_EQ(v.asString(), "a\"b\\c\nd\teA");
+    // Dumping re-escapes to a parseable spelling.
+    JsonValue again = parseOk(v.dump());
+    EXPECT_EQ(again.asString(), v.asString());
+}
+
+TEST(ServerJson, ObjectsPreserveInsertionOrder)
+{
+    JsonValue obj = JsonValue::object();
+    obj.set("zebra", JsonValue::number(std::int64_t{1}));
+    obj.set("alpha", JsonValue::number(std::int64_t{2}));
+    obj.set("mid", JsonValue::string("x"));
+    // Insertion order, not key order: response fields render in the
+    // order the handler set them, keeping wire bytes deterministic.
+    EXPECT_EQ(obj.dump(), R"({"zebra": 1, "alpha": 2, "mid": "x"})");
+
+    // Overwriting keeps the original position.
+    obj.set("zebra", JsonValue::number(std::int64_t{9}));
+    EXPECT_EQ(obj.dump(), R"({"zebra": 9, "alpha": 2, "mid": "x"})");
+}
+
+TEST(ServerJson, ParsedObjectsKeepSourceOrder)
+{
+    JsonValue v = parseOk(R"({"b": 1, "a": [true, null], "c": {"d": 2}})");
+    ASSERT_TRUE(v.isObject());
+    ASSERT_EQ(v.members().size(), 3u);
+    EXPECT_EQ(v.members()[0].first, "b");
+    EXPECT_EQ(v.members()[1].first, "a");
+    EXPECT_EQ(v.members()[2].first, "c");
+    ASSERT_NE(v.get("a"), nullptr);
+    EXPECT_EQ(v.get("a")->items().size(), 2u);
+    EXPECT_EQ(v.get("missing"), nullptr);
+    EXPECT_EQ(parseOk(v.dump()).dump(), v.dump());
+}
+
+TEST(ServerJson, WhitespaceAroundDocumentIsAccepted)
+{
+    EXPECT_EQ(parseOk("  {\"a\": 1}\t ").dump(), R"({"a": 1})");
+}
+
+TEST(ServerJson, TrailingGarbageIsRejected)
+{
+    parseFail("{} extra");
+    parseFail("1 2");
+    parseFail("{\"a\": 1}{\"b\": 2}");
+}
+
+TEST(ServerJson, MalformedDocumentsAreRejected)
+{
+    parseFail("");
+    parseFail("{");
+    parseFail("[1,]");
+    parseFail("{\"a\" 1}");
+    parseFail("{\"a\": }");
+    parseFail("{'a': 1}");
+    parseFail("nul");
+    parseFail("+1");
+    parseFail("01");
+}
+
+TEST(ServerJson, BadStringsAreRejected)
+{
+    parseFail("\"unterminated");
+    parseFail(R"("bad \q escape")");
+    parseFail(R"("short \u12")");
+    parseFail("\"ctrl \x01 char\"");
+}
+
+TEST(ServerJson, RunawayNestingIsRejected)
+{
+    std::string deep(100, '[');
+    deep += "1";
+    deep.append(100, ']');
+    parseFail(deep);
+}
+
+TEST(ServerJson, DumpEscapesControlCharacters)
+{
+    JsonValue v = JsonValue::string(std::string("a\nb\x02") + "c");
+    JsonValue back = parseOk(v.dump());
+    EXPECT_EQ(back.asString(), v.asString());
+}
+
+} // namespace
+} // namespace mc::server
