@@ -36,11 +36,8 @@ metalSourceFor(const std::string& checker_name)
     return "";
 }
 
-/**
- * Content key for one (function, checker) work unit. Any input that can
- * change the unit's diagnostics or absorbed state is folded in; two runs
- * may share an entry only when every ingredient matches.
- */
+} // namespace
+
 std::uint64_t
 unitCacheKey(const std::string& checker_name,
              const CheckerSetOptions& options, std::uint64_t spec_fp,
@@ -64,8 +61,6 @@ unitCacheKey(const std::string& checker_name,
     h.u64(fn_fp);
     return h.value();
 }
-
-} // namespace
 
 std::vector<CheckerRunStats>
 runCheckersParallel(const lang::Program& program,

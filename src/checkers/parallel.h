@@ -111,6 +111,19 @@ struct ParallelRunOptions
 };
 
 /**
+ * Content key for one (function, checker) work unit: engine version,
+ * checker identity + options + metal source, witness configuration,
+ * protocol-spec fingerprint, function token-stream fingerprint. Two
+ * runs may share a cache entry only when every ingredient matches.
+ * Exposed so the shard coordinator keys its phase-0 lookups exactly
+ * as the in-process runner does — byte-identical warm runs depend on
+ * both computing the same key from the same inputs.
+ */
+std::uint64_t unitCacheKey(const std::string& checker_name,
+                           const CheckerSetOptions& options,
+                           std::uint64_t spec_fp, std::uint64_t fn_fp);
+
+/**
  * Parallel drop-in for runCheckers: same inputs, same outputs, same
  * bytes in the sink — only the wall clock differs.
  *

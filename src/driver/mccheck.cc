@@ -58,6 +58,7 @@
 #include "corpus/generator.h"
 #include "metal/engine.h"
 #include "server/check_request.h"
+#include "server/daemon.h"
 #include "support/fault_injection.h"
 #include "support/metrics.h"
 #include "support/run_ledger.h"
@@ -66,12 +67,18 @@
 #include "support/version.h"
 #include "support/witness.h"
 
+#include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <sstream>
+#include <thread>
+
+#include <unistd.h>
 
 namespace {
 
@@ -145,6 +152,25 @@ const char* const kUsage =
     "                              checking (default)\n"
     "  --inject-fault <site:n>     arm a fault-injection probe (also\n"
     "                              via MCCHECK_FAULT_INJECT)\n"
+    "  --shards <n>                run (function, checker) units in n\n"
+    "                              supervised worker processes; output\n"
+    "                              is byte-identical to an in-process\n"
+    "                              run at any n, even when workers crash\n"
+    "                              and are respawned (--protocol and\n"
+    "                              file checking; see docs/sharding.md)\n"
+    "  --shard-batch-units <n>     units per shard work batch\n"
+    "                              (default 16)\n"
+    "  --shard-batch-timeout-ms <n> kill + respawn a worker holding one\n"
+    "                              batch longer than n ms (default: no\n"
+    "                              deadline; heartbeat supervision still\n"
+    "                              applies)\n"
+    "  --shard-backoff-ms <n>      worker respawn backoff base, doubled\n"
+    "                              per consecutive crash and capped\n"
+    "                              (default 50; timing only, never\n"
+    "                              output bytes)\n"
+    "  --shard-worker              internal: serve check_units batches\n"
+    "                              on stdin/stdout for a --shards\n"
+    "                              coordinator\n"
     "  --help                      show this help\n"
     "  --version                   print version and exit\n"
     "\n"
@@ -163,6 +189,8 @@ struct CliOptions
         EmitCorpus,
         Metal,
         Files,
+        /** Serve check_units batches on stdin/stdout (internal). */
+        ShardWorker,
     };
 
     Mode mode = Mode::Files;
@@ -198,6 +226,14 @@ struct CliOptions
     bool fail_fast = false;
     /** Fault-injection spec ("site:n"); empty = use the env var only. */
     std::string inject_fault;
+    /** Shard worker processes; 0 = in-process checking. */
+    unsigned shards = 0;
+    /** Units per shard work batch. */
+    unsigned long shard_batch_units = 16;
+    /** Per-batch wall-clock deadline in ms (0 = none). */
+    unsigned long shard_batch_timeout_ms = 0;
+    /** Worker respawn backoff base in ms. */
+    unsigned long shard_backoff_ms = 50;
 };
 
 /** Print `what` plus usage to stderr; used for every CLI error. */
@@ -394,6 +430,53 @@ parseArgs(const std::vector<std::string>& args, CliOptions& out)
             if (!need_value(i, arg, out.inject_fault))
                 return usageError("--inject-fault needs a <site>:<n> spec");
             ++i;
+        } else if (arg == "--shards") {
+            std::string value;
+            if (!need_value(i, arg, value))
+                return usageError("--shards needs a worker count");
+            unsigned long parsed = 0;
+            if (!parseCount(arg, value, parsed) || parsed == 0 ||
+                parsed > 64)
+                return usageError("--shards needs a worker count in "
+                                  "1..64, got '" + value + "'");
+            out.shards = static_cast<unsigned>(parsed);
+            ++i;
+        } else if (arg == "--shard-batch-units") {
+            std::string value;
+            if (!need_value(i, arg, value))
+                return usageError("--shard-batch-units needs a unit count");
+            unsigned long parsed = 0;
+            if (!parseCount(arg, value, parsed) || parsed == 0 ||
+                parsed > 4096)
+                return usageError("--shard-batch-units needs a unit count "
+                                  "in 1..4096, got '" + value + "'");
+            out.shard_batch_units = parsed;
+            ++i;
+        } else if (arg == "--shard-batch-timeout-ms") {
+            std::string value;
+            if (!need_value(i, arg, value))
+                return usageError(
+                    "--shard-batch-timeout-ms needs a duration");
+            unsigned long parsed = 0;
+            if (!parseCount(arg, value, parsed) || parsed == 0)
+                return usageError(
+                    "--shard-batch-timeout-ms needs a positive duration "
+                    "in milliseconds, got '" + value + "'");
+            out.shard_batch_timeout_ms = parsed;
+            ++i;
+        } else if (arg == "--shard-backoff-ms") {
+            std::string value;
+            if (!need_value(i, arg, value))
+                return usageError("--shard-backoff-ms needs a duration");
+            unsigned long parsed = 0;
+            if (!parseCount(arg, value, parsed) || parsed == 0)
+                return usageError(
+                    "--shard-backoff-ms needs a positive duration in "
+                    "milliseconds, got '" + value + "'");
+            out.shard_backoff_ms = parsed;
+            ++i;
+        } else if (arg == "--shard-worker") {
+            out.mode = CliOptions::Mode::ShardWorker;
         } else if (arg == "--format") {
             std::string name;
             if (!need_value(i, arg, name))
@@ -436,9 +519,69 @@ emitCorpus(const std::string& name, const std::string& dir)
     return 0;
 }
 
+/**
+ * Absolute path of this executable (for shard worker argv): workers
+ * must be respawnable at any point of the run, so the path has to stay
+ * valid even if the invoker's argv[0] was relative and the coordinator
+ * later changes directory.
+ */
+std::string
+selfExecutable(const std::string& argv0)
+{
+    char buf[4096];
+    ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+    if (n > 0)
+        return std::string(buf, static_cast<std::size_t>(n));
+    return argv0;
+}
+
+/**
+ * Serve `check_units` batches for a `--shards` coordinator: one
+ * request line in, one response line out, over stdin/stdout (the
+ * coordinator's socketpair). A detached-looking heartbeat thread
+ * interleaves `{"heartbeat": n}` lines so the supervisor can tell a
+ * busy worker from a dead one; both streams share one write mutex so
+ * heartbeats never tear a response line.
+ */
+int
+runShardWorker()
+{
+    // No disk cache and no ledger: the coordinator owns persistent
+    // state, workers are disposable by design.
+    server::DaemonOptions dopts;
+    dopts.default_jobs = 1;
+    server::Daemon daemon(dopts);
+    std::mutex write_mu;
+    std::atomic<bool> done{false};
+    std::thread heartbeat([&] {
+        std::uint64_t beats = 0;
+        while (!done.load(std::memory_order_acquire)) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(250));
+            if (done.load(std::memory_order_acquire))
+                break;
+            std::lock_guard<std::mutex> lock(write_mu);
+            std::cout << "{\"heartbeat\": " << ++beats << "}\n"
+                      << std::flush;
+        }
+    });
+    std::string line;
+    while (std::getline(std::cin, line)) {
+        const std::string response = daemon.handleRequestLine(line);
+        {
+            std::lock_guard<std::mutex> lock(write_mu);
+            std::cout << response << '\n' << std::flush;
+        }
+        if (daemon.shutdownRequested())
+            break;
+    }
+    done.store(true, std::memory_order_release);
+    heartbeat.join();
+    return 0;
+}
+
 /** The checking-mode portion of the CLI as one engine request. */
 server::CheckRequest
-toCheckRequest(const CliOptions& opts)
+toCheckRequest(const CliOptions& opts, const std::string& self_exe)
 {
     server::CheckRequest req;
     switch (opts.mode) {
@@ -464,6 +607,20 @@ toCheckRequest(const CliOptions& opts)
     req.witness = opts.witness;
     req.witness_limit = static_cast<unsigned>(opts.witness_limit);
     req.match_strategy = opts.match_strategy;
+    req.shards = opts.shards;
+    req.shard_batch_units = opts.shard_batch_units;
+    req.shard_batch_timeout_ms = opts.shard_batch_timeout_ms;
+    req.shard_backoff_ms = opts.shard_backoff_ms;
+    if (opts.shards > 0) {
+        req.shard_worker_argv = {self_exe, "--shard-worker"};
+        // The MCCHECK_FAULT_INJECT environment variable is inherited by
+        // forked workers automatically; the CLI flag must be forwarded
+        // explicitly so both arming paths reach worker probe sites.
+        if (!opts.inject_fault.empty()) {
+            req.shard_worker_argv.push_back("--inject-fault");
+            req.shard_worker_argv.push_back(opts.inject_fault);
+        }
+    }
     return req;
 }
 
@@ -526,6 +683,11 @@ main(int argc, char** argv)
         std::cout << kUsage;
         return 0;
     }
+    if (opts.mode == CliOptions::Mode::ShardWorker)
+        return runShardWorker();
+    if (opts.shards > 0 && opts.mode == CliOptions::Mode::Metal)
+        return usageError("--shards supports --protocol and file "
+                          "checking only");
     if (opts.mode == CliOptions::Mode::Version) {
         std::cout << support::kToolName << ' ' << support::kToolVersion
                   << '\n';
@@ -586,10 +748,9 @@ main(int argc, char** argv)
           case CliOptions::Mode::Protocol: {
             // Batch = the shared pipeline against fresh state: no
             // resident snapshots, reads straight from disk.
-            const server::CheckOutcome outcome =
-                server::runCheckRequest(toCheckRequest(opts), cache.get(),
-                                        /*resident=*/nullptr, std::cout,
-                                        std::cerr);
+            const server::CheckOutcome outcome = server::runCheckRequest(
+                toCheckRequest(opts, selfExecutable(argv[0])),
+                cache.get(), /*resident=*/nullptr, std::cout, std::cerr);
             rc = outcome.exit_code;
             run_errors = outcome.errors;
             run_warnings = outcome.warnings;
@@ -597,6 +758,7 @@ main(int argc, char** argv)
           }
           case CliOptions::Mode::Help:
           case CliOptions::Mode::Version:
+          case CliOptions::Mode::ShardWorker:
             break;
         }
         if (cache) {

@@ -94,6 +94,38 @@ struct DaemonCli
     bool version = false;
 };
 
+/**
+ * Graceful SIGTERM/SIGINT shutdown. The handler does only
+ * async-signal-safe work: set the flag, ask the daemon to stop (one
+ * atomic store). The serve loops notice — accept()/read() return EINTR
+ * because the handlers install *without* SA_RESTART — and unwind
+ * through the normal exit path, which flushes the ledger `run_end` and
+ * the resident cache statistics a hard kill would lose.
+ */
+volatile std::sig_atomic_t g_signal = 0;
+server::Daemon* g_daemon = nullptr;
+
+void
+onShutdownSignal(int sig)
+{
+    g_signal = sig;
+    if (g_daemon)
+        g_daemon->requestShutdown();
+}
+
+void
+installShutdownHandlers()
+{
+    struct sigaction sa
+    {
+    };
+    sa.sa_handler = onShutdownSignal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0; // no SA_RESTART: blocked reads must wake up
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+}
+
 int
 usageError(const std::string& what)
 {
@@ -221,6 +253,11 @@ serveConnection(server::Daemon& daemon, int fd,
     char chunk[4096];
     for (;;) {
         ssize_t n = ::read(fd, chunk, sizeof chunk);
+        if (n < 0 && errno == EINTR) {
+            if (daemon.shutdownRequested())
+                return;
+            continue;
+        }
         if (n <= 0)
             return;
         buffer.append(chunk, static_cast<std::size_t>(n));
@@ -239,6 +276,8 @@ serveConnection(server::Daemon& daemon, int fd,
             while (off < response.size()) {
                 ssize_t w = ::write(fd, response.data() + off,
                                     response.size() - off);
+                if (w < 0 && errno == EINTR)
+                    continue;
                 if (w <= 0)
                     return;
                 off += static_cast<std::size_t>(w);
@@ -347,11 +386,24 @@ main(int argc, char** argv)
     int rc = 0;
     try {
         server::Daemon daemon(cli.options);
+        g_daemon = &daemon;
+        installShutdownHandlers();
         rc = cli.socket_path.empty()
                  ? daemon.serveStream(std::cin, std::cout)
                  : serveSocket(daemon, cli.socket_path,
                                cli.options.max_request_bytes);
+        if (g_signal != 0) {
+            const cache::CacheStats cs = daemon.cache().stats();
+            std::cerr << "mccheckd: caught "
+                      << (g_signal == SIGTERM ? "SIGTERM" : "SIGINT")
+                      << ", shutting down\n"
+                      << "mccheckd: cache: " << cs.hits << " hit(s), "
+                      << cs.misses << " miss(es), " << cs.stores
+                      << " stored, " << cs.evictions << " evicted\n";
+        }
+        g_daemon = nullptr;
     } catch (const std::exception& e) {
+        g_daemon = nullptr;
         std::cerr << "mccheckd: " << e.what() << '\n';
         rc = 3;
     }

@@ -25,7 +25,9 @@
 #include "flash/protocol_spec.h"
 #include "lang/fingerprint.h"
 #include "metal/metal_parser.h"
+#include "server/check_units.h"
 #include "server/resident.h"
+#include "server/sharded_check.h"
 #include "support/budget.h"
 #include "support/fault_injection.h"
 #include "support/hash.h"
@@ -124,6 +126,41 @@ sourceReader(const CheckRequest& req)
     return req.read_file ? req.read_file : FileReader(readDiskFile);
 }
 
+/**
+ * Run the checker set in-process or — when the request asks for shards
+ * — across supervised worker processes. Both paths produce identical
+ * sink bytes; only the execution substrate differs.
+ */
+std::vector<checkers::CheckerRunStats>
+runCheckerSet(const CheckRequest& req, cache::AnalysisCache* cache,
+              const lang::Program& program,
+              const flash::ProtocolSpec& spec,
+              const std::vector<checkers::Checker*>& checkers,
+              support::DiagnosticSink& sink,
+              const checkers::CheckerSetOptions& copts,
+              checkers::RunHealth& health, checkers::CfgCache* cfgs)
+{
+    if (req.shards > 0) {
+        ShardRunOptions srun;
+        srun.checker_options = copts;
+        srun.cache = cache;
+        srun.fail_fast = req.fail_fast;
+        srun.health = &health;
+        return runCheckersSharded(program, spec, checkers, sink, req,
+                                  srun);
+    }
+    checkers::ParallelRunOptions prun;
+    prun.jobs = req.jobs;
+    prun.cache = cache;
+    prun.unit_budget = unitBudget(req);
+    prun.fail_fast = req.fail_fast;
+    prun.health = &health;
+    prun.checker_options = copts;
+    prun.cfg_cache = cfgs;
+    return checkers::runCheckersParallel(program, spec, checkers, sink,
+                                         prun);
+}
+
 PreparedProgram
 prepareSources(const CheckRequest& req, ResidentState* resident)
 {
@@ -157,16 +194,9 @@ checkProtocol(const CheckRequest& req, cache::AnalysisCache* cache,
     support::DiagnosticSink sink;
     reportFrontendIssues(*loaded->program, sink);
     checkers::RunHealth health;
-    checkers::ParallelRunOptions prun;
-    prun.jobs = req.jobs;
-    prun.cache = cache;
-    prun.unit_budget = unitBudget(req);
-    prun.fail_fast = req.fail_fast;
-    prun.health = &health;
-    prun.checker_options = copts;
-    prun.cfg_cache = cfgs;
-    auto stats = checkers::runCheckersParallel(
-        *loaded->program, loaded->gen.spec, set.pointers(), sink, prun);
+    auto stats =
+        runCheckerSet(req, cache, *loaded->program, loaded->gen.spec,
+                      set.pointers(), sink, copts, health, cfgs);
     span.finish();
     outcome.units_total =
         loaded->program->functions().size() * set.pointers().size();
@@ -444,22 +474,10 @@ checkFiles(const CheckRequest& req, cache::AnalysisCache* cache,
     outcome.files_reparsed = prepared.files_reparsed;
     outcome.program_reused = prepared.reused;
 
-    flash::ProtocolSpec spec;
-    spec.name = "<cli>";
-    for (const lang::FunctionDecl* fn : program.functions()) {
-        flash::HandlerSpec hs;
-        hs.name = fn->name;
-        bool camel_case =
-            !fn->name.empty() &&
-            std::isupper(static_cast<unsigned char>(fn->name[0]));
-        if (!camel_case)
-            hs.kind = flash::HandlerKind::Normal;
-        else if (support::startsWith(fn->name, "Sw"))
-            hs.kind = flash::HandlerKind::Software;
-        else
-            hs.kind = flash::HandlerKind::Hardware;
-        spec.addHandler(hs);
-    }
+    // The (function name -> handler kind) classification lives in
+    // cliFilesSpec so shard workers classify identically to this
+    // in-process path.
+    flash::ProtocolSpec spec = cliFilesSpec(program);
 
     checkers::CheckerSetOptions copts;
     copts.prune_strategy = req.prune_strategy;
@@ -467,16 +485,8 @@ checkFiles(const CheckRequest& req, cache::AnalysisCache* cache,
     support::DiagnosticSink sink;
     reportFrontendIssues(program, sink);
     checkers::RunHealth health;
-    checkers::ParallelRunOptions prun;
-    prun.jobs = req.jobs;
-    prun.cache = cache;
-    prun.unit_budget = unitBudget(req);
-    prun.fail_fast = req.fail_fast;
-    prun.health = &health;
-    prun.checker_options = copts;
-    prun.cfg_cache = prepared.cfg_cache;
-    auto stats = checkers::runCheckersParallel(program, spec,
-                                               set.pointers(), sink, prun);
+    auto stats = runCheckerSet(req, cache, program, spec, set.pointers(),
+                               sink, copts, health, prepared.cfg_cache);
     outcome.units_total =
         program.functions().size() * set.pointers().size();
     emitFindings(req, sink, &program.sourceManager(), nullptr, out,

@@ -65,6 +65,23 @@ struct CheckRequest
     metal::MatchStrategy match_strategy = metal::MatchStrategy::Table;
 
     /**
+     * Worker processes for sharded checking (`--shards N`). 0 runs the
+     * in-process engine; any other value routes (function x checker)
+     * units through the shard supervisor, whose merge is byte-identical
+     * to the in-process run at every shard count. Protocol and Files
+     * modes only.
+     */
+    unsigned shards = 0;
+    /** Units per shard work batch. */
+    std::size_t shard_batch_units = 16;
+    /** Per-batch wall-clock deadline in ms (0 = none). */
+    unsigned long shard_batch_timeout_ms = 0;
+    /** Worker-respawn backoff base in ms (timing only, never bytes). */
+    unsigned long shard_backoff_ms = 50;
+    /** argv of the worker command (the driver points it at itself). */
+    std::vector<std::string> shard_worker_argv;
+
+    /**
      * Source reader: (path, contents-out, error-out) -> ok. Unset means
      * read from disk. The daemon injects an overlay-first reader here so
      * `open`/`change` documents shadow the filesystem; everything

@@ -1,0 +1,55 @@
+#ifndef MCHECK_SERVER_CHECK_UNITS_H
+#define MCHECK_SERVER_CHECK_UNITS_H
+
+#include "flash/protocol_spec.h"
+#include "lang/program.h"
+#include "server/check_request.h"
+#include "server/json.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace mc::server {
+
+class ResidentState;
+
+/**
+ * The synthetic handler-classification spec Files mode checks against:
+ * CamelCase names are handlers (Sw* software, the rest hardware),
+ * lower-case names are ordinary functions. Shared between the batch
+ * Files pipeline and the shard worker so both classify identically.
+ */
+flash::ProtocolSpec cliFilesSpec(const lang::Program& program);
+
+/**
+ * Execute one `check_units` worker request: run exactly the requested
+ * (function x checker) unit ids — u = f * ncheckers + c over
+ * program.functions() x makeAllCheckers order — each under a UnitGuard
+ * with the request's budget, always keep-going (fail-fast is the
+ * coordinator's business), and return a result object:
+ *
+ *     {"units": [{"unit": u, "failed": b, "error": s,
+ *                 "budget_stop": s, "wall_ms": n, "visits": n,
+ *                 "pruned_edges": n, "prune_cache_hits": n,
+ *                 "prune_skipped_nary": n, "data": s}, ...],
+ *      "units_total": n}
+ *
+ * `data` is the cache-format encoding (AnalysisCache::encodeUnit) of
+ * the unit's serialized checker state plus its private sink's
+ * diagnostics — the same checksummed representation warm cache runs
+ * replay, so the coordinator's merge cannot tell a worker result from
+ * a cache hit. A failed unit carries a fresh instance's state and the
+ * single "analysis incomplete" warning, mirroring in-process
+ * containment byte for byte.
+ *
+ * Protocol and Files modes only. Throws on malformed requests (unknown
+ * protocol, unreadable files, out-of-range unit ids); the daemon turns
+ * that into a structured error response.
+ */
+JsonValue runCheckUnits(const CheckRequest& request,
+                        const std::vector<std::uint64_t>& units,
+                        ResidentState* resident);
+
+} // namespace mc::server
+
+#endif // MCHECK_SERVER_CHECK_UNITS_H

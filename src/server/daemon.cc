@@ -1,6 +1,7 @@
 #include "server/daemon.h"
 
 #include "server/check_request.h"
+#include "server/check_units.h"
 #include "server/protocol.h"
 #include "support/fault_injection.h"
 #include "support/metrics.h"
@@ -148,17 +149,30 @@ Daemon::handleRequestLine(const std::string& line)
                                         protocol::kServerError, e.what()));
     }
 
-    // Admission control for the one expensive method: bound how many
+    // Admission control for the expensive methods: bound how many
     // check requests may be queued on the execution mutex at once.
-    const bool is_check = event.method == "check";
+    const bool is_check =
+        event.method == "check" || event.method == "check_units";
     if (is_check) {
         unsigned in_flight =
             checks_in_flight_.fetch_add(1, std::memory_order_acq_rel) + 1;
         if (in_flight > options_.max_in_flight) {
             checks_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+            rejected_.fetch_add(1, std::memory_order_relaxed);
+            support::MetricsRegistry& metrics =
+                support::MetricsRegistry::global();
+            if (metrics.enabled())
+                metrics.counter("server.requests_rejected").add(1);
             return finish(makeErrorResponse(
                 /*has_id=*/true, id, protocol::kServerBusy,
                 "too many check requests in flight"));
+        }
+        // High-water mark of concurrently admitted checks: how close
+        // the daemon has come to its admission bound.
+        unsigned hwm = in_flight_hwm_.load(std::memory_order_relaxed);
+        while (in_flight > hwm &&
+               !in_flight_hwm_.compare_exchange_weak(
+                   hwm, in_flight, std::memory_order_relaxed)) {
         }
     }
 
@@ -189,6 +203,9 @@ Daemon::dispatch(const std::string& method, const JsonValue* params,
 
     if (method == "check")
         return handleCheck(params, event);
+
+    if (method == "check_units")
+        return handleCheckUnits(params, event);
 
     if (method == "open" || method == "change" || method == "close") {
         std::string error;
@@ -298,6 +315,42 @@ Daemon::handleCheck(const JsonValue* params,
 }
 
 JsonValue
+Daemon::handleCheckUnits(const JsonValue* params,
+                         support::LedgerRequestEvent& event)
+{
+    const std::int64_t id = static_cast<std::int64_t>(event.id);
+
+    CheckRequest request;
+    std::vector<std::uint64_t> units;
+    std::string error;
+    if (!parseCheckUnitsParams(params, options_.default_jobs, request,
+                               units, error))
+        return makeErrorResponse(/*has_id=*/true, id,
+                                 protocol::kInvalidParams, error);
+
+    request.read_file = [this](const std::string& path,
+                               std::string& contents, std::string& err) {
+        return resident_.readFile(path, contents, err);
+    };
+
+    // Unlike handleCheck this may throw (unknown protocol, out-of-range
+    // unit): the dispatch-level catch renders it as a kServerError
+    // response, which the shard coordinator treats as fatal.
+    JsonValue result = runCheckUnits(request, units, &resident_);
+
+    event.status = "ok";
+    event.exit_code = 0;
+    event.units_total = units.size();
+
+    support::MetricsRegistry& metrics = support::MetricsRegistry::global();
+    if (metrics.enabled()) {
+        metrics.counter("server.unit_requests").add(1);
+        metrics.counter("server.units_total").add(units.size());
+    }
+    return makeResultResponse(id, std::move(result));
+}
+
+JsonValue
 Daemon::handleOpen(const JsonValue* params, bool must_exist,
                    std::string& error)
 {
@@ -338,6 +391,11 @@ Daemon::statusResult()
     requests.set("handled", uintNumber(handled_));
     requests.set("errors", uintNumber(errors_));
     requests.set("max_in_flight", uintNumber(options_.max_in_flight));
+    requests.set("rejected",
+                 uintNumber(rejected_.load(std::memory_order_relaxed)));
+    requests.set("in_flight_hwm",
+                 uintNumber(in_flight_hwm_.load(
+                     std::memory_order_relaxed)));
     JsonValue recent = JsonValue::array();
     for (const RequestRecord& record : recent_) {
         JsonValue entry = JsonValue::object();

@@ -83,6 +83,18 @@ class Daemon
         return shutdown_.load(std::memory_order_acquire);
     }
 
+    /**
+     * Ask the serve loops to wind down, exactly as a `shutdown` request
+     * would. Async-signal-safe (one atomic store) so mccheckd's
+     * SIGTERM/SIGINT handlers may call it directly — the loops then
+     * exit, and the normal shutdown path flushes the ledger `run_end`
+     * and cache statistics a hard kill would lose.
+     */
+    void requestShutdown()
+    {
+        shutdown_.store(true, std::memory_order_release);
+    }
+
     /** The cache check requests run against (disk or resident). */
     cache::AnalysisCache& cache();
 
@@ -102,6 +114,8 @@ class Daemon
                        support::LedgerRequestEvent& event);
     JsonValue handleCheck(const JsonValue* params,
                           support::LedgerRequestEvent& event);
+    JsonValue handleCheckUnits(const JsonValue* params,
+                               support::LedgerRequestEvent& event);
     JsonValue handleOpen(const JsonValue* params, bool must_exist,
                          std::string& error);
     JsonValue handleClose(const JsonValue* params, std::string& error);
@@ -117,6 +131,11 @@ class Daemon
     std::atomic<std::uint64_t> seq_{0};
     std::atomic<unsigned> checks_in_flight_{0};
     std::atomic<bool> shutdown_{false};
+
+    /** Backpressure telemetry for `status` (atomics: the rejection path
+     *  never takes exec_mu_). */
+    std::atomic<std::uint64_t> rejected_{0};
+    std::atomic<unsigned> in_flight_hwm_{0};
 
     /** Rolling per-request timing for `status` (exec_mu_-guarded). */
     std::deque<RequestRecord> recent_;

@@ -194,4 +194,34 @@ parseCheckParams(const JsonValue* params, unsigned default_jobs,
     return true;
 }
 
+bool
+parseCheckUnitsParams(const JsonValue* params, unsigned default_jobs,
+                      CheckRequest& out,
+                      std::vector<std::uint64_t>& units,
+                      std::string& error)
+{
+    if (!params || !params->isObject())
+        return failParam(error, "'check_units' needs a params object");
+    const JsonValue* list = params->get("units");
+    if (!list || !list->isArray())
+        return failParam(error, "'units' must be an array of unit ids");
+    for (const JsonValue& v : list->items()) {
+        bool ok = false;
+        std::int64_t n = v.asInt(0, &ok);
+        if (!ok || n < 0)
+            return failParam(
+                error, "'units' must be an array of non-negative unit ids");
+        units.push_back(static_cast<std::uint64_t>(n));
+    }
+    if (units.empty())
+        return failParam(error, "'units' must name at least one unit");
+    // Everything else is the `check` vocabulary, decoded by the same
+    // strict parser so the two methods can never drift apart.
+    JsonValue rest = JsonValue::object();
+    for (const auto& [key, value] : params->members())
+        if (key != "units")
+            rest.set(key, value);
+    return parseCheckParams(&rest, default_jobs, out, error);
+}
+
 } // namespace mc::server

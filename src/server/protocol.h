@@ -24,6 +24,14 @@ namespace mc::server {
  *     {"id": 4, "method": "close", "params": {"path": "h.c"}}
  *     {"id": 5, "method": "status"}
  *     {"id": 6, "method": "shutdown"}
+ *     {"id": 7, "method": "check_units", "params": {"protocol": "sci",
+ *                                                   "units": [0, 9]}}
+ *
+ * `check_units` is the shard-worker method: it takes the `check`
+ * params (minus output formatting concerns) plus an explicit list of
+ * (function x checker) unit ids, and answers with per-unit encoded
+ * results instead of rendered findings. The `mccheck --shards N`
+ * coordinator speaks it to `mccheck --shard-worker` processes.
  *
  * Responses echo the id with either a `result` object or an `error`
  * object ({"code": <int>, "message": <string>}). Requests without an id
@@ -64,6 +72,17 @@ JsonValue makeResultResponse(std::int64_t id, JsonValue result);
  */
 bool parseCheckParams(const JsonValue* params, unsigned default_jobs,
                       CheckRequest& out, std::string& error);
+
+/**
+ * Decode a `check_units` request's params: the `units` array of
+ * non-negative unit ids is split off, everything else must satisfy
+ * parseCheckParams. Unit ids are NOT range-checked here — the handler
+ * knows the grid size.
+ */
+bool parseCheckUnitsParams(const JsonValue* params, unsigned default_jobs,
+                           CheckRequest& out,
+                           std::vector<std::uint64_t>& units,
+                           std::string& error);
 
 } // namespace mc::server
 

@@ -1,0 +1,474 @@
+/**
+ * @file
+ * Worker-process supervision for sharded checking.
+ *
+ * The loop is deliberately single-threaded: one poll() multiplexes
+ * every worker socket, so there is no locking, and every decision —
+ * dispatch, kill, requeue, quarantine — happens in one total order.
+ * Determinism of *output* does not depend on that order (the caller
+ * merges results by unit id), but determinism of *failure handling*
+ * does depend on crash counting being per-unit, which the requeue
+ * logic guarantees regardless of how batches land on workers.
+ */
+#include "shard/supervisor.h"
+
+#include "support/fault_injection.h"
+#include "support/metrics.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace mc::shard {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t
+millisUntil(Clock::time_point deadline, Clock::time_point now)
+{
+    if (deadline <= now)
+        return 0;
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                              now)
+            .count());
+}
+
+struct Batch
+{
+    std::vector<std::uint64_t> units;
+};
+
+struct Worker
+{
+    pid_t pid = -1;
+    int fd = -1;
+    std::string read_buf;
+    std::string write_buf;
+    bool busy = false;
+    Batch batch;
+    Clock::time_point dispatched_at{};
+    Clock::time_point last_activity{};
+    /** Consecutive crashes since the last completed batch (backoff). */
+    unsigned crashes = 0;
+    /** Consecutive spawn failures (abandon past the cap). */
+    unsigned spawn_failures = 0;
+    /** Total spawns attempted for this slot (fault-probe key). */
+    unsigned spawn_seq = 0;
+    Clock::time_point respawn_at{};
+    bool abandoned = false;
+
+    bool live() const { return fd >= 0; }
+};
+
+void
+killWorker(Worker& w)
+{
+    if (w.fd >= 0) {
+        ::close(w.fd);
+        w.fd = -1;
+    }
+    if (w.pid > 0) {
+        ::kill(w.pid, SIGKILL);
+        int status = 0;
+        ::waitpid(w.pid, &status, 0);
+        w.pid = -1;
+    }
+    w.read_buf.clear();
+    w.write_buf.clear();
+}
+
+bool
+isHeartbeatLine(const std::string& line)
+{
+    return line.rfind("{\"heartbeat\"", 0) == 0;
+}
+
+} // namespace
+
+Supervisor::Supervisor(SupervisorOptions options)
+    : options_(std::move(options))
+{
+    if (options_.workers == 0)
+        options_.workers = 1;
+    if (options_.batch_units == 0)
+        options_.batch_units = 1;
+    if (options_.crashes_to_quarantine == 0)
+        options_.crashes_to_quarantine = 1;
+}
+
+void
+Supervisor::run(const std::vector<std::uint64_t>& units,
+                const SupervisorHooks& hooks)
+{
+    if (units.empty())
+        return;
+    if (options_.worker_argv.empty())
+        throw std::runtime_error("shard supervisor has no worker command");
+
+    // A dying worker must not kill the coordinator with a pipe signal.
+    ::signal(SIGPIPE, SIG_IGN);
+
+    support::MetricsRegistry& metrics = support::MetricsRegistry::global();
+    auto count = [&](const char* name, std::uint64_t n = 1) {
+        if (metrics.enabled())
+            metrics.counter(name).add(n);
+    };
+
+    std::deque<Batch> pending;
+    for (std::size_t i = 0; i < units.size();
+         i += options_.batch_units) {
+        Batch b;
+        for (std::size_t j = i;
+             j < units.size() && j < i + options_.batch_units; ++j)
+            b.units.push_back(units[j]);
+        pending.push_back(std::move(b));
+    }
+    count("shard.batches", pending.size());
+
+    std::map<std::uint64_t, unsigned> crash_counts;
+    std::size_t unresolved = units.size();
+    std::string last_spawn_error;
+
+    std::vector<Worker> workers(options_.workers);
+
+    std::vector<char*> argv;
+    for (const std::string& arg : options_.worker_argv)
+        argv.push_back(const_cast<char*>(arg.c_str()));
+    argv.push_back(nullptr);
+
+    // Spawn (or schedule a retry for) one slot. Returns true when the
+    // slot is live afterwards.
+    auto spawn = [&](unsigned slot) -> bool {
+        Worker& w = workers[slot];
+        ++w.spawn_seq;
+        try {
+            // Keyed by (slot, attempt): partial densities fail a
+            // reproducible subset of spawn attempts, and retries use
+            // fresh keys so a transient spawn fault is survivable.
+            support::fault::probe("worker.spawn",
+                                  "worker:" + std::to_string(slot) +
+                                      ":spawn:" +
+                                      std::to_string(w.spawn_seq));
+        } catch (const support::InjectedFault& e) {
+            last_spawn_error = e.what();
+            ++w.spawn_failures;
+            count("shard.spawn_failures");
+            if (hooks.on_event)
+                hooks.on_event(slot, "spawn_failure", w.spawn_failures);
+            if (w.spawn_failures >= options_.max_spawn_attempts)
+                w.abandoned = true;
+            else
+                w.respawn_at =
+                    Clock::now() +
+                    std::chrono::milliseconds(std::min(
+                        options_.backoff_cap_ms,
+                        options_.backoff_base_ms
+                            << std::min(w.spawn_failures - 1, 20u)));
+            return false;
+        }
+        int sv[2];
+        if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0)
+            throw std::runtime_error(
+                std::string("shard supervisor: socketpair: ") +
+                std::strerror(errno));
+        pid_t pid = ::fork();
+        if (pid < 0) {
+            ::close(sv[0]);
+            ::close(sv[1]);
+            throw std::runtime_error(
+                std::string("shard supervisor: fork: ") +
+                std::strerror(errno));
+        }
+        if (pid == 0) {
+            ::dup2(sv[1], 0);
+            ::dup2(sv[1], 1);
+            ::close(sv[0]);
+            ::close(sv[1]);
+            ::signal(SIGPIPE, SIG_DFL);
+            ::execvp(argv[0], argv.data());
+            // The exec failure surfaces to the supervisor as an
+            // instant EOF — the normal crash machinery handles it.
+            _exit(127);
+        }
+        ::close(sv[1]);
+        int flags = ::fcntl(sv[0], F_GETFL, 0);
+        ::fcntl(sv[0], F_SETFL, flags | O_NONBLOCK);
+        w.pid = pid;
+        w.fd = sv[0];
+        w.busy = false;
+        w.spawn_failures = 0;
+        w.last_activity = Clock::now();
+        count("shard.spawns");
+        if (hooks.on_event)
+            hooks.on_event(slot, "spawn",
+                           static_cast<std::uint64_t>(pid));
+        return true;
+    };
+
+    // Requeue a crashed batch: every member becomes a singleton batch
+    // with its crash count bumped; members at the threshold are
+    // quarantined instead. Pushed to the *front* so poison units
+    // resolve (and quarantine) promptly.
+    auto requeueCrashed = [&](Batch&& batch) {
+        count("shard.requeued_units", batch.units.size());
+        for (auto it = batch.units.rbegin(); it != batch.units.rend();
+             ++it) {
+            unsigned crashes = ++crash_counts[*it];
+            if (crashes >= options_.crashes_to_quarantine) {
+                count("shard.quarantined_units");
+                if (hooks.on_quarantine)
+                    hooks.on_quarantine(*it, crashes);
+                --unresolved;
+                continue;
+            }
+            Batch single;
+            single.units.push_back(*it);
+            pending.push_front(std::move(single));
+        }
+    };
+
+    // A worker died (EOF) or was killed (deadline/activity): reap it,
+    // requeue its batch, and schedule the respawn with backoff.
+    auto handleCrash = [&](unsigned slot, const char* action) {
+        Worker& w = workers[slot];
+        killWorker(w);
+        ++w.crashes;
+        count("shard.crashes");
+        if (hooks.on_event)
+            hooks.on_event(slot, action, w.crashes);
+        if (w.busy) {
+            w.busy = false;
+            requeueCrashed(std::move(w.batch));
+            w.batch = Batch();
+        }
+        w.respawn_at =
+            Clock::now() +
+            std::chrono::milliseconds(
+                std::min(options_.backoff_cap_ms,
+                         options_.backoff_base_ms
+                             << std::min(w.crashes - 1, 20u)));
+    };
+
+    auto cleanup = [&] {
+        for (Worker& w : workers)
+            killWorker(w);
+    };
+
+    try {
+        for (unsigned slot = 0; slot < workers.size(); ++slot)
+            spawn(slot);
+
+        while (unresolved > 0) {
+            const Clock::time_point now = Clock::now();
+
+            // Respawn slots whose backoff has elapsed.
+            bool any_usable = false;
+            for (unsigned slot = 0; slot < workers.size(); ++slot) {
+                Worker& w = workers[slot];
+                if (!w.live() && !w.abandoned && now >= w.respawn_at)
+                    spawn(slot);
+                if (w.live() || !w.abandoned)
+                    any_usable = true;
+            }
+            if (!any_usable)
+                throw std::runtime_error(
+                    "shard workers exhausted spawn attempts" +
+                    (last_spawn_error.empty()
+                         ? std::string()
+                         : ": " + last_spawn_error));
+
+            // Dispatch pending batches to idle live workers.
+            for (unsigned slot = 0;
+                 slot < workers.size() && !pending.empty(); ++slot) {
+                Worker& w = workers[slot];
+                if (!w.live() || w.busy || !w.write_buf.empty())
+                    continue;
+                w.batch = std::move(pending.front());
+                pending.pop_front();
+                w.busy = true;
+                w.dispatched_at = Clock::now();
+                w.last_activity = w.dispatched_at;
+                w.write_buf = hooks.make_request(w.batch.units);
+                w.write_buf += '\n';
+                count("shard.dispatches");
+            }
+
+            // Nearest deadline bounds the poll: batch deadlines,
+            // activity timeouts, and pending respawns.
+            std::uint64_t wait_ms = 1000;
+            const Clock::time_point now2 = Clock::now();
+            for (const Worker& w : workers) {
+                if (w.live() && w.busy) {
+                    if (options_.batch_timeout_ms > 0)
+                        wait_ms = std::min(
+                            wait_ms,
+                            millisUntil(
+                                w.dispatched_at +
+                                    std::chrono::milliseconds(
+                                        options_.batch_timeout_ms),
+                                now2));
+                    if (options_.activity_timeout_ms > 0)
+                        wait_ms = std::min(
+                            wait_ms,
+                            millisUntil(
+                                w.last_activity +
+                                    std::chrono::milliseconds(
+                                        options_.activity_timeout_ms),
+                                now2));
+                }
+                if (!w.live() && !w.abandoned)
+                    wait_ms = std::min(
+                        wait_ms, millisUntil(w.respawn_at, now2));
+            }
+
+            std::vector<pollfd> fds;
+            std::vector<unsigned> fd_slots;
+            for (unsigned slot = 0; slot < workers.size(); ++slot) {
+                Worker& w = workers[slot];
+                if (!w.live())
+                    continue;
+                pollfd p{};
+                p.fd = w.fd;
+                p.events = POLLIN;
+                if (!w.write_buf.empty())
+                    p.events |= POLLOUT;
+                fds.push_back(p);
+                fd_slots.push_back(slot);
+            }
+            if (!fds.empty()) {
+                int rc = ::poll(fds.data(), fds.size(),
+                                static_cast<int>(std::min<std::uint64_t>(
+                                    wait_ms, 1000)));
+                if (rc < 0 && errno != EINTR)
+                    throw std::runtime_error(
+                        std::string("shard supervisor: poll: ") +
+                        std::strerror(errno));
+            } else {
+                // Every worker is down; sleep out the shortest backoff.
+                struct timespec ts;
+                std::uint64_t ms = std::max<std::uint64_t>(
+                    1, std::min<std::uint64_t>(wait_ms, 1000));
+                ts.tv_sec = static_cast<time_t>(ms / 1000);
+                ts.tv_nsec = static_cast<long>((ms % 1000) * 1000000);
+                ::nanosleep(&ts, nullptr);
+                continue;
+            }
+
+            for (std::size_t i = 0; i < fds.size(); ++i) {
+                const unsigned slot = fd_slots[i];
+                Worker& w = workers[slot];
+                if (!w.live())
+                    continue;
+
+                if (fds[i].revents & POLLOUT) {
+                    ssize_t n =
+                        ::write(w.fd, w.write_buf.data(),
+                                w.write_buf.size());
+                    if (n > 0)
+                        w.write_buf.erase(
+                            0, static_cast<std::size_t>(n));
+                    else if (n < 0 && errno != EAGAIN &&
+                             errno != EWOULDBLOCK && errno != EINTR) {
+                        handleCrash(slot, "crash");
+                        continue;
+                    }
+                }
+
+                if (fds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
+                    char chunk[4096];
+                    bool eof = false;
+                    for (;;) {
+                        ssize_t n = ::read(w.fd, chunk, sizeof chunk);
+                        if (n > 0) {
+                            w.read_buf.append(
+                                chunk, static_cast<std::size_t>(n));
+                            w.last_activity = Clock::now();
+                            continue;
+                        }
+                        if (n == 0)
+                            eof = true;
+                        else if (errno == EINTR)
+                            continue;
+                        break;
+                    }
+                    std::size_t start = 0;
+                    std::size_t nl;
+                    while ((nl = w.read_buf.find('\n', start)) !=
+                           std::string::npos) {
+                        std::string line =
+                            w.read_buf.substr(start, nl - start);
+                        start = nl + 1;
+                        if (isHeartbeatLine(line))
+                            continue;
+                        if (!w.busy)
+                            throw std::runtime_error(
+                                "shard worker sent an unsolicited "
+                                "response");
+                        Batch done = std::move(w.batch);
+                        w.batch = Batch();
+                        w.busy = false;
+                        w.crashes = 0;
+                        std::vector<unsigned> attempts;
+                        for (std::uint64_t u : done.units) {
+                            auto it = crash_counts.find(u);
+                            attempts.push_back(
+                                it == crash_counts.end()
+                                    ? 1
+                                    : it->second + 1);
+                        }
+                        hooks.on_result(done.units, line, slot,
+                                        attempts);
+                        unresolved -= done.units.size();
+                        count("shard.batches_done");
+                    }
+                    w.read_buf.erase(0, start);
+                    if (eof) {
+                        handleCrash(slot, "crash");
+                        continue;
+                    }
+                }
+
+                // Deadline supervision, checked after draining reads
+                // so a response that raced the deadline still counts.
+                if (w.live() && w.busy) {
+                    const Clock::time_point t = Clock::now();
+                    if (options_.batch_timeout_ms > 0 &&
+                        t >= w.dispatched_at +
+                                 std::chrono::milliseconds(
+                                     options_.batch_timeout_ms)) {
+                        count("shard.timeouts");
+                        handleCrash(slot, "timeout_kill");
+                    } else if (options_.activity_timeout_ms > 0 &&
+                               t >= w.last_activity +
+                                        std::chrono::milliseconds(
+                                            options_
+                                                .activity_timeout_ms)) {
+                        count("shard.timeouts");
+                        handleCrash(slot, "timeout_kill");
+                    }
+                }
+            }
+        }
+    } catch (...) {
+        cleanup();
+        throw;
+    }
+    cleanup();
+}
+
+} // namespace mc::shard

@@ -1,0 +1,128 @@
+#ifndef MCHECK_SHARD_SUPERVISOR_H
+#define MCHECK_SHARD_SUPERVISOR_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace mc::shard {
+
+/** Construction-time knobs for a Supervisor. */
+struct SupervisorOptions
+{
+    /** Worker processes to keep alive. */
+    unsigned workers = 1;
+    /** argv of the worker command (argv[0] is the executable). */
+    std::vector<std::string> worker_argv;
+    /** Units per work batch (the dispatch granularity). */
+    std::size_t batch_units = 16;
+    /**
+     * Wall-clock deadline for one outstanding batch in ms; a worker
+     * that holds a batch longer is killed and the batch requeued.
+     * 0 disables the deadline (heartbeat supervision still applies).
+     */
+    std::uint64_t batch_timeout_ms = 0;
+    /**
+     * Kill a busy worker that has produced no bytes — no response, no
+     * heartbeat line — for this long. Catches workers that died in a
+     * way that kept the socket open. 0 disables.
+     */
+    std::uint64_t activity_timeout_ms = 10000;
+    /**
+     * Capped exponential backoff before respawning a crashed worker:
+     * base << (consecutive crashes - 1), clamped to the cap. The
+     * schedule is deterministic (no jitter) and affects only wall
+     * time, never output bytes.
+     */
+    std::uint64_t backoff_base_ms = 50;
+    std::uint64_t backoff_cap_ms = 2000;
+    /** Consecutive failed spawns before a slot is abandoned. */
+    unsigned max_spawn_attempts = 4;
+    /**
+     * A unit whose batch crashed this many times is quarantined (its
+     * on_quarantine hook fires instead of on_result). After the first
+     * crash every member of the batch is requeued as a singleton
+     * batch, so only a unit that kills a worker *alone* reaches the
+     * threshold — the quarantine set is a pure function of unit
+     * identity, identical at any shard count.
+     */
+    unsigned crashes_to_quarantine = 2;
+};
+
+/**
+ * Callbacks the Supervisor drives. All hooks are invoked from the
+ * thread that called run(); a hook that throws aborts the run (workers
+ * are killed, the exception propagates).
+ */
+struct SupervisorHooks
+{
+    /** Render the request line (no trailing newline) for a batch. */
+    std::function<std::string(const std::vector<std::uint64_t>& units)>
+        make_request;
+    /**
+     * A worker answered a batch with one response line. `attempts[i]`
+     * is how many times units[i] has been dispatched (1 = first try).
+     */
+    std::function<void(const std::vector<std::uint64_t>& units,
+                       const std::string& line, unsigned slot,
+                       const std::vector<unsigned>& attempts)>
+        on_result;
+    /** A unit crossed the crash threshold and will never run. */
+    std::function<void(std::uint64_t unit, unsigned crashes)>
+        on_quarantine;
+    /**
+     * Worker lifecycle event for the ledger: action is one of
+     * "spawn", "crash", "timeout_kill", "spawn_failure"; detail is the
+     * worker's pid (spawn) or its consecutive-crash count.
+     */
+    std::function<void(unsigned slot, const char* action,
+                       std::uint64_t detail)>
+        on_event;
+};
+
+/**
+ * Fault-tolerant pool of worker processes speaking a line-delimited
+ * request/response protocol over socketpairs.
+ *
+ * run() partitions `units` (in order) into batches of batch_units,
+ * spawns options.workers processes, and dispatches batches to idle
+ * workers until every unit is resolved — answered via on_result or
+ * written off via on_quarantine. Supervision is a single-threaded
+ * poll() loop: any byte from a worker (responses and `{"heartbeat"...}`
+ * lines alike) refreshes its activity clock; a worker that EOFs,
+ * exceeds its batch deadline, or goes silent past the activity timeout
+ * is SIGKILLed and respawned after a deterministic capped exponential
+ * backoff, and its un-acked batch is requeued — each member as a
+ * singleton batch with its crash count bumped, so repeat offenders
+ * isolate themselves and are quarantined at the threshold.
+ *
+ * Spawns are guarded by the keyed `worker.spawn` fault-injection
+ * probe; a slot whose spawns fail max_spawn_attempts times in a row is
+ * abandoned, and run() throws once no live or spawnable worker
+ * remains with units still pending.
+ *
+ * The supervisor is transport and payload agnostic: request/response
+ * content is entirely the hooks' business, which keeps this library
+ * free of any dependency on the checking engine.
+ */
+class Supervisor
+{
+  public:
+    explicit Supervisor(SupervisorOptions options);
+
+    /**
+     * Drive `units` to resolution. Throws std::runtime_error when no
+     * worker can be kept alive, and propagates hook exceptions; in
+     * both cases every worker process is killed first.
+     */
+    void run(const std::vector<std::uint64_t>& units,
+             const SupervisorHooks& hooks);
+
+  private:
+    SupervisorOptions options_;
+};
+
+} // namespace mc::shard
+
+#endif // MCHECK_SHARD_SUPERVISOR_H

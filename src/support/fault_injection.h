@@ -57,6 +57,21 @@ class InjectedFault : public std::runtime_error
  *                       decoded but before it executes (containment:
  *                       the client gets a structured error and the
  *                       daemon's resident state stays untouched)
+ *   worker.spawn      — keyed by "worker:<slot>:spawn:<attempt>", in the
+ *                       shard supervisor before forking a worker; the
+ *                       spawn fails and retries under backoff, the slot
+ *                       is abandoned after max_spawn_attempts
+ *   worker.request    — keyed by "function/checker", in a shard worker
+ *                       at the start of each requested unit; the worker
+ *                       process _Exit(9)s mid-batch (as a segfault or
+ *                       OOM kill would look from the coordinator)
+ *   worker.hang       — keyed by "function/checker", same site; the
+ *                       worker stalls forever under a live heartbeat,
+ *                       so only the per-batch deadline can catch it
+ *   shard.merge       — keyed by "function/checker", in the coordinator
+ *                       as it merges that unit's result (containment:
+ *                       the unit degrades to an "analysis incomplete"
+ *                       warning, byte-identical at any shard count)
  *
  * Probes compile to nothing unless MCHECK_FAULT_INJECTION is defined
  * (CMake option of the same name, default ON; turn OFF for release

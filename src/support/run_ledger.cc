@@ -122,8 +122,25 @@ RunLedger::unit(const LedgerUnitEvent& event)
        << event.cache << "\", \"budget_stop\": \"" << event.budget_stop
        << "\", \"truncated\": " << boolName(event.truncated)
        << ", \"failed\": " << boolName(event.failed)
-       << ", \"degraded_parse\": " << boolName(event.degraded_parse)
-       << "}";
+       << ", \"degraded_parse\": " << boolName(event.degraded_parse);
+    if (event.worker >= 0)
+        os << ", \"worker\": " << event.worker
+           << ", \"attempts\": " << event.attempts;
+    os << "}";
+    emitLine(os.str());
+}
+
+void
+RunLedger::worker(unsigned slot, const std::string& action,
+                  std::uint64_t detail)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!enabled_)
+        return;
+    std::ostringstream os;
+    os << "{\"event\": \"worker\", \"worker\": " << slot
+       << ", \"action\": " << quoted(action)
+       << ", \"detail\": " << detail << "}";
     emitLine(os.str());
 }
 

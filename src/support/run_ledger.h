@@ -35,6 +35,14 @@ struct LedgerUnitEvent
     bool failed = false;
     /** The function's translation unit recorded a frontend issue. */
     bool degraded_parse = false;
+    /**
+     * Shard worker slot that produced the unit, or -1 outside sharded
+     * runs. The `worker`/`attempts` fields are emitted only when >= 0,
+     * so unsharded ledgers are byte-identical to earlier releases.
+     */
+    int worker = -1;
+    /** Dispatch attempts the unit took (1 = first try; sharded only). */
+    std::uint64_t attempts = 0;
 };
 
 /**
@@ -133,6 +141,15 @@ class RunLedger
 
     /** Emit one daemon request event (does not close the stream). */
     void request(const LedgerRequestEvent& event);
+
+    /**
+     * Emit one shard-worker lifecycle event (`worker`): slot index,
+     * action ("spawn", "crash", "timeout_kill", "spawn_failure",
+     * "quarantine"), and an action-specific detail (pid for spawns,
+     * consecutive-crash count otherwise).
+     */
+    void worker(unsigned slot, const std::string& action,
+                std::uint64_t detail);
 
     /** Emit the run_end summary and close the stream. */
     void runEnd(int exit_code, int errors, int warnings);

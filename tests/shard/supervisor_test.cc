@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Shard supervisor: dispatch/response round-trips, crash requeue and
+ * per-unit quarantine, heartbeat-vs-deadline supervision, exec-failure
+ * containment, and spawn exhaustion. Workers are /bin/sh one-liners so
+ * the tests exercise the real fork/socketpair/poll machinery without
+ * dragging in the checking engine.
+ */
+#include "shard/supervisor.h"
+
+#include "support/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mc::shard {
+namespace {
+
+std::string
+renderRequest(const std::vector<std::uint64_t>& units)
+{
+    std::string line = "req";
+    for (std::uint64_t u : units)
+        line += " u" + std::to_string(u);
+    return line;
+}
+
+/** Hook state shared by most tests. */
+struct Recorder
+{
+    std::map<std::uint64_t, unsigned> resolved; // unit -> attempts
+    std::vector<std::string> lines;
+    std::map<std::uint64_t, unsigned> quarantined; // unit -> crashes
+    std::set<std::string> actions;
+
+    SupervisorHooks hooks()
+    {
+        SupervisorHooks h;
+        h.make_request = renderRequest;
+        h.on_result = [this](const std::vector<std::uint64_t>& units,
+                             const std::string& line, unsigned,
+                             const std::vector<unsigned>& attempts) {
+            lines.push_back(line);
+            for (std::size_t i = 0; i < units.size(); ++i)
+                resolved[units[i]] = attempts[i];
+        };
+        h.on_quarantine = [this](std::uint64_t unit, unsigned crashes) {
+            quarantined[unit] = crashes;
+        };
+        h.on_event = [this](unsigned, const char* action,
+                            std::uint64_t) { actions.insert(action); };
+        return h;
+    }
+};
+
+std::vector<std::uint64_t>
+iota(std::uint64_t n)
+{
+    std::vector<std::uint64_t> units;
+    for (std::uint64_t u = 0; u < n; ++u)
+        units.push_back(u);
+    return units;
+}
+
+TEST(Supervisor, EchoWorkersResolveEveryUnitOnce)
+{
+    SupervisorOptions opts;
+    opts.workers = 2;
+    opts.batch_units = 4;
+    opts.worker_argv = {"/bin/sh", "-c",
+                        "while read line; do echo \"ok $line\"; done"};
+    Recorder rec;
+    Supervisor(opts).run(iota(10), rec.hooks());
+
+    ASSERT_EQ(rec.resolved.size(), 10u);
+    for (const auto& [unit, attempts] : rec.resolved) {
+        EXPECT_LT(unit, 10u);
+        EXPECT_EQ(attempts, 1u);
+    }
+    EXPECT_TRUE(rec.quarantined.empty());
+    // 10 units in batches of 4 -> 3 request/response round-trips.
+    ASSERT_EQ(rec.lines.size(), 3u);
+    for (const std::string& line : rec.lines)
+        EXPECT_EQ(line.rfind("ok req", 0), 0u) << line;
+    EXPECT_TRUE(rec.actions.count("spawn"));
+}
+
+TEST(Supervisor, HeartbeatLinesAreDiscardedNotResponses)
+{
+    SupervisorOptions opts;
+    opts.workers = 1;
+    opts.batch_units = 8;
+    // Two heartbeat lines precede every real response.
+    opts.worker_argv = {
+        "/bin/sh", "-c",
+        "while read line; do"
+        " echo '{\"heartbeat\": 1}'; echo '{\"heartbeat\": 2}';"
+        " echo \"ok $line\"; done"};
+    Recorder rec;
+    Supervisor(opts).run(iota(6), rec.hooks());
+
+    EXPECT_EQ(rec.resolved.size(), 6u);
+    ASSERT_EQ(rec.lines.size(), 1u);
+    EXPECT_EQ(rec.lines[0].rfind("ok req", 0), 0u);
+}
+
+TEST(Supervisor, PoisonUnitQuarantinesAloneInnocentsRetry)
+{
+    SupervisorOptions opts;
+    opts.workers = 1;
+    opts.batch_units = 5;
+    opts.backoff_base_ms = 1;
+    opts.crashes_to_quarantine = 2;
+    // Any request mentioning unit 7 kills the worker mid-batch.
+    opts.worker_argv = {"/bin/sh", "-c",
+                        "while read line; do case \"$line\" in"
+                        " *u7*) exit 9;;"
+                        " *) echo \"ok $line\";; esac; done"};
+    Recorder rec;
+    Supervisor(opts).run(iota(10), rec.hooks());
+
+    // Unit 7 crossed the threshold alone; everyone else resolved.
+    ASSERT_EQ(rec.quarantined.size(), 1u);
+    EXPECT_EQ(rec.quarantined.count(7), 1u);
+    EXPECT_EQ(rec.quarantined[7], 2u);
+    EXPECT_EQ(rec.resolved.size(), 9u);
+    EXPECT_EQ(rec.resolved.count(7), 0u);
+    // Batch {0..4} succeeded first try; {5,6,8,9} rode along with the
+    // poison unit once, then resolved as singletons on attempt 2.
+    for (std::uint64_t u : {0, 1, 2, 3, 4})
+        EXPECT_EQ(rec.resolved[u], 1u) << "unit " << u;
+    for (std::uint64_t u : {5, 6, 8, 9})
+        EXPECT_EQ(rec.resolved[u], 2u) << "unit " << u;
+    EXPECT_TRUE(rec.actions.count("crash"));
+}
+
+TEST(Supervisor, HungWorkerWithLiveHeartbeatHitsBatchDeadline)
+{
+    SupervisorOptions opts;
+    opts.workers = 1;
+    opts.batch_units = 2;
+    opts.batch_timeout_ms = 200;
+    opts.backoff_base_ms = 1;
+    opts.crashes_to_quarantine = 1;
+    // Never answers, but heartbeats keep the activity clock fresh —
+    // only the per-batch deadline can catch this worker.
+    opts.worker_argv = {"/bin/sh", "-c",
+                        "read line; while :; do"
+                        " echo '{\"heartbeat\": 1}'; sleep 0.05; done"};
+    Recorder rec;
+    Supervisor(opts).run(iota(2), rec.hooks());
+
+    EXPECT_TRUE(rec.resolved.empty());
+    EXPECT_EQ(rec.quarantined.size(), 2u);
+    EXPECT_TRUE(rec.actions.count("timeout_kill"));
+}
+
+TEST(Supervisor, ExecFailureDegradesToQuarantineNotHang)
+{
+    SupervisorOptions opts;
+    opts.workers = 1;
+    opts.batch_units = 2;
+    opts.backoff_base_ms = 1;
+    opts.crashes_to_quarantine = 2;
+    // exec fails in the child; the supervisor sees an instant EOF and
+    // the normal crash machinery contains it.
+    opts.worker_argv = {"/nonexistent/mccheck-shard-worker"};
+    Recorder rec;
+    Supervisor(opts).run(iota(3), rec.hooks());
+
+    EXPECT_TRUE(rec.resolved.empty());
+    EXPECT_EQ(rec.quarantined.size(), 3u);
+    EXPECT_TRUE(rec.actions.count("crash"));
+}
+
+TEST(Supervisor, EmptyUnitListIsANoOp)
+{
+    SupervisorOptions opts;
+    opts.worker_argv = {"/bin/sh", "-c", "cat"};
+    Recorder rec;
+    Supervisor(opts).run({}, rec.hooks());
+    EXPECT_TRUE(rec.resolved.empty());
+    EXPECT_TRUE(rec.actions.empty());
+}
+
+TEST(Supervisor, MissingWorkerCommandThrows)
+{
+    Recorder rec;
+    EXPECT_THROW(Supervisor(SupervisorOptions{}).run(iota(1), rec.hooks()),
+                 std::runtime_error);
+}
+
+#if defined(MCHECK_FAULT_INJECTION)
+
+struct SupervisorFault : ::testing::Test
+{
+    void SetUp() override { support::fault::disarm(); }
+    void TearDown() override { support::fault::disarm(); }
+};
+
+TEST_F(SupervisorFault, SpawnExhaustionThrowsWithTheInjectedSite)
+{
+    ASSERT_TRUE(support::fault::arm("worker.spawn:1"));
+    SupervisorOptions opts;
+    opts.workers = 2;
+    opts.backoff_base_ms = 1;
+    opts.max_spawn_attempts = 3;
+    opts.worker_argv = {"/bin/sh", "-c", "cat"};
+    Recorder rec;
+    try {
+        Supervisor(opts).run(iota(4), rec.hooks());
+        FAIL() << "expected spawn exhaustion to throw";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what())
+                      .find("shard workers exhausted spawn attempts"),
+                  std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find("worker.spawn"),
+                  std::string::npos)
+            << e.what();
+    }
+    EXPECT_TRUE(rec.resolved.empty());
+    EXPECT_TRUE(rec.actions.count("spawn_failure"));
+}
+
+#endif // MCHECK_FAULT_INJECTION
+
+} // namespace
+} // namespace mc::shard

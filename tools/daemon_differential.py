@@ -24,15 +24,26 @@ harness pins that guarantee three ways:
     file's units — the response's ``units_reused``/``files_reparsed``
     stats prove per-unit fingerprint invalidation actually engaged.
 
+``kill`` mode
+    Robustness under ungraceful death: after a successful warm-up
+    check, several requests are queued and the daemon is SIGKILLed
+    mid-flight (the view from a client when the daemon segfaults or the
+    OOM killer fires). The client must surface a structured transport
+    error within a bounded deadline — never hang on the dead pipe, and
+    never misread the truncated stream as a response — and a freshly
+    started daemon must then serve the exact batch bytes again.
+
 Exits 0 when every assertion holds, 1 with a diagnostic otherwise.
 Standard library only (imports the client sitting next to it).
 """
 
 import argparse
 import glob
+import json
 import os
 import subprocess
 import sys
+import threading
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 from mccheckd_client import DaemonClient  # noqa: E402
@@ -193,13 +204,84 @@ def run_edit_mode(args, client):
     require_full_reuse("warm2", warm2["stats"])
 
 
+def run_kill_mode(args):
+    from mccheckd_client import ProtocolError
+
+    params = {"protocol": args.protocol, "format": args.format}
+    batch_out, batch_rc = batch_run(
+        args.mccheck, ["--protocol", args.protocol, "--format", args.format]
+    )
+    require(batch_out, "batch run produced no stdout; comparison vacuous")
+
+    client = DaemonClient(daemon=args.mccheckd, daemon_args=args.daemon_args)
+    try:
+        cold = client.check(params)
+        compare("kill-warmup", cold, batch_out, batch_rc)
+
+        # Put the daemon under load — several requests on the wire at
+        # once — then SIGKILL it mid-flight. SIGKILL is uncatchable, so
+        # this is exactly what a segfault or an OOM kill looks like
+        # from the client side.
+        for request_id in (101, 102, 103):
+            client._send_line(
+                json.dumps(
+                    {"id": request_id, "method": "check", "params": params}
+                )
+            )
+        client._proc.kill()
+
+        outcome = {}
+
+        def reader():
+            try:
+                outcome["line"] = client._recv_line()
+            except ProtocolError as err:
+                outcome["error"] = err
+
+        thread = threading.Thread(target=reader, daemon=True)
+        thread.start()
+        thread.join(timeout=30)
+        require(
+            not thread.is_alive(),
+            "kill: client still blocked on the dead daemon after 30s",
+        )
+        require(
+            "error" in outcome,
+            "kill: expected a transport error, got a response: %r"
+            % outcome.get("line"),
+        )
+        require(
+            "closed the connection" in str(outcome["error"]),
+            "kill: expected the closed-connection transport error, got: %s"
+            % outcome["error"],
+        )
+        rc = client._proc.wait(timeout=30)
+        require(
+            rc == -9,
+            "kill: daemon exit status %r, expected SIGKILL (-9)" % rc,
+        )
+    finally:
+        client.close()
+
+    # The crash must not poison anything on disk: a fresh daemon serves
+    # the same bytes the batch run produces.
+    with DaemonClient(
+        daemon=args.mccheckd, daemon_args=args.daemon_args
+    ) as fresh:
+        again = fresh.check(params)
+        compare("kill-restart", again, batch_out, batch_rc)
+        fresh.shutdown()
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--mccheck", required=True)
     parser.add_argument("--mccheckd", required=True)
     parser.add_argument("--workdir", required=True)
     parser.add_argument(
-        "--mode", required=True, choices=["protocol", "files", "edit"]
+        "--mode",
+        required=True,
+        choices=["protocol", "files", "edit", "kill"],
     )
     parser.add_argument("--protocol", required=True)
     parser.add_argument("--format", default="json")
@@ -210,16 +292,20 @@ def main(argv=None):
 
     os.makedirs(args.workdir, exist_ok=True)
     try:
-        with DaemonClient(
-            daemon=args.mccheckd, daemon_args=args.daemon_args
-        ) as client:
-            if args.mode == "protocol":
-                run_protocol_mode(args, client)
-            elif args.mode == "files":
-                run_files_mode(args, client)
-            else:
-                run_edit_mode(args, client)
-            client.shutdown()
+        if args.mode == "kill":
+            # Manages its own clients: the first daemon dies by design.
+            run_kill_mode(args)
+        else:
+            with DaemonClient(
+                daemon=args.mccheckd, daemon_args=args.daemon_args
+            ) as client:
+                if args.mode == "protocol":
+                    run_protocol_mode(args, client)
+                elif args.mode == "files":
+                    run_files_mode(args, client)
+                else:
+                    run_edit_mode(args, client)
+                client.shutdown()
     except Failure as failure:
         print(
             "daemon_differential[%s %s %s]: %s"

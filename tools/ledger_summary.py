@@ -5,7 +5,8 @@ Reads one or more ledger files (or stdin) and prints:
   - the run manifest(s) (tool, version, flags, exit code),
   - the slowest units by wall time,
   - cache effectiveness (hit rate, visits saved),
-  - budget truncations, unit failures, and degraded-parse units.
+  - budget truncations, unit failures, and degraded-parse units,
+  - for --shards runs: per-slot worker restarts and retried units.
 
 Usage:
     tools/ledger_summary.py run.jsonl [more.jsonl ...]
@@ -48,6 +49,41 @@ def fmt_table(headers, rows):
         lines.append(
             "  ".join(str(c).ljust(widths[i]) for i, c in enumerate(row)))
     return "\n".join(lines)
+
+
+def summarize_workers(events, units, top):
+    """Shard-worker section: restart counts per slot, retried units."""
+    worker_events = [e for e in events if e["event"] == "worker"]
+    retried = [u for u in units if u.get("attempts", 1) > 1]
+    if not worker_events and not retried:
+        return
+
+    print("\nshard workers:")
+    slots = {}
+    for e in worker_events:
+        slot = slots.setdefault(e.get("worker", -1), {
+            "spawn": 0, "crash": 0, "timeout_kill": 0,
+            "spawn_failure": 0, "quarantine": 0})
+        if e.get("action") in slot:
+            slot[e["action"]] += 1
+    if slots:
+        print(fmt_table(
+            ["slot", "spawns", "crashes", "timeout_kills",
+             "spawn_failures", "quarantines"],
+            [[slot, c["spawn"], c["crash"], c["timeout_kill"],
+              c["spawn_failure"], c["quarantine"]]
+             for slot, c in sorted(slots.items())]))
+    if retried:
+        worst = max(u.get("attempts", 1) for u in retried)
+        print(f"  {len(retried)} unit(s) needed a retry "
+              f"(max {worst} attempts)")
+        for u in sorted(retried,
+                        key=lambda u: -u.get("attempts", 1))[:top]:
+            print(f"  retried: {u.get('function')}/{u.get('checker')} "
+                  f"({u.get('attempts')} attempts, "
+                  f"worker {u.get('worker', '?')})")
+    else:
+        print("  no retried units")
 
 
 def summarize(events, top):
@@ -105,6 +141,8 @@ def summarize(events, top):
               f"({u.get('budget_stop')} budget)")
     for u in failed[:top]:
         print(f"  failed: {u.get('function')}/{u.get('checker')}")
+
+    summarize_workers(events, units, top)
 
 
 def main():
