@@ -16,6 +16,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace mc::bench {
@@ -170,11 +171,52 @@ measureEngineThroughput(metal::MatchStrategy strategy, int repeats = 5)
     return out;
 }
 
+/**
+ * The machine the numbers were taken on. Absolute ns/visit figures are
+ * meaningless without it — CI compares ratios, humans compare hosts.
+ * Every field degrades to "unknown" off Linux or in stripped-down
+ * containers rather than failing the bench.
+ */
+struct HostInfo
+{
+    std::string cpu_model = "unknown";
+    unsigned cores = 0;
+    std::string governor = "unknown";
+};
+
+inline HostInfo
+hostInfo()
+{
+    HostInfo info;
+    info.cores = std::thread::hardware_concurrency();
+    std::ifstream cpuinfo("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(cpuinfo, line)) {
+        const std::string key = "model name";
+        if (line.compare(0, key.size(), key) != 0)
+            continue;
+        std::size_t colon = line.find(':');
+        if (colon == std::string::npos)
+            break;
+        std::size_t start = line.find_first_not_of(" \t", colon + 1);
+        if (start != std::string::npos)
+            info.cpu_model = line.substr(start);
+        break;
+    }
+    std::ifstream gov(
+        "/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor");
+    std::string g;
+    if (gov && std::getline(gov, g) && !g.empty())
+        info.governor = g;
+    return info;
+}
+
 inline void
 writeEngineThroughputJson(std::ostream& os, const EngineThroughput& table,
                           const EngineThroughput& legacy,
                           const EngineThroughput& witness)
 {
+    const HostInfo host = hostInfo();
     auto section = [&](const char* name, const EngineThroughput& t,
                        bool last) {
         os << "  \"" << name << "\": {\n"
@@ -191,6 +233,13 @@ writeEngineThroughputJson(std::ostream& os, const EngineThroughput& table,
     };
     os << "{\n"
        << "  \"bench\": \"engine_throughput\",\n"
+       << "  \"host\": {\n"
+       << "    \"cpu_model\": \""
+       << support::jsonEscape(host.cpu_model) << "\",\n"
+       << "    \"cores\": " << host.cores << ",\n"
+       << "    \"governor\": \"" << support::jsonEscape(host.governor)
+       << "\"\n"
+       << "  },\n"
        << "  \"corpus\": {\n"
        << "    \"protocols\": 5,\n"
        << "    \"cfgs\": " << table.cfgs << ",\n"

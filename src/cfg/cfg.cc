@@ -1,5 +1,7 @@
 #include "cfg/cfg.h"
 
+#include "cfg/flat_cfg.h"
+
 #include <cassert>
 #include <map>
 #include <sstream>
@@ -8,6 +10,60 @@
 namespace mc::cfg {
 
 using namespace mc::lang;
+
+Cfg::~Cfg()
+{
+    delete flat_.load(std::memory_order_relaxed);
+}
+
+Cfg::Cfg(const Cfg& other)
+    : function(other.function), entry_(other.entry_), exit_(other.exit_),
+      blocks_(other.blocks_),
+      back_edges_computed_(other.back_edges_computed_),
+      back_edges_(other.back_edges_)
+{
+}
+
+Cfg&
+Cfg::operator=(const Cfg& other)
+{
+    if (this == &other)
+        return *this;
+    function = other.function;
+    entry_ = other.entry_;
+    exit_ = other.exit_;
+    blocks_ = other.blocks_;
+    back_edges_computed_ = other.back_edges_computed_;
+    back_edges_ = other.back_edges_;
+    delete flat_.exchange(nullptr, std::memory_order_acq_rel);
+    return *this;
+}
+
+Cfg::Cfg(Cfg&& other) noexcept
+    : function(other.function), entry_(other.entry_), exit_(other.exit_),
+      blocks_(std::move(other.blocks_)),
+      back_edges_computed_(other.back_edges_computed_),
+      back_edges_(std::move(other.back_edges_)),
+      flat_(other.flat_.exchange(nullptr, std::memory_order_acq_rel))
+{
+}
+
+Cfg&
+Cfg::operator=(Cfg&& other) noexcept
+{
+    if (this == &other)
+        return *this;
+    function = other.function;
+    entry_ = other.entry_;
+    exit_ = other.exit_;
+    blocks_ = std::move(other.blocks_);
+    back_edges_computed_ = other.back_edges_computed_;
+    back_edges_ = std::move(other.back_edges_);
+    delete flat_.exchange(
+        other.flat_.exchange(nullptr, std::memory_order_acq_rel),
+        std::memory_order_acq_rel);
+    return *this;
+}
 
 /**
  * Stateful CFG construction walker. `current_` is the open block receiving

@@ -3,10 +3,13 @@
 
 #include "lang/ast.h"
 
+#include <atomic>
 #include <string>
 #include <vector>
 
 namespace mc::cfg {
+
+class FlatCfg;
 
 /**
  * A basic block: a straight-line run of statements with branching only at
@@ -39,6 +42,19 @@ struct BasicBlock
 class Cfg
 {
   public:
+    Cfg() = default;
+    ~Cfg();
+
+    // The lazily installed FlatCfg cache makes Cfg non-trivially
+    // copyable: copies start with a cold cache (they could alias the
+    // source's, but a copy that outlives its source must not), moves
+    // transfer it — the arena only borrows AST statement pointers, so
+    // relocating the Cfg object keeps it valid.
+    Cfg(const Cfg& other);
+    Cfg& operator=(const Cfg& other);
+    Cfg(Cfg&& other) noexcept;
+    Cfg& operator=(Cfg&& other) noexcept;
+
     const lang::FunctionDecl* function = nullptr;
 
     int entryId() const { return entry_; }
@@ -65,12 +81,15 @@ class Cfg
   private:
     friend class CfgBuilder;
     friend class BuilderImpl;
+    friend const FlatCfg& flatCfg(const Cfg& cfg);
 
     int entry_ = 0;
     int exit_ = 0;
     std::vector<BasicBlock> blocks_;
     mutable bool back_edges_computed_ = false;
     mutable std::vector<std::pair<int, int>> back_edges_;
+    /** Lazily built arena view (flat_cfg.h); owned, CAS-installed. */
+    mutable std::atomic<const FlatCfg*> flat_{nullptr};
 };
 
 /**

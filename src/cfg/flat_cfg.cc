@@ -1,0 +1,106 @@
+#include "cfg/flat_cfg.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace mc::cfg {
+
+namespace {
+std::uint64_t
+nextFlatCfgId()
+{
+    static std::atomic<std::uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+}
+} // namespace
+
+FlatCfg::FlatCfg(const Cfg& cfg) : id_(nextFlatCfgId())
+{
+    const std::vector<BasicBlock>& blocks = cfg.blocks();
+    stmt_offsets_.resize(blocks.size() + 1);
+    std::uint32_t total = 0;
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+        stmt_offsets_[b] = total;
+        total += static_cast<std::uint32_t>(blocks[b].stmts.size());
+    }
+    stmt_offsets_[blocks.size()] = total;
+
+    stmts_.reserve(total);
+    for (const BasicBlock& bb : blocks)
+        for (const lang::Stmt* stmt : bb.stmts)
+            stmts_.push_back(stmt);
+
+    // One shared scratch keeps the per-statement ident scan free of
+    // per-node heap caches; the spans land inline in one flat pool.
+    ident_offsets_.resize(total + 1);
+    std::vector<support::SymbolId> scratch;
+    for (std::uint32_t row = 0; row < total; ++row) {
+        ident_offsets_[row] =
+            static_cast<std::uint32_t>(ident_ids_.size());
+        lang::collectStmtIdentIds(*stmts_[row], scratch);
+        ident_ids_.insert(ident_ids_.end(), scratch.begin(),
+                          scratch.end());
+    }
+    ident_offsets_[total] = static_cast<std::uint32_t>(ident_ids_.size());
+}
+
+const FlatCfg::MaskIndex&
+FlatCfg::maskIndex(const std::vector<support::SymbolId>& sorted_syms) const
+{
+    std::lock_guard<std::mutex> lock(mask_mutex_);
+    auto it = mask_cache_.find(sorted_syms);
+    if (it != mask_cache_.end())
+        return *it->second;
+
+    auto index = std::make_unique<MaskIndex>();
+    const std::uint32_t rows = stmtCount();
+    index->stmt_mask.resize(rows);
+    for (std::uint32_t row = 0; row < rows; ++row) {
+        std::uint64_t mask = 0;
+        const support::SymbolId* ids = identBegin(row);
+        const std::uint32_t n = identCount(row);
+        for (std::uint32_t i = 0; i < n; ++i) {
+            auto pos = std::lower_bound(sorted_syms.begin(),
+                                        sorted_syms.end(), ids[i]);
+            if (pos != sorted_syms.end() && *pos == ids[i])
+                mask |= std::uint64_t{1}
+                        << (pos - sorted_syms.begin());
+        }
+        index->stmt_mask[row] = mask;
+    }
+    const std::uint32_t blocks = blockCount();
+    index->block_mask.resize(blocks);
+    index->range_mask.assign(rangeCount(), 0);
+    for (std::uint32_t b = 0; b < blocks; ++b) {
+        std::uint64_t mask = 0;
+        for (std::uint32_t row = stmtBegin(b); row < stmtEnd(b); ++row)
+            mask |= index->stmt_mask[row];
+        index->block_mask[b] = mask;
+        index->range_mask[b >> kRangeShift] |= mask;
+    }
+
+    const MaskIndex& ref = *index;
+    mask_cache_.emplace(sorted_syms, std::move(index));
+    return ref;
+}
+
+const FlatCfg&
+flatCfg(const Cfg& cfg)
+{
+    const FlatCfg* flat = cfg.flat_.load(std::memory_order_acquire);
+    if (!flat) {
+        auto* fresh = new FlatCfg(cfg);
+        const FlatCfg* expected = nullptr;
+        if (cfg.flat_.compare_exchange_strong(expected, fresh,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire)) {
+            flat = fresh;
+        } else {
+            delete fresh; // another thread won the install race
+            flat = expected;
+        }
+    }
+    return *flat;
+}
+
+} // namespace mc::cfg

@@ -1,0 +1,141 @@
+#ifndef MCHECK_CFG_FLAT_CFG_H
+#define MCHECK_CFG_FLAT_CFG_H
+
+#include "cfg/cfg.h"
+#include "support/interner.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace mc::cfg {
+
+/**
+ * Arena-flattened view of one Cfg: the lowering pass behind the
+ * data-oriented engine core.
+ *
+ * The pointer CFG stores statements as per-block vectors of AST node
+ * pointers, so the walker's hot loop chases heap nodes and every
+ * identifier prefilter re-scans an AST subtree (or a per-node cache
+ * behind another pointer). FlatCfg lowers all of that into contiguous
+ * POD arrays once per function:
+ *
+ *   - `stmt_offsets_` — prefix sums over block statement counts, so a
+ *     (block, pos) pair addresses a dense statement row without any
+ *     per-block vector indirection; row order is block order, exactly
+ *     the pointer CFG's iteration order.
+ *   - `stmts_` — the statement pointers themselves, flat.
+ *   - `ident_offsets_` / `ident_ids_` — each row's sorted-unique
+ *     interned identifier ids stored inline as a span, so the
+ *     visitIdentsFast AST scan becomes a precomputed slice lookup.
+ *
+ * On top of the arena, maskIndex() folds the spans into per-statement /
+ * per-block / per-block-range 64-bit masks for a caller-supplied symbol
+ * set (one entry per distinct state machine, cached). Ranges are
+ * 64-block granules, deliberately matching one bitset word, so the
+ * walker-facing prefilter can sweep whole regions with single-word
+ * tests. Block and range masks are pure ORs of exact statement masks —
+ * never a heuristic — which is what lets TransitionTable extend the
+ * prefilter-never-rejects property from cells to block ranges.
+ *
+ * Immutable after construction except for the mask cache (mutex) —
+ * safe to share across checker lanes like the Cfg itself.
+ */
+class FlatCfg
+{
+  public:
+    /** log2 of the range granule: 64 blocks = one bitset word. */
+    static constexpr std::uint32_t kRangeShift = 6;
+
+    explicit FlatCfg(const Cfg& cfg);
+
+    /**
+     * Process-unique arena id (monotonic, never reused). Cache keys
+     * built from it cannot suffer pointer ABA: a new FlatCfg allocated
+     * at a freed one's address still gets a fresh id, so stale entries
+     * keyed by a dead arena can never be returned for a live one.
+     */
+    std::uint64_t id() const { return id_; }
+
+    std::uint32_t blockCount() const
+    {
+        return static_cast<std::uint32_t>(stmt_offsets_.size() - 1);
+    }
+    std::uint32_t stmtCount() const
+    {
+        return static_cast<std::uint32_t>(stmts_.size());
+    }
+    std::uint32_t rangeCount() const
+    {
+        return (blockCount() + 63u) >> kRangeShift;
+    }
+
+    /** Row index of block `b`'s first statement. */
+    std::uint32_t stmtBegin(std::uint32_t b) const
+    {
+        return stmt_offsets_[b];
+    }
+    /** One past block `b`'s last statement row. */
+    std::uint32_t stmtEnd(std::uint32_t b) const
+    {
+        return stmt_offsets_[b + 1];
+    }
+    const lang::Stmt* stmt(std::uint32_t row) const { return stmts_[row]; }
+
+    /** Row `row`'s sorted-unique interned identifier ids, inline. */
+    const support::SymbolId* identBegin(std::uint32_t row) const
+    {
+        return ident_ids_.data() + ident_offsets_[row];
+    }
+    std::uint32_t identCount(std::uint32_t row) const
+    {
+        return ident_offsets_[row + 1] - ident_offsets_[row];
+    }
+
+    /**
+     * Prefilter masks for one symbol set (a CompiledSm's sorted
+     * mask-symbol list): bit i of a statement mask is set iff the
+     * statement mentions `syms[i]`. Block masks OR their statements;
+     * range masks OR their 64-block granule.
+     */
+    struct MaskIndex
+    {
+        std::vector<std::uint64_t> stmt_mask;
+        std::vector<std::uint64_t> block_mask;
+        std::vector<std::uint64_t> range_mask;
+    };
+
+    /**
+     * The (cached) MaskIndex for `sorted_syms`, which must be sorted
+     * unique with at most 64 entries (CompiledSm::maskSyms() is). Keyed
+     * by symbol-set content, not machine identity, so recompiled
+     * machines with the same vocabulary share one index. Thread-safe;
+     * the reference lives as long as this FlatCfg.
+     */
+    const MaskIndex&
+    maskIndex(const std::vector<support::SymbolId>& sorted_syms) const;
+
+  private:
+    std::uint64_t id_;
+    std::vector<std::uint32_t> stmt_offsets_;
+    std::vector<const lang::Stmt*> stmts_;
+    std::vector<std::uint32_t> ident_offsets_;
+    std::vector<support::SymbolId> ident_ids_;
+    mutable std::mutex mask_mutex_;
+    mutable std::map<std::vector<support::SymbolId>,
+                     std::unique_ptr<MaskIndex>>
+        mask_cache_;
+};
+
+/**
+ * The lazily built, per-Cfg FlatCfg (installed on the Cfg with a
+ * compare-and-swap; racing builders are benign — losers delete their
+ * copy). The reference lives as long as the Cfg.
+ */
+const FlatCfg& flatCfg(const Cfg& cfg);
+
+} // namespace mc::cfg
+
+#endif // MCHECK_CFG_FLAT_CFG_H

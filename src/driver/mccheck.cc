@@ -359,16 +359,17 @@ parseArgs(const std::vector<std::string>& args, CliOptions& out)
         } else if (arg == "--match-strategy") {
             std::string value;
             if (!need_value(i, arg, value))
-                return usageError("--match-strategy needs a value "
-                                  "(table or legacy)");
-            if (value == "table") {
-                out.match_strategy = metal::MatchStrategy::Table;
-            } else if (value == "legacy") {
-                out.match_strategy = metal::MatchStrategy::Legacy;
-            } else {
-                return usageError("--match-strategy must be 'table' or "
-                                  "'legacy', got '" + value + "'");
-            }
+                return usageError(
+                    std::string("--match-strategy needs a value, one of ") +
+                    metal::matchStrategyChoices());
+            std::optional<metal::MatchStrategy> strategy =
+                metal::parseMatchStrategy(value);
+            if (!strategy)
+                return usageError(
+                    std::string("--match-strategy must be one of ") +
+                    metal::matchStrategyChoices() + ", got '" + value +
+                    "'");
+            out.match_strategy = *strategy;
             ++i;
         } else if (arg == "--prune-paths") {
             std::string value;

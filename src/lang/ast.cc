@@ -231,6 +231,18 @@ forEachIdent(const Stmt& stmt,
     });
 }
 
+void
+collectStmtIdentIds(const Stmt& stmt,
+                    std::vector<support::SymbolId>& out)
+{
+    out.clear();
+    visitIdentsFast(stmt, [&](const IdentExpr& e) {
+        out.push_back(identSymbol(e));
+    });
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
 const std::vector<support::SymbolId>&
 stmtIdentIds(const Stmt& stmt)
 {
@@ -238,12 +250,7 @@ stmtIdentIds(const Stmt& stmt)
         stmt.ident_scan.load(std::memory_order_acquire);
     if (!scan) {
         auto* fresh = new Stmt::IdentScan;
-        visitIdentsFast(stmt, [&](const IdentExpr& e) {
-            fresh->ids.push_back(identSymbol(e));
-        });
-        std::sort(fresh->ids.begin(), fresh->ids.end());
-        fresh->ids.erase(std::unique(fresh->ids.begin(), fresh->ids.end()),
-                         fresh->ids.end());
+        collectStmtIdentIds(stmt, fresh->ids);
         const Stmt::IdentScan* expected = nullptr;
         if (stmt.ident_scan.compare_exchange_strong(
                 expected, fresh, std::memory_order_acq_rel,

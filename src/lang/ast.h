@@ -555,6 +555,15 @@ void forEachIdent(const Stmt& stmt,
 const std::vector<support::SymbolId>& stmtIdentIds(const Stmt& stmt);
 
 /**
+ * Replace `out` with the sorted unique interned identifier ids of
+ * `stmt`, without touching the per-node cache — the allocation-reusing
+ * collector behind arena lowering (cfg/flat_cfg.h), where spans are
+ * stored inline instead of per node. stmtIdentIds() shares this logic.
+ */
+void collectStmtIdentIds(const Stmt& stmt,
+                         std::vector<support::SymbolId>& out);
+
+/**
  * Statically-dispatched twin of forEachIdent for hot paths: same visit
  * order and coverage, but direct switch recursion instead of per-node
  * std::function indirection.

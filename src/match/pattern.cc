@@ -118,10 +118,17 @@ Pattern::couldMatch(const std::set<std::string>& idents) const
 bool
 Pattern::couldMatchIds(const std::vector<support::SymbolId>& ids) const
 {
+    return couldMatchIds(ids.data(), ids.size());
+}
+
+bool
+Pattern::couldMatchIds(const support::SymbolId* ids,
+                       std::size_t count) const
+{
     for (const Alternative& alt : alternatives_) {
         if (alt.required_sym == support::kInvalidSymbol)
             return true;
-        if (std::binary_search(ids.begin(), ids.end(), alt.required_sym))
+        if (std::binary_search(ids, ids + count, alt.required_sym))
             return true;
     }
     return false;

@@ -159,6 +159,13 @@ class Pattern
      */
     bool couldMatchIds(const std::vector<support::SymbolId>& ids) const;
 
+    /**
+     * Span twin of couldMatchIds for callers holding arena slices
+     * (cfg/flat_cfg.h) instead of vectors; `ids` must be sorted unique.
+     */
+    bool couldMatchIds(const support::SymbolId* ids,
+                       std::size_t count) const;
+
     /** Collect every identifier occurring in `stmt` into `out`. */
     static void collectIdents(const lang::Stmt& stmt,
                               std::set<std::string>& out);

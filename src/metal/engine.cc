@@ -9,7 +9,11 @@
 #include "support/witness.h"
 
 #include <atomic>
+#include <memory>
 #include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace mc::metal {
 
@@ -55,6 +59,47 @@ recordWitnessStep(const std::string& from, const std::string& to,
 }
 
 std::atomic<MatchStrategy> g_default_strategy{MatchStrategy::Table};
+
+/**
+ * Per-thread transition-table memo: cells and skip bitsets are pure
+ * functions of (compiled machine, CFG), so re-checking the same
+ * (function, checker) unit — bench repeat passes, warm-cache runs, the
+ * daemon's successive requests — reuses the filled table instead of
+ * re-unifying every touched (statement, state) pair.
+ *
+ * Keyed by the FlatCfg arena id and the CompiledSm generation, both
+ * process-unique and never reused, so a recreated CFG or machine (even
+ * at a recycled address) always misses — no ABA, no stale rule
+ * pointers served. Thread-local so the lazily-filled cells need no
+ * synchronization; the engine's unit scheduler never runs one unit
+ * concurrently with itself anyway, and a miss merely rebuilds. Entries
+ * for dead CFGs/machines are unreachable and are dropped by the size
+ * cap's wholesale clear. The shared_ptr keeps a checked-out table
+ * alive across a hypothetical re-entrant eviction.
+ */
+std::shared_ptr<TransitionTable>
+memoizedTable(const CompiledSm& csm, const cfg::Cfg& cfg)
+{
+    const std::uint64_t flat_id = cfg::flatCfg(cfg).id();
+    const std::uint64_t gen = csm.generation();
+    // The packed key is collision-free while both counters fit 32 bits
+    // (billions of arenas/machines); on the absurd overflow, skip the
+    // memo rather than risk serving the wrong table.
+    if ((flat_id >> 32) != 0 || (gen >> 32) != 0)
+        return std::make_shared<TransitionTable>(csm, cfg);
+    static thread_local std::unordered_map<std::uint64_t,
+                                           std::shared_ptr<TransitionTable>>
+        cache;
+    const std::uint64_t key = (flat_id << 32) | gen;
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+    if (cache.size() >= 8192)
+        cache.clear();
+    auto table = std::make_shared<TransitionTable>(csm, cfg);
+    cache.emplace(key, table);
+    return table;
+}
 
 /** Legacy walker state: just the SM state name. */
 struct SmState
@@ -109,42 +154,84 @@ runTable(const StateMachine& sm, const cfg::Cfg& cfg,
 {
     SmRunResult result;
     const CompiledSm& csm = sm.compiled();
-    TransitionTable table(csm, cfg);
+    std::shared_ptr<TransitionTable> table_ptr = memoizedTable(csm, cfg);
+    TransitionTable& table = *table_ptr;
     const bool wit = support::witnessEnabled();
     const unsigned wlimit = support::witnessLimit();
 
     // Dedup firings: one (rule, statement) pair fires the action and is
     // counted once, no matter how many paths cross it in the same state.
     // Keyed on the interned rule id so rules sharing an id string share
-    // a dedup slot, exactly like the legacy string-keyed set.
-    std::set<std::pair<support::SymbolId, support::SourceLoc>> fired;
+    // a dedup slot, exactly like the legacy string-keyed set. A run
+    // fires a handful of times at most, so a flat vector with linear
+    // membership beats a node-based set (same membership semantics;
+    // order is never observed).
+    struct FiredSet
+    {
+        std::vector<std::pair<support::SymbolId, support::SourceLoc>>
+            seen;
+
+        bool
+        insert(support::SymbolId id, const support::SourceLoc& loc)
+        {
+            for (const auto& [seen_id, seen_loc] : seen)
+                if (seen_id == id && seen_loc == loc)
+                    return false;
+            seen.emplace_back(id, loc);
+            return true;
+        }
+    } fired;
+
+    // Everything the hooks need, bundled so each lambda captures one
+    // pointer and stays inside std::function's small-object buffer —
+    // zero hook allocations per run.
+    struct Ctx
+    {
+        TransitionTable& table;
+        const CompiledSm& csm;
+        const StateMachine& sm;
+        support::DiagnosticSink& sink;
+        SmRunResult& result;
+        FiredSet& fired;
+        bool wit;
+        unsigned wlimit;
+    } ctx{table, csm, sm, sink, result, fired, wit, wlimit};
 
     typename PathWalker<TableSmState>::Hooks hooks;
-    hooks.on_stmt_at = [&](TableSmState& st, const lang::Stmt& stmt,
-                           int block, std::size_t pos) {
+    hooks.on_stmt_at = [c = &ctx](TableSmState& st, const lang::Stmt& stmt,
+                                  int block, std::size_t pos) {
         const TransitionTable::Cell& cell =
-            table.cell(block, pos, st.state);
+            c->table.cell(block, pos, st.state);
         if (!cell.rule)
             return; // no match: fill() left cell.next == state
-        bool is_new = fired.emplace(cell.id_sym, stmt.loc).second;
-        if (wit && (is_new || cell.next != st.state))
-            recordWitnessStep(csm.stateName(st.state),
-                              csm.stateName(cell.next), stmt.loc,
+        bool is_new = c->fired.insert(cell.id_sym, stmt.loc);
+        if (c->wit && (is_new || cell.next != st.state))
+            recordWitnessStep(c->csm.stateName(st.state),
+                              c->csm.stateName(cell.next), stmt.loc,
                               witnessNote(cell.rule->id,
-                                          table.bindings(cell)),
-                              wlimit, result);
+                                          c->table.bindings(cell)),
+                              c->wlimit, c->result);
         if (is_new) {
-            ++result.firings[cell.rule->id];
+            ++c->result.firings[cell.rule->id];
             if (cell.rule->action) {
-                ActionContext action_ctx(stmt, table.bindings(cell), sink,
-                                         sm.name(), cell.rule->id);
+                ActionContext action_ctx(stmt, c->table.bindings(cell),
+                                         c->sink, c->sm.name(),
+                                         cell.rule->id);
                 cell.rule->action(action_ctx);
             }
         }
         if (cell.next != st.state) {
             st.state = cell.next;
-            ++result.transitions;
+            ++c->result.transitions;
         }
+    };
+    // Block-range prefilter: skip a visited block's whole statement
+    // loop when the table proves no candidate of the current state can
+    // match anything in it. Exact (never rejects a real match), and the
+    // walker ignores it while pruning, so diagnostics and counters stay
+    // byte-identical to the legacy oracle in every mode.
+    hooks.skip_block = [c = &ctx](const TableSmState& st, int block) {
+        return c->table.blockSkippable(block, st.state);
     };
 
     PathWalker<TableSmState> walker(std::move(hooks),
@@ -225,6 +312,28 @@ runLegacy(const StateMachine& sm, const cfg::Cfg& cfg,
 }
 
 } // namespace
+
+const char*
+matchStrategyName(MatchStrategy strategy)
+{
+    return strategy == MatchStrategy::Legacy ? "legacy" : "table";
+}
+
+std::optional<MatchStrategy>
+parseMatchStrategy(std::string_view text)
+{
+    if (text == "table")
+        return MatchStrategy::Table;
+    if (text == "legacy")
+        return MatchStrategy::Legacy;
+    return std::nullopt;
+}
+
+const char*
+matchStrategyChoices()
+{
+    return "'table' or 'legacy'";
+}
 
 MatchStrategy
 defaultMatchStrategy()

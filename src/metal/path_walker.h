@@ -31,6 +31,13 @@ namespace mc::metal {
  * exact for checkers whose behavior depends only on the current state and
  * statement (all of ours).
  *
+ * The pending-path frontier is struct-of-arrays: block ids, states,
+ * path facts, and witness trails live in parallel vectors, with the
+ * facts and trail columns only maintained in the modes that use them —
+ * the common (no pruning, no witness) walk pushes and pops nothing but
+ * an int and a trivially-small state, keeping the pop/probe/fork loop
+ * cache-dense.
+ *
  * The client state type must provide:
  *   - copy construction (paths fork at branches);
  *   - `key() const` returning either `std::string` or an unsigned
@@ -67,6 +74,20 @@ class PathWalker
             on_branch;
         /** Called when a path reaches the function's exit block. */
         std::function<void(State&)> on_exit;
+        /**
+         * Block-range prefilter: called once per visited block (before
+         * its statement loop) with the path state and block id. A true
+         * return skips the statement loop for this visit — the client
+         * guarantees no statement hook would have any effect (see
+         * TransitionTable::blockSkippable, whose bits are exact). The
+         * visit itself still happens: visited-set insertion, visit
+         * counting, budget charging, witness block recording, and
+         * successor fan-out are identical, so every semantic counter
+         * and all diagnostics are byte-identical with the hook unset.
+         * Ignored while pruning — feasibility invalidation is
+         * per-statement and must see every statement.
+         */
+        std::function<bool(const State&, int)> skip_block;
     };
 
     struct Result
@@ -129,25 +150,63 @@ class PathWalker
         Result result;
         FeasibilityContext feas(options_.prune_strategy);
         const bool pruning = feas.enabled();
-        VisitedSet visited;
+        // Per-thread scratch: the visited-set slab and the four frontier
+        // columns are reused across walks so the typical (small) function
+        // costs zero heap allocations per run instead of five or six.
+        // Purely an allocation cache — every buffer is cleared on
+        // checkout, so results are identical to fresh locals. The in-use
+        // guard falls back to fresh locals if a hook ever re-enters
+        // walk() on the same thread.
+        ScratchLease lease;
+        VisitedSet visited(lease->visited_slots);
         // Witness capture is resolved once per walk: when off, every
-        // entry carries an inert trail (a null pointer member), so the
-        // per-fork cost is copying one nullptr and the per-statement
-        // cost is zero.
+        // pending path carries an inert trail (a null pointer member),
+        // so the per-fork cost is copying one nullptr and the
+        // per-statement cost is zero.
         const bool witness_on = support::witnessEnabled();
         const unsigned witness_cap = support::witnessLimit();
-        std::vector<Entry> stack;
-        stack.push_back(Entry{cfg.entryId(), initial, {},
-                              support::WitnessTrail(witness_on)});
+        // Block skipping is sound only when statements are effect-free
+        // for this path, which pruning breaks (per-statement fact
+        // invalidation must run).
+        const bool can_skip =
+            !pruning && static_cast<bool>(hooks_.skip_block);
+
+        // Struct-of-arrays frontier: the pop/probe/fork loop touches
+        // the dense block/state rows; facts and trails are only
+        // maintained (and only allocated) in the modes that use them.
+        // Push/pop order is identical to the old entry-object stack,
+        // so exploration order — and thus peak_frontier — is unchanged.
+        std::vector<int>& f_block = lease->f_block;
+        std::vector<State>& f_state = lease->f_state;
+        std::vector<PathFacts>& f_facts = lease->f_facts;
+        std::vector<support::WitnessTrail>& f_trail = lease->f_trail;
+        f_block.push_back(cfg.entryId());
+        f_state.push_back(initial);
+        if (pruning)
+            f_facts.emplace_back();
+        if (witness_on)
+            f_trail.emplace_back(true);
         result.peak_frontier = 1;
 
-        while (!stack.empty()) {
-            if (stack.size() > result.peak_frontier)
-                result.peak_frontier = stack.size();
-            Entry entry = std::move(stack.back());
-            stack.pop_back();
+        while (!f_block.empty()) {
+            if (f_block.size() > result.peak_frontier)
+                result.peak_frontier = f_block.size();
+            const int block = f_block.back();
+            f_block.pop_back();
+            State state = std::move(f_state.back());
+            f_state.pop_back();
+            PathFacts facts;
+            if (pruning) {
+                facts = std::move(f_facts.back());
+                f_facts.pop_back();
+            }
+            support::WitnessTrail trail(false);
+            if (witness_on) {
+                trail = std::move(f_trail.back());
+                f_trail.pop_back();
+            }
 
-            if (!visited.insert(visitedKey(entry))) {
+            if (!visited.insert(visitedKey(block, state, facts))) {
                 ++result.cache_hits;
                 continue;
             }
@@ -172,7 +231,7 @@ class PathWalker
             // is thrown.
             if (support::Budget* budget = support::Budget::current()) {
                 budget->chargeStep();
-                budget->chargeBytes(entryBytes(entry));
+                budget->chargeBytes(entryBytes(state, facts, trail));
                 if (budget->exhausted()) {
                     result.truncated = true;
                     result.budget_stop = budget->stop();
@@ -188,28 +247,36 @@ class PathWalker
             // reports made from checker actions) for this visit.
             std::optional<support::WitnessTrailScope> witness_scope;
             if (witness_on) {
-                entry.trail.addBlock(entry.block, witness_cap);
-                witness_scope.emplace(&entry.trail);
+                trail.addBlock(block, witness_cap);
+                witness_scope.emplace(&trail);
             }
 
-            const cfg::BasicBlock& bb = cfg.block(entry.block);
-            for (std::size_t si = 0; si < bb.stmts.size(); ++si) {
-                const lang::Stmt* stmt = bb.stmts[si];
-                if (hooks_.on_stmt_at)
-                    hooks_.on_stmt_at(entry.state, *stmt, entry.block, si);
-                else if (hooks_.on_stmt)
-                    hooks_.on_stmt(entry.state, *stmt);
-                if (pruning)
-                    feas.invalidate(*stmt, entry.facts);
-                if (entry.state.dead())
-                    break;
+            const cfg::BasicBlock& bb = cfg.block(block);
+            // The prefilter consults per-state bits, so it runs after
+            // the visit is committed but before any statement work; a
+            // skipped block performs zero per-statement hook calls.
+            const bool scan =
+                !bb.stmts.empty() &&
+                !(can_skip && hooks_.skip_block(state, block));
+            if (scan) {
+                for (std::size_t si = 0; si < bb.stmts.size(); ++si) {
+                    const lang::Stmt* stmt = bb.stmts[si];
+                    if (hooks_.on_stmt_at)
+                        hooks_.on_stmt_at(state, *stmt, block, si);
+                    else if (hooks_.on_stmt)
+                        hooks_.on_stmt(state, *stmt);
+                    if (pruning)
+                        feas.invalidate(*stmt, facts);
+                    if (state.dead())
+                        break;
+                }
             }
-            if (entry.state.dead())
+            if (state.dead())
                 continue;
 
-            if (entry.block == cfg.exitId()) {
+            if (block == cfg.exitId()) {
                 if (hooks_.on_exit)
-                    hooks_.on_exit(entry.state);
+                    hooks_.on_exit(state);
                 continue;
             }
 
@@ -228,18 +295,18 @@ class PathWalker
             unsigned feasible_mask = ~0u;
             if (prunable) {
                 std::uint64_t digest =
-                    FeasibilityContext::factsDigest(entry.facts);
+                    FeasibilityContext::factsDigest(facts);
                 for (std::size_t i = 0; i < 2; ++i) {
-                    if (feas.edgeFeasible(entry.block, *bb.branch_cond,
-                                          i == 0, entry.facts, digest))
+                    if (feas.edgeFeasible(block, *bb.branch_cond,
+                                          i == 0, facts, digest))
                         continue;
                     feasible_mask &= ~(1u << i);
                     ++result.pruned_edges;
-                    // Note the pruned edge on the popped entry's trail
+                    // Note the pruned edge on the popped path's trail
                     // before forking: every surviving sibling path
                     // carries the evidence that its twin was cut.
                     if (witness_on)
-                        entry.trail.addStep(
+                        trail.addStep(
                             support::WitnessStep{
                                 "path", "pruned", bb.branch_cond->loc,
                                 prunedEdgeNote(bb, i)},
@@ -253,24 +320,38 @@ class PathWalker
             for (std::size_t i = 0; i < bb.succs.size(); ++i) {
                 if (!(feasible_mask >> i & 1u))
                     continue; // contradicts the path's facts
-                // The popped entry is dead after this loop, so the last
+                // The popped path is dead after this loop, so the last
                 // surviving successor steals its state and facts instead
                 // of copying them — one fewer deep copy per non-branch
                 // block, which is most of a walk.
-                Entry next =
-                    i == last_live
-                        ? Entry{bb.succs[i], std::move(entry.state),
-                                std::move(entry.facts),
-                                std::move(entry.trail)}
-                        : Entry{bb.succs[i], entry.state, entry.facts,
-                                entry.trail};
+                const bool steal = i == last_live;
+                State next_state = steal ? std::move(state) : state;
+                PathFacts next_facts;
+                if (pruning) {
+                    if (steal)
+                        next_facts = std::move(facts);
+                    else
+                        next_facts = facts;
+                }
+                support::WitnessTrail next_trail(false);
+                if (witness_on) {
+                    if (steal)
+                        next_trail = std::move(trail);
+                    else
+                        next_trail = trail;
+                }
                 if (prunable)
-                    feas.applyEdge(*bb.branch_cond, i == 0, next.facts);
+                    feas.applyEdge(*bb.branch_cond, i == 0, next_facts);
                 if (bb.isBranch() && hooks_.on_branch)
-                    hooks_.on_branch(next.state, *bb.branch_cond, i);
-                if (next.state.dead())
+                    hooks_.on_branch(next_state, *bb.branch_cond, i);
+                if (next_state.dead())
                     continue;
-                stack.push_back(std::move(next));
+                f_block.push_back(bb.succs[i]);
+                f_state.push_back(std::move(next_state));
+                if (pruning)
+                    f_facts.push_back(std::move(next_facts));
+                if (witness_on)
+                    f_trail.push_back(std::move(next_trail));
             }
         }
         result.prune_cache_hits = feas.cacheHits();
@@ -279,17 +360,6 @@ class PathWalker
     }
 
   private:
-    /** Client state plus everything the path's branches established. */
-    struct Entry
-    {
-        int block;
-        State state;
-        /** Branch outcomes + value constraints (empty when not pruning). */
-        PathFacts facts;
-        /** Path provenance; inert (one null pointer) unless --witness. */
-        support::WitnessTrail trail;
-    };
-
     /** Deterministic annotation for a pruned edge's witness step. */
     static std::string
     prunedEdgeNote(const cfg::BasicBlock& bb, std::size_t edge)
@@ -333,6 +403,74 @@ class PathWalker
         std::is_integral_v<KeyType> && sizeof(KeyType) <= 4;
 
     /**
+     * Reusable per-thread walk buffers. The walker's fixed per-run cost
+     * used to be dominated by first-touch heap allocations (the visited
+     * slab plus four frontier columns); leasing them from thread-local
+     * storage amortizes that across every walk a thread performs. Holds
+     * no results — everything is cleared on checkout.
+     */
+    struct Scratch
+    {
+        std::vector<std::uint64_t> visited_slots;
+        std::vector<int> f_block;
+        std::vector<State> f_state;
+        std::vector<PathFacts> f_facts;
+        std::vector<support::WitnessTrail> f_trail;
+        bool in_use = false;
+    };
+
+    /**
+     * RAII checkout of the thread's Scratch. If a statement hook
+     * re-enters walk() on the same thread (no current client does), the
+     * nested lease falls back to a fresh heap-allocated Scratch, so
+     * reuse is an optimization that can never alias two live walks.
+     */
+    class ScratchLease
+    {
+      public:
+        ScratchLease()
+        {
+            Scratch& tls = threadScratch();
+            if (!tls.in_use) {
+                tls.in_use = true;
+                scratch_ = &tls;
+                owned_ = false;
+            } else {
+                scratch_ = new Scratch();
+                owned_ = true;
+            }
+            scratch_->f_block.clear();
+            scratch_->f_state.clear();
+            scratch_->f_facts.clear();
+            scratch_->f_trail.clear();
+        }
+
+        ScratchLease(const ScratchLease&) = delete;
+        ScratchLease& operator=(const ScratchLease&) = delete;
+
+        ~ScratchLease()
+        {
+            if (owned_)
+                delete scratch_;
+            else
+                scratch_->in_use = false;
+        }
+
+        Scratch* operator->() const { return scratch_; }
+
+      private:
+        static Scratch&
+        threadScratch()
+        {
+            static thread_local Scratch s;
+            return s;
+        }
+
+        Scratch* scratch_;
+        bool owned_;
+    };
+
+    /**
      * Open-addressing set of 64-bit visited keys: one flat allocation
      * and linear probing instead of a node per (block, state) — the
      * walker's busiest data structure. All-ones is the empty-slot
@@ -343,6 +481,22 @@ class PathWalker
     class VisitedSet
     {
       public:
+        /**
+         * Borrows `slots` (normally the thread Scratch's slab) as
+         * backing storage. A small slab from the previous walk is wiped
+         * and reused in place; one that grew past 4096 slots is
+         * released so a single huge function does not tax every later
+         * walk on this thread with a proportionally large clear.
+         */
+        explicit VisitedSet(std::vector<std::uint64_t>& slots)
+            : slots_(slots)
+        {
+            if (slots_.size() > 4096)
+                std::vector<std::uint64_t>().swap(slots_);
+            else
+                std::fill(slots_.begin(), slots_.end(), kEmpty);
+        }
+
         /** True if `key` was newly inserted, false if already present. */
         bool
         insert(std::uint64_t key)
@@ -397,7 +551,7 @@ class PathWalker
             }
         }
 
-        std::vector<std::uint64_t> slots_;
+        std::vector<std::uint64_t>& slots_;
         std::size_t count_ = 0;
     };
 
@@ -411,40 +565,45 @@ class PathWalker
      * 64-bit FNV-1a digest.
      */
     std::uint64_t
-    visitedKey(const Entry& entry) const
+    visitedKey(int block, const State& state,
+               const PathFacts& facts) const
     {
         if constexpr (kIntegralKey) {
             if (options_.prune_strategy == PruneStrategy::Off)
                 return (static_cast<std::uint64_t>(
-                            static_cast<std::uint32_t>(entry.block))
+                            static_cast<std::uint32_t>(block))
                         << 32) |
                        static_cast<std::uint64_t>(
-                           static_cast<std::uint32_t>(entry.state.key()));
+                           static_cast<std::uint32_t>(state.key()));
         }
         support::Fnv1a h;
-        h.u64(static_cast<std::uint64_t>(entry.block));
+        h.u64(static_cast<std::uint64_t>(block));
         if constexpr (kIntegralKey)
-            h.u64(static_cast<std::uint64_t>(entry.state.key()));
+            h.u64(static_cast<std::uint64_t>(state.key()));
         else
-            h.str(entry.state.key());
-        h.u64(FeasibilityContext::factsDigest(entry.facts));
+            h.str(state.key());
+        h.u64(FeasibilityContext::factsDigest(facts));
         return h.value();
     }
 
-    /** Bytes a pending entry pins: the entry itself, its key's heap
-     *  footprint, the facts' heap (outcome vector plus constraint
-     *  store), the witness trail's bounded payload, and the
-     *  visited-set slot. */
+    /** Bytes a pending path pins: its frontier row (one slot in each
+     *  parallel array), its key's heap footprint, the facts' heap
+     *  (outcome vector plus constraint store), the witness trail's
+     *  bounded payload, and the visited-set slot. */
     static std::size_t
-    entryBytes(const Entry& entry)
+    entryBytes(const State& state, const PathFacts& facts,
+               const support::WitnessTrail& trail)
     {
-        std::size_t bytes = sizeof(Entry) + sizeof(std::uint64_t) +
-                            entry.facts.outcomes.capacity() *
+        std::size_t bytes = sizeof(int) + sizeof(State) +
+                            sizeof(PathFacts) +
+                            sizeof(support::WitnessTrail) +
+                            sizeof(std::uint64_t) +
+                            facts.outcomes.capacity() *
                                 sizeof(Outcomes::value_type) +
-                            entry.facts.constraints.heapBytes() +
-                            entry.trail.heapBytes();
+                            facts.constraints.heapBytes() +
+                            trail.heapBytes();
         if constexpr (!kIntegralKey)
-            bytes += entry.state.key().size();
+            bytes += state.key().size();
         return bytes;
     }
 

@@ -1,8 +1,18 @@
 #include "metal/transition_table.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace mc::metal {
+
+namespace {
+std::uint64_t
+nextCompiledSmGeneration()
+{
+    static std::atomic<std::uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+}
+} // namespace
 
 StateIdx
 CompiledSm::internState(const std::string& name)
@@ -14,7 +24,8 @@ CompiledSm::internState(const std::string& name)
     return it->second;
 }
 
-CompiledSm::CompiledSm(const StateMachine& sm) : sm_(&sm)
+CompiledSm::CompiledSm(const StateMachine& sm)
+    : sm_(&sm), generation_(nextCompiledSmGeneration())
 {
     // Index order is deterministic: start first, then stop, then the
     // remaining rule-owning states and transition targets in definition
@@ -84,53 +95,107 @@ CompiledSm::CompiledSm(const StateMachine& sm) : sm_(&sm)
             // The mask is only exact if *every* alternative got a bit.
             cand.req_mask = complete ? mask : 0;
         }
+
+    // Per-state summaries for the block-range prefilter: the union of
+    // prefilterable candidates' masks, and whether any candidate is
+    // unfilterable (which pins every block as unskippable in that
+    // state). A state with no candidates at all (stop, or an orphan
+    // target with no own and no `all` rules) ends up with union 0 and
+    // no unfilterable flag — every block is skippable there, which is
+    // exact: nothing can ever match.
+    state_req_union_.assign(stateCount(), 0);
+    state_unfilterable_.assign(stateCount(), 0);
+    for (StateIdx s = 0; s < stateCount(); ++s)
+        for (const Candidate& cand : candidates_[s]) {
+            if (cand.req_mask)
+                state_req_union_[s] |= cand.req_mask;
+            else
+                state_unfilterable_[s] = 1;
+        }
 }
 
 TransitionTable::TransitionTable(const CompiledSm& csm, const cfg::Cfg& cfg)
-    : csm_(&csm), state_count_(csm.stateCount())
+    : csm_(&csm), flat_(&cfg::flatCfg(cfg)),
+      masks_(&flat_->maskIndex(csm.maskSyms())),
+      state_count_(csm.stateCount())
 {
-    // Prefix sums over block statement counts: (block, pos) addresses a
-    // row directly, with no per-run hash map over statement pointers.
-    offsets_.resize(cfg.blocks().size());
-    std::size_t total = 0;
-    for (std::size_t b = 0; b < cfg.blocks().size(); ++b) {
-        offsets_[b] = total;
-        total += cfg.blocks()[b].stmts.size();
+    // Construction is O(blocks): the arena (flat statement rows, ident
+    // spans) and this machine's masks are shared per CFG and were built
+    // at most once; all this table owns is the lazily-filled block →
+    // cell map and the per-state skip bitsets. Both are sticky — cells
+    // and bits, once computed, serve every later walk of this
+    // (machine, function) pair (the engine memoizes tables per thread).
+    block_cells_.assign(flat_->blockCount(), nullptr);
+    skip_words_ = flat_->rangeCount();
+    skip_bits_.assign(skip_words_ * state_count_, 0);
+    skip_built_.assign(state_count_, 0);
+}
+
+TransitionTable::Cell*
+TransitionTable::materialize(std::uint32_t block)
+{
+    const std::size_t need =
+        static_cast<std::size_t>(flat_->stmtEnd(block) -
+                                 flat_->stmtBegin(block)) *
+        state_count_;
+    if (slab_size_ - slab_used_ < need) {
+        slab_size_ = std::max<std::size_t>(need, 1024);
+        slabs_.push_back(std::make_unique<Cell[]>(slab_size_)); // zeroed
+        slab_used_ = 0;
     }
-    rows_.resize(total);
-    std::size_t row = 0;
-    for (const cfg::BasicBlock& bb : cfg.blocks())
-        for (const lang::Stmt* stmt : bb.stmts)
-            rows_[row++].stmt = stmt;
-    cells_.resize(total * state_count_);
+    Cell* base = slabs_.back().get() + slab_used_;
+    slab_used_ += need;
+    block_cells_[block] = base;
+    return base;
 }
 
 void
-TransitionTable::fill(std::size_t row_idx, StateIdx state, Cell& cell)
+TransitionTable::buildSkipBits(StateIdx state)
+{
+    std::uint64_t* bits =
+        skip_bits_.data() + static_cast<std::size_t>(state) * skip_words_;
+    skip_built_[state] = 1;
+    if (csm_->stateUnfilterable(state))
+        return; // all zero: never skip, fall through to per-cell checks
+    const std::uint64_t req = csm_->stateReqUnion(state);
+    const std::uint32_t blocks = flat_->blockCount();
+    for (std::size_t w = 0; w < skip_words_; ++w) {
+        // Range sweep: one word per 64-block granule. A granule whose
+        // OR'd mask misses the state's union is skippable wholesale.
+        if (!(masks_->range_mask[w] & req)) {
+            bits[w] = ~std::uint64_t{0};
+            continue;
+        }
+        std::uint64_t word = 0;
+        const std::uint32_t lo =
+            static_cast<std::uint32_t>(w) << cfg::FlatCfg::kRangeShift;
+        const std::uint32_t hi = std::min(lo + 64u, blocks);
+        for (std::uint32_t b = lo; b < hi; ++b)
+            if (!(masks_->block_mask[b] & req))
+                word |= std::uint64_t{1} << (b & 63);
+        bits[w] = word;
+    }
+}
+
+void
+TransitionTable::fill(std::uint32_t row, StateIdx state, Cell& cell)
 {
     cell.ready = true;
     cell.next = state;
     if (state == csm_->stop())
         return;
-    Row& row = rows_[row_idx];
-    if (!row.ids) {
-        // The scan itself is cached on the Stmt node; per run we only
-        // fold the ids into this machine's prefilter mask.
-        row.ids = &lang::stmtIdentIds(*row.stmt);
-        std::uint64_t mask = 0;
-        for (support::SymbolId sym : *row.ids)
-            mask |= csm_->symMask(sym);
-        row.mask = mask;
-    }
+    const std::uint64_t mask = masks_->stmt_mask[row];
+    const lang::Stmt* stmt = flat_->stmt(row);
     for (const CompiledSm::Candidate& cand : csm_->candidatesFor(state)) {
         if (cand.req_mask) {
             // Exact bitmask prefilter (see Candidate::req_mask).
-            if (!(cand.req_mask & row.mask))
+            if (!(cand.req_mask & mask))
                 continue;
-        } else if (!cand.rule->pattern.couldMatchIds(*row.ids)) {
+        } else if (!cand.rule->pattern.couldMatchIds(
+                       flat_->identBegin(row), flat_->identCount(row))) {
             continue;
         }
-        auto bindings = cand.rule->pattern.matchInStmt(*row.stmt);
+        auto bindings = cand.rule->pattern.matchInStmt(*stmt);
         if (!bindings)
             continue;
         cell.rule = cand.rule;

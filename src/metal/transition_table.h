@@ -2,10 +2,12 @@
 #define MCHECK_METAL_TRANSITION_TABLE_H
 
 #include "cfg/cfg.h"
+#include "cfg/flat_cfg.h"
 #include "metal/state_machine.h"
 #include "support/interner.h"
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -56,6 +58,16 @@ class CompiledSm
     };
 
     const StateMachine& sm() const { return *sm_; }
+
+    /**
+     * Process-unique compilation id (monotonic, never reused). Paired
+     * with FlatCfg::id() it keys memoized transition tables without
+     * pointer ABA: a CompiledSm for a recreated machine — even one
+     * allocated at the same address — gets a fresh generation, so a
+     * cached table can never be served for the wrong rule storage.
+     */
+    std::uint64_t generation() const { return generation_; }
+
     StateIdx start() const { return start_; }
     StateIdx stop() const { return stop_; }
     std::uint32_t stateCount() const
@@ -71,6 +83,35 @@ class CompiledSm
     const std::vector<Candidate>& candidatesFor(StateIdx s) const
     {
         return candidates_[s];
+    }
+
+    /**
+     * The sorted distinct required-identifier symbols that own mask
+     * bits: bit i of every req_mask (and of FlatCfg::MaskIndex masks
+     * built from this list) means "mentions maskSyms()[i]".
+     */
+    const std::vector<support::SymbolId>& maskSyms() const
+    {
+        return mask_syms_;
+    }
+
+    /**
+     * OR of req_mask over state `s`'s prefilterable candidates: a
+     * statement whose mask misses this union cannot match any of them.
+     */
+    std::uint64_t stateReqUnion(StateIdx s) const
+    {
+        return state_req_union_[s];
+    }
+
+    /**
+     * True when some candidate of `s` has req_mask == 0 — the state
+     * cannot be mask-prefiltered, so block skipping must stay off for
+     * it (the couldMatchIds fallback still applies per cell).
+     */
+    bool stateUnfilterable(StateIdx s) const
+    {
+        return state_unfilterable_[s] != 0;
     }
 
     /**
@@ -104,6 +145,10 @@ class CompiledSm
     std::vector<std::vector<Candidate>> candidates_;
     /** Sorted distinct required-identifier symbols (≤ 64 get mask bits). */
     std::vector<support::SymbolId> mask_syms_;
+    /** Per-state req_mask union / has-unfilterable-candidate flags. */
+    std::vector<std::uint64_t> state_req_union_;
+    std::vector<std::uint8_t> state_unfilterable_;
+    std::uint64_t generation_;
     StateIdx start_ = 0;
     StateIdx stop_ = 0;
 };
@@ -112,13 +157,27 @@ class CompiledSm
  * Per-(function, SM) transition table: one cell per (CFG statement, SM
  * state) holding the first matching rule, its wildcard bindings, and the
  * resulting state. The walker's per-visit work is an indexed lookup —
- * statements are addressed by (block id, position in block), so neither
- * construction nor lookup touches a hash table.
+ * statements are addressed by (block id, position in block) against the
+ * function's FlatCfg arena, so neither construction nor lookup touches a
+ * hash table.
  *
- * Cells are materialized on first touch and then reused: full pattern
- * unification runs at most once per (statement, state) no matter how many
- * path-sensitive visits cross that statement. A statement's identifier
- * mask (the prefilter input) is computed once per statement per table.
+ * Construction is O(blocks), not O(statements × states): cell storage is
+ * materialized per block on first touch from zero-initialized slabs, so
+ * a run that (like most) visits a handful of blocks never pays for the
+ * whole function's cell array. Full pattern unification still runs at
+ * most once per (statement, state).
+ *
+ * blockSkippable() is the block-range prefilter: per state, a bitset
+ * over blocks marking those whose identifier sets cannot intersect any
+ * candidate rule of that state. Built lazily per state with a
+ * range-mask sweep (64 blocks = one word), it lets the walker skip a
+ * visited block's entire statement loop — no cells materialized, no
+ * per-statement hook calls. The bits are exact, never heuristic: a
+ * block is only marked when `stateReqUnion(state)` misses its OR'd
+ * statement masks and the state has no unfilterable candidate, so (by
+ * the req_mask exactness contract) no candidate can match any statement
+ * in it — the PR-5 prefilter-never-rejects property lifted from cells
+ * to blocks and ranges.
  */
 class TransitionTable
 {
@@ -127,9 +186,9 @@ class TransitionTable
 
     /**
      * One (statement, state) slot. Deliberately trivial with an all-zero
-     * initial state, so the per-run cell array is a single memset-style
-     * allocation. Bindings of matched cells live in a side pool
-     * (bindings()); a cell holds only the pool index.
+     * initial state, so block materialization is a zeroed-slab carve.
+     * Bindings of matched cells live in a side pool (bindings()); a cell
+     * holds only the pool index.
      */
     struct Cell
     {
@@ -148,17 +207,39 @@ class TransitionTable
     /**
      * The cell for the `pos`-th statement of block `block` in state
      * `state`, matching on first touch. `block`/`pos` must come from the
-     * CFG this table was built for (the walker guarantees this).
+     * CFG this table was built for (the walker guarantees this). The
+     * reference stays valid for the table's lifetime (cells live in
+     * stable slabs).
      */
     const Cell&
     cell(int block, std::size_t pos, StateIdx state)
     {
-        std::size_t row =
-            offsets_[static_cast<std::size_t>(block)] + pos;
-        Cell& c = cells_[row * state_count_ + state];
+        const std::uint32_t b = static_cast<std::uint32_t>(block);
+        Cell* base = block_cells_[b];
+        if (!base)
+            base = materialize(b);
+        Cell& c = base[pos * state_count_ + state];
         if (!c.ready)
-            fill(row, state, c);
+            fill(flat_->stmtBegin(b) + static_cast<std::uint32_t>(pos),
+                 state, c);
         return c;
+    }
+
+    /**
+     * True when no candidate rule of `state` can match any statement of
+     * `block` — the walker may skip the block's statement loop outright.
+     * Exact (see class comment); O(1) after a lazy per-state build.
+     */
+    bool
+    blockSkippable(int block, StateIdx state)
+    {
+        const std::uint64_t* bits =
+            skip_bits_.data() +
+            static_cast<std::size_t>(state) * skip_words_;
+        if (!skip_built_[state])
+            buildSkipBits(state);
+        const std::uint32_t b = static_cast<std::uint32_t>(block);
+        return (bits[b >> 6] >> (b & 63)) & 1;
     }
 
     /** The wildcard bindings of a matched cell (`cell.rule != nullptr`). */
@@ -168,24 +249,25 @@ class TransitionTable
     }
 
   private:
-    struct Row
-    {
-        const lang::Stmt* stmt = nullptr;
-        /** Cached sorted-unique ident ids (null until first fill). */
-        const std::vector<support::SymbolId>* ids = nullptr;
-        /** OR of symMask() over the statement's identifiers. */
-        std::uint64_t mask = 0;
-    };
-
-    void fill(std::size_t row_idx, StateIdx state, Cell& cell);
+    void fill(std::uint32_t row, StateIdx state, Cell& cell);
+    Cell* materialize(std::uint32_t block);
+    void buildSkipBits(StateIdx state);
 
     const CompiledSm* csm_;
+    const cfg::FlatCfg* flat_;
+    const cfg::FlatCfg::MaskIndex* masks_;
     std::uint32_t state_count_;
-    /** offsets_[block id] = row index of that block's first statement. */
-    std::vector<std::size_t> offsets_;
-    std::vector<Row> rows_;
-    /** Row-major: cells_[row * state_count_ + state]. */
-    std::vector<Cell> cells_;
+    /** Per block: its first cell, or nullptr until materialized. */
+    std::vector<Cell*> block_cells_;
+    /** Zero-initialized slabs the per-block cell runs are carved from;
+     *  growth never moves already-handed-out cells. */
+    std::vector<std::unique_ptr<Cell[]>> slabs_;
+    std::size_t slab_used_ = 0;
+    std::size_t slab_size_ = 0;
+    /** skip_words_ words per state; valid once skip_built_[state]. */
+    std::vector<std::uint64_t> skip_bits_;
+    std::vector<std::uint8_t> skip_built_;
+    std::size_t skip_words_ = 0;
     std::vector<match::Bindings> bindings_pool_;
 };
 

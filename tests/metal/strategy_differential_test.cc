@@ -36,9 +36,12 @@ struct Rendered
 
 Rendered
 checkProtocol(const corpus::LoadedProtocol& loaded, unsigned jobs,
-              cache::AnalysisCache* cache)
+              cache::AnalysisCache* cache,
+              metal::PruneStrategy prune = metal::PruneStrategy::Off)
 {
-    auto set = checkers::makeAllCheckers();
+    checkers::CheckerSetOptions set_options;
+    set_options.prune_strategy = prune;
+    auto set = checkers::makeAllCheckers(set_options);
     support::DiagnosticSink sink;
     checkers::ParallelRunOptions options;
     options.jobs = jobs;
@@ -126,6 +129,52 @@ TEST_F(StrategyDifferential, ByteIdenticalAcrossProtocolsJobsAndCache)
         }
     }
     fs::remove_all(cache_root);
+}
+
+/**
+ * The same differential crossed with --prune-paths constraints: pruning
+ * changes which paths are walked (and thus which diagnostics survive),
+ * so the two strategies must agree under it independently of the
+ * prune-off arms above. The walker disables the table's block-skip
+ * prefilter while pruning, making this the arm that would catch a skip
+ * hook leaking into feasibility invalidation.
+ */
+TEST_F(StrategyDifferential, ByteIdenticalUnderConstraintsPruning)
+{
+    for (const char* name :
+         {"bitvector", "dyn_ptr", "sci", "coma", "rac"}) {
+        corpus::LoadedProtocol loaded =
+            corpus::loadProtocol(corpus::profileByName(name));
+        std::map<std::string, std::vector<Rendered>> renders;
+        for (const char* strategy : {"table", "legacy"}) {
+            metal::setDefaultMatchStrategy(
+                strategy == std::string("legacy")
+                    ? metal::MatchStrategy::Legacy
+                    : metal::MatchStrategy::Table);
+            std::vector<Rendered>& out = renders[strategy];
+            for (unsigned jobs : {1u, 4u})
+                out.push_back(
+                    checkProtocol(loaded, jobs, nullptr,
+                                  metal::PruneStrategy::Constraints));
+        }
+        const std::vector<Rendered>& table = renders["table"];
+        const std::vector<Rendered>& legacy = renders["legacy"];
+        ASSERT_EQ(table.size(), 2u);
+        ASSERT_EQ(legacy.size(), 2u);
+        const char* arm[] = {"prune j1", "prune j4"};
+        for (std::size_t i = 0; i < table.size(); ++i) {
+            EXPECT_EQ(table[i].text, legacy[i].text)
+                << name << " text " << arm[i];
+            EXPECT_EQ(table[i].json, legacy[i].json)
+                << name << " json " << arm[i];
+            EXPECT_EQ(table[i].sarif, legacy[i].sarif)
+                << name << " sarif " << arm[i];
+            EXPECT_EQ(table[i].json, table[0].json)
+                << name << " table arm " << arm[i];
+            EXPECT_EQ(legacy[i].json, legacy[0].json)
+                << name << " legacy arm " << arm[i];
+        }
+    }
 }
 
 } // namespace

@@ -263,5 +263,47 @@ TEST(TransitionTable, StrategiesAgreeOnEveryCorpusFunction)
     }
 }
 
+TEST(TransitionTable, BlockSkipNeverRejectsAMatch)
+{
+    // The block-range prefilter's exactness property, stated directly:
+    // whenever blockSkippable(block, state) says "skip", no candidate
+    // rule of that state may match any statement of that block. One
+    // false skip would silently drop a diagnostic, so this sweeps every
+    // (function, machine, state, block) combination of a full protocol.
+    corpus::LoadedProtocol loaded =
+        corpus::loadProtocol(corpus::profileByName("sci"));
+    MetalProgram wait = parseMetal(kWaitForDb);
+    MetalProgram msg = parseMetal(kMsgLen);
+
+    std::uint64_t skipped = 0, scanned = 0;
+    for (const lang::FunctionDecl* fn : loaded.program->functions()) {
+        cfg::Cfg cfg = cfg::CfgBuilder::build(*fn);
+        for (StateMachine* sm : {wait.sm.get(), msg.sm.get()}) {
+            const CompiledSm& csm = sm->compiled();
+            TransitionTable table(csm, cfg);
+            const std::vector<cfg::BasicBlock>& blocks = cfg.blocks();
+            for (StateIdx s = 0; s < csm.stateCount(); ++s) {
+                for (std::size_t b = 0; b < blocks.size(); ++b) {
+                    if (!table.blockSkippable(static_cast<int>(b), s)) {
+                        ++scanned;
+                        continue;
+                    }
+                    ++skipped;
+                    for (const lang::Stmt* stmt : blocks[b].stmts)
+                        for (const CompiledSm::Candidate& cand :
+                             csm.candidatesFor(s))
+                            EXPECT_FALSE(
+                                cand.rule->pattern.matchInStmt(*stmt))
+                                << fn->name << " block " << b
+                                << " state " << csm.stateName(s);
+                }
+            }
+        }
+    }
+    // Vacuity guards: the sweep must have exercised both outcomes.
+    EXPECT_GT(skipped, 0u);
+    EXPECT_GT(scanned, 0u);
+}
+
 } // namespace
 } // namespace mc::metal
